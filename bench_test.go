@@ -1,0 +1,216 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper, regenerating the measurement and reporting its headline value as a
+// custom metric.  Benchmarks use reduced sample counts to stay fast;
+// cmd/likwid-repro runs the full 100-sample versions.
+//
+//	go test -bench=. -benchmem
+package likwid_test
+
+import (
+	"testing"
+
+	"likwid/internal/experiments"
+	"likwid/internal/hwdef"
+	"likwid/internal/workloads/kernels"
+	"likwid/internal/workloads/stream"
+)
+
+// benchStream runs a STREAM figure spec with few samples and reports the
+// saturated (max-thread) median bandwidth.
+func benchStream(b *testing.B, spec experiments.StreamSpec) {
+	b.Helper()
+	spec.Samples = 10
+	var last float64
+	for i := 0; i < b.N; i++ {
+		points, err := spec.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = points[len(points)-1].Stats.Median
+	}
+	b.ReportMetric(last, "MB/s_median_maxthreads")
+}
+
+func BenchmarkFig04StreamIccUnpinned(b *testing.B)      { benchStream(b, experiments.Fig4) }
+func BenchmarkFig05StreamIccPinned(b *testing.B)        { benchStream(b, experiments.Fig5) }
+func BenchmarkFig06StreamIccScatter(b *testing.B)       { benchStream(b, experiments.Fig6) }
+func BenchmarkFig07StreamGccUnpinned(b *testing.B)      { benchStream(b, experiments.Fig7) }
+func BenchmarkFig08StreamGccPinned(b *testing.B)        { benchStream(b, experiments.Fig8) }
+func BenchmarkFig09StreamIstanbulUnpinned(b *testing.B) { benchStream(b, experiments.Fig9) }
+func BenchmarkFig10StreamIstanbulPinned(b *testing.B)   { benchStream(b, experiments.Fig10) }
+
+func BenchmarkFig01Topology(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Fig1Topology("westmereEP")
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(out)
+	}
+	b.ReportMetric(float64(n), "report_bytes")
+}
+
+func BenchmarkFig02GroupMapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2GroupMapping("core2", "FLOPS_DP"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig03PinMechanism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3PinMechanism(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11JacobiWavefront(b *testing.B) {
+	var correct, wrong float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig11([]int{100, 200, 300, 400, 500}, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mid := points[2]
+		correct, wrong = mid.WavefrontOneSock, mid.WavefrontSplit
+	}
+	b.ReportMetric(correct, "MLUPS_correct_N300")
+	b.ReportMetric(wrong, "MLUPS_wrongpin_N300")
+}
+
+func BenchmarkTable02JacobiCounters(b *testing.B) {
+	var blockedVolume, blockedMLUPS float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		blockedVolume = rows[2].VolumeGB
+		blockedMLUPS = rows[2].MLUPS
+	}
+	b.ReportMetric(blockedVolume, "GB_blocked")
+	b.ReportMetric(blockedMLUPS, "MLUPS_blocked")
+}
+
+func BenchmarkTableMarkerOutput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MarkerListing(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableEventGroups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.EventGroupTable("westmereEP"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeaturesListing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FeaturesListing(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+func BenchmarkAblationMultiplex(b *testing.B) {
+	var longRunErr float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.AblationMultiplex()
+		if err != nil {
+			b.Fatal(err)
+		}
+		longRunErr = points[len(points)-1].RelError
+	}
+	b.ReportMetric(longRunErr*100, "%err_longrun")
+}
+
+func BenchmarkAblationSocketLock(b *testing.B) {
+	var overcount float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationSocketLock()
+		if err != nil {
+			b.Fatal(err)
+		}
+		overcount = r.Overcount
+	}
+	b.ReportMetric(overcount, "x_naive_overcount")
+}
+
+func BenchmarkAblationPrefetchers(b *testing.B) {
+	var withPF, withoutPF float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.AblationPrefetchers()
+		if err != nil {
+			b.Fatal(err)
+		}
+		withPF = points[0].BandwidthMBs
+		withoutPF = points[len(points)-1].BandwidthMBs
+	}
+	b.ReportMetric(withPF, "MB/s_prefetch_on")
+	b.ReportMetric(withoutPF, "MB/s_prefetch_off")
+}
+
+func BenchmarkAblationPlacement(b *testing.B) {
+	var spread, compact float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.AblationPlacement(6, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = points[0].Stats.Median
+		compact = points[1].Stats.Median
+	}
+	b.ReportMetric(spread, "MB/s_spread")
+	b.ReportMetric(compact, "MB/s_compact")
+}
+
+func BenchmarkAblationSMTOrder(b *testing.B) {
+	var phys, sib float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationSMTOrder()
+		if err != nil {
+			b.Fatal(err)
+		}
+		phys, sib = r.PhysicalFirstMBs, r.SiblingFirstMBs
+	}
+	b.ReportMetric(phys, "MB/s_physfirst")
+	b.ReportMetric(sib, "MB/s_smtfirst")
+}
+
+// --- Microbenchmarks of the substrates ------------------------------------
+
+func BenchmarkCacheSimStreaming(b *testing.B) {
+	a := hwdef.Core2Quad
+	k, err := kernels.ByName("load")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernels.Run(a, k, 1<<20, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSingleStreamSample(b *testing.B) {
+	arch := hwdef.WestmereEP
+	for i := 0; i < b.N; i++ {
+		_, err := stream.Run(stream.Config{
+			Arch: arch, Compiler: stream.ICC, Threads: 12,
+			Mode: stream.PinScatter, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

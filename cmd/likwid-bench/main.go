@@ -1,0 +1,126 @@
+// likwid-bench is the low-level benchmarking tool the paper names as
+// future work: it runs streaming microkernels over a sweep of working-set
+// sizes through the trace-driven cache simulator and prints a "bandwidth
+// map" of the node's cache and memory bottlenecks.
+//
+// Usage:
+//
+//	likwid-bench [-a arch] [-k kernel] [-p] [-sizes s1,s2,...]
+//
+//	-a arch     node architecture (default core2)
+//	-k kernel   load | store | store_nt | copy | update | daxpy | triad
+//	            or "all" for the full map
+//	-p          disable all hardware prefetchers (likwid-features -u ...)
+//	-n N        thread-group size (N > 1 runs per-thread private caches
+//	            over the shared last-level caches)
+//	-sizes      explicit working-set sizes in KiB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"likwid"
+	"likwid/internal/workloads/kernels"
+)
+
+func main() {
+	archName := flag.String("a", "core2", "node architecture")
+	kernelName := flag.String("k", "all", "kernel name or 'all'")
+	noPrefetch := flag.Bool("p", false, "disable all hardware prefetchers")
+	nThreads := flag.Int("n", 1, "thread-group size")
+	sizeList := flag.String("sizes", "", "working-set sizes in KiB, comma separated")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "likwid-bench:", err)
+		os.Exit(1)
+	}
+	arch, err := likwid.LookupArch(*archName)
+	if err != nil {
+		fail(err)
+	}
+
+	var sizes []int
+	if *sizeList == "" {
+		sizes = kernels.DefaultSizes(arch)
+	} else {
+		for _, s := range strings.Split(*sizeList, ",") {
+			kb, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || kb < 1 {
+				fail(fmt.Errorf("bad size %q", s))
+			}
+			sizes = append(sizes, kb*1024)
+		}
+	}
+
+	// Wire the kernel's prefetch units to core 0's live IA32_MISC_ENABLE
+	// and use likwid-features to toggle them, exactly as a user combines
+	// the two tools on real hardware.
+	node, err := likwid.Open(*archName)
+	if err != nil {
+		fail(err)
+	}
+	gates, err := node.PrefetchGates(0)
+	if err != nil {
+		fail(err)
+	}
+	if *noPrefetch {
+		tool, err := node.Features(0)
+		if err != nil {
+			fail(err)
+		}
+		for _, name := range tool.ToggleNames() {
+			if err := tool.Disable(name); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	var list []kernels.Kernel
+	if *kernelName == "all" {
+		list = kernels.Catalogue
+	} else {
+		k, err := kernels.ByName(*kernelName)
+		if err != nil {
+			fail(err)
+		}
+		list = []kernels.Kernel{k}
+	}
+
+	fmt.Printf("likwid-bench bandwidth map: %s, %d thread(s) (prefetchers disabled: %v)\n",
+		arch.ModelName, *nThreads, *noPrefetch)
+	fmt.Printf("%-10s", "kernel")
+	for _, ws := range sizes {
+		fmt.Printf(" %9s", sizeLabel(ws))
+	}
+	fmt.Println("   [MB/s]")
+	for _, k := range list {
+		fmt.Printf("%-10s", k.Name)
+		for _, ws := range sizes {
+			var p kernels.Point
+			if *nThreads > 1 {
+				p, err = kernels.RunThreads(arch, k, ws, *nThreads, gates)
+			} else {
+				p, err = kernels.Run(arch, k, ws, gates)
+			}
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf(" %9.0f", p.BandwidthMBs)
+		}
+		fmt.Println()
+	}
+}
+
+func sizeLabel(bytes int) string {
+	switch {
+	case bytes >= 1<<20:
+		return fmt.Sprintf("%dMB", bytes>>20)
+	default:
+		return fmt.Sprintf("%dkB", bytes>>10)
+	}
+}

@@ -1,0 +1,69 @@
+// likwid-features views and toggles the hardware prefetchers of a core via
+// the IA32_MISC_ENABLE register and reports switchable processor features
+// (§II-D of the paper).
+//
+// Usage:
+//
+//	likwid-features [-a arch] [-c core] [-e FEATURE | -u FEATURE]
+//
+//	-a arch     node architecture (default core2-65nm, the paper's listing)
+//	-c core     core to operate on (default 0)
+//	-e FEATURE  enable a prefetcher (e.g. CL_PREFETCHER)
+//	-u FEATURE  disable a prefetcher
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"likwid"
+)
+
+func main() {
+	arch := flag.String("a", "core2-65nm", "node architecture")
+	core := flag.Int("c", 0, "core id")
+	enable := flag.String("e", "", "feature to enable")
+	disable := flag.String("u", "", "feature to disable")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "likwid-features:", err)
+		os.Exit(1)
+	}
+	node, err := likwid.Open(*arch)
+	if err != nil {
+		fail(err)
+	}
+	tool, err := node.Features(*core)
+	if err != nil {
+		fail(err)
+	}
+	switch {
+	case *enable != "":
+		if err := tool.Enable(*enable); err != nil {
+			fail(err)
+		}
+		on, _ := tool.Enabled(*enable)
+		fmt.Printf("%s: %s\n", *enable, state(on))
+	case *disable != "":
+		if err := tool.Disable(*disable); err != nil {
+			fail(err)
+		}
+		on, _ := tool.Enabled(*disable)
+		fmt.Printf("%s: %s\n", *disable, state(on))
+	default:
+		out, err := tool.Render()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(out)
+	}
+}
+
+func state(on bool) string {
+	if on {
+		return "enabled"
+	}
+	return "disabled"
+}

@@ -1,0 +1,163 @@
+// likwid-perfctr measures performance counter metrics while a built-in
+// workload runs — the wrapper mode of §II-A.  With -pin it combines with
+// the pinning mechanism, as in the paper's example:
+//
+//	$ likwid-perfCtr -c 1 -g EVENTS likwid-pin -c 1 ./a.out
+//
+// Usage:
+//
+//	likwid-perfctr -c CPULIST -g GROUP|EVENTLIST [options] WORKLOAD
+//
+//	-a arch      node architecture (default westmereEP)
+//	-c CPULIST   cores to measure, e.g. 0-3
+//	-g SPEC      group name (FLOPS_DP, MEM, ...) or EVENT[:PMCn],... list
+//	-m           marker mode: report the workload as a named region
+//	-x           enable counter multiplexing (round-robin event sets)
+//	-d SECONDS   timeline mode: print per-interval deltas of the first event
+//	-pin LIST    pin the workload with the given core list first
+//	-t TYPE      threading runtime of the workload: intel | gnu | pthreads
+//	-n N         worker threads of the workload (default: measured cores)
+//	-groups      list the groups available on the architecture
+//
+// WORKLOAD is triad[:elems], triad-gcc[:elems], jacobi:VARIANT[:size[:iters]]
+// or sleep:SECONDS (whole-node monitoring, as in the paper's "sleep 1").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"likwid"
+	"likwid/internal/cli"
+	"likwid/internal/perfctr"
+	"likwid/internal/pin"
+	"likwid/internal/sched"
+)
+
+func main() {
+	arch := flag.String("a", "westmereEP", "node architecture")
+	cpuList := flag.String("c", "0", "cores to measure")
+	groupSpec := flag.String("g", "FLOPS_DP", "event group or event list")
+	markerMode := flag.Bool("m", false, "marker mode")
+	multiplex := flag.Bool("x", false, "enable counter multiplexing")
+	timeline := flag.Float64("d", 0, "timeline interval in seconds (0 = off)")
+	pinList := flag.String("pin", "", "pin the workload to this core list")
+	runtimeType := flag.String("t", "pthreads", "threading runtime (intel, gnu, pthreads)")
+	threads := flag.Int("n", 0, "worker threads (default: number of measured cores)")
+	listGroups := flag.Bool("groups", false, "list available groups")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "likwid-perfctr:", err)
+		os.Exit(1)
+	}
+
+	node, err := likwid.Open(*arch)
+	if err != nil {
+		fail(err)
+	}
+	if *listGroups {
+		fmt.Println(strings.Join(node.Groups(), "\n"))
+		return
+	}
+	if flag.NArg() != 1 {
+		fail(fmt.Errorf("need exactly one workload argument (triad, jacobi:..., sleep:...)"))
+	}
+	work, err := cli.ParseWorkload(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	cpus, err := pin.ParseCPUList(*cpuList)
+	if err != nil {
+		fail(err)
+	}
+	model, err := sched.ParseRuntime(*runtimeType)
+	if err != nil {
+		fail(err)
+	}
+	nThreads := *threads
+	if nThreads == 0 {
+		nThreads = len(cpus)
+	}
+
+	col, group, err := node.NewCollector(cpus, *groupSpec, likwid.CollectorOptions{Multiplex: *multiplex})
+	if err != nil {
+		fail(err)
+	}
+	var pinner *likwid.Pinner
+	if *pinList != "" {
+		pinner, err = node.NewPinner(*pinList, likwid.SkipMaskFor(model))
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Print(perfctr.Header(node.Arch().ModelName, node.Arch().ClockMHz))
+	if group != nil {
+		fmt.Printf("Measuring group %s\n%s\n", group.Name, cli.Rule)
+	}
+	if err := col.Start(); err != nil {
+		fail(err)
+	}
+
+	if *markerMode {
+		mk, err := node.NewMarker(col, nThreads)
+		if err != nil {
+			fail(err)
+		}
+		id := mk.RegisterRegion("Workload")
+		for tid := 0; tid < nThreads && tid < len(cpus); tid++ {
+			if err := mk.StartRegion(tid, cpus[tid]); err != nil {
+				fail(err)
+			}
+		}
+		res, err := work.Run(node.M, nThreads, model, pinner)
+		if err != nil {
+			fail(err)
+		}
+		for tid := 0; tid < nThreads && tid < len(cpus); tid++ {
+			if err := mk.StopRegion(tid, cpus[tid], id); err != nil {
+				fail(err)
+			}
+		}
+		if err := mk.Close(); err != nil {
+			fail(err)
+		}
+		if err := col.Stop(); err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Summary)
+		fmt.Print(mk.Report(group))
+		return
+	}
+
+	var tl *perfctr.Timeline
+	if *timeline > 0 {
+		tl, err = perfctr.NewTimeline(col, *timeline)
+		if err != nil {
+			fail(err)
+		}
+	}
+	res, err := work.Run(node.M, nThreads, model, pinner)
+	if err != nil {
+		fail(err)
+	}
+	if err := col.Stop(); err != nil {
+		fail(err)
+	}
+	fmt.Println(res.Summary)
+	if tl != nil {
+		tl.Stop()
+		// Print the first non-mandatory event's trace.
+		events := col.EventNames()
+		target := events[len(events)-1]
+		out, err := tl.RenderTimeline(target)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(out)
+	}
+	fmt.Print(perfctr.Report(col.Read(), group, node.Arch().ClockHz()))
+}

@@ -1,0 +1,66 @@
+// likwid-topology prints the hardware thread and cache topology of a
+// simulated node, decoded from emulated CPUID registers exactly as the
+// original tool decodes the instruction (§II-B of the paper).
+//
+// Usage:
+//
+//	likwid-topology [-a arch] [-c] [-g] [-n] [-x]
+//
+//	-a arch   node architecture (default westmereEP); see -l
+//	-c        extended cache parameters
+//	-g        ASCII-art cache/socket diagram
+//	-n        include NUMA domains (memory, distances)
+//	-x        emit the report as XML instead of text
+//	-l        list modeled architectures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"likwid"
+	"likwid/internal/topology"
+)
+
+func main() {
+	arch := flag.String("a", "westmereEP", "node architecture")
+	extended := flag.Bool("c", false, "show extended cache parameters")
+	art := flag.Bool("g", false, "print ASCII-art topology")
+	numa := flag.Bool("n", false, "include NUMA domains")
+	asXML := flag.Bool("x", false, "emit XML")
+	list := flag.Bool("l", false, "list modeled architectures")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "likwid-topology:", err)
+		os.Exit(1)
+	}
+	if *list {
+		fmt.Println(strings.Join(likwid.Architectures(), "\n"))
+		return
+	}
+	node, err := likwid.Open(*arch)
+	if err != nil {
+		fail(err)
+	}
+	topo, err := node.Topology()
+	if err != nil {
+		fail(err)
+	}
+	if *numa || *asXML {
+		topo.AttachNUMA(topology.NUMAFromArch(node.Arch(), topo, 0))
+	}
+	if *asXML {
+		out, err := topo.XML()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	fmt.Print(topo.Render(likwid.TopologyOptions{
+		ExtendedCaches: *extended, ASCIIArt: *art, NUMA: *numa,
+	}))
+}

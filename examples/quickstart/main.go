@@ -1,0 +1,108 @@
+// Quickstart: the §II-A workflow of the paper as a library user sees it.
+//
+//  1. Open a simulated node and probe its topology (likwid-topology).
+//  2. Measure the FLOPS_DP group on four cores while a pinned compute
+//     kernel runs, using the marker API with two named regions ("Init" and
+//     "Benchmark") — the paper's marker-mode listing.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"likwid"
+	"likwid/internal/machine"
+)
+
+func main() {
+	node, err := likwid.Open("core2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("node:", node)
+
+	// --- likwid-topology, as a library ---------------------------------
+	topo, err := node.Topology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decoded: %d sockets, %d cores/socket, %d threads/core\n",
+		topo.Sockets, topo.CoresPerSocket, topo.ThreadsPerCore)
+	for _, c := range topo.Caches {
+		fmt.Printf("  L%d: %d kB shared by %d threads\n", c.Level, c.SizeKB, c.SharedBy)
+	}
+
+	// --- likwid-perfCtr marker mode ------------------------------------
+	cpus := []int{0, 1, 2, 3}
+	col, group, err := node.NewCollector(cpus, "FLOPS_DP", likwid.CollectorOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := col.Start(); err != nil {
+		log.Fatal(err)
+	}
+	mk, err := node.NewMarker(col, len(cpus))
+	if err != nil {
+		log.Fatal(err)
+	}
+	initRegion := mk.RegisterRegion("Init")
+	benchRegion := mk.RegisterRegion("Benchmark")
+
+	// Spawn one pinned worker per measured core, like likwid-pin would.
+	var tasks []*likwid.Task
+	for _, cpu := range cpus {
+		t := node.Spawn(fmt.Sprintf("worker-%d", cpu))
+		if err := node.M.OS.Pin(t, cpu); err != nil {
+			log.Fatal(err)
+		}
+		tasks = append(tasks, t)
+	}
+	burst := func(elems float64) {
+		var works []*likwid.ThreadWork
+		for _, t := range tasks {
+			works = append(works, &likwid.ThreadWork{
+				Task: t, Elems: elems,
+				PerElem: likwid.PerElem{
+					Cycles: 1.5,
+					Counts: machine.Counts{
+						machine.EvInstr:         3,
+						machine.EvFlopsPackedDP: 1,
+					},
+					Vector: true,
+				},
+			})
+		}
+		node.Run(works)
+	}
+
+	// Region "Init": a short setup burst.
+	for tid, cpu := range cpus {
+		must(mk.StartRegion(tid, cpu))
+	}
+	burst(1e5)
+	for tid, cpu := range cpus {
+		must(mk.StopRegion(tid, cpu, initRegion))
+	}
+	// Region "Benchmark": the measured kernel, accumulated over two calls.
+	for round := 0; round < 2; round++ {
+		for tid, cpu := range cpus {
+			must(mk.StartRegion(tid, cpu))
+		}
+		burst(4.096e6)
+		for tid, cpu := range cpus {
+			must(mk.StopRegion(tid, cpu, benchRegion))
+		}
+	}
+	must(mk.Close())
+	must(col.Stop())
+
+	fmt.Print(mk.Report(group))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

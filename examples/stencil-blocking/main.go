@@ -1,0 +1,116 @@
+// Stencil-blocking: the paper's case studies 2 and 3 (§IV-B, §IV-C).
+//
+// Runs the three Jacobi variants on one Nehalem EP socket under
+// likwid-perfCtr with the uncore L3 events of Table II (socket lock
+// engaged), then demonstrates the Fig. 11 pinning hazard: splitting the
+// wavefront thread group across sockets reverses the optimization.
+//
+// Run with: go run ./examples/stencil-blocking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"likwid"
+	"likwid/internal/perfctr"
+	"likwid/internal/workloads/jacobi"
+)
+
+func main() {
+	arch, err := likwid.LookupArch("nehalemEP")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Table II reproduction: Jacobi variants on one Nehalem EP socket")
+	fmt.Printf("%-14s %14s %14s %12s %10s\n",
+		"variant", "L3 lines in", "L3 lines out", "volume [GB]", "MLUPS")
+	for _, variant := range []jacobi.Variant{jacobi.Threaded, jacobi.ThreadedNT, jacobi.Wavefront} {
+		node, err := likwid.Open("nehalemEP")
+		if err != nil {
+			log.Fatal(err)
+		}
+		col, _, err := node.NewCollector([]int{0, 1, 2, 3},
+			"UNC_L3_LINES_IN_ANY:UPMC0,UNC_L3_LINES_OUT_ANY:UPMC1",
+			likwid.CollectorOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := jacobi.Prepare(jacobi.TableIIConfig(arch, variant), node.M)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := col.Start(); err != nil {
+			log.Fatal(err)
+		}
+		res, err := inst.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := col.Stop(); err != nil {
+			log.Fatal(err)
+		}
+		r := col.Read()
+		in := r.Counts["UNC_L3_LINES_IN_ANY"][0] // socket-leader column
+		out := r.Counts["UNC_L3_LINES_OUT_ANY"][0]
+		fmt.Printf("%-14s %14.3e %14.3e %12.2f %10.0f\n",
+			variant, in, out, (in+out)*64/1e9, res.MLUPS)
+	}
+
+	fmt.Println("\nFig. 11 pinning hazard (N=300):")
+	for _, c := range []struct {
+		label     string
+		placement jacobi.Placement
+		variant   jacobi.Variant
+	}{
+		{"wavefront, one socket (correct)", jacobi.OneSocket, jacobi.Wavefront},
+		{"wavefront, split pairs (wrong) ", jacobi.SplitPairs, jacobi.Wavefront},
+		{"threaded NT baseline           ", jacobi.OneSocket, jacobi.ThreadedNT},
+	} {
+		res, err := jacobi.Run(jacobi.Config{
+			Arch: arch, Variant: c.variant, Size: 300, Iters: 30,
+			Threads: 4, Placement: c.placement,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s %8.0f MLUPS\n", c.label, res.MLUPS)
+	}
+	fmt.Println("\nWrong pinning drops the optimized code below the naive baseline —")
+	fmt.Println("the shared L3 coupling only exists inside one socket.")
+
+	// For reference, the counter -> event mapping in use (Fig. 2).
+	node, _ := likwid.Open("nehalemEP")
+	col, _, err := node.NewCollector([]int{0},
+		"UNC_L3_LINES_IN_ANY:UPMC0,UNC_L3_LINES_OUT_ANY:UPMC1", likwid.CollectorOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncounter assignment:")
+	fmt.Print(indent(col.Describe()))
+	_ = perfctr.Options{}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

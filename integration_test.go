@@ -1,0 +1,207 @@
+package likwid_test
+
+import (
+	"strings"
+	"testing"
+
+	"likwid"
+	"likwid/internal/topology"
+	"likwid/internal/workloads/kernels"
+)
+
+// TestFeaturesGateKernels: the §II-D coupling — toggling a prefetcher via
+// likwid-features (an MSR write) changes what likwid-bench measures.
+func TestFeaturesGateKernels(t *testing.T) {
+	node, err := likwid.Open("core2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gates, err := node.PrefetchGates(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernels.ByName("load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ws = 16 << 20
+	before, err := kernels.Run(node.Arch(), k, ws, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool, err := node.Features(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.Disable("HW_PREFETCHER"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := kernels.Run(node.Arch(), k, ws, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.BandwidthMBs >= before.BandwidthMBs*0.8 {
+		t.Fatalf("MSR toggle had no effect: %v -> %v MB/s", before.BandwidthMBs, after.BandwidthMBs)
+	}
+	// Re-enabling restores the bandwidth.
+	if err := tool.Enable("HW_PREFETCHER"); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := kernels.Run(node.Arch(), k, ws, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.BandwidthMBs < before.BandwidthMBs*0.95 {
+		t.Errorf("re-enable did not restore bandwidth: %v vs %v", restored.BandwidthMBs, before.BandwidthMBs)
+	}
+	// Gates follow a *different* core's register independently.
+	gates1, err := node.PrefetchGates(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool1, err := node.Features(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tool1.Disable("HW_PREFETCHER"); err != nil {
+		t.Fatal(err)
+	}
+	onCore0, err := kernels.Run(node.Arch(), k, ws, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onCore1, err := kernels.Run(node.Arch(), k, ws, gates1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onCore1.BandwidthMBs >= onCore0.BandwidthMBs*0.8 {
+		t.Errorf("per-core MISC_ENABLE not independent: core0 %v, core1 %v",
+			onCore0.BandwidthMBs, onCore1.BandwidthMBs)
+	}
+}
+
+// TestTopologyNUMAAndXMLFacade: the three future-work features through the
+// public API.
+func TestTopologyNUMAAndXMLFacade(t *testing.T) {
+	node, err := likwid.Open("istanbul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := node.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := node.NUMA(topo)
+	if len(domains) != 2 {
+		t.Fatalf("Istanbul NUMA domains = %d, want 2", len(domains))
+	}
+	out := topo.Render(likwid.TopologyOptions{NUMA: true})
+	if !strings.Contains(out, "NUMA domains: 2") {
+		t.Error("NUMA section missing from facade rendering")
+	}
+	xmlOut, err := topo.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := topology.ParseXML([]byte(xmlOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, c, th := doc.Geometry(); s != 2 || c != 6 || th != 1 {
+		t.Errorf("XML geometry = %d/%d/%d", s, c, th)
+	}
+}
+
+// TestPinnerDomainExpressionFacade: logical core IDs through the facade.
+func TestPinnerDomainExpressionFacade(t *testing.T) {
+	node, err := likwid.Open("westmereEP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := node.NewPinner("S1:0-3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := node.Spawn("a.out")
+	if err := p.PinProcess(master); err != nil {
+		t.Fatal(err)
+	}
+	if master.CPU != 6 {
+		t.Errorf("S1:0 resolved to cpu %d, want 6 (socket 1 physical core 0)", master.CPU)
+	}
+	if _, err := node.NewPinner("S7:0", 0); err == nil {
+		t.Error("bad domain must fail through the facade")
+	}
+}
+
+// TestFullSuiteWalkthrough drives all four tools on one node in sequence —
+// the paper's intended workflow end to end.
+func TestFullSuiteWalkthrough(t *testing.T) {
+	node, err := likwid.OpenOptions("nehalemEP", likwid.Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1. likwid-topology: find the physical cores of socket 0.
+	topo, err := node.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	socket0 := topo.SocketGroups[0]
+	var physCores []int
+	for _, p := range socket0 {
+		if topo.Threads[p].ThreadID == 0 {
+			physCores = append(physCores, p)
+		}
+	}
+	if len(physCores) != 4 {
+		t.Fatalf("socket 0 physical cores = %v", physCores)
+	}
+	// 2. likwid-pin: pin a team there.
+	pinner, err := node.NewPinner("S0:0-3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := node.Spawn("app")
+	if err := pinner.PinProcess(master); err != nil {
+		t.Fatal(err)
+	}
+	team, err := node.SpawnTeam(likwid.RuntimePthreads, 3, master, pinner.Hook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3. likwid-perfctr: measure FLOPS_DP while the team works.
+	col, group, err := node.NewCollector(physCores, "FLOPS_DP", likwid.CollectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var works []*likwid.ThreadWork
+	for _, w := range append(team.Workers, master) {
+		works = append(works, &likwid.ThreadWork{
+			Task: w, Elems: 1e6,
+			PerElem: likwid.PerElem{Cycles: 2, Vector: true},
+		})
+	}
+	node.Run(works)
+	if err := col.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	report := likwid.Report(node, col.Read(), group)
+	if !strings.Contains(report, "DP MFlops/s") {
+		t.Error("report incomplete")
+	}
+	// 4. likwid-features: confirm the prefetchers are reported.
+	feat, err := node.Features(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := feat.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) < 10 {
+		t.Errorf("feature list = %d rows", len(states))
+	}
+}

@@ -1,0 +1,120 @@
+// Package apic constructs and decomposes APIC IDs.
+//
+// On x86 the APIC ID of a hardware thread encodes its position in the
+// package/core/SMT hierarchy as bit fields: the lowest bits select the SMT
+// thread within a core, the next field selects the core within a package,
+// and the remaining high bits select the package.  likwid-topology recovers
+// the node topology by slicing these fields, using the field widths reported
+// by CPUID (leaf 0xB on Nehalem+, leaves 0x1/0x4 before that).
+package apic
+
+import (
+	"fmt"
+
+	"likwid/internal/hwdef"
+)
+
+// Layout describes the bit-field widths of an APIC ID for one architecture.
+type Layout struct {
+	SMTBits  int // width of the SMT-thread field
+	CoreBits int // width of the core field
+}
+
+// CeilLog2 returns the number of bits needed to represent values 0..n-1.
+// CeilLog2(1) is 0: a field that can hold only one value needs no bits.
+func CeilLog2(n int) int {
+	bits := 0
+	for v := 1; v < n; v <<= 1 {
+		bits++
+	}
+	return bits
+}
+
+// LayoutFor derives the APIC bit layout for an architecture.  The core field
+// must be wide enough for the largest physical core ID, which is how
+// non-contiguous core numbering (e.g. {0,1,2,8,9,10} on Westmere EP) arises.
+func LayoutFor(a *hwdef.Arch) Layout {
+	maxCore := 0
+	for _, id := range a.PhysCoreIDs {
+		if id > maxCore {
+			maxCore = id
+		}
+	}
+	return Layout{
+		SMTBits:  CeilLog2(a.ThreadsPerCore),
+		CoreBits: CeilLog2(maxCore + 1),
+	}
+}
+
+// CoreShift is the bit position where the core field starts.
+func (l Layout) CoreShift() int { return l.SMTBits }
+
+// PkgShift is the bit position where the package field starts.
+func (l Layout) PkgShift() int { return l.SMTBits + l.CoreBits }
+
+// Compose builds the APIC ID for (socket, physical core ID, SMT thread).
+func (l Layout) Compose(socket, physCore, smt int) uint32 {
+	return uint32(socket)<<l.PkgShift() | uint32(physCore)<<l.CoreShift() | uint32(smt)
+}
+
+// Decoded is the hierarchical position recovered from an APIC ID.
+type Decoded struct {
+	Socket   int
+	PhysCore int
+	SMT      int
+}
+
+// Decode slices an APIC ID back into its fields.
+func (l Layout) Decode(id uint32) Decoded {
+	return Decoded{
+		Socket:   int(id >> l.PkgShift()),
+		PhysCore: int(id>>l.CoreShift()) & (1<<l.CoreBits - 1),
+		SMT:      int(id) & (1<<l.SMTBits - 1),
+	}
+}
+
+// ThreadInfo places one hardware thread (one OS processor) in the node.
+type ThreadInfo struct {
+	Proc     int    // OS processor ID as the kernel numbers it
+	Socket   int    // package index
+	CoreIdx  int    // core index within the socket (0..CoresPerSocket-1)
+	PhysCore int    // physical (APIC) core ID, possibly non-contiguous
+	SMT      int    // SMT thread index within the core
+	APICID   uint32 // composed APIC ID
+}
+
+// Enumerate lists every hardware thread of the node in OS processor-ID
+// order.  The numbering policy matches the systems in the paper: thread 0 of
+// every core across all sockets first, then the SMT siblings — so on a
+// 2-socket 6-core SMT-2 Westmere, processors 0-11 are the physical cores and
+// 12-23 their hyperthreads.
+func Enumerate(a *hwdef.Arch) []ThreadInfo {
+	l := LayoutFor(a)
+	threads := make([]ThreadInfo, 0, a.HWThreads())
+	proc := 0
+	for smt := 0; smt < a.ThreadsPerCore; smt++ {
+		for socket := 0; socket < a.Sockets; socket++ {
+			for coreIdx, physCore := range a.PhysCoreIDs {
+				threads = append(threads, ThreadInfo{
+					Proc:     proc,
+					Socket:   socket,
+					CoreIdx:  coreIdx,
+					PhysCore: physCore,
+					SMT:      smt,
+					APICID:   l.Compose(socket, physCore, smt),
+				})
+				proc++
+			}
+		}
+	}
+	return threads
+}
+
+// ByProc returns the ThreadInfo for one OS processor ID.
+func ByProc(a *hwdef.Arch, proc int) (ThreadInfo, error) {
+	threads := Enumerate(a)
+	if proc < 0 || proc >= len(threads) {
+		return ThreadInfo{}, fmt.Errorf("apic: processor %d out of range [0,%d)", proc, len(threads))
+	}
+	return threads[proc], nil
+}

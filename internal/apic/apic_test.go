@@ -1,0 +1,108 @@
+package apic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"likwid/internal/hwdef"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 6: 3, 8: 3, 11: 4, 12: 4, 16: 4, 17: 5}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestComposeDecodeRoundtripProperty(t *testing.T) {
+	// For any layout and in-range fields, Decode(Compose(x)) == x.
+	f := func(smtBits, coreBits uint8, socket, core, smt uint16) bool {
+		l := Layout{SMTBits: int(smtBits%3) + 1, CoreBits: int(coreBits%5) + 1}
+		s := int(socket) % 8
+		c := int(core) % (1 << l.CoreBits)
+		m := int(smt) % (1 << l.SMTBits)
+		d := l.Decode(l.Compose(s, c, m))
+		return d.Socket == s && d.PhysCore == c && d.SMT == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWestmereLayout(t *testing.T) {
+	l := LayoutFor(hwdef.WestmereEP)
+	if l.SMTBits != 1 || l.CoreBits != 4 {
+		t.Fatalf("layout = %+v, want SMTBits=1 CoreBits=4 (core IDs reach 10)", l)
+	}
+	if l.PkgShift() != 5 {
+		t.Errorf("PkgShift = %d, want 5", l.PkgShift())
+	}
+}
+
+func TestEnumerateWestmereMatchesPaperListing(t *testing.T) {
+	// The paper's likwid-topology listing for Westmere EP: processors 0-5
+	// are socket 0 cores {0,1,2,8,9,10} thread 0; 6-11 socket 1; 12-23
+	// are the SMT siblings in the same order.
+	threads := Enumerate(hwdef.WestmereEP)
+	if len(threads) != 24 {
+		t.Fatalf("got %d threads, want 24", len(threads))
+	}
+	type row struct{ proc, smt, core, socket int }
+	checks := []row{
+		{0, 0, 0, 0}, {1, 0, 1, 0}, {2, 0, 2, 0}, {3, 0, 8, 0},
+		{4, 0, 9, 0}, {5, 0, 10, 0}, {6, 0, 0, 1}, {11, 0, 10, 1},
+		{12, 1, 0, 0}, {17, 1, 10, 0}, {18, 1, 0, 1}, {23, 1, 10, 1},
+	}
+	for _, c := range checks {
+		got := threads[c.proc]
+		if got.SMT != c.smt || got.PhysCore != c.core || got.Socket != c.socket {
+			t.Errorf("proc %d = (smt %d, core %d, socket %d), want (%d, %d, %d)",
+				c.proc, got.SMT, got.PhysCore, got.Socket, c.smt, c.core, c.socket)
+		}
+	}
+}
+
+func TestEnumerateAPICUniqueness(t *testing.T) {
+	for _, name := range hwdef.Names() {
+		a, _ := hwdef.Lookup(name)
+		seen := map[uint32]bool{}
+		for _, ti := range Enumerate(a) {
+			if seen[ti.APICID] {
+				t.Errorf("%s: duplicate APIC ID %d", name, ti.APICID)
+			}
+			seen[ti.APICID] = true
+		}
+	}
+}
+
+func TestEnumerateDecodeConsistency(t *testing.T) {
+	// Decoding any enumerated APIC ID must recover the enumerated fields.
+	for _, name := range hwdef.Names() {
+		a, _ := hwdef.Lookup(name)
+		l := LayoutFor(a)
+		for _, ti := range Enumerate(a) {
+			d := l.Decode(ti.APICID)
+			if d.Socket != ti.Socket || d.PhysCore != ti.PhysCore || d.SMT != ti.SMT {
+				t.Errorf("%s proc %d: decode %+v != enum %+v", name, ti.Proc, d, ti)
+			}
+		}
+	}
+}
+
+func TestByProc(t *testing.T) {
+	ti, err := ByProc(hwdef.WestmereEP, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.SMT != 1 || ti.PhysCore != 1 || ti.Socket != 0 {
+		t.Errorf("proc 13 = %+v, want SMT sibling of core 1 socket 0", ti)
+	}
+	if _, err := ByProc(hwdef.WestmereEP, 24); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, err := ByProc(hwdef.WestmereEP, -1); err == nil {
+		t.Error("expected out-of-range error for negative proc")
+	}
+}

@@ -1,0 +1,310 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"likwid/internal/hwdef"
+)
+
+func mustLevel(t *testing.T, cfg Config) (*Level, *Memory) {
+	t.Helper()
+	mem := &Memory{}
+	l, err := NewLevel(cfg, nil, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, mem
+}
+
+func small() Config {
+	return Config{Name: "T", Sets: 4, Ways: 2, LineSize: 64, WriteAllocate: true}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Name: "x", Sets: 0, Ways: 2, LineSize: 64},
+		{Name: "x", Sets: 4, Ways: 0, LineSize: 64},
+		{Name: "x", Sets: 4, Ways: 2, LineSize: 48},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", cfg)
+		}
+	}
+	if err := small().Validate(); err != nil {
+		t.Error(err)
+	}
+	// Non-power-of-two set counts are legal (Westmere EP L3: 12288 sets).
+	if err := (Config{Name: "L3", Sets: 12288, Ways: 16, LineSize: 64}).Validate(); err != nil {
+		t.Errorf("12288 sets must validate: %v", err)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	l, mem := mustLevel(t, small())
+	l.Do(Access{Addr: 0, Size: 8})
+	l.Do(Access{Addr: 8, Size: 8}) // same line
+	st := l.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss 1 hit", st)
+	}
+	r, w := mem.Snapshot()
+	if r != 1 || w != 0 {
+		t.Fatalf("memory = %d reads %d writes, want 1/0", r, w)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	l, _ := mustLevel(t, small())
+	// Three lines mapping to set 0: line addresses 0, 4, 8 (sets=4).
+	for _, la := range []uint64{0, 4, 8} {
+		l.Do(Access{Addr: la * 64, Size: 1})
+	}
+	// Line 0 is LRU and must have been evicted; touching it misses again.
+	l.Do(Access{Addr: 0, Size: 1})
+	st := l.Stats()
+	if st.Misses != 4 {
+		t.Fatalf("misses = %d, want 4 (LRU evicted line 0)", st.Misses)
+	}
+	if st.LinesOut != 2 {
+		t.Fatalf("linesOut = %d, want 2", st.LinesOut)
+	}
+	// Line 8 was MRU before the re-access of 0, so it must still hit.
+	l.Do(Access{Addr: 8 * 64, Size: 1})
+	if got := l.Stats().Hits; got != 1 {
+		t.Fatalf("hits = %d, want 1 (line 8 must survive)", got)
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	l, mem := mustLevel(t, small())
+	l.Do(Access{Addr: 0, Size: 8, Write: true})
+	// Force eviction of the dirty line.
+	l.Do(Access{Addr: 4 * 64, Size: 1})
+	l.Do(Access{Addr: 8 * 64, Size: 1})
+	_, w := mem.Snapshot()
+	if w != 1 {
+		t.Fatalf("memory writes = %d, want 1 (dirty victim)", w)
+	}
+	if st := l.Stats(); st.DirtyOut != 1 {
+		t.Fatalf("dirtyOut = %d, want 1", st.DirtyOut)
+	}
+}
+
+func TestWriteAllocate(t *testing.T) {
+	cfg := small()
+	l, mem := mustLevel(t, cfg)
+	l.Do(Access{Addr: 0, Size: 8, Write: true})
+	r, _ := mem.Snapshot()
+	if r != 1 {
+		t.Fatalf("write-allocate must read the line from memory, got %d reads", r)
+	}
+	// Without write-allocate the store goes straight to memory.
+	cfg.WriteAllocate = false
+	l2, mem2 := mustLevel(t, cfg)
+	l2.Do(Access{Addr: 0, Size: 8, Write: true})
+	r2, w2 := mem2.Snapshot()
+	if r2 != 0 || w2 != 1 {
+		t.Fatalf("no-write-allocate: memory = %d reads %d writes, want 0/1", r2, w2)
+	}
+}
+
+func TestNTStoreBypassesHierarchy(t *testing.T) {
+	mem := &Memory{}
+	l2, _ := NewLevel(Config{Name: "L2", Sets: 16, Ways: 4, LineSize: 64, WriteAllocate: true}, nil, mem)
+	l1, _ := NewLevel(Config{Name: "L1", Sets: 4, Ways: 2, LineSize: 64, WriteAllocate: true}, l2, nil)
+	l1.Do(Access{Addr: 0, Size: 64, Write: true, NT: true})
+	r, w := mem.Snapshot()
+	if r != 0 || w != 1 {
+		t.Fatalf("NT store: memory = %d reads %d writes, want 0/1", r, w)
+	}
+	if l1.Stats().LinesIn != 0 || l2.Stats().LinesIn != 0 {
+		t.Fatal("NT store must not allocate in any level")
+	}
+	// And it must not count as a demand access either.
+	if l1.Stats().Accesses != 0 {
+		t.Fatal("NT store counted as demand access")
+	}
+}
+
+func TestAccessSpanningTwoLines(t *testing.T) {
+	l, _ := mustLevel(t, small())
+	l.Do(Access{Addr: 60, Size: 8}) // crosses the 64-byte boundary
+	if st := l.Stats(); st.Accesses != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 accesses 2 misses", st)
+	}
+}
+
+func TestInclusiveBackInvalidation(t *testing.T) {
+	mem := &Memory{}
+	l2, _ := NewLevel(Config{Name: "L2", Sets: 1, Ways: 2, LineSize: 64, WriteAllocate: true, Inclusive: true}, nil, mem)
+	l1, _ := NewLevel(Config{Name: "L1", Sets: 4, Ways: 4, LineSize: 64, WriteAllocate: true}, l2, nil)
+	// Fill L2's single set (2 ways) with lines A and B via L1.
+	l1.Do(Access{Addr: 0, Size: 1})
+	l1.Do(Access{Addr: 64, Size: 1})
+	// Line C evicts A from L2; inclusion must kill A in L1 too.
+	l1.Do(Access{Addr: 128, Size: 1})
+	l1.ResetStats()
+	l1.Do(Access{Addr: 0, Size: 1})
+	if st := l1.Stats(); st.Misses != 1 {
+		t.Fatalf("line A must have been back-invalidated from L1; stats %+v", st)
+	}
+}
+
+func TestAdjacentLinePrefetch(t *testing.T) {
+	l, mem := mustLevel(t, Config{Name: "L2", Sets: 64, Ways: 8, LineSize: 64, WriteAllocate: true})
+	on := true
+	l.AttachAdjacentLine(func() bool { return on })
+	l.Do(Access{Addr: 0, Size: 1}) // miss: fetches line 0 and buddy line 1
+	if st := l.Stats(); st.Prefetches != 1 {
+		t.Fatalf("prefetches = %d, want 1", st.Prefetches)
+	}
+	l.Do(Access{Addr: 64, Size: 1}) // buddy already present
+	if st := l.Stats(); st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (buddy prefetched)", st.Hits)
+	}
+	r, _ := mem.Snapshot()
+	if r != 2 {
+		t.Fatalf("memory reads = %d, want 2", r)
+	}
+	// Disabled: no prefetch for a fresh pair.
+	on = false
+	l.Do(Access{Addr: 4096, Size: 1})
+	l.Do(Access{Addr: 4096 + 64, Size: 1})
+	if st := l.Stats(); st.Prefetches != 1 {
+		t.Fatalf("prefetches = %d, want still 1 after disabling", st.Prefetches)
+	}
+}
+
+func TestStreamerCutsMisses(t *testing.T) {
+	run := func(enabled bool) uint64 {
+		l, _ := mustLevel(t, Config{Name: "L2", Sets: 256, Ways: 8, LineSize: 64, WriteAllocate: true})
+		l.AttachStreamer(func() bool { return enabled }, 4)
+		for addr := uint64(0); addr < 32*1024; addr += 64 {
+			l.Do(Access{Addr: addr, Size: 8})
+		}
+		return l.Stats().Misses
+	}
+	off, on := run(false), run(true)
+	if on >= off {
+		t.Fatalf("streamer on: %d misses, off: %d — prefetching must cut demand misses", on, off)
+	}
+	if on > off/2 {
+		t.Errorf("streamer only cut misses from %d to %d; expected a large reduction on a sequential stream", off, on)
+	}
+}
+
+func TestIPStridePrefetch(t *testing.T) {
+	run := func(enabled bool) uint64 {
+		l, _ := mustLevel(t, Config{Name: "L1", Sets: 64, Ways: 8, LineSize: 64, WriteAllocate: true})
+		l.AttachIPStride(func() bool { return enabled })
+		// One instruction striding 256 bytes (a strided load the
+		// streamer cannot catch but the IP prefetcher can).
+		for i := uint64(0); i < 128; i++ {
+			l.Do(Access{Addr: i * 256, Size: 8, IP: 0x400100})
+		}
+		return l.Stats().Misses
+	}
+	off, on := run(false), run(true)
+	if on >= off {
+		t.Fatalf("IP prefetcher on: %d misses, off: %d", on, off)
+	}
+}
+
+func TestHierarchyFromArch(t *testing.T) {
+	h, err := NewHierarchy(hwdef.Core2Quad, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels) != 2 {
+		t.Fatalf("Core2 hierarchy has %d levels, want 2", len(h.Levels))
+	}
+	if h.Levels[0].Config().Sets != 64 || h.Levels[1].Config().Sets != 4096 {
+		t.Errorf("unexpected geometry: %+v / %+v", h.Levels[0].Config(), h.Levels[1].Config())
+	}
+	h.Access(Access{Addr: 0, Size: 8})
+	if h.Levels[0].Stats().Misses == 0 {
+		t.Error("cold access must miss L1")
+	}
+	h.ResetStats()
+	if h.Levels[0].Stats().Misses != 0 {
+		t.Error("ResetStats must clear counters")
+	}
+}
+
+// TestAssociativityInclusionProperty: with identical set count and line
+// size, an LRU cache with more ways never misses more often on any trace
+// (the classic stack-inclusion property per set).
+func TestAssociativityInclusionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trace := make([]uint64, 400)
+		for i := range trace {
+			trace[i] = uint64(rng.Intn(64)) * 64 // 64 distinct lines, 16 sets
+		}
+		misses := func(ways int) uint64 {
+			l, _ := mustLevel(t, Config{Name: "p", Sets: 16, Ways: ways, LineSize: 64, WriteAllocate: true})
+			for _, a := range trace {
+				l.Do(Access{Addr: a, Size: 1})
+			}
+			return l.Stats().Misses
+		}
+		return misses(4) >= misses(8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatsConservationProperty: accesses = hits + misses, and lines in a
+// finite cache never exceed capacity.
+func TestStatsConservationProperty(t *testing.T) {
+	f := func(seed int64, nAccess uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l, _ := mustLevel(t, small())
+		n := int(nAccess%1000) + 1
+		for i := 0; i < n; i++ {
+			l.Do(Access{
+				Addr:  uint64(rng.Intn(4096)),
+				Size:  1 + rng.Intn(16),
+				Write: rng.Intn(2) == 0,
+			})
+		}
+		st := l.Stats()
+		if st.Accesses != st.Hits+st.Misses {
+			return false
+		}
+		resident := int64(st.LinesIn) - int64(st.LinesOut)
+		return resident >= 0 && resident <= int64(small().Sets*small().Ways)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMemoryTrafficNeverNegativeProperty: total memory reads is bounded by
+// demand misses plus prefetches across all levels.
+func TestMemoryTrafficBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := NewHierarchy(hwdef.Core2Quad, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			h.Access(Access{Addr: uint64(rng.Intn(1 << 20)), Size: 8, Write: rng.Intn(3) == 0})
+		}
+		var missesPlusPF uint64
+		for _, l := range h.Levels {
+			st := l.Stats()
+			missesPlusPF += st.Misses + st.Prefetches
+		}
+		r, _ := h.Mem.Snapshot()
+		return r <= missesPlusPF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

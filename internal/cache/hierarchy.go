@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"fmt"
+
+	"likwid/internal/hwdef"
+)
+
+// Hierarchy is a private chain of data cache levels for one hardware
+// thread, bottoming out in a Memory sink.  It is what likwid-bench runs its
+// kernels against.
+type Hierarchy struct {
+	Levels []*Level // ordered L1 first
+	Mem    *Memory
+}
+
+// PrefetchGates supplies the enable state per prefetcher name; missing
+// entries default to enabled.  likwid-features wires these callbacks to the
+// IA32_MISC_ENABLE bits of the owning core.
+type PrefetchGates map[string]Enabled
+
+// Gate returns the enable callback for a prefetcher name; missing entries
+// default to always-enabled.
+func (g PrefetchGates) Gate(name string) Enabled {
+	if g != nil {
+		if e, ok := g[name]; ok {
+			return e
+		}
+	}
+	return func() bool { return true }
+}
+
+// NewHierarchy builds the data-cache chain of an architecture for a single
+// hardware thread and attaches the architecture's prefetch units:
+// DCU (streamer) and IP prefetchers at L1, streamer and adjacent-line at
+// the mid level, matching the Core 2 unit placement that likwid-features
+// controls.
+func NewHierarchy(a *hwdef.Arch, gates PrefetchGates) (*Hierarchy, error) {
+	mem := &Memory{}
+	data := a.DataCaches()
+	if len(data) == 0 {
+		return nil, fmt.Errorf("cache: %s has no data caches", a.Name)
+	}
+	// Build bottom-up so each level links to the one below.
+	levels := make([]*Level, len(data))
+	var below *Level
+	for i := len(data) - 1; i >= 0; i-- {
+		cl := data[i]
+		cfg := Config{
+			Name:          fmt.Sprintf("L%d", cl.Level),
+			Sets:          cl.Sets,
+			Ways:          cl.Assoc,
+			LineSize:      cl.LineSize,
+			WriteAllocate: true,
+			Inclusive:     cl.Inclusive,
+		}
+		var memSink *Memory
+		if below == nil {
+			memSink = mem
+		}
+		lvl, err := NewLevel(cfg, below, memSink)
+		if err != nil {
+			return nil, err
+		}
+		levels[i] = lvl
+		below = lvl
+	}
+
+	hasPrefetcher := func(name string) bool {
+		for _, p := range a.Prefetchers {
+			if p.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	l1 := levels[0]
+	if hasPrefetcher("DCU_PREFETCHER") {
+		l1.AttachStreamer(gates.Gate("DCU_PREFETCHER"), 1)
+	}
+	if hasPrefetcher("IP_PREFETCHER") {
+		l1.AttachIPStride(gates.Gate("IP_PREFETCHER"))
+	}
+	if len(levels) > 1 {
+		mid := levels[1]
+		if hasPrefetcher("HW_PREFETCHER") {
+			mid.AttachStreamer(gates.Gate("HW_PREFETCHER"), 3)
+		}
+		if hasPrefetcher("CL_PREFETCHER") {
+			mid.AttachAdjacentLine(gates.Gate("CL_PREFETCHER"))
+		}
+	}
+	return &Hierarchy{Levels: levels, Mem: mem}, nil
+}
+
+// Access runs one access through the hierarchy from L1.
+func (h *Hierarchy) Access(a Access) { h.Levels[0].Do(a) }
+
+// ResetStats clears the statistics of every level and the memory sink.
+func (h *Hierarchy) ResetStats() {
+	for _, l := range h.Levels {
+		l.ResetStats()
+	}
+	h.Mem.mu.Lock()
+	h.Mem.ReadLines, h.Mem.WriteLines = 0, 0
+	h.Mem.wcOpen = false
+	h.Mem.mu.Unlock()
+}

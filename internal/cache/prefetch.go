@@ -1,0 +1,173 @@
+package cache
+
+import "sync"
+
+// prefetchUnit is one hardware prefetcher attached to a cache level.  Units
+// observe demand accesses and may pull additional lines into the level.
+type prefetchUnit interface {
+	onAccess(l *Level, addr uint64, ip uint64, miss bool)
+}
+
+// Enabled gates a prefetch unit; likwid-features wires this to the
+// corresponding IA32_MISC_ENABLE bit so toggles take effect immediately.
+type Enabled func() bool
+
+// AttachAdjacentLine adds the adjacent-cache-line prefetcher
+// (CL_PREFETCHER): every demand miss also fetches the buddy line that
+// completes the naturally aligned 128-byte pair.
+func (l *Level) AttachAdjacentLine(enabled Enabled) {
+	l.mu.Lock()
+	l.prefetchers = append(l.prefetchers, &adjacentLine{enabled: enabled})
+	l.mu.Unlock()
+}
+
+type adjacentLine struct {
+	enabled Enabled
+}
+
+func (p *adjacentLine) onAccess(l *Level, addr uint64, _ uint64, miss bool) {
+	if !miss || !p.enabled() {
+		return
+	}
+	ls := uint64(l.cfg.LineSize)
+	buddy := (addr / ls) ^ 1
+	l.prefetchLine(buddy * ls)
+}
+
+// AttachStreamer adds the streaming prefetcher (HW_PREFETCHER on L2,
+// DCU_PREFETCHER on L1): it tracks misses per 4 KiB page and, once two
+// sequential misses establish a direction, runs `depth` lines ahead.
+func (l *Level) AttachStreamer(enabled Enabled, depth int) {
+	if depth < 1 {
+		depth = 2
+	}
+	l.mu.Lock()
+	l.prefetchers = append(l.prefetchers, &streamer{
+		enabled: enabled,
+		depth:   depth,
+		pages:   make(map[uint64]*streamState),
+	})
+	l.mu.Unlock()
+}
+
+type streamState struct {
+	lastLine uint64
+	dir      int64
+	trained  bool
+}
+
+type streamer struct {
+	enabled Enabled
+	depth   int
+	mu      sync.Mutex
+	pages   map[uint64]*streamState
+}
+
+const pageSize = 4096
+
+func (p *streamer) onAccess(l *Level, addr uint64, _ uint64, miss bool) {
+	if !p.enabled() {
+		return
+	}
+	ls := uint64(l.cfg.LineSize)
+	lineAddr := addr / ls
+	page := addr / pageSize
+
+	p.mu.Lock()
+	st, ok := p.pages[page]
+	if !ok {
+		if len(p.pages) > 64 { // bounded tracker table, like real hardware
+			p.pages = make(map[uint64]*streamState)
+		}
+		p.pages[page] = &streamState{lastLine: lineAddr}
+		p.mu.Unlock()
+		return
+	}
+	delta := int64(lineAddr) - int64(st.lastLine)
+	st.lastLine = lineAddr
+	if delta == 1 || delta == -1 {
+		if st.dir == delta {
+			st.trained = true
+		}
+		st.dir = delta
+	} else if delta != 0 {
+		st.trained = false
+		st.dir = 0
+	}
+	trained, dir := st.trained, st.dir
+	p.mu.Unlock()
+
+	if !trained || !miss && dir == 0 {
+		return
+	}
+	if trained {
+		for i := 1; i <= p.depth; i++ {
+			next := int64(lineAddr) + dir*int64(i)
+			if next < 0 {
+				break
+			}
+			// Streamers do not cross 4 KiB page boundaries.
+			if uint64(next)*ls/pageSize != page {
+				break
+			}
+			l.prefetchLine(uint64(next) * ls)
+		}
+	}
+}
+
+// AttachIPStride adds the instruction-pointer strided prefetcher
+// (IP_PREFETCHER): per load instruction it learns a constant stride and
+// prefetches one stride ahead once the stride repeats.
+func (l *Level) AttachIPStride(enabled Enabled) {
+	l.mu.Lock()
+	l.prefetchers = append(l.prefetchers, &ipStride{
+		enabled: enabled,
+		table:   make(map[uint64]*ipState),
+	})
+	l.mu.Unlock()
+}
+
+type ipState struct {
+	lastAddr uint64
+	stride   int64
+	count    int
+}
+
+type ipStride struct {
+	enabled Enabled
+	mu      sync.Mutex
+	table   map[uint64]*ipState
+}
+
+func (p *ipStride) onAccess(l *Level, addr uint64, ip uint64, _ bool) {
+	if ip == 0 || !p.enabled() {
+		return
+	}
+	p.mu.Lock()
+	st, ok := p.table[ip]
+	if !ok {
+		if len(p.table) > 256 {
+			p.table = make(map[uint64]*ipState)
+		}
+		p.table[ip] = &ipState{lastAddr: addr}
+		p.mu.Unlock()
+		return
+	}
+	stride := int64(addr) - int64(st.lastAddr)
+	if stride == st.stride && stride != 0 {
+		st.count++
+	} else {
+		st.count = 0
+	}
+	st.stride = stride
+	st.lastAddr = addr
+	fire := st.count >= 2
+	p.mu.Unlock()
+
+	if fire {
+		next := int64(addr) + stride
+		if next > 0 {
+			l.prefetchLine(uint64(next))
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package cli holds the shared command-line plumbing of the tool suite:
+// the bordered ASCII table renderer used by likwid-perfCtr's reports and
+// small argument-parsing helpers shared across the cmd/ binaries.
+package cli
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders the +----+----+ bordered tables of the paper's listings.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	sep := func() {
+		for _, w := range widths {
+			b.WriteString("+" + strings.Repeat("-", w+2))
+		}
+		b.WriteString("+\n")
+	}
+	line := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "| %-*s ", w, cell)
+		}
+		b.WriteString("|\n")
+	}
+	sep()
+	line(t.header)
+	sep()
+	for _, row := range t.rows {
+		line(row)
+	}
+	sep()
+	return b.String()
+}
+
+// FormatCount renders an event count the way the tool does: integers below
+// a million, scientific notation above (matching the paper's listing where
+// small counts print exact and large ones as 1.88024e+07).
+func FormatCount(v float64) string {
+	if v == float64(int64(v)) && v < 1e6 && v > -1e6 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+// FormatMetric renders a derived metric value.
+func FormatMetric(v float64) string {
+	return fmt.Sprintf("%.6g", v)
+}
+
+// Rule is the horizontal rule the tools print between report sections.
+const Rule = "-------------------------------------------------------------"

@@ -1,0 +1,50 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Event", "core 0", "core 1")
+	tab.AddRow("INSTR_RETIRED_ANY", "313742", "376154")
+	tab.AddRow("CPI", "0.69")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("table has %d lines, want 6 (3 rules + header + 2 rows)\n%s", len(lines), out)
+	}
+	// Every line must be the same width.
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[0]) {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "+-") || !strings.Contains(lines[1], "| Event") {
+		t.Errorf("unexpected layout:\n%s", out)
+	}
+	// Short row padded.
+	if !strings.Contains(lines[4], "| CPI") {
+		t.Errorf("missing padded row:\n%s", out)
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[float64]string{
+		1:         "1",
+		313742:    "313742",
+		0:         "0",
+		1.88024e7: "1.88024e+07",
+	}
+	for in, want := range cases {
+		if got := FormatCount(in); got != want {
+			t.Errorf("FormatCount(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatMetric(t *testing.T) {
+	if got := FormatMetric(1624.08); got != "1624.08" {
+		t.Errorf("FormatMetric = %q", got)
+	}
+}

@@ -1,0 +1,156 @@
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"likwid/internal/machine"
+	"likwid/internal/pin"
+	"likwid/internal/sched"
+	"likwid/internal/workloads/jacobi"
+	"likwid/internal/workloads/stream"
+)
+
+// WorkloadSpec is a built-in workload the wrapper tools can launch in place
+// of a real executable: the original likwid-perfCtr and likwid-pin wrap
+// arbitrary binaries; the simulated suite wraps these.
+//
+// Syntax (the positional argument of likwid-perfctr / likwid-pin):
+//
+//	triad[:elems]          OpenMP STREAM triad (default 2e7 elements)
+//	triad-gcc[:elems]      the gcc-compiled variant
+//	jacobi:VARIANT[:size[:iters]]
+//	                       VARIANT = threaded | nt | wavefront
+//	sleep:SECONDS          idle (whole-node monitoring mode)
+type WorkloadSpec struct {
+	Kind     string
+	Compiler stream.Compiler
+	Elems    float64
+	Variant  jacobi.Variant
+	Size     int
+	Iters    int
+	Seconds  float64
+}
+
+// ParseWorkload parses the positional workload argument.
+func ParseWorkload(arg string) (WorkloadSpec, error) {
+	parts := strings.Split(arg, ":")
+	switch parts[0] {
+	case "triad", "triad-gcc":
+		w := WorkloadSpec{Kind: "triad", Compiler: stream.ICC, Elems: 2e7}
+		if parts[0] == "triad-gcc" {
+			w.Compiler = stream.GCC
+		}
+		if len(parts) > 1 {
+			v, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil || v <= 0 {
+				return w, fmt.Errorf("cli: bad element count %q", parts[1])
+			}
+			w.Elems = v
+		}
+		return w, nil
+	case "jacobi":
+		w := WorkloadSpec{Kind: "jacobi", Variant: jacobi.Wavefront, Size: 300, Iters: 20}
+		if len(parts) > 1 {
+			switch parts[1] {
+			case "threaded":
+				w.Variant = jacobi.Threaded
+			case "nt":
+				w.Variant = jacobi.ThreadedNT
+			case "wavefront", "blocked":
+				w.Variant = jacobi.Wavefront
+			default:
+				return w, fmt.Errorf("cli: unknown jacobi variant %q", parts[1])
+			}
+		}
+		if len(parts) > 2 {
+			n, err := strconv.Atoi(parts[2])
+			if err != nil || n < 8 {
+				return w, fmt.Errorf("cli: bad jacobi size %q", parts[2])
+			}
+			w.Size = n
+		}
+		if len(parts) > 3 {
+			n, err := strconv.Atoi(parts[3])
+			if err != nil || n < 1 {
+				return w, fmt.Errorf("cli: bad jacobi iters %q", parts[3])
+			}
+			w.Iters = n
+		}
+		return w, nil
+	case "sleep":
+		w := WorkloadSpec{Kind: "sleep", Seconds: 1}
+		if len(parts) > 1 {
+			v, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil || v <= 0 {
+				return w, fmt.Errorf("cli: bad sleep duration %q", parts[1])
+			}
+			w.Seconds = v
+		}
+		return w, nil
+	default:
+		return WorkloadSpec{}, fmt.Errorf("cli: unknown workload %q (triad, triad-gcc, jacobi, sleep)", arg)
+	}
+}
+
+// RunResult summarizes a launched workload.
+type RunResult struct {
+	Summary string
+	Team    *sched.Team
+}
+
+// Run launches the workload on the machine with the given thread count and
+// runtime model; pinner, when non-nil, is engaged exactly as likwid-pin
+// engages it (process first, then the creation hook).
+func (w WorkloadSpec) Run(m *machine.Machine, threads int, model sched.RuntimeModel, pinner *pin.Pinner) (RunResult, error) {
+	switch w.Kind {
+	case "sleep":
+		m.RunIdle(w.Seconds, 0)
+		return RunResult{Summary: fmt.Sprintf("slept %.2f s", w.Seconds)}, nil
+	case "triad":
+		master := m.OS.Spawn("triad", nil)
+		var hook sched.SpawnHook
+		if pinner != nil {
+			if err := pinner.PinProcess(master); err != nil {
+				return RunResult{}, err
+			}
+			hook = pinner.Hook()
+		}
+		team, err := sched.SpawnTeam(m.OS, model, threads, master, hook)
+		if err != nil {
+			return RunResult{}, err
+		}
+		pe := stream.PerElemFor(w.Compiler)
+		var works []*machine.ThreadWork
+		for _, worker := range team.Workers {
+			works = append(works, &machine.ThreadWork{
+				Task: worker, Elems: w.Elems / float64(threads), PerElem: pe,
+			})
+		}
+		elapsed := m.RunPhase(works, 0)
+		bw := w.Elems * stream.BytesPerElem / elapsed / 1e6
+		return RunResult{
+			Summary: fmt.Sprintf("triad (%s): %.0f MB/s over %.1f ms", w.Compiler, bw, elapsed*1e3),
+			Team:    team,
+		}, nil
+	case "jacobi":
+		inst, err := jacobi.Prepare(jacobi.Config{
+			Arch: m.Arch, Variant: w.Variant, Size: w.Size, Iters: w.Iters,
+			Threads: threads, Placement: jacobi.OneSocket,
+		}, m)
+		if err != nil {
+			return RunResult{}, err
+		}
+		res, err := inst.Run()
+		if err != nil {
+			return RunResult{}, err
+		}
+		return RunResult{
+			Summary: fmt.Sprintf("jacobi %s N=%d: %.0f MLUPS", w.Variant, w.Size, res.MLUPS),
+			Team:    inst.Team,
+		}, nil
+	default:
+		return RunResult{}, fmt.Errorf("cli: unknown workload kind %q", w.Kind)
+	}
+}

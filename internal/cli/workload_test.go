@@ -1,0 +1,103 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"likwid/internal/hwdef"
+	"likwid/internal/machine"
+	"likwid/internal/pin"
+	"likwid/internal/sched"
+	"likwid/internal/workloads/jacobi"
+	"likwid/internal/workloads/stream"
+)
+
+func TestParseWorkloadTriad(t *testing.T) {
+	w, err := ParseWorkload("triad")
+	if err != nil || w.Kind != "triad" || w.Compiler != stream.ICC || w.Elems != 2e7 {
+		t.Fatalf("triad = %+v, %v", w, err)
+	}
+	w, err = ParseWorkload("triad:5000000")
+	if err != nil || w.Elems != 5e6 {
+		t.Fatalf("triad:N = %+v, %v", w, err)
+	}
+	w, err = ParseWorkload("triad-gcc")
+	if err != nil || w.Compiler != stream.GCC {
+		t.Fatalf("triad-gcc = %+v, %v", w, err)
+	}
+}
+
+func TestParseWorkloadJacobi(t *testing.T) {
+	w, err := ParseWorkload("jacobi:nt:200:5")
+	if err != nil || w.Variant != jacobi.ThreadedNT || w.Size != 200 || w.Iters != 5 {
+		t.Fatalf("jacobi = %+v, %v", w, err)
+	}
+	w, err = ParseWorkload("jacobi")
+	if err != nil || w.Variant != jacobi.Wavefront {
+		t.Fatalf("jacobi default = %+v, %v", w, err)
+	}
+}
+
+func TestParseWorkloadSleep(t *testing.T) {
+	w, err := ParseWorkload("sleep:0.5")
+	if err != nil || w.Seconds != 0.5 {
+		t.Fatalf("sleep = %+v, %v", w, err)
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "fortnite", "triad:-5", "triad:x",
+		"jacobi:warp", "jacobi:nt:4", "jacobi:nt:100:0",
+		"sleep:0", "sleep:x",
+	} {
+		if _, err := ParseWorkload(bad); err == nil {
+			t.Errorf("workload %q must fail", bad)
+		}
+	}
+}
+
+func TestRunTriadPinned(t *testing.T) {
+	m := machine.New(hwdef.WestmereEP, machine.Options{Seed: 3})
+	p, err := pin.New(m.OS, []int{0, 1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := ParseWorkload("triad:4000000")
+	res, err := w.Run(m, 4, sched.RuntimeGccOMP, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Summary, "MB/s") {
+		t.Errorf("summary = %q", res.Summary)
+	}
+	for i, worker := range res.Team.Workers {
+		if worker.CPU != i {
+			t.Errorf("worker %d on cpu %d, want %d", i, worker.CPU, i)
+		}
+	}
+}
+
+func TestRunJacobi(t *testing.T) {
+	m := machine.New(hwdef.NehalemEP, machine.Options{Seed: 3})
+	w, _ := ParseWorkload("jacobi:nt:100:3")
+	res, err := w.Run(m, 4, sched.RuntimePthreads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Summary, "MLUPS") {
+		t.Errorf("summary = %q", res.Summary)
+	}
+}
+
+func TestRunSleepAdvancesClock(t *testing.T) {
+	m := machine.New(hwdef.WestmereEP, machine.Options{Seed: 3})
+	w, _ := ParseWorkload("sleep:0.25")
+	before := m.Now()
+	if _, err := w.Run(m, 1, sched.RuntimePthreads, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Now()-before < 0.24 {
+		t.Errorf("sleep advanced clock by %v, want ≈ 0.25", m.Now()-before)
+	}
+}

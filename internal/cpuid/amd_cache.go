@@ -1,0 +1,62 @@
+package cpuid
+
+import "likwid/internal/hwdef"
+
+// AMD cache descriptor leaves 0x80000005 (L1) and 0x80000006 (L2/L3).
+//
+// Leaf 0x80000005:
+//
+//	ECX = L1D: [31:24] size KiB, [23:16] associativity, [15:8] lines/tag, [7:0] line size
+//	EDX = L1I: same layout
+//
+// Leaf 0x80000006:
+//
+//	ECX = L2: [31:16] size KiB, [15:12] assoc (encoded), [11:8] lines/tag, [7:0] line size
+//	EDX = L3: [31:18] size / 512 KiB, [15:12] assoc (encoded), [7:0] line size
+
+// amdAssocEncode maps a ways count to the 4-bit AMD associativity field.
+var amdAssocEncode = map[int]uint32{
+	1: 0x1, 2: 0x2, 4: 0x4, 6: 0x5, 8: 0x6, 16: 0x8,
+	32: 0xA, 48: 0xB, 64: 0xC, 96: 0xD, 128: 0xE,
+}
+
+// AMDAssocDecode is the inverse mapping used by the topology decoder.
+var AMDAssocDecode = map[uint32]int{}
+
+func init() {
+	for ways, enc := range amdAssocEncode {
+		AMDAssocDecode[enc] = ways
+	}
+}
+
+func (c *CPU) cacheOf(level int, typ hwdef.CacheType) (hwdef.CacheLevel, bool) {
+	for _, cl := range c.Arch.Caches {
+		if cl.Level == level && cl.Type == typ {
+			return cl, true
+		}
+	}
+	return hwdef.CacheLevel{}, false
+}
+
+func (c *CPU) amdL1() Regs {
+	var regs Regs
+	if d, ok := c.cacheOf(1, hwdef.DataCache); ok {
+		regs.ECX = uint32(d.SizeKB)<<24 | uint32(d.Assoc)<<16 | 1<<8 | uint32(d.LineSize)
+	}
+	if i, ok := c.cacheOf(1, hwdef.InstructionCache); ok {
+		regs.EDX = uint32(i.SizeKB)<<24 | uint32(i.Assoc)<<16 | 1<<8 | uint32(i.LineSize)
+	}
+	return regs
+}
+
+func (c *CPU) amdL2L3() Regs {
+	var regs Regs
+	if l2, ok := c.cacheOf(2, hwdef.UnifiedCache); ok {
+		regs.ECX = uint32(l2.SizeKB)<<16 | amdAssocEncode[l2.Assoc]<<12 | uint32(l2.LineSize)
+	}
+	if l3, ok := c.cacheOf(3, hwdef.UnifiedCache); ok {
+		units := uint32(l3.SizeKB / 512)
+		regs.EDX = units<<18 | amdAssocEncode[l3.Assoc]<<12 | uint32(l3.LineSize)
+	}
+	return regs
+}

@@ -1,0 +1,225 @@
+// Package cpuid emulates the x86 CPUID instruction at register level.
+//
+// Each hardware thread of a simulated node owns one CPU value; querying it
+// with a (leaf, subleaf) pair returns the four 32-bit registers EAX..EDX
+// exactly as the silicon of the modeled architecture would.  The topology
+// decoder consumes only these registers — never the hwdef definition — so
+// the decode logic is exercised the same way the real likwid-topology
+// exercises the instruction.
+//
+// Implemented leaves:
+//
+//	0x0        vendor identification and maximum standard leaf
+//	0x1        family/model/stepping, initial APIC ID, feature flags
+//	0x2        cache descriptor bytes (Pentium M era)
+//	0x4        deterministic cache parameters (Core 2 and later)
+//	0xA        architectural performance monitoring
+//	0xB        extended topology enumeration (Nehalem and later)
+//	0x80000000 maximum extended leaf
+//	0x80000002..4 processor brand string
+//	0x80000005/6  AMD L1 / L2+L3 cache descriptors
+//	0x80000008    AMD physical core count
+package cpuid
+
+import (
+	"likwid/internal/apic"
+	"likwid/internal/hwdef"
+)
+
+// Regs is the CPUID result register set.
+type Regs struct {
+	EAX, EBX, ECX, EDX uint32
+}
+
+// CPU emulates the CPUID instruction as seen from one hardware thread.
+type CPU struct {
+	Arch   *hwdef.Arch
+	Thread apic.ThreadInfo
+	layout apic.Layout
+}
+
+// NewNode builds one CPU per hardware thread of the architecture, indexed by
+// OS processor ID.
+func NewNode(a *hwdef.Arch) []*CPU {
+	layout := apic.LayoutFor(a)
+	threads := apic.Enumerate(a)
+	cpus := make([]*CPU, len(threads))
+	for i, t := range threads {
+		cpus[i] = &CPU{Arch: a, Thread: t, layout: layout}
+	}
+	return cpus
+}
+
+// Query executes CPUID with the given leaf and subleaf.
+func (c *CPU) Query(leaf, subleaf uint32) Regs {
+	switch {
+	case leaf == 0x0:
+		return c.leaf0()
+	case leaf == 0x1:
+		return c.leaf1()
+	case leaf == 0x2 && c.Arch.UsesLeaf2:
+		return c.leaf2()
+	case leaf == 0x4 && c.Arch.HasLeaf4:
+		return c.leaf4(subleaf)
+	case leaf == 0xA && c.Arch.Vendor == hwdef.Intel && c.Arch.MaxLeaf >= 0xA:
+		return c.leafA()
+	case leaf == 0xB && c.Arch.HasLeafB:
+		return c.leafB(subleaf)
+	case leaf == 0x80000000:
+		return Regs{EAX: c.Arch.MaxExtLeaf}
+	case leaf >= 0x80000002 && leaf <= 0x80000004:
+		return c.brandString(leaf)
+	case leaf == 0x80000005 && c.Arch.Vendor == hwdef.AMD:
+		return c.amdL1()
+	case leaf == 0x80000006 && c.Arch.Vendor == hwdef.AMD:
+		return c.amdL2L3()
+	case leaf == 0x80000008 && c.Arch.MaxExtLeaf >= 0x80000008:
+		return c.extLeaf8()
+	default:
+		return Regs{}
+	}
+}
+
+func (c *CPU) leaf0() Regs {
+	vendor := c.Arch.Vendor.String() // 12 characters
+	return Regs{
+		EAX: c.Arch.MaxLeaf,
+		EBX: pack4(vendor[0:4]),
+		EDX: pack4(vendor[4:8]),
+		ECX: pack4(vendor[8:12]),
+	}
+}
+
+// pack4 packs four ASCII bytes little-endian into a register.
+func pack4(s string) uint32 {
+	return uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24
+}
+
+// Signature encodes family/model/stepping in the leaf-1 EAX format,
+// including the extended family/model fields.
+func Signature(family, model, stepping int) uint32 {
+	baseFam := family
+	extFam := 0
+	if family > 0xF {
+		baseFam = 0xF
+		extFam = family - 0xF
+	}
+	baseMod := model & 0xF
+	extMod := model >> 4
+	return uint32(extFam)<<20 | uint32(extMod)<<16 |
+		uint32(baseFam)<<8 | uint32(baseMod)<<4 | uint32(stepping)&0xF
+}
+
+// DecodeSignature recovers display family and model from a leaf-1 EAX value.
+func DecodeSignature(eax uint32) (family, model, stepping int) {
+	baseFam := int(eax>>8) & 0xF
+	extFam := int(eax>>20) & 0xFF
+	baseMod := int(eax>>4) & 0xF
+	extMod := int(eax>>16) & 0xF
+	family = baseFam
+	if baseFam == 0xF {
+		family += extFam
+	}
+	model = baseMod
+	if baseFam == 0x6 || baseFam == 0xF {
+		model |= extMod << 4
+	}
+	return family, model, int(eax) & 0xF
+}
+
+// Leaf-1 EDX feature bits used by the decoder.
+const (
+	FeatTSC  = 1 << 4
+	FeatMSR  = 1 << 5
+	FeatAPIC = 1 << 9
+	FeatSSE  = 1 << 25
+	FeatSSE2 = 1 << 26
+	FeatHTT  = 1 << 28
+)
+
+func (c *CPU) leaf1() Regs {
+	logicalPerPkg := uint32(1) << c.layout.PkgShift()
+	ebx := c.Thread.APICID<<24 | logicalPerPkg<<16 | 8<<8 // CLFLUSH size 8*8=64
+	edx := uint32(FeatTSC | FeatMSR | FeatAPIC | FeatSSE | FeatSSE2)
+	if c.Arch.HWThreads() > c.Arch.Cores() || c.Arch.Cores() > c.Arch.Sockets {
+		edx |= FeatHTT // multiple logical processors per package
+	}
+	return Regs{
+		EAX: Signature(c.Arch.Family, c.Arch.Model, c.Arch.Stepping),
+		EBX: ebx,
+		ECX: 1, // SSE3
+		EDX: edx,
+	}
+}
+
+// leafA reports architectural performance monitoring capabilities: the
+// version, the number of programmable counters per thread, and the number of
+// fixed-function counters.
+func (c *CPU) leafA() Regs {
+	version := uint32(2)
+	if c.Arch.HasLeafB {
+		version = 3
+	}
+	fixed := uint32(0)
+	if c.Arch.HasFixedCtr {
+		fixed = 3
+	}
+	return Regs{
+		EAX: version | uint32(c.Arch.NumPMC)<<8 | 48<<16, // 48-bit counters
+		EDX: fixed | 48<<5,
+	}
+}
+
+// Level types reported in leaf 0xB ECX[15:8].
+const (
+	LevelTypeInvalid = 0
+	LevelTypeSMT     = 1
+	LevelTypeCore    = 2
+)
+
+func (c *CPU) leafB(subleaf uint32) Regs {
+	x2apic := c.Thread.APICID
+	switch subleaf {
+	case 0: // SMT level
+		return Regs{
+			EAX: uint32(c.layout.SMTBits),
+			EBX: uint32(c.Arch.ThreadsPerCore),
+			ECX: subleaf | LevelTypeSMT<<8,
+			EDX: x2apic,
+		}
+	case 1: // core level
+		return Regs{
+			EAX: uint32(c.layout.PkgShift()),
+			EBX: uint32(c.Arch.ThreadsPerCore * c.Arch.CoresPerSocket),
+			ECX: subleaf | LevelTypeCore<<8,
+			EDX: x2apic,
+		}
+	default:
+		return Regs{ECX: subleaf, EDX: x2apic}
+	}
+}
+
+func (c *CPU) brandString(leaf uint32) Regs {
+	name := c.Arch.ModelName
+	for len(name) < 48 {
+		name += "\x00"
+	}
+	off := int(leaf-0x80000002) * 16
+	chunk := name[off : off+16]
+	return Regs{
+		EAX: pack4(chunk[0:4]),
+		EBX: pack4(chunk[4:8]),
+		ECX: pack4(chunk[8:12]),
+		EDX: pack4(chunk[12:16]),
+	}
+}
+
+func (c *CPU) extLeaf8() Regs {
+	// ECX[7:0] = number of physical cores per package - 1 (AMD); Intel
+	// leaves this zero.  EAX carries address sizes (40 bits phys).
+	regs := Regs{EAX: 40 | 48<<8}
+	if c.Arch.Vendor == hwdef.AMD {
+		regs.ECX = uint32(c.Arch.CoresPerSocket - 1)
+	}
+	return regs
+}

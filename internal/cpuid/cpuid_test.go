@@ -1,0 +1,207 @@
+package cpuid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"likwid/internal/hwdef"
+)
+
+func TestVendorString(t *testing.T) {
+	for _, name := range []string{"westmereEP", "istanbul"} {
+		a, _ := hwdef.Lookup(name)
+		c := NewNode(a)[0]
+		r := c.Query(0, 0)
+		got := unpack(r.EBX) + unpack(r.EDX) + unpack(r.ECX)
+		if got != a.Vendor.String() {
+			t.Errorf("%s: vendor = %q, want %q", name, got, a.Vendor.String())
+		}
+	}
+}
+
+func unpack(v uint32) string {
+	return string([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+func TestSignatureRoundtripRegistered(t *testing.T) {
+	for _, name := range hwdef.Names() {
+		a, _ := hwdef.Lookup(name)
+		fam, mod, step := DecodeSignature(Signature(a.Family, a.Model, a.Stepping))
+		if fam != a.Family || mod != a.Model || step != a.Stepping {
+			t.Errorf("%s: roundtrip (%d,%d,%d) != (%d,%d,%d)",
+				name, fam, mod, step, a.Family, a.Model, a.Stepping)
+		}
+	}
+}
+
+func TestSignatureRoundtripProperty(t *testing.T) {
+	// Family 6 (Intel) and 15+ (AMD) with models up to 255 must roundtrip.
+	f := func(famSel bool, model uint8, stepping uint8) bool {
+		family := 6
+		if famSel {
+			family = 15 + int(model%16)
+		}
+		fam, mod, step := DecodeSignature(Signature(family, int(model), int(stepping%16)))
+		return fam == family && mod == int(model) && step == int(stepping%16)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeaf1APICIDs(t *testing.T) {
+	a := hwdef.WestmereEP
+	cpus := NewNode(a)
+	seen := map[uint32]bool{}
+	for _, c := range cpus {
+		id := c.Query(1, 0).EBX >> 24
+		if seen[id] {
+			t.Fatalf("duplicate initial APIC ID %d", id)
+		}
+		seen[id] = true
+	}
+	// HTT flag must be set on a multi-threaded package.
+	if cpus[0].Query(1, 0).EDX&FeatHTT == 0 {
+		t.Error("HTT flag not set on SMT part")
+	}
+}
+
+func TestLeafBWestmere(t *testing.T) {
+	c := NewNode(hwdef.WestmereEP)[13] // SMT sibling of core 1 socket 0
+	sub0 := c.Query(0xB, 0)
+	if sub0.EAX != 1 {
+		t.Errorf("SMT shift = %d, want 1", sub0.EAX)
+	}
+	if typ := sub0.ECX >> 8 & 0xFF; typ != LevelTypeSMT {
+		t.Errorf("subleaf 0 level type = %d, want SMT", typ)
+	}
+	sub1 := c.Query(0xB, 1)
+	if sub1.EAX != 5 {
+		t.Errorf("package shift = %d, want 5 (1 SMT bit + 4 core bits)", sub1.EAX)
+	}
+	if sub1.EBX != 12 {
+		t.Errorf("logical per package = %d, want 12", sub1.EBX)
+	}
+	// x2APIC ID of proc 13: socket 0, phys core 1, smt 1 -> 0b00011.
+	if sub0.EDX != 3 {
+		t.Errorf("x2APIC = %d, want 3", sub0.EDX)
+	}
+	// Termination.
+	sub2 := c.Query(0xB, 2)
+	if sub2.EBX != 0 || sub2.ECX>>8&0xFF != LevelTypeInvalid {
+		t.Error("subleaf 2 must terminate enumeration")
+	}
+}
+
+func TestLeaf4Westmere(t *testing.T) {
+	c := NewNode(hwdef.WestmereEP)[0]
+	// Subleaf 0 is the L1D: 32 kB, 8-way, 64 sets, shared by 2 (span 2).
+	r := c.Query(4, 0)
+	if typ := r.EAX & 0x1F; typ != uint32(hwdef.DataCache) {
+		t.Fatalf("subleaf 0 type = %d, want data", typ)
+	}
+	ways := r.EBX>>22&0x3FF + 1
+	line := r.EBX&0xFFF + 1
+	sets := r.ECX + 1
+	if ways != 8 || line != 64 || sets != 64 {
+		t.Errorf("L1D geometry = %d-way %dB %d sets, want 8/64/64", ways, line, sets)
+	}
+	if span := r.EAX>>14&0xFFF + 1; span != 2 {
+		t.Errorf("L1D span = %d, want 2", span)
+	}
+	// The L3 (subleaf 3) spans the whole package: 32 APIC slots.
+	r3 := c.Query(4, 3)
+	if span := r3.EAX>>14&0xFFF + 1; span != 32 {
+		t.Errorf("L3 span = %d, want 32 (full package APIC space)", span)
+	}
+	if r3.EDX&2 != 0 {
+		t.Error("Westmere L3 must report non-inclusive")
+	}
+	// Enumeration terminates.
+	if c.Query(4, 4).EAX&0x1F != 0 {
+		t.Error("subleaf 4 must be the null descriptor")
+	}
+}
+
+func TestLeaf2PentiumM(t *testing.T) {
+	c := NewNode(hwdef.PentiumM)[0]
+	r := c.Query(2, 0)
+	if r.EAX&0xFF != 1 {
+		t.Fatalf("leaf 2 AL = %d, want 1", r.EAX&0xFF)
+	}
+	// Collect descriptor bytes and expect the 32 kB L1D (0x2C) and the
+	// 2 MB L2 (0x7D) of the Dothan.
+	found := map[byte]bool{}
+	for _, reg := range []uint32{r.EAX, r.EBX, r.ECX, r.EDX} {
+		for i := 0; i < 4; i++ {
+			found[byte(reg>>(8*i))] = true
+		}
+	}
+	if !found[0x2C] || !found[0x7D] {
+		t.Errorf("descriptors missing: got %v, want 0x2C and 0x7D present", found)
+	}
+}
+
+func TestBrandString(t *testing.T) {
+	c := NewNode(hwdef.Core2Quad)[0]
+	var s string
+	for leaf := uint32(0x80000002); leaf <= 0x80000004; leaf++ {
+		r := c.Query(leaf, 0)
+		s += unpack(r.EAX) + unpack(r.EBX) + unpack(r.ECX) + unpack(r.EDX)
+	}
+	for len(s) > 0 && s[len(s)-1] == 0 {
+		s = s[:len(s)-1]
+	}
+	if s != "Intel Core 2 45nm processor" {
+		t.Errorf("brand = %q", s)
+	}
+}
+
+func TestAMDLeaves(t *testing.T) {
+	c := NewNode(hwdef.Istanbul)[0]
+	l1 := c.Query(0x80000005, 0)
+	if size := l1.ECX >> 24; size != 64 {
+		t.Errorf("L1D size = %d kB, want 64", size)
+	}
+	l23 := c.Query(0x80000006, 0)
+	if size := l23.ECX >> 16; size != 512 {
+		t.Errorf("L2 size = %d kB, want 512", size)
+	}
+	if units := l23.EDX >> 18; units*512 != 6144 {
+		t.Errorf("L3 size = %d kB, want 6144", units*512)
+	}
+	if assoc := AMDAssocDecode[l23.EDX>>12&0xF]; assoc != 48 {
+		t.Errorf("L3 assoc = %d, want 48", assoc)
+	}
+	ext8 := c.Query(0x80000008, 0)
+	if cores := ext8.ECX&0xFF + 1; cores != 6 {
+		t.Errorf("cores per package = %d, want 6", cores)
+	}
+}
+
+func TestLeafAPerfmon(t *testing.T) {
+	c := NewNode(hwdef.WestmereEP)[0]
+	r := c.Query(0xA, 0)
+	if pmc := r.EAX >> 8 & 0xFF; pmc != 4 {
+		t.Errorf("PMC count = %d, want 4", pmc)
+	}
+	if fixed := r.EDX & 0x1F; fixed != 3 {
+		t.Errorf("fixed counters = %d, want 3", fixed)
+	}
+	// Core 2: version 2, 2 PMCs.
+	c2 := NewNode(hwdef.Core2Quad)[0]
+	r2 := c2.Query(0xA, 0)
+	if pmc := r2.EAX >> 8 & 0xFF; pmc != 2 {
+		t.Errorf("Core2 PMC count = %d, want 2", pmc)
+	}
+}
+
+func TestUnimplementedLeafIsZero(t *testing.T) {
+	c := NewNode(hwdef.K8)[0]
+	if r := c.Query(0xB, 0); r != (Regs{}) {
+		t.Errorf("leaf 0xB on K8 = %+v, want zeros", r)
+	}
+	if r := c.Query(0x4, 0); r != (Regs{}) {
+		t.Errorf("leaf 0x4 on K8 = %+v, want zeros", r)
+	}
+}

@@ -1,0 +1,125 @@
+package cpuid
+
+import "likwid/internal/hwdef"
+
+// Leaf 0x4 — deterministic cache parameters (Intel, Core 2 and later).
+//
+// Each subleaf describes one cache.  Encoding per the SDM:
+//
+//	EAX[4:0]   cache type (0 terminates enumeration)
+//	EAX[7:5]   cache level
+//	EAX[8]     self-initializing
+//	EAX[25:14] max *addressable* hardware threads sharing this cache - 1.
+//	           This is the APIC-ID span of the sharing group, a power of
+//	           two; on parts with non-contiguous core IDs (Westmere EP) it
+//	           exceeds the actual thread count, and decoders must treat it
+//	           as a mask width, not a population count.
+//	EAX[31:26] max *addressable* processor cores in the package - 1 (the
+//	           power-of-two span of the core-ID field, not a population
+//	           count — decoders derive the SMT width from it)
+//	EBX[11:0]  line size - 1
+//	EBX[21:12] physical line partitions - 1
+//	EBX[31:22] ways of associativity - 1
+//	ECX        number of sets - 1
+//	EDX[1]     cache inclusiveness
+func (c *CPU) leaf4(subleaf uint32) Regs {
+	caches := c.Arch.Caches
+	if int(subleaf) >= len(caches) {
+		return Regs{} // type 0: no more caches
+	}
+	cl := caches[subleaf]
+	span := c.apicSpan(cl)
+	coreSpan := uint32(1) << c.layout.CoreBits
+	eax := uint32(cl.Type) | uint32(cl.Level)<<5 | 1<<8 |
+		uint32(span-1)<<14 | (coreSpan-1)<<26
+	ebx := uint32(cl.LineSize-1) | 0<<12 | uint32(cl.Assoc-1)<<22
+	ecx := uint32(cl.Sets - 1)
+	var edx uint32
+	if cl.Inclusive {
+		edx |= 1 << 1
+	}
+	return Regs{EAX: eax, EBX: ebx, ECX: ecx, EDX: edx}
+}
+
+// apicSpan computes the APIC-ID address span covered by one instance of the
+// cache: caches shared by the whole package span the full package field;
+// narrower caches span the SMT field times the (power-of-two) core group.
+func (c *CPU) apicSpan(cl hwdef.CacheLevel) int {
+	threadsPerSocket := c.Arch.CoresPerSocket * c.Arch.ThreadsPerCore
+	if cl.SharedBy >= threadsPerSocket {
+		return 1 << c.layout.PkgShift()
+	}
+	coresSharing := cl.SharedBy / c.Arch.ThreadsPerCore
+	if coresSharing < 1 {
+		coresSharing = 1
+	}
+	bits := c.layout.SMTBits + log2ceil(coresSharing)
+	return 1 << bits
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return b
+}
+
+// Leaf 0x2 — descriptor-byte cache reporting (Pentium M era).
+//
+// The low byte of EAX is the number of times CPUID must be executed with
+// EAX=2 (always 1 here); every other byte of the four registers is a cache
+// descriptor, valid when the register's bit 31 is clear.
+
+// Descriptor is one leaf-0x2 cache descriptor.
+type Descriptor struct {
+	Level    int
+	Type     hwdef.CacheType
+	SizeKB   int
+	Assoc    int
+	LineSize int
+}
+
+// DescriptorTable is the subset of the Intel descriptor catalogue needed for
+// the architectures in the registry.  The topology decoder uses it to turn
+// leaf-0x2 bytes back into cache parameters.
+var DescriptorTable = map[byte]Descriptor{
+	0x2C: {Level: 1, Type: hwdef.DataCache, SizeKB: 32, Assoc: 8, LineSize: 64},
+	0x30: {Level: 1, Type: hwdef.InstructionCache, SizeKB: 32, Assoc: 8, LineSize: 64},
+	0x60: {Level: 1, Type: hwdef.DataCache, SizeKB: 16, Assoc: 8, LineSize: 64},
+	0x7D: {Level: 2, Type: hwdef.UnifiedCache, SizeKB: 2048, Assoc: 8, LineSize: 64},
+	0x7C: {Level: 2, Type: hwdef.UnifiedCache, SizeKB: 1024, Assoc: 8, LineSize: 64},
+	0x85: {Level: 2, Type: hwdef.UnifiedCache, SizeKB: 2048, Assoc: 8, LineSize: 32},
+}
+
+// descriptorFor finds the table byte matching a cache level, or 0.
+func descriptorFor(cl hwdef.CacheLevel) byte {
+	for b, d := range DescriptorTable {
+		if d.Level == cl.Level && d.Type == cl.Type && d.SizeKB == cl.SizeKB &&
+			d.Assoc == cl.Assoc && d.LineSize == cl.LineSize {
+			return b
+		}
+	}
+	return 0
+}
+
+func (c *CPU) leaf2() Regs {
+	bytes := []byte{0x01} // AL: run once
+	for _, cl := range c.Arch.Caches {
+		if b := descriptorFor(cl); b != 0 {
+			bytes = append(bytes, b)
+		}
+	}
+	for len(bytes) < 16 {
+		bytes = append(bytes, 0x00)
+	}
+	packReg := func(b []byte) uint32 {
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	}
+	return Regs{
+		EAX: packReg(bytes[0:4]),
+		EBX: packReg(bytes[4:8]),
+		ECX: packReg(bytes[8:12]),
+		EDX: packReg(bytes[12:16]),
+	}
+}

@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// reduced returns a spec with few samples for test speed.
+func reduced(s StreamSpec, samples int) StreamSpec {
+	s.Samples = samples
+	return s
+}
+
+func TestFig4UnpinnedVsFig5Pinned(t *testing.T) {
+	unpinned, err := reduced(Fig4, 15).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := reduced(Fig5, 5).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unpinned) != 24 || len(pinned) != 24 {
+		t.Fatalf("series lengths %d/%d, want 24", len(unpinned), len(pinned))
+	}
+	// Pinned saturates near 41.6 GB/s from 6 threads on.  Odd thread
+	// counts split unevenly across the sockets, so the loaded socket
+	// straggles and the run-average dips — only even counts must sit at
+	// the plateau.
+	for _, p := range pinned[5:] {
+		if p.Stats.Median < 33000 || p.Stats.Median > 43000 {
+			t.Errorf("Fig5 %d threads median %v MB/s, want near the 41600 plateau", p.Threads, p.Stats.Median)
+		}
+		if p.Threads%2 == 0 && p.Stats.Median < 39500 {
+			t.Errorf("Fig5 %d threads (balanced) median %v MB/s, want ≈ 41600", p.Threads, p.Stats.Median)
+		}
+	}
+	// The unpinned IQR at low thread counts dwarfs the pinned one.
+	if unpinned[3].Stats.IQR() < 4*pinned[3].Stats.IQR()+1 {
+		t.Errorf("Fig4 4-thread IQR %v vs Fig5 %v: unpinned variance missing",
+			unpinned[3].Stats.IQR(), pinned[3].Stats.IQR())
+	}
+	// Unpinned never beats pinned's best.
+	for i := range unpinned {
+		if unpinned[i].Stats.Max > pinned[i].Stats.Max*1.12 {
+			t.Errorf("thread %d: unpinned max %v above pinned max %v",
+				i+1, unpinned[i].Stats.Max, pinned[i].Stats.Max)
+		}
+	}
+}
+
+func TestFig6MatchesFig5(t *testing.T) {
+	kmp, err := reduced(Fig6, 4).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	likwid, err := reduced(Fig5, 4).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range kmp {
+		ratio := kmp[i].Stats.Median / likwid[i].Stats.Median
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("threads %d: KMP scatter %v vs likwid-pin %v",
+				kmp[i].Threads, kmp[i].Stats.Median, likwid[i].Stats.Median)
+		}
+	}
+}
+
+func TestFig7GccLowCountsBad(t *testing.T) {
+	gccUnpinned, err := reduced(Fig7, 15).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gccPinned, err := reduced(Fig8, 5).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "for gcc the variance for this region is small and results
+	// are bad with high probability" — at 6 threads the unpinned median
+	// sits well below the pinned one.
+	six := gccUnpinned[5].Stats
+	pinnedSix := gccPinned[5].Stats
+	if six.Median > pinnedSix.Median*0.75 {
+		t.Errorf("gcc 6 threads: unpinned median %v not clearly below pinned %v",
+			six.Median, pinnedSix.Median)
+	}
+	// At 12 threads the clustered placement costs a factor ~2.
+	twelve := gccUnpinned[11].Stats
+	pinnedTwelve := gccPinned[11].Stats
+	if twelve.Median > pinnedTwelve.Median*0.65 {
+		t.Errorf("gcc 12 threads: unpinned median %v vs pinned %v, want ≈ half",
+			twelve.Median, pinnedTwelve.Median)
+	}
+}
+
+func TestFig9And10Istanbul(t *testing.T) {
+	unpinned, err := reduced(Fig9, 15).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := reduced(Fig10, 5).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pinned) != 12 {
+		t.Fatalf("Istanbul series length %d, want 12", len(pinned))
+	}
+	// Pinned: monotone scaling to ~25.6 GB/s.
+	last := pinned[11].Stats.Median
+	if last < 22000 || last > 27000 {
+		t.Errorf("Fig10 12-thread median %v, want ≈ 25600", last)
+	}
+	// Scaling is monotone up to socket-imbalance dips at odd counts.
+	for i := 1; i < 12; i++ {
+		if pinned[i].Stats.Median < pinned[i-1].Stats.Median*0.90 {
+			t.Errorf("Fig10 not monotone at %d threads: %v -> %v",
+				i+1, pinned[i-1].Stats.Median, pinned[i].Stats.Median)
+		}
+	}
+	// Unpinned shows spread across the whole range (Fig. 9).
+	var spreads int
+	for _, p := range unpinned[2:] {
+		if p.Stats.IQR() > p.Stats.Median*0.04 {
+			spreads++
+		}
+	}
+	if spreads < 4 {
+		t.Errorf("Fig9: only %d of %d thread counts show spread", spreads, len(unpinned)-2)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	points, err := Fig11([]int{100, 300, 500}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.WavefrontOneSock <= p.ThreadedBaseline {
+			t.Errorf("size %d: correct wavefront %v must beat baseline %v",
+				p.Size, p.WavefrontOneSock, p.ThreadedBaseline)
+		}
+		if p.WavefrontSplit >= p.ThreadedBaseline {
+			t.Errorf("size %d: wrong pinning %v must fall below baseline %v",
+				p.Size, p.WavefrontSplit, p.ThreadedBaseline)
+		}
+		factor := p.WavefrontOneSock / p.WavefrontSplit
+		if factor < 1.5 || factor > 3.0 {
+			t.Errorf("size %d: wrong-pinning factor %v, want ≈ 2", p.Size, factor)
+		}
+	}
+	out := RenderFig11(points)
+	if !strings.Contains(out, "wavefront 1x4") {
+		t.Error("Fig11 render missing series header")
+	}
+}
+
+func TestTableIIAgainstPaper(t *testing.T) {
+	rows, err := TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	within := func(got, want, tol float64) bool {
+		return got > want*(1-tol) && got < want*(1+tol)
+	}
+	// Performance within 5% of the paper's numbers.
+	for _, r := range rows {
+		if !within(r.MLUPS, r.PaperMLUPS, 0.05) {
+			t.Errorf("%s: %0.f MLUPS, paper %0.f", r.Variant, r.MLUPS, r.PaperMLUPS)
+		}
+		// Counter plausibility: in ≈ out as the paper measured.
+		if !within(r.L3LinesIn, r.L3LinesOut, 0.05) {
+			t.Errorf("%s: lines in %v != lines out %v", r.Variant, r.L3LinesIn, r.L3LinesOut)
+		}
+	}
+	// Traffic ratios: blocked saves ≈4.5-6x vs threaded; NT saves ≈
+	// one-third to one-half.
+	ratioBlocked := rows[0].VolumeGB / rows[2].VolumeGB
+	if ratioBlocked < 4 || ratioBlocked > 7 {
+		t.Errorf("blocked traffic reduction = %vx, paper 4.5x", ratioBlocked)
+	}
+	ratioNT := rows[1].VolumeGB / rows[0].VolumeGB
+	if ratioNT < 0.45 || ratioNT > 0.7 {
+		t.Errorf("NT/threaded volume = %v, paper 0.58", ratioNT)
+	}
+	// The blocked volume magnitude lands on the paper's 16.57 GB.
+	if !within(rows[2].VolumeGB, rows[2].PaperVolume, 0.1) {
+		t.Errorf("blocked volume %v GB, paper %v", rows[2].VolumeGB, rows[2].PaperVolume)
+	}
+	out := RenderTableII(rows)
+	for _, want := range []string{"UNC_L3_LINES_IN_ANY", "Performance [MLUPS]", "threaded (NT)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II render missing %q", want)
+		}
+	}
+}
+
+func TestFig1TopologyListings(t *testing.T) {
+	out, err := Fig1Topology("nehalemEP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Sockets:\t\t2", "Cores per socket:\t4", "Threads per core:\t2", "8 MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1 nehalem missing %q", want)
+		}
+	}
+	out, err = Fig1Topology("westmereEP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Socket 0: ( 0 12 1 13 2 14 3 15 4 16 5 17 )") {
+		t.Error("Fig1 westmere missing the paper's socket line")
+	}
+}
+
+func TestFig2GroupMapping(t *testing.T) {
+	out, err := Fig2GroupMapping("core2", "FLOPS_DP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"FIXC0 <- INSTR_RETIRED_ANY",
+		"PMC0  <- SIMD_COMP_INST_RETIRED_PACKED_DOUBLE",
+		"DP MFlops/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig2 missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3PinMechanism(t *testing.T) {
+	out, err := Fig3PinMechanism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"likwid-pin -c 0-3 -t intel",
+		"skipped by mask",
+		"worker0->core0 worker1->core1 worker2->core2 worker3->core3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig3 missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkerListing(t *testing.T) {
+	out, err := MarkerListing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"CPU type:\tIntel Core 2 45nm processor",
+		"Measuring group FLOPS_DP",
+		"Region: Init",
+		"Region: Benchmark",
+		"DP MFlops/s",
+		"8.192e+06", // the paper's packed count per core
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("marker listing missing %q", want)
+		}
+	}
+}
+
+func TestEventGroupTable(t *testing.T) {
+	out, err := EventGroupTable("westmereEP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"FLOPS_DP", "Double Precision MFlops/s",
+		"MEM", "Main memory bandwidth in MBytes/s",
+		"TLB", "Translation lookaside buffer miss rate/ratio",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("group table missing %q", want)
+		}
+	}
+}
+
+func TestFeaturesListing(t *testing.T) {
+	out, err := FeaturesListing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Intel Core 2 65nm processor",
+		"Hardware Prefetcher: enabled",
+		"$ likwid-features -u CL_PREFETCHER",
+		"CL_PREFETCHER: disabled",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("features listing missing %q", want)
+		}
+	}
+}
+
+func TestAblationMultiplexErrorShrinks(t *testing.T) {
+	points, err := AblationMultiplex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 3 {
+		t.Fatal("too few points")
+	}
+	first, last := points[0], points[len(points)-1]
+	if last.RelError >= first.RelError {
+		t.Errorf("multiplex error must shrink with run length: %v -> %v",
+			first.RelError, last.RelError)
+	}
+	if last.RelError > 0.08 {
+		t.Errorf("long-run multiplex error %v, want < 8%%", last.RelError)
+	}
+}
+
+func TestAblationSocketLock(t *testing.T) {
+	r, err := AblationSocketLock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Overcount < 3.5 || r.Overcount > 4.5 {
+		t.Errorf("naive overcount = %vx, want ≈ 4x (4 measured cores)", r.Overcount)
+	}
+	rel := (r.LockedSum - r.TrueLines) / r.TrueLines
+	if rel > 0.02 || rel < -0.02 {
+		t.Errorf("locked sum %v vs truth %v", r.LockedSum, r.TrueLines)
+	}
+}
+
+func TestAblationPrefetchers(t *testing.T) {
+	points, err := AblationPrefetchers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, p := range points {
+		byName[p.Disabled] = p.BandwidthMBs
+	}
+	if byName["all"] >= byName["none"] {
+		t.Errorf("disabling all prefetchers must cost bandwidth: %v vs %v",
+			byName["all"], byName["none"])
+	}
+	if byName["HW_PREFETCHER"] >= byName["none"] {
+		t.Errorf("disabling the streamer must cost bandwidth: %v vs %v",
+			byName["HW_PREFETCHER"], byName["none"])
+	}
+}
+
+func TestAblationPlacement(t *testing.T) {
+	points, err := AblationPlacement(6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Compact clusters on one socket: lower median than spread.
+	if points[1].Stats.Median >= points[0].Stats.Median {
+		t.Errorf("compact median %v not below spread median %v",
+			points[1].Stats.Median, points[0].Stats.Median)
+	}
+}
+
+func TestAblationSMTOrder(t *testing.T) {
+	r, err := AblationSMTOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PhysicalFirstMBs <= r.SiblingFirstMBs*1.5 {
+		t.Errorf("physical-first %v vs sibling-first %v: expected ~2x gap",
+			r.PhysicalFirstMBs, r.SiblingFirstMBs)
+	}
+}
+
+func TestStreamRender(t *testing.T) {
+	points, err := reduced(Fig10, 3).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Fig10.Render(points)
+	if !strings.Contains(out, "Fig. 10") || !strings.Contains(out, "median") {
+		t.Error("render missing headers")
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 14 {
+		t.Errorf("render row count wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"likwid/internal/hwdef"
+	"likwid/internal/machine"
+	"likwid/internal/perfctr"
+	"likwid/internal/workloads/jacobi"
+)
+
+// Fig11Point is one grid size of Fig. 11 with the three curves.
+type Fig11Point struct {
+	Size             int
+	WavefrontOneSock float64 // circles: wavefront 1x4, one socket
+	WavefrontSplit   float64 // squares: wavefront, 2 threads per socket
+	ThreadedBaseline float64 // triangles: threaded with NT stores
+}
+
+// Fig11Sizes is the default sweep of the figure (50..500).
+func Fig11Sizes() []int {
+	var sizes []int
+	for n := 50; n <= 500; n += 50 {
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+// Fig11 reproduces "Performance of an optimized 3D Jacobi smoother versus
+// linear problem size on a dual-socket Intel Nehalem EP node".
+func Fig11(sizes []int, iters int) ([]Fig11Point, error) {
+	arch, err := hwdef.Lookup("nehalemEP")
+	if err != nil {
+		return nil, err
+	}
+	if iters < 1 {
+		iters = 20
+	}
+	var out []Fig11Point
+	for _, size := range sizes {
+		pt := Fig11Point{Size: size}
+		runs := []struct {
+			target    *float64
+			variant   jacobi.Variant
+			placement jacobi.Placement
+		}{
+			{&pt.WavefrontOneSock, jacobi.Wavefront, jacobi.OneSocket},
+			{&pt.WavefrontSplit, jacobi.Wavefront, jacobi.SplitPairs},
+			{&pt.ThreadedBaseline, jacobi.ThreadedNT, jacobi.OneSocket},
+		}
+		for _, r := range runs {
+			res, err := jacobi.Run(jacobi.Config{
+				Arch: arch, Variant: r.variant, Size: size, Iters: iters,
+				Threads: 4, Placement: r.placement,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig 11, size %d: %w", size, err)
+			}
+			*r.target = res.MLUPS
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderFig11 prints the three series.
+func RenderFig11(points []Fig11Point) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig. 11: 3D Jacobi smoother vs linear problem size, Nehalem EP [MLUPS]")
+	fmt.Fprintf(&b, "%8s %18s %18s %18s\n", "size", "wavefront 1x4", "wavefront split", "threaded (NT)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %18.0f %18.0f %18.0f\n",
+			p.Size, p.WavefrontOneSock, p.WavefrontSplit, p.ThreadedBaseline)
+	}
+	return b.String()
+}
+
+// TableIIRow is one column of the paper's Table II, measured with
+// likwid-perfCtr's uncore counters (socket lock engaged).
+type TableIIRow struct {
+	Variant     string
+	L3LinesIn   float64
+	L3LinesOut  float64
+	VolumeGB    float64 // (in + out) * 64 B, the paper's accounting
+	MLUPS       float64
+	PaperVolume float64
+	PaperMLUPS  float64
+}
+
+// paperTableII holds the published reference values.
+var paperTableII = map[jacobi.Variant]struct {
+	linesIn, linesOut, volume, mlups float64
+}{
+	jacobi.Threaded:   {5.91e8, 5.87e8, 75.39, 784},
+	jacobi.ThreadedNT: {3.44e8, 3.43e8, 43.97, 1032},
+	jacobi.Wavefront:  {1.30e8, 1.29e8, 16.57, 1331},
+}
+
+// TableII reproduces the uncore measurement of §IV-C: the three Jacobi
+// variants on one Nehalem EP socket, L3 lines in/out from the socket's
+// uncore counters.
+func TableII() ([]TableIIRow, error) {
+	arch, err := hwdef.Lookup("nehalemEP")
+	if err != nil {
+		return nil, err
+	}
+	variants := []jacobi.Variant{jacobi.Threaded, jacobi.ThreadedNT, jacobi.Wavefront}
+	var rows []TableIIRow
+	for _, variant := range variants {
+		cfg := jacobi.TableIIConfig(arch, variant)
+		m := machine.New(arch, machine.Options{Seed: 1})
+		specs, err := perfctr.ParseEventList("UNC_L3_LINES_IN_ANY:UPMC0,UNC_L3_LINES_OUT_ANY:UPMC1")
+		if err != nil {
+			return nil, err
+		}
+		col, err := perfctr.NewCollector(m, []int{0, 1, 2, 3}, specs, perfctr.Options{})
+		if err != nil {
+			return nil, err
+		}
+		inst, err := jacobi.Prepare(cfg, m)
+		if err != nil {
+			return nil, err
+		}
+		if err := col.Start(); err != nil {
+			return nil, err
+		}
+		res, err := inst.Run()
+		if err != nil {
+			return nil, err
+		}
+		if err := col.Stop(); err != nil {
+			return nil, err
+		}
+		r := col.Read()
+		linesIn := r.Counts["UNC_L3_LINES_IN_ANY"][0] // socket leader column
+		linesOut := r.Counts["UNC_L3_LINES_OUT_ANY"][0]
+		paper := paperTableII[variant]
+		rows = append(rows, TableIIRow{
+			Variant:     variant.String(),
+			L3LinesIn:   linesIn,
+			L3LinesOut:  linesOut,
+			VolumeGB:    (linesIn + linesOut) * 64 / 1e9,
+			MLUPS:       res.MLUPS,
+			PaperVolume: paper.volume,
+			PaperMLUPS:  paper.mlups,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTableII prints the measured-vs-paper table.
+func RenderTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table II: likwid-perfCtr measurements on one Nehalem EP socket")
+	fmt.Fprintf(&b, "%-28s %14s %14s %14s\n", "", rows[0].Variant, rows[1].Variant, rows[2].Variant)
+	line := func(name string, f func(TableIIRow) string) {
+		fmt.Fprintf(&b, "%-28s %14s %14s %14s\n", name, f(rows[0]), f(rows[1]), f(rows[2]))
+	}
+	line("UNC_L3_LINES_IN_ANY", func(r TableIIRow) string { return fmt.Sprintf("%.2e", r.L3LinesIn) })
+	line("UNC_L3_LINES_OUT_ANY", func(r TableIIRow) string { return fmt.Sprintf("%.2e", r.L3LinesOut) })
+	line("Total data volume [GB]", func(r TableIIRow) string { return fmt.Sprintf("%.2f", r.VolumeGB) })
+	line("Performance [MLUPS]", func(r TableIIRow) string { return fmt.Sprintf("%.0f", r.MLUPS) })
+	line("Paper volume [GB]", func(r TableIIRow) string { return fmt.Sprintf("%.2f", r.PaperVolume) })
+	line("Paper performance [MLUPS]", func(r TableIIRow) string { return fmt.Sprintf("%.0f", r.PaperMLUPS) })
+	return b.String()
+}

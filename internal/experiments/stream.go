@@ -1,0 +1,117 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, producing the same rows/series the paper reports.
+// The cmd/likwid-repro binary prints them; bench_test.go at the module root
+// regenerates each one as a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"likwid/internal/hwdef"
+	"likwid/internal/stats"
+	"likwid/internal/workloads/stream"
+)
+
+// StreamPoint is one box of a STREAM figure: the bandwidth distribution at
+// one thread count.
+type StreamPoint struct {
+	Threads int
+	Stats   stats.Summary
+}
+
+// StreamSpec describes one of the paper's STREAM case-study figures.
+type StreamSpec struct {
+	ID         string // "Fig. 4"
+	Caption    string
+	ArchName   string
+	Compiler   stream.Compiler
+	Mode       stream.PinMode
+	MaxThreads int
+	Samples    int // samples per thread count (paper: 100)
+	SeedBase   int64
+}
+
+// The seven STREAM figures of §IV-A.
+var (
+	Fig4 = StreamSpec{
+		ID: "Fig. 4", Caption: "STREAM triad, icc, Westmere 2-socket, not pinned",
+		ArchName: "westmereEP", Compiler: stream.ICC, Mode: stream.Unpinned,
+		MaxThreads: 24, Samples: 100, SeedBase: 40,
+	}
+	Fig5 = StreamSpec{
+		ID: "Fig. 5", Caption: "STREAM triad, icc, pinned round-robin across sockets (likwid-pin)",
+		ArchName: "westmereEP", Compiler: stream.ICC, Mode: stream.PinScatter,
+		MaxThreads: 24, Samples: 100, SeedBase: 50,
+	}
+	Fig6 = StreamSpec{
+		ID: "Fig. 6", Caption: "STREAM triad, icc, Intel OpenMP affinity KMP_AFFINITY=scatter",
+		ArchName: "westmereEP", Compiler: stream.ICC, Mode: stream.RuntimeScatter,
+		MaxThreads: 24, Samples: 100, SeedBase: 60,
+	}
+	Fig7 = StreamSpec{
+		ID: "Fig. 7", Caption: "STREAM triad, gcc, not pinned",
+		ArchName: "westmereEP", Compiler: stream.GCC, Mode: stream.Unpinned,
+		MaxThreads: 24, Samples: 100, SeedBase: 70,
+	}
+	Fig8 = StreamSpec{
+		ID: "Fig. 8", Caption: "STREAM triad, gcc, pinned with likwid-pin",
+		ArchName: "westmereEP", Compiler: stream.GCC, Mode: stream.PinScatter,
+		MaxThreads: 24, Samples: 100, SeedBase: 80,
+	}
+	Fig9 = StreamSpec{
+		ID: "Fig. 9", Caption: "STREAM triad, icc, AMD Istanbul 2-socket, not pinned",
+		ArchName: "istanbul", Compiler: stream.ICC, Mode: stream.Unpinned,
+		MaxThreads: 12, Samples: 100, SeedBase: 90,
+	}
+	Fig10 = StreamSpec{
+		ID: "Fig. 10", Caption: "STREAM triad, icc, AMD Istanbul, pinned with likwid-pin",
+		ArchName: "istanbul", Compiler: stream.ICC, Mode: stream.PinScatter,
+		MaxThreads: 12, Samples: 100, SeedBase: 100,
+	}
+)
+
+// StreamFigures lists the specs in paper order.
+func StreamFigures() []StreamSpec {
+	return []StreamSpec{Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10}
+}
+
+// Run produces the figure's series: one box-plot summary per thread count.
+func (s StreamSpec) Run() ([]StreamPoint, error) {
+	arch, err := hwdef.Lookup(s.ArchName)
+	if err != nil {
+		return nil, err
+	}
+	samples := s.Samples
+	if samples < 1 {
+		samples = 100
+	}
+	points := make([]StreamPoint, 0, s.MaxThreads)
+	for threads := 1; threads <= s.MaxThreads; threads++ {
+		bw, err := stream.RunSamples(stream.Config{
+			Arch:     arch,
+			Compiler: s.Compiler,
+			Threads:  threads,
+			Mode:     s.Mode,
+			Seed:     s.SeedBase + int64(threads),
+		}, samples)
+		if err != nil {
+			return nil, fmt.Errorf("%s, %d threads: %w", s.ID, threads, err)
+		}
+		points = append(points, StreamPoint{Threads: threads, Stats: stats.Summarize(bw)})
+	}
+	return points, nil
+}
+
+// Render prints the series as the rows behind the paper's box plot.
+func (s StreamSpec) Render(points []StreamPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", s.ID, s.Caption)
+	fmt.Fprintf(&b, "%8s %10s %10s %10s %10s %10s   [MB/s, %d samples]\n",
+		"threads", "min", "q1", "median", "q3", "max", points[0].Stats.N)
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %10.0f %10.0f %10.0f %10.0f %10.0f\n",
+			p.Threads, p.Stats.Min, p.Stats.Q1, p.Stats.Median, p.Stats.Q3, p.Stats.Max)
+	}
+	return b.String()
+}

@@ -1,0 +1,218 @@
+// Package features implements likwid-features: viewing and toggling the
+// hardware prefetchers and reporting switchable processor features, all
+// through the IA32_MISC_ENABLE model-specific register (§II-D).
+//
+// As on real silicon, the prefetcher control bits are *disable* bits: a set
+// bit switches the unit off.  The feature report mirrors the paper's
+// listing for a Core 2 processor.
+package features
+
+import (
+	"fmt"
+	"strings"
+
+	"likwid/internal/hwdef"
+	"likwid/internal/msr"
+)
+
+// kind classifies how a feature renders and whether it can be toggled.
+type kind int
+
+const (
+	kindToggle    kind = iota // prefetchers: -e/-u switchable
+	kindStatus                // enabled/disabled, read-only here
+	kindSupported             // prints supported/not supported
+)
+
+// feature is one row of the report.
+type feature struct {
+	display  string // human name in the listing
+	name     string // likwid-features argument name (toggles only)
+	bit      uint   // IA32_MISC_ENABLE bit
+	inverted bool   // set bit means disabled
+	kind     kind
+}
+
+// core2Features is the feature inventory of the paper's listing, in its
+// exact order.
+var core2Features = []feature{
+	{display: "Fast-Strings", bit: 0, kind: kindStatus},
+	{display: "Automatic Thermal Control", bit: 3, kind: kindStatus},
+	{display: "Performance monitoring", bit: 7, kind: kindStatus},
+	{display: "Hardware Prefetcher", name: "HW_PREFETCHER", bit: hwdef.BitHWPrefetcher, inverted: true, kind: kindToggle},
+	{display: "Branch Trace Storage", bit: 11, inverted: true, kind: kindSupported},
+	{display: "PEBS", bit: 12, inverted: true, kind: kindSupported},
+	{display: "Intel Enhanced SpeedStep", bit: 16, kind: kindStatus},
+	{display: "MONITOR/MWAIT", bit: 18, kind: kindSupported},
+	{display: "Adjacent Cache Line Prefetch", name: "CL_PREFETCHER", bit: hwdef.BitCLPrefetcher, inverted: true, kind: kindToggle},
+	{display: "Limit CPUID Maxval", bit: 22, kind: kindStatus},
+	{display: "XD Bit Disable", bit: 34, inverted: true, kind: kindStatus},
+	{display: "DCU Prefetcher", name: "DCU_PREFETCHER", bit: hwdef.BitDCUPrefetcher, inverted: true, kind: kindToggle},
+	{display: "Intel Dynamic Acceleration", bit: 38, kind: kindStatus},
+	{display: "IP Prefetcher", name: "IP_PREFETCHER", bit: hwdef.BitIPPrefetcher, inverted: true, kind: kindToggle},
+}
+
+// Tool is a likwid-features session on one core of one machine.
+type Tool struct {
+	arch *hwdef.Arch
+	dev  *msr.Device
+	cpu  int
+}
+
+// New opens the feature interface of one core.  Like the original tool,
+// which "currently only works for Intel Core 2 processors", it requires an
+// Intel part with an IA32_MISC_ENABLE register; unlike the original it
+// degrades gracefully to any modeled Intel architecture.
+func New(space *msr.Space, a *hwdef.Arch, cpu int) (*Tool, error) {
+	if a.Vendor != hwdef.Intel {
+		return nil, fmt.Errorf("features: %s is not an Intel processor (IA32_MISC_ENABLE unavailable)", a.Name)
+	}
+	dev, err := space.Open(cpu)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dev.Read(msr.IA32MiscEnable); err != nil {
+		return nil, fmt.Errorf("features: %s: %w", a.Name, err)
+	}
+	return &Tool{arch: a, dev: dev, cpu: cpu}, nil
+}
+
+// State is one feature's reported state.
+type State struct {
+	Display    string
+	Name       string // toggle name, "" for status rows
+	Togglable  bool
+	Enabled    bool
+	Supported  bool // meaningful for kindSupported rows
+	StatusText string
+}
+
+// availableToggles lists the prefetcher toggle names of the architecture.
+func (t *Tool) availableToggles() map[string]bool {
+	out := map[string]bool{}
+	for _, p := range t.arch.Prefetchers {
+		out[p.Name] = true
+	}
+	return out
+}
+
+// List reports every feature's state in listing order.
+func (t *Tool) List() ([]State, error) {
+	v, err := t.dev.Read(msr.IA32MiscEnable)
+	if err != nil {
+		return nil, err
+	}
+	toggles := t.availableToggles()
+	var out []State
+	for _, f := range core2Features {
+		if f.kind == kindToggle && !toggles[f.name] {
+			continue // this architecture lacks the unit
+		}
+		bitSet := v&(1<<f.bit) != 0
+		on := bitSet != f.inverted // inverted: clear bit means enabled
+		st := State{
+			Display:   f.display,
+			Name:      f.name,
+			Togglable: f.kind == kindToggle,
+			Enabled:   on,
+			Supported: on,
+		}
+		if f.kind == kindSupported {
+			if on {
+				st.StatusText = "supported"
+			} else {
+				st.StatusText = "not supported"
+			}
+		} else if on {
+			st.StatusText = "enabled"
+		} else {
+			st.StatusText = "disabled"
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// lookupToggle finds a togglable feature by its argument name.
+func (t *Tool) lookupToggle(name string) (feature, error) {
+	if !t.availableToggles()[name] {
+		return feature{}, fmt.Errorf("features: %s has no togglable feature %q (available: %s)",
+			t.arch.Name, name, strings.Join(t.ToggleNames(), ", "))
+	}
+	for _, f := range core2Features {
+		if f.kind == kindToggle && f.name == name {
+			return f, nil
+		}
+	}
+	return feature{}, fmt.Errorf("features: unknown feature %q", name)
+}
+
+// ToggleNames lists the feature names accepted by Enable/Disable.
+func (t *Tool) ToggleNames() []string {
+	var names []string
+	toggles := t.availableToggles()
+	for _, f := range core2Features {
+		if f.kind == kindToggle && toggles[f.name] {
+			names = append(names, f.name)
+		}
+	}
+	return names
+}
+
+// Enable switches a prefetcher on (likwid-features -e NAME).
+func (t *Tool) Enable(name string) error {
+	f, err := t.lookupToggle(name)
+	if err != nil {
+		return err
+	}
+	// Prefetcher bits are disable bits: enabling clears the bit.
+	return t.dev.ClearBits(msr.IA32MiscEnable, 1<<f.bit)
+}
+
+// Disable switches a prefetcher off (likwid-features -u NAME).
+func (t *Tool) Disable(name string) error {
+	f, err := t.lookupToggle(name)
+	if err != nil {
+		return err
+	}
+	return t.dev.SetBits(msr.IA32MiscEnable, 1<<f.bit)
+}
+
+// Enabled reports whether a togglable feature is currently on.
+func (t *Tool) Enabled(name string) (bool, error) {
+	f, err := t.lookupToggle(name)
+	if err != nil {
+		return false, err
+	}
+	v, err := t.dev.Read(msr.IA32MiscEnable)
+	if err != nil {
+		return false, err
+	}
+	return (v&(1<<f.bit) != 0) != f.inverted, nil
+}
+
+// Render prints the listing of §II-D:
+//
+//	-------------------------------------------------------------
+//	CPU name:       Intel Core 2 65nm processor
+//	CPU core id:    0
+//	-------------------------------------------------------------
+//	Fast-Strings: enabled
+//	...
+func (t *Tool) Render() (string, error) {
+	states, err := t.List()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	rule := strings.Repeat("-", 61)
+	b.WriteString(rule + "\n")
+	fmt.Fprintf(&b, "CPU name:\t%s\n", t.arch.ModelName)
+	fmt.Fprintf(&b, "CPU core id:\t%d\n", t.cpu)
+	b.WriteString(rule + "\n")
+	for _, s := range states {
+		fmt.Fprintf(&b, "%s: %s\n", s.Display, s.StatusText)
+	}
+	b.WriteString(rule + "\n")
+	return b.String(), nil
+}

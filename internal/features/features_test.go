@@ -1,0 +1,156 @@
+package features
+
+import (
+	"strings"
+	"testing"
+
+	"likwid/internal/hwdef"
+	"likwid/internal/msr"
+)
+
+func newTool(t *testing.T, archName string) *Tool {
+	t.Helper()
+	a, err := hwdef.Lookup(archName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool, err := New(msr.NewSpace(a), a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tool
+}
+
+func TestDefaultListingMatchesPaper(t *testing.T) {
+	tool := newTool(t, "core2-65nm")
+	out, err := tool.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"CPU name:\tIntel Core 2 65nm processor",
+		"CPU core id:\t0",
+		"Fast-Strings: enabled",
+		"Automatic Thermal Control: enabled",
+		"Performance monitoring: enabled",
+		"Hardware Prefetcher: enabled",
+		"Branch Trace Storage: supported",
+		"PEBS: supported",
+		"Intel Enhanced SpeedStep: enabled",
+		"MONITOR/MWAIT: supported",
+		"Adjacent Cache Line Prefetch: enabled",
+		"Limit CPUID Maxval: disabled",
+		"XD Bit Disable: enabled",
+		"DCU Prefetcher: enabled",
+		"Intel Dynamic Acceleration: disabled",
+		"IP Prefetcher: enabled",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestDisableEnableRoundtrip(t *testing.T) {
+	tool := newTool(t, "core2")
+	// The paper's example: likwid-features -u CL_PREFETCHER.
+	if err := tool.Disable("CL_PREFETCHER"); err != nil {
+		t.Fatal(err)
+	}
+	on, err := tool.Enabled("CL_PREFETCHER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on {
+		t.Fatal("CL_PREFETCHER still enabled after -u")
+	}
+	out, _ := tool.Render()
+	if !strings.Contains(out, "Adjacent Cache Line Prefetch: disabled") {
+		t.Error("listing must show the disabled prefetcher")
+	}
+	if err := tool.Enable("CL_PREFETCHER"); err != nil {
+		t.Fatal(err)
+	}
+	on, _ = tool.Enabled("CL_PREFETCHER")
+	if !on {
+		t.Error("CL_PREFETCHER must be enabled again")
+	}
+}
+
+func TestDisableSetsMSRBit(t *testing.T) {
+	a, _ := hwdef.Lookup("core2")
+	space := msr.NewSpace(a)
+	tool, err := New(space, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.Disable("HW_PREFETCHER"); err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := space.Open(1)
+	v, _ := dev.Read(msr.IA32MiscEnable)
+	if v&(1<<hwdef.BitHWPrefetcher) == 0 {
+		t.Error("disable must set the MISC_ENABLE disable bit")
+	}
+	// Core 0 is a different core: its register must be untouched.
+	dev0, _ := space.Open(0)
+	v0, _ := dev0.Read(msr.IA32MiscEnable)
+	if v0&(1<<hwdef.BitHWPrefetcher) != 0 {
+		t.Error("disable leaked to another core")
+	}
+}
+
+func TestUnknownFeature(t *testing.T) {
+	tool := newTool(t, "core2")
+	if err := tool.Disable("WARP_DRIVE"); err == nil {
+		t.Error("unknown feature must fail")
+	}
+	if _, err := tool.Enabled("WARP_DRIVE"); err == nil {
+		t.Error("unknown feature must fail")
+	}
+}
+
+func TestAMDRejected(t *testing.T) {
+	a, _ := hwdef.Lookup("istanbul")
+	if _, err := New(msr.NewSpace(a), a, 0); err == nil {
+		t.Error("likwid-features must reject non-Intel processors")
+	}
+}
+
+func TestToggleNamesFollowArchInventory(t *testing.T) {
+	tool := newTool(t, "core2")
+	names := tool.ToggleNames()
+	if len(names) != 4 {
+		t.Fatalf("core2 toggles = %v, want 4 prefetchers", names)
+	}
+	// Pentium M only has the L2 streamer.
+	pm := newTool(t, "pentiumM")
+	pmNames := pm.ToggleNames()
+	if len(pmNames) != 1 || pmNames[0] != "HW_PREFETCHER" {
+		t.Fatalf("pentiumM toggles = %v, want [HW_PREFETCHER]", pmNames)
+	}
+	// Features absent from the inventory are not togglable there.
+	if err := pm.Disable("DCU_PREFETCHER"); err == nil {
+		t.Error("pentiumM must not toggle the DCU prefetcher")
+	}
+}
+
+func TestListIncludesTogglableFlags(t *testing.T) {
+	tool := newTool(t, "core2")
+	states, err := tool.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var toggles int
+	for _, s := range states {
+		if s.Togglable {
+			toggles++
+			if s.Name == "" {
+				t.Error("togglable feature without a name")
+			}
+		}
+	}
+	if toggles != 4 {
+		t.Errorf("togglable rows = %d, want 4", toggles)
+	}
+}

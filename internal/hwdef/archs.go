@@ -1,0 +1,351 @@
+package hwdef
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Intel prefetcher control bits in IA32_MISC_ENABLE.  A *set* bit disables
+// the unit, exactly as on Core 2 silicon, which is why likwid-features
+// reports "enabled" when the bit is clear.
+const (
+	BitHWPrefetcher  = 9  // mid-level (L2) hardware prefetcher
+	BitCLPrefetcher  = 19 // adjacent cache line prefetch
+	BitDCUPrefetcher = 37 // L1 data cache unit streamer
+	BitIPPrefetcher  = 39 // L1 instruction-pointer strided prefetcher
+)
+
+func intelPrefetchers() []Prefetcher {
+	return []Prefetcher{
+		{Name: "HW_PREFETCHER", MiscEnableBit: BitHWPrefetcher},
+		{Name: "CL_PREFETCHER", MiscEnableBit: BitCLPrefetcher},
+		{Name: "DCU_PREFETCHER", MiscEnableBit: BitDCUPrefetcher},
+		{Name: "IP_PREFETCHER", MiscEnableBit: BitIPPrefetcher},
+	}
+}
+
+func contiguous(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// The registry of node definitions.  Each entry models one of the systems
+// the paper supports or evaluates on.
+var registry = map[string]*Arch{}
+
+func register(a *Arch) *Arch {
+	if err := a.Validate(); err != nil {
+		panic(fmt.Sprintf("hwdef: invalid arch: %v", err))
+	}
+	if _, dup := registry[a.Name]; dup {
+		panic("hwdef: duplicate arch " + a.Name)
+	}
+	registry[a.Name] = a
+	return a
+}
+
+// Lookup returns the architecture registered under name.
+func Lookup(name string) (*Arch, error) {
+	a, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("hwdef: unknown architecture %q (known: %v)", name, Names())
+	}
+	return a, nil
+}
+
+// Names lists all registered architecture keys in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PentiumM models a Dothan-era laptop processor: single core, leaf-0x2
+// descriptor-table cache reporting, two bare programmable counters.
+var PentiumM = register(&Arch{
+	Name: "pentiumM", ModelName: "Intel Pentium M (Dothan) processor",
+	Vendor: Intel, Family: 6, Model: 13, Stepping: 8,
+	ClockMHz: 1600, Sockets: 1, CoresPerSocket: 1, ThreadsPerCore: 1,
+	PhysCoreIDs: contiguous(1),
+	Caches: []CacheLevel{
+		{Level: 1, Type: DataCache, SizeKB: 32, Assoc: 8, LineSize: 64, Sets: 64, SharedBy: 1},
+		{Level: 1, Type: InstructionCache, SizeKB: 32, Assoc: 8, LineSize: 64, Sets: 64, SharedBy: 1},
+		{Level: 2, Type: UnifiedCache, SizeKB: 2048, Assoc: 8, LineSize: 64, Sets: 4096, SharedBy: 1},
+	},
+	NumPMC: 2, HasFixedCtr: false, NumUncore: 0,
+	HasLeafB: false, HasLeaf4: false, UsesLeaf2: true,
+	MaxLeaf: 0x2, MaxExtLeaf: 0x80000004,
+	Events:      pentiumMEvents(),
+	Prefetchers: []Prefetcher{{Name: "HW_PREFETCHER", MiscEnableBit: BitHWPrefetcher}},
+	Perf: PerfModel{
+		SocketMemBW: 3.2e9, CoreTriadBW: 2.4e9, CoreScalarBW: 1.8e9,
+		SingleStreamBW: 2.0e9, L3BW: 8e9, RemoteFactor: 1,
+		SMTVectorGain: 1, SMTScalarGain: 1, NTStoreEfficiency: 0.9,
+		OversubscribePenalty: 0.08,
+	},
+})
+
+// PentiumMBanias models the older 130 nm Banias with its 1 MiB L2 — the
+// paper's support list names both Banias and Dothan.
+var PentiumMBanias = register(&Arch{
+	Name: "pentiumM-banias", ModelName: "Intel Pentium M (Banias) processor",
+	Vendor: Intel, Family: 6, Model: 9, Stepping: 5,
+	ClockMHz: 1500, Sockets: 1, CoresPerSocket: 1, ThreadsPerCore: 1,
+	PhysCoreIDs: contiguous(1),
+	Caches: []CacheLevel{
+		{Level: 1, Type: DataCache, SizeKB: 32, Assoc: 8, LineSize: 64, Sets: 64, SharedBy: 1},
+		{Level: 1, Type: InstructionCache, SizeKB: 32, Assoc: 8, LineSize: 64, Sets: 64, SharedBy: 1},
+		{Level: 2, Type: UnifiedCache, SizeKB: 1024, Assoc: 8, LineSize: 64, Sets: 2048, SharedBy: 1},
+	},
+	NumPMC: 2, HasFixedCtr: false, NumUncore: 0,
+	HasLeafB: false, HasLeaf4: false, UsesLeaf2: true,
+	MaxLeaf: 0x2, MaxExtLeaf: 0x80000004,
+	Events:      pentiumMEvents(),
+	Prefetchers: []Prefetcher{{Name: "HW_PREFETCHER", MiscEnableBit: BitHWPrefetcher}},
+	Perf: PerfModel{
+		SocketMemBW: 2.7e9, CoreTriadBW: 2.0e9, CoreScalarBW: 1.5e9,
+		SingleStreamBW: 1.7e9, L3BW: 7e9, RemoteFactor: 1,
+		SMTVectorGain: 1, SMTScalarGain: 1, NTStoreEfficiency: 0.9,
+		OversubscribePenalty: 0.08,
+	},
+})
+
+// Atom models a dual-core in-order Atom 330 with 2-way SMT.
+var Atom = register(&Arch{
+	Name: "atom", ModelName: "Intel Atom (Diamondville) processor",
+	Vendor: Intel, Family: 6, Model: 28, Stepping: 2,
+	ClockMHz: 1600, Sockets: 1, CoresPerSocket: 2, ThreadsPerCore: 2,
+	PhysCoreIDs: contiguous(2),
+	Caches: []CacheLevel{
+		{Level: 1, Type: DataCache, SizeKB: 24, Assoc: 6, LineSize: 64, Sets: 64, SharedBy: 2},
+		{Level: 1, Type: InstructionCache, SizeKB: 32, Assoc: 8, LineSize: 64, Sets: 64, SharedBy: 2},
+		{Level: 2, Type: UnifiedCache, SizeKB: 512, Assoc: 8, LineSize: 64, Sets: 1024, SharedBy: 2},
+	},
+	NumPMC: 2, HasFixedCtr: true, NumUncore: 0,
+	HasLeafB: false, HasLeaf4: true, UsesLeaf2: false,
+	MaxLeaf: 0xA, MaxExtLeaf: 0x80000004,
+	Events:      atomEvents(),
+	Prefetchers: []Prefetcher{{Name: "HW_PREFETCHER", MiscEnableBit: BitHWPrefetcher}},
+	Perf: PerfModel{
+		SocketMemBW: 4.2e9, CoreTriadBW: 1.6e9, CoreScalarBW: 1.1e9,
+		SingleStreamBW: 1.8e9, L3BW: 10e9, RemoteFactor: 1,
+		SMTVectorGain: 1.15, SMTScalarGain: 1.4, NTStoreEfficiency: 0.9,
+		OversubscribePenalty: 0.1,
+	},
+})
+
+// Core2Quad models the 45 nm Core 2 Quad of the paper's marker-mode listing
+// (2.83 GHz, two dual-core dies each sharing a 6 MiB L2).
+var Core2Quad = register(&Arch{
+	Name: "core2", ModelName: "Intel Core 2 45nm processor",
+	Vendor: Intel, Family: 6, Model: 23, Stepping: 10,
+	ClockMHz: 2833, Sockets: 1, CoresPerSocket: 4, ThreadsPerCore: 1,
+	PhysCoreIDs: contiguous(4),
+	Caches: []CacheLevel{
+		{Level: 1, Type: DataCache, SizeKB: 32, Assoc: 8, LineSize: 64, Sets: 64, SharedBy: 1},
+		{Level: 1, Type: InstructionCache, SizeKB: 32, Assoc: 8, LineSize: 64, Sets: 64, SharedBy: 1},
+		{Level: 2, Type: UnifiedCache, SizeKB: 6144, Assoc: 24, LineSize: 64, Sets: 4096, SharedBy: 2},
+	},
+	NumPMC: 2, HasFixedCtr: true, NumUncore: 0,
+	HasLeafB: false, HasLeaf4: true, UsesLeaf2: false,
+	MaxLeaf: 0xA, MaxExtLeaf: 0x80000004,
+	Events:      core2Events(),
+	Prefetchers: intelPrefetchers(),
+	Perf: PerfModel{
+		SocketMemBW: 7.4e9, CoreTriadBW: 3.9e9, CoreScalarBW: 2.8e9,
+		SingleStreamBW: 3.4e9, L3BW: 25e9, RemoteFactor: 1,
+		SMTVectorGain: 1, SMTScalarGain: 1, NTStoreEfficiency: 0.9,
+		OversubscribePenalty: 0.08,
+	},
+})
+
+// Core2Duo65 models the 65 nm mobile Core 2 of the likwid-features listing.
+var Core2Duo65 = register(&Arch{
+	Name: "core2-65nm", ModelName: "Intel Core 2 65nm processor",
+	Vendor: Intel, Family: 6, Model: 15, Stepping: 6,
+	ClockMHz: 2333, Sockets: 1, CoresPerSocket: 2, ThreadsPerCore: 1,
+	PhysCoreIDs: contiguous(2),
+	Caches: []CacheLevel{
+		{Level: 1, Type: DataCache, SizeKB: 32, Assoc: 8, LineSize: 64, Sets: 64, SharedBy: 1},
+		{Level: 1, Type: InstructionCache, SizeKB: 32, Assoc: 8, LineSize: 64, Sets: 64, SharedBy: 1},
+		{Level: 2, Type: UnifiedCache, SizeKB: 4096, Assoc: 16, LineSize: 64, Sets: 4096, SharedBy: 2},
+	},
+	NumPMC: 2, HasFixedCtr: true, NumUncore: 0,
+	HasLeafB: false, HasLeaf4: true, UsesLeaf2: false,
+	MaxLeaf: 0xA, MaxExtLeaf: 0x80000004,
+	Events:      core2Events(),
+	Prefetchers: intelPrefetchers(),
+	Perf: PerfModel{
+		SocketMemBW: 6.4e9, CoreTriadBW: 3.4e9, CoreScalarBW: 2.5e9,
+		SingleStreamBW: 3.0e9, L3BW: 20e9, RemoteFactor: 1,
+		SMTVectorGain: 1, SMTScalarGain: 1, NTStoreEfficiency: 0.9,
+		OversubscribePenalty: 0.08,
+	},
+})
+
+// NehalemEP models the dual-socket quad-core Xeon X5550 node (2.66 GHz,
+// SMT-2) used for the stencil case studies (Fig. 11, Table II).
+var NehalemEP = register(&Arch{
+	Name: "nehalemEP", ModelName: "Intel Core i7 (Nehalem EP) processor",
+	Vendor: Intel, Family: 6, Model: 26, Stepping: 5,
+	ClockMHz: 2666, Sockets: 2, CoresPerSocket: 4, ThreadsPerCore: 2,
+	PhysCoreIDs: contiguous(4),
+	Caches: []CacheLevel{
+		{Level: 1, Type: DataCache, SizeKB: 32, Assoc: 8, LineSize: 64, Sets: 64, Inclusive: true, SharedBy: 2},
+		{Level: 1, Type: InstructionCache, SizeKB: 32, Assoc: 4, LineSize: 64, Sets: 128, SharedBy: 2},
+		{Level: 2, Type: UnifiedCache, SizeKB: 256, Assoc: 8, LineSize: 64, Sets: 512, Inclusive: true, SharedBy: 2},
+		{Level: 3, Type: UnifiedCache, SizeKB: 8192, Assoc: 16, LineSize: 64, Sets: 8192, Inclusive: false, SharedBy: 8},
+	},
+	NumPMC: 4, HasFixedCtr: true, NumUncore: 8,
+	HasLeafB: true, HasLeaf4: true, UsesLeaf2: false,
+	MaxLeaf: 0xB, MaxExtLeaf: 0x80000008,
+	Events:      nehalemEvents(),
+	Prefetchers: intelPrefetchers(),
+	Perf: PerfModel{
+		// Calibrated against Table II: 784 MLUPS * 24 B/LUP = 18.8 GB/s
+		// saturated; 1331 MLUPS * 5.28 B/LUP = 7.0 GB/s single-stream;
+		// NT-store Jacobi at 1032 MLUPS * (8 + 8/e) B/LUP = 18.8 GB/s
+		// gives bus efficiency e = 0.783 for the NT write stream.
+		SocketMemBW: 18.8e9, CoreTriadBW: 6.5e9, CoreScalarBW: 4.3e9,
+		SingleStreamBW: 7.0e9, L3BW: 38e9, RemoteFactor: 0.55,
+		SMTVectorGain: 1.05, SMTScalarGain: 1.30, NTStoreEfficiency: 0.783,
+		OversubscribePenalty: 0.08,
+	},
+})
+
+// WestmereEP models the dual-socket hexa-core Xeon X5670 node (2.93 GHz,
+// SMT-2) of the STREAM case study and the topology listing in the paper.
+// Note the non-contiguous physical core IDs {0,1,2,8,9,10}: the topology
+// tool must report them verbatim.
+var WestmereEP = register(&Arch{
+	Name: "westmereEP", ModelName: "Intel Xeon (Westmere EP) processor",
+	Vendor: Intel, Family: 6, Model: 44, Stepping: 2,
+	ClockMHz: 2933, Sockets: 2, CoresPerSocket: 6, ThreadsPerCore: 2,
+	PhysCoreIDs: []int{0, 1, 2, 8, 9, 10},
+	Caches: []CacheLevel{
+		{Level: 1, Type: DataCache, SizeKB: 32, Assoc: 8, LineSize: 64, Sets: 64, Inclusive: true, SharedBy: 2},
+		{Level: 1, Type: InstructionCache, SizeKB: 32, Assoc: 4, LineSize: 64, Sets: 128, SharedBy: 2},
+		{Level: 2, Type: UnifiedCache, SizeKB: 256, Assoc: 8, LineSize: 64, Sets: 512, Inclusive: true, SharedBy: 2},
+		{Level: 3, Type: UnifiedCache, SizeKB: 12288, Assoc: 16, LineSize: 64, Sets: 12288, Inclusive: false, SharedBy: 12},
+	},
+	NumPMC: 4, HasFixedCtr: true, NumUncore: 8,
+	HasLeafB: true, HasLeaf4: true, UsesLeaf2: false,
+	MaxLeaf: 0xB, MaxExtLeaf: 0x80000008,
+	Events:      nehalemEvents(),
+	Prefetchers: intelPrefetchers(),
+	Perf: PerfModel{
+		// Calibrated against Figs. 4-6: ~41 GB/s node saturation, about
+		// three vectorized cores saturate one socket.
+		SocketMemBW: 20.8e9, CoreTriadBW: 6.9e9, CoreScalarBW: 4.4e9,
+		SingleStreamBW: 7.2e9, L3BW: 45e9, RemoteFactor: 0.55,
+		SMTVectorGain: 1.05, SMTScalarGain: 1.35, NTStoreEfficiency: 0.88,
+		OversubscribePenalty: 0.08,
+	},
+})
+
+// WestmereEX models a four-socket hexa-core Xeon E7-4807 node: the largest
+// shared-memory configuration in the registry, exercising the >2-socket
+// paths of the topology decoder and the NUMA model.
+var WestmereEX = register(&Arch{
+	Name: "westmereEX", ModelName: "Intel Xeon E7 (Westmere EX) processor",
+	Vendor: Intel, Family: 6, Model: 47, Stepping: 2,
+	ClockMHz: 1867, Sockets: 4, CoresPerSocket: 6, ThreadsPerCore: 2,
+	PhysCoreIDs: contiguous(6),
+	Caches: []CacheLevel{
+		{Level: 1, Type: DataCache, SizeKB: 32, Assoc: 8, LineSize: 64, Sets: 64, Inclusive: true, SharedBy: 2},
+		{Level: 1, Type: InstructionCache, SizeKB: 32, Assoc: 4, LineSize: 64, Sets: 128, SharedBy: 2},
+		{Level: 2, Type: UnifiedCache, SizeKB: 256, Assoc: 8, LineSize: 64, Sets: 512, Inclusive: true, SharedBy: 2},
+		{Level: 3, Type: UnifiedCache, SizeKB: 18432, Assoc: 24, LineSize: 64, Sets: 12288, Inclusive: false, SharedBy: 12},
+	},
+	NumPMC: 4, HasFixedCtr: true, NumUncore: 8,
+	HasLeafB: true, HasLeaf4: true, UsesLeaf2: false,
+	MaxLeaf: 0xB, MaxExtLeaf: 0x80000008,
+	Events:      nehalemEvents(),
+	Prefetchers: intelPrefetchers(),
+	Perf: PerfModel{
+		SocketMemBW: 15.5e9, CoreTriadBW: 5.2e9, CoreScalarBW: 3.6e9,
+		SingleStreamBW: 5.5e9, L3BW: 34e9, RemoteFactor: 0.5,
+		SMTVectorGain: 1.05, SMTScalarGain: 1.32, NTStoreEfficiency: 0.8,
+		OversubscribePenalty: 0.08,
+	},
+})
+
+// K8 models a dual-socket dual-core Opteron 2218 (Santa Rosa).
+var K8 = register(&Arch{
+	Name: "k8", ModelName: "AMD K8 (Opteron Santa Rosa) processor",
+	Vendor: AMD, Family: 15, Model: 65, Stepping: 2,
+	ClockMHz: 2600, Sockets: 2, CoresPerSocket: 2, ThreadsPerCore: 1,
+	PhysCoreIDs: contiguous(2),
+	Caches: []CacheLevel{
+		{Level: 1, Type: DataCache, SizeKB: 64, Assoc: 2, LineSize: 64, Sets: 512, SharedBy: 1},
+		{Level: 1, Type: InstructionCache, SizeKB: 64, Assoc: 2, LineSize: 64, Sets: 512, SharedBy: 1},
+		{Level: 2, Type: UnifiedCache, SizeKB: 1024, Assoc: 16, LineSize: 64, Sets: 1024, SharedBy: 1},
+	},
+	NumPMC: 4, HasFixedCtr: false, NumUncore: 0,
+	HasLeafB: false, HasLeaf4: false, UsesLeaf2: false,
+	MaxLeaf: 0x1, MaxExtLeaf: 0x80000008,
+	Events: k8Events(),
+	Perf: PerfModel{
+		SocketMemBW: 6.4e9, CoreTriadBW: 3.0e9, CoreScalarBW: 2.3e9,
+		SingleStreamBW: 2.8e9, L3BW: 16e9, RemoteFactor: 0.65,
+		SMTVectorGain: 1, SMTScalarGain: 1, NTStoreEfficiency: 0.9,
+		OversubscribePenalty: 0.08,
+	},
+})
+
+// Shanghai models a dual-socket quad-core Opteron 2378 (K10).
+var Shanghai = register(&Arch{
+	Name: "shanghai", ModelName: "AMD K10 (Opteron Shanghai) processor",
+	Vendor: AMD, Family: 16, Model: 4, Stepping: 2,
+	ClockMHz: 2400, Sockets: 2, CoresPerSocket: 4, ThreadsPerCore: 1,
+	PhysCoreIDs: contiguous(4),
+	Caches: []CacheLevel{
+		{Level: 1, Type: DataCache, SizeKB: 64, Assoc: 2, LineSize: 64, Sets: 512, SharedBy: 1},
+		{Level: 1, Type: InstructionCache, SizeKB: 64, Assoc: 2, LineSize: 64, Sets: 512, SharedBy: 1},
+		{Level: 2, Type: UnifiedCache, SizeKB: 512, Assoc: 16, LineSize: 64, Sets: 512, SharedBy: 1},
+		{Level: 3, Type: UnifiedCache, SizeKB: 6144, Assoc: 48, LineSize: 64, Sets: 2048, SharedBy: 4},
+	},
+	NumPMC: 4, HasFixedCtr: false, NumUncore: 4,
+	HasLeafB: false, HasLeaf4: false, UsesLeaf2: false,
+	MaxLeaf: 0x1, MaxExtLeaf: 0x8000001D,
+	Events: k10Events(),
+	Perf: PerfModel{
+		SocketMemBW: 10.0e9, CoreTriadBW: 2.7e9, CoreScalarBW: 2.1e9,
+		SingleStreamBW: 3.6e9, L3BW: 22e9, RemoteFactor: 0.6,
+		SMTVectorGain: 1, SMTScalarGain: 1, NTStoreEfficiency: 0.85,
+		OversubscribePenalty: 0.08,
+	},
+})
+
+// Istanbul models the dual-socket hexa-core Opteron 2435 node of the
+// paper's Figs. 9 and 10 (no SMT; per-socket L3 and memory controller).
+var Istanbul = register(&Arch{
+	Name: "istanbul", ModelName: "AMD K10 (Opteron Istanbul) processor",
+	Vendor: AMD, Family: 16, Model: 8, Stepping: 0,
+	ClockMHz: 2600, Sockets: 2, CoresPerSocket: 6, ThreadsPerCore: 1,
+	PhysCoreIDs: contiguous(6),
+	Caches: []CacheLevel{
+		{Level: 1, Type: DataCache, SizeKB: 64, Assoc: 2, LineSize: 64, Sets: 512, SharedBy: 1},
+		{Level: 1, Type: InstructionCache, SizeKB: 64, Assoc: 2, LineSize: 64, Sets: 512, SharedBy: 1},
+		{Level: 2, Type: UnifiedCache, SizeKB: 512, Assoc: 16, LineSize: 64, Sets: 512, SharedBy: 1},
+		{Level: 3, Type: UnifiedCache, SizeKB: 6144, Assoc: 48, LineSize: 64, Sets: 2048, SharedBy: 6},
+	},
+	NumPMC: 4, HasFixedCtr: false, NumUncore: 4,
+	HasLeafB: false, HasLeaf4: false, UsesLeaf2: false,
+	MaxLeaf: 0x1, MaxExtLeaf: 0x8000001D,
+	Events: k10Events(),
+	Perf: PerfModel{
+		// Calibrated against Figs. 9-10: ~25 GB/s node saturation with
+		// near-linear scaling to about five cores per socket.
+		SocketMemBW: 12.8e9, CoreTriadBW: 2.6e9, CoreScalarBW: 2.2e9,
+		SingleStreamBW: 4.0e9, L3BW: 24e9, RemoteFactor: 0.6,
+		SMTVectorGain: 1, SMTScalarGain: 1, NTStoreEfficiency: 0.85,
+		OversubscribePenalty: 0.08,
+	},
+})

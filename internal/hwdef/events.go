@@ -1,0 +1,162 @@
+package hwdef
+
+// Event tables per microarchitecture family.
+//
+// The encodings (event-select code, unit mask) follow the vendor manuals
+// where practical; where the original silicon used vendor-specific register
+// blocks that this model does not distinguish, the encodings are modeled but
+// kept internally consistent: the same (code, umask) pair that perfctr
+// programs into an event-select register is what the machine's event engine
+// matches against when it delivers counts.  Two event names are unified
+// across all architectures because the derived-metric engine depends on
+// them: INSTR_RETIRED_ANY and CPU_CLK_UNHALTED_CORE.
+
+func eventTable(events ...Event) map[string]Event {
+	m := make(map[string]Event, len(events))
+	for _, ev := range events {
+		m[ev.Name] = ev
+	}
+	return m
+}
+
+func fixedEvents() []Event {
+	return []Event{
+		{Name: "INSTR_RETIRED_ANY", Code: 0xC0, Umask: 0x00, Domain: DomainFixed, FixedIndex: 0},
+		{Name: "CPU_CLK_UNHALTED_CORE", Code: 0x3C, Umask: 0x00, Domain: DomainFixed, FixedIndex: 1},
+		{Name: "CPU_CLK_UNHALTED_REF", Code: 0x3C, Umask: 0x01, Domain: DomainFixed, FixedIndex: 2},
+	}
+}
+
+// core2Events is the table for the Intel Core 2 family (65 and 45 nm),
+// also reused by Atom which shares most encodings of that era.
+func core2Events() map[string]Event {
+	evs := fixedEvents()
+	evs = append(evs,
+		Event{Name: "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", Code: 0xCA, Umask: 0x04, Domain: DomainPMC},
+		Event{Name: "SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE", Code: 0xCA, Umask: 0x08, Domain: DomainPMC},
+		Event{Name: "SIMD_COMP_INST_RETIRED_PACKED_SINGLE", Code: 0xCA, Umask: 0x01, Domain: DomainPMC},
+		Event{Name: "SIMD_COMP_INST_RETIRED_SCALAR_SINGLE", Code: 0xCA, Umask: 0x02, Domain: DomainPMC},
+		Event{Name: "L1D_REPL", Code: 0x45, Umask: 0x0F, Domain: DomainPMC},
+		Event{Name: "L1D_M_EVICT", Code: 0x47, Umask: 0x00, Domain: DomainPMC},
+		Event{Name: "L1D_ALL_REF", Code: 0x43, Umask: 0x01, Domain: DomainPMC},
+		Event{Name: "L2_LINES_IN_ANY", Code: 0x24, Umask: 0x70, Domain: DomainPMC},
+		Event{Name: "L2_LINES_OUT_ANY", Code: 0x26, Umask: 0x70, Domain: DomainPMC},
+		Event{Name: "L2_RQSTS_REFERENCES", Code: 0x2E, Umask: 0x41, Domain: DomainPMC},
+		Event{Name: "L2_RQSTS_MISS", Code: 0x2E, Umask: 0x42, Domain: DomainPMC},
+		Event{Name: "BUS_TRANS_MEM_ALL", Code: 0x6F, Umask: 0xC0, Domain: DomainPMC},
+		Event{Name: "INST_RETIRED_LOADS", Code: 0xC1, Umask: 0x01, Domain: DomainPMC},
+		Event{Name: "INST_RETIRED_STORES", Code: 0xC1, Umask: 0x02, Domain: DomainPMC},
+		Event{Name: "BR_INST_RETIRED_ANY", Code: 0xC4, Umask: 0x00, Domain: DomainPMC},
+		Event{Name: "BR_INST_RETIRED_MISPRED", Code: 0xC5, Umask: 0x00, Domain: DomainPMC},
+		Event{Name: "DTLB_MISSES_ANY", Code: 0x08, Umask: 0x01, Domain: DomainPMC},
+	)
+	return eventTable(evs...)
+}
+
+// nehalemEvents covers Nehalem and Westmere cores including the per-socket
+// uncore block (L3 and integrated memory controller events).
+func nehalemEvents() map[string]Event {
+	evs := fixedEvents()
+	evs = append(evs,
+		Event{Name: "FP_COMP_OPS_EXE_SSE_FP_PACKED", Code: 0x10, Umask: 0x10, Domain: DomainPMC},
+		Event{Name: "FP_COMP_OPS_EXE_SSE_FP_SCALAR", Code: 0x10, Umask: 0x20, Domain: DomainPMC},
+		Event{Name: "FP_COMP_OPS_EXE_SSE_SINGLE_PRECISION", Code: 0x10, Umask: 0x40, Domain: DomainPMC},
+		Event{Name: "FP_COMP_OPS_EXE_SSE_DOUBLE_PRECISION", Code: 0x10, Umask: 0x80, Domain: DomainPMC},
+		Event{Name: "L1D_REPL", Code: 0x51, Umask: 0x01, Domain: DomainPMC},
+		Event{Name: "L1D_M_EVICT", Code: 0x51, Umask: 0x04, Domain: DomainPMC},
+		Event{Name: "L1D_ALL_REF", Code: 0x43, Umask: 0x01, Domain: DomainPMC},
+		Event{Name: "MEM_INST_RETIRED_LOADS", Code: 0x0B, Umask: 0x01, Domain: DomainPMC},
+		Event{Name: "MEM_INST_RETIRED_STORES", Code: 0x0B, Umask: 0x02, Domain: DomainPMC},
+		Event{Name: "L2_LINES_IN_ANY", Code: 0xF1, Umask: 0x07, Domain: DomainPMC},
+		Event{Name: "L2_LINES_OUT_ANY", Code: 0xF2, Umask: 0x0F, Domain: DomainPMC},
+		Event{Name: "L2_RQSTS_REFERENCES", Code: 0x24, Umask: 0xFF, Domain: DomainPMC},
+		Event{Name: "L2_RQSTS_MISS", Code: 0x24, Umask: 0xAA, Domain: DomainPMC},
+		Event{Name: "BR_INST_RETIRED_ANY", Code: 0xC4, Umask: 0x04, Domain: DomainPMC},
+		Event{Name: "BR_INST_RETIRED_MISPRED", Code: 0xC5, Umask: 0x02, Domain: DomainPMC},
+		Event{Name: "DTLB_MISSES_ANY", Code: 0x49, Umask: 0x01, Domain: DomainPMC},
+		// Uncore: one block per socket, shared by all cores of the socket.
+		Event{Name: "UNC_L3_LINES_IN_ANY", Code: 0x0A, Umask: 0x0F, Domain: DomainUncore},
+		Event{Name: "UNC_L3_LINES_OUT_ANY", Code: 0x0B, Umask: 0x0F, Domain: DomainUncore},
+		Event{Name: "UNC_L3_HITS_ANY", Code: 0x08, Umask: 0x03, Domain: DomainUncore},
+		Event{Name: "UNC_L3_MISS_ANY", Code: 0x09, Umask: 0x03, Domain: DomainUncore},
+		Event{Name: "UNC_QMC_NORMAL_READS_ANY", Code: 0x2C, Umask: 0x07, Domain: DomainUncore},
+		Event{Name: "UNC_QMC_WRITES_FULL_ANY", Code: 0x2D, Umask: 0x07, Domain: DomainUncore},
+	)
+	return eventTable(evs...)
+}
+
+// atomEvents is the reduced Core2-style table of the in-order Atom.
+func atomEvents() map[string]Event {
+	base := core2Events()
+	// Atom has no L2 eviction counting and no bus-memory breakdown in this
+	// model; it keeps the SIMD and L1/L2 fill events.
+	delete(base, "L2_LINES_OUT_ANY")
+	delete(base, "L1D_M_EVICT")
+	return base
+}
+
+// pentiumMEvents is the pre-architectural-perfmon table: no fixed counters,
+// instructions and cycles are counted on the two programmable counters.
+func pentiumMEvents() map[string]Event {
+	return eventTable(
+		Event{Name: "INSTR_RETIRED_ANY", Code: 0xC0, Umask: 0x00, Domain: DomainPMC},
+		Event{Name: "CPU_CLK_UNHALTED_CORE", Code: 0x79, Umask: 0x00, Domain: DomainPMC},
+		Event{Name: "EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_DOUBLE", Code: 0xD9, Umask: 0x04, Domain: DomainPMC},
+		Event{Name: "EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_DOUBLE", Code: 0xD9, Umask: 0x08, Domain: DomainPMC},
+		Event{Name: "EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_SINGLE", Code: 0xD9, Umask: 0x01, Domain: DomainPMC},
+		Event{Name: "EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_SINGLE", Code: 0xD9, Umask: 0x02, Domain: DomainPMC},
+		Event{Name: "DCU_LINES_IN", Code: 0x45, Umask: 0x00, Domain: DomainPMC},
+		Event{Name: "L2_LINES_IN_ANY", Code: 0x24, Umask: 0x00, Domain: DomainPMC},
+		Event{Name: "BUS_TRANS_MEM_ALL", Code: 0x6F, Umask: 0x00, Domain: DomainPMC},
+		Event{Name: "BR_INST_RETIRED_ANY", Code: 0xC4, Umask: 0x00, Domain: DomainPMC},
+		Event{Name: "BR_INST_RETIRED_MISPRED", Code: 0xC5, Umask: 0x00, Domain: DomainPMC},
+		Event{Name: "DTLB_MISSES_ANY", Code: 0x08, Umask: 0x01, Domain: DomainPMC},
+	)
+}
+
+// amdCoreEvents is shared between K8 and K10.  AMD has no fixed counters:
+// instructions and cycles occupy programmable slots.
+func amdCoreEvents() []Event {
+	return []Event{
+		{Name: "INSTR_RETIRED_ANY", Code: 0xC0, Umask: 0x00, Domain: DomainPMC},
+		{Name: "CPU_CLK_UNHALTED_CORE", Code: 0x76, Umask: 0x00, Domain: DomainPMC},
+		{Name: "RETIRED_SSE_OPERATIONS_PACKED_DOUBLE", Code: 0xEE, Umask: 0x04, Domain: DomainPMC},
+		{Name: "RETIRED_SSE_OPERATIONS_SCALAR_DOUBLE", Code: 0xEE, Umask: 0x08, Domain: DomainPMC},
+		{Name: "RETIRED_SSE_OPERATIONS_PACKED_SINGLE", Code: 0xEE, Umask: 0x01, Domain: DomainPMC},
+		{Name: "RETIRED_SSE_OPERATIONS_SCALAR_SINGLE", Code: 0xEE, Umask: 0x02, Domain: DomainPMC},
+		{Name: "DATA_CACHE_ACCESSES", Code: 0x40, Umask: 0x00, Domain: DomainPMC},
+		{Name: "DATA_CACHE_REFILLS_ALL", Code: 0x42, Umask: 0x1F, Domain: DomainPMC},
+		{Name: "DATA_CACHE_EVICTED_ALL", Code: 0x44, Umask: 0x3F, Domain: DomainPMC},
+		{Name: "L2_FILL_ALL", Code: 0x7F, Umask: 0x01, Domain: DomainPMC},
+		{Name: "L2_WRITEBACK_ALL", Code: 0x7F, Umask: 0x02, Domain: DomainPMC},
+		{Name: "L2_REQUESTS_ALL", Code: 0x7D, Umask: 0x1F, Domain: DomainPMC},
+		{Name: "L2_MISSES_ALL", Code: 0x7E, Umask: 0x0F, Domain: DomainPMC},
+		{Name: "LS_DISPATCH_LOADS", Code: 0x29, Umask: 0x01, Domain: DomainPMC},
+		{Name: "LS_DISPATCH_STORES", Code: 0x29, Umask: 0x02, Domain: DomainPMC},
+		{Name: "BR_INST_RETIRED_ANY", Code: 0xC2, Umask: 0x00, Domain: DomainPMC},
+		{Name: "BR_INST_RETIRED_MISPRED", Code: 0xC3, Umask: 0x00, Domain: DomainPMC},
+		{Name: "DTLB_MISSES_ANY", Code: 0x46, Umask: 0x07, Domain: DomainPMC},
+	}
+}
+
+// k8Events: K8 has no on-die L3 and its northbridge events are not modeled
+// as a shared counter block, so the table stops at L2.
+func k8Events() map[string]Event {
+	return eventTable(amdCoreEvents()...)
+}
+
+// k10Events adds the shared L3 and DRAM-controller (northbridge) events.
+// The four northbridge counters per node behave like Intel uncore counters:
+// they are a per-socket shared resource requiring socket locks.
+func k10Events() map[string]Event {
+	evs := amdCoreEvents()
+	evs = append(evs,
+		Event{Name: "UNC_L3_READ_REQUESTS_ALL", Code: 0xE0, Umask: 0xF7, Domain: DomainUncore},
+		Event{Name: "UNC_L3_MISSES_ALL", Code: 0xE1, Umask: 0xF7, Domain: DomainUncore},
+		Event{Name: "UNC_L3_LINES_IN_ANY", Code: 0xE1, Umask: 0xF8, Domain: DomainUncore},
+		Event{Name: "UNC_L3_LINES_OUT_ANY", Code: 0xE2, Umask: 0xF8, Domain: DomainUncore},
+		Event{Name: "UNC_DRAM_ACCESSES_READS", Code: 0xE8, Umask: 0x07, Domain: DomainUncore},
+		Event{Name: "UNC_DRAM_ACCESSES_WRITES", Code: 0xE9, Umask: 0x07, Domain: DomainUncore},
+	)
+	return eventTable(evs...)
+}

@@ -1,0 +1,149 @@
+package hwdef
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryAllValid(t *testing.T) {
+	names := Names()
+	if len(names) < 7 {
+		t.Fatalf("expected at least 7 registered architectures, got %d: %v", len(names), names)
+	}
+	for _, n := range names {
+		a, err := Lookup(n)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", n, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("arch %s invalid: %v", n, err)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("pdp11"); err == nil {
+		t.Fatal("expected error for unknown architecture")
+	}
+}
+
+func TestWestmereGeometry(t *testing.T) {
+	a := WestmereEP
+	if got := a.HWThreads(); got != 24 {
+		t.Errorf("HWThreads = %d, want 24", got)
+	}
+	if got := a.Cores(); got != 12 {
+		t.Errorf("Cores = %d, want 12", got)
+	}
+	want := []int{0, 1, 2, 8, 9, 10}
+	for i, id := range a.PhysCoreIDs {
+		if id != want[i] {
+			t.Errorf("PhysCoreIDs[%d] = %d, want %d", i, id, want[i])
+		}
+	}
+	l3, ok := a.CacheAt(3)
+	if !ok {
+		t.Fatal("Westmere must have an L3")
+	}
+	if l3.SizeKB != 12288 || l3.SharedBy != 12 || l3.Inclusive {
+		t.Errorf("L3 = %+v, want 12 MB non-inclusive shared by 12", l3)
+	}
+}
+
+func TestCacheGeometryConsistency(t *testing.T) {
+	for _, n := range Names() {
+		a, _ := Lookup(n)
+		for _, c := range a.Caches {
+			if err := c.Validate(); err != nil {
+				t.Errorf("%s: %v", n, err)
+			}
+		}
+	}
+}
+
+func TestEventTablesHaveMandatoryEvents(t *testing.T) {
+	// The derived-metric engine depends on these two names existing on
+	// every architecture.
+	for _, n := range Names() {
+		a, _ := Lookup(n)
+		for _, name := range []string{"INSTR_RETIRED_ANY", "CPU_CLK_UNHALTED_CORE"} {
+			if _, err := a.EventByName(name); err != nil {
+				t.Errorf("%s: %v", n, err)
+			}
+		}
+	}
+}
+
+func TestUncoreEventsOnlyWithUncoreCounters(t *testing.T) {
+	for _, n := range Names() {
+		a, _ := Lookup(n)
+		for name, ev := range a.Events {
+			if ev.Domain == DomainUncore && a.NumUncore == 0 {
+				t.Errorf("%s: uncore event %s but no uncore counters", n, name)
+			}
+		}
+	}
+}
+
+func TestFixedEventsOnlyOnIntel(t *testing.T) {
+	for _, n := range Names() {
+		a, _ := Lookup(n)
+		if a.Vendor == AMD && a.HasFixedCtr {
+			t.Errorf("%s: AMD arch with fixed counters", n)
+		}
+	}
+}
+
+func TestLastLevelCache(t *testing.T) {
+	llc, ok := NehalemEP.LastLevelCache()
+	if !ok || llc.Level != 3 {
+		t.Fatalf("Nehalem LLC = %+v ok=%v, want level 3", llc, ok)
+	}
+	llc, ok = Core2Quad.LastLevelCache()
+	if !ok || llc.Level != 2 {
+		t.Fatalf("Core2 LLC = %+v ok=%v, want level 2", llc, ok)
+	}
+}
+
+func TestEventEncodesAs(t *testing.T) {
+	ev := Event{Code: 0xCA, Umask: 0x04}
+	if got := ev.EncodesAs(); got != 0x04CA {
+		t.Errorf("EncodesAs = %#x, want 0x04CA", got)
+	}
+}
+
+func TestEncodesAsProperty(t *testing.T) {
+	f := func(code uint16, umask uint8) bool {
+		ev := Event{Code: code, Umask: umask}
+		enc := ev.EncodesAs()
+		return enc&0xFF == code&0xFF && enc>>8 == uint16(umask)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVendorString(t *testing.T) {
+	if Intel.String() != "GenuineIntel" || AMD.String() != "AuthenticAMD" {
+		t.Error("vendor strings must match CPUID identification strings")
+	}
+	if len(Intel.String()) != 12 || len(AMD.String()) != 12 {
+		t.Error("CPUID vendor strings must be exactly 12 bytes")
+	}
+}
+
+func TestPerfModelsCalibrated(t *testing.T) {
+	for _, n := range Names() {
+		a, _ := Lookup(n)
+		p := a.Perf
+		if p.CoreTriadBW > p.SocketMemBW {
+			t.Errorf("%s: single core faster than socket bus", n)
+		}
+		if p.RemoteFactor <= 0 || p.RemoteFactor > 1 {
+			t.Errorf("%s: RemoteFactor %v out of (0,1]", n, p.RemoteFactor)
+		}
+		if p.SMTVectorGain < 1 || p.SMTScalarGain < p.SMTVectorGain {
+			t.Errorf("%s: SMT gains implausible: vector %v scalar %v", n, p.SMTVectorGain, p.SMTScalarGain)
+		}
+	}
+}

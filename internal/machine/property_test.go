@@ -1,0 +1,119 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"likwid/internal/msr"
+)
+
+// TestCounterConservationProperty: for arbitrary workloads the counters
+// measure exactly what the workload generated — event delivery through the
+// slicing, sharing and residual machinery must neither lose nor invent
+// counts.
+func TestCounterConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := newQuiet(t)
+		nTasks := 1 + rng.Intn(4)
+		var works []*ThreadWork
+		expectInstr := map[int]float64{} // cpu -> expected instructions
+		for i := 0; i < nTasks; i++ {
+			cpu := rng.Intn(6) // distinct or shared cpus, both legal
+			task := m.OS.Spawn("w", nil)
+			if err := m.OS.Pin(task, cpu); err != nil {
+				return false
+			}
+			elems := float64(1+rng.Intn(20)) * 1e5
+			instrPerElem := 1 + rng.Float64()*5
+			works = append(works, &ThreadWork{
+				Task: task, Elems: elems,
+				PerElem: PerElem{
+					Cycles: 0.5 + rng.Float64()*3,
+					Counts: Counts{EvInstr: instrPerElem},
+					Vector: rng.Intn(2) == 0,
+				},
+			})
+			expectInstr[cpu] += elems * instrPerElem
+		}
+		// Arm the fixed instruction counter on every cpu.
+		for cpu := 0; cpu < 6; cpu++ {
+			dev, _ := m.MSRs.Open(cpu)
+			dev.Write(msr.IA32FixedCtrCtrl, 0x333)
+			dev.Write(msr.IA32PerfGlobalCtl, uint64(0x7)<<32)
+		}
+		m.RunPhase(works, 0)
+		for cpu, want := range expectInstr {
+			dev, _ := m.MSRs.Open(cpu)
+			got, _ := dev.Read(msr.IA32FixedCtr0)
+			// Residual carrying must keep the error below one count per
+			// counter.
+			if math.Abs(float64(got)-want) > 1.0 {
+				t.Logf("seed %d cpu %d: instr %d, want %v", seed, cpu, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newQuiet(t *testing.T) *Machine {
+	t.Helper()
+	m, err := NewNamed("westmereEP", Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSocketTrafficConservationProperty: uncore memory-line counters equal
+// the workload's traffic exactly, independent of which cores of the socket
+// run the work.
+func TestSocketTrafficConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := newQuiet(t)
+		// Arm the socket-0 uncore read counter.
+		ev, err := m.Arch.EventByName("UNC_QMC_NORMAL_READS_ANY")
+		if err != nil {
+			return false
+		}
+		dev, _ := m.MSRs.Open(0)
+		dev.Write(msr.UncPerfEvtSel, msr.EvtselEncode(ev.Code, ev.Umask))
+		dev.Write(msr.UncGlobalCtl, 1)
+
+		var works []*ThreadWork
+		var wantLines float64
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			cpu := rng.Intn(6) // socket 0 cores only
+			task := m.OS.Spawn("w", nil)
+			if err := m.OS.Pin(task, cpu); err != nil {
+				return false
+			}
+			elems := float64(1+rng.Intn(10)) * 1e5
+			readBytes := float64(8 * (1 + rng.Intn(4)))
+			works = append(works, &ThreadWork{
+				Task: task, Elems: elems,
+				PerElem: PerElem{
+					Cycles: 1, MemReadBytes: readBytes, Streams: 3, Vector: true,
+				},
+			})
+			wantLines += elems * readBytes / 64
+		}
+		m.RunPhase(works, 0)
+		got, _ := dev.Read(msr.UncPMC)
+		if math.Abs(float64(got)-wantLines) > 1.0 {
+			t.Logf("seed %d: lines %d, want %v", seed, got, wantLines)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package marker
+
+import (
+	"math"
+	"testing"
+
+	"likwid/internal/machine"
+	"likwid/internal/perfctr"
+	"likwid/internal/sched"
+)
+
+// TestMarkerUnderMultiplexing: regions measured while event sets rotate
+// still attribute counts to the right region, with extrapolation error
+// bounded for regions spanning many rotation intervals.
+func TestMarkerUnderMultiplexing(t *testing.T) {
+	m, err := machine.NewNamed("core2", machine.Options{Policy: sched.PolicySpread, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := perfctr.ParseEventList(
+		"SIMD_COMP_INST_RETIRED_PACKED_DOUBLE,SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE,L1D_REPL,L2_LINES_IN_ANY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := perfctr.NewCollector(m, []int{0}, specs, perfctr.Options{Multiplex: true, MuxInterval: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.NumSets() != 2 {
+		t.Fatalf("sets = %d, want 2", col.NumSets())
+	}
+	if err := col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	mk, err := New(col, m.Arch.ClockHz(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mk.RegisterRegion("Long")
+
+	task := m.OS.Spawn("w", nil)
+	if err := m.OS.Pin(task, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk.StartRegion(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	const elems = 4e7 // spans many 2 ms rotation windows
+	m.RunPhase([]*machine.ThreadWork{{
+		Task: task, Elems: elems,
+		PerElem: machine.PerElem{
+			Cycles: 2,
+			Counts: machine.Counts{
+				machine.EvInstr:         3,
+				machine.EvFlopsPackedDP: 1,
+				machine.EvL1LinesIn:     0.125,
+			},
+			Vector: true,
+		},
+	}}, 0)
+	if err := mk.StopRegion(0, 0, id); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	region := mk.Regions()[id]
+	packed := region.Counts["SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"][0]
+	if math.Abs(packed-elems) > elems*0.15 {
+		t.Errorf("region packed count = %v, want %v ± 15%% (multiplex extrapolation)", packed, elems)
+	}
+	l1 := region.Counts["L1D_REPL"][0]
+	if math.Abs(l1-elems*0.125) > elems*0.125*0.15 {
+		t.Errorf("region L1D_REPL = %v, want %v ± 15%%", l1, elems*0.125)
+	}
+	// The fixed events stay exact even under rotation.
+	instr := region.Counts["INSTR_RETIRED_ANY"][0]
+	if math.Abs(instr-3*elems) > 1 {
+		t.Errorf("region instructions = %v, want exactly %v", instr, 3*elems)
+	}
+}

@@ -1,0 +1,235 @@
+package marker
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"likwid/internal/machine"
+	"likwid/internal/perfctr"
+	"likwid/internal/sched"
+)
+
+// fixture builds a Core 2 Quad machine with a FLOPS_DP collector running on
+// cores 0-3, mirroring the marker-mode listing of the paper.
+type fixture struct {
+	m   *machine.Machine
+	col *perfctr.Collector
+	mk  *Marker
+	g   perfctr.GroupDef
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	m, err := machine.NewNamed("core2", machine.Options{Policy: sched.PolicySpread, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := perfctr.GroupFor(m.Arch, "FLOPS_DP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []perfctr.EventSpec
+	for _, ev := range g.Events {
+		specs = append(specs, perfctr.EventSpec{Event: ev})
+	}
+	col, err := perfctr.NewCollector(m, []int{0, 1, 2, 3}, specs, perfctr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	mk, err := New(col, m.Arch.ClockHz(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{m: m, col: col, mk: mk, g: g}
+}
+
+// runOn executes a burst of packed-DP work pinned on the given cpu.
+func (f *fixture) runOn(t *testing.T, cpu int, elems float64) {
+	t.Helper()
+	task := f.m.OS.Spawn("w", nil)
+	if err := f.m.OS.Pin(task, cpu); err != nil {
+		t.Fatal(err)
+	}
+	f.m.RunPhase([]*machine.ThreadWork{{
+		Task: task, Elems: elems,
+		PerElem: machine.PerElem{
+			Cycles: 2,
+			Counts: machine.Counts{machine.EvInstr: 3, machine.EvFlopsPackedDP: 1},
+			Vector: true,
+		},
+	}}, 0)
+	f.m.OS.Exit(task)
+}
+
+func TestRegionAccumulation(t *testing.T) {
+	f := newFixture(t)
+	id := f.mk.RegisterRegion("Accum")
+	// Two Start/Stop rounds on core 0 must accumulate.
+	for round := 0; round < 2; round++ {
+		if err := f.mk.StartRegion(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		f.runOn(t, 0, 1e6)
+		if err := f.mk.StopRegion(0, 0, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.mk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := f.mk.Regions()[id]
+	got := r.Counts["SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"][0]
+	if math.Abs(got-2e6) > 2 {
+		t.Errorf("accumulated packed count = %v, want 2e6", got)
+	}
+	if r.Calls != 2 {
+		t.Errorf("calls = %d, want 2", r.Calls)
+	}
+	if r.Time[0] <= 0 {
+		t.Error("region time must be positive")
+	}
+}
+
+func TestRegionExcludesOutsideWork(t *testing.T) {
+	f := newFixture(t)
+	id := f.mk.RegisterRegion("Main")
+	f.runOn(t, 0, 5e5) // before the region: must not count
+	if err := f.mk.StartRegion(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.runOn(t, 0, 1e6)
+	if err := f.mk.StopRegion(0, 0, id); err != nil {
+		t.Fatal(err)
+	}
+	f.runOn(t, 0, 7e5) // after the region: must not count
+	got := f.mk.Regions()[id].Counts["SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"][0]
+	if math.Abs(got-1e6) > 2 {
+		t.Errorf("region count = %v, want 1e6 (region must bracket exactly)", got)
+	}
+}
+
+func TestNestingRejected(t *testing.T) {
+	f := newFixture(t)
+	f.mk.RegisterRegion("A")
+	if err := f.mk.StartRegion(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.mk.StartRegion(0, 0); err == nil {
+		t.Fatal("nested StartRegion must fail")
+	}
+	// A different thread can still measure concurrently.
+	if err := f.mk.StartRegion(1, 1); err != nil {
+		t.Errorf("independent thread rejected: %v", err)
+	}
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	f := newFixture(t)
+	id := f.mk.RegisterRegion("A")
+	if err := f.mk.StopRegion(0, 0, id); err == nil {
+		t.Fatal("StopRegion without StartRegion must fail")
+	}
+}
+
+func TestStopOnDifferentCore(t *testing.T) {
+	f := newFixture(t)
+	id := f.mk.RegisterRegion("A")
+	f.mk.StartRegion(0, 0)
+	if err := f.mk.StopRegion(0, 1, id); err == nil {
+		t.Fatal("stopping on a different core must fail")
+	}
+}
+
+func TestCloseWithOpenRegion(t *testing.T) {
+	f := newFixture(t)
+	f.mk.RegisterRegion("A")
+	f.mk.StartRegion(2, 2)
+	if err := f.mk.Close(); err == nil {
+		t.Fatal("Close with a dangling region must fail")
+	}
+}
+
+func TestRegisterRegionIdempotent(t *testing.T) {
+	f := newFixture(t)
+	a := f.mk.RegisterRegion("Main")
+	b := f.mk.RegisterRegion("Main")
+	if a != b {
+		t.Errorf("same name registered twice: ids %d and %d", a, b)
+	}
+}
+
+func TestInvalidThreadAndRegionIDs(t *testing.T) {
+	f := newFixture(t)
+	id := f.mk.RegisterRegion("A")
+	if err := f.mk.StartRegion(99, 0); err == nil {
+		t.Error("thread id out of range must fail")
+	}
+	if err := f.mk.StartRegion(0, 17); err == nil {
+		t.Error("unmeasured core must fail")
+	}
+	f.mk.StartRegion(0, 0)
+	if err := f.mk.StopRegion(0, 0, id+5); err == nil {
+		t.Error("unknown region id must fail")
+	}
+}
+
+func TestMarkerReportFormat(t *testing.T) {
+	f := newFixture(t)
+	init := f.mk.RegisterRegion("Init")
+	bench := f.mk.RegisterRegion("Benchmark")
+	// Small init burst, larger benchmark burst on every core — the shape
+	// of the paper's listing.
+	for cpu := 0; cpu < 4; cpu++ {
+		if err := f.mk.StartRegion(cpu, cpu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cpu := 0; cpu < 4; cpu++ {
+		f.runOn(t, cpu, 1e4)
+	}
+	for cpu := 0; cpu < 4; cpu++ {
+		if err := f.mk.StopRegion(cpu, cpu, init); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cpu := 0; cpu < 4; cpu++ {
+		f.mk.StartRegion(cpu, cpu)
+		f.runOn(t, cpu, 4e6)
+		f.mk.StopRegion(cpu, cpu, bench)
+	}
+	if err := f.mk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := f.mk.Report(&f.g)
+	for _, want := range []string{
+		"Region: Init",
+		"Region: Benchmark",
+		"| Event",
+		"| core 0 | core 1 | core 2 | core 3 |",
+		"SIMD_COMP_INST_RETIRED_PACKED_DOUBLE",
+		"| Metric",
+		"Runtime [s]",
+		"CPI",
+		"DP MFlops/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// The benchmark region must show more packed ops than init.
+	ri, rb := f.mk.Regions()[init], f.mk.Regions()[bench]
+	if rb.Counts["SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"][2] <= ri.Counts["SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"][2] {
+		t.Error("benchmark region must dominate init region")
+	}
+}
+
+func TestNewMarkerValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, err := New(f.col, 1e9, 0); err == nil {
+		t.Error("zero threads must fail")
+	}
+}

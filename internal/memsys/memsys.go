@@ -1,0 +1,175 @@
+// Package memsys models the ccNUMA memory system of a node: one integrated
+// memory controller per socket with a finite sustained bandwidth, max-min
+// fair arbitration among the cores that demand it, a bandwidth penalty for
+// remote (cross-socket) traffic, and reduced bus efficiency for
+// non-temporal store streams.
+//
+// The model captures the two effects the paper's case studies hinge on:
+//
+//   - Saturation: a few streaming cores saturate a socket's controller, so
+//     unpinned placements that land all threads on one socket halve the
+//     STREAM bandwidth (Figs. 4-10).
+//   - Single-stream limit: one load stream cannot saturate the bus, which
+//     is why the temporally blocked Jacobi's 4.5× traffic reduction buys
+//     only a 1.7× speedup (Table II discussion).
+package memsys
+
+import (
+	"fmt"
+
+	"likwid/internal/hwdef"
+)
+
+// Demand is one task's memory-bandwidth request for a time slice.
+type Demand struct {
+	Task       int     // opaque task identifier, echoed in the grant
+	HomeSocket int     // socket whose controller owns the pages (first touch)
+	FromSocket int     // socket the requesting core sits on
+	Bytes      float64 // demanded bandwidth in bytes/s
+	NTFraction float64 // fraction of the traffic that is non-temporal stores
+}
+
+// Grant is the arbitrated bandwidth for one demand.
+type Grant struct {
+	Task  int
+	Bytes float64 // granted bandwidth in bytes/s
+}
+
+// System is the memory system of one node.
+type System struct {
+	arch *hwdef.Arch
+}
+
+// New builds the memory system for an architecture.
+func New(a *hwdef.Arch) *System { return &System{arch: a} }
+
+// Arbitrate distributes controller bandwidth across the demands of one time
+// slice and returns per-task grants in the same order.
+//
+// Algorithm: demands are grouped by home controller and water-filled
+// (max-min fairness) against the controller's capacity.  A demand's
+// *effective* capacity cost is inflated by the NT-store efficiency factor
+// and by the remote-access penalty when the requesting core is on a
+// different socket than the memory.
+func (s *System) Arbitrate(demands []Demand) []Grant {
+	grants := make([]Grant, len(demands))
+	byHome := make(map[int][]int)
+	for i, d := range demands {
+		grants[i] = Grant{Task: d.Task}
+		byHome[d.HomeSocket] = append(byHome[d.HomeSocket], i)
+	}
+	for home, idxs := range byHome {
+		_ = home
+		// Effective demand in controller-capacity units.
+		eff := make([]float64, len(idxs))
+		for j, i := range idxs {
+			eff[j] = s.effectiveCost(demands[i])
+		}
+		granted := Waterfill(s.arch.Perf.SocketMemBW, eff)
+		for j, i := range idxs {
+			if eff[j] <= 0 {
+				continue
+			}
+			// Convert the granted capacity back to payload bytes.
+			grants[i].Bytes = granted[j] * (demands[i].Bytes / eff[j])
+		}
+	}
+	return grants
+}
+
+// effectiveCost converts a payload demand into controller-capacity units.
+func (s *System) effectiveCost(d Demand) float64 {
+	if d.Bytes <= 0 {
+		return 0
+	}
+	cost := d.Bytes
+	if nt := clamp01(d.NTFraction); nt > 0 {
+		// NT streams use the bus less efficiently; the controller burns
+		// proportionally more capacity per payload byte.
+		ntEff := s.arch.Perf.NTStoreEfficiency
+		cost = d.Bytes * ((1 - nt) + nt/ntEff)
+	}
+	if d.FromSocket != d.HomeSocket {
+		// Remote traffic crosses the socket interconnect.
+		cost /= s.arch.Perf.RemoteFactor
+	}
+	return cost
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Waterfill implements max-min fair sharing: capacity is divided equally
+// among unsatisfied demands, freed slack is redistributed, and no demand
+// receives more than it asked for.  It returns the grant per demand.
+func Waterfill(capacity float64, demands []float64) []float64 {
+	grants := make([]float64, len(demands))
+	if capacity <= 0 {
+		return grants
+	}
+	remaining := capacity
+	active := make([]int, 0, len(demands))
+	for i, d := range demands {
+		if d > 0 {
+			active = append(active, i)
+		}
+	}
+	for len(active) > 0 && remaining > 1e-9 {
+		share := remaining / float64(len(active))
+		next := active[:0]
+		progressed := false
+		for _, i := range active {
+			need := demands[i] - grants[i]
+			if need <= share {
+				grants[i] = demands[i]
+				remaining -= need
+				progressed = true
+				continue
+			}
+			next = append(next, i)
+		}
+		if !progressed {
+			// Everyone still needs at least a full share: hand it out.
+			for _, i := range next {
+				grants[i] += share
+			}
+			remaining = 0
+		}
+		active = next
+	}
+	return grants
+}
+
+// SingleStreamCap returns the per-task bandwidth ceiling implied by its
+// concurrency: a single leading stream cannot saturate the controller.
+// Vectorized multi-stream kernels reach CoreTriadBW, scalar ones
+// CoreScalarBW.
+func (s *System) SingleStreamCap(streams int, vector bool) float64 {
+	p := s.arch.Perf
+	if streams <= 1 {
+		return p.SingleStreamBW
+	}
+	if vector {
+		return p.CoreTriadBW
+	}
+	return p.CoreScalarBW
+}
+
+// Validate sanity-checks the model parameters.
+func (s *System) Validate() error {
+	p := s.arch.Perf
+	if p.SocketMemBW <= 0 {
+		return fmt.Errorf("memsys: %s has no controller bandwidth", s.arch.Name)
+	}
+	if p.NTStoreEfficiency <= 0 || p.NTStoreEfficiency > 1 {
+		return fmt.Errorf("memsys: %s NT efficiency %v out of (0,1]", s.arch.Name, p.NTStoreEfficiency)
+	}
+	return nil
+}

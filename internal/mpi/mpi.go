@@ -1,0 +1,127 @@
+// Package mpi models the hybrid MPI+threads launch scenario of §II-C: a
+// number of MPI ranks per node, each spawning an OpenMP team, pinned with
+// likwid-pin and a skip mask covering the runtime's shepherd threads:
+//
+//	$ export OMP_NUM_THREADS=8
+//	$ mpiexec -n 64 -pernode likwid-pin -c 0-7 -s 0x3 ./a.out
+//
+// The model stays on one node (the paper's -pernode case runs one rank per
+// node); with several ranks per node each rank is offset into the node's
+// core list, which is what likwid-mpirun later automated.
+package mpi
+
+import (
+	"fmt"
+
+	"likwid/internal/machine"
+	"likwid/internal/pin"
+	"likwid/internal/sched"
+)
+
+// Rank is one launched MPI process with its thread team.
+type Rank struct {
+	ID        int
+	Master    *sched.Task
+	Team      *sched.Team
+	Pinner    *pin.Pinner
+	Cores     []int
+	Shepherds int // runtime threads excluded from pinning
+}
+
+// LaunchSpec describes a hybrid job on one node.
+type LaunchSpec struct {
+	Ranks          int                // MPI processes on this node
+	ThreadsPerRank int                // OMP_NUM_THREADS
+	Runtime        sched.RuntimeModel // OpenMP implementation
+	// SkipMask per rank; zero means SkipMaskFor(Runtime) plus one MPI
+	// shepherd thread (the paper's 0x3 case for Intel MPI + Intel OpenMP).
+	SkipMask uint64
+	// Cores is the node core list partitioned across ranks; empty means
+	// processors 0..Ranks*ThreadsPerRank-1.
+	Cores []int
+}
+
+// defaultSkipMask composes the MPI shepherd (always thread 0 of a rank)
+// with the OpenMP runtime's own shepherd.
+func (s LaunchSpec) defaultSkipMask() uint64 {
+	mask := uint64(0x1) // the MPI communication thread is created first
+	if s.Runtime == sched.RuntimeIntelOMP {
+		mask = 0x3 // plus the Intel OpenMP shepherd: the paper's example
+	}
+	return mask
+}
+
+// Launch starts every rank on the machine, pinning each rank's team into
+// its slice of the core list.
+func Launch(m *machine.Machine, spec LaunchSpec) ([]*Rank, error) {
+	if spec.Ranks < 1 || spec.ThreadsPerRank < 1 {
+		return nil, fmt.Errorf("mpi: need at least one rank and one thread, got %d/%d",
+			spec.Ranks, spec.ThreadsPerRank)
+	}
+	cores := spec.Cores
+	if len(cores) == 0 {
+		n := spec.Ranks * spec.ThreadsPerRank
+		if n > m.OS.NumCPUs() {
+			return nil, fmt.Errorf("mpi: %d ranks x %d threads exceed %d processors",
+				spec.Ranks, spec.ThreadsPerRank, m.OS.NumCPUs())
+		}
+		for c := 0; c < n; c++ {
+			cores = append(cores, c)
+		}
+	}
+	if len(cores) < spec.Ranks*spec.ThreadsPerRank {
+		return nil, fmt.Errorf("mpi: core list of %d too small for %d x %d",
+			len(cores), spec.Ranks, spec.ThreadsPerRank)
+	}
+	mask := spec.SkipMask
+	if mask == 0 {
+		mask = spec.defaultSkipMask()
+	}
+
+	var ranks []*Rank
+	for r := 0; r < spec.Ranks; r++ {
+		slice := cores[r*spec.ThreadsPerRank : (r+1)*spec.ThreadsPerRank]
+		p, err := pin.New(m.OS, slice, mask)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: rank %d: %w", r, err)
+		}
+		master := m.OS.Spawn(fmt.Sprintf("rank-%d", r), nil)
+		if err := p.PinProcess(master); err != nil {
+			return nil, fmt.Errorf("mpi: rank %d: %w", r, err)
+		}
+		hook := p.Hook()
+		// The MPI library spawns its communication shepherd before any
+		// OpenMP thread exists — first created thread of the rank.
+		shepherds := 0
+		commThread := m.OS.Spawn(fmt.Sprintf("mpi-shepherd-%d", r), master)
+		hook(0, commThread)
+		shepherds++
+		// OpenMP team creation continues the same creation index space.
+		offsetHook := func(createIndex int, t *sched.Task) {
+			hook(createIndex+1, t)
+		}
+		team, err := sched.SpawnTeam(m.OS, spec.Runtime, spec.ThreadsPerRank, master, offsetHook)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: rank %d: %w", r, err)
+		}
+		if spec.Runtime == sched.RuntimeIntelOMP {
+			shepherds++
+		}
+		ranks = append(ranks, &Rank{
+			ID: r, Master: master, Team: team, Pinner: p,
+			Cores: slice, Shepherds: shepherds,
+		})
+	}
+	return ranks, nil
+}
+
+// Placement returns rank -> worker placements for verification.
+func Placement(ranks []*Rank) [][]int {
+	out := make([][]int, len(ranks))
+	for i, r := range ranks {
+		for _, w := range r.Team.Workers {
+			out[i] = append(out[i], w.CPU)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package mpi
+
+import (
+	"testing"
+
+	"likwid/internal/hwdef"
+	"likwid/internal/machine"
+	"likwid/internal/sched"
+)
+
+func newMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.NewNamed("westmereEP", machine.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestPaperHybridExample: likwid-pin -c 0-7 -s 0x3 with Intel MPI + Intel
+// OpenMP, one rank, eight threads (§II-C).
+func TestPaperHybridExample(t *testing.T) {
+	m := newMachine(t)
+	ranks, err := Launch(m, LaunchSpec{
+		Ranks: 1, ThreadsPerRank: 8, Runtime: sched.RuntimeIntelOMP,
+		Cores: []int{0, 1, 2, 3, 4, 5, 6, 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ranks[0]
+	if r.Shepherds != 2 {
+		t.Errorf("shepherds = %d, want 2 (MPI + OpenMP)", r.Shepherds)
+	}
+	// Workers must land on cores 0-7 in order; master is worker 0 on 0.
+	for i, w := range r.Team.Workers {
+		if w.CPU != i {
+			t.Errorf("worker %d on cpu %d, want %d", i, w.CPU, i)
+		}
+		if !w.Pinned {
+			t.Errorf("worker %d not pinned", i)
+		}
+	}
+	// Neither shepherd is pinned.
+	for _, tk := range m.OS.Tasks() {
+		if tk.Name == "mpi-shepherd-0" && tk.Pinned {
+			t.Error("MPI shepherd was pinned")
+		}
+		if tk.Name == "omp-shepherd" && tk.Pinned {
+			t.Error("OpenMP shepherd was pinned")
+		}
+	}
+}
+
+// TestTwoRanksPartitionTheNode: 2 ranks x 6 threads split the 12 physical
+// cores, each rank on its own socket's processors.
+func TestTwoRanksPartitionTheNode(t *testing.T) {
+	m := newMachine(t)
+	ranks, err := Launch(m, LaunchSpec{
+		Ranks: 2, ThreadsPerRank: 6, Runtime: sched.RuntimeGccOMP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement := Placement(ranks)
+	for i := 0; i < 6; i++ {
+		if placement[0][i] != i {
+			t.Fatalf("rank 0 placement = %v", placement[0])
+		}
+		if placement[1][i] != 6+i {
+			t.Fatalf("rank 1 placement = %v", placement[1])
+		}
+	}
+	// Socket disjointness.
+	for _, cpu := range placement[0] {
+		if m.SocketOf(cpu) != 0 {
+			t.Errorf("rank 0 leaked to socket %d", m.SocketOf(cpu))
+		}
+	}
+	for _, cpu := range placement[1] {
+		if m.SocketOf(cpu) != 1 {
+			t.Errorf("rank 1 leaked to socket %d", m.SocketOf(cpu))
+		}
+	}
+}
+
+// TestGccHybridDefaultMask: with gcc OpenMP only the MPI shepherd needs
+// skipping (mask 0x1).
+func TestGccHybridDefaultMask(t *testing.T) {
+	spec := LaunchSpec{Ranks: 1, ThreadsPerRank: 4, Runtime: sched.RuntimeGccOMP}
+	if got := spec.defaultSkipMask(); got != 0x1 {
+		t.Errorf("gcc hybrid mask = %#x, want 0x1", got)
+	}
+	spec.Runtime = sched.RuntimeIntelOMP
+	if got := spec.defaultSkipMask(); got != 0x3 {
+		t.Errorf("intel hybrid mask = %#x, want 0x3", got)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	m := newMachine(t)
+	if _, err := Launch(m, LaunchSpec{Ranks: 0, ThreadsPerRank: 4}); err == nil {
+		t.Error("zero ranks must fail")
+	}
+	if _, err := Launch(m, LaunchSpec{Ranks: 4, ThreadsPerRank: 8}); err == nil {
+		t.Error("oversubscribing the node must fail")
+	}
+	if _, err := Launch(m, LaunchSpec{Ranks: 2, ThreadsPerRank: 4, Cores: []int{0, 1}}); err == nil {
+		t.Error("short core list must fail")
+	}
+}
+
+// TestHybridRunEndToEnd: both ranks stream concurrently; each saturates its
+// own socket.
+func TestHybridRunEndToEnd(t *testing.T) {
+	m := newMachine(t)
+	ranks, err := Launch(m, LaunchSpec{Ranks: 2, ThreadsPerRank: 6, Runtime: sched.RuntimeGccOMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var works []*machine.ThreadWork
+	const elemsPerThread = 2e6
+	for _, r := range ranks {
+		for _, w := range r.Team.Workers {
+			works = append(works, &machine.ThreadWork{
+				Task: w, Elems: elemsPerThread,
+				PerElem: machine.PerElem{
+					Cycles: 0.95, MemReadBytes: 16, MemWriteBytes: 8,
+					Streams: 3, Vector: true,
+				},
+			})
+		}
+	}
+	elapsed := m.RunPhase(works, 0)
+	bw := 12 * elemsPerThread * 24 / elapsed
+	want := 2 * hwdef.WestmereEP.Perf.SocketMemBW
+	if bw < want*0.9 {
+		t.Errorf("hybrid node bandwidth = %v, want ≈ %v", bw, want)
+	}
+}

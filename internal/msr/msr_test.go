@@ -1,0 +1,179 @@
+package msr
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"likwid/internal/hwdef"
+)
+
+func TestOpenRange(t *testing.T) {
+	s := NewSpace(hwdef.WestmereEP)
+	if s.NumCPUs() != 24 {
+		t.Fatalf("NumCPUs = %d, want 24", s.NumCPUs())
+	}
+	if _, err := s.Open(23); err != nil {
+		t.Error(err)
+	}
+	if _, err := s.Open(24); err == nil {
+		t.Error("expected error opening device 24")
+	}
+	if _, err := s.Open(-1); err == nil {
+		t.Error("expected error opening negative device")
+	}
+}
+
+func TestReadWriteRoundtrip(t *testing.T) {
+	s := NewSpace(hwdef.WestmereEP)
+	d, _ := s.Open(0)
+	if err := d.Write(IA32PerfEvtSel0, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Read(IA32PerfEvtSel0)
+	if err != nil || v != 0xDEAD {
+		t.Fatalf("read = %#x err=%v, want 0xDEAD", v, err)
+	}
+}
+
+func TestUnimplementedRegister(t *testing.T) {
+	s := NewSpace(hwdef.WestmereEP)
+	d, _ := s.Open(0)
+	if _, err := d.Read(0xFFFF); err == nil {
+		t.Error("expected EIO-style error reading unimplemented register")
+	}
+	if err := d.Write(0xFFFF, 1); err == nil {
+		t.Error("expected error writing unimplemented register")
+	}
+	// AMD registers do not exist on an Intel part.
+	if _, err := d.Read(AMDPerfEvtSel0); err == nil {
+		t.Error("AMD PERFEVTSEL must not exist on Westmere")
+	}
+}
+
+func TestAMDRegisterMap(t *testing.T) {
+	s := NewSpace(hwdef.Istanbul)
+	d, _ := s.Open(0)
+	if err := d.Write(AMDPerfEvtSel0, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := d.Read(IA32PerfEvtSel0); err == nil {
+		t.Error("Intel PERFEVTSEL must not exist on K10")
+	}
+	if _, err := d.Read(IA32FixedCtr0); err == nil {
+		t.Error("fixed counters must not exist on AMD")
+	}
+}
+
+func TestUncoreIsSocketShared(t *testing.T) {
+	s := NewSpace(hwdef.WestmereEP)
+	// Procs 0 and 1 are cores 0 and 1 of socket 0; proc 6 is socket 1.
+	d0, _ := s.Open(0)
+	d1, _ := s.Open(1)
+	d6, _ := s.Open(6)
+	if err := d0.Write(UncPerfEvtSel, 0xABC); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := d1.Read(UncPerfEvtSel)
+	if v1 != 0xABC {
+		t.Errorf("socket peer sees %#x, want 0xABC (uncore must be shared)", v1)
+	}
+	v6, _ := d6.Read(UncPerfEvtSel)
+	if v6 != 0 {
+		t.Errorf("other socket sees %#x, want 0 (uncore must not leak across sockets)", v6)
+	}
+	// SMT sibling of core 0 (proc 12) shares socket 0's bank too.
+	d12, _ := s.Open(12)
+	v12, _ := d12.Read(UncPerfEvtSel)
+	if v12 != 0xABC {
+		t.Errorf("SMT sibling sees %#x, want 0xABC", v12)
+	}
+}
+
+func TestCounterWraps48Bits(t *testing.T) {
+	s := NewSpace(hwdef.WestmereEP)
+	d, _ := s.Open(0)
+	if err := d.Write(IA32PMC0, CounterMask); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(IA32PMC0, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := d.Read(IA32PMC0)
+	if v != 1 {
+		t.Errorf("counter after wrap = %d, want 1", v)
+	}
+}
+
+func TestEvtselRoundtripProperty(t *testing.T) {
+	f := func(code uint16, umask uint8) bool {
+		v := EvtselEncode(code, umask)
+		c, u, en := EvtselFields(v)
+		return c == code&0xFF && u == umask && en
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultMiscEnable(t *testing.T) {
+	s := NewSpace(hwdef.Core2Quad)
+	d, _ := s.Open(0)
+	v, err := d.Read(IA32MiscEnable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefetcher-disable bits must be clear (prefetchers enabled).
+	for _, bit := range []uint{hwdef.BitHWPrefetcher, hwdef.BitCLPrefetcher, hwdef.BitDCUPrefetcher, hwdef.BitIPPrefetcher} {
+		if v&(1<<bit) != 0 {
+			t.Errorf("prefetcher-disable bit %d set by default", bit)
+		}
+	}
+	// SpeedStep (bit 16) enabled by default, as in the paper's listing.
+	if v&(1<<16) == 0 {
+		t.Error("Enhanced SpeedStep bit must default to enabled")
+	}
+}
+
+func TestSetClearBits(t *testing.T) {
+	s := NewSpace(hwdef.Core2Quad)
+	d, _ := s.Open(0)
+	if err := d.SetBits(IA32MiscEnable, 1<<hwdef.BitCLPrefetcher); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := d.Read(IA32MiscEnable)
+	if v&(1<<hwdef.BitCLPrefetcher) == 0 {
+		t.Error("SetBits did not set the CL prefetcher disable bit")
+	}
+	if err := d.ClearBits(IA32MiscEnable, 1<<hwdef.BitCLPrefetcher); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = d.Read(IA32MiscEnable)
+	if v&(1<<hwdef.BitCLPrefetcher) != 0 {
+		t.Error("ClearBits did not clear the bit")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	s := NewSpace(hwdef.WestmereEP)
+	d, _ := s.Open(0)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := d.Add(IA32PMC0, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, _ := d.Read(IA32PMC0)
+	if v != workers*per {
+		t.Errorf("counter = %d, want %d (increments must not race)", v, workers*per)
+	}
+}

@@ -1,0 +1,91 @@
+package perfctr
+
+import "likwid/internal/msr"
+
+// Current returns the accumulated counts including the not-yet-harvested
+// live counter registers, without disturbing the measurement.  The marker
+// API is built on this: region deltas are differences of two Current
+// snapshots.
+func (c *Collector) Current() Results {
+	wall := c.M.Now() - c.startTime
+	r := Results{
+		CPUs:     c.CPUs(),
+		Events:   c.EventNames(),
+		Counts:   map[string][]float64{},
+		WallTime: wall,
+		Scaled:   len(c.sets) > 1,
+	}
+
+	// Copy accumulated counts.
+	for name, vals := range c.acc {
+		r.Counts[name] = append([]float64(nil), vals...)
+	}
+
+	if c.active {
+		set := c.sets[c.current]
+		for _, cpu := range c.cpus {
+			dev, err := c.M.MSRs.Open(cpu)
+			if err != nil {
+				continue
+			}
+			idx := c.cpuIndex(cpu)
+			for _, e := range c.fixed {
+				if v, err := dev.Read(msr.IA32FixedCtr0 + uint32(e.Slot)); err == nil {
+					r.Counts[e.Name][idx] += float64(v)
+				}
+			}
+			for _, e := range set.pmc {
+				if v, err := dev.Read(c.pmcReg(e.Slot)); err == nil {
+					r.Counts[e.Name][idx] += float64(v)
+				}
+			}
+		}
+		for _, leader := range c.socketLeaders() {
+			dev, err := c.M.MSRs.Open(leader)
+			if err != nil {
+				continue
+			}
+			idx := c.cpuIndex(leader)
+			for _, e := range set.uncore {
+				if v, err := dev.Read(msr.UncPMC + uint32(e.Slot)); err == nil {
+					r.Counts[e.Name][idx] += float64(v)
+				}
+			}
+		}
+	}
+
+	// Multiplex extrapolation, charging in-flight time to the active set.
+	if len(c.sets) > 1 {
+		setOf := map[string]int{}
+		for i, set := range c.sets {
+			for _, e := range set.pmc {
+				setOf[e.Name] = i
+			}
+			for _, e := range set.uncore {
+				setOf[e.Name] = i
+			}
+		}
+		inflight := 0.0
+		if c.active {
+			inflight = c.M.Now() - c.lastSwitch
+		}
+		for name, vals := range r.Counts {
+			si, ok := setOf[name]
+			if !ok {
+				continue // fixed events run in every set
+			}
+			active := c.setActive[si]
+			if si == c.current {
+				active += inflight
+			}
+			if active <= 0 || wall <= 0 {
+				continue
+			}
+			scale := wall / active
+			for i := range vals {
+				vals[i] *= scale
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,274 @@
+package perfctr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The derived-metric formula engine.  Group metrics are arithmetic over
+// event counts and the pseudo-variables "time" (region runtime in seconds)
+// and "clock" (core clock in Hz), e.g.
+//
+//	1.0E-06*(FP_COMP_OPS_EXE_SSE_FP_PACKED*2+FP_COMP_OPS_EXE_SSE_FP_SCALAR)/time
+//
+// The grammar is a conventional precedence-climbing expression language:
+//
+//	expr   = term  { ("+"|"-") term }
+//	term   = unary { ("*"|"/") unary }
+//	unary  = "-" unary | primary
+//	primary= number | identifier | "(" expr ")"
+//
+// Identifiers are event names ([A-Za-z_][A-Za-z0-9_]*); numbers accept
+// scientific notation (1.0E-06).
+
+type exprNode interface {
+	eval(env map[string]float64) (float64, error)
+}
+
+type numNode float64
+
+func (n numNode) eval(map[string]float64) (float64, error) { return float64(n), nil }
+
+type varNode string
+
+func (v varNode) eval(env map[string]float64) (float64, error) {
+	val, ok := env[string(v)]
+	if !ok {
+		return 0, fmt.Errorf("perfctr: formula references unknown value %q", string(v))
+	}
+	return val, nil
+}
+
+type binNode struct {
+	op   byte
+	l, r exprNode
+}
+
+func (b binNode) eval(env map[string]float64) (float64, error) {
+	l, err := b.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, nil // counters at zero: report 0, not NaN
+		}
+		return l / r, nil
+	}
+	return 0, fmt.Errorf("perfctr: unknown operator %q", string(b.op))
+}
+
+type negNode struct{ x exprNode }
+
+func (n negNode) eval(env map[string]float64) (float64, error) {
+	v, err := n.x.eval(env)
+	return -v, err
+}
+
+// Expr is a compiled metric formula.
+type Expr struct {
+	src  string
+	root exprNode
+}
+
+// CompileExpr parses a formula once; Eval can then run it repeatedly.
+func CompileExpr(src string) (*Expr, error) {
+	p := &exprParser{src: src}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("perfctr: trailing input %q in formula %q", p.src[p.pos:], src)
+	}
+	return &Expr{src: src, root: root}, nil
+}
+
+// Eval computes the formula against an environment of event counts and
+// pseudo-variables.  NaN and infinities collapse to 0 for display, matching
+// the tool's behaviour on empty counters.
+func (e *Expr) Eval(env map[string]float64) (float64, error) {
+	v, err := e.root.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, nil
+	}
+	return v, nil
+}
+
+// Vars lists the identifiers the formula references.
+func (e *Expr) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(n exprNode)
+	walk = func(n exprNode) {
+		switch t := n.(type) {
+		case varNode:
+			if !seen[string(t)] {
+				seen[string(t)] = true
+				out = append(out, string(t))
+			}
+		case binNode:
+			walk(t.l)
+			walk(t.r)
+		case negNode:
+			walk(t.x)
+		}
+	}
+	walk(e.root)
+	return out
+}
+
+// String returns the source formula.
+func (e *Expr) String() string { return e.src }
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *exprParser) parseExpr() (exprNode, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		if op != '+' && op != '-' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: op, l: left, r: right}
+	}
+}
+
+func (p *exprParser) parseTerm() (exprNode, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		if op != '*' && op != '/' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: op, l: left, r: right}
+	}
+}
+
+func (p *exprParser) parseUnary() (exprNode, error) {
+	if p.peek() == '-' {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return negNode{x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (exprNode, error) {
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("perfctr: missing ')' in formula %q", p.src)
+		}
+		p.pos++
+		return inner, nil
+	case c >= '0' && c <= '9' || c == '.':
+		return p.parseNumber()
+	case unicode.IsLetter(rune(c)) || c == '_':
+		return p.parseIdent(), nil
+	case c == 0:
+		return nil, fmt.Errorf("perfctr: unexpected end of formula %q", p.src)
+	default:
+		return nil, fmt.Errorf("perfctr: unexpected character %q in formula %q", string(c), p.src)
+	}
+}
+
+func (p *exprParser) parseNumber() (exprNode, error) {
+	p.skipSpace()
+	start := p.pos
+	seenExp := false
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c >= '0' && c <= '9' || c == '.':
+			p.pos++
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			p.pos++
+			if p.pos < len(p.src) && (p.src[p.pos] == '+' || p.src[p.pos] == '-') {
+				p.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return nil, fmt.Errorf("perfctr: bad number %q in formula %q", p.src[start:p.pos], p.src)
+	}
+	return numNode(v), nil
+}
+
+func (p *exprParser) parseIdent() exprNode {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return varNode(strings.TrimSpace(p.src[start:p.pos]))
+}

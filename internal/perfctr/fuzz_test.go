@@ -1,0 +1,50 @@
+package perfctr
+
+import "testing"
+
+// FuzzCompileExpr: the formula parser must never panic, and compiled
+// formulas must evaluate without panicking against an empty environment
+// (errors are fine).
+func FuzzCompileExpr(f *testing.F) {
+	for _, seed := range []string{
+		"1.0E-06*(A*2+B)/time",
+		"A/B", "-(X)", "((1))", "1e", "*", "", "a b", "1.0E-06*",
+		"CPU_CLK_UNHALTED_CORE/clock",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := CompileExpr(src)
+		if err != nil {
+			return
+		}
+		_, _ = expr.Eval(map[string]float64{})
+		_, _ = expr.Eval(map[string]float64{"time": 1, "clock": 2e9})
+		vars := expr.Vars()
+		env := map[string]float64{}
+		for _, v := range vars {
+			env[v] = 1
+		}
+		if _, err := expr.Eval(env); err != nil {
+			t.Fatalf("CompileExpr(%q): eval with all vars bound failed: %v", src, err)
+		}
+	})
+}
+
+// FuzzParseEventList: never panics; accepted specs have nonempty events.
+func FuzzParseEventList(f *testing.F) {
+	for _, seed := range []string{"A:PMC0,B:PMC1", "A", "", ",,,", "A:B:C"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		specs, err := ParseEventList(s)
+		if err != nil {
+			return
+		}
+		for _, spec := range specs {
+			if spec.Event == "" {
+				t.Fatalf("ParseEventList(%q) accepted empty event name", s)
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package perfctr
+
+import (
+	"fmt"
+	"strings"
+
+	"likwid/internal/hwdef"
+)
+
+// Custom performance-group definitions in the LIKWID text format.  The
+// original tool ships its preconfigured groups as small text files and
+// users add their own; this parser accepts the same shape:
+//
+//	SHORT  Double precision MFlops/s
+//	EVENTSET
+//	PMC0  SIMD_COMP_INST_RETIRED_PACKED_DOUBLE
+//	PMC1  SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE
+//	METRICS
+//	DP MFlops/s  1.0E-06*(PMC0*2+PMC1)/time
+//	LONG
+//	Free-text documentation, ignored by the parser.
+//
+// Metric formulas reference *counters* (PMC0, FIXC1, UPMC0) as in the
+// original format; the parser rewrites them to event names so the formula
+// engine can evaluate measurement results.  FIXC0/FIXC1 resolve to the
+// always-counted INSTR_RETIRED_ANY / CPU_CLK_UNHALTED_CORE; "time" and
+// "clock" pass through.
+func ParseGroupFile(a *hwdef.Arch, name, src string) (GroupDef, error) {
+	g := GroupDef{Name: name}
+	counterToEvent := map[string]string{
+		"FIXC0": "INSTR_RETIRED_ANY",
+		"FIXC1": "CPU_CLK_UNHALTED_CORE",
+		"FIXC2": "CPU_CLK_UNHALTED_REF",
+	}
+
+	section := ""
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "SHORT"):
+			g.Function = strings.TrimSpace(strings.TrimPrefix(line, "SHORT"))
+			continue
+		case line == "EVENTSET":
+			section = "EVENTSET"
+			continue
+		case line == "METRICS":
+			section = "METRICS"
+			continue
+		case line == "LONG":
+			section = "LONG"
+			continue
+		}
+		switch section {
+		case "EVENTSET":
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return g, fmt.Errorf("perfctr: group %s line %d: want 'COUNTER EVENT', got %q", name, lineNo+1, line)
+			}
+			counter, event := fields[0], fields[1]
+			if _, err := a.EventByName(event); err != nil {
+				return g, fmt.Errorf("perfctr: group %s line %d: %w", name, lineNo+1, err)
+			}
+			if prev, dup := counterToEvent[counter]; dup && prev != event {
+				return g, fmt.Errorf("perfctr: group %s line %d: counter %s assigned twice", name, lineNo+1, counter)
+			}
+			counterToEvent[counter] = event
+			if !strings.HasPrefix(counter, "FIXC") {
+				g.Events = append(g.Events, event)
+			}
+		case "METRICS":
+			metricName, formula, err := splitMetricLine(line)
+			if err != nil {
+				return g, fmt.Errorf("perfctr: group %s line %d: %w", name, lineNo+1, err)
+			}
+			rewritten, err := rewriteCounters(formula, counterToEvent)
+			if err != nil {
+				return g, fmt.Errorf("perfctr: group %s line %d: %w", name, lineNo+1, err)
+			}
+			if _, err := CompileExpr(rewritten); err != nil {
+				return g, fmt.Errorf("perfctr: group %s line %d: %w", name, lineNo+1, err)
+			}
+			g.Metrics = append(g.Metrics, Metric{Name: metricName, Formula: rewritten})
+		case "LONG":
+			// Documentation text, ignored.
+		default:
+			return g, fmt.Errorf("perfctr: group %s line %d: content outside any section: %q", name, lineNo+1, line)
+		}
+	}
+	if len(g.Events) == 0 && len(g.Metrics) == 0 {
+		return g, fmt.Errorf("perfctr: group %s: no EVENTSET or METRICS section", name)
+	}
+	return g, nil
+}
+
+// splitMetricLine separates "<metric name>  <formula>": the formula is the
+// final whitespace-separated token (formulas contain no spaces in the
+// LIKWID format).
+func splitMetricLine(line string) (name, formula string, err error) {
+	idx := strings.LastIndexAny(line, " \t")
+	if idx < 0 {
+		return "", "", fmt.Errorf("metric line needs a name and a formula: %q", line)
+	}
+	name = strings.TrimSpace(line[:idx])
+	formula = strings.TrimSpace(line[idx+1:])
+	if name == "" || formula == "" {
+		return "", "", fmt.Errorf("metric line needs a name and a formula: %q", line)
+	}
+	return name, formula, nil
+}
+
+// rewriteCounters substitutes counter identifiers in a formula with their
+// event names, leaving numbers, operators and the time/clock variables.
+func rewriteCounters(formula string, counterToEvent map[string]string) (string, error) {
+	expr, err := CompileExpr(formula)
+	if err != nil {
+		return "", err
+	}
+	out := formula
+	for _, v := range expr.Vars() {
+		if v == "time" || v == "clock" {
+			continue
+		}
+		event, ok := counterToEvent[v]
+		if !ok {
+			return "", fmt.Errorf("formula references counter %q which is not in EVENTSET", v)
+		}
+		out = replaceIdent(out, v, event)
+	}
+	return out, nil
+}
+
+// replaceIdent replaces whole-identifier occurrences of old with new.
+func replaceIdent(s, old, new string) string {
+	isIdent := func(b byte) bool {
+		return b == '_' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if strings.HasPrefix(s[i:], old) {
+			beforeOK := i == 0 || !isIdent(s[i-1])
+			afterOK := i+len(old) >= len(s) || !isIdent(s[i+len(old)])
+			if beforeOK && afterOK {
+				b.WriteString(new)
+				i += len(old)
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}

@@ -1,0 +1,271 @@
+package perfctr
+
+import (
+	"fmt"
+	"sort"
+
+	"likwid/internal/hwdef"
+)
+
+// Metric is one derived value of an event group.
+type Metric struct {
+	Name    string
+	Formula string
+}
+
+// GroupDef is a preconfigured event set with derived metrics (the paper's
+// §II-A table: FLOPS_DP … TLB).  Defs are written per vendor family; a
+// group is available on an architecture iff that architecture defines every
+// event the group needs, matching the paper: "We try to provide the same
+// preconfigured event groups on all supported architectures, as long as the
+// native events support them."
+type GroupDef struct {
+	Name     string
+	Function string // one-line description from the paper's table
+	Events   []string
+	Metrics  []Metric
+}
+
+// groupCatalogue returns every group definition that could apply to the
+// architecture's vendor family (before availability filtering).
+func groupCatalogue(a *hwdef.Arch) []GroupDef {
+	timeMetrics := []Metric{
+		{"Runtime [s]", "CPU_CLK_UNHALTED_CORE/clock"},
+		{"CPI", "CPU_CLK_UNHALTED_CORE/INSTR_RETIRED_ANY"},
+	}
+	withTime := func(extra ...Metric) []Metric {
+		return append(append([]Metric{}, timeMetrics...), extra...)
+	}
+
+	switch a.Vendor {
+	case hwdef.Intel:
+		flopsDPEvents := []string{"SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", "SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE"}
+		flopsDPFormula := "1.0E-06*(SIMD_COMP_INST_RETIRED_PACKED_DOUBLE*2+SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE)/time"
+		flopsSPEvents := []string{"SIMD_COMP_INST_RETIRED_PACKED_SINGLE", "SIMD_COMP_INST_RETIRED_SCALAR_SINGLE"}
+		flopsSPFormula := "1.0E-06*(SIMD_COMP_INST_RETIRED_PACKED_SINGLE*4+SIMD_COMP_INST_RETIRED_SCALAR_SINGLE)/time"
+		memEvents := []string{"BUS_TRANS_MEM_ALL"}
+		memFormula := "1.0E-06*BUS_TRANS_MEM_ALL*64/time"
+		loadsName, storesName := "INST_RETIRED_LOADS", "INST_RETIRED_STORES"
+		if _, nehalem := a.Events["FP_COMP_OPS_EXE_SSE_FP_PACKED"]; nehalem {
+			flopsDPEvents = []string{"FP_COMP_OPS_EXE_SSE_FP_PACKED", "FP_COMP_OPS_EXE_SSE_FP_SCALAR"}
+			flopsDPFormula = "1.0E-06*(FP_COMP_OPS_EXE_SSE_FP_PACKED*2+FP_COMP_OPS_EXE_SSE_FP_SCALAR)/time"
+			flopsSPEvents = []string{"FP_COMP_OPS_EXE_SSE_FP_PACKED", "FP_COMP_OPS_EXE_SSE_FP_SCALAR"}
+			flopsSPFormula = "1.0E-06*(FP_COMP_OPS_EXE_SSE_FP_PACKED*4+FP_COMP_OPS_EXE_SSE_FP_SCALAR)/time"
+			memEvents = []string{"UNC_QMC_NORMAL_READS_ANY", "UNC_QMC_WRITES_FULL_ANY"}
+			memFormula = "1.0E-06*(UNC_QMC_NORMAL_READS_ANY+UNC_QMC_WRITES_FULL_ANY)*64/time"
+			loadsName, storesName = "MEM_INST_RETIRED_LOADS", "MEM_INST_RETIRED_STORES"
+		}
+		if _, pm := a.Events["EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_DOUBLE"]; pm {
+			flopsDPEvents = []string{"EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_DOUBLE", "EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_DOUBLE"}
+			flopsDPFormula = "1.0E-06*(EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_DOUBLE*2+EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_DOUBLE)/time"
+			flopsSPEvents = []string{"EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_SINGLE", "EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_SINGLE"}
+			flopsSPFormula = "1.0E-06*(EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_SINGLE*4+EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_SINGLE)/time"
+		}
+		return []GroupDef{
+			{
+				Name: "FLOPS_DP", Function: "Double Precision MFlops/s",
+				Events:  flopsDPEvents,
+				Metrics: withTime(Metric{"DP MFlops/s", flopsDPFormula}),
+			},
+			{
+				Name: "FLOPS_SP", Function: "Single Precision MFlops/s",
+				Events:  flopsSPEvents,
+				Metrics: withTime(Metric{"SP MFlops/s", flopsSPFormula}),
+			},
+			{
+				Name: "L2", Function: "L2 cache bandwidth in MBytes/s",
+				Events: []string{"L1D_REPL", "L1D_M_EVICT"},
+				Metrics: withTime(
+					Metric{"L2 bandwidth [MBytes/s]", "1.0E-06*(L1D_REPL+L1D_M_EVICT)*64/time"},
+					Metric{"L2 refill bandwidth [MBytes/s]", "1.0E-06*L1D_REPL*64/time"},
+				),
+			},
+			{
+				Name: "L3", Function: "L3 cache bandwidth in MBytes/s",
+				Events: []string{"L2_LINES_IN_ANY", "L2_LINES_OUT_ANY"},
+				Metrics: withTime(
+					Metric{"L3 bandwidth [MBytes/s]", "1.0E-06*(L2_LINES_IN_ANY+L2_LINES_OUT_ANY)*64/time"},
+				),
+			},
+			{
+				Name: "MEM", Function: "Main memory bandwidth in MBytes/s",
+				Events:  memEvents,
+				Metrics: withTime(Metric{"Memory bandwidth [MBytes/s]", memFormula}),
+			},
+			{
+				Name: "CACHE", Function: "L1 Data cache miss rate/ratio",
+				Events: []string{"L1D_REPL", "L1D_ALL_REF"},
+				Metrics: withTime(
+					Metric{"Data cache misses", "L1D_REPL"},
+					Metric{"Data cache miss rate", "L1D_REPL/INSTR_RETIRED_ANY"},
+					Metric{"Data cache miss ratio", "L1D_REPL/L1D_ALL_REF"},
+				),
+			},
+			{
+				Name: "L2CACHE", Function: "L2 Data cache miss rate/ratio",
+				Events: []string{"L2_RQSTS_REFERENCES", "L2_RQSTS_MISS"},
+				Metrics: withTime(
+					Metric{"L2 miss rate", "L2_RQSTS_MISS/INSTR_RETIRED_ANY"},
+					Metric{"L2 miss ratio", "L2_RQSTS_MISS/L2_RQSTS_REFERENCES"},
+				),
+			},
+			{
+				Name: "L3CACHE", Function: "L3 Data cache miss rate/ratio",
+				Events: []string{"UNC_L3_HITS_ANY", "UNC_L3_MISS_ANY"},
+				Metrics: withTime(
+					Metric{"L3 miss rate", "UNC_L3_MISS_ANY/INSTR_RETIRED_ANY"},
+					Metric{"L3 miss ratio", "UNC_L3_MISS_ANY/(UNC_L3_HITS_ANY+UNC_L3_MISS_ANY)"},
+				),
+			},
+			{
+				Name: "DATA", Function: "Load to store ratio",
+				Events: []string{loadsName, storesName},
+				Metrics: withTime(
+					Metric{"Load to store ratio", loadsName + "/" + storesName},
+				),
+			},
+			{
+				Name: "BRANCH", Function: "Branch prediction miss rate/ratio",
+				Events: []string{"BR_INST_RETIRED_ANY", "BR_INST_RETIRED_MISPRED"},
+				Metrics: withTime(
+					Metric{"Branch rate", "BR_INST_RETIRED_ANY/INSTR_RETIRED_ANY"},
+					Metric{"Branch misprediction rate", "BR_INST_RETIRED_MISPRED/INSTR_RETIRED_ANY"},
+					Metric{"Branch misprediction ratio", "BR_INST_RETIRED_MISPRED/BR_INST_RETIRED_ANY"},
+				),
+			},
+			{
+				Name: "TLB", Function: "Translation lookaside buffer miss rate/ratio",
+				Events: []string{"DTLB_MISSES_ANY"},
+				Metrics: withTime(
+					Metric{"DTLB miss rate", "DTLB_MISSES_ANY/INSTR_RETIRED_ANY"},
+				),
+			},
+		}
+	case hwdef.AMD:
+		return []GroupDef{
+			{
+				Name: "FLOPS_DP", Function: "Double Precision MFlops/s",
+				Events: []string{"RETIRED_SSE_OPERATIONS_PACKED_DOUBLE", "RETIRED_SSE_OPERATIONS_SCALAR_DOUBLE"},
+				Metrics: withTime(
+					// K10 counts FLOPs directly, no packed multiplier.
+					Metric{"DP MFlops/s", "1.0E-06*(RETIRED_SSE_OPERATIONS_PACKED_DOUBLE+RETIRED_SSE_OPERATIONS_SCALAR_DOUBLE)/time"},
+				),
+			},
+			{
+				Name: "FLOPS_SP", Function: "Single Precision MFlops/s",
+				Events: []string{"RETIRED_SSE_OPERATIONS_PACKED_SINGLE", "RETIRED_SSE_OPERATIONS_SCALAR_SINGLE"},
+				Metrics: withTime(
+					Metric{"SP MFlops/s", "1.0E-06*(RETIRED_SSE_OPERATIONS_PACKED_SINGLE+RETIRED_SSE_OPERATIONS_SCALAR_SINGLE)/time"},
+				),
+			},
+			{
+				Name: "L2", Function: "L2 cache bandwidth in MBytes/s",
+				Events: []string{"DATA_CACHE_REFILLS_ALL", "DATA_CACHE_EVICTED_ALL"},
+				Metrics: withTime(
+					Metric{"L2 bandwidth [MBytes/s]", "1.0E-06*(DATA_CACHE_REFILLS_ALL+DATA_CACHE_EVICTED_ALL)*64/time"},
+				),
+			},
+			{
+				Name: "L3", Function: "L3 cache bandwidth in MBytes/s",
+				Events: []string{"L2_FILL_ALL", "L2_WRITEBACK_ALL"},
+				Metrics: withTime(
+					Metric{"L3 bandwidth [MBytes/s]", "1.0E-06*(L2_FILL_ALL+L2_WRITEBACK_ALL)*64/time"},
+				),
+			},
+			{
+				Name: "MEM", Function: "Main memory bandwidth in MBytes/s",
+				Events: []string{"UNC_DRAM_ACCESSES_READS", "UNC_DRAM_ACCESSES_WRITES"},
+				Metrics: withTime(
+					Metric{"Memory bandwidth [MBytes/s]", "1.0E-06*(UNC_DRAM_ACCESSES_READS+UNC_DRAM_ACCESSES_WRITES)*64/time"},
+				),
+			},
+			{
+				Name: "CACHE", Function: "L1 Data cache miss rate/ratio",
+				Events: []string{"DATA_CACHE_REFILLS_ALL", "DATA_CACHE_ACCESSES"},
+				Metrics: withTime(
+					Metric{"Data cache misses", "DATA_CACHE_REFILLS_ALL"},
+					Metric{"Data cache miss rate", "DATA_CACHE_REFILLS_ALL/INSTR_RETIRED_ANY"},
+					Metric{"Data cache miss ratio", "DATA_CACHE_REFILLS_ALL/DATA_CACHE_ACCESSES"},
+				),
+			},
+			{
+				Name: "L2CACHE", Function: "L2 Data cache miss rate/ratio",
+				Events: []string{"L2_REQUESTS_ALL", "L2_MISSES_ALL"},
+				Metrics: withTime(
+					Metric{"L2 miss rate", "L2_MISSES_ALL/INSTR_RETIRED_ANY"},
+					Metric{"L2 miss ratio", "L2_MISSES_ALL/L2_REQUESTS_ALL"},
+				),
+			},
+			{
+				Name: "L3CACHE", Function: "L3 Data cache miss rate/ratio",
+				Events: []string{"UNC_L3_READ_REQUESTS_ALL", "UNC_L3_MISSES_ALL"},
+				Metrics: withTime(
+					Metric{"L3 miss rate", "UNC_L3_MISSES_ALL/INSTR_RETIRED_ANY"},
+					Metric{"L3 miss ratio", "UNC_L3_MISSES_ALL/UNC_L3_READ_REQUESTS_ALL"},
+				),
+			},
+			{
+				Name: "DATA", Function: "Load to store ratio",
+				Events: []string{"LS_DISPATCH_LOADS", "LS_DISPATCH_STORES"},
+				Metrics: withTime(
+					Metric{"Load to store ratio", "LS_DISPATCH_LOADS/LS_DISPATCH_STORES"},
+				),
+			},
+			{
+				Name: "BRANCH", Function: "Branch prediction miss rate/ratio",
+				Events: []string{"BR_INST_RETIRED_ANY", "BR_INST_RETIRED_MISPRED"},
+				Metrics: withTime(
+					Metric{"Branch rate", "BR_INST_RETIRED_ANY/INSTR_RETIRED_ANY"},
+					Metric{"Branch misprediction rate", "BR_INST_RETIRED_MISPRED/INSTR_RETIRED_ANY"},
+					Metric{"Branch misprediction ratio", "BR_INST_RETIRED_MISPRED/BR_INST_RETIRED_ANY"},
+				),
+			},
+			{
+				Name: "TLB", Function: "Translation lookaside buffer miss rate/ratio",
+				Events: []string{"DTLB_MISSES_ANY"},
+				Metrics: withTime(
+					Metric{"DTLB miss rate", "DTLB_MISSES_ANY/INSTR_RETIRED_ANY"},
+				),
+			},
+		}
+	}
+	return nil
+}
+
+// GroupFor resolves a named group for an architecture, failing when the
+// architecture lacks one of the group's native events.
+func GroupFor(a *hwdef.Arch, name string) (GroupDef, error) {
+	for _, g := range groupCatalogue(a) {
+		if g.Name != name {
+			continue
+		}
+		for _, ev := range g.Events {
+			if _, ok := a.Events[ev]; !ok {
+				return GroupDef{}, fmt.Errorf("perfctr: group %s not supported on %s (missing event %s)", name, a.Name, ev)
+			}
+		}
+		for _, mtr := range g.Metrics {
+			if _, err := CompileExpr(mtr.Formula); err != nil {
+				return GroupDef{}, fmt.Errorf("perfctr: group %s metric %q: %w", name, mtr.Name, err)
+			}
+		}
+		return g, nil
+	}
+	return GroupDef{}, fmt.Errorf("perfctr: unknown group %q (available: %v)", name, GroupNames(a))
+}
+
+// GroupNames lists the groups available on the architecture.
+func GroupNames(a *hwdef.Arch) []string {
+	var names []string
+outer:
+	for _, g := range groupCatalogue(a) {
+		for _, ev := range g.Events {
+			if _, ok := a.Events[ev]; !ok {
+				continue outer
+			}
+		}
+		names = append(names, g.Name)
+	}
+	sort.Strings(names)
+	return names
+}

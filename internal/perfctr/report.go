@@ -1,0 +1,76 @@
+package perfctr
+
+import (
+	"fmt"
+	"strings"
+
+	"likwid/internal/cli"
+)
+
+// Report renders measurement results as the paper's bordered tables: one
+// event table (rows = events, columns = cores) and, when a group is given,
+// one metric table with the derived values.
+func Report(r Results, group *GroupDef, clockHz float64) string {
+	var b strings.Builder
+	b.WriteString(eventTable(r))
+	if group != nil {
+		b.WriteString(metricTable(r, *group, clockHz))
+	}
+	return b.String()
+}
+
+func eventTable(r Results) string {
+	header := []string{"Event"}
+	for _, cpu := range r.CPUs {
+		header = append(header, fmt.Sprintf("core %d", cpu))
+	}
+	t := cli.NewTable(header...)
+	for _, ev := range r.Events {
+		row := []string{ev}
+		for i := range r.CPUs {
+			row = append(row, cli.FormatCount(r.Counts[ev][i]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+func metricTable(r Results, g GroupDef, clockHz float64) string {
+	header := []string{"Metric"}
+	for _, cpu := range r.CPUs {
+		header = append(header, fmt.Sprintf("core %d", cpu))
+	}
+	t := cli.NewTable(header...)
+	for _, m := range g.Metrics {
+		expr, err := CompileExpr(m.Formula)
+		if err != nil {
+			continue
+		}
+		row := []string{m.Name}
+		for i := range r.CPUs {
+			v, err := expr.Eval(r.Env(i, clockHz))
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, cli.FormatMetric(v))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Header renders the preamble of a likwid-perfCtr run, as in the paper:
+//
+//	-------------------------------------------------------------
+//	CPU type: Intel Core 2 45nm processor
+//	CPU clock: 2.83 GHz
+//	-------------------------------------------------------------
+func Header(cpuName string, clockMHz float64) string {
+	var b strings.Builder
+	b.WriteString(cli.Rule + "\n")
+	fmt.Fprintf(&b, "CPU type:\t%s\n", cpuName)
+	fmt.Fprintf(&b, "CPU clock:\t%.2f GHz\n", clockMHz/1000)
+	b.WriteString(cli.Rule + "\n")
+	return b.String()
+}

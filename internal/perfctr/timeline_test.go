@@ -1,0 +1,111 @@
+package perfctr
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"likwid/internal/machine"
+)
+
+// timelineFixture runs two distinct phases under a sampling timeline.
+func timelineFixture(t *testing.T, interval float64) (*Timeline, *machine.Machine) {
+	t.Helper()
+	m := newMachine(t, "westmereEP")
+	task := m.OS.Spawn("w", nil)
+	if err := m.OS.Pin(task, 0); err != nil {
+		t.Fatal(err)
+	}
+	specs, _ := ParseEventList("FP_COMP_OPS_EXE_SSE_FP_PACKED:PMC0")
+	col, err := NewCollector(m, []int{0, 1}, specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NewTimeline(col, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: flop-heavy.
+	m.RunPhase([]*machine.ThreadWork{{
+		Task: task, Elems: 2e7,
+		PerElem: machine.PerElem{Cycles: 2, Counts: machine.Counts{machine.EvFlopsPackedDP: 1, machine.EvInstr: 3}, Vector: true},
+	}}, 0)
+	// Phase 2: no flops at all.
+	m.RunPhase([]*machine.ThreadWork{{
+		Task: task, Elems: 2e7,
+		PerElem: machine.PerElem{Cycles: 2, Counts: machine.Counts{machine.EvInstr: 3}, Vector: true},
+	}}, 0)
+	if err := col.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	tl.Stop()
+	return tl, m
+}
+
+func TestTimelineCapturesPhases(t *testing.T) {
+	tl, _ := timelineFixture(t, 0.002)
+	series, err := tl.Series("FP_COMP_OPS_EXE_SSE_FP_PACKED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) < 6 {
+		t.Fatalf("only %d intervals sampled", len(series))
+	}
+	// Early intervals show flops, late intervals none.
+	if series[0] <= 0 {
+		t.Error("first interval shows no flops")
+	}
+	last := series[len(series)-1]
+	if last != 0 {
+		t.Errorf("final interval shows %v flops, want 0 (phase 2)", last)
+	}
+	// Total across intervals ≈ phase-1 total (sampling must not lose
+	// counts beyond the final partial interval).
+	var sum float64
+	for _, v := range series {
+		sum += v
+	}
+	if math.Abs(sum-2e7) > 2e7*0.05 {
+		t.Errorf("timeline total = %v, want ≈ 2e7", sum)
+	}
+}
+
+func TestTimelineDeltasAreIncrements(t *testing.T) {
+	tl, _ := timelineFixture(t, 0.002)
+	series, _ := tl.Series("INSTR_RETIRED_ANY")
+	// Instructions flow in both phases: every interval positive.
+	for i, v := range series[:len(series)-1] {
+		if v <= 0 {
+			t.Errorf("interval %d instruction delta = %v", i, v)
+		}
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	tl, _ := timelineFixture(t, 0.002)
+	out, err := tl.RenderTimeline("FP_COMP_OPS_EXE_SSE_FP_PACKED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "timeline of FP_COMP_OPS_EXE_SSE_FP_PACKED") ||
+		!strings.Contains(out, "core 0") {
+		t.Errorf("render:\n%s", out)
+	}
+	if _, err := tl.RenderTimeline("NOT_MEASURED"); err == nil {
+		t.Error("unknown event must fail")
+	}
+}
+
+func TestTimelineTimestampsMonotone(t *testing.T) {
+	tl, _ := timelineFixture(t, 0.001)
+	prev := -1.0
+	for _, p := range tl.Points() {
+		if p.Time <= prev {
+			t.Fatalf("timestamps not monotone: %v after %v", p.Time, prev)
+		}
+		prev = p.Time
+	}
+}

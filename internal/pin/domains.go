@@ -1,0 +1,156 @@
+package pin
+
+import (
+	"fmt"
+	"strings"
+
+	"likwid/internal/apic"
+	"likwid/internal/hwdef"
+)
+
+// Thread-domain core lists — the cpuset feature the paper announces for
+// likwid-pin ("likwid-pin will be equipped with cpuset support, so that
+// logical core IDs may be used when binding threads", §V).
+//
+// A domain expression selects *logical* core indices inside an affinity
+// domain instead of raw OS processor IDs:
+//
+//	N:0-3        logical cores 0-3 of the node (physical cores first)
+//	S1:0-2       logical cores 0-2 of socket 1
+//	C0:0-1       logical cores of last-level-cache group 0
+//	M0:0-3       logical cores of NUMA domain 0 (= socket on these nodes)
+//
+// Expressions chain with '@' to pin across domains:
+//
+//	S0:0-1@S1:0-1
+//
+// Inside every domain the logical order lists physical cores before SMT
+// siblings, so "S0:0-5" on Westmere EP is exactly the socket's six physical
+// cores no matter how the BIOS numbered the hardware threads — the
+// numbering trap the paper's introduction describes.
+
+// Domain is one affinity domain: a tag and its processors in logical order.
+type Domain struct {
+	Tag   string
+	Procs []int
+}
+
+// Domains enumerates the affinity domains of an architecture: the node
+// domain N, socket domains S0..Sn, last-level-cache domains C0..Cm, and
+// NUMA/memory domains M0..Mn.
+func Domains(a *hwdef.Arch) []Domain {
+	threads := apic.Enumerate(a)
+
+	// Logical order inside a domain: physical cores (SMT 0) first, in OS
+	// processor order, then the SMT siblings.
+	logical := func(filter func(apic.ThreadInfo) bool) []int {
+		var procs []int
+		for smt := 0; smt < a.ThreadsPerCore; smt++ {
+			for _, ti := range threads {
+				if ti.SMT == smt && filter(ti) {
+					procs = append(procs, ti.Proc)
+				}
+			}
+		}
+		return procs
+	}
+
+	var out []Domain
+	out = append(out, Domain{Tag: "N", Procs: logical(func(apic.ThreadInfo) bool { return true })})
+	for s := 0; s < a.Sockets; s++ {
+		socket := s
+		out = append(out, Domain{
+			Tag:   fmt.Sprintf("S%d", s),
+			Procs: logical(func(ti apic.ThreadInfo) bool { return ti.Socket == socket }),
+		})
+	}
+	// Last-level-cache groups: partition cores by their LLC instance.
+	if llc, ok := a.LastLevelCache(); ok {
+		coresPerGroup := llc.SharedBy / a.ThreadsPerCore
+		if coresPerGroup < 1 {
+			coresPerGroup = 1
+		}
+		groups := (a.Sockets * a.CoresPerSocket) / coresPerGroup
+		for g := 0; g < groups; g++ {
+			group := g
+			out = append(out, Domain{
+				Tag: fmt.Sprintf("C%d", g),
+				Procs: logical(func(ti apic.ThreadInfo) bool {
+					globalCore := ti.Socket*a.CoresPerSocket + ti.CoreIdx
+					return globalCore/coresPerGroup == group
+				}),
+			})
+		}
+	}
+	// Memory domains: one per socket on the modeled ccNUMA nodes.
+	for s := 0; s < a.Sockets; s++ {
+		socket := s
+		out = append(out, Domain{
+			Tag:   fmt.Sprintf("M%d", s),
+			Procs: logical(func(ti apic.ThreadInfo) bool { return ti.Socket == socket }),
+		})
+	}
+	return out
+}
+
+// DomainByTag finds one affinity domain.
+func DomainByTag(a *hwdef.Arch, tag string) (Domain, error) {
+	for _, d := range Domains(a) {
+		if d.Tag == tag {
+			return d, nil
+		}
+	}
+	return Domain{}, fmt.Errorf("pin: unknown affinity domain %q", tag)
+}
+
+// ParseCPUExpression parses a -c argument that may be either a plain
+// physical processor list ("0-3,8") or one or more '@'-chained domain
+// expressions ("S0:0-1@S1:0-1").
+func ParseCPUExpression(a *hwdef.Arch, expr string) ([]int, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return nil, fmt.Errorf("pin: empty cpu expression")
+	}
+	if !strings.Contains(expr, ":") {
+		cpus, err := ParseCPUList(expr)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cpus {
+			if c >= a.HWThreads() {
+				return nil, fmt.Errorf("pin: processor %d does not exist on %s (%d hardware threads)",
+					c, a.Name, a.HWThreads())
+			}
+		}
+		return cpus, nil
+	}
+	var out []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(expr, "@") {
+		tag, list, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("pin: malformed domain expression %q", part)
+		}
+		domain, err := DomainByTag(a, strings.TrimSpace(tag))
+		if err != nil {
+			return nil, err
+		}
+		indices, err := ParseCPUList(list)
+		if err != nil {
+			return nil, fmt.Errorf("pin: domain %s: %w", domain.Tag, err)
+		}
+		for _, idx := range indices {
+			if idx < 0 || idx >= len(domain.Procs) {
+				return nil, fmt.Errorf("pin: logical core %d outside domain %s (size %d)",
+					idx, domain.Tag, len(domain.Procs))
+			}
+			proc := domain.Procs[idx]
+			if seen[proc] {
+				return nil, fmt.Errorf("pin: processor %d selected twice in %q", proc, expr)
+			}
+			seen[proc] = true
+			out = append(out, proc)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package pin
+
+import (
+	"testing"
+
+	"likwid/internal/hwdef"
+)
+
+func TestDomainsWestmere(t *testing.T) {
+	domains := Domains(hwdef.WestmereEP)
+	byTag := map[string][]int{}
+	for _, d := range domains {
+		byTag[d.Tag] = d.Procs
+	}
+	// Node domain: all 24, physical cores first.
+	n := byTag["N"]
+	if len(n) != 24 {
+		t.Fatalf("N domain = %d procs, want 24", len(n))
+	}
+	for i := 0; i < 12; i++ {
+		if n[i] != i {
+			t.Fatalf("N domain physical part = %v", n[:12])
+		}
+	}
+	if n[12] != 12 {
+		t.Errorf("N domain SMT part starts at %d, want 12", n[12])
+	}
+	// Socket domains.
+	s1 := byTag["S1"]
+	want := []int{6, 7, 8, 9, 10, 11, 18, 19, 20, 21, 22, 23}
+	for i, p := range want {
+		if s1[i] != p {
+			t.Fatalf("S1 = %v, want %v", s1, want)
+		}
+	}
+	// LLC domains coincide with sockets on Westmere.
+	if len(byTag["C0"]) != 12 || byTag["C0"][0] != 0 {
+		t.Errorf("C0 = %v", byTag["C0"])
+	}
+	if len(byTag["C1"]) != 12 || byTag["C1"][0] != 6 {
+		t.Errorf("C1 = %v", byTag["C1"])
+	}
+	// Memory domains mirror sockets.
+	if len(byTag["M0"]) != 12 || byTag["M0"][0] != 0 {
+		t.Errorf("M0 = %v", byTag["M0"])
+	}
+}
+
+func TestDomainsCore2LLCGroups(t *testing.T) {
+	// Core 2 Quad: L2 (LLC) shared per die pair -> C0 = {0,1}, C1 = {2,3}.
+	domains := Domains(hwdef.Core2Quad)
+	byTag := map[string][]int{}
+	for _, d := range domains {
+		byTag[d.Tag] = d.Procs
+	}
+	if got := byTag["C0"]; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("C0 = %v, want [0 1]", got)
+	}
+	if got := byTag["C1"]; len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("C1 = %v, want [2 3]", got)
+	}
+}
+
+func TestParseCPUExpressionPhysicalFallback(t *testing.T) {
+	got, err := ParseCPUExpression(hwdef.WestmereEP, "0-2,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 8}
+	for i, p := range want {
+		if got[i] != p {
+			t.Fatalf("= %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseCPUExpressionSocketLogical(t *testing.T) {
+	// S1:0-2 selects socket 1's first three *physical* cores: 6, 7, 8.
+	got, err := ParseCPUExpression(hwdef.WestmereEP, "S1:0-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{6, 7, 8}
+	if len(got) != 3 {
+		t.Fatalf("= %v, want %v", got, want)
+	}
+	for i, p := range want {
+		if got[i] != p {
+			t.Fatalf("= %v, want %v", got, want)
+		}
+	}
+	// Logical indices past the physical cores reach the SMT siblings.
+	got, err = ParseCPUExpression(hwdef.WestmereEP, "S0:6-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 12 || got[1] != 13 {
+		t.Errorf("S0:6-7 = %v, want [12 13] (SMT siblings)", got)
+	}
+}
+
+func TestParseCPUExpressionChained(t *testing.T) {
+	got, err := ParseCPUExpression(hwdef.WestmereEP, "S0:0-1@S1:0-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 6, 7}
+	for i, p := range want {
+		if got[i] != p {
+			t.Fatalf("= %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseCPUExpressionErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"S9:0-1",     // no such socket
+		"S0:0-99",    // outside the domain
+		"S0",         // missing list — contains no colon, parsed as physical -> error
+		"X0:0",       // unknown domain kind
+		"S0:0@S0:0",  // duplicate processor
+		"S0:",        // empty list
+		"S0:0-1@@S1", // malformed chain
+	} {
+		if _, err := ParseCPUExpression(hwdef.WestmereEP, bad); err == nil {
+			t.Errorf("expression %q must fail", bad)
+		}
+	}
+}
+
+func TestDomainByTag(t *testing.T) {
+	d, err := DomainByTag(hwdef.Istanbul, "S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Procs) != 6 || d.Procs[0] != 6 {
+		t.Errorf("Istanbul S1 = %v", d.Procs)
+	}
+	if _, err := DomainByTag(hwdef.Istanbul, "Q3"); err == nil {
+		t.Error("unknown tag must fail")
+	}
+}

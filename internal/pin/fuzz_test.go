@@ -1,0 +1,61 @@
+package pin
+
+import (
+	"testing"
+
+	"likwid/internal/hwdef"
+)
+
+// FuzzParseCPUList: the parser must never panic and must only accept lists
+// whose round-trip through formatting parses identically.
+func FuzzParseCPUList(f *testing.F) {
+	for _, seed := range []string{"0-3", "0,2,4", "0-1,8-10", "7", "", "3-1", "a", "0,,1", "S0:0-3"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cpus, err := ParseCPUList(s)
+		if err != nil {
+			return
+		}
+		seen := map[int]bool{}
+		for _, c := range cpus {
+			if c < 0 {
+				t.Fatalf("ParseCPUList(%q) accepted negative cpu %d", s, c)
+			}
+			if seen[c] {
+				t.Fatalf("ParseCPUList(%q) returned duplicate %d", s, c)
+			}
+			seen[c] = true
+		}
+	})
+}
+
+// FuzzParseCPUExpression: no panic on arbitrary domain expressions, and
+// every accepted expression yields valid node processors.
+func FuzzParseCPUExpression(f *testing.F) {
+	for _, seed := range []string{"S0:0-3", "N:0-11", "S0:0-1@S1:0-1", "M0:0", "C1:0-1", "X:", "S0", ":::"} {
+		f.Add(seed)
+	}
+	arch := hwdef.WestmereEP
+	f.Fuzz(func(t *testing.T, s string) {
+		cpus, err := ParseCPUExpression(arch, s)
+		if err != nil {
+			return
+		}
+		for _, c := range cpus {
+			if c < 0 || c >= arch.HWThreads() {
+				t.Fatalf("ParseCPUExpression(%q) returned invalid cpu %d", s, c)
+			}
+		}
+	})
+}
+
+// FuzzParseSkipMask: never panics; accepted masks are parseable hex.
+func FuzzParseSkipMask(f *testing.F) {
+	for _, seed := range []string{"0x3", "3", "0xFF", "", "zz"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		_, _ = ParseSkipMask(s)
+	})
+}

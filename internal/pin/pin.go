@@ -1,0 +1,178 @@
+// Package pin implements the core of likwid-pin: enforcing thread-core
+// affinity "from the outside", without source changes, by interposing on
+// thread creation (the pthread_create library-preload mechanism of Fig. 3)
+// and walking a user-given core list.  Skip masks exclude runtime-internal
+// threads — the Intel OpenMP shepherd (mask 0x1) or MPI shepherd threads
+// (e.g. 0x3 for Intel MPI + Intel OpenMP) — from pinning.
+package pin
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"likwid/internal/sched"
+)
+
+// ParseCPUList parses the -c argument: comma-separated processor IDs and
+// ranges, e.g. "0-3", "0,2,4-7".
+func ParseCPUList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("pin: empty cpu list")
+	}
+	var out []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("pin: empty entry in cpu list %q", s)
+		}
+		lo, hi := part, part
+		if i := strings.IndexByte(part, '-'); i >= 0 {
+			lo, hi = part[:i], part[i+1:]
+		}
+		a, err := strconv.Atoi(lo)
+		if err != nil {
+			return nil, fmt.Errorf("pin: bad cpu %q in list %q", lo, s)
+		}
+		b, err := strconv.Atoi(hi)
+		if err != nil {
+			return nil, fmt.Errorf("pin: bad cpu %q in list %q", hi, s)
+		}
+		if a < 0 || b < a {
+			return nil, fmt.Errorf("pin: invalid range %q in list %q", part, s)
+		}
+		for c := a; c <= b; c++ {
+			if seen[c] {
+				return nil, fmt.Errorf("pin: cpu %d appears twice in list %q", c, s)
+			}
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// ParseSkipMask parses the -s argument, a hex bit pattern like "0x3": bit i
+// set means the i-th created thread is not pinned.
+func ParseSkipMask(s string) (uint64, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X"))
+	if s == "" {
+		return 0, fmt.Errorf("pin: empty skip mask")
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("pin: bad skip mask %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// SkipMaskFor returns the default skip mask for a threading runtime: the
+// Intel OpenMP implementation needs its first created thread (the shepherd)
+// skipped, the others none.
+func SkipMaskFor(model sched.RuntimeModel) uint64 {
+	if model == sched.RuntimeIntelOMP {
+		return 0x1
+	}
+	return 0x0
+}
+
+// Event records one pinning decision, for diagnostics and the Fig. 3
+// mechanism bench.
+type Event struct {
+	CreateIndex int
+	TaskID      int
+	TaskName    string
+	CPU         int  // target processor, -1 when skipped or overflowed
+	Skipped     bool // excluded by the skip mask
+	Overflowed  bool // core list exhausted
+}
+
+// String renders one pin decision.
+func (e Event) String() string {
+	switch {
+	case e.Skipped:
+		return fmt.Sprintf("thread %d (%s): skipped by mask", e.CreateIndex, e.TaskName)
+	case e.Overflowed:
+		return fmt.Sprintf("thread %d (%s): core list exhausted, left unpinned", e.CreateIndex, e.TaskName)
+	default:
+		return fmt.Sprintf("thread %d (%s): pinned to core %d", e.CreateIndex, e.TaskName, e.CPU)
+	}
+}
+
+// Pinner walks a core list, pinning the launching process and then each
+// created thread in turn.
+type Pinner struct {
+	kern  *sched.Kernel
+	cores []int
+	skip  uint64
+	next  int
+	log   []Event
+	// Env is the environment the wrapper exports to the application;
+	// likwid-pin sets KMP_AFFINITY=disabled automatically so the Intel
+	// runtime's own pinning cannot interfere (§II-C).
+	Env map[string]string
+}
+
+// New builds a Pinner for a core list and skip mask.
+func New(kern *sched.Kernel, cores []int, skipMask uint64) (*Pinner, error) {
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("pin: empty core list")
+	}
+	for _, c := range cores {
+		if c < 0 || c >= kern.NumCPUs() {
+			return nil, fmt.Errorf("pin: core %d does not exist (node has %d)", c, kern.NumCPUs())
+		}
+	}
+	return &Pinner{
+		kern:  kern,
+		cores: append([]int(nil), cores...),
+		skip:  skipMask,
+		Env:   map[string]string{"KMP_AFFINITY": "disabled"},
+	}, nil
+}
+
+// PinProcess pins the launching process (the master thread) to the first
+// core of the list, consuming it.
+func (p *Pinner) PinProcess(t *sched.Task) error {
+	if p.next != 0 {
+		return fmt.Errorf("pin: process must be pinned before any threads")
+	}
+	if err := p.kern.Pin(t, p.cores[0]); err != nil {
+		return err
+	}
+	p.next = 1
+	return nil
+}
+
+// Hook returns the pthread_create interposition callback: created thread i
+// is skipped if skip-mask bit i is set, otherwise pinned to the next core
+// in the list.
+func (p *Pinner) Hook() sched.SpawnHook {
+	return func(createIndex int, t *sched.Task) {
+		ev := Event{CreateIndex: createIndex, TaskID: t.ID, TaskName: t.Name, CPU: -1}
+		defer func() { p.log = append(p.log, ev) }()
+		if p.skip&(1<<uint(createIndex)) != 0 {
+			ev.Skipped = true
+			return
+		}
+		if p.next >= len(p.cores) {
+			ev.Overflowed = true
+			return
+		}
+		cpu := p.cores[p.next]
+		if err := p.kern.Pin(t, cpu); err != nil {
+			ev.Overflowed = true
+			return
+		}
+		p.next++
+		ev.CPU = cpu
+	}
+}
+
+// Log returns the pin decisions made so far.
+func (p *Pinner) Log() []Event { return append([]Event(nil), p.log...) }
+
+// Remaining returns how many cores of the list are still unused.
+func (p *Pinner) Remaining() int { return len(p.cores) - p.next }

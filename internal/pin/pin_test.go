@@ -1,0 +1,239 @@
+package pin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"likwid/internal/hwdef"
+	"likwid/internal/sched"
+)
+
+func TestParseCPUList(t *testing.T) {
+	cases := map[string][]int{
+		"0-3":      {0, 1, 2, 3},
+		"0,2,4":    {0, 2, 4},
+		"0-1,8-10": {0, 1, 8, 9, 10},
+		"7":        {7},
+		" 0 , 2 ":  {0, 2},
+	}
+	for in, want := range cases {
+		got, err := ParseCPUList(in)
+		if err != nil {
+			t.Errorf("ParseCPUList(%q): %v", in, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("ParseCPUList(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("ParseCPUList(%q) = %v, want %v", in, got, want)
+				break
+			}
+		}
+	}
+	for _, bad := range []string{"", "3-1", "-1", "a", "0,,1", "0,0", "1-2-3"} {
+		if _, err := ParseCPUList(bad); err == nil {
+			t.Errorf("ParseCPUList(%q) must fail", bad)
+		}
+	}
+}
+
+func TestParseCPUListRangeRoundtripProperty(t *testing.T) {
+	f := func(a, n uint8) bool {
+		lo := int(a % 32)
+		hi := lo + int(n%16)
+		s := ""
+		if lo == hi {
+			s = formatInt(lo)
+		} else {
+			s = formatInt(lo) + "-" + formatInt(hi)
+		}
+		got, err := ParseCPUList(s)
+		if err != nil || len(got) != hi-lo+1 {
+			return false
+		}
+		for i, c := range got {
+			if c != lo+i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func formatInt(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestParseSkipMask(t *testing.T) {
+	for in, want := range map[string]uint64{"0x1": 1, "0x3": 3, "3": 3, "0xF0": 240} {
+		got, err := ParseSkipMask(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSkipMask(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "0x", "zz"} {
+		if _, err := ParseSkipMask(bad); err == nil {
+			t.Errorf("ParseSkipMask(%q) must fail", bad)
+		}
+	}
+}
+
+func TestSkipMaskFor(t *testing.T) {
+	if SkipMaskFor(sched.RuntimeIntelOMP) != 0x1 {
+		t.Error("Intel OpenMP needs skip mask 0x1 (shepherd)")
+	}
+	if SkipMaskFor(sched.RuntimeGccOMP) != 0 || SkipMaskFor(sched.RuntimePthreads) != 0 {
+		t.Error("gcc / pthreads need no skip mask")
+	}
+}
+
+// pinTeam runs the full likwid-pin flow for a runtime model and returns the
+// team and pinner.
+func pinTeam(t *testing.T, model sched.RuntimeModel, nThreads int, cores []int, skip uint64) (*sched.Kernel, *sched.Team, *Pinner) {
+	t.Helper()
+	k := sched.New(hwdef.WestmereEP, sched.PolicySpread, 21)
+	p, err := New(k, cores, skip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := k.Spawn("a.out", nil)
+	if err := p.PinProcess(master); err != nil {
+		t.Fatal(err)
+	}
+	team, err := sched.SpawnTeam(k, model, nThreads, master, p.Hook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, team, p
+}
+
+func TestIntelOpenMPPinning(t *testing.T) {
+	// likwid-pin -c 0-3 -t intel with OMP_NUM_THREADS=4: master on 0,
+	// shepherd skipped, workers on 1, 2, 3.
+	_, team, p := pinTeam(t, sched.RuntimeIntelOMP, 4, []int{0, 1, 2, 3}, SkipMaskFor(sched.RuntimeIntelOMP))
+	wantCPU := []int{0, 1, 2, 3}
+	for i, w := range team.Workers {
+		if w.CPU != wantCPU[i] {
+			t.Errorf("worker %d on cpu %d, want %d", i, w.CPU, wantCPU[i])
+		}
+		if !w.Pinned {
+			t.Errorf("worker %d not pinned", i)
+		}
+	}
+	// The shepherd must be unpinned.
+	for _, c := range team.Created {
+		if c.Name == "omp-shepherd" && c.Pinned {
+			t.Error("shepherd was pinned despite the skip mask")
+		}
+	}
+	log := p.Log()
+	if !log[0].Skipped {
+		t.Error("first created thread must be logged as skipped")
+	}
+}
+
+func TestIntelWithoutSkipMaskShiftsWorkers(t *testing.T) {
+	// The failure mode the skip mask exists to prevent: without it the
+	// shepherd consumes core 0's successor and workers land shifted.
+	_, team, _ := pinTeam(t, sched.RuntimeIntelOMP, 4, []int{0, 1, 2, 3}, 0)
+	// master -> 0, shepherd -> 1, workers -> 2, 3, then list exhausted.
+	if team.Workers[1].CPU != 2 {
+		t.Errorf("worker 1 on cpu %d, want 2 (shifted by the unskipped shepherd)", team.Workers[1].CPU)
+	}
+	last := team.Workers[3]
+	if last.Pinned {
+		t.Error("last worker should have overflowed the core list and stayed unpinned")
+	}
+}
+
+func TestGccPinning(t *testing.T) {
+	_, team, _ := pinTeam(t, sched.RuntimeGccOMP, 4, []int{0, 1, 2, 3}, 0)
+	for i, w := range team.Workers {
+		if w.CPU != i {
+			t.Errorf("gcc worker %d on cpu %d, want %d", i, w.CPU, i)
+		}
+	}
+}
+
+func TestHybridMPISkipMask(t *testing.T) {
+	// likwid-pin -c 0-7 -s 0x3: first two created threads (MPI shepherd +
+	// OpenMP shepherd) are skipped.
+	k := sched.New(hwdef.WestmereEP, sched.PolicySpread, 5)
+	p, err := New(k, []int{0, 1, 2, 3, 4, 5, 6, 7}, 0x3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := k.Spawn("mpi-rank", nil)
+	if err := p.PinProcess(master); err != nil {
+		t.Fatal(err)
+	}
+	hook := p.Hook()
+	// Simulate the creation sequence: two shepherds, then six workers.
+	var created []*sched.Task
+	for i := 0; i < 8; i++ {
+		tk := k.Spawn("t", master)
+		hook(i, tk)
+		created = append(created, tk)
+	}
+	if created[0].Pinned || created[1].Pinned {
+		t.Error("threads 0 and 1 must be skipped by mask 0x3")
+	}
+	for i := 2; i < 8; i++ {
+		want := i - 1 // core list position: master took 0
+		if created[i].CPU != want {
+			t.Errorf("thread %d on cpu %d, want %d", i, created[i].CPU, want)
+		}
+	}
+}
+
+func TestPinnerSetsKMPAffinityDisabled(t *testing.T) {
+	k := sched.New(hwdef.WestmereEP, sched.PolicySpread, 5)
+	p, err := New(k, []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Env["KMP_AFFINITY"] != "disabled" {
+		t.Error("likwid-pin must export KMP_AFFINITY=disabled")
+	}
+}
+
+func TestPinnerValidation(t *testing.T) {
+	k := sched.New(hwdef.WestmereEP, sched.PolicySpread, 5)
+	if _, err := New(k, nil, 0); err == nil {
+		t.Error("empty core list must fail")
+	}
+	if _, err := New(k, []int{99}, 0); err == nil {
+		t.Error("nonexistent core must fail")
+	}
+	p, _ := New(k, []int{0, 1}, 0)
+	master := k.Spawn("m", nil)
+	hook := p.Hook()
+	hook(0, k.Spawn("t", master))
+	if err := p.PinProcess(master); err == nil {
+		t.Error("PinProcess after thread pinning must fail")
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	k := sched.New(hwdef.WestmereEP, sched.PolicySpread, 5)
+	p, _ := New(k, []int{0, 1, 2}, 0)
+	master := k.Spawn("m", nil)
+	p.PinProcess(master)
+	if p.Remaining() != 2 {
+		t.Errorf("remaining = %d, want 2", p.Remaining())
+	}
+}

@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Mask is a CPU affinity mask over up to 64 logical processors — the
+// sched_setaffinity cpu_set_t of the model.  The zero Mask is empty.
+type Mask uint64
+
+// MaskAll returns a mask covering processors 0..n-1.
+func MaskAll(n int) Mask {
+	if n >= 64 {
+		return ^Mask(0)
+	}
+	return Mask(1)<<n - 1
+}
+
+// MaskOf builds a mask from an explicit processor list.
+func MaskOf(cpus ...int) Mask {
+	var m Mask
+	for _, c := range cpus {
+		m = m.Set(c)
+	}
+	return m
+}
+
+// Set returns the mask with cpu added.
+func (m Mask) Set(cpu int) Mask { return m | 1<<uint(cpu) }
+
+// Clear returns the mask with cpu removed.
+func (m Mask) Clear(cpu int) Mask { return m &^ (1 << uint(cpu)) }
+
+// Has reports whether cpu is in the mask.
+func (m Mask) Has(cpu int) bool { return m&(1<<uint(cpu)) != 0 }
+
+// Count returns the number of processors in the mask.
+func (m Mask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// CPUs lists the processors in the mask in ascending order.
+func (m Mask) CPUs() []int {
+	out := make([]int, 0, m.Count())
+	for m != 0 {
+		c := bits.TrailingZeros64(uint64(m))
+		out = append(out, c)
+		m = m.Clear(c)
+	}
+	return out
+}
+
+// String formats the mask as a compact range list ("0-3,8").
+func (m Mask) String() string {
+	cpus := m.CPUs()
+	if len(cpus) == 0 {
+		return "(empty)"
+	}
+	var parts []string
+	start, prev := cpus[0], cpus[0]
+	flush := func() {
+		if start == prev {
+			parts = append(parts, fmt.Sprint(start))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", start, prev))
+		}
+	}
+	for _, c := range cpus[1:] {
+		if c == prev+1 {
+			prev = c
+			continue
+		}
+		flush()
+		start, prev = c, c
+	}
+	flush()
+	return strings.Join(parts, ",")
+}

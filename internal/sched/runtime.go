@@ -1,0 +1,106 @@
+package sched
+
+import "fmt"
+
+// RuntimeModel identifies the threading runtime creating a parallel team.
+// The paper's likwid-pin must know it because each runtime creates a
+// different set of threads around the workers (§II-C): Intel OpenMP spawns
+// OMP_NUM_THREADS+1 POSIX threads whose first is an unpinnable shepherd,
+// gcc OpenMP spawns OMP_NUM_THREADS-1, and raw pthreads programs spawn
+// exactly what they ask for.
+type RuntimeModel int
+
+// Supported runtimes (likwid-pin -t).
+const (
+	RuntimePthreads RuntimeModel = iota
+	RuntimeIntelOMP
+	RuntimeGccOMP
+)
+
+// String returns the likwid-pin -t spelling.
+func (r RuntimeModel) String() string {
+	switch r {
+	case RuntimeIntelOMP:
+		return "intel"
+	case RuntimeGccOMP:
+		return "gnu"
+	default:
+		return "pthreads"
+	}
+}
+
+// ParseRuntime parses a likwid-pin -t argument.
+func ParseRuntime(s string) (RuntimeModel, error) {
+	switch s {
+	case "intel":
+		return RuntimeIntelOMP, nil
+	case "gnu", "gcc":
+		return RuntimeGccOMP, nil
+	case "pthreads", "posix", "":
+		return RuntimePthreads, nil
+	default:
+		return 0, fmt.Errorf("sched: unknown threading runtime %q", s)
+	}
+}
+
+// SpawnHook is the interposition point of likwid-pin: it is invoked for
+// every pthread_create call with the creation index (0 for the first thread
+// the process creates) and the new task, before the task runs.  This is the
+// library-preload mechanism of Fig. 3 in the paper.
+type SpawnHook func(createIndex int, t *Task)
+
+// Team is one parallel region's thread set.
+type Team struct {
+	Runtime RuntimeModel
+	Master  *Task
+	Created []*Task // every pthread_create result, in creation order
+	Workers []*Task // the tasks that execute the parallel work
+}
+
+// SpawnTeam creates the threads of a parallel region with nThreads workers
+// under the given runtime model, invoking hook at every thread creation —
+// exactly where the real likwid-pin's pthread_create wrapper runs.
+func SpawnTeam(k *Kernel, model RuntimeModel, nThreads int, master *Task, hook SpawnHook) (*Team, error) {
+	if nThreads < 1 {
+		return nil, fmt.Errorf("sched: team needs at least one worker, got %d", nThreads)
+	}
+	if master == nil {
+		return nil, fmt.Errorf("sched: team needs a master task")
+	}
+	team := &Team{Runtime: model, Master: master}
+	create := func(name string) *Task {
+		t := k.Spawn(name, master)
+		if hook != nil {
+			hook(len(team.Created), t)
+		}
+		team.Created = append(team.Created, t)
+		return t
+	}
+	switch model {
+	case RuntimeIntelOMP:
+		// Master works; the first created thread is the shepherd and
+		// must not be counted (or pinned) as a worker.
+		create("omp-shepherd")
+		team.Workers = append(team.Workers, master)
+		for i := 1; i < nThreads; i++ {
+			team.Workers = append(team.Workers, create(fmt.Sprintf("omp-worker-%d", i)))
+		}
+	case RuntimeGccOMP:
+		team.Workers = append(team.Workers, master)
+		for i := 1; i < nThreads; i++ {
+			team.Workers = append(team.Workers, create(fmt.Sprintf("omp-worker-%d", i)))
+		}
+	default: // pthreads: the program creates exactly nThreads workers
+		for i := 0; i < nThreads; i++ {
+			team.Workers = append(team.Workers, create(fmt.Sprintf("pthread-%d", i)))
+		}
+	}
+	return team, nil
+}
+
+// Exit tears the team down (master survives).
+func (team *Team) Exit(k *Kernel) {
+	for _, t := range team.Created {
+		k.Exit(t)
+	}
+}

@@ -1,0 +1,85 @@
+// Package stats provides the sample statistics the case studies report:
+// the paper's STREAM figures are box plots over 100 samples per thread
+// count, so the experiment drivers need quartiles, medians and spreads.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary are the box-plot statistics of one sample set.
+type Summary struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+	Stddev float64
+}
+
+// Summarize computes the summary of a sample set.  It copies the input
+// before sorting.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum, sq float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	for _, v := range s {
+		sq += (v - mean) * (v - mean)
+	}
+	stddev := 0.0
+	if len(s) > 1 {
+		stddev = math.Sqrt(sq / float64(len(s)-1))
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		Q3:     Quantile(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		Stddev: stddev,
+	}
+}
+
+// Quantile returns the q-quantile (0..1) of an ascending-sorted sample set
+// using linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// IQR is the interquartile range.
+func (s Summary) IQR() float64 { return s.Q3 - s.Q1 }
+
+// String renders one box-plot row.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.0f q1=%.0f med=%.0f q3=%.0f max=%.0f",
+		s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max)
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %v/%v, want 2/4", s.Q1, s.Q3)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty summary must be zero")
+	}
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.Stddev != 0 {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Summarize must not sort the caller's slice")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if q := Quantile(sorted, 0.5); q != 5 {
+		t.Errorf("median of {0,10} = %v, want 5", q)
+	}
+	if q := Quantile(sorted, 0); q != 0 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(sorted, 1); q != 10 {
+		t.Errorf("q1 = %v", q)
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(n%50) + 1
+		samples := make([]float64, k)
+		for i := range samples {
+			samples[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(samples)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.Stddev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		samples := make([]float64, 20)
+		for i := range samples {
+			samples[i] = rng.Float64() * 1000
+		}
+		sort.Float64s(samples)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(samples, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

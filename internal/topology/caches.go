@@ -1,0 +1,142 @@
+package topology
+
+import (
+	"fmt"
+
+	"likwid/internal/cpuid"
+	"likwid/internal/hwdef"
+)
+
+// decodeCaches recovers the data/unified cache hierarchy from CPUID,
+// choosing the decode path the way likwid-topology does: deterministic
+// cache parameters (leaf 0x4) on Core 2 and later Intel parts, the
+// descriptor table (leaf 0x2) on older ones, and the extended leaves on
+// AMD.  Instruction caches are decoded but dropped, matching the tool's
+// report ("nondata caches are omitted").
+func decodeCaches(c *cpuid.CPU, vendor hwdef.Vendor, pkgShift int) ([]Cache, error) {
+	if vendor == hwdef.AMD {
+		return amdCaches(c, pkgShift)
+	}
+	maxLeaf := c.Query(0, 0).EAX
+	if maxLeaf >= 4 {
+		if caches := intelLeaf4Caches(c); len(caches) > 0 {
+			return caches, nil
+		}
+	}
+	if maxLeaf >= 2 {
+		return intelLeaf2Caches(c)
+	}
+	return nil, fmt.Errorf("topology: no cache reporting mechanism available")
+}
+
+func intelLeaf4Caches(c *cpuid.CPU) []Cache {
+	var out []Cache
+	for sub := uint32(0); ; sub++ {
+		r := c.Query(4, sub)
+		typ := hwdef.CacheType(r.EAX & 0x1F)
+		if typ == 0 {
+			break
+		}
+		level := int(r.EAX >> 5 & 0x7)
+		span := int(r.EAX>>14&0xFFF) + 1
+		ways := int(r.EBX>>22&0x3FF) + 1
+		partitions := int(r.EBX>>12&0x3FF) + 1
+		line := int(r.EBX&0xFFF) + 1
+		sets := int(r.ECX) + 1
+		if typ == hwdef.InstructionCache {
+			continue
+		}
+		out = append(out, Cache{
+			Level:       level,
+			Type:        typ,
+			SizeKB:      ways * partitions * line * sets / 1024,
+			Assoc:       ways,
+			Sets:        sets,
+			LineSize:    line,
+			Inclusive:   r.EDX&(1<<1) != 0,
+			spanThreads: span,
+		})
+	}
+	return out
+}
+
+func intelLeaf2Caches(c *cpuid.CPU) ([]Cache, error) {
+	r := c.Query(2, 0)
+	if r.EAX&0xFF != 0x01 {
+		return nil, fmt.Errorf("topology: unexpected leaf-2 iteration count %#x", r.EAX&0xFF)
+	}
+	var out []Cache
+	consume := func(reg uint32, skipLow bool) {
+		if reg&(1<<31) != 0 {
+			return // register holds no valid descriptors
+		}
+		for i := 0; i < 4; i++ {
+			if skipLow && i == 0 {
+				continue // AL is the iteration count, not a descriptor
+			}
+			b := byte(reg >> (8 * i))
+			d, ok := cpuid.DescriptorTable[b]
+			if !ok || d.Type == hwdef.InstructionCache {
+				continue
+			}
+			out = append(out, Cache{
+				Level:       d.Level,
+				Type:        d.Type,
+				SizeKB:      d.SizeKB,
+				Assoc:       d.Assoc,
+				Sets:        d.SizeKB * 1024 / (d.Assoc * d.LineSize),
+				LineSize:    d.LineSize,
+				spanThreads: 1,
+			})
+		}
+	}
+	consume(r.EAX, true)
+	consume(r.EBX, false)
+	consume(r.ECX, false)
+	consume(r.EDX, false)
+	return out, nil
+}
+
+func amdCaches(c *cpuid.CPU, pkgShift int) ([]Cache, error) {
+	maxExt := c.Query(0x80000000, 0).EAX
+	if maxExt < 0x80000006 {
+		return nil, fmt.Errorf("topology: AMD extended cache leaves unavailable")
+	}
+	var out []Cache
+	l1 := c.Query(0x80000005, 0)
+	if size := int(l1.ECX >> 24); size > 0 {
+		line := int(l1.ECX & 0xFF)
+		assoc := int(l1.ECX >> 16 & 0xFF)
+		out = append(out, Cache{
+			Level: 1, Type: hwdef.DataCache, SizeKB: size, Assoc: assoc,
+			Sets: size * 1024 / (assoc * line), LineSize: line, spanThreads: 1,
+		})
+	}
+	l23 := c.Query(0x80000006, 0)
+	if size := int(l23.ECX >> 16); size > 0 {
+		line := int(l23.ECX & 0xFF)
+		assoc, ok := cpuid.AMDAssocDecode[l23.ECX>>12&0xF]
+		if !ok {
+			return nil, fmt.Errorf("topology: unknown AMD L2 associativity encoding %#x", l23.ECX>>12&0xF)
+		}
+		out = append(out, Cache{
+			Level: 2, Type: hwdef.UnifiedCache, SizeKB: size, Assoc: assoc,
+			Sets: size * 1024 / (assoc * line), LineSize: line, spanThreads: 1,
+		})
+	}
+	if units := int(l23.EDX >> 18); units > 0 {
+		size := units * 512
+		line := int(l23.EDX & 0xFF)
+		assoc, ok := cpuid.AMDAssocDecode[l23.EDX>>12&0xF]
+		if !ok {
+			return nil, fmt.Errorf("topology: unknown AMD L3 associativity encoding %#x", l23.EDX>>12&0xF)
+		}
+		// The K10 L3 is shared by the whole package.
+		out = append(out, Cache{
+			Level: 3, Type: hwdef.UnifiedCache, SizeKB: size, Assoc: assoc,
+			Sets: size * 1024 / (assoc * line), LineSize: line,
+			spanThreads: 1 << pkgShift,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+// Package topology implements the core of likwid-topology: it recovers the
+// hardware thread and cache topology of a node purely from CPUID register
+// images, and renders the reports the tool prints (plain text and ASCII
+// art).
+//
+// The decoder deliberately never inspects the hwdef definition behind the
+// emulated CPUID: like the real tool it sees only the instruction's output.
+// Three decode paths are implemented, matching §II-B of the paper:
+//
+//   - Intel leaf 0xB (Nehalem and later): field widths straight from the
+//     extended topology leaf.
+//   - Intel legacy (Core 2, Atom): logical-per-package from leaf 0x1 and
+//     cores-per-package from leaf 0x4.
+//   - AMD: core count from extended leaf 0x80000008.
+//
+// Cache parameters come from leaf 0x4 (deterministic cache parameters),
+// leaf 0x2 (descriptor table, Pentium M), or the AMD extended leaves.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"likwid/internal/cpuid"
+	"likwid/internal/hwdef"
+)
+
+// Thread is one hardware thread's position as printed by likwid-topology:
+// HWThread (OS processor ID), thread slot in its core, physical core ID and
+// socket.
+type Thread struct {
+	Proc     int
+	ThreadID int
+	CoreID   int
+	SocketID int
+	APICID   uint32
+}
+
+// Cache is one decoded data/unified cache level with its sharing groups.
+type Cache struct {
+	Level     int
+	Type      hwdef.CacheType
+	SizeKB    int
+	Assoc     int
+	Sets      int
+	LineSize  int
+	Inclusive bool
+	// SharedBy is the observed number of hardware threads per instance.
+	SharedBy int
+	// Groups lists, per cache instance, the OS processor IDs sharing it,
+	// ordered by APIC ID as the paper's listings are.
+	Groups [][]int
+	// spanThreads is the APIC-ID span of one instance (power of two),
+	// recorded during decode and consumed when building Groups.
+	spanThreads int
+}
+
+// Info is the complete decoded node topology.
+type Info struct {
+	CPUName        string
+	Vendor         hwdef.Vendor
+	Family         int
+	Model          int
+	Stepping       int
+	ClockMHz       float64
+	Sockets        int
+	CoresPerSocket int
+	ThreadsPerCore int
+	Threads        []Thread
+	// SocketGroups lists the processors of each socket ordered by APIC ID
+	// (SMT siblings adjacent), the order of the paper's "Socket 0: (...)"
+	// lines.
+	SocketGroups [][]int
+	Caches       []Cache
+	// NUMA is the OS-provided locality layout, attached via AttachNUMA
+	// (NUMA is sysfs information, not CPUID output).
+	NUMA []NUMADomain
+}
+
+// Probe decodes the topology of a node given one CPUID view per hardware
+// thread (indexed by OS processor ID) and the measured core clock.
+func Probe(cpus []*cpuid.CPU, clockMHz float64) (*Info, error) {
+	if len(cpus) == 0 {
+		return nil, fmt.Errorf("topology: no processors")
+	}
+	info := &Info{ClockMHz: clockMHz}
+
+	leaf0 := cpus[0].Query(0, 0)
+	info.Vendor = vendorFromLeaf0(leaf0)
+	leaf1 := cpus[0].Query(1, 0)
+	info.Family, info.Model, info.Stepping = cpuid.DecodeSignature(leaf1.EAX)
+	info.CPUName = brandString(cpus[0])
+
+	smtBits, coreBits, err := fieldWidths(cpus[0], info.Vendor)
+	if err != nil {
+		return nil, err
+	}
+	pkgShift := smtBits + coreBits
+
+	// Slice every thread's APIC ID.
+	info.Threads = make([]Thread, len(cpus))
+	for proc, c := range cpus {
+		id := apicID(c)
+		info.Threads[proc] = Thread{
+			Proc:     proc,
+			ThreadID: int(id) & (1<<smtBits - 1),
+			CoreID:   int(id>>smtBits) & (1<<coreBits - 1),
+			SocketID: int(id >> pkgShift),
+			APICID:   id,
+		}
+	}
+
+	// Socket census.
+	sockets := map[int][]int{}
+	coresSeen := map[[2]int]bool{}
+	threadsPerCore := map[[2]int]int{}
+	for _, t := range info.Threads {
+		sockets[t.SocketID] = append(sockets[t.SocketID], t.Proc)
+		coresSeen[[2]int{t.SocketID, t.CoreID}] = true
+		threadsPerCore[[2]int{t.SocketID, t.CoreID}]++
+	}
+	info.Sockets = len(sockets)
+	info.CoresPerSocket = len(coresSeen) / len(sockets)
+	for _, n := range threadsPerCore {
+		info.ThreadsPerCore = n
+		break
+	}
+
+	socketIDs := make([]int, 0, len(sockets))
+	for id := range sockets {
+		socketIDs = append(socketIDs, id)
+	}
+	sort.Ints(socketIDs)
+	for _, id := range socketIDs {
+		procs := sockets[id]
+		sortByAPIC(procs, info.Threads)
+		info.SocketGroups = append(info.SocketGroups, procs)
+	}
+
+	caches, err := decodeCaches(cpus[0], info.Vendor, pkgShift)
+	if err != nil {
+		return nil, err
+	}
+	// Build sharing groups for every data/unified level.
+	for i := range caches {
+		buildGroups(&caches[i], info)
+	}
+	info.Caches = caches
+	return info, nil
+}
+
+func vendorFromLeaf0(r cpuid.Regs) hwdef.Vendor {
+	s := unpack4(r.EBX) + unpack4(r.EDX) + unpack4(r.ECX)
+	if s == "AuthenticAMD" {
+		return hwdef.AMD
+	}
+	return hwdef.Intel
+}
+
+func unpack4(v uint32) string {
+	return string([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+func brandString(c *cpuid.CPU) string {
+	max := c.Query(0x80000000, 0).EAX
+	if max < 0x80000004 {
+		return "Unknown Processor"
+	}
+	var s string
+	for leaf := uint32(0x80000002); leaf <= 0x80000004; leaf++ {
+		r := c.Query(leaf, 0)
+		s += unpack4(r.EAX) + unpack4(r.EBX) + unpack4(r.ECX) + unpack4(r.EDX)
+	}
+	// Trim NUL padding.
+	for len(s) > 0 && s[len(s)-1] == 0 {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// apicID returns the APIC ID of the queried thread, preferring the x2APIC
+// ID of leaf 0xB over the 8-bit initial APIC ID of leaf 0x1.
+func apicID(c *cpuid.CPU) uint32 {
+	if c.Query(0, 0).EAX >= 0xB {
+		if r := c.Query(0xB, 0); r.EBX != 0 {
+			return r.EDX
+		}
+	}
+	return c.Query(1, 0).EBX >> 24
+}
+
+// fieldWidths determines (smtBits, coreBits) of the APIC ID via the
+// appropriate per-vendor decode path.
+func fieldWidths(c *cpuid.CPU, vendor hwdef.Vendor) (smtBits, coreBits int, err error) {
+	maxLeaf := c.Query(0, 0).EAX
+	if vendor == hwdef.Intel && maxLeaf >= 0xB {
+		if sub0 := c.Query(0xB, 0); sub0.EBX != 0 {
+			smtShift := int(sub0.EAX & 0x1F)
+			sub1 := c.Query(0xB, 1)
+			pkgShift := int(sub1.EAX & 0x1F)
+			return smtShift, pkgShift - smtShift, nil
+		}
+	}
+	leaf1 := c.Query(1, 0)
+	logical := int(leaf1.EBX >> 16 & 0xFF)
+	if logical == 0 {
+		logical = 1
+	}
+	if vendor == hwdef.AMD {
+		cores := 1
+		if c.Query(0x80000000, 0).EAX >= 0x80000008 {
+			cores = int(c.Query(0x80000008, 0).ECX&0xFF) + 1
+		}
+		smtWidth := logical / cores
+		if smtWidth < 1 {
+			smtWidth = 1
+		}
+		return ceilLog2(smtWidth), ceilLog2(cores), nil
+	}
+	// Intel legacy path: cores per package from leaf 4.
+	cores := 1
+	if maxLeaf >= 4 {
+		if r := c.Query(4, 0); r.EAX&0x1F != 0 {
+			cores = int(r.EAX>>26&0x3F) + 1
+		}
+	}
+	smtWidth := logical / cores
+	if smtWidth < 1 {
+		smtWidth = 1
+	}
+	// The leaf-1 logical count is the *addressable* span, so coreBits must
+	// cover logical/smtWidth addresses, not just `cores`.
+	coreSpan := logical / smtWidth
+	if coreSpan < cores {
+		coreSpan = cores
+	}
+	return ceilLog2(smtWidth), ceilLog2(coreSpan), nil
+}
+
+func ceilLog2(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return b
+}
+
+func sortByAPIC(procs []int, threads []Thread) {
+	sort.Slice(procs, func(i, j int) bool {
+		return threads[procs[i]].APICID < threads[procs[j]].APICID
+	})
+}
+
+// buildGroups partitions processors into sharing groups for one cache.
+// Threads share a cache instance when their APIC IDs agree above the cache's
+// span mask; the span is a power of two so the mask is exact.
+func buildGroups(c *Cache, info *Info) {
+	span := c.spanThreads
+	if span <= 0 {
+		span = 1
+	}
+	maskBits := ceilLog2(span)
+	groups := map[uint32][]int{}
+	var keys []uint32
+	for _, t := range info.Threads {
+		key := t.APICID >> maskBits
+		if _, seen := groups[key]; !seen {
+			keys = append(keys, key)
+		}
+		groups[key] = append(groups[key], t.Proc)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	c.Groups = c.Groups[:0]
+	maxLen := 0
+	for _, k := range keys {
+		procs := groups[k]
+		sortByAPIC(procs, info.Threads)
+		c.Groups = append(c.Groups, procs)
+		if len(procs) > maxLen {
+			maxLen = len(procs)
+		}
+	}
+	c.SharedBy = maxLen
+}

@@ -1,0 +1,107 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"likwid/internal/cpuid"
+	"likwid/internal/hwdef"
+)
+
+func TestNUMAFromArch(t *testing.T) {
+	info := probe(t, "westmereEP")
+	domains := NUMAFromArch(hwdef.WestmereEP, info, 24576)
+	if len(domains) != 2 {
+		t.Fatalf("domains = %d, want 2", len(domains))
+	}
+	d0 := domains[0]
+	if len(d0.Processors) != 12 {
+		t.Errorf("domain 0 has %d processors, want 12", len(d0.Processors))
+	}
+	if d0.Processors[0] != 0 || d0.Processors[1] != 12 {
+		t.Errorf("domain 0 processors start %v, want APIC order (0 12 ...)", d0.Processors[:2])
+	}
+	if d0.TotalMemMB != 24576 {
+		t.Errorf("mem = %d, want 24576", d0.TotalMemMB)
+	}
+	if d0.Distances[0] != 10 || d0.Distances[1] != 21 {
+		t.Errorf("distances = %v, want [10 21]", d0.Distances)
+	}
+	if domains[1].Distances[0] != 21 || domains[1].Distances[1] != 10 {
+		t.Errorf("domain 1 distances = %v, want [21 10]", domains[1].Distances)
+	}
+}
+
+func TestRenderNUMASection(t *testing.T) {
+	info := probe(t, "westmereEP")
+	info.AttachNUMA(NUMAFromArch(hwdef.WestmereEP, info, 0))
+	out := info.Render(RenderOptions{NUMA: true})
+	for _, want := range []string{
+		"NUMA Topology",
+		"NUMA domains: 2",
+		"Domain 0:",
+		"Processors: ( 0 12 1 13 2 14 3 15 4 16 5 17 )",
+		"Memory: 12288 MB free of total 12288 MB",
+		"Distances: 10 21",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("NUMA section missing %q", want)
+		}
+	}
+	// Without the option the section stays out.
+	plain := info.Render(RenderOptions{})
+	if strings.Contains(plain, "NUMA Topology") {
+		t.Error("NUMA section rendered without the option")
+	}
+}
+
+func TestXMLRoundtrip(t *testing.T) {
+	info := probe(t, "westmereEP")
+	info.AttachNUMA(NUMAFromArch(hwdef.WestmereEP, info, 0))
+	out, err := info.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<?xml", "<topology>", "<name>Intel Xeon (Westmere EP) processor</name>",
+		`<thread id="0" smt="0" core="0" socket="0"`,
+		`<cache level="3" type="Unified cache">`,
+		"<sharedBy>12</sharedBy>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("XML missing %q", want)
+		}
+	}
+	doc, err := ParseXML([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, c, th := doc.Geometry()
+	if s != 2 || c != 6 || th != 2 {
+		t.Errorf("XML roundtrip geometry = %d/%d/%d", s, c, th)
+	}
+	if len(doc.Threads) != 24 {
+		t.Errorf("XML threads = %d, want 24", len(doc.Threads))
+	}
+	if len(doc.Caches) != 3 {
+		t.Errorf("XML caches = %d, want 3", len(doc.Caches))
+	}
+}
+
+func TestXMLForAllArchs(t *testing.T) {
+	for _, name := range hwdef.Names() {
+		a, _ := hwdef.Lookup(name)
+		info, err := Probe(cpuid.NewNode(a), a.ClockMHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := info.XML()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if _, err := ParseXML([]byte(out)); err != nil {
+			t.Errorf("%s: roundtrip: %v", name, err)
+		}
+	}
+}

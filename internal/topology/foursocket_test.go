@@ -1,0 +1,70 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"likwid/internal/hwdef"
+)
+
+func TestWestmereEXFourSockets(t *testing.T) {
+	info := probe(t, "westmereEX")
+	if info.Sockets != 4 || info.CoresPerSocket != 6 || info.ThreadsPerCore != 2 {
+		t.Fatalf("geometry = %d/%d/%d, want 4/6/2",
+			info.Sockets, info.CoresPerSocket, info.ThreadsPerCore)
+	}
+	if len(info.Threads) != 48 {
+		t.Fatalf("threads = %d, want 48", len(info.Threads))
+	}
+	// Processors 0-5 socket 0 ... 18-23 socket 3; SMT siblings 24-47.
+	if got := info.Threads[18].SocketID; got != 3 {
+		t.Errorf("proc 18 socket = %d, want 3", got)
+	}
+	if got := info.Threads[42].SocketID; got != 3 {
+		t.Errorf("proc 42 (SMT) socket = %d, want 3", got)
+	}
+	// Four L3 groups of 12 threads each.
+	var l3 *Cache
+	for i := range info.Caches {
+		if info.Caches[i].Level == 3 {
+			l3 = &info.Caches[i]
+		}
+	}
+	if l3 == nil || len(l3.Groups) != 4 || l3.SharedBy != 12 {
+		t.Fatalf("L3 = %+v", l3)
+	}
+	// NUMA: four domains with a 4x4 distance matrix.
+	info.AttachNUMA(NUMAFromArch(hwdef.WestmereEX, info, 0))
+	if len(info.NUMA) != 4 {
+		t.Fatalf("NUMA domains = %d, want 4", len(info.NUMA))
+	}
+	for i, d := range info.NUMA {
+		if len(d.Distances) != 4 {
+			t.Fatalf("domain %d distances = %v", i, d.Distances)
+		}
+		for j, dist := range d.Distances {
+			want := 21
+			if i == j {
+				want = 10
+			}
+			if dist != want {
+				t.Errorf("distance[%d][%d] = %d, want %d", i, j, dist, want)
+			}
+		}
+	}
+	out := info.Render(RenderOptions{NUMA: true})
+	if !strings.Contains(out, "NUMA domains: 4") {
+		t.Error("render missing the 4-domain NUMA section")
+	}
+}
+
+func TestBaniasLeaf2Decode(t *testing.T) {
+	info := probe(t, "pentiumM-banias")
+	found := map[int]int{}
+	for _, c := range info.Caches {
+		found[c.Level] = c.SizeKB
+	}
+	if found[1] != 32 || found[2] != 1024 {
+		t.Errorf("Banias caches = %v, want L1 32kB / L2 1MB via descriptor 0x7C", found)
+	}
+}

@@ -1,0 +1,150 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"likwid/internal/cpuid"
+	"likwid/internal/hwdef"
+)
+
+// syntheticArch builds an unregistered Intel architecture with arbitrary
+// geometry — the input generator for the decode roundtrip property.
+func syntheticArch(sockets, cores, smt int, sparseCores bool, leafB bool) *hwdef.Arch {
+	physIDs := make([]int, cores)
+	for i := range physIDs {
+		if sparseCores {
+			// Non-contiguous numbering like Westmere EP: leave gaps.
+			physIDs[i] = i + i/3
+		} else {
+			physIDs[i] = i
+		}
+	}
+	threadsPerSocket := cores * smt
+	a := &hwdef.Arch{
+		Name: "synthetic", ModelName: "Synthetic Test Processor",
+		Vendor: hwdef.Intel, Family: 6, Model: 30, Stepping: 1,
+		ClockMHz: 2000, Sockets: sockets, CoresPerSocket: cores, ThreadsPerCore: smt,
+		PhysCoreIDs: physIDs,
+		Caches: []hwdef.CacheLevel{
+			{Level: 1, Type: hwdef.DataCache, SizeKB: 32, Assoc: 8, LineSize: 64, Sets: 64, SharedBy: smt},
+			{Level: 2, Type: hwdef.UnifiedCache, SizeKB: 256, Assoc: 8, LineSize: 64, Sets: 512, SharedBy: smt},
+			{Level: 3, Type: hwdef.UnifiedCache, SizeKB: 4096, Assoc: 16, LineSize: 64, Sets: 4096,
+				SharedBy: threadsPerSocket},
+		},
+		NumPMC: 4, HasFixedCtr: true,
+		HasLeafB: leafB, HasLeaf4: true,
+		MaxLeaf: 0xB, MaxExtLeaf: 0x80000008,
+		Events: map[string]hwdef.Event{
+			"INSTR_RETIRED_ANY":     {Name: "INSTR_RETIRED_ANY", Domain: hwdef.DomainFixed, FixedIndex: 0},
+			"CPU_CLK_UNHALTED_CORE": {Name: "CPU_CLK_UNHALTED_CORE", Domain: hwdef.DomainFixed, FixedIndex: 1},
+		},
+		Perf: hwdef.PerfModel{
+			SocketMemBW: 10e9, CoreTriadBW: 5e9, CoreScalarBW: 3e9,
+			SingleStreamBW: 4e9, L3BW: 20e9, RemoteFactor: 0.6,
+			SMTVectorGain: 1.05, SMTScalarGain: 1.3, NTStoreEfficiency: 0.8,
+			OversubscribePenalty: 0.08,
+		},
+	}
+	if !leafB {
+		a.MaxLeaf = 0xA
+	}
+	return a
+}
+
+// TestDecodeRoundtripProperty: for any geometry, decoding the emulated
+// CPUID recovers exactly the defined geometry, on both the modern (leaf
+// 0xB) and legacy decode paths.
+func TestDecodeRoundtripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sockets := 1 + rng.Intn(4)
+		cores := 1 + rng.Intn(8)
+		smt := 1 + rng.Intn(2)
+		sparse := rng.Intn(2) == 0
+		leafB := rng.Intn(2) == 0
+		if sparse && !leafB {
+			// The legacy decode path cannot recover sparse core IDs on
+			// multi-socket parts (neither can real tools on such BIOSes
+			// without leaf 0xB); real sparse parts all have leaf 0xB.
+			leafB = true
+		}
+		a := syntheticArch(sockets, cores, smt, sparse, leafB)
+		if err := a.Validate(); err != nil {
+			t.Logf("invalid synthetic arch: %v", err)
+			return false
+		}
+		info, err := Probe(cpuid.NewNode(a), a.ClockMHz)
+		if err != nil {
+			t.Logf("probe: %v", err)
+			return false
+		}
+		if info.Sockets != sockets || info.CoresPerSocket != cores || info.ThreadsPerCore != smt {
+			t.Logf("geometry: got %d/%d/%d want %d/%d/%d (sparse=%v leafB=%v)",
+				info.Sockets, info.CoresPerSocket, info.ThreadsPerCore,
+				sockets, cores, smt, sparse, leafB)
+			return false
+		}
+		// Physical core IDs reported verbatim.
+		seen := map[int]bool{}
+		for _, th := range info.Threads {
+			if th.SocketID == 0 && th.ThreadID == 0 {
+				seen[th.CoreID] = true
+			}
+		}
+		for _, id := range a.PhysCoreIDs {
+			if !seen[id] {
+				t.Logf("core id %d missing from decode (sparse=%v)", id, sparse)
+				return false
+			}
+		}
+		// L3 sharing groups: one per socket, holding all its threads.
+		for _, c := range info.Caches {
+			if c.Level != 3 {
+				continue
+			}
+			if len(c.Groups) != sockets {
+				t.Logf("L3 groups = %d, want %d", len(c.Groups), sockets)
+				return false
+			}
+			if c.SharedBy != cores*smt {
+				t.Logf("L3 sharedBy = %d, want %d", c.SharedBy, cores*smt)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLegacyVsLeafBAgree: for dense geometries both decode paths must
+// produce identical topologies.
+func TestLegacyVsLeafBAgree(t *testing.T) {
+	for _, geo := range [][3]int{{1, 4, 1}, {2, 4, 2}, {2, 6, 1}, {4, 2, 2}} {
+		modern := syntheticArch(geo[0], geo[1], geo[2], false, true)
+		legacy := syntheticArch(geo[0], geo[1], geo[2], false, false)
+		im, err := Probe(cpuid.NewNode(modern), 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		il, err := Probe(cpuid.NewNode(legacy), 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if im.Sockets != il.Sockets || im.CoresPerSocket != il.CoresPerSocket ||
+			im.ThreadsPerCore != il.ThreadsPerCore {
+			t.Errorf("geometry %v: leafB %d/%d/%d vs legacy %d/%d/%d", geo,
+				im.Sockets, im.CoresPerSocket, im.ThreadsPerCore,
+				il.Sockets, il.CoresPerSocket, il.ThreadsPerCore)
+		}
+		for p := range im.Threads {
+			if im.Threads[p] != il.Threads[p] {
+				t.Errorf("geometry %v proc %d: %+v vs %+v", geo, p, im.Threads[p], il.Threads[p])
+				break
+			}
+		}
+	}
+}

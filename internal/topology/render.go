@@ -1,0 +1,233 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+const thinRule = "-------------------------------------------------------------"
+const starRule = "*************************************************************"
+
+// RenderOptions steer the text report.
+type RenderOptions struct {
+	ExtendedCaches bool // -c: print associativity, sets, line size, inclusiveness
+	ASCIIArt       bool // -g: append the cache/socket diagram
+	NUMA           bool // include the NUMA Topology section when attached
+}
+
+// Render produces the likwid-topology text report for a decoded node,
+// structured like the listing in §II-B of the paper.
+func (info *Info) Render(opt RenderOptions) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, thinRule)
+	fmt.Fprintf(&b, "CPU name:\t%s\n", info.CPUName)
+	fmt.Fprintf(&b, "CPU clock:\t%.2f GHz\n", info.ClockMHz/1000)
+	fmt.Fprintln(&b, starRule)
+	fmt.Fprintln(&b, "Hardware Thread Topology")
+	fmt.Fprintln(&b, starRule)
+	fmt.Fprintf(&b, "Sockets:\t\t%d\n", info.Sockets)
+	fmt.Fprintf(&b, "Cores per socket:\t%d\n", info.CoresPerSocket)
+	fmt.Fprintf(&b, "Threads per core:\t%d\n", info.ThreadsPerCore)
+	fmt.Fprintln(&b, thinRule)
+	fmt.Fprintln(&b, "HWThread\tThread\t\tCore\t\tSocket")
+	for _, t := range info.Threads {
+		fmt.Fprintf(&b, "%d\t\t%d\t\t%d\t\t%d\n", t.Proc, t.ThreadID, t.CoreID, t.SocketID)
+	}
+	fmt.Fprintln(&b, thinRule)
+	for i, procs := range info.SocketGroups {
+		fmt.Fprintf(&b, "Socket %d: %s\n", i, groupString(procs))
+	}
+	fmt.Fprintln(&b, thinRule)
+	fmt.Fprintln(&b, starRule)
+	fmt.Fprintln(&b, "Cache Topology")
+	fmt.Fprintln(&b, starRule)
+	for _, c := range info.Caches {
+		fmt.Fprintf(&b, "Level:\t%d\n", c.Level)
+		fmt.Fprintf(&b, "Size:\t%s\n", sizeString(c.SizeKB))
+		fmt.Fprintf(&b, "Type:\t%s\n", c.Type)
+		if opt.ExtendedCaches {
+			fmt.Fprintf(&b, "Associativity:\t%d\n", c.Assoc)
+			fmt.Fprintf(&b, "Number of sets:\t%d\n", c.Sets)
+			fmt.Fprintf(&b, "Cache line size:\t%d\n", c.LineSize)
+			if c.Inclusive {
+				fmt.Fprintln(&b, "Inclusive cache")
+			} else {
+				fmt.Fprintln(&b, "Non Inclusive cache")
+			}
+			fmt.Fprintf(&b, "Shared among %d threads\n", c.SharedBy)
+		}
+		fmt.Fprintf(&b, "Cache groups:\t%s\n", groupsString(c.Groups))
+		fmt.Fprintln(&b, thinRule)
+	}
+	if opt.NUMA {
+		b.WriteString(info.RenderNUMA())
+	}
+	if opt.ASCIIArt {
+		b.WriteString(info.ASCIIArt())
+	}
+	return b.String()
+}
+
+func groupString(procs []int) string {
+	parts := make([]string, len(procs))
+	for i, p := range procs {
+		parts[i] = fmt.Sprint(p)
+	}
+	return "( " + strings.Join(parts, " ") + " )"
+}
+
+func groupsString(groups [][]int) string {
+	parts := make([]string, len(groups))
+	for i, g := range groups {
+		parts[i] = groupString(g)
+	}
+	return strings.Join(parts, " ")
+}
+
+func sizeString(kb int) string {
+	if kb >= 1024 && kb%1024 == 0 {
+		return fmt.Sprintf("%d MB", kb/1024)
+	}
+	return fmt.Sprintf("%d kB", kb)
+}
+
+// ASCIIArt draws one box per socket showing the per-core hardware threads
+// and the cache hierarchy, socket-shared caches spanning the full width —
+// the output of likwid-topology -g.
+func (info *Info) ASCIIArt() string {
+	var b strings.Builder
+	for s, procs := range info.SocketGroups {
+		fmt.Fprintf(&b, "Socket %d:\n", s)
+		b.WriteString(info.socketArt(procs))
+	}
+	return b.String()
+}
+
+func (info *Info) socketArt(procs []int) string {
+	// Column per core: the SMT threads sharing an L1.
+	cores := groupsWithin(info, procs, 1)
+	cells := make([]string, len(cores))
+	for i, g := range cores {
+		ids := make([]string, len(g))
+		for j, p := range g {
+			ids[j] = fmt.Sprint(p)
+		}
+		cells[i] = strings.Join(ids, " ")
+	}
+	// Cell width: widest of thread list and cache size strings.
+	width := 0
+	for _, c := range cells {
+		if len(c) > width {
+			width = len(c)
+		}
+	}
+	for _, c := range info.Caches {
+		if s := sizeString(c.SizeKB); len(s) > width {
+			width = len(s)
+		}
+	}
+	width += 2 // padding
+
+	var rows []string
+	rows = append(rows, boxRow(cells, width))
+	for _, c := range info.Caches {
+		groups := groupsWithin(info, procs, c.Level)
+		labels := make([]string, len(groups))
+		for i := range groups {
+			labels[i] = sizeString(c.SizeKB)
+		}
+		// Width of a box spanning k cores: k cells plus separators.
+		perBox := len(cores) / len(groups)
+		span := perBox*(width+2) + (perBox - 1)
+		rows = append(rows, boxRowSpan(labels, span))
+	}
+	inner := 0
+	for _, r := range rows {
+		for _, line := range strings.Split(r, "\n") {
+			if len(line) > inner {
+				inner = len(line)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", inner+2) + "+\n")
+	for _, r := range rows {
+		for _, line := range strings.Split(strings.TrimRight(r, "\n"), "\n") {
+			fmt.Fprintf(&b, "| %-*s |\n", inner, line)
+		}
+	}
+	b.WriteString("+" + strings.Repeat("-", inner+2) + "+\n")
+	return b.String()
+}
+
+// groupsWithin returns the cache-sharing groups of the given level
+// restricted to one socket's processors (for level 1, the per-core thread
+// groups).
+func groupsWithin(info *Info, procs []int, level int) [][]int {
+	inSocket := map[int]bool{}
+	for _, p := range procs {
+		inSocket[p] = true
+	}
+	var cache *Cache
+	for i := range info.Caches {
+		if info.Caches[i].Level == level {
+			cache = &info.Caches[i]
+			break
+		}
+	}
+	if cache == nil {
+		// No such level: treat every core's thread set as a group.
+		return nil
+	}
+	var out [][]int
+	for _, g := range cache.Groups {
+		var filtered []int
+		for _, p := range g {
+			if inSocket[p] {
+				filtered = append(filtered, p)
+			}
+		}
+		if len(filtered) > 0 {
+			out = append(out, filtered)
+		}
+	}
+	return out
+}
+
+func boxRow(cells []string, width int) string {
+	top, mid, bot := &strings.Builder{}, &strings.Builder{}, &strings.Builder{}
+	for i, c := range cells {
+		if i > 0 {
+			top.WriteByte(' ')
+			mid.WriteByte(' ')
+			bot.WriteByte(' ')
+		}
+		top.WriteString("+" + strings.Repeat("-", width) + "+")
+		fmt.Fprintf(mid, "|%s|", center(c, width))
+		bot.WriteString("+" + strings.Repeat("-", width) + "+")
+	}
+	return top.String() + "\n" + mid.String() + "\n" + bot.String() + "\n"
+}
+
+func boxRowSpan(labels []string, span int) string {
+	top, mid, bot := &strings.Builder{}, &strings.Builder{}, &strings.Builder{}
+	for i, l := range labels {
+		if i > 0 {
+			top.WriteByte(' ')
+			mid.WriteByte(' ')
+			bot.WriteByte(' ')
+		}
+		top.WriteString("+" + strings.Repeat("-", span-2) + "+")
+		fmt.Fprintf(mid, "|%s|", center(l, span-2))
+		bot.WriteString("+" + strings.Repeat("-", span-2) + "+")
+	}
+	return top.String() + "\n" + mid.String() + "\n" + bot.String() + "\n"
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s[:width]
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", width-len(s)-left)
+}

@@ -1,0 +1,221 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"likwid/internal/cpuid"
+	"likwid/internal/hwdef"
+)
+
+func probe(t *testing.T, name string) *Info {
+	t.Helper()
+	a, err := hwdef.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Probe(cpuid.NewNode(a), a.ClockMHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestWestmereDecodeMatchesPaper(t *testing.T) {
+	info := probe(t, "westmereEP")
+	if info.Sockets != 2 || info.CoresPerSocket != 6 || info.ThreadsPerCore != 2 {
+		t.Fatalf("geometry = %d/%d/%d, want 2/6/2",
+			info.Sockets, info.CoresPerSocket, info.ThreadsPerCore)
+	}
+	// Spot-check the paper's HWThread table.
+	checks := map[int][3]int{ // proc -> {thread, core, socket}
+		0:  {0, 0, 0},
+		3:  {0, 8, 0},
+		6:  {0, 0, 1},
+		11: {0, 10, 1},
+		12: {1, 0, 0},
+		23: {1, 10, 1},
+	}
+	for proc, want := range checks {
+		th := info.Threads[proc]
+		if th.ThreadID != want[0] || th.CoreID != want[1] || th.SocketID != want[2] {
+			t.Errorf("proc %d = (%d,%d,%d), want (%d,%d,%d)", proc,
+				th.ThreadID, th.CoreID, th.SocketID, want[0], want[1], want[2])
+		}
+	}
+	// Socket groups, paper order: ( 0 12 1 13 2 14 3 15 4 16 5 17 ).
+	want0 := []int{0, 12, 1, 13, 2, 14, 3, 15, 4, 16, 5, 17}
+	for i, p := range info.SocketGroups[0] {
+		if p != want0[i] {
+			t.Fatalf("socket 0 group = %v, want %v", info.SocketGroups[0], want0)
+		}
+	}
+	want1 := []int{6, 18, 7, 19, 8, 20, 9, 21, 10, 22, 11, 23}
+	for i, p := range info.SocketGroups[1] {
+		if p != want1[i] {
+			t.Fatalf("socket 1 group = %v, want %v", info.SocketGroups[1], want1)
+		}
+	}
+}
+
+func TestWestmereCachesMatchPaper(t *testing.T) {
+	info := probe(t, "westmereEP")
+	if len(info.Caches) != 3 {
+		t.Fatalf("got %d data cache levels, want 3 (instruction caches omitted)", len(info.Caches))
+	}
+	l1 := info.Caches[0]
+	if l1.SizeKB != 32 || l1.Assoc != 8 || l1.Sets != 64 || l1.LineSize != 64 || !l1.Inclusive {
+		t.Errorf("L1 = %+v, want 32kB 8-way 64 sets inclusive", l1)
+	}
+	if l1.SharedBy != 2 {
+		t.Errorf("L1 shared by %d, want 2", l1.SharedBy)
+	}
+	// Paper: L1 groups ( 0 12 ) ( 1 13 ) ...
+	if got := l1.Groups[0]; got[0] != 0 || got[1] != 12 {
+		t.Errorf("L1 group 0 = %v, want [0 12]", got)
+	}
+	l3 := info.Caches[2]
+	if l3.SizeKB != 12288 || l3.Assoc != 16 || l3.Sets != 12288 || l3.Inclusive {
+		t.Errorf("L3 = %+v, want 12MB 16-way 12288 sets non-inclusive", l3)
+	}
+	if l3.SharedBy != 12 {
+		t.Errorf("L3 shared by %d, want 12", l3.SharedBy)
+	}
+	if len(l3.Groups) != 2 {
+		t.Fatalf("L3 groups = %d, want 2", len(l3.Groups))
+	}
+	want := []int{0, 12, 1, 13, 2, 14, 3, 15, 4, 16, 5, 17}
+	for i, p := range l3.Groups[0] {
+		if p != want[i] {
+			t.Fatalf("L3 group 0 = %v, want %v", l3.Groups[0], want)
+		}
+	}
+}
+
+func TestCore2Decode(t *testing.T) {
+	info := probe(t, "core2")
+	if info.Sockets != 1 || info.CoresPerSocket != 4 || info.ThreadsPerCore != 1 {
+		t.Fatalf("geometry = %d/%d/%d, want 1/4/1", info.Sockets, info.CoresPerSocket, info.ThreadsPerCore)
+	}
+	// L2 is shared per die pair: groups {0,1} and {2,3}.
+	var l2 *Cache
+	for i := range info.Caches {
+		if info.Caches[i].Level == 2 {
+			l2 = &info.Caches[i]
+		}
+	}
+	if l2 == nil {
+		t.Fatal("no L2 decoded")
+	}
+	if l2.SharedBy != 2 || len(l2.Groups) != 2 {
+		t.Fatalf("L2 sharing = %d × %d groups, want 2 threads × 2 groups", l2.SharedBy, len(l2.Groups))
+	}
+	if l2.Groups[0][0] != 0 || l2.Groups[0][1] != 1 || l2.Groups[1][0] != 2 || l2.Groups[1][1] != 3 {
+		t.Errorf("L2 groups = %v, want [[0 1] [2 3]]", l2.Groups)
+	}
+}
+
+func TestIstanbulDecode(t *testing.T) {
+	info := probe(t, "istanbul")
+	if info.Vendor != hwdef.AMD {
+		t.Fatal("vendor must decode as AMD")
+	}
+	if info.Sockets != 2 || info.CoresPerSocket != 6 || info.ThreadsPerCore != 1 {
+		t.Fatalf("geometry = %d/%d/%d, want 2/6/1", info.Sockets, info.CoresPerSocket, info.ThreadsPerCore)
+	}
+	var l3 *Cache
+	for i := range info.Caches {
+		if info.Caches[i].Level == 3 {
+			l3 = &info.Caches[i]
+		}
+	}
+	if l3 == nil {
+		t.Fatal("Istanbul L3 not decoded")
+	}
+	if l3.SizeKB != 6144 || l3.Assoc != 48 {
+		t.Errorf("L3 = %+v, want 6MB 48-way", l3)
+	}
+	if l3.SharedBy != 6 || len(l3.Groups) != 2 {
+		t.Errorf("L3 sharing = %d × %d groups, want 6 × 2", l3.SharedBy, len(l3.Groups))
+	}
+}
+
+func TestPentiumMDecodeViaLeaf2(t *testing.T) {
+	info := probe(t, "pentiumM")
+	if info.Sockets != 1 || info.CoresPerSocket != 1 {
+		t.Fatalf("geometry = %d/%d, want 1/1", info.Sockets, info.CoresPerSocket)
+	}
+	found := map[int]int{}
+	for _, c := range info.Caches {
+		found[c.Level] = c.SizeKB
+	}
+	if found[1] != 32 || found[2] != 2048 {
+		t.Errorf("caches = %v, want L1 32kB and L2 2MB from descriptor table", found)
+	}
+}
+
+func TestAllArchsDecodeCleanly(t *testing.T) {
+	for _, name := range hwdef.Names() {
+		a, _ := hwdef.Lookup(name)
+		info, err := Probe(cpuid.NewNode(a), a.ClockMHz)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if info.Sockets != a.Sockets || info.CoresPerSocket != a.CoresPerSocket ||
+			info.ThreadsPerCore != a.ThreadsPerCore {
+			t.Errorf("%s: decoded %d/%d/%d, definition %d/%d/%d", name,
+				info.Sockets, info.CoresPerSocket, info.ThreadsPerCore,
+				a.Sockets, a.CoresPerSocket, a.ThreadsPerCore)
+		}
+		if len(info.Threads) != a.HWThreads() {
+			t.Errorf("%s: %d threads decoded, want %d", name, len(info.Threads), a.HWThreads())
+		}
+	}
+}
+
+func TestRenderContainsPaperLandmarks(t *testing.T) {
+	info := probe(t, "westmereEP")
+	out := info.Render(RenderOptions{ExtendedCaches: true})
+	for _, want := range []string{
+		"Hardware Thread Topology",
+		"Sockets:\t\t2",
+		"Cores per socket:\t6",
+		"Threads per core:\t2",
+		"Socket 0: ( 0 12 1 13 2 14 3 15 4 16 5 17 )",
+		"Socket 1: ( 6 18 7 19 8 20 9 21 10 22 11 23 )",
+		"Cache Topology",
+		"Size:\t12 MB",
+		"Non Inclusive cache",
+		"Shared among 12 threads",
+		"CPU clock:\t2.93 GHz",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestASCIIArt(t *testing.T) {
+	info := probe(t, "westmereEP")
+	art := info.ASCIIArt()
+	if !strings.Contains(art, "12 MB") {
+		t.Error("ASCII art missing the shared L3 box")
+	}
+	if !strings.Contains(art, "256 kB") {
+		t.Error("ASCII art missing L2 boxes")
+	}
+	if !strings.Contains(art, "0 12") {
+		t.Error("ASCII art missing SMT thread pairs")
+	}
+	lines := strings.Split(art, "\n")
+	if len(lines) < 10 {
+		t.Errorf("suspiciously short ASCII art: %d lines", len(lines))
+	}
+}
+
+func TestProbeEmpty(t *testing.T) {
+	if _, err := Probe(nil, 1000); err == nil {
+		t.Error("expected error for empty node")
+	}
+}

@@ -1,0 +1,113 @@
+package topology
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// XML output — "On popular demand, future releases will also include
+// support for XML output" (§V of the paper).
+
+// xmlTopology is the XML document schema of a topology report.
+type xmlTopology struct {
+	XMLName        xml.Name    `xml:"topology"`
+	CPUName        string      `xml:"cpu>name"`
+	ClockMHz       float64     `xml:"cpu>clockMHz"`
+	Family         int         `xml:"cpu>family"`
+	Model          int         `xml:"cpu>model"`
+	Stepping       int         `xml:"cpu>stepping"`
+	Sockets        int         `xml:"geometry>sockets"`
+	CoresPerSocket int         `xml:"geometry>coresPerSocket"`
+	ThreadsPerCore int         `xml:"geometry>threadsPerCore"`
+	Threads        []xmlThread `xml:"hwThreads>thread"`
+	Caches         []xmlCache  `xml:"caches>cache"`
+	NUMA           []xmlNUMA   `xml:"numa>domain,omitempty"`
+}
+
+type xmlThread struct {
+	Proc     int    `xml:"id,attr"`
+	ThreadID int    `xml:"smt,attr"`
+	CoreID   int    `xml:"core,attr"`
+	SocketID int    `xml:"socket,attr"`
+	APICID   uint32 `xml:"apic,attr"`
+}
+
+type xmlCache struct {
+	Level     int        `xml:"level,attr"`
+	Type      string     `xml:"type,attr"`
+	SizeKB    int        `xml:"sizeKB"`
+	Assoc     int        `xml:"associativity"`
+	Sets      int        `xml:"sets"`
+	LineSize  int        `xml:"lineSize"`
+	Inclusive bool       `xml:"inclusive"`
+	SharedBy  int        `xml:"sharedBy"`
+	Groups    []xmlGroup `xml:"groups>group"`
+}
+
+type xmlGroup struct {
+	Processors []int `xml:"proc"`
+}
+
+type xmlNUMA struct {
+	ID         int   `xml:"id,attr"`
+	Processors []int `xml:"proc"`
+	TotalMemMB int   `xml:"totalMemMB"`
+	Distances  []int `xml:"distance"`
+}
+
+// XML renders the decoded topology as an XML document.
+func (info *Info) XML() (string, error) {
+	doc := xmlTopology{
+		CPUName:        info.CPUName,
+		ClockMHz:       info.ClockMHz,
+		Family:         info.Family,
+		Model:          info.Model,
+		Stepping:       info.Stepping,
+		Sockets:        info.Sockets,
+		CoresPerSocket: info.CoresPerSocket,
+		ThreadsPerCore: info.ThreadsPerCore,
+	}
+	for _, t := range info.Threads {
+		doc.Threads = append(doc.Threads, xmlThread{
+			Proc: t.Proc, ThreadID: t.ThreadID, CoreID: t.CoreID,
+			SocketID: t.SocketID, APICID: t.APICID,
+		})
+	}
+	for _, c := range info.Caches {
+		xc := xmlCache{
+			Level: c.Level, Type: c.Type.String(), SizeKB: c.SizeKB,
+			Assoc: c.Assoc, Sets: c.Sets, LineSize: c.LineSize,
+			Inclusive: c.Inclusive, SharedBy: c.SharedBy,
+		}
+		for _, g := range c.Groups {
+			xc.Groups = append(xc.Groups, xmlGroup{Processors: g})
+		}
+		doc.Caches = append(doc.Caches, xc)
+	}
+	for _, d := range info.NUMA {
+		doc.NUMA = append(doc.NUMA, xmlNUMA{
+			ID: d.ID, Processors: d.Processors,
+			TotalMemMB: d.TotalMemMB, Distances: d.Distances,
+		})
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("topology: xml rendering: %w", err)
+	}
+	return xml.Header + string(out) + "\n", nil
+}
+
+// ParseXML decodes an XML topology document back into the schema type,
+// enabling round-trip tests and external consumption.
+func ParseXML(data []byte) (*xmlTopology, error) {
+	var doc xmlTopology
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("topology: xml parsing: %w", err)
+	}
+	return &doc, nil
+}
+
+// Geometry returns the decoded geometry triple of a parsed XML document.
+func (x *xmlTopology) Geometry() (sockets, coresPerSocket, threadsPerCore int) {
+	return x.Sockets, x.CoresPerSocket, x.ThreadsPerCore
+}

@@ -1,0 +1,139 @@
+package jacobi
+
+import (
+	"math"
+	"testing"
+
+	"likwid/internal/hwdef"
+)
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// Table II's performance row: threaded 784, threaded (NT) 1032, blocked
+// 1331 MLUPS on one Nehalem EP socket.  The model must land within 5%.
+func TestTableIIPerformance(t *testing.T) {
+	paper := map[Variant]float64{
+		Threaded:   784,
+		ThreadedNT: 1032,
+		Wavefront:  1331,
+	}
+	for variant, want := range paper {
+		r := run(t, TableIIConfig(hwdef.NehalemEP, variant))
+		if math.Abs(r.MLUPS-want)/want > 0.05 {
+			t.Errorf("%s: %0.f MLUPS, paper %v (>5%% off)", variant, r.MLUPS, want)
+		}
+	}
+}
+
+// The Table II ordering and ratios: NT stores save ≈1/3 of traffic but only
+// ≈1.3× performance; blocking cuts traffic ≈4.5× but gains only ≈1.7×.
+func TestTableIIRatios(t *testing.T) {
+	threaded := run(t, TableIIConfig(hwdef.NehalemEP, Threaded))
+	nt := run(t, TableIIConfig(hwdef.NehalemEP, ThreadedNT))
+	blocked := run(t, TableIIConfig(hwdef.NehalemEP, Wavefront))
+	if !(threaded.MLUPS < nt.MLUPS && nt.MLUPS < blocked.MLUPS) {
+		t.Fatalf("ordering broken: %v / %v / %v", threaded.MLUPS, nt.MLUPS, blocked.MLUPS)
+	}
+	speedup := blocked.MLUPS / threaded.MLUPS
+	if speedup < 1.5 || speedup > 2.0 {
+		t.Errorf("blocked speedup = %v, paper 1.70", speedup)
+	}
+}
+
+// Fig. 11's central claim: wrong pinning reverses the optimization — the
+// wavefront split across sockets falls below the threaded baseline, about
+// a factor 2 under the correctly pinned wavefront.
+func TestFig11WrongPinningReversesOptimization(t *testing.T) {
+	size := 300
+	correct := run(t, Config{Arch: hwdef.NehalemEP, Variant: Wavefront, Size: size, Iters: 20, Threads: 4, Placement: OneSocket})
+	wrong := run(t, Config{Arch: hwdef.NehalemEP, Variant: Wavefront, Size: size, Iters: 20, Threads: 4, Placement: SplitPairs})
+	baseline := run(t, Config{Arch: hwdef.NehalemEP, Variant: ThreadedNT, Size: size, Iters: 20, Threads: 4, Placement: OneSocket})
+
+	factor := correct.MLUPS / wrong.MLUPS
+	if factor < 1.6 || factor > 2.6 {
+		t.Errorf("wrong-pinning penalty = %vx, paper ≈ 2x (correct %v, wrong %v)",
+			factor, correct.MLUPS, wrong.MLUPS)
+	}
+	if wrong.MLUPS >= baseline.MLUPS {
+		t.Errorf("wrong pinning (%v) must fall below the threaded baseline (%v)",
+			wrong.MLUPS, baseline.MLUPS)
+	}
+}
+
+// Fig. 11 size series for the correct wavefront: rises from small grids,
+// peaks mid-range, declines toward 500.
+func TestFig11SizeShape(t *testing.T) {
+	mlups := map[int]float64{}
+	for _, size := range []int{50, 150, 300, 500} {
+		r := run(t, Config{Arch: hwdef.NehalemEP, Variant: Wavefront, Size: size, Iters: 30, Threads: 4, Placement: OneSocket})
+		mlups[size] = r.MLUPS
+	}
+	if mlups[150] <= mlups[50] {
+		t.Errorf("wavefront must rise from N=50 (%v) to N=150 (%v)", mlups[50], mlups[150])
+	}
+	if mlups[500] >= mlups[300] {
+		t.Errorf("wavefront must decline from N=300 (%v) to N=500 (%v)", mlups[300], mlups[500])
+	}
+}
+
+// The threaded baseline is flat once out of cache and faster in-cache.
+func TestBaselineCacheBump(t *testing.T) {
+	small := run(t, Config{Arch: hwdef.NehalemEP, Variant: ThreadedNT, Size: 50, Iters: 400, Threads: 4, Placement: OneSocket})
+	large1 := run(t, Config{Arch: hwdef.NehalemEP, Variant: ThreadedNT, Size: 300, Iters: 30, Threads: 4, Placement: OneSocket})
+	large2 := run(t, Config{Arch: hwdef.NehalemEP, Variant: ThreadedNT, Size: 450, Iters: 10, Threads: 4, Placement: OneSocket})
+	if small.MLUPS <= large1.MLUPS {
+		t.Errorf("in-cache run (%v) must beat memory-bound run (%v)", small.MLUPS, large1.MLUPS)
+	}
+	if math.Abs(large1.MLUPS-large2.MLUPS)/large1.MLUPS > 0.05 {
+		t.Errorf("baseline must be flat out of cache: %v vs %v", large1.MLUPS, large2.MLUPS)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Arch: hwdef.NehalemEP, Variant: Wavefront, Size: 4, Iters: 1, Threads: 4},
+		{Arch: hwdef.NehalemEP, Variant: Wavefront, Size: 100, Iters: 0, Threads: 4},
+		{Arch: hwdef.NehalemEP, Variant: Wavefront, Size: 100, Iters: 1, Threads: 0},
+		{Arch: hwdef.NehalemEP, Variant: Wavefront, Size: 100, Iters: 1, Threads: 9}, // > cores/socket
+	}
+	for _, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %+v must fail", cfg)
+		}
+	}
+}
+
+func TestSplitPlacementPinsAcrossSockets(t *testing.T) {
+	in, err := Prepare(Config{
+		Arch: hwdef.NehalemEP, Variant: Wavefront, Size: 100, Iters: 2,
+		Threads: 4, Placement: SplitPairs,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sockets := map[int]int{}
+	for _, w := range in.Team.Workers {
+		sockets[in.M.SocketOf(w.CPU)]++
+	}
+	if sockets[0] != 2 || sockets[1] != 2 {
+		t.Errorf("split placement = %v, want 2 threads per socket", sockets)
+	}
+}
+
+func TestLUPsAccounting(t *testing.T) {
+	cfg := Config{Arch: hwdef.NehalemEP, Variant: Threaded, Size: 100, Iters: 7, Threads: 4}
+	if got, want := cfg.LUPs(), 7e6; got != want {
+		t.Errorf("LUPs = %v, want %v", got, want)
+	}
+	r := run(t, cfg)
+	if r.LUPs != cfg.LUPs() {
+		t.Errorf("result LUPs = %v, want %v", r.LUPs, cfg.LUPs())
+	}
+}

@@ -1,0 +1,218 @@
+// Package kernels implements the likwid-bench microkernels the paper
+// announces as future work ("low-level benchmarking with a tool creating a
+// 'bandwidth map'"): streaming kernels swept over working-set sizes to
+// expose the cache and memory bandwidth bottlenecks of a node.
+//
+// Unlike the analytic case-study workloads, these kernels run address by
+// address through the trace-driven cache simulator, so hardware-prefetcher
+// state (likwid-features) changes the measured bandwidth — the coupling the
+// likwid-features case study needs.
+package kernels
+
+import (
+	"fmt"
+
+	"likwid/internal/cache"
+	"likwid/internal/hwdef"
+)
+
+// Kernel is one streaming microkernel.
+type Kernel struct {
+	Name string
+	// Per-element behaviour, elements are 8-byte doubles.
+	LoadArrays  int  // arrays read per element
+	StoreArrays int  // arrays written per element
+	NTStores    bool // write with non-temporal stores
+	Flops       int
+}
+
+// Catalogue is the kernel set of likwid-bench.
+var Catalogue = []Kernel{
+	{Name: "load", LoadArrays: 1},
+	{Name: "store", StoreArrays: 1},
+	{Name: "store_nt", StoreArrays: 1, NTStores: true},
+	{Name: "copy", LoadArrays: 1, StoreArrays: 1},
+	{Name: "update", LoadArrays: 1, StoreArrays: 1, Flops: 1},
+	{Name: "daxpy", LoadArrays: 2, StoreArrays: 1, Flops: 2},
+	{Name: "triad", LoadArrays: 2, StoreArrays: 1, Flops: 2},
+}
+
+// ByName finds a kernel.
+func ByName(name string) (Kernel, error) {
+	for _, k := range Catalogue {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("kernels: unknown kernel %q", name)
+}
+
+// BytesPerElem is the per-element traffic of the kernel.
+func (k Kernel) BytesPerElem() int { return 8 * (k.LoadArrays + k.StoreArrays) }
+
+// Point is one measurement of the bandwidth map.
+type Point struct {
+	WorkingSetBytes int
+	BandwidthMBs    float64
+	CyclesPerElem   float64
+	// Fractions of demand loads served per level (diagnostics).
+	L1HitRatio float64
+	MemLines   uint64
+}
+
+// costs are the per-transfer cycle costs derived from the architecture's
+// calibrated performance model.
+type costs struct {
+	l1Access float64 // cycles per demand access hitting L1
+	l2Line   float64 // cycles per line filled from L2
+	l3Line   float64 // cycles per line filled from L3
+	memLine  float64 // cycles per line filled from memory
+}
+
+func costsFor(a *hwdef.Arch) costs {
+	clock := a.ClockHz()
+	c := costs{
+		l1Access: 0.5,                                // two accesses per cycle
+		l2Line:   2,                                  // 32 B/cycle L2 port
+		memLine:  clock * 64 / a.Perf.SingleStreamBW, // single-stream fill
+		l3Line:   clock * 64 / (a.Perf.L3BW / 2),     // per-core L3 share
+	}
+	if _, hasL3 := a.CacheAt(3); !hasL3 {
+		c.l3Line = c.l2Line // two-level hierarchies skip the L3 hop
+	}
+	return c
+}
+
+// Run measures one kernel at one working-set size on a fresh hierarchy of
+// the architecture.  The prefetch gates connect the hierarchy's units to
+// whatever controls the caller wires up (defaults to everything enabled).
+func Run(a *hwdef.Arch, k Kernel, workingSet int, gates cache.PrefetchGates) (Point, error) {
+	if workingSet < 1024 {
+		return Point{}, fmt.Errorf("kernels: working set %d too small", workingSet)
+	}
+	h, err := cache.NewHierarchy(a, gates)
+	if err != nil {
+		return Point{}, err
+	}
+	arrays := k.LoadArrays + k.StoreArrays
+	if arrays == 0 {
+		return Point{}, fmt.Errorf("kernels: kernel %s moves no data", k.Name)
+	}
+	elems := workingSet / (8 * arrays)
+	if elems < 8 {
+		return Point{}, fmt.Errorf("kernels: working set %d too small for %s", workingSet, k.Name)
+	}
+
+	// Lay the arrays out 2 MiB apart so they do not alias pathologically.
+	const arrayGap = 64 << 20
+	addr := func(array, i int) uint64 { return uint64(array)*arrayGap + uint64(i)*8 }
+
+	sweep := func(record bool) {
+		for i := 0; i < elems; i++ {
+			for l := 0; l < k.LoadArrays; l++ {
+				h.Access(cache.Access{Addr: addr(l, i), Size: 8, IP: uint64(0x1000 + l)})
+			}
+			for s := 0; s < k.StoreArrays; s++ {
+				h.Access(cache.Access{
+					Addr: addr(k.LoadArrays+s, i), Size: 8, Write: true,
+					NT: k.NTStores, IP: uint64(0x2000 + s),
+				})
+			}
+		}
+		_ = record
+	}
+	// Warm-up pass, then the measured pass.
+	sweep(false)
+	h.ResetStats()
+	sweep(true)
+
+	// Cost accounting over the measured pass.
+	cost := costsFor(a)
+	var cycles float64
+	l1 := h.Levels[0].Stats()
+	cycles += float64(l1.Accesses) * cost.l1Access
+	// Line fills per boundary: what each level brought in, charged at the
+	// price of the level below it.
+	levelCost := []float64{cost.l2Line, cost.l3Line, cost.memLine}
+	for i, lvl := range h.Levels {
+		st := lvl.Stats()
+		price := cost.memLine
+		if i < len(levelCost) {
+			price = levelCost[i]
+		}
+		if i == len(h.Levels)-1 {
+			price = cost.memLine
+		}
+		// Prefetched fills overlap with compute: charge only demand
+		// misses at full price and prefetches at a quarter.
+		cycles += float64(st.Misses)*price + float64(st.Prefetches)*price*0.25
+		if k.NTStores {
+			cycles += float64(st.NTStores) * 0 // counted at the memory sink
+		}
+	}
+	memReads, memWrites := h.Mem.Snapshot()
+	if k.NTStores {
+		cycles += float64(memWrites) * cost.memLine / a.Perf.NTStoreEfficiency * 0.5
+	}
+	if cycles <= 0 {
+		return Point{}, fmt.Errorf("kernels: zero cycle estimate")
+	}
+
+	bytes := float64(elems) * float64(k.BytesPerElem())
+	seconds := cycles / a.ClockHz()
+	hitRatio := 0.0
+	if l1.Accesses > 0 {
+		hitRatio = float64(l1.Hits) / float64(l1.Accesses)
+	}
+	return Point{
+		WorkingSetBytes: workingSet,
+		BandwidthMBs:    bytes / seconds / 1e6,
+		CyclesPerElem:   cycles / float64(elems),
+		L1HitRatio:      hitRatio,
+		MemLines:        memReads + memWrites,
+	}, nil
+}
+
+// Sweep measures the kernel across working-set sizes, producing one row of
+// the bandwidth map.
+func Sweep(a *hwdef.Arch, k Kernel, sizes []int, gates cache.PrefetchGates) ([]Point, error) {
+	out := make([]Point, 0, len(sizes))
+	for _, ws := range sizes {
+		p, err := Run(a, k, ws, gates)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// DefaultSizes spans the cache levels of the architecture: two points
+// inside every level and two beyond the last.
+func DefaultSizes(a *hwdef.Arch) []int {
+	var sizes []int
+	add := func(b int) {
+		for _, s := range sizes {
+			if s == b {
+				return
+			}
+		}
+		sizes = append(sizes, b)
+	}
+	for _, c := range a.DataCaches() {
+		add(c.Size() / 2)
+		add(c.Size() * 2)
+	}
+	if llc, ok := a.LastLevelCache(); ok {
+		add(llc.Size() * 4)
+	}
+	// Ascending.
+	for i := 0; i < len(sizes); i++ {
+		for j := i + 1; j < len(sizes); j++ {
+			if sizes[j] < sizes[i] {
+				sizes[i], sizes[j] = sizes[j], sizes[i]
+			}
+		}
+	}
+	return sizes
+}

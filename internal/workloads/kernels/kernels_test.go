@@ -1,0 +1,138 @@
+package kernels
+
+import (
+	"testing"
+
+	"likwid/internal/cache"
+	"likwid/internal/hwdef"
+)
+
+func TestByName(t *testing.T) {
+	k, err := ByName("triad")
+	if err != nil || k.LoadArrays != 2 || k.StoreArrays != 1 {
+		t.Fatalf("triad = %+v, %v", k, err)
+	}
+	if _, err := ByName("warp"); err == nil {
+		t.Error("unknown kernel must fail")
+	}
+}
+
+func TestBytesPerElem(t *testing.T) {
+	for name, want := range map[string]int{"load": 8, "copy": 16, "triad": 24} {
+		k, _ := ByName(name)
+		if got := k.BytesPerElem(); got != want {
+			t.Errorf("%s bytes/elem = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestBandwidthMapShape: the core property of the bandwidth map — measured
+// bandwidth falls as the working set spills each cache level.
+func TestBandwidthMapShape(t *testing.T) {
+	a := hwdef.Core2Quad // 32 kB L1, 6 MB L2
+	k, _ := ByName("load")
+	inL1, err := Run(a, k, 16<<10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inL2, err := Run(a, k, 256<<10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMem, err := Run(a, k, 24<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(inL1.BandwidthMBs > inL2.BandwidthMBs && inL2.BandwidthMBs > inMem.BandwidthMBs) {
+		t.Fatalf("bandwidth map not monotone: L1 %v, L2 %v, mem %v",
+			inL1.BandwidthMBs, inL2.BandwidthMBs, inMem.BandwidthMBs)
+	}
+	// In-L1 working sets hit essentially always after warm-up.
+	if inL1.L1HitRatio < 0.99 {
+		t.Errorf("L1-resident hit ratio = %v, want ≈ 1", inL1.L1HitRatio)
+	}
+	if inL1.MemLines != 0 {
+		t.Errorf("L1-resident run touched memory: %d lines", inL1.MemLines)
+	}
+}
+
+// TestPrefetchersRaiseStreamingBandwidth: the likwid-features case — with
+// prefetch units disabled, out-of-cache streaming bandwidth drops.
+func TestPrefetchersRaiseStreamingBandwidth(t *testing.T) {
+	a := hwdef.Core2Quad
+	k, _ := ByName("load")
+	off := func() bool { return false }
+	gatesOff := cache.PrefetchGates{
+		"HW_PREFETCHER": off, "CL_PREFETCHER": off,
+		"DCU_PREFETCHER": off, "IP_PREFETCHER": off,
+	}
+	ws := 24 << 20
+	with, err := Run(a, k, ws, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(a, k, ws, gatesOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.BandwidthMBs <= without.BandwidthMBs*1.2 {
+		t.Errorf("prefetchers gained only %v -> %v MB/s; expect >20%% on streaming",
+			without.BandwidthMBs, with.BandwidthMBs)
+	}
+}
+
+// TestNTStoreSkipsReadForOwnership: store vs store_nt — the NT variant must
+// not read the lines it overwrites.
+func TestNTStoreSkipsReadForOwnership(t *testing.T) {
+	a := hwdef.NehalemEP
+	st, _ := ByName("store")
+	nt, _ := ByName("store_nt")
+	ws := 32 << 20
+	regular, err := Run(a, st, ws, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streaming, err := Run(a, nt, ws, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regular stores write-allocate: roughly 2 lines moved per line
+	// written.  NT stores: 1.
+	if streaming.MemLines >= regular.MemLines {
+		t.Errorf("NT store moved %d lines, regular %d; write allocate not elided",
+			streaming.MemLines, regular.MemLines)
+	}
+}
+
+func TestSweepAndDefaultSizes(t *testing.T) {
+	a := hwdef.Core2Quad
+	sizes := DefaultSizes(a)
+	if len(sizes) < 4 {
+		t.Fatalf("default sizes too few: %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatalf("sizes not ascending: %v", sizes)
+		}
+	}
+	k, _ := ByName("copy")
+	// Use a truncated size list to keep the test fast.
+	pts, err := Sweep(a, k, []int{16 << 10, 1 << 20}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].BandwidthMBs <= pts[1].BandwidthMBs {
+		t.Errorf("copy sweep not monotone: %+v", pts)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	a := hwdef.Core2Quad
+	k, _ := ByName("load")
+	if _, err := Run(a, k, 100, nil); err == nil {
+		t.Error("tiny working set must fail")
+	}
+	if _, err := Run(a, Kernel{Name: "null"}, 1<<20, nil); err == nil {
+		t.Error("kernel moving no data must fail")
+	}
+}

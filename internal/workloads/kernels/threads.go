@@ -1,0 +1,191 @@
+package kernels
+
+import (
+	"fmt"
+
+	"likwid/internal/cache"
+	"likwid/internal/hwdef"
+)
+
+// Multi-threaded kernel runs: the thread-group mode of likwid-bench.  Each
+// thread owns a private L1/L2 chain; threads of one socket share the L3
+// instance (and the memory sink), so shared-cache capacity contention and
+// inclusive back-invalidation are visible in the measurements.
+
+// SharedHierarchy is a node-level cache build: per-thread private chains
+// over per-socket shared last-level caches.
+type SharedHierarchy struct {
+	Threads []*cache.Level   // entry point (L1) per thread
+	Chains  [][]*cache.Level // full private chain per thread, L1 first
+	Shared  []*cache.Level   // one LLC per socket
+	Mem     *cache.Memory
+}
+
+// NewSharedHierarchy builds private chains for nThreads threads placed
+// round-robin across sockets (one thread per physical core, scatter order).
+func NewSharedHierarchy(a *hwdef.Arch, nThreads int, gates cache.PrefetchGates) (*SharedHierarchy, error) {
+	if nThreads < 1 {
+		return nil, fmt.Errorf("kernels: need at least one thread")
+	}
+	if nThreads > a.Cores() {
+		return nil, fmt.Errorf("kernels: %d threads exceed %d cores", nThreads, a.Cores())
+	}
+	data := a.DataCaches()
+	if len(data) == 0 {
+		return nil, fmt.Errorf("kernels: %s has no data caches", a.Name)
+	}
+	llc := data[len(data)-1]
+	private := data[:len(data)-1]
+	sharedPerSocket := llc.SharedBy >= a.CoresPerSocket*a.ThreadsPerCore
+
+	mem := &cache.Memory{}
+	sh := &SharedHierarchy{Mem: mem}
+
+	// One shared LLC per socket (or per LLC group when narrower).
+	llcCfg := cache.Config{
+		Name: fmt.Sprintf("L%d", llc.Level), Sets: llc.Sets, Ways: llc.Assoc,
+		LineSize: llc.LineSize, WriteAllocate: true, Inclusive: llc.Inclusive,
+	}
+	numShared := a.Sockets
+	if !sharedPerSocket {
+		coresPerGroup := llc.SharedBy / a.ThreadsPerCore
+		if coresPerGroup < 1 {
+			coresPerGroup = 1
+		}
+		numShared = a.Cores() / coresPerGroup
+	}
+	for i := 0; i < numShared; i++ {
+		lvl, err := cache.NewLevel(llcCfg, nil, mem)
+		if err != nil {
+			return nil, err
+		}
+		sh.Shared = append(sh.Shared, lvl)
+	}
+
+	// Threads scatter across sockets: thread i on socket i%Sockets.
+	for tid := 0; tid < nThreads; tid++ {
+		group := tid % numShared
+		below := sh.Shared[group]
+		chain := make([]*cache.Level, len(private))
+		for lvl := len(private) - 1; lvl >= 0; lvl-- {
+			cl := private[lvl]
+			cfg := cache.Config{
+				Name: fmt.Sprintf("t%d-L%d", tid, cl.Level), Sets: cl.Sets, Ways: cl.Assoc,
+				LineSize: cl.LineSize, WriteAllocate: true, Inclusive: cl.Inclusive,
+			}
+			next, err := cache.NewLevel(cfg, below, nil)
+			if err != nil {
+				return nil, err
+			}
+			below = next
+			chain[lvl] = next
+		}
+		entry := below // top of the chain (the LLC itself when no private levels)
+		if len(private) > 0 {
+			entry.AttachStreamer(gates.Gate("HW_PREFETCHER"), 3)
+		}
+		sh.Threads = append(sh.Threads, entry)
+		sh.Chains = append(sh.Chains, chain)
+	}
+	return sh, nil
+}
+
+// ResetStats clears every level's counters, private and shared.
+func (sh *SharedHierarchy) ResetStats() {
+	for _, chain := range sh.Chains {
+		for _, l := range chain {
+			l.ResetStats()
+		}
+	}
+	for _, l := range sh.Shared {
+		l.ResetStats()
+	}
+}
+
+// RunThreads measures one kernel with nThreads threads, each streaming its
+// own slice of the working set.  Accesses interleave round-robin element by
+// element, so shared-LLC capacity is genuinely contended.  Returns the
+// aggregate bandwidth point.
+func RunThreads(a *hwdef.Arch, k Kernel, workingSet, nThreads int, gates cache.PrefetchGates) (Point, error) {
+	sh, err := NewSharedHierarchy(a, nThreads, gates)
+	if err != nil {
+		return Point{}, err
+	}
+	arrays := k.LoadArrays + k.StoreArrays
+	if arrays == 0 {
+		return Point{}, fmt.Errorf("kernels: kernel %s moves no data", k.Name)
+	}
+	elemsPerThread := workingSet / (8 * arrays * nThreads)
+	if elemsPerThread < 8 {
+		return Point{}, fmt.Errorf("kernels: working set %d too small for %d threads", workingSet, nThreads)
+	}
+	const threadGap = 1 << 32
+	const arrayGap = 64 << 20
+	addr := func(tid, array, i int) uint64 {
+		return uint64(tid)*threadGap + uint64(array)*arrayGap + uint64(i)*8
+	}
+	sweep := func() {
+		for i := 0; i < elemsPerThread; i++ {
+			for tid := 0; tid < nThreads; tid++ {
+				for l := 0; l < k.LoadArrays; l++ {
+					sh.Threads[tid].Do(cache.Access{Addr: addr(tid, l, i), Size: 8, IP: uint64(0x1000 + l)})
+				}
+				for s := 0; s < k.StoreArrays; s++ {
+					sh.Threads[tid].Do(cache.Access{
+						Addr: addr(tid, k.LoadArrays+s, i), Size: 8,
+						Write: true, NT: k.NTStores, IP: uint64(0x2000 + s),
+					})
+				}
+			}
+		}
+	}
+	sweep()
+	sh.ResetStats()
+	sweep()
+
+	// Cost model: per-thread cycles as in the single-thread runner; the
+	// slowest thread sets the pace (barrier semantics), and memory-line
+	// costs are shared bus time.
+	cost := costsFor(a)
+	perThreadCycles := make([]float64, nThreads)
+	for tid := 0; tid < nThreads; tid++ {
+		chain := sh.Chains[tid]
+		var cycles float64
+		for lvl, l := range chain {
+			st := l.Stats()
+			if lvl == 0 {
+				cycles += float64(st.Accesses) * cost.l1Access
+			}
+			price := cost.l2Line
+			if lvl == len(chain)-1 {
+				price = cost.l3Line // fills from the shared LLC
+			}
+			cycles += float64(st.Misses)*price + float64(st.Prefetches)*price*0.25
+		}
+		perThreadCycles[tid] = cycles
+	}
+	var sharedCycles float64
+	for _, l := range sh.Shared {
+		st := l.Stats()
+		sharedCycles += float64(st.Misses) * cost.memLine
+	}
+	memReads, memWrites := sh.Mem.Snapshot()
+	var slowest float64
+	for _, c := range perThreadCycles {
+		if c > slowest {
+			slowest = c
+		}
+	}
+	cycles := slowest + sharedCycles/float64(len(sh.Shared))
+	if cycles <= 0 {
+		return Point{}, fmt.Errorf("kernels: zero cycle estimate")
+	}
+	bytes := float64(elemsPerThread) * float64(nThreads) * float64(k.BytesPerElem())
+	seconds := cycles / a.ClockHz()
+	return Point{
+		WorkingSetBytes: workingSet,
+		BandwidthMBs:    bytes / seconds / 1e6,
+		CyclesPerElem:   cycles / float64(elemsPerThread*nThreads),
+		MemLines:        memReads + memWrites,
+	}, nil
+}

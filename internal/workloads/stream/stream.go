@@ -1,0 +1,258 @@
+// Package stream models the OpenMP STREAM triad benchmark of the paper's
+// first case study (a[i] = b[i] + s*c[i]) with per-compiler code-generation
+// profiles, running on the simulated machine under a chosen pinning regime.
+//
+// The compiler matters twice (§IV-A):
+//
+//   - code generation: icc emits packed SSE (dense, high per-core bandwidth
+//     demand, little SMT benefit), gcc scalar code (more instructions per
+//     element, benefits from SMT);
+//   - thread creation: the Intel runtime spawns OMP_NUM_THREADS+1 threads
+//     whose first is an unpinnable shepherd, gcc spawns N-1.  Their spawn
+//     patterns also place threads differently when unpinned, which is the
+//     origin of the different variance shapes of Figs. 4 and 7.
+package stream
+
+import (
+	"fmt"
+
+	"likwid/internal/hwdef"
+	"likwid/internal/machine"
+	"likwid/internal/pin"
+	"likwid/internal/sched"
+)
+
+// Compiler selects the code-generation and runtime model.
+type Compiler int
+
+// Supported compilers.
+const (
+	ICC Compiler = iota
+	GCC
+)
+
+// String returns the compiler name.
+func (c Compiler) String() string {
+	if c == GCC {
+		return "gcc"
+	}
+	return "icc"
+}
+
+// PinMode is the affinity regime of one run.
+type PinMode int
+
+// Pin modes of the case study.
+const (
+	// Unpinned leaves placement to the scheduler (Figs. 4, 7, 9).
+	Unpinned PinMode = iota
+	// PinScatter pins with likwid-pin round-robin across sockets,
+	// physical cores first (Figs. 5, 8, 10).
+	PinScatter
+	// RuntimeScatter models KMP_AFFINITY=scatter, the Intel runtime's
+	// own affinity interface (Fig. 6).
+	RuntimeScatter
+)
+
+// String names the pin mode.
+func (p PinMode) String() string {
+	switch p {
+	case PinScatter:
+		return "likwid-pin"
+	case RuntimeScatter:
+		return "KMP_AFFINITY=scatter"
+	default:
+		return "unpinned"
+	}
+}
+
+// Config is one STREAM run.
+type Config struct {
+	Arch     *hwdef.Arch
+	Compiler Compiler
+	Threads  int
+	Mode     PinMode
+	// TotalElems is the triad length (default 20M elements; every element
+	// moves 24 counted bytes).
+	TotalElems float64
+	Seed       int64
+}
+
+// Result of one run.
+type Result struct {
+	BandwidthMBs float64 // STREAM-counted bandwidth (24 B/element), MB/s
+	ElapsedSec   float64
+	WorkerCPUs   []int // final placement, for diagnostics
+}
+
+// BytesPerElem is the STREAM accounting: 16 read + 8 written.
+const BytesPerElem = 24.0
+
+// PerElemFor returns the per-element cost vector of the triad kernel as the
+// given compiler generates it; exported so external launchers (the CLI
+// tools) can run the triad on a machine they own.
+func PerElemFor(c Compiler) machine.PerElem { return perElem(c) }
+
+// perElem builds the per-element cost vector for a compiler.
+func perElem(c Compiler) machine.PerElem {
+	switch c {
+	case GCC:
+		// Scalar code: one element per SSE lane, more instructions.
+		return machine.PerElem{
+			Cycles: 1.9,
+			Counts: machine.Counts{
+				machine.EvInstr:         6,
+				machine.EvFlopsScalarDP: 2,
+				machine.EvLoads:         2,
+				machine.EvStores:        1,
+				machine.EvL1LinesIn:     24.0 / 64,
+				machine.EvL2LinesIn:     24.0 / 64,
+			},
+			MemReadBytes:  16,
+			MemWriteBytes: 8,
+			Streams:       3,
+			Vector:        false,
+		}
+	default:
+		// Packed SSE: two elements per instruction.
+		return machine.PerElem{
+			Cycles: 0.95,
+			Counts: machine.Counts{
+				machine.EvInstr:         3,
+				machine.EvFlopsPackedDP: 1,
+				machine.EvLoads:         1,
+				machine.EvStores:        0.5,
+				machine.EvL1LinesIn:     24.0 / 64,
+				machine.EvL2LinesIn:     24.0 / 64,
+			},
+			MemReadBytes:  16,
+			MemWriteBytes: 8,
+			Streams:       3,
+			Vector:        true,
+		}
+	}
+}
+
+// runtimeFor maps the compiler to its threading runtime.
+func runtimeFor(c Compiler) sched.RuntimeModel {
+	if c == GCC {
+		return sched.RuntimeGccOMP
+	}
+	return sched.RuntimeIntelOMP
+}
+
+// policyFor maps the compiler's spawn behaviour to a placement policy:
+// the Intel runtime's staggered spawn scatters threads, gcc's rapid
+// sequential spawn clusters them near the master.
+func policyFor(c Compiler) sched.Policy {
+	if c == GCC {
+		return sched.PolicyCompact
+	}
+	return sched.PolicySpread
+}
+
+// ScatterList builds the likwid-pin core list distributing threads
+// round-robin across sockets, physical cores before SMT siblings — the
+// paper's Fig. 5 pinning.
+func ScatterList(a *hwdef.Arch) []int {
+	var list []int
+	for smt := 0; smt < a.ThreadsPerCore; smt++ {
+		for core := 0; core < a.CoresPerSocket; core++ {
+			for socket := 0; socket < a.Sockets; socket++ {
+				proc := smt*a.Sockets*a.CoresPerSocket + socket*a.CoresPerSocket + core
+				list = append(list, proc)
+			}
+		}
+	}
+	return list
+}
+
+// Run executes one STREAM triad sample.
+func Run(cfg Config) (Result, error) {
+	if cfg.Arch == nil {
+		return Result{}, fmt.Errorf("stream: nil architecture")
+	}
+	if cfg.Threads < 1 || cfg.Threads > 64 {
+		return Result{}, fmt.Errorf("stream: bad thread count %d", cfg.Threads)
+	}
+	if cfg.TotalElems <= 0 {
+		cfg.TotalElems = 2e7
+	}
+
+	m := machine.New(cfg.Arch, machine.Options{Policy: policyFor(cfg.Compiler), Seed: cfg.Seed})
+	master := m.OS.Spawn("stream", nil)
+
+	var pinner *pin.Pinner
+	var hook sched.SpawnHook
+	runtime := runtimeFor(cfg.Compiler)
+	if cfg.Mode == PinScatter {
+		list := ScatterList(cfg.Arch)
+		if cfg.Threads < len(list) {
+			list = list[:cfg.Threads]
+		}
+		var err error
+		pinner, err = pin.New(m.OS, list, pin.SkipMaskFor(runtime))
+		if err != nil {
+			return Result{}, err
+		}
+		if err := pinner.PinProcess(master); err != nil {
+			return Result{}, err
+		}
+		hook = pinner.Hook()
+	}
+
+	team, err := sched.SpawnTeam(m.OS, runtime, cfg.Threads, master, hook)
+	if err != nil {
+		return Result{}, err
+	}
+
+	if cfg.Mode == RuntimeScatter {
+		// KMP_AFFINITY=scatter: the runtime pins its own workers after
+		// the team exists, spreading across sockets like likwid-pin.
+		list := ScatterList(cfg.Arch)
+		for i, w := range team.Workers {
+			if i >= len(list) {
+				break
+			}
+			if err := m.OS.Pin(w, list[i]); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	pe := perElem(cfg.Compiler)
+	elems := cfg.TotalElems / float64(cfg.Threads)
+	works := make([]*machine.ThreadWork, len(team.Workers))
+	for i, w := range team.Workers {
+		works[i] = &machine.ThreadWork{Task: w, Elems: elems, PerElem: pe}
+	}
+	elapsed := m.RunPhase(works, 0)
+	if elapsed <= 0 {
+		return Result{}, fmt.Errorf("stream: zero elapsed time")
+	}
+	cpus := make([]int, len(team.Workers))
+	for i, w := range team.Workers {
+		cpus[i] = w.CPU
+	}
+	return Result{
+		BandwidthMBs: cfg.TotalElems * BytesPerElem / elapsed / 1e6,
+		ElapsedSec:   elapsed,
+		WorkerCPUs:   cpus,
+	}, nil
+}
+
+// RunSamples runs n independent samples (fresh machine, varied seed) and
+// returns the bandwidths — the data behind one box of the paper's plots.
+func RunSamples(cfg Config, n int) ([]float64, error) {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed*1000003 + int64(i)*7919
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r.BandwidthMBs)
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package stream
+
+import (
+	"testing"
+
+	"likwid/internal/hwdef"
+	"likwid/internal/stats"
+)
+
+func samples(t *testing.T, cfg Config, n int) stats.Summary {
+	t.Helper()
+	bw, err := RunSamples(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.Summarize(bw)
+}
+
+func TestScatterList(t *testing.T) {
+	list := ScatterList(hwdef.WestmereEP)
+	if len(list) != 24 {
+		t.Fatalf("scatter list has %d entries, want 24", len(list))
+	}
+	// Round-robin over sockets, physical cores first: 0, 6, 1, 7, ...
+	want := []int{0, 6, 1, 7, 2, 8}
+	for i, w := range want {
+		if list[i] != w {
+			t.Fatalf("scatter list = %v..., want %v...", list[:6], want)
+		}
+	}
+	// SMT siblings come after all physical cores.
+	if list[12] != 12 || list[13] != 18 {
+		t.Errorf("SMT part of scatter list wrong: %v", list[12:16])
+	}
+}
+
+// TestPinnedSingleThreadBandwidth checks the single-core calibration point.
+func TestPinnedSingleThreadBandwidth(t *testing.T) {
+	s := samples(t, Config{
+		Arch: hwdef.WestmereEP, Compiler: ICC, Threads: 1, Mode: PinScatter, Seed: 1,
+	}, 3)
+	want := hwdef.WestmereEP.Perf.CoreTriadBW / 1e6 // MB/s
+	if s.Median < want*0.9 || s.Median > want*1.1 {
+		t.Fatalf("1-thread pinned bandwidth = %v MB/s, want ≈ %v", s.Median, want)
+	}
+	// Pinned runs must be stable.
+	if s.IQR() > s.Median*0.02 {
+		t.Errorf("pinned run IQR = %v of median %v; pinning must kill variance", s.IQR(), s.Median)
+	}
+}
+
+// TestPinnedSaturatesNode: Fig. 5's plateau at ~41 GB/s with 6+ threads.
+func TestPinnedSaturatesNode(t *testing.T) {
+	for _, threads := range []int{6, 12, 24} {
+		s := samples(t, Config{
+			Arch: hwdef.WestmereEP, Compiler: ICC, Threads: threads, Mode: PinScatter, Seed: 2,
+		}, 3)
+		want := 2 * hwdef.WestmereEP.Perf.SocketMemBW / 1e6
+		if s.Median < want*0.88 || s.Median > want*1.05 {
+			t.Errorf("%d threads pinned = %v MB/s, want ≈ %v (node saturation)", threads, s.Median, want)
+		}
+	}
+}
+
+// TestUnpinnedVarianceIcc: Fig. 4's key qualitative feature — unpinned runs
+// vary wildly at low thread counts.
+func TestUnpinnedVarianceIcc(t *testing.T) {
+	unpinned := samples(t, Config{
+		Arch: hwdef.WestmereEP, Compiler: ICC, Threads: 4, Mode: Unpinned, Seed: 3,
+	}, 40)
+	pinned := samples(t, Config{
+		Arch: hwdef.WestmereEP, Compiler: ICC, Threads: 4, Mode: PinScatter, Seed: 3,
+	}, 10)
+	if unpinned.IQR() < pinned.IQR()*4 {
+		t.Errorf("unpinned IQR %v not much larger than pinned %v", unpinned.IQR(), pinned.IQR())
+	}
+	if unpinned.Max > pinned.Max*1.1 {
+		t.Errorf("unpinned max %v exceeds pinned %v", unpinned.Max, pinned.Max)
+	}
+	// Some samples land both sockets (good), some one socket (bad): the
+	// spread must cover at least the single-socket/both-socket gap.
+	if unpinned.Min > hwdef.WestmereEP.Perf.SocketMemBW/1e6*1.15 {
+		t.Errorf("unpinned min %v never hit single-socket territory", unpinned.Min)
+	}
+}
+
+// TestGccClusteredPlacementIsBadAtLowCounts: Fig. 7 — gcc's compact spawn
+// keeps low thread counts on one socket, so results are consistently poor.
+func TestGccClusteredPlacementIsBadAtLowCounts(t *testing.T) {
+	gcc := samples(t, Config{
+		Arch: hwdef.WestmereEP, Compiler: GCC, Threads: 4, Mode: Unpinned, Seed: 4,
+	}, 30)
+	oneSocket := hwdef.WestmereEP.Perf.SocketMemBW / 1e6
+	if gcc.Q3 > oneSocket*1.2 {
+		t.Errorf("gcc unpinned q3 = %v, want pinned to one socket (~%v)", gcc.Q3, oneSocket)
+	}
+	// And pinning fixes it (Fig. 8): both sockets reachable.
+	pinned := samples(t, Config{
+		Arch: hwdef.WestmereEP, Compiler: GCC, Threads: 4, Mode: PinScatter, Seed: 4,
+	}, 5)
+	if pinned.Median < gcc.Median*1.4 {
+		t.Errorf("pinning gcc should roughly double low-count bandwidth: unpinned %v pinned %v",
+			gcc.Median, pinned.Median)
+	}
+}
+
+// TestRuntimeScatterMatchesLikwidPin: Fig. 6 ≈ Fig. 5.
+func TestRuntimeScatterMatchesLikwidPin(t *testing.T) {
+	for _, threads := range []int{2, 8} {
+		likwid := samples(t, Config{
+			Arch: hwdef.WestmereEP, Compiler: ICC, Threads: threads, Mode: PinScatter, Seed: 5,
+		}, 3)
+		kmp := samples(t, Config{
+			Arch: hwdef.WestmereEP, Compiler: ICC, Threads: threads, Mode: RuntimeScatter, Seed: 5,
+		}, 3)
+		ratio := kmp.Median / likwid.Median
+		if ratio < 0.93 || ratio > 1.07 {
+			t.Errorf("%d threads: KMP scatter %v vs likwid-pin %v (ratio %v)",
+				threads, kmp.Median, likwid.Median, ratio)
+		}
+	}
+}
+
+// TestIstanbulPinned: Fig. 10 — near-linear scaling to the node plateau.
+func TestIstanbulPinned(t *testing.T) {
+	one := samples(t, Config{Arch: hwdef.Istanbul, Compiler: ICC, Threads: 1, Mode: PinScatter, Seed: 6}, 3)
+	twelve := samples(t, Config{Arch: hwdef.Istanbul, Compiler: ICC, Threads: 12, Mode: PinScatter, Seed: 6}, 3)
+	wantOne := hwdef.Istanbul.Perf.CoreTriadBW / 1e6
+	if one.Median < wantOne*0.9 || one.Median > wantOne*1.1 {
+		t.Errorf("Istanbul 1 thread = %v, want ≈ %v", one.Median, wantOne)
+	}
+	wantNode := 2 * hwdef.Istanbul.Perf.SocketMemBW / 1e6
+	if twelve.Median < wantNode*0.85 {
+		t.Errorf("Istanbul 12 threads = %v, want ≈ %v", twelve.Median, wantNode)
+	}
+	// Unpinned Istanbul varies (Fig. 9).
+	unpinned := samples(t, Config{Arch: hwdef.Istanbul, Compiler: ICC, Threads: 6, Mode: Unpinned, Seed: 6}, 30)
+	if unpinned.IQR() < twelve.Median*0.03 {
+		t.Errorf("Istanbul unpinned IQR = %v, too stable", unpinned.IQR())
+	}
+}
+
+// TestSMTPinningOrder: with 12 pinned threads every physical core is busy;
+// adding SMT siblings (24) must not collapse bandwidth.
+func TestSMTPinningOrder(t *testing.T) {
+	twelve := samples(t, Config{Arch: hwdef.WestmereEP, Compiler: ICC, Threads: 12, Mode: PinScatter, Seed: 7}, 3)
+	twentyFour := samples(t, Config{Arch: hwdef.WestmereEP, Compiler: ICC, Threads: 24, Mode: PinScatter, Seed: 7}, 3)
+	if twentyFour.Median < twelve.Median*0.9 {
+		t.Errorf("SMT oversubscription collapsed bandwidth: 12=%v 24=%v", twelve.Median, twentyFour.Median)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Arch: nil, Threads: 1}); err == nil {
+		t.Error("nil arch must fail")
+	}
+	if _, err := Run(Config{Arch: hwdef.WestmereEP, Threads: 0}); err == nil {
+		t.Error("zero threads must fail")
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	r, err := Run(Config{Arch: hwdef.WestmereEP, Compiler: ICC, Threads: 5, Mode: PinScatter, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.WorkerCPUs) != 5 {
+		t.Errorf("worker cpus = %v, want 5 entries", r.WorkerCPUs)
+	}
+	// Scatter pinning: workers on alternating sockets 0,6,1,7,2.
+	want := []int{0, 6, 1, 7, 2}
+	for i, w := range want {
+		if r.WorkerCPUs[i] != w {
+			t.Errorf("worker %d on cpu %d, want %d", i, r.WorkerCPUs[i], w)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package likwid is the public facade of the LIKWID reproduction: a
+// lightweight performance-oriented tool suite for (simulated) x86 multicore
+// environments, after Treibig, Hager and Wellein, ICPP 2010.
+//
+// The package bundles the four tools of the paper around a simulated node:
+//
+//   - Topology — probe the hardware-thread and cache topology via emulated
+//     CPUID (likwid-topology).
+//   - Collector / Marker — program performance counters through simulated
+//     MSR device files, with preconfigured event groups, derived metrics,
+//     counter multiplexing and socket locks (likwid-perfCtr).
+//   - Pinner — enforce thread-core affinity from the outside via the
+//     thread-creation interposition hook (likwid-pin).
+//   - Features — view and toggle hardware prefetchers through
+//     IA32_MISC_ENABLE (likwid-features).
+//
+// Open a node for one of the modeled architectures, then use the tools:
+//
+//	node, err := likwid.Open("westmereEP")
+//	...
+//	topo, err := node.Topology()
+//	fmt.Print(topo.Render(likwid.TopologyOptions{ExtendedCaches: true}))
+//
+// The heavy lifting lives in the internal packages; this package only
+// re-exports the surface a downstream user needs.
+package likwid
+
+import (
+	"fmt"
+
+	"likwid/internal/cache"
+	"likwid/internal/features"
+	"likwid/internal/hwdef"
+	"likwid/internal/machine"
+	"likwid/internal/marker"
+	"likwid/internal/msr"
+	"likwid/internal/perfctr"
+	"likwid/internal/pin"
+	"likwid/internal/sched"
+	"likwid/internal/topology"
+)
+
+// Re-exported types of the public API.
+type (
+	// Arch is an architecture definition from the registry.
+	Arch = hwdef.Arch
+	// Machine is the simulated node all tools operate on.
+	Machine = machine.Machine
+	// TopologyInfo is a decoded node topology (likwid-topology).
+	TopologyInfo = topology.Info
+	// TopologyOptions steer the topology report rendering.
+	TopologyOptions = topology.RenderOptions
+	// Collector measures performance counters (likwid-perfCtr).
+	Collector = perfctr.Collector
+	// CollectorOptions configure multiplexing.
+	CollectorOptions = perfctr.Options
+	// EventSpec is one EVENT[:COUNTER] selection.
+	EventSpec = perfctr.EventSpec
+	// Group is a preconfigured event set with derived metrics.
+	Group = perfctr.GroupDef
+	// Results are measured event counts per core.
+	Results = perfctr.Results
+	// Marker is the region-based instrumentation API.
+	Marker = marker.Marker
+	// Pinner enforces affinity on thread creation (likwid-pin).
+	Pinner = pin.Pinner
+	// Features controls prefetchers and reports CPU features.
+	Features = features.Tool
+	// Task is a schedulable thread of the simulated OS.
+	Task = sched.Task
+	// Team is one parallel region's thread set.
+	Team = sched.Team
+	// RuntimeModel identifies the threading runtime (-t of likwid-pin).
+	RuntimeModel = sched.RuntimeModel
+	// ThreadWork describes one thread's share of a workload phase.
+	ThreadWork = machine.ThreadWork
+	// PerElem is the per-element cost vector of a workload.
+	PerElem = machine.PerElem
+)
+
+// Threading runtimes for SpawnTeam / likwid-pin -t.
+const (
+	RuntimePthreads = sched.RuntimePthreads
+	RuntimeIntelOMP = sched.RuntimeIntelOMP
+	RuntimeGccOMP   = sched.RuntimeGccOMP
+)
+
+// Architectures lists the modeled processor names.
+func Architectures() []string { return hwdef.Names() }
+
+// LookupArch resolves an architecture name.
+func LookupArch(name string) (*Arch, error) { return hwdef.Lookup(name) }
+
+// Node is an open simulated machine with the tool suite attached.
+type Node struct {
+	M *Machine
+}
+
+// Options configure Open.
+type Options struct {
+	// Seed drives the scheduler's randomness; equal seeds reproduce runs.
+	Seed int64
+	// Compact selects the compact (gcc-like) placement policy for
+	// unpinned threads instead of the default spread policy.
+	Compact bool
+}
+
+// Open builds a node for a registered architecture with defaults.
+func Open(arch string) (*Node, error) { return OpenOptions(arch, Options{}) }
+
+// OpenOptions builds a node with explicit options.
+func OpenOptions(arch string, opts Options) (*Node, error) {
+	policy := sched.PolicySpread
+	if opts.Compact {
+		policy = sched.PolicyCompact
+	}
+	m, err := machine.NewNamed(arch, machine.Options{Policy: policy, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{M: m}, nil
+}
+
+// Arch returns the node's architecture definition.
+func (n *Node) Arch() *Arch { return n.M.Arch }
+
+// Topology probes the node the way likwid-topology does: from the CPUID
+// register images only.
+func (n *Node) Topology() (*TopologyInfo, error) {
+	return topology.Probe(n.M.CPUs, n.M.Arch.ClockMHz)
+}
+
+// Groups lists the preconfigured event groups available on this node.
+func (n *Node) Groups() []string { return perfctr.GroupNames(n.M.Arch) }
+
+// Group resolves a named event group.
+func (n *Node) Group(name string) (Group, error) { return perfctr.GroupFor(n.M.Arch, name) }
+
+// ParseGroupFile parses a custom performance group in the LIKWID text
+// format (SHORT / EVENTSET / METRICS / LONG sections, counter-name
+// formulas).
+func (n *Node) ParseGroupFile(name, src string) (Group, error) {
+	return perfctr.ParseGroupFile(n.M.Arch, name, src)
+}
+
+// NewCollector schedules events (parsed from an EVENT[:COUNTER] list or a
+// group name) on the given cores.
+func (n *Node) NewCollector(cpus []int, eventsOrGroup string, opts CollectorOptions) (*Collector, *Group, error) {
+	if g, err := perfctr.GroupFor(n.M.Arch, eventsOrGroup); err == nil {
+		var specs []EventSpec
+		for _, ev := range g.Events {
+			specs = append(specs, EventSpec{Event: ev})
+		}
+		col, err := perfctr.NewCollector(n.M, cpus, specs, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return col, &g, nil
+	}
+	specs, err := perfctr.ParseEventList(eventsOrGroup)
+	if err != nil {
+		return nil, nil, err
+	}
+	col, err := perfctr.NewCollector(n.M, cpus, specs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return col, nil, nil
+}
+
+// NewMarker opens a marker-API session over a running collector.
+func (n *Node) NewMarker(col *Collector, nThreads int) (*Marker, error) {
+	return marker.New(col, n.M.Arch.ClockHz(), nThreads)
+}
+
+// Features opens the likwid-features interface of one core.
+func (n *Node) Features(cpu int) (*Features, error) {
+	return features.New(n.M.MSRs, n.M.Arch, cpu)
+}
+
+// NewPinner builds a likwid-pin session for a core list and skip mask.
+// The list accepts physical processor IDs ("0-3") or thread-domain
+// expressions with logical core IDs ("S0:0-3", "S0:0-1@S1:0-1").
+func (n *Node) NewPinner(cpuList string, skipMask uint64) (*Pinner, error) {
+	cores, err := pin.ParseCPUExpression(n.M.Arch, cpuList)
+	if err != nil {
+		return nil, err
+	}
+	return pin.New(n.M.OS, cores, skipMask)
+}
+
+// NUMA returns the OS view of the node's locality domains and attaches it
+// to the given topology for rendering.
+func (n *Node) NUMA(topo *TopologyInfo) []topology.NUMADomain {
+	domains := topology.NUMAFromArch(n.M.Arch, topo, 0)
+	topo.AttachNUMA(domains)
+	return domains
+}
+
+// PrefetchGates wires a cache hierarchy's prefetch units to the live
+// IA32_MISC_ENABLE register of one core, so toggles made through the
+// Features tool (likwid-features -e/-u) take effect on subsequent
+// likwid-bench measurements — the coupling of §II-D.
+func (n *Node) PrefetchGates(cpu int) (cache.PrefetchGates, error) {
+	dev, err := n.M.MSRs.Open(cpu)
+	if err != nil {
+		return nil, err
+	}
+	gates := cache.PrefetchGates{}
+	for _, p := range n.M.Arch.Prefetchers {
+		bit := p.MiscEnableBit
+		gates[p.Name] = func() bool {
+			v, err := dev.Read(msr.IA32MiscEnable)
+			if err != nil {
+				return true
+			}
+			// Set bit disables the unit.
+			return v&(1<<bit) == 0
+		}
+	}
+	return gates, nil
+}
+
+// SkipMaskFor returns the default likwid-pin skip mask of a runtime.
+func SkipMaskFor(model RuntimeModel) uint64 { return pin.SkipMaskFor(model) }
+
+// Spawn creates a process-level task on the node.
+func (n *Node) Spawn(name string) *Task { return n.M.OS.Spawn(name, nil) }
+
+// SpawnTeam creates a parallel region under the given runtime model,
+// invoking hook (e.g. a Pinner's Hook) at each thread creation.
+func (n *Node) SpawnTeam(model RuntimeModel, nThreads int, master *Task, hook sched.SpawnHook) (*Team, error) {
+	return sched.SpawnTeam(n.M.OS, model, nThreads, master, hook)
+}
+
+// Run executes workload phases to completion and returns elapsed seconds.
+func (n *Node) Run(works []*ThreadWork) float64 { return n.M.RunPhase(works, 0) }
+
+// Report renders measurement results as the perfCtr tables; group may be
+// nil for the event table only.
+func Report(node *Node, r Results, group *Group) string {
+	return perfctr.Header(node.M.Arch.ModelName, node.M.Arch.ClockMHz) +
+		perfctr.Report(r, group, node.M.Arch.ClockHz())
+}
+
+// MeasureGroup wraps the wrapper-mode flow: program the group on the cores,
+// run the workload function, and return results plus the rendered report.
+func (n *Node) MeasureGroup(cpus []int, group string, run func() error) (Results, string, error) {
+	col, g, err := n.NewCollector(cpus, group, CollectorOptions{})
+	if err != nil {
+		return Results{}, "", err
+	}
+	if err := col.Start(); err != nil {
+		return Results{}, "", err
+	}
+	if err := run(); err != nil {
+		col.Stop()
+		return Results{}, "", err
+	}
+	if err := col.Stop(); err != nil {
+		return Results{}, "", err
+	}
+	r := col.Read()
+	return r, Report(n, r, g), nil
+}
+
+// Version identifies the reproduction release.
+const Version = "1.0.0 (reproduction of arXiv:1004.4431v3)"
+
+// String summarizes the node.
+func (n *Node) String() string {
+	return fmt.Sprintf("%s: %d sockets x %d cores x %d threads @ %.2f GHz",
+		n.M.Arch.ModelName, n.M.Arch.Sockets, n.M.Arch.CoresPerSocket,
+		n.M.Arch.ThreadsPerCore, n.M.Arch.ClockMHz/1000)
+}

@@ -1,0 +1,143 @@
+package likwid_test
+
+import (
+	"strings"
+	"testing"
+
+	"likwid"
+)
+
+func TestOpenAndTopology(t *testing.T) {
+	node, err := likwid.Open("westmereEP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := node.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Sockets != 2 || topo.CoresPerSocket != 6 || topo.ThreadsPerCore != 2 {
+		t.Errorf("topology = %d/%d/%d", topo.Sockets, topo.CoresPerSocket, topo.ThreadsPerCore)
+	}
+	if !strings.Contains(node.String(), "2 sockets x 6 cores") {
+		t.Errorf("node string = %q", node.String())
+	}
+}
+
+func TestOpenUnknownArch(t *testing.T) {
+	if _, err := likwid.Open("z80"); err == nil {
+		t.Fatal("unknown architecture must fail")
+	}
+}
+
+func TestArchitecturesList(t *testing.T) {
+	names := likwid.Architectures()
+	if len(names) < 7 {
+		t.Fatalf("architectures = %v", names)
+	}
+	for _, want := range []string{"core2", "nehalemEP", "westmereEP", "istanbul", "k8", "atom", "pentiumM"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("architecture %s missing", want)
+		}
+	}
+}
+
+func TestGroupsFacade(t *testing.T) {
+	node, err := likwid.Open("westmereEP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := node.Groups()
+	if len(groups) != 11 {
+		t.Errorf("groups = %v, want the paper's 11", groups)
+	}
+	g, err := node.Group("FLOPS_DP")
+	if err != nil || g.Name != "FLOPS_DP" {
+		t.Fatalf("Group: %+v, %v", g, err)
+	}
+	if _, err := node.Group("NOPE"); err == nil {
+		t.Error("unknown group must fail")
+	}
+}
+
+func TestMeasureGroupWrapperFlow(t *testing.T) {
+	node, err := likwid.Open("westmereEP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := node.Spawn("kernel")
+	if err := node.M.OS.Pin(task, 1); err != nil {
+		t.Fatal(err)
+	}
+	results, report, err := node.MeasureGroup([]int{0, 1}, "FLOPS_DP", func() error {
+		node.Run([]*likwid.ThreadWork{{
+			Task: task, Elems: 1e6,
+			PerElem: likwid.PerElem{Cycles: 2, Vector: true},
+		}})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results.CPUs) != 2 {
+		t.Errorf("cpus = %v", results.CPUs)
+	}
+	for _, want := range []string{"CPU type:", "| Event", "| Metric", "DP MFlops/s"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Cycles land on core 1 only.
+	cyc := results.Counts["CPU_CLK_UNHALTED_CORE"]
+	if cyc[1] == 0 || cyc[0] != 0 {
+		t.Errorf("cycle attribution wrong: %v", cyc)
+	}
+}
+
+func TestPinnerFacade(t *testing.T) {
+	node, err := likwid.Open("westmereEP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := node.NewPinner("0-3", likwid.SkipMaskFor(likwid.RuntimeIntelOMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := node.Spawn("a.out")
+	if err := p.PinProcess(master); err != nil {
+		t.Fatal(err)
+	}
+	team, err := node.SpawnTeam(likwid.RuntimeIntelOMP, 4, master, p.Hook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range team.Workers {
+		if w.CPU != i {
+			t.Errorf("worker %d on cpu %d", i, w.CPU)
+		}
+	}
+}
+
+func TestFeaturesFacade(t *testing.T) {
+	node, err := likwid.Open("core2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := node.Features(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Disable("HW_PREFETCHER"); err != nil {
+		t.Fatal(err)
+	}
+	on, err := f.Enabled("HW_PREFETCHER")
+	if err != nil || on {
+		t.Errorf("prefetcher still on: %v, %v", on, err)
+	}
+}
