@@ -1,0 +1,292 @@
+// likwid-agent is the continuous node-monitoring daemon grown out of the
+// paper's one-shot tools, after the LIKWID Monitoring Stack: collectors
+// wrap the suite (perfctr groups, topology, features, memory system),
+// a scheduler samples them on an interval, samples are aggregated per
+// topology domain into a ring-buffer time-series store, and batches fan
+// out asynchronously to sinks.
+//
+// Usage:
+//
+//	likwid-agent [options]
+//
+//	-a arch        node architecture (default westmereEP)
+//	-c CPULIST     processors to monitor, e.g. 0-7 (default: all)
+//	-g GROUP       perfctr event group to sample (default MEM_DP)
+//	-i DURATION    sampling interval (default 500ms)
+//	-duration D    stop after D of wall time (default: run until SIGINT)
+//	-sink SPEC     repeatable: stdout | csv:PATH | jsonl:PATH | http:ADDR
+//	-collectors L  comma-separated collector set (default all registered)
+//	-load SPEC     synthetic background load: stream[:NTASKS] | idle
+//	-buffer N      sink queue depth (drop-and-count beyond it, default 64)
+//	-retain N      ring-buffer points kept per series (default 1024)
+//	-raw           also emit per-event rates next to derived metrics
+//
+// Example:
+//
+//	likwid-agent -g MEM_DP -i 500ms -sink csv:out.csv -sink http::8090
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"likwid"
+	"likwid/internal/machine"
+	"likwid/internal/monitor"
+	"likwid/internal/pin"
+	"likwid/internal/topology"
+)
+
+// sinkSpecs collects repeated -sink flags.
+type sinkSpecs []string
+
+func (s *sinkSpecs) String() string { return strings.Join(*s, ",") }
+func (s *sinkSpecs) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	arch := flag.String("a", "westmereEP", "node architecture")
+	cpuList := flag.String("c", "", "processors to monitor (default: all)")
+	group := flag.String("g", "MEM_DP", "perfctr event group to sample")
+	interval := flag.Duration("i", 500*time.Millisecond, "sampling interval")
+	duration := flag.Duration("duration", 0, "stop after this wall time (0 = until SIGINT)")
+	collectorSet := flag.String("collectors", "", "comma-separated collectors (default: all registered)")
+	loadSpec := flag.String("load", "stream", "background load: stream[:NTASKS] | idle")
+	buffer := flag.Int("buffer", 64, "sink queue depth")
+	retain := flag.Int("retain", 1024, "ring-buffer points per series")
+	raw := flag.Bool("raw", false, "emit per-event rates too")
+	var sinks sinkSpecs
+	flag.Var(&sinks, "sink", "sink spec (repeatable): stdout | csv:PATH | jsonl:PATH | http:ADDR")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "likwid-agent:", err)
+		os.Exit(1)
+	}
+
+	node, err := likwid.Open(*arch)
+	if err != nil {
+		fail(err)
+	}
+	// A typo'd group is a configuration error, not a degraded collector:
+	// fail fast instead of monitoring a node with no counters armed.
+	if _, err := node.Group(*group); err != nil {
+		fail(err)
+	}
+	var cpus []int
+	if *cpuList != "" {
+		if cpus, err = pin.ParseCPUList(*cpuList); err != nil {
+			fail(err)
+		}
+	}
+
+	cfg := monitor.Config{
+		Machine:   node.M,
+		MachineMu: new(sync.Mutex),
+		CPUs:      cpus,
+		Group:     *group,
+		Interval:  *interval,
+		RawEvents: *raw,
+	}
+	loadCPUs := cpus
+	if len(loadCPUs) == 0 {
+		loadCPUs = make([]int, node.M.OS.NumCPUs())
+		for i := range loadCPUs {
+			loadCPUs[i] = i
+		}
+	}
+	load, err := newLoadDriver(node.M, loadCPUs, *loadSpec)
+	if err != nil {
+		fail(err)
+	}
+	cfg.Advance = load.advance
+
+	names := monitor.DefaultRegistry.Names()
+	if *collectorSet != "" {
+		names = strings.Split(*collectorSet, ",")
+	}
+	store := monitor.NewStore(*retain)
+	info, err := topology.Probe(node.M.CPUs, node.M.Arch.ClockMHz)
+	if err != nil {
+		fail(err)
+	}
+	agg := monitor.NewAggregator(info, cpus)
+
+	if len(sinks) == 0 {
+		sinks = sinkSpecs{"stdout"}
+	}
+	built := make([]monitor.Sink, 0, len(sinks))
+	for _, spec := range sinks {
+		s, err := monitor.ParseSink(spec, store)
+		if err != nil {
+			fail(err)
+		}
+		if h, ok := s.(*monitor.HTTPSink); ok {
+			fmt.Fprintf(os.Stderr, "likwid-agent: http sink listening on %s\n", h.Addr())
+		}
+		built = append(built, s)
+	}
+	dispatcher := monitor.NewDispatcher(*buffer, built...)
+
+	sched := monitor.NewScheduler(monitor.SchedulerOptions{
+		Store:      store,
+		Aggregator: agg,
+		Dispatcher: dispatcher,
+		OnError: func(name string, err error) {
+			fmt.Fprintf(os.Stderr, "likwid-agent: collector %s: %v (backing off)\n", name, err)
+		},
+	})
+	var stops []func() error
+	var active []monitor.Collector
+	for _, name := range names {
+		c, err := monitor.DefaultRegistry.Build(strings.TrimSpace(name), cfg)
+		if err != nil {
+			// A collector that cannot come up on this node (e.g. features
+			// on AMD) is skipped, not fatal: monitoring degrades, it does
+			// not die.
+			fmt.Fprintf(os.Stderr, "likwid-agent: skipping collector %s: %v\n", name, err)
+			continue
+		}
+		sched.Add(c)
+		if s, ok := c.(interface{ Stop() error }); ok {
+			stops = append(stops, s.Stop)
+		}
+		active = append(active, c)
+	}
+	if len(active) == 0 {
+		fail(fmt.Errorf("no collector could be built; nothing to monitor"))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if *duration > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), *duration)
+	}
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		cancel()
+	}()
+
+	fmt.Fprintf(os.Stderr, "likwid-agent: monitoring %s, group %s, interval %s\n",
+		node.String(), *group, *interval)
+	sched.Run(ctx)
+
+	for _, stop := range stops {
+		_ = stop()
+	}
+	if err := dispatcher.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "likwid-agent: sink close: %v\n", err)
+	}
+
+	for _, st := range sched.Stats() {
+		fmt.Fprintf(os.Stderr, "likwid-agent: %-20s %4d batches, %5d samples, %d errors\n",
+			st.Name, st.Batches, st.Samples, st.Errors)
+	}
+	if d := dispatcher.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "likwid-agent: %d batches dropped at the sink queue\n", d)
+	}
+}
+
+// loadDriver advances simulated machine time between counter samples.  The
+// "stream" mode keeps streaming tasks busy so the monitored counters move;
+// it adapts the per-tick element count so one tick of work costs roughly
+// one interval of simulated time.
+type loadDriver struct {
+	m           *machine.Machine
+	works       []*machine.ThreadWork
+	elemsPerSec float64
+}
+
+func newLoadDriver(m *machine.Machine, cpus []int, spec string) (*loadDriver, error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	d := &loadDriver{m: m, elemsPerSec: 1e8}
+	switch kind {
+	case "idle":
+		return d, nil
+	case "stream":
+		nTasks := 2 * m.Arch.Sockets
+		if arg != "" {
+			if _, err := fmt.Sscanf(arg, "%d", &nTasks); err != nil || nTasks < 1 {
+				return nil, fmt.Errorf("bad load task count %q", arg)
+			}
+		}
+		if nTasks > len(cpus) {
+			nTasks = len(cpus)
+		}
+		// Spread tasks round-robin over sockets so every controller sees
+		// traffic and the socket roll-ups have something to show.
+		bySocket := map[int][]int{}
+		var sockets []int
+		for _, cpu := range cpus {
+			s := m.SocketOf(cpu)
+			if _, ok := bySocket[s]; !ok {
+				sockets = append(sockets, s)
+			}
+			bySocket[s] = append(bySocket[s], cpu)
+		}
+		perElem := machine.PerElem{
+			Cycles: 1.0,
+			Counts: machine.Counts{
+				machine.EvInstr:         3,
+				machine.EvFlopsPackedDP: 1,
+				machine.EvLoads:         2,
+				machine.EvStores:        1,
+			},
+			MemReadBytes: 16, MemWriteBytes: 8,
+			Streams: 3, Vector: true,
+		}
+		for i := 0; i < nTasks; i++ {
+			socket := sockets[i%len(sockets)]
+			socketCPUs := bySocket[socket]
+			cpu := socketCPUs[(i/len(sockets))%len(socketCPUs)]
+			task := m.OS.Spawn(fmt.Sprintf("agent-load-%d", i), nil)
+			if err := m.OS.Pin(task, cpu); err != nil {
+				return nil, err
+			}
+			d.works = append(d.works, &machine.ThreadWork{Task: task, PerElem: perElem})
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("unknown load spec %q (stream[:NTASKS], idle)", spec)
+	}
+}
+
+// advance moves simulated time forward by roughly dt seconds.
+func (d *loadDriver) advance(dt float64) {
+	if len(d.works) == 0 {
+		d.m.RunIdle(dt, 0)
+		return
+	}
+	elems := d.elemsPerSec * dt
+	for _, w := range d.works {
+		w.Elems = elems
+		w.Done = 0
+		w.FinishTime = 0
+	}
+	elapsed := d.m.RunPhase(d.works, 0)
+	if elapsed < dt {
+		d.m.RunIdle(dt-elapsed, 0)
+	}
+	// Calibrate toward one interval of simulated work per tick.
+	if elapsed > 0 {
+		factor := dt / elapsed
+		if factor < 0.25 {
+			factor = 0.25
+		}
+		if factor > 4 {
+			factor = 4
+		}
+		d.elemsPerSec *= factor
+	}
+}

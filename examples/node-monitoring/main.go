@@ -1,22 +1,30 @@
 // Node-monitoring: the paper's side-effect use of likwid-perfCtr as a
-// monitoring tool for a complete shared-memory node (§II-A):
+// monitoring tool for a complete shared-memory node (§II-A), grown into
+// the continuous agent of the monitoring subsystem: collectors wrap the
+// tools, a scheduler samples them on an interval, samples are rolled up
+// per topology domain into a ring-buffer store, and batches fan out to
+// sinks.
 //
-//	$ likwid-perfCtr -c 0-7 -g ... sleep 1
-//
-// Here a background job runs on two cores of a Westmere node while the
-// "wrapper" measures all cores over one second of simulated time with the
-// MEM group — core-based counting picks up whatever runs on each core,
-// whoever started it.
+// A "foreign" background job streams on two cores of each socket of a
+// Westmere node while the agent samples the MEM_DP group — core-based
+// counting picks up whatever runs on each core, whoever started it, and
+// the socket roll-ups show which controller the traffic hits.
 //
 // Run with: go run ./examples/node-monitoring
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"sync"
+	"time"
 
 	"likwid"
 	"likwid/internal/machine"
+	"likwid/internal/monitor"
+	"likwid/internal/topology"
 )
 
 func main() {
@@ -24,47 +32,89 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	allCores := make([]int, 12)
-	for i := range allCores {
-		allCores[i] = i
-	}
 
-	// A "foreign" background job the monitor did not start: two streaming
-	// tasks pinned to cores 2 and 3.
+	// The background job the monitor did not start: streaming tasks
+	// pinned to cores 2, 3 (socket 0) and 8, 9 (socket 1).  Each agent
+	// tick runs one interval's worth of this work to advance simulated
+	// time — the "sleep 1" of the paper replaced by a live node.
 	var works []*likwid.ThreadWork
-	for _, cpu := range []int{2, 3} {
+	for _, cpu := range []int{2, 3, 8, 9} {
 		t := node.Spawn(fmt.Sprintf("background-%d", cpu))
 		if err := node.M.OS.Pin(t, cpu); err != nil {
 			log.Fatal(err)
 		}
 		works = append(works, &likwid.ThreadWork{
-			Task:  t,
-			Elems: 4e7,
+			Task: t,
 			PerElem: likwid.PerElem{
 				Cycles:       1.0,
-				Counts:       machine.Counts{machine.EvInstr: 3},
+				Counts:       machine.Counts{machine.EvInstr: 3, machine.EvFlopsPackedDP: 1},
 				MemReadBytes: 16, MemWriteBytes: 8,
 				Streams: 3, Vector: true,
 			},
 		})
 	}
+	advance := func(dt float64) {
+		for _, w := range works {
+			w.Elems = 2e7 * dt / 0.05 // ≈ one interval of streaming work
+			w.Done = 0
+			w.FinishTime = 0
+		}
+		if elapsed := node.M.RunPhase(works, 0); elapsed < dt {
+			node.M.RunIdle(dt-elapsed, 0)
+		}
+	}
 
-	results, report, err := node.MeasureGroup(allCores, "MEM", func() error {
-		node.Run(works) // the background job runs to completion
-		node.M.RunIdle(0.05, 0)
-		return nil
-	})
+	// Wire the subsystem: perfgroup collector → aggregator → store +
+	// table sink (socket and node scopes only).
+	cfg := monitor.Config{
+		Machine:   node.M,
+		MachineMu: new(sync.Mutex),
+		Group:     "MEM_DP",
+		Interval:  50 * time.Millisecond,
+		Advance:   advance,
+	}
+	col, err := monitor.DefaultRegistry.Build("perfgroup", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("whole-node monitoring, MEM group, cores 0-11:")
-	fmt.Print(report)
+	info, err := topology.Probe(node.M.CPUs, node.M.Arch.ClockMHz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := monitor.NewStore(256)
+	dispatcher := monitor.NewDispatcher(16, monitor.NewTableSink(os.Stdout, monitor.ScopeSocket, monitor.ScopeNode))
+	sched := monitor.NewScheduler(monitor.SchedulerOptions{
+		Store:      store,
+		Aggregator: monitor.NewAggregator(info, nil),
+		Dispatcher: dispatcher,
+	})
+	sched.Add(col)
 
-	// Uncore events are socket-wide: the socket lock attributes them to
-	// the first measured core of each socket (cores 0 and 6).
-	reads := results.Counts["UNC_QMC_NORMAL_READS_ANY"]
-	fmt.Printf("\nsocket 0 memory reads (core 0 column):  %.3e lines\n", reads[0])
-	fmt.Printf("socket 1 memory reads (core 6 column):  %.3e lines\n", reads[6])
-	fmt.Println("the busy cores (2, 3) show up in core-scope events; memory traffic")
-	fmt.Println("appears once per socket under the socket lock.")
+	fmt.Printf("continuous monitoring of %s, MEM_DP group, 50 ms interval:\n\n", node)
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	sched.Run(ctx)
+	if stopper, ok := col.(interface{ Stop() error }); ok {
+		_ = stopper.Stop()
+	}
+	if err := dispatcher.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Windowed queries against the ring-buffer store: the socket
+	// bandwidth series shows both controllers carrying the traffic.
+	fmt.Println("\nsocket memory-bandwidth series from the store:")
+	for _, socket := range []int{0, 1} {
+		key := monitor.Key{Metric: "memory_bandwidth_mbytes_s", Scope: monitor.ScopeSocket, ID: socket}
+		points := store.Window(key, 0, -1)
+		fmt.Printf("  socket %d: %d samples", socket, len(points))
+		if len(points) > 0 {
+			last := points[len(points)-1]
+			fmt.Printf(", latest %.0f MB/s at t=%.2f s", last.Value, last.Time)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nthe busy cores show up in thread-scope series; memory traffic")
+	fmt.Println("appears once per socket under the socket lock, and the node")
+	fmt.Println("roll-up sums both controllers.")
 }

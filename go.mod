@@ -1,0 +1,3 @@
+module likwid
+
+go 1.24

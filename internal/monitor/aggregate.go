@@ -1,0 +1,207 @@
+package monitor
+
+import (
+	"sort"
+	"sync"
+
+	"likwid/internal/stats"
+	"likwid/internal/topology"
+)
+
+// Aggregator rolls thread-scope samples up the topology tree
+// (thread → core → socket → node) using the decoded likwid-topology view,
+// and attaches node-level distribution statistics (min / median / max via
+// stats.Summarize) so a sink can show imbalance, not just totals.
+//
+// Additive metrics (bandwidths, Flop rates, event rates) combine by sum;
+// intensive metrics (CPI, ratios, runtimes) combine by mean.  Collectors
+// declare their intensive metrics through the AggregationHinter interface.
+type Aggregator struct {
+	socketOf map[int]int // processor -> socket
+	coreOf   map[int]int // processor -> dense node-wide core index
+	sockets  []int
+
+	mu   sync.RWMutex
+	mean map[string]bool // metrics combined by mean instead of sum
+}
+
+// AggregationHinter is implemented by collectors whose metrics are not all
+// additive; the scheduler forwards the hints to its aggregator.
+type AggregationHinter interface {
+	// MeanMetrics lists the metrics to combine by mean across domain
+	// members (ratios, per-thread runtimes).
+	MeanMetrics() []string
+}
+
+// NewAggregator derives the domain mapping for the monitored processors
+// from a probed topology.
+func NewAggregator(info *topology.Info, cpus []int) *Aggregator {
+	a := &Aggregator{
+		socketOf: map[int]int{},
+		coreOf:   map[int]int{},
+		mean:     map[string]bool{},
+	}
+	monitored := map[int]bool{}
+	for _, c := range cpus {
+		monitored[c] = true
+	}
+	// Dense core numbering: cores sorted by (socket, physical core id), so
+	// core indexes are stable across runs and SMT siblings share one.
+	type physCore struct{ socket, core int }
+	coreIndex := map[physCore]int{}
+	var cores []physCore
+	seen := map[physCore]bool{}
+	for _, t := range info.Threads {
+		pc := physCore{socket: t.SocketID, core: t.CoreID}
+		if !seen[pc] {
+			seen[pc] = true
+			cores = append(cores, pc)
+		}
+	}
+	sort.Slice(cores, func(i, j int) bool {
+		if cores[i].socket != cores[j].socket {
+			return cores[i].socket < cores[j].socket
+		}
+		return cores[i].core < cores[j].core
+	})
+	for i, pc := range cores {
+		coreIndex[pc] = i
+	}
+	socketSeen := map[int]bool{}
+	for _, t := range info.Threads {
+		if len(monitored) > 0 && !monitored[t.Proc] {
+			continue
+		}
+		a.socketOf[t.Proc] = t.SocketID
+		a.coreOf[t.Proc] = coreIndex[physCore{socket: t.SocketID, core: t.CoreID}]
+		if !socketSeen[t.SocketID] {
+			socketSeen[t.SocketID] = true
+			a.sockets = append(a.sockets, t.SocketID)
+		}
+	}
+	sort.Ints(a.sockets)
+	return a
+}
+
+// SetMean marks metrics as intensive (combined by mean).
+func (a *Aggregator) SetMean(metrics ...string) {
+	a.mu.Lock()
+	for _, m := range metrics {
+		a.mean[m] = true
+	}
+	a.mu.Unlock()
+}
+
+func (a *Aggregator) isMean(metric string) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.mean[metric]
+}
+
+// bucket accumulates one domain's member values.
+type bucket struct {
+	sum float64
+	n   int
+}
+
+func (b *bucket) add(v float64) { b.sum += v; b.n++ }
+
+func (b bucket) value(mean bool) float64 {
+	if mean && b.n > 0 {
+		return b.sum / float64(b.n)
+	}
+	return b.sum
+}
+
+// Rollup derives the higher-scope samples of a batch.  Thread samples roll
+// into core, socket and node sums/means plus node min/median/max series
+// ("<metric>/min", "<metric>/median", "<metric>/max"); socket samples
+// (uncore metrics) roll into the node sum only.  The input samples are not
+// returned; callers append the roll-ups to the batch.
+func (a *Aggregator) Rollup(samples []Sample) []Sample {
+	type metricAgg struct {
+		cores   map[int]*bucket
+		sockets map[int]*bucket
+		node    bucket
+		values  []float64 // per-member values for the distribution stats
+		time    float64
+	}
+	perMetric := map[string]*metricAgg{}
+	order := []string{}
+	get := func(metric string) *metricAgg {
+		ma := perMetric[metric]
+		if ma == nil {
+			ma = &metricAgg{cores: map[int]*bucket{}, sockets: map[int]*bucket{}}
+			perMetric[metric] = ma
+			order = append(order, metric)
+		}
+		return ma
+	}
+	getBucket := func(m map[int]*bucket, id int) *bucket {
+		b := m[id]
+		if b == nil {
+			b = &bucket{}
+			m[id] = b
+		}
+		return b
+	}
+
+	for _, s := range samples {
+		ma := get(s.Metric)
+		if s.Time > ma.time {
+			ma.time = s.Time
+		}
+		switch s.Scope {
+		case ScopeThread:
+			core, ok := a.coreOf[s.ID]
+			if !ok {
+				continue // unmapped processor: nothing to attribute
+			}
+			getBucket(ma.cores, core).add(s.Value)
+			getBucket(ma.sockets, a.socketOf[s.ID]).add(s.Value)
+			ma.node.add(s.Value)
+			ma.values = append(ma.values, s.Value)
+		case ScopeSocket:
+			ma.node.add(s.Value)
+			ma.values = append(ma.values, s.Value)
+		}
+	}
+
+	var out []Sample
+	emit := func(metric string, scope Scope, id int, t, v float64) {
+		out = append(out, Sample{Metric: metric, Scope: scope, ID: id, Time: t, Value: v})
+	}
+	for _, metric := range order {
+		ma := perMetric[metric]
+		if ma.node.n == 0 {
+			continue
+		}
+		mean := a.isMean(metric)
+		for _, id := range sortedIDs(ma.cores) {
+			emit(metric, ScopeCore, id, ma.time, ma.cores[id].value(mean))
+		}
+		for _, id := range sortedIDs(ma.sockets) {
+			emit(metric, ScopeSocket, id, ma.time, ma.sockets[id].value(mean))
+		}
+		emit(metric, ScopeNode, 0, ma.time, ma.node.value(mean))
+		if len(ma.values) > 1 {
+			sum := stats.Summarize(ma.values)
+			emit(metric+"/min", ScopeNode, 0, ma.time, sum.Min)
+			emit(metric+"/median", ScopeNode, 0, ma.time, sum.Median)
+			emit(metric+"/max", ScopeNode, 0, ma.time, sum.Max)
+		}
+	}
+	return out
+}
+
+// Sockets lists the monitored sockets.
+func (a *Aggregator) Sockets() []int { return append([]int(nil), a.sockets...) }
+
+func sortedIDs(m map[int]*bucket) []int {
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

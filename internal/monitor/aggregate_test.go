@@ -1,0 +1,158 @@
+package monitor
+
+import (
+	"testing"
+
+	"likwid/internal/hwdef"
+	"likwid/internal/machine"
+	"likwid/internal/topology"
+)
+
+func testMachine(t *testing.T, arch string) *machine.Machine {
+	t.Helper()
+	a, err := hwdef.Lookup(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return machine.New(a, machine.Options{})
+}
+
+func testAggregator(t *testing.T, cpus []int) *Aggregator {
+	t.Helper()
+	m := testMachine(t, "westmereEP")
+	info, err := topology.Probe(m.CPUs, m.Arch.ClockMHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAggregator(info, cpus)
+}
+
+func find(samples []Sample, metric string, scope Scope, id int) (Sample, bool) {
+	for _, s := range samples {
+		if s.Metric == metric && s.Scope == scope && s.ID == id {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+func TestRollupThreadToNode(t *testing.T) {
+	a := testAggregator(t, nil)
+	// Westmere EP: 2 sockets; processor 0 is on socket 0, processor 6 on
+	// socket 1 (spread numbering, verified through the roll-up itself).
+	in := []Sample{
+		{Metric: "bw", Scope: ScopeThread, ID: 0, Time: 1, Value: 100},
+		{Metric: "bw", Scope: ScopeThread, ID: 1, Time: 1, Value: 50},
+		{Metric: "bw", Scope: ScopeThread, ID: 6, Time: 1, Value: 30},
+	}
+	out := a.Rollup(in)
+
+	node, ok := find(out, "bw", ScopeNode, 0)
+	if !ok || node.Value != 180 {
+		t.Fatalf("node sum = %+v (ok=%v), want 180", node, ok)
+	}
+	// Socket sums partition the node total.
+	var socketTotal float64
+	socketCount := 0
+	for _, s := range out {
+		if s.Metric == "bw" && s.Scope == ScopeSocket {
+			socketTotal += s.Value
+			socketCount++
+		}
+	}
+	if socketCount != 2 || socketTotal != 180 {
+		t.Errorf("socket roll-ups: %d sockets, total %v, want 2 and 180", socketCount, socketTotal)
+	}
+	// Distribution stats across the thread values.
+	if s, ok := find(out, "bw/min", ScopeNode, 0); !ok || s.Value != 30 {
+		t.Errorf("bw/min = %+v ok=%v, want 30", s, ok)
+	}
+	if s, ok := find(out, "bw/median", ScopeNode, 0); !ok || s.Value != 50 {
+		t.Errorf("bw/median = %+v ok=%v, want 50", s, ok)
+	}
+	if s, ok := find(out, "bw/max", ScopeNode, 0); !ok || s.Value != 100 {
+		t.Errorf("bw/max = %+v ok=%v, want 100", s, ok)
+	}
+	// Core roll-ups exist and carry the timestamps.
+	foundCore := false
+	for _, s := range out {
+		if s.Metric == "bw" && s.Scope == ScopeCore {
+			foundCore = true
+			if s.Time != 1 {
+				t.Errorf("core sample time = %v, want 1", s.Time)
+			}
+		}
+	}
+	if !foundCore {
+		t.Error("no core-scope roll-ups emitted")
+	}
+}
+
+func TestRollupSMTSiblingsShareACore(t *testing.T) {
+	a := testAggregator(t, nil)
+	// Find two processors mapped to the same core by feeding every
+	// processor and checking one core bucket got two members.
+	in := []Sample{}
+	for cpu := 0; cpu < 24; cpu++ {
+		in = append(in, Sample{Metric: "x", Scope: ScopeThread, ID: cpu, Time: 1, Value: 1})
+	}
+	out := a.Rollup(in)
+	cores := 0
+	for _, s := range out {
+		if s.Metric == "x" && s.Scope == ScopeCore {
+			cores++
+			if s.Value != 2 {
+				t.Errorf("core %d sum = %v, want 2 (SMT siblings merged)", s.ID, s.Value)
+			}
+		}
+	}
+	if cores != 12 {
+		t.Errorf("%d core buckets, want 12 (2 sockets x 6 cores)", cores)
+	}
+	if node, ok := find(out, "x", ScopeNode, 0); !ok || node.Value != 24 {
+		t.Errorf("node sum = %+v, want 24", node)
+	}
+}
+
+func TestRollupMeanMetrics(t *testing.T) {
+	a := testAggregator(t, nil)
+	a.SetMean("cpi")
+	in := []Sample{
+		{Metric: "cpi", Scope: ScopeThread, ID: 0, Time: 1, Value: 1},
+		{Metric: "cpi", Scope: ScopeThread, ID: 6, Time: 1, Value: 3},
+	}
+	out := a.Rollup(in)
+	if node, ok := find(out, "cpi", ScopeNode, 0); !ok || node.Value != 2 {
+		t.Errorf("mean node cpi = %+v, want 2", node)
+	}
+}
+
+func TestRollupSocketSamplesToNode(t *testing.T) {
+	a := testAggregator(t, nil)
+	in := []Sample{
+		{Metric: "mem_bw", Scope: ScopeSocket, ID: 0, Time: 2, Value: 10},
+		{Metric: "mem_bw", Scope: ScopeSocket, ID: 1, Time: 2, Value: 20},
+	}
+	out := a.Rollup(in)
+	node, ok := find(out, "mem_bw", ScopeNode, 0)
+	if !ok || node.Value != 30 || node.Time != 2 {
+		t.Fatalf("node roll-up of socket samples = %+v ok=%v, want 30 @ t=2", node, ok)
+	}
+	// Socket inputs must not be re-emitted at socket scope.
+	for _, s := range out {
+		if s.Metric == "mem_bw" && s.Scope == ScopeSocket {
+			t.Errorf("socket input re-emitted: %+v", s)
+		}
+	}
+}
+
+func TestRollupIgnoresUnmappedAndNodeScope(t *testing.T) {
+	a := testAggregator(t, []int{0, 1})
+	out := a.Rollup([]Sample{
+		{Metric: "y", Scope: ScopeThread, ID: 23, Time: 1, Value: 5}, // not monitored
+		{Metric: "z", Scope: ScopeNode, ID: 0, Time: 1, Value: 7},    // already top level
+	})
+	if len(out) != 0 {
+		t.Errorf("Rollup emitted %+v for unmapped/node inputs, want nothing", out)
+	}
+}

@@ -1,0 +1,441 @@
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"likwid/internal/features"
+	"likwid/internal/hwdef"
+	"likwid/internal/machine"
+	"likwid/internal/perfctr"
+	"likwid/internal/topology"
+)
+
+func init() {
+	mustRegister("perfgroup", newPerfGroupCollector)
+	mustRegister("topology", newTopologyCollector)
+	mustRegister("features", newFeaturesCollector)
+	mustRegister("membw", newMemBWCollector)
+}
+
+// lockedNow reads simulated time under the shared machine mutex.
+func lockedNow(mu *sync.Mutex, m *machine.Machine) float64 {
+	if mu != nil {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+	return m.Now()
+}
+
+// ---- perfgroup ------------------------------------------------------------
+
+// compiledMetric is one derived metric ready for interval evaluation.
+type compiledMetric struct {
+	name   string // sanitized series name
+	expr   *perfctr.Expr
+	socket bool // formula references uncore events: socket scope
+	mean   bool // intensive (no /time): combine by mean across domains
+}
+
+// PerfGroupCollector samples a preconfigured perfctr event group
+// continuously: each tick advances simulated time, snapshots the live
+// counters without stopping them, and converts the interval deltas into
+// derived-metric samples — likwid-perfCtr's wrapper mode turned into an
+// always-on loop.  Metrics whose formulas use uncore events are emitted at
+// socket scope on the socket-lock leader columns; everything else is
+// per-thread.
+type PerfGroupCollector struct {
+	name     string
+	m        *machine.Machine
+	mu       *sync.Mutex
+	col      *perfctr.Collector
+	group    perfctr.GroupDef
+	metrics  []compiledMetric
+	interval time.Duration
+	advance  func(dt float64)
+	raw      bool
+
+	cpus     []int
+	socketOf []int       // socket of each cpu column
+	leader   map[int]int // socket -> leader column index
+
+	prev     perfctr.Results
+	prevTime float64
+}
+
+func newPerfGroupCollector(cfg Config) (Collector, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("monitor: perfgroup collector needs a machine")
+	}
+	groupName := cfg.Group
+	if groupName == "" {
+		groupName = "MEM_DP"
+	}
+	group, err := perfctr.GroupFor(cfg.Machine.Arch, groupName)
+	if err != nil {
+		return nil, err
+	}
+	cpus := cfg.cpusOrAll()
+	specs := make([]perfctr.EventSpec, 0, len(group.Events))
+	for _, ev := range group.Events {
+		specs = append(specs, perfctr.EventSpec{Event: ev})
+	}
+	// Multiplexing on: a monitoring group must come up on any counter
+	// inventory, trading accuracy for availability like the real agent.
+	col, err := perfctr.NewCollector(cfg.Machine, cpus, specs, perfctr.Options{Multiplex: true})
+	if err != nil {
+		return nil, err
+	}
+	c := &PerfGroupCollector{
+		name:     "perfgroup/" + group.Name,
+		m:        cfg.Machine,
+		mu:       cfg.MachineMu,
+		col:      col,
+		group:    group,
+		interval: cfg.Interval,
+		advance:  cfg.Advance,
+		raw:      cfg.RawEvents,
+		cpus:     cpus,
+		leader:   map[int]int{},
+	}
+	if c.interval <= 0 {
+		c.interval = time.Second
+	}
+	if c.advance == nil {
+		c.advance = func(dt float64) { cfg.Machine.RunIdle(dt, 0) }
+	}
+	uncore := map[string]bool{}
+	for name, ev := range cfg.Machine.Arch.Events {
+		if ev.Domain == hwdef.DomainUncore {
+			uncore[name] = true
+		}
+	}
+	for _, mtr := range group.Metrics {
+		expr, err := perfctr.CompileExpr(mtr.Formula)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: group %s metric %q: %w", group.Name, mtr.Name, err)
+		}
+		cm := compiledMetric{name: SanitizeMetric(mtr.Name), expr: expr, mean: true}
+		for _, v := range expr.Vars() {
+			if uncore[v] {
+				cm.socket = true
+			}
+			if v == "time" {
+				cm.mean = false // a rate: additive across domain members
+			}
+		}
+		c.metrics = append(c.metrics, cm)
+	}
+	c.socketOf = make([]int, len(cpus))
+	for i, cpu := range cpus {
+		s := cfg.Machine.SocketOf(cpu)
+		c.socketOf[i] = s
+		if li, ok := c.leader[s]; !ok || cpus[li] > cpu {
+			c.leader[s] = i
+		}
+	}
+	if err := col.Start(); err != nil {
+		return nil, err
+	}
+	c.prev = col.Current()
+	c.prevTime = cfg.Machine.Now()
+	return c, nil
+}
+
+// Name identifies the collector including its group.
+func (c *PerfGroupCollector) Name() string { return c.name }
+
+// Scope is the finest domain the collector emits.
+func (c *PerfGroupCollector) Scope() Scope { return ScopeThread }
+
+// Interval is the sampling period.
+func (c *PerfGroupCollector) Interval() time.Duration { return c.interval }
+
+// MeanMetrics lists the intensive metrics (CPI, ratios) for aggregation.
+func (c *PerfGroupCollector) MeanMetrics() []string {
+	var out []string
+	for _, m := range c.metrics {
+		if m.mean {
+			out = append(out, m.name)
+		}
+	}
+	return out
+}
+
+// Group returns the resolved group definition.
+func (c *PerfGroupCollector) Group() perfctr.GroupDef { return c.group }
+
+// Collect advances simulated time by one interval, snapshots the counters,
+// and emits the interval's derived metrics.
+func (c *PerfGroupCollector) Collect(ctx context.Context) ([]Sample, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.advance(c.interval.Seconds())
+	cur := c.col.Current()
+	now := c.m.Now()
+	dt := now - c.prevTime
+	if dt <= 0 {
+		return nil, nil
+	}
+	clock := c.m.Arch.ClockHz()
+
+	// Per-column interval environments: event deltas plus the interval
+	// wall time, so rate formulas yield per-second values.
+	envs := make([]map[string]float64, len(c.cpus))
+	for i := range c.cpus {
+		env := map[string]float64{"time": dt, "clock": clock}
+		for _, ev := range cur.Events {
+			d := cur.Counts[ev][i]
+			if prev, ok := c.prev.Counts[ev]; ok {
+				d -= prev[i]
+			}
+			if d < 0 {
+				d = 0 // multiplex extrapolation jitter: clamp like the timeline does
+			}
+			env[ev] = d
+		}
+		envs[i] = env
+	}
+	c.prev = cur
+	c.prevTime = now
+
+	var out []Sample
+	for _, mtr := range c.metrics {
+		if mtr.socket {
+			for socket, li := range c.leader {
+				v, err := mtr.expr.Eval(envs[li])
+				if err != nil {
+					continue
+				}
+				out = append(out, Sample{Metric: mtr.name, Scope: ScopeSocket, ID: socket, Time: now, Value: v})
+			}
+			continue
+		}
+		for i, cpu := range c.cpus {
+			v, err := mtr.expr.Eval(envs[i])
+			if err != nil {
+				continue
+			}
+			out = append(out, Sample{Metric: mtr.name, Scope: ScopeThread, ID: cpu, Time: now, Value: v})
+		}
+	}
+	if c.raw {
+		for _, ev := range cur.Events {
+			for i, cpu := range c.cpus {
+				out = append(out, Sample{
+					Metric: "event/" + ev, Scope: ScopeThread, ID: cpu,
+					Time: now, Value: envs[i][ev] / dt,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Stop halts the underlying counter collector.
+func (c *PerfGroupCollector) Stop() error {
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.col.Stop()
+}
+
+// ---- topology -------------------------------------------------------------
+
+// TopologyCollector emits the node's decoded shape as gauges: static, but
+// published every interval so sinks and dashboards get a complete picture
+// from any window of the stream.
+type TopologyCollector struct {
+	m        *machine.Machine
+	mu       *sync.Mutex
+	interval time.Duration
+	info     *topology.Info
+}
+
+func newTopologyCollector(cfg Config) (Collector, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("monitor: topology collector needs a machine")
+	}
+	info, err := topology.Probe(cfg.Machine.CPUs, cfg.Machine.Arch.ClockMHz)
+	if err != nil {
+		return nil, err
+	}
+	iv := cfg.Interval
+	if iv <= 0 {
+		iv = time.Second
+	}
+	return &TopologyCollector{m: cfg.Machine, mu: cfg.MachineMu, interval: iv, info: info}, nil
+}
+
+func (c *TopologyCollector) Name() string            { return "topology" }
+func (c *TopologyCollector) Scope() Scope            { return ScopeNode }
+func (c *TopologyCollector) Interval() time.Duration { return c.interval }
+
+// Collect publishes the topology gauges.
+func (c *TopologyCollector) Collect(ctx context.Context) ([]Sample, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	now := lockedNow(c.mu, c.m)
+	node := func(metric string, v float64) Sample {
+		return Sample{Metric: metric, Scope: ScopeNode, Time: now, Value: v}
+	}
+	out := []Sample{
+		node("topo/sockets", float64(c.info.Sockets)),
+		node("topo/cores_per_socket", float64(c.info.CoresPerSocket)),
+		node("topo/threads_per_core", float64(c.info.ThreadsPerCore)),
+		node("topo/hw_threads", float64(len(c.info.Threads))),
+		node("topo/clock_mhz", c.info.ClockMHz),
+	}
+	for socket, procs := range c.info.SocketGroups {
+		out = append(out, Sample{
+			Metric: "topo/socket_hw_threads", Scope: ScopeSocket, ID: socket,
+			Time: now, Value: float64(len(procs)),
+		})
+	}
+	return out, nil
+}
+
+// ---- features -------------------------------------------------------------
+
+// FeaturesCollector watches the prefetcher state of IA32_MISC_ENABLE: a
+// likwid-features toggle flipping mid-run shows up in the stream as a
+// 0/1 step, which is exactly how such config drift is caught in practice.
+type FeaturesCollector struct {
+	m        *machine.Machine
+	mu       *sync.Mutex
+	tool     *features.Tool
+	interval time.Duration
+}
+
+func newFeaturesCollector(cfg Config) (Collector, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("monitor: features collector needs a machine")
+	}
+	cpus := cfg.cpusOrAll()
+	tool, err := features.New(cfg.Machine.MSRs, cfg.Machine.Arch, cpus[0])
+	if err != nil {
+		return nil, err
+	}
+	iv := cfg.Interval
+	if iv <= 0 {
+		iv = time.Second
+	}
+	return &FeaturesCollector{m: cfg.Machine, mu: cfg.MachineMu, tool: tool, interval: iv}, nil
+}
+
+func (c *FeaturesCollector) Name() string            { return "features" }
+func (c *FeaturesCollector) Scope() Scope            { return ScopeNode }
+func (c *FeaturesCollector) Interval() time.Duration { return c.interval }
+
+// Collect reads the togglable feature states.
+func (c *FeaturesCollector) Collect(ctx context.Context) ([]Sample, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	states, err := c.tool.List()
+	if err != nil {
+		return nil, err
+	}
+	now := c.m.Now()
+	var out []Sample
+	enabled := 0.0
+	for _, st := range states {
+		if !st.Togglable {
+			continue
+		}
+		v := 0.0
+		if st.Enabled {
+			v = 1
+			enabled++
+		}
+		out = append(out, Sample{
+			Metric: "feature/" + SanitizeMetric(st.Name), Scope: ScopeNode,
+			Time: now, Value: v,
+		})
+	}
+	out = append(out, Sample{
+		Metric: "feature/prefetchers_enabled", Scope: ScopeNode,
+		Time: now, Value: enabled,
+	})
+	return out, nil
+}
+
+// ---- membw ----------------------------------------------------------------
+
+// MemBWCollector publishes the memory system's capability envelope: the
+// per-socket controller capacity and per-core stream ceilings the measured
+// bandwidths should be read against (the saturation line of the paper's
+// STREAM plots).
+type MemBWCollector struct {
+	m        *machine.Machine
+	mu       *sync.Mutex
+	interval time.Duration
+	sockets  []int
+}
+
+func newMemBWCollector(cfg Config) (Collector, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("monitor: membw collector needs a machine")
+	}
+	if err := cfg.Machine.Mem.Validate(); err != nil {
+		return nil, err
+	}
+	iv := cfg.Interval
+	if iv <= 0 {
+		iv = time.Second
+	}
+	seen := map[int]bool{}
+	var sockets []int
+	for _, cpu := range cfg.cpusOrAll() {
+		s := cfg.Machine.SocketOf(cpu)
+		if !seen[s] {
+			seen[s] = true
+			sockets = append(sockets, s)
+		}
+	}
+	return &MemBWCollector{m: cfg.Machine, mu: cfg.MachineMu, interval: iv, sockets: sockets}, nil
+}
+
+func (c *MemBWCollector) Name() string            { return "membw" }
+func (c *MemBWCollector) Scope() Scope            { return ScopeSocket }
+func (c *MemBWCollector) Interval() time.Duration { return c.interval }
+
+// MeanMetrics: capability ceilings are per-entity properties, not flows.
+func (c *MemBWCollector) MeanMetrics() []string {
+	return []string{"membw/single_stream_bytes", "membw/core_triad_bytes", "membw/core_scalar_bytes"}
+}
+
+// Collect publishes the bandwidth capability gauges.
+func (c *MemBWCollector) Collect(ctx context.Context) ([]Sample, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	now := lockedNow(c.mu, c.m)
+	perf := c.m.Arch.Perf
+	var out []Sample
+	for _, s := range c.sockets {
+		out = append(out, Sample{
+			Metric: "membw/socket_capacity_bytes", Scope: ScopeSocket, ID: s,
+			Time: now, Value: perf.SocketMemBW,
+		})
+	}
+	out = append(out,
+		Sample{Metric: "membw/single_stream_bytes", Scope: ScopeNode, Time: now, Value: c.m.Mem.SingleStreamCap(1, true)},
+		Sample{Metric: "membw/core_triad_bytes", Scope: ScopeNode, Time: now, Value: c.m.Mem.SingleStreamCap(3, true)},
+		Sample{Metric: "membw/core_scalar_bytes", Scope: ScopeNode, Time: now, Value: c.m.Mem.SingleStreamCap(3, false)},
+	)
+	return out, nil
+}

@@ -1,0 +1,206 @@
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"likwid/internal/machine"
+)
+
+// streamAdvance drives two streaming tasks (one per socket) for dt
+// simulated seconds per tick, so the counters have traffic to show.
+func streamAdvance(t *testing.T, m *machine.Machine) func(float64) {
+	t.Helper()
+	perElem := machine.PerElem{
+		Cycles:       1.0,
+		Counts:       machine.Counts{machine.EvInstr: 3, machine.EvFlopsPackedDP: 1},
+		MemReadBytes: 16, MemWriteBytes: 8,
+		Streams: 3, Vector: true,
+	}
+	var works []*machine.ThreadWork
+	for _, cpu := range []int{0, 6} {
+		task := m.OS.Spawn(fmt.Sprintf("load-%d", cpu), nil)
+		if err := m.OS.Pin(task, cpu); err != nil {
+			t.Fatal(err)
+		}
+		works = append(works, &machine.ThreadWork{Task: task, PerElem: perElem})
+	}
+	return func(dt float64) {
+		for _, w := range works {
+			w.Elems = 2e8 * dt
+			w.Done = 0
+			w.FinishTime = 0
+		}
+		if elapsed := m.RunPhase(works, 0); elapsed < dt {
+			m.RunIdle(dt-elapsed, 0)
+		}
+	}
+}
+
+func TestPerfGroupCollectorEndToEnd(t *testing.T) {
+	m := testMachine(t, "westmereEP")
+	cfg := Config{
+		Machine:   m,
+		MachineMu: new(sync.Mutex),
+		Group:     "MEM_DP",
+		Interval:  10 * time.Millisecond,
+		Advance:   streamAdvance(t, m),
+	}
+	c, err := DefaultRegistry.Build("perfgroup", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := c.(*PerfGroupCollector)
+	if pg.Name() != "perfgroup/MEM_DP" {
+		t.Errorf("Name = %q", pg.Name())
+	}
+
+	samples, err := pg.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Socket-scope memory bandwidth on both sockets, nonzero under load.
+	for socket := 0; socket < 2; socket++ {
+		s, ok := find(samples, "memory_bandwidth_mbytes_s", ScopeSocket, socket)
+		if !ok {
+			t.Fatalf("no socket %d bandwidth sample in %+v", socket, samples)
+		}
+		if s.Value <= 0 {
+			t.Errorf("socket %d bandwidth = %v, want > 0 under streaming load", socket, s.Value)
+		}
+	}
+	// Thread-scope flops on the loaded processors.
+	if s, ok := find(samples, "dp_mflops_s", ScopeThread, 0); !ok || s.Value <= 0 {
+		t.Errorf("cpu 0 dp_mflops_s = %+v ok=%v, want > 0", s, ok)
+	}
+	if s, ok := find(samples, "dp_mflops_s", ScopeThread, 1); !ok || s.Value != 0 {
+		t.Errorf("idle cpu 1 dp_mflops_s = %+v ok=%v, want 0", s, ok)
+	}
+	// Intensive metrics are declared for mean aggregation, rates are not.
+	means := map[string]bool{}
+	for _, name := range pg.MeanMetrics() {
+		means[name] = true
+	}
+	if !means["cpi"] {
+		t.Error("cpi not declared as a mean metric")
+	}
+	if means["dp_mflops_s"] || means["memory_bandwidth_mbytes_s"] {
+		t.Errorf("rate metrics declared mean: %v", pg.MeanMetrics())
+	}
+
+	// A second tick keeps the series moving monotonically in time.
+	again, err := pg.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := find(samples, "cpi", ScopeThread, 0)
+	s2, ok := find(again, "cpi", ScopeThread, 0)
+	if !ok || s2.Time <= s1.Time {
+		t.Errorf("second tick time %v not after first %v", s2.Time, s1.Time)
+	}
+	if err := pg.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfGroupCollectorCancelledContext(t *testing.T) {
+	m := testMachine(t, "westmereEP")
+	c, err := DefaultRegistry.Build("perfgroup", Config{Machine: m, Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.(*PerfGroupCollector).Collect(ctx); err == nil {
+		t.Error("Collect on cancelled context must fail")
+	}
+}
+
+func TestAuxiliaryCollectors(t *testing.T) {
+	m := testMachine(t, "westmereEP")
+	cfg := Config{Machine: m, MachineMu: new(sync.Mutex), Interval: time.Second}
+	ctx := context.Background()
+
+	topo, err := DefaultRegistry.Build("topology", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := topo.Collect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := find(samples, "topo/sockets", ScopeNode, 0); !ok || s.Value != 2 {
+		t.Errorf("topo/sockets = %+v ok=%v, want 2", s, ok)
+	}
+	if s, ok := find(samples, "topo/hw_threads", ScopeNode, 0); !ok || s.Value != 24 {
+		t.Errorf("topo/hw_threads = %+v ok=%v, want 24", s, ok)
+	}
+
+	feat, err := DefaultRegistry.Build("features", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err = feat.Collect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := find(samples, "feature/prefetchers_enabled", ScopeNode, 0); !ok || s.Value <= 0 {
+		t.Errorf("prefetchers_enabled = %+v ok=%v, want > 0 at boot", s, ok)
+	}
+
+	bw, err := DefaultRegistry.Build("membw", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err = bw.Collect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for socket := 0; socket < 2; socket++ {
+		if s, ok := find(samples, "membw/socket_capacity_bytes", ScopeSocket, socket); !ok || s.Value <= 0 {
+			t.Errorf("socket %d capacity = %+v ok=%v", socket, s, ok)
+		}
+	}
+}
+
+func TestFeaturesCollectorRejectsAMD(t *testing.T) {
+	m := testMachine(t, "shanghai")
+	if _, err := DefaultRegistry.Build("features", Config{Machine: m, Interval: time.Second}); err == nil {
+		t.Error("features collector must fail on AMD (no IA32_MISC_ENABLE)")
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndUnknown(t *testing.T) {
+	r := NewRegistry()
+	f := func(Config) (Collector, error) { return nil, nil }
+	if err := r.Register("x", f); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("x", f); err == nil {
+		t.Error("duplicate registration must fail")
+	}
+	if _, err := r.Build("nope", Config{}); err == nil {
+		t.Error("unknown collector must fail")
+	}
+	if got := r.Names(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestSanitizeMetric(t *testing.T) {
+	cases := map[string]string{
+		"DP MFlops/s":                 "dp_mflops_s",
+		"Memory bandwidth [MBytes/s]": "memory_bandwidth_mbytes_s",
+		"CPI":                         "cpi",
+		"Runtime [s]":                 "runtime_s",
+		"__weird--name__":             "weird_name",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetric(in); got != want {
+			t.Errorf("SanitizeMetric(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HTTPSink is the in-process scrape endpoint of the agent.  It implements
+// Sink (keeping a latest-value snapshot per series) and serves:
+//
+//	/metrics  latest value of every series, Prometheus-style text:
+//	          likwid_<metric>{scope="socket",id="0"} <value> <sim time>
+//	/query    windowed time series from the ring-buffer store as JSON:
+//	          /query?metric=NAME&scope=socket&id=0&from=0.5&to=2.0
+//	/healthz  liveness plus batch accounting
+type HTTPSink struct {
+	store *Store
+	ln    net.Listener
+	srv   *http.Server
+
+	mu      sync.RWMutex
+	latest  map[Key]Sample
+	batches uint64
+}
+
+// NewHTTPSink listens on addr immediately (so scrapes work as soon as the
+// agent is up) and serves in a background goroutine.  The store backs
+// /query and may be nil to disable windowed queries.
+func NewHTTPSink(addr string, store *Store) (*HTTPSink, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: http sink: %w", err)
+	}
+	h := &HTTPSink{store: store, ln: ln, latest: map[Key]Sample{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	mux.HandleFunc("/query", h.handleQuery)
+	mux.HandleFunc("/healthz", h.handleHealth)
+	h.srv = &http.Server{Handler: mux}
+	go func() { _ = h.srv.Serve(ln) }()
+	return h, nil
+}
+
+// Addr returns the bound listen address (useful with port 0 in tests).
+func (h *HTTPSink) Addr() string { return h.ln.Addr().String() }
+
+// Name implements Sink.
+func (h *HTTPSink) Name() string { return "http" }
+
+// Write updates the latest-value snapshot served by /metrics.
+func (h *HTTPSink) Write(b Batch) error {
+	h.mu.Lock()
+	for _, s := range b.Samples {
+		h.latest[s.Key()] = s
+	}
+	h.batches++
+	h.mu.Unlock()
+	return nil
+}
+
+// Close stops the server.
+func (h *HTTPSink) Close() error { return h.srv.Close() }
+
+func (h *HTTPSink) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	h.mu.RLock()
+	samples := make([]Sample, 0, len(h.latest))
+	for _, s := range h.latest {
+		samples = append(samples, s)
+	}
+	h.mu.RUnlock()
+	sort.Slice(samples, func(i, j int) bool {
+		a, b := samples[i], samples[j]
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		if a.Scope != b.Scope {
+			return a.Scope < b.Scope
+		}
+		return a.ID < b.ID
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, s := range samples {
+		fmt.Fprintf(w, "likwid_%s{scope=%q,id=%q} %s %s\n",
+			SanitizeMetric(s.Metric), s.Scope, strconv.Itoa(s.ID),
+			formatValue(s.Value), formatTime(s.Time))
+	}
+}
+
+// queryResponse is the /query JSON payload.
+type queryResponse struct {
+	Metric string  `json:"metric"`
+	Scope  string  `json:"scope"`
+	ID     int     `json:"id"`
+	Points []Point `json:"points"`
+}
+
+func (h *HTTPSink) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if h.store == nil {
+		http.Error(w, "no store attached", http.StatusNotImplemented)
+		return
+	}
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		http.Error(w, "missing metric parameter", http.StatusBadRequest)
+		return
+	}
+	scope := ScopeNode
+	if sc := q.Get("scope"); sc != "" {
+		var err error
+		if scope, err = ParseScope(sc); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	id := 0
+	if is := q.Get("id"); is != "" {
+		var err error
+		if id, err = strconv.Atoi(is); err != nil {
+			http.Error(w, "bad id parameter", http.StatusBadRequest)
+			return
+		}
+	}
+	from, to := 0.0, -1.0
+	if fs := q.Get("from"); fs != "" {
+		v, err := strconv.ParseFloat(fs, 64)
+		if err != nil {
+			http.Error(w, "bad from parameter", http.StatusBadRequest)
+			return
+		}
+		from = v
+	}
+	if ts := q.Get("to"); ts != "" {
+		v, err := strconv.ParseFloat(ts, 64)
+		if err != nil {
+			http.Error(w, "bad to parameter", http.StatusBadRequest)
+			return
+		}
+		to = v
+	}
+	key := h.resolveKey(metric, scope, id)
+	resp := queryResponse{
+		Metric: key.Metric,
+		Scope:  key.Scope.String(),
+		ID:     key.ID,
+		Points: h.store.Window(key, from, to),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// resolveKey accepts either the exact stored metric name or its sanitized
+// exposition form, so /query?metric=memory_bandwidth_mbytes_s works after
+// scraping /metrics.
+func (h *HTTPSink) resolveKey(metric string, scope Scope, id int) Key {
+	key := Key{Metric: metric, Scope: scope, ID: id}
+	if h.store.Len(key) > 0 {
+		return key
+	}
+	want := strings.TrimPrefix(metric, "likwid_")
+	for _, k := range h.store.Keys() {
+		if k.Scope == scope && k.ID == id && SanitizeMetric(k.Metric) == want {
+			return k
+		}
+	}
+	return key
+}
+
+func (h *HTTPSink) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h.mu.RLock()
+	batches := h.batches
+	h.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"batches\":%d,\"uptime\":%q}\n",
+		batches, time.Now().Format(time.RFC3339))
+}

@@ -1,0 +1,111 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func newTestHTTPSink(t *testing.T) (*HTTPSink, *Store) {
+	t.Helper()
+	store := NewStore(16)
+	h, err := NewHTTPSink("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+	return h, store
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHTTPSinkMetricsAndQuery(t *testing.T) {
+	h, store := newTestHTTPSink(t)
+	batch := goldenBatches()[0]
+	store.AppendBatch(batch)
+	if err := h.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + h.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, `likwid_memory_bandwidth_mbytes_s{scope="socket",id="0"} 13714.3`) {
+		t.Errorf("/metrics missing socket bandwidth line:\n%s", body)
+	}
+	if !strings.Contains(body, `likwid_dp_mflops_s{scope="thread",id="0"} 571.25`) {
+		t.Errorf("/metrics missing thread flops line:\n%s", body)
+	}
+
+	code, body = get(t, base+"/query?metric=memory_bandwidth_mbytes_s&scope=socket&id=0")
+	if code != http.StatusOK {
+		t.Fatalf("/query status %d: %s", code, body)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("bad /query JSON %q: %v", body, err)
+	}
+	if len(resp.Points) != 1 || resp.Points[0].Value != 13714.285 {
+		t.Errorf("/query points = %+v, want one 13714.285", resp.Points)
+	}
+
+	// The sanitized exposition name resolves to the stored metric too.
+	code, body = get(t, base+"/query?metric=likwid_memory_bandwidth_mbytes_s&scope=socket&id=0")
+	if code != http.StatusOK {
+		t.Fatalf("/query by exposition name status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil || len(resp.Points) != 1 {
+		t.Errorf("/query by exposition name = %q (err %v)", body, err)
+	}
+
+	if code, _ = get(t, base+"/query"); code != http.StatusBadRequest {
+		t.Errorf("/query without metric: status %d, want 400", code)
+	}
+	if code, _ = get(t, base+"/query?metric=x&scope=galaxy"); code != http.StatusBadRequest {
+		t.Errorf("/query with bad scope: status %d, want 400", code)
+	}
+	if code, _ = get(t, base+"/query?metric=x&from=1.5x"); code != http.StatusBadRequest {
+		t.Errorf("/query with bad from: status %d, want 400", code)
+	}
+	if code, _ = get(t, base+"/query?metric=x&to=nope"); code != http.StatusBadRequest {
+		t.Errorf("/query with bad to: status %d, want 400", code)
+	}
+	if code, body = get(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestHTTPSinkWindowedQuery(t *testing.T) {
+	h, store := newTestHTTPSink(t)
+	k := Key{Metric: "bw", Scope: ScopeNode, ID: 0}
+	for i := 0; i < 6; i++ {
+		store.Append(k, Point{Time: float64(i), Value: float64(i * 10)})
+	}
+	code, body := get(t, "http://"+h.Addr()+"/query?metric=bw&scope=node&from=2&to=4")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 3 || resp.Points[0].Time != 2 || resp.Points[2].Time != 4 {
+		t.Errorf("windowed points = %+v, want times 2..4", resp.Points)
+	}
+}

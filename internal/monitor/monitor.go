@@ -1,0 +1,211 @@
+// Package monitor turns the one-shot tool suite into a continuous
+// node-monitoring agent, after the LIKWID Monitoring Stack (Röhl et al.,
+// arXiv:1708.01476) and ClusterCockpit's cc-metric-collector: collectors
+// wrap the existing tools (perfctr groups, topology, features, memsys) and
+// sample on an interval, a scheduler runs them concurrently with error
+// backoff, samples land in a ring-buffer time-series store, are rolled up
+// per topology domain (thread → core → socket → node), and fan out
+// asynchronously to pluggable sinks (table, CSV, JSON lines, HTTP).
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+	"unicode"
+
+	"likwid/internal/machine"
+)
+
+// Scope is the topology domain a sample describes.
+type Scope int
+
+const (
+	// ScopeThread is one hardware thread (OS processor).
+	ScopeThread Scope = iota
+	// ScopeCore is one physical core (SMT siblings merged).
+	ScopeCore
+	// ScopeSocket is one package with its shared uncore resources.
+	ScopeSocket
+	// ScopeNode is the whole shared-memory node.
+	ScopeNode
+)
+
+var scopeNames = [...]string{"thread", "core", "socket", "node"}
+
+// String returns the lowercase domain name.
+func (s Scope) String() string {
+	if s < 0 || int(s) >= len(scopeNames) {
+		return fmt.Sprintf("scope(%d)", int(s))
+	}
+	return scopeNames[s]
+}
+
+// ParseScope resolves a domain name.
+func ParseScope(name string) (Scope, error) {
+	for i, n := range scopeNames {
+		if n == name {
+			return Scope(i), nil
+		}
+	}
+	return 0, fmt.Errorf("monitor: unknown scope %q (thread, core, socket, node)", name)
+}
+
+// Sample is one measured value of one metric on one topology entity at one
+// point of simulated time.
+type Sample struct {
+	Metric string
+	Scope  Scope
+	ID     int     // processor, core, or socket index; 0 for node scope
+	Time   float64 // simulated seconds
+	Value  float64
+}
+
+// Key identifies one time series in the store.
+type Key struct {
+	Metric string
+	Scope  Scope
+	ID     int
+}
+
+// Key returns the sample's series identity.
+func (s Sample) Key() Key { return Key{Metric: s.Metric, Scope: s.Scope, ID: s.ID} }
+
+// Batch is the output of one collector tick, forwarded to store and sinks
+// as a unit so sinks can render one table / flush one block per read.
+type Batch struct {
+	Collector string
+	Time      float64 // simulated seconds of the read
+	Samples   []Sample
+}
+
+// Collector is one metric source.  Collect is called on the declared
+// interval by the scheduler; it must return the full batch of samples for
+// this tick.  Implementations are not required to be concurrency-safe:
+// collectors sharing mutable state (the simulated machine) serialize
+// through the mutex handed to their factory.
+type Collector interface {
+	Name() string
+	Scope() Scope
+	Interval() time.Duration
+	Collect(ctx context.Context) ([]Sample, error)
+}
+
+// Config is the construction context handed to collector factories.
+type Config struct {
+	Machine *machine.Machine
+	// MachineMu serializes machine access across concurrently scheduled
+	// collectors (the simulated node, like real MSR device files, is not
+	// reentrant).  Factories may ignore it for read-only sources.
+	MachineMu *sync.Mutex
+	// CPUs are the processors to monitor; empty means all.
+	CPUs []int
+	// Group is the perfctr event group for counter collectors.
+	Group string
+	// Interval is the sampling period for the built collector.
+	Interval time.Duration
+	// Advance moves simulated time forward by dt seconds under the
+	// machine mutex; counter collectors call it before each read.  Nil
+	// defaults to idling the machine (the "sleep" monitoring mode).
+	Advance func(dt float64)
+	// RawEvents also emits per-event rates (events/s) next to the group's
+	// derived metrics.
+	RawEvents bool
+}
+
+// cpusOrAll resolves the processor list.
+func (c Config) cpusOrAll() []int {
+	if len(c.CPUs) > 0 {
+		return append([]int(nil), c.CPUs...)
+	}
+	all := make([]int, c.Machine.OS.NumCPUs())
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// Factory builds one collector from the shared config.
+type Factory func(cfg Config) (Collector, error)
+
+// Registry maps collector names to factories.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: map[string]Factory{}}
+}
+
+// Register adds a factory; re-registering a name is an error so plugins
+// cannot silently shadow each other.
+func (r *Registry) Register(name string, f Factory) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[name]; dup {
+		return fmt.Errorf("monitor: collector %q already registered", name)
+	}
+	r.factories[name] = f
+	return nil
+}
+
+// Build constructs the named collector.
+func (r *Registry) Build(name string, cfg Config) (Collector, error) {
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("monitor: unknown collector %q (available: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	return f(cfg)
+}
+
+// Names lists the registered collectors sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for name := range r.factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultRegistry holds the built-in collectors (perfgroup, topology,
+// features, membw).
+var DefaultRegistry = NewRegistry()
+
+func mustRegister(name string, f Factory) {
+	if err := DefaultRegistry.Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// SanitizeMetric converts a display metric name ("DP MFlops/s",
+// "Memory bandwidth [MBytes/s]") into a flat series name
+// ("dp_mflops_s", "memory_bandwidth_mbytes_s") usable in CSV headers and
+// the HTTP exposition format.
+func SanitizeMetric(name string) string {
+	var b strings.Builder
+	lastUnderscore := true // trim leading separators
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+			lastUnderscore = false
+		default:
+			if !lastUnderscore {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
+}

@@ -1,0 +1,243 @@
+package monitor
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock abstracts time so the scheduler is testable without sleeping.
+type Clock interface {
+	Now() time.Time
+	// After fires once after d; the scheduler re-arms it every tick.
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// RealClock is the wall clock.
+var RealClock Clock = realClock{}
+
+// FakeClock is a manually advanced clock for deterministic scheduler tests.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock starts a fake clock at an arbitrary fixed epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(0, 0)}
+}
+
+// Now returns the fake time.
+func (f *FakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After returns a channel fired by a future Advance crossing the deadline.
+func (f *FakeClock) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &fakeWaiter{at: f.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		w.ch <- f.now
+		return w.ch
+	}
+	f.waiters = append(f.waiters, w)
+	return w.ch
+}
+
+// Advance moves the fake time forward, firing every timer that comes due.
+func (f *FakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	now := f.now
+	remaining := f.waiters[:0]
+	var due []*fakeWaiter
+	for _, w := range f.waiters {
+		if !w.at.After(now) {
+			due = append(due, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	f.waiters = remaining
+	f.mu.Unlock()
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// Waiters reports the number of armed timers (test synchronization aid).
+func (f *FakeClock) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+// SchedulerOptions wire a scheduler to its outputs.
+type SchedulerOptions struct {
+	// Clock defaults to the wall clock.
+	Clock Clock
+	// Store receives every batch (optional).
+	Store *Store
+	// Aggregator derives domain roll-ups appended to each batch (optional).
+	Aggregator *Aggregator
+	// Dispatcher receives every batch asynchronously (optional).
+	Dispatcher *Dispatcher
+	// MaxBackoff caps the per-collector error backoff (default 30 s).
+	MaxBackoff time.Duration
+	// OnError observes collector failures (optional; e.g. logging).
+	OnError func(collector string, err error)
+}
+
+// CollectorStats is one collector's lifetime accounting.
+type CollectorStats struct {
+	Name     string
+	Batches  uint64
+	Samples  uint64
+	Errors   uint64
+	LastTime float64 // simulated time of the newest sample
+}
+
+type schedEntry struct {
+	c       Collector
+	batches atomic.Uint64
+	samples atomic.Uint64
+	errors  atomic.Uint64
+	last    atomic.Uint64 // float64 bits of the newest sample time
+}
+
+// Scheduler runs collectors concurrently, each on its own interval, with
+// exponential backoff on failing collectors and context cancellation for
+// shutdown.  Each tick produces one batch: read → aggregate → store → sink.
+type Scheduler struct {
+	opts    SchedulerOptions
+	entries []*schedEntry
+}
+
+// NewScheduler creates a scheduler; add collectors before Run.
+func NewScheduler(opts SchedulerOptions) *Scheduler {
+	if opts.Clock == nil {
+		opts.Clock = RealClock
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 30 * time.Second
+	}
+	return &Scheduler{opts: opts}
+}
+
+// Add registers a collector and forwards its aggregation hints.
+func (s *Scheduler) Add(c Collector) {
+	s.entries = append(s.entries, &schedEntry{c: c})
+	if h, ok := c.(AggregationHinter); ok && s.opts.Aggregator != nil {
+		s.opts.Aggregator.SetMean(h.MeanMetrics()...)
+	}
+}
+
+// Run ticks every collector until the context is cancelled, then returns
+// after all collector goroutines have stopped.  The dispatcher is not
+// closed: the caller owns its lifecycle (it may outlive one Run).
+func (s *Scheduler) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, e := range s.entries {
+		wg.Add(1)
+		go func(e *schedEntry) {
+			defer wg.Done()
+			s.runOne(ctx, e)
+		}(e)
+	}
+	wg.Wait()
+}
+
+func (s *Scheduler) runOne(ctx context.Context, e *schedEntry) {
+	interval := e.c.Interval()
+	if interval <= 0 {
+		interval = time.Second
+	}
+	delay := interval
+	failures := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.opts.Clock.After(delay):
+		}
+		samples, err := e.c.Collect(ctx)
+		if err != nil {
+			e.errors.Add(1)
+			if s.opts.OnError != nil {
+				s.opts.OnError(e.c.Name(), err)
+			}
+			// Exponential backoff: a broken collector must not spin, and
+			// must not take the healthy ones down with it.
+			failures++
+			delay = interval << uint(failures)
+			if delay > s.opts.MaxBackoff || delay <= 0 {
+				delay = s.opts.MaxBackoff
+			}
+			continue
+		}
+		failures = 0
+		delay = interval
+		if len(samples) == 0 {
+			continue
+		}
+		if s.opts.Aggregator != nil {
+			samples = append(samples, s.opts.Aggregator.Rollup(samples)...)
+		}
+		batch := Batch{Collector: e.c.Name(), Time: maxTime(samples), Samples: samples}
+		e.batches.Add(1)
+		e.samples.Add(uint64(len(samples)))
+		storeFloat(&e.last, batch.Time)
+		if s.opts.Store != nil {
+			s.opts.Store.AppendBatch(batch)
+		}
+		if s.opts.Dispatcher != nil {
+			s.opts.Dispatcher.Publish(batch)
+		}
+	}
+}
+
+// Stats reports per-collector accounting sorted by name.
+func (s *Scheduler) Stats() []CollectorStats {
+	out := make([]CollectorStats, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, CollectorStats{
+			Name:     e.c.Name(),
+			Batches:  e.batches.Load(),
+			Samples:  e.samples.Load(),
+			Errors:   e.errors.Load(),
+			LastTime: loadFloat(&e.last),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func maxTime(samples []Sample) float64 {
+	t := 0.0
+	for _, s := range samples {
+		if s.Time > t {
+			t = s.Time
+		}
+	}
+	return t
+}
+
+func storeFloat(a *atomic.Uint64, v float64) { a.Store(math.Float64bits(v)) }
+func loadFloat(a *atomic.Uint64) float64     { return math.Float64frombits(a.Load()) }

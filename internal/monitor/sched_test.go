@@ -1,0 +1,176 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeCollector ticks a counter and optionally fails.
+type fakeCollector struct {
+	name     string
+	interval time.Duration
+	calls    atomic.Int64
+	failures int64 // fail the first N calls
+	value    float64
+}
+
+func (f *fakeCollector) Name() string            { return f.name }
+func (f *fakeCollector) Scope() Scope            { return ScopeNode }
+func (f *fakeCollector) Interval() time.Duration { return f.interval }
+
+func (f *fakeCollector) Collect(ctx context.Context) ([]Sample, error) {
+	n := f.calls.Add(1)
+	if n <= f.failures {
+		return nil, errors.New("transient failure")
+	}
+	return []Sample{{Metric: f.name, Scope: ScopeNode, Time: float64(n), Value: f.value}}, nil
+}
+
+// waitForWaiters blocks until the fake clock has n armed timers — i.e. the
+// scheduler goroutines are parked in After and an Advance will be seen.
+func waitForWaiters(t *testing.T, fc *FakeClock, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for fc.Waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d armed timers (have %d)", n, fc.Waiters())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSchedulerTicksOnFakeClock(t *testing.T) {
+	fc := NewFakeClock()
+	st := NewStore(16)
+	c := &fakeCollector{name: "fake", interval: time.Second, value: 42}
+	s := NewScheduler(SchedulerOptions{Clock: fc, Store: st})
+	s.Add(c)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { s.Run(ctx); close(done) }()
+
+	for i := 0; i < 3; i++ {
+		waitForWaiters(t, fc, 1)
+		fc.Advance(time.Second)
+		// The next After arms only once the tick was processed.
+		waitForWaiters(t, fc, 1)
+	}
+	cancel()
+	<-done
+
+	if got := c.calls.Load(); got != 3 {
+		t.Errorf("Collect called %d times, want 3", got)
+	}
+	k := Key{Metric: "fake", Scope: ScopeNode, ID: 0}
+	if n := st.Len(k); n != 3 {
+		t.Errorf("store holds %d points, want 3", n)
+	}
+	stats := s.Stats()
+	if len(stats) != 1 || stats[0].Batches != 3 || stats[0].Samples != 3 {
+		t.Errorf("Stats = %+v, want 3 batches / 3 samples", stats)
+	}
+}
+
+func TestSchedulerCancellationStopsTicks(t *testing.T) {
+	fc := NewFakeClock()
+	c := &fakeCollector{name: "fake", interval: time.Second}
+	s := NewScheduler(SchedulerOptions{Clock: fc})
+	s.Add(c)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { s.Run(ctx); close(done) }()
+	waitForWaiters(t, fc, 1)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	if got := c.calls.Load(); got != 0 {
+		t.Errorf("Collect called %d times after pure cancellation, want 0", got)
+	}
+}
+
+func TestSchedulerErrorBackoff(t *testing.T) {
+	fc := NewFakeClock()
+	var reported atomic.Int64
+	c := &fakeCollector{name: "flaky", interval: time.Second, failures: 2}
+	s := NewScheduler(SchedulerOptions{
+		Clock:      fc,
+		MaxBackoff: 8 * time.Second,
+		OnError:    func(string, error) { reported.Add(1) },
+	})
+	s.Add(c)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { s.Run(ctx); close(done) }()
+
+	// Tick 1 fails -> backoff doubles to 2 s.
+	waitForWaiters(t, fc, 1)
+	fc.Advance(time.Second)
+	waitForWaiters(t, fc, 1)
+	if got := c.calls.Load(); got != 1 {
+		t.Fatalf("after first tick: %d calls, want 1", got)
+	}
+	// 1 s is not enough any more: the timer needs the full 2 s.
+	fc.Advance(time.Second)
+	time.Sleep(5 * time.Millisecond)
+	if got := c.calls.Load(); got != 1 {
+		t.Fatalf("backoff ignored: %d calls after 1s, want still 1", got)
+	}
+	fc.Advance(time.Second) // completes the 2 s backoff -> second failure
+	waitForWaiters(t, fc, 1)
+	if got := c.calls.Load(); got != 2 {
+		t.Fatalf("after backoff tick: %d calls, want 2", got)
+	}
+	// Third call succeeds after a 4 s backoff and resets to the interval.
+	fc.Advance(4 * time.Second)
+	waitForWaiters(t, fc, 1)
+	if got := c.calls.Load(); got != 3 {
+		t.Fatalf("after second backoff: %d calls, want 3", got)
+	}
+	fc.Advance(time.Second) // back to the 1 s interval
+	waitForWaiters(t, fc, 1)
+	if got := c.calls.Load(); got != 4 {
+		t.Fatalf("after recovery: %d calls, want 4 (interval reset)", got)
+	}
+	cancel()
+	<-done
+
+	stats := s.Stats()
+	if stats[0].Errors != 2 {
+		t.Errorf("Errors = %d, want 2", stats[0].Errors)
+	}
+	if reported.Load() != 2 {
+		t.Errorf("OnError observed %d failures, want 2", reported.Load())
+	}
+}
+
+func TestFakeClockAdvanceFiresDueTimersOnly(t *testing.T) {
+	fc := NewFakeClock()
+	short := fc.After(time.Second)
+	long := fc.After(3 * time.Second)
+	fc.Advance(time.Second)
+	select {
+	case <-short:
+	default:
+		t.Fatal("1 s timer did not fire after 1 s advance")
+	}
+	select {
+	case <-long:
+		t.Fatal("3 s timer fired after only 1 s")
+	default:
+	}
+	fc.Advance(2 * time.Second)
+	select {
+	case <-long:
+	default:
+		t.Fatal("3 s timer did not fire after 3 s total")
+	}
+}

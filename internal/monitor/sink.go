@@ -1,0 +1,304 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"likwid/internal/cli"
+)
+
+// Sink receives metric batches.  Sinks are driven by a single dispatcher
+// goroutine, so implementations need no internal locking against each
+// other; Close flushes and releases resources.
+type Sink interface {
+	Name() string
+	Write(b Batch) error
+	Close() error
+}
+
+// Dispatcher fans batches out to sinks asynchronously through a bounded
+// channel.  Publish never blocks the sampling path: when the channel is
+// full the batch is dropped and counted — a slow sink costs data points,
+// never timing.
+type Dispatcher struct {
+	// mu guards the closed flag and the channel send against a
+	// concurrent Close: publishers hold it shared, Close exclusively, so
+	// the channel can never be closed mid-send.
+	mu      sync.RWMutex
+	closed  bool
+	ch      chan Batch
+	sinks   []Sink
+	dropped atomic.Uint64
+	written atomic.Uint64
+	errs    atomic.Uint64
+	done    chan struct{}
+	once    sync.Once
+}
+
+// NewDispatcher starts the fan-out goroutine; buffer is the bounded queue
+// depth (default 64 when <= 0).
+func NewDispatcher(buffer int, sinks ...Sink) *Dispatcher {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	d := &Dispatcher{
+		ch:    make(chan Batch, buffer),
+		sinks: sinks,
+		done:  make(chan struct{}),
+	}
+	go d.loop()
+	return d
+}
+
+func (d *Dispatcher) loop() {
+	defer close(d.done)
+	for b := range d.ch {
+		delivered := true
+		for _, s := range d.sinks {
+			if err := s.Write(b); err != nil {
+				d.errs.Add(1)
+				delivered = false
+			}
+		}
+		if delivered {
+			d.written.Add(1)
+		}
+	}
+}
+
+// Publish enqueues a batch without blocking; it reports false (and counts
+// the drop) when the queue is full or the dispatcher is closed.
+func (d *Dispatcher) Publish(b Batch) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		d.dropped.Add(1)
+		return false
+	}
+	select {
+	case d.ch <- b:
+		return true
+	default:
+		d.dropped.Add(1)
+		return false
+	}
+}
+
+// Dropped counts batches rejected by the overflow policy.
+func (d *Dispatcher) Dropped() uint64 { return d.dropped.Load() }
+
+// Written counts batches delivered successfully to every sink.
+func (d *Dispatcher) Written() uint64 { return d.written.Load() }
+
+// SinkErrors counts individual sink write failures.
+func (d *Dispatcher) SinkErrors() uint64 { return d.errs.Load() }
+
+// Close drains the queue, closes every sink, and returns the first sink
+// close error.
+func (d *Dispatcher) Close() error {
+	var err error
+	d.once.Do(func() {
+		d.mu.Lock()
+		d.closed = true
+		close(d.ch)
+		d.mu.Unlock()
+		<-d.done
+		for _, s := range d.sinks {
+			if cerr := s.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	})
+	return err
+}
+
+// formatValue renders sample values identically in CSV and JSON lines, so
+// the two file formats stay diffable against each other.
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func formatTime(t float64) string { return strconv.FormatFloat(t, 'f', 6, 64) }
+
+// ---- table sink -----------------------------------------------------------
+
+// tableSink renders each batch as the suite's bordered ASCII table.
+type tableSink struct {
+	w      io.Writer
+	scopes map[Scope]bool // nil = all scopes
+}
+
+// NewTableSink writes bordered tables to w; when scopes are given only
+// samples of those domains are shown (the usual choice: socket + node).
+func NewTableSink(w io.Writer, scopes ...Scope) Sink {
+	ts := &tableSink{w: w}
+	if len(scopes) > 0 {
+		ts.scopes = map[Scope]bool{}
+		for _, s := range scopes {
+			ts.scopes[s] = true
+		}
+	}
+	return ts
+}
+
+func (t *tableSink) Name() string { return "table" }
+
+func (t *tableSink) Write(b Batch) error {
+	tab := cli.NewTable("Metric", "Scope", "ID", "Value")
+	rows := 0
+	for _, s := range b.Samples {
+		if t.scopes != nil && !t.scopes[s.Scope] {
+			continue
+		}
+		tab.AddRow(s.Metric, s.Scope.String(), strconv.Itoa(s.ID), cli.FormatMetric(s.Value))
+		rows++
+	}
+	if rows == 0 {
+		return nil
+	}
+	_, err := fmt.Fprintf(t.w, "%s t=%.3f s\n%s", b.Collector, b.Time, tab.String())
+	return err
+}
+
+func (t *tableSink) Close() error { return nil }
+
+// ---- CSV sink -------------------------------------------------------------
+
+// csvSink appends one row per sample: time,collector,metric,scope,id,value.
+type csvSink struct {
+	name string
+	w    *bufio.Writer
+	c    io.Closer
+	head bool
+}
+
+// NewCSVSink writes CSV to w, closing c (which may be nil) on Close.
+func NewCSVSink(w io.Writer, c io.Closer) Sink {
+	return &csvSink{name: "csv", w: bufio.NewWriter(w), c: c}
+}
+
+func (s *csvSink) Name() string { return s.name }
+
+func (s *csvSink) Write(b Batch) error {
+	if !s.head {
+		s.head = true
+		if _, err := s.w.WriteString("time,collector,metric,scope,id,value\n"); err != nil {
+			return err
+		}
+	}
+	for _, sm := range b.Samples {
+		_, err := fmt.Fprintf(s.w, "%s,%s,%s,%s,%d,%s\n",
+			formatTime(sm.Time), b.Collector, sm.Metric, sm.Scope, sm.ID, formatValue(sm.Value))
+		if err != nil {
+			return err
+		}
+	}
+	return s.w.Flush()
+}
+
+func (s *csvSink) Close() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}
+
+// ---- JSON-lines sink ------------------------------------------------------
+
+type jsonlSink struct {
+	w *bufio.Writer
+	c io.Closer
+}
+
+// NewJSONLSink writes one JSON object per sample to w, closing c (which
+// may be nil) on Close.
+func NewJSONLSink(w io.Writer, c io.Closer) Sink {
+	return &jsonlSink{w: bufio.NewWriter(w), c: c}
+}
+
+// jsonSample fixes the field order of the line protocol.
+type jsonSample struct {
+	Time      float64 `json:"time"`
+	Collector string  `json:"collector"`
+	Metric    string  `json:"metric"`
+	Scope     string  `json:"scope"`
+	ID        int     `json:"id"`
+	Value     float64 `json:"value"`
+}
+
+func (s *jsonlSink) Name() string { return "jsonl" }
+
+func (s *jsonlSink) Write(b Batch) error {
+	enc := json.NewEncoder(s.w)
+	for _, sm := range b.Samples {
+		err := enc.Encode(jsonSample{
+			Time:      sm.Time,
+			Collector: b.Collector,
+			Metric:    sm.Metric,
+			Scope:     sm.Scope.String(),
+			ID:        sm.ID,
+			Value:     sm.Value,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return s.w.Flush()
+}
+
+func (s *jsonlSink) Close() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}
+
+// ---- sink spec parsing ----------------------------------------------------
+
+// ParseSink builds a sink from an agent -sink specification:
+//
+//	stdout               bordered tables (socket + node scopes) on stdout
+//	csv:PATH             CSV file, one row per sample
+//	jsonl:PATH           JSON lines file, one object per sample
+//	http:ADDR            in-process HTTP server (e.g. http::8090) serving
+//	                     /metrics and /query from the store
+//
+// The store parameter backs the HTTP sink's /query endpoint and may be nil
+// for the file sinks.
+func ParseSink(spec string, store *Store) (Sink, error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "stdout", "table":
+		return NewTableSink(os.Stdout, ScopeSocket, ScopeNode), nil
+	case "csv", "jsonl":
+		if arg == "" {
+			return nil, fmt.Errorf("monitor: sink %q needs a file path (%s:PATH)", spec, kind)
+		}
+		f, err := os.Create(arg)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: sink %q: %w", spec, err)
+		}
+		if kind == "csv" {
+			return NewCSVSink(f, f), nil
+		}
+		return NewJSONLSink(f, f), nil
+	case "http":
+		if arg == "" {
+			return nil, fmt.Errorf("monitor: sink %q needs a listen address (http:HOST:PORT)", spec)
+		}
+		return NewHTTPSink(arg, store)
+	default:
+		return nil, fmt.Errorf("monitor: unknown sink kind %q (stdout, csv:PATH, jsonl:PATH, http:ADDR)", spec)
+	}
+}

@@ -1,0 +1,246 @@
+package monitor
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenBatches is a fixed two-tick stream covering every scope.
+func goldenBatches() []Batch {
+	return []Batch{
+		{
+			Collector: "perfgroup/MEM_DP",
+			Time:      0.5,
+			Samples: []Sample{
+				{Metric: "dp_mflops_s", Scope: ScopeThread, ID: 0, Time: 0.5, Value: 571.25},
+				{Metric: "dp_mflops_s", Scope: ScopeThread, ID: 1, Time: 0.5, Value: 0},
+				{Metric: "memory_bandwidth_mbytes_s", Scope: ScopeSocket, ID: 0, Time: 0.5, Value: 13714.285},
+				{Metric: "dp_mflops_s", Scope: ScopeNode, ID: 0, Time: 0.5, Value: 571.25},
+			},
+		},
+		{
+			Collector: "perfgroup/MEM_DP",
+			Time:      1.0,
+			Samples: []Sample{
+				{Metric: "dp_mflops_s", Scope: ScopeThread, ID: 0, Time: 1.0, Value: 570.75},
+				{Metric: "dp_mflops_s", Scope: ScopeThread, ID: 1, Time: 1.0, Value: 12.5},
+				{Metric: "memory_bandwidth_mbytes_s", Scope: ScopeSocket, ID: 0, Time: 1.0, Value: 13710},
+				{Metric: "dp_mflops_s", Scope: ScopeNode, ID: 0, Time: 1.0, Value: 583.25},
+			},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestCSVSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSVSink(&buf, nil)
+	for _, b := range goldenBatches() {
+		if err := s.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sink_csv.golden", buf.Bytes())
+}
+
+func TestJSONLSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf, nil)
+	for _, b := range goldenBatches() {
+		if err := s.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sink_jsonl.golden", buf.Bytes())
+}
+
+func TestTableSinkFiltersScopes(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewTableSink(&buf, ScopeSocket, ScopeNode)
+	if err := s.Write(goldenBatches()[0]); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "memory_bandwidth_mbytes_s") || !strings.Contains(out, "socket") {
+		t.Errorf("table misses socket rows:\n%s", out)
+	}
+	if strings.Contains(out, "thread") {
+		t.Errorf("table shows filtered thread rows:\n%s", out)
+	}
+}
+
+// blockingSink parks in Write until released, to force queue overflow.
+type blockingSink struct {
+	entered chan struct{}
+	release chan struct{}
+	written int
+}
+
+func (b *blockingSink) Name() string { return "blocking" }
+func (b *blockingSink) Write(Batch) error {
+	b.entered <- struct{}{}
+	<-b.release
+	b.written++
+	return nil
+}
+func (b *blockingSink) Close() error { return nil }
+
+func TestDispatcherOverflowDropsAndCounts(t *testing.T) {
+	sink := &blockingSink{entered: make(chan struct{}, 4), release: make(chan struct{}, 4)}
+	d := NewDispatcher(1, sink)
+
+	batch := Batch{Collector: "c", Samples: []Sample{{Metric: "m"}}}
+	if !d.Publish(batch) {
+		t.Fatal("first publish rejected with empty queue")
+	}
+	<-sink.entered // dispatcher now blocked inside the sink
+	if !d.Publish(batch) {
+		t.Fatal("second publish rejected: queue slot was free")
+	}
+	if d.Publish(batch) {
+		t.Fatal("third publish accepted: queue should be full")
+	}
+	if got := d.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	// Release both queued writes and drain.
+	sink.release <- struct{}{}
+	<-sink.entered
+	sink.release <- struct{}{}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.written != 2 {
+		t.Errorf("sink wrote %d batches, want 2 (1 dropped)", sink.written)
+	}
+	if got := d.Written(); got != 2 {
+		t.Errorf("Written = %d, want 2", got)
+	}
+	// Publishing after Close only counts drops.
+	if d.Publish(batch) {
+		t.Error("publish after Close must be rejected")
+	}
+	if got := d.Dropped(); got != 2 {
+		t.Errorf("Dropped after close = %d, want 2", got)
+	}
+}
+
+// errorSink always fails to write.
+type errorSink struct{}
+
+func (errorSink) Name() string      { return "err" }
+func (errorSink) Write(Batch) error { return errors.New("disk full") }
+func (errorSink) Close() error      { return nil }
+
+func TestDispatcherFailedWritesAreNotCountedDelivered(t *testing.T) {
+	d := NewDispatcher(4, errorSink{})
+	d.Publish(goldenBatches()[0])
+	deadline := time.Now().Add(5 * time.Second)
+	for d.SinkErrors() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Written(); got != 0 {
+		t.Errorf("Written = %d after all-failing sink, want 0", got)
+	}
+	if got := d.SinkErrors(); got != 1 {
+		t.Errorf("SinkErrors = %d, want 1", got)
+	}
+}
+
+func TestParseSinkSpecs(t *testing.T) {
+	dir := t.TempDir()
+	store := NewStore(8)
+
+	csvPath := filepath.Join(dir, "out.csv")
+	s, err := ParseSink("csv:"+csvPath, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(goldenBatches()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time,collector,metric,scope,id,value\n") {
+		t.Errorf("csv sink output:\n%s", data)
+	}
+
+	if _, err := ParseSink("csv", nil); err == nil {
+		t.Error("csv without path must fail")
+	}
+	if _, err := ParseSink("bogus:x", nil); err == nil {
+		t.Error("unknown sink kind must fail")
+	}
+	if _, err := ParseSink("http", nil); err == nil {
+		t.Error("http without address must fail")
+	}
+
+	h, err := ParseSink("http:127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.(*HTTPSink); !ok {
+		t.Errorf("http spec built %T", h)
+	}
+	_ = h.Close()
+}
+
+func TestDispatcherDeliversInOrder(t *testing.T) {
+	var buf bytes.Buffer
+	d := NewDispatcher(8, NewCSVSink(&buf, nil))
+	for _, b := range goldenBatches() {
+		if !d.Publish(b) {
+			t.Fatal("publish rejected under capacity")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Written() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sink_csv.golden", buf.Bytes())
+}

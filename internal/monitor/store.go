@@ -1,0 +1,199 @@
+package monitor
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Point is one (time, value) observation of a series.
+type Point struct {
+	Time  float64 `json:"time"`
+	Value float64 `json:"value"`
+}
+
+// series is one metric's fixed-capacity ring buffer.  Old points are
+// overwritten in place once the ring is full, bounding the agent's memory
+// no matter how long it runs.
+type series struct {
+	mu   sync.RWMutex
+	buf  []Point
+	head int // next write position
+	n    int // filled entries, <= len(buf)
+}
+
+func (s *series) append(p Point) {
+	s.mu.Lock()
+	s.buf[s.head] = p
+	s.head = (s.head + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// snapshot copies the retained points oldest-first.
+func (s *series) snapshot() []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Point, 0, s.n)
+	start := s.head - s.n
+	if start < 0 {
+		start += len(s.buf)
+	}
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.buf[(start+i)%len(s.buf)])
+	}
+	return out
+}
+
+func (s *series) latest() (Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.n == 0 {
+		return Point{}, false
+	}
+	idx := s.head - 1
+	if idx < 0 {
+		idx += len(s.buf)
+	}
+	return s.buf[idx], true
+}
+
+func (s *series) len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// storeShards is the lock-striping width of the store: writers of
+// different series contend only within their shard, so concurrent
+// collectors rarely serialize on each other.
+const storeShards = 16
+
+type storeShard struct {
+	mu     sync.RWMutex
+	series map[Key]*series
+}
+
+// Store is the agent's in-memory time-series database: one bounded ring
+// buffer per (metric, scope, id) series behind RWMutex-sharded maps.
+type Store struct {
+	capacity int
+	shards   [storeShards]storeShard
+}
+
+// NewStore creates a store retaining up to capacity points per series
+// (default 1024 when capacity <= 0).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	st := &Store{capacity: capacity}
+	for i := range st.shards {
+		st.shards[i].series = map[Key]*series{}
+	}
+	return st
+}
+
+func (st *Store) shardOf(k Key) *storeShard {
+	h := fnv.New32a()
+	h.Write([]byte(k.Metric))
+	h.Write([]byte{byte(k.Scope), byte(k.ID), byte(k.ID >> 8)})
+	return &st.shards[h.Sum32()%storeShards]
+}
+
+func (st *Store) getOrCreate(k Key) *series {
+	sh := st.shardOf(k)
+	sh.mu.RLock()
+	s := sh.series[k]
+	sh.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s = sh.series[k]; s == nil {
+		s = &series{buf: make([]Point, st.capacity)}
+		sh.series[k] = s
+	}
+	return s
+}
+
+// Append records one observation.
+func (st *Store) Append(k Key, p Point) { st.getOrCreate(k).append(p) }
+
+// AppendBatch records every sample of a batch.
+func (st *Store) AppendBatch(b Batch) {
+	for _, s := range b.Samples {
+		st.Append(s.Key(), Point{Time: s.Time, Value: s.Value})
+	}
+}
+
+// Window returns the retained points of one series with from <= Time <= to,
+// oldest first.  A negative "to" means "until the newest point".
+func (st *Store) Window(k Key, from, to float64) []Point {
+	sh := st.shardOf(k)
+	sh.mu.RLock()
+	s := sh.series[k]
+	sh.mu.RUnlock()
+	if s == nil {
+		return nil
+	}
+	all := s.snapshot()
+	out := all[:0:0]
+	for _, p := range all {
+		if p.Time < from || (to >= 0 && p.Time > to) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Latest returns the newest point of a series.
+func (st *Store) Latest(k Key) (Point, bool) {
+	sh := st.shardOf(k)
+	sh.mu.RLock()
+	s := sh.series[k]
+	sh.mu.RUnlock()
+	if s == nil {
+		return Point{}, false
+	}
+	return s.latest()
+}
+
+// Len reports the retained point count of a series.
+func (st *Store) Len(k Key) int {
+	sh := st.shardOf(k)
+	sh.mu.RLock()
+	s := sh.series[k]
+	sh.mu.RUnlock()
+	if s == nil {
+		return 0
+	}
+	return s.len()
+}
+
+// Keys lists every series, sorted by metric, scope, id for stable output.
+func (st *Store) Keys() []Key {
+	var out []Key
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for k := range sh.series {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Metric != out[j].Metric {
+			return out[i].Metric < out[j].Metric
+		}
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -93,6 +93,17 @@ func groupCatalogue(a *hwdef.Arch) []GroupDef {
 				Metrics: withTime(Metric{"Memory bandwidth [MBytes/s]", memFormula}),
 			},
 			{
+				// The monitoring-stack staple: memory bandwidth and DP
+				// Flop rate in one set, so an agent sees both sides of the
+				// roofline from a single programming.
+				Name: "MEM_DP", Function: "Memory bandwidth and double precision MFlops/s",
+				Events: append(append([]string{}, memEvents...), flopsDPEvents...),
+				Metrics: withTime(
+					Metric{"DP MFlops/s", flopsDPFormula},
+					Metric{"Memory bandwidth [MBytes/s]", memFormula},
+				),
+			},
+			{
 				Name: "CACHE", Function: "L1 Data cache miss rate/ratio",
 				Events: []string{"L1D_REPL", "L1D_ALL_REF"},
 				Metrics: withTime(
@@ -176,6 +187,17 @@ func groupCatalogue(a *hwdef.Arch) []GroupDef {
 				Name: "MEM", Function: "Main memory bandwidth in MBytes/s",
 				Events: []string{"UNC_DRAM_ACCESSES_READS", "UNC_DRAM_ACCESSES_WRITES"},
 				Metrics: withTime(
+					Metric{"Memory bandwidth [MBytes/s]", "1.0E-06*(UNC_DRAM_ACCESSES_READS+UNC_DRAM_ACCESSES_WRITES)*64/time"},
+				),
+			},
+			{
+				Name: "MEM_DP", Function: "Memory bandwidth and double precision MFlops/s",
+				Events: []string{
+					"UNC_DRAM_ACCESSES_READS", "UNC_DRAM_ACCESSES_WRITES",
+					"RETIRED_SSE_OPERATIONS_PACKED_DOUBLE", "RETIRED_SSE_OPERATIONS_SCALAR_DOUBLE",
+				},
+				Metrics: withTime(
+					Metric{"DP MFlops/s", "1.0E-06*(RETIRED_SSE_OPERATIONS_PACKED_DOUBLE+RETIRED_SSE_OPERATIONS_SCALAR_DOUBLE)/time"},
 					Metric{"Memory bandwidth [MBytes/s]", "1.0E-06*(UNC_DRAM_ACCESSES_READS+UNC_DRAM_ACCESSES_WRITES)*64/time"},
 				),
 			},

@@ -3,6 +3,8 @@ package perfctr
 import (
 	"fmt"
 	"strings"
+
+	"likwid/internal/stats"
 )
 
 // Timeline mode: time-resolved counter measurement, the -d option the
@@ -98,6 +100,18 @@ func (tl *Timeline) Series(event string) ([]float64, error) {
 	return out, nil
 }
 
+// Summary returns the box-plot statistics of one event's per-interval
+// totals (summed over the measured cpus) — the same stats.Summarize the
+// experiment drivers and the monitoring agent's aggregator use, so the
+// one-shot and continuous paths report distributions identically.
+func (tl *Timeline) Summary(event string) (stats.Summary, error) {
+	series, err := tl.Series(event)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	return stats.Summarize(series), nil
+}
+
 // RenderTimeline prints per-interval rows of one event per cpu column.
 func (tl *Timeline) RenderTimeline(event string) (string, error) {
 	if _, err := tl.Series(event); err != nil {
@@ -116,6 +130,10 @@ func (tl *Timeline) RenderTimeline(event string) (string, error) {
 			fmt.Fprintf(&b, " %12.0f", p.Deltas[event][i])
 		}
 		fmt.Fprintln(&b)
+	}
+	if sum, err := tl.Summary(event); err == nil && sum.N > 0 {
+		fmt.Fprintf(&b, "per-interval totals: min=%.0f median=%.0f max=%.0f (n=%d)\n",
+			sum.Min, sum.Median, sum.Max, sum.N)
 	}
 	return b.String(), nil
 }

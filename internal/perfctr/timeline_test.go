@@ -99,6 +99,37 @@ func TestTimelineRender(t *testing.T) {
 	}
 }
 
+func TestTimelineSummary(t *testing.T) {
+	tl, _ := timelineFixture(t, 0.002)
+	sum, err := tl.Summary("FP_COMP_OPS_EXE_SSE_FP_PACKED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, _ := tl.Series("FP_COMP_OPS_EXE_SSE_FP_PACKED")
+	if sum.N != len(series) {
+		t.Errorf("Summary.N = %d, want %d intervals", sum.N, len(series))
+	}
+	// Phase 2 has no flops, so the min is 0; phase 1 intervals dominate
+	// the max.
+	if sum.Min != 0 {
+		t.Errorf("Summary.Min = %v, want 0 (idle phase)", sum.Min)
+	}
+	if sum.Max <= 0 || sum.Max < sum.Median {
+		t.Errorf("Summary Max=%v Median=%v inconsistent", sum.Max, sum.Median)
+	}
+	if _, err := tl.Summary("NOT_MEASURED"); err == nil {
+		t.Error("unknown event must fail")
+	}
+	// The rendered report surfaces the distribution line.
+	out, err := tl.RenderTimeline("FP_COMP_OPS_EXE_SSE_FP_PACKED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "per-interval totals: min=") {
+		t.Errorf("render misses summary footer:\n%s", out)
+	}
+}
+
 func TestTimelineTimestampsMonotone(t *testing.T) {
 	tl, _ := timelineFixture(t, 0.001)
 	prev := -1.0
