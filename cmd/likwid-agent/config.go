@@ -1,0 +1,174 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"likwid"
+	"likwid/internal/monitor"
+	"likwid/internal/pin"
+)
+
+// agentConfig is the parsed and validated likwid-agent configuration.
+// Everything checkable without side effects is validated at parse time
+// (architecture, event group, CPU list, sink/load/tier spec shapes), so
+// a typo fails fast instead of surfacing after collectors are up.
+type agentConfig struct {
+	arch       string
+	group      string
+	cpus       []int // nil = all
+	interval   time.Duration
+	duration   time.Duration
+	collectors []string // nil = all registered
+	loadSpec   string
+	buffer     int
+	retain     int
+	tiers      []monitor.Tier
+	raw        bool
+	sinks      []string
+	receiver   string // listen address; receiver mode when non-empty
+
+	// node is the simulated machine opened during validation, reused by
+	// main so the group check and the monitored node agree.
+	node *likwid.Node
+}
+
+// sinkSpecs collects repeated -sink flags.
+type sinkSpecs []string
+
+func (s *sinkSpecs) String() string { return strings.Join(*s, ",") }
+func (s *sinkSpecs) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// parseAgentFlags parses argv (without the program name) into a
+// validated configuration.  Usage and errors are written to errOut.
+func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
+	fs := flag.NewFlagSet("likwid-agent", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	arch := fs.String("a", "westmereEP", "node architecture")
+	cpuList := fs.String("c", "", "processors to monitor (default: all)")
+	group := fs.String("g", "MEM_DP", "perfctr event group to sample")
+	interval := fs.Duration("i", 500*time.Millisecond, "sampling interval")
+	duration := fs.Duration("duration", 0, "stop after this wall time (0 = until SIGINT)")
+	collectorSet := fs.String("collectors", "", "comma-separated collectors (default: all registered)")
+	loadSpec := fs.String("load", "stream", "background load: stream[:NTASKS] | idle")
+	buffer := fs.Int("buffer", 64, "sink queue depth")
+	retain := fs.Int("retain", 1024, "raw ring-buffer points per series")
+	tierSpec := fs.String("tiers", "", "downsampled retention tiers, e.g. 10s:360,1m:720")
+	raw := fs.Bool("raw", false, "emit per-event rates too")
+	receiver := fs.String("receiver", "", "run as aggregation receiver on this listen address (no collectors)")
+	var sinks sinkSpecs
+	fs.Var(&sinks, "sink", "sink spec (repeatable): stdout | csv:PATH | jsonl:PATH | http:ADDR | push:URL")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	cfg := &agentConfig{
+		arch:     *arch,
+		group:    *group,
+		interval: *interval,
+		duration: *duration,
+		loadSpec: *loadSpec,
+		buffer:   *buffer,
+		retain:   *retain,
+		raw:      *raw,
+		sinks:    sinks,
+		receiver: *receiver,
+	}
+	if *collectorSet != "" {
+		for _, name := range strings.Split(*collectorSet, ",") {
+			cfg.collectors = append(cfg.collectors, strings.TrimSpace(name))
+		}
+	}
+	var err error
+	if cfg.tiers, err = monitor.ParseTiers(*tierSpec); err != nil {
+		return nil, err
+	}
+	if *cpuList != "" {
+		if cfg.cpus, err = pin.ParseCPUList(*cpuList); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// validate cross-checks the configuration.  Receiver mode needs no
+// machine: it only listens, so collector-side settings are skipped.
+func (c *agentConfig) validate() error {
+	if c.interval <= 0 {
+		return fmt.Errorf("interval must be positive, got %v", c.interval)
+	}
+	if c.duration < 0 {
+		return fmt.Errorf("duration must not be negative, got %v", c.duration)
+	}
+	if c.buffer <= 0 {
+		return fmt.Errorf("sink queue depth must be positive, got %d", c.buffer)
+	}
+	for _, spec := range c.sinks {
+		if err := monitor.ValidateSinkSpec(spec); err != nil {
+			return err
+		}
+	}
+	if c.receiver != "" {
+		if len(c.sinks) > 0 {
+			return fmt.Errorf("-receiver mode has no collectors to sink (-sink not allowed)")
+		}
+		return nil
+	}
+
+	node, err := likwid.Open(c.arch)
+	if err != nil {
+		return err
+	}
+	// A typo'd group is a configuration error, not a degraded collector:
+	// fail fast instead of monitoring a node with no counters armed.
+	if _, err := node.Group(c.group); err != nil {
+		return err
+	}
+	c.node = node
+	for _, cpu := range c.cpus {
+		if cpu < 0 || cpu >= node.M.OS.NumCPUs() {
+			return fmt.Errorf("cpu %d out of range (node has %d processors)", cpu, node.M.OS.NumCPUs())
+		}
+	}
+	if _, _, err := parseLoadSpec(c.loadSpec); err != nil {
+		return err
+	}
+	return nil
+}
+
+// parseLoadSpec validates a -load specification and returns its kind
+// and task count (0 = the architecture default).
+func parseLoadSpec(spec string) (kind string, nTasks int, err error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "idle":
+		if arg != "" {
+			return "", 0, fmt.Errorf("load spec %q: idle takes no argument", spec)
+		}
+		return kind, 0, nil
+	case "stream":
+		if arg == "" {
+			return kind, 0, nil
+		}
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 {
+			return "", 0, fmt.Errorf("bad load task count %q", arg)
+		}
+		return kind, n, nil
+	default:
+		return "", 0, fmt.Errorf("unknown load spec %q (stream[:NTASKS], idle)", spec)
+	}
+}

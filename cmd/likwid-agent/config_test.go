@@ -1,0 +1,122 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseAgentFlags(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the expected error; "" = success
+		check   func(t *testing.T, cfg *agentConfig)
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			check: func(t *testing.T, cfg *agentConfig) {
+				if cfg.arch != "westmereEP" || cfg.group != "MEM_DP" {
+					t.Errorf("defaults = %s/%s, want westmereEP/MEM_DP", cfg.arch, cfg.group)
+				}
+				if cfg.interval != 500*time.Millisecond || cfg.retain != 1024 {
+					t.Errorf("interval=%v retain=%d, want 500ms/1024", cfg.interval, cfg.retain)
+				}
+				if cfg.node == nil {
+					t.Error("validation must open the node for reuse")
+				}
+				if len(cfg.tiers) != 0 {
+					t.Errorf("tiers = %v, want none by default", cfg.tiers)
+				}
+			},
+		},
+		{
+			name: "full agent spec",
+			args: []string{"-a", "istanbul", "-g", "MEM_DP", "-c", "0-3", "-i", "250ms",
+				"-tiers", "10s:360,1m:720", "-sink", "csv:/tmp/x.csv", "-sink", "push:collector:8090",
+				"-collectors", "perfgroup, membw", "-load", "stream:2"},
+			check: func(t *testing.T, cfg *agentConfig) {
+				if len(cfg.cpus) != 4 || cfg.cpus[3] != 3 {
+					t.Errorf("cpus = %v, want 0..3", cfg.cpus)
+				}
+				if len(cfg.tiers) != 2 || cfg.tiers[0].Resolution != 10 || cfg.tiers[1].Capacity != 720 {
+					t.Errorf("tiers = %+v, want 10s:360,1m:720", cfg.tiers)
+				}
+				if len(cfg.collectors) != 2 || cfg.collectors[1] != "membw" {
+					t.Errorf("collectors = %v, want [perfgroup membw]", cfg.collectors)
+				}
+				if len(cfg.sinks) != 2 {
+					t.Errorf("sinks = %v, want 2 specs", cfg.sinks)
+				}
+			},
+		},
+		{
+			name: "receiver mode skips machine validation",
+			args: []string{"-receiver", ":8090", "-g", "NO_SUCH_GROUP", "-tiers", "10s:60"},
+			check: func(t *testing.T, cfg *agentConfig) {
+				if cfg.receiver != ":8090" {
+					t.Errorf("receiver = %q", cfg.receiver)
+				}
+				if cfg.node != nil {
+					t.Error("receiver mode must not open a node")
+				}
+			},
+		},
+		{name: "bad arch", args: []string{"-a", "pentium4"}, wantErr: "pentium4"},
+		{name: "bad group", args: []string{"-g", "NOT_A_GROUP"}, wantErr: "NOT_A_GROUP"},
+		{name: "bad cpu list", args: []string{"-c", "0-x"}, wantErr: "0-x"},
+		{name: "cpu out of range", args: []string{"-c", "900"}, wantErr: "out of range"},
+		{name: "bad flag", args: []string{"-bogus"}, wantErr: "bogus"},
+		{name: "positional junk", args: []string{"extra"}, wantErr: "unexpected arguments"},
+		{name: "zero interval", args: []string{"-i", "0s"}, wantErr: "interval"},
+		{name: "negative duration", args: []string{"-duration", "-1s"}, wantErr: "duration"},
+		{name: "zero buffer", args: []string{"-buffer", "0"}, wantErr: "queue depth"},
+		{name: "bad sink kind", args: []string{"-sink", "kafka:topic"}, wantErr: "unknown sink kind"},
+		{name: "csv sink without path", args: []string{"-sink", "csv"}, wantErr: "file path"},
+		{name: "push sink without host", args: []string{"-sink", "push:"}, wantErr: "receiver URL"},
+		{name: "push sink bad scheme", args: []string{"-sink", "push:ftp://h/ingest"}, wantErr: "http or https"},
+		{name: "bad load kind", args: []string{"-load", "spin"}, wantErr: "unknown load spec"},
+		{name: "bad load count", args: []string{"-load", "stream:zero"}, wantErr: "task count"},
+		{name: "negative load count", args: []string{"-load", "stream:-2"}, wantErr: "task count"},
+		{name: "idle load with argument", args: []string{"-load", "idle:3"}, wantErr: "no argument"},
+		{name: "tier missing capacity", args: []string{"-tiers", "10s"}, wantErr: "RESOLUTION:CAPACITY"},
+		{name: "tier bad resolution", args: []string{"-tiers", "ten:5"}, wantErr: "resolution"},
+		{name: "tier zero capacity", args: []string{"-tiers", "10s:0"}, wantErr: "capacity"},
+		{name: "tiers not ascending", args: []string{"-tiers", "1m:10,10s:10"}, wantErr: "ascend"},
+		{name: "receiver with sink", args: []string{"-receiver", ":8090", "-sink", "stdout"}, wantErr: "-sink not allowed"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg, err := parseAgentFlags(tt.args, io.Discard)
+			if tt.wantErr != "" {
+				if err == nil {
+					t.Fatalf("parseAgentFlags(%v) succeeded, want error containing %q", tt.args, tt.wantErr)
+				}
+				if !strings.Contains(err.Error(), tt.wantErr) {
+					t.Fatalf("error = %v, want substring %q", err, tt.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseAgentFlags(%v) failed: %v", tt.args, err)
+			}
+			if tt.check != nil {
+				tt.check(t, cfg)
+			}
+		})
+	}
+}
+
+func TestParseLoadSpec(t *testing.T) {
+	if kind, n, err := parseLoadSpec("stream"); err != nil || kind != "stream" || n != 0 {
+		t.Errorf("stream = (%q, %d, %v), want (stream, 0, nil)", kind, n, err)
+	}
+	if kind, n, err := parseLoadSpec("stream:8"); err != nil || kind != "stream" || n != 8 {
+		t.Errorf("stream:8 = (%q, %d, %v), want (stream, 8, nil)", kind, n, err)
+	}
+	if _, _, err := parseLoadSpec("idle"); err != nil {
+		t.Errorf("idle = %v, want nil", err)
+	}
+}

@@ -2,8 +2,9 @@
 // paper's one-shot tools, after the LIKWID Monitoring Stack: collectors
 // wrap the suite (perfctr groups, topology, features, memory system),
 // a scheduler samples them on an interval, samples are aggregated per
-// topology domain into a ring-buffer time-series store, and batches fan
-// out asynchronously to sinks.
+// topology domain into a tiered time-series store, and batches fan
+// out asynchronously to sinks — including a push sink that ships them to
+// a remote likwid-agent running in receiver mode.
 //
 // Usage:
 //
@@ -15,127 +16,137 @@
 //	-i DURATION    sampling interval (default 500ms)
 //	-duration D    stop after D of wall time (default: run until SIGINT)
 //	-sink SPEC     repeatable: stdout | csv:PATH | jsonl:PATH | http:ADDR
+//	               | push:URL (batch+gzip POST to a receiver's /ingest)
 //	-collectors L  comma-separated collector set (default all registered)
 //	-load SPEC     synthetic background load: stream[:NTASKS] | idle
 //	-buffer N      sink queue depth (drop-and-count beyond it, default 64)
-//	-retain N      ring-buffer points kept per series (default 1024)
+//	-retain N      raw ring-buffer points kept per series (default 1024)
+//	-tiers SPEC    downsampled retention tiers, e.g. 10s:360,1m:720:
+//	               evicted raw points compact into min/median/max/avg
+//	               buckets, and windowed queries stitch tiers with raw
 //	-raw           also emit per-event rates next to derived metrics
+//	-receiver ADDR aggregation mode: no collectors, just an HTTP server
+//	               whose /ingest accepts push batches from other agents
+//	               and serves the merged store on /metrics and /query
 //
-// Example:
+// Example, one receiver aggregating two node agents:
 //
-//	likwid-agent -g MEM_DP -i 500ms -sink csv:out.csv -sink http::8090
+//	likwid-agent -receiver :8090 -tiers 10s:360,1m:720
+//	likwid-agent -g MEM_DP -i 500ms -sink push:localhost:8090
+//	likwid-agent -a istanbul -g MEM_DP -sink push:localhost:8090
 package main
 
 import (
 	"context"
-	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
 	"sync"
 	"syscall"
-	"time"
 
-	"likwid"
 	"likwid/internal/machine"
 	"likwid/internal/monitor"
-	"likwid/internal/pin"
 	"likwid/internal/topology"
 )
 
-// sinkSpecs collects repeated -sink flags.
-type sinkSpecs []string
-
-func (s *sinkSpecs) String() string { return strings.Join(*s, ",") }
-func (s *sinkSpecs) Set(v string) error {
-	*s = append(*s, v)
-	return nil
-}
-
 func main() {
-	arch := flag.String("a", "westmereEP", "node architecture")
-	cpuList := flag.String("c", "", "processors to monitor (default: all)")
-	group := flag.String("g", "MEM_DP", "perfctr event group to sample")
-	interval := flag.Duration("i", 500*time.Millisecond, "sampling interval")
-	duration := flag.Duration("duration", 0, "stop after this wall time (0 = until SIGINT)")
-	collectorSet := flag.String("collectors", "", "comma-separated collectors (default: all registered)")
-	loadSpec := flag.String("load", "stream", "background load: stream[:NTASKS] | idle")
-	buffer := flag.Int("buffer", 64, "sink queue depth")
-	retain := flag.Int("retain", 1024, "ring-buffer points per series")
-	raw := flag.Bool("raw", false, "emit per-event rates too")
-	var sinks sinkSpecs
-	flag.Var(&sinks, "sink", "sink spec (repeatable): stdout | csv:PATH | jsonl:PATH | http:ADDR")
-	flag.Parse()
-
+	cfg, err := parseAgentFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "likwid-agent:", err)
+		os.Exit(1)
+	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "likwid-agent:", err)
 		os.Exit(1)
 	}
 
-	node, err := likwid.Open(*arch)
-	if err != nil {
-		fail(err)
+	ctx, cancel := context.WithCancel(context.Background())
+	if cfg.duration > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), cfg.duration)
 	}
-	// A typo'd group is a configuration error, not a degraded collector:
-	// fail fast instead of monitoring a node with no counters armed.
-	if _, err := node.Group(*group); err != nil {
-		fail(err)
-	}
-	var cpus []int
-	if *cpuList != "" {
-		if cpus, err = pin.ParseCPUList(*cpuList); err != nil {
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		cancel()
+	}()
+
+	if cfg.receiver != "" {
+		if err := runReceiver(ctx, cfg); err != nil {
 			fail(err)
 		}
+		return
 	}
+	if err := runAgent(ctx, cfg); err != nil {
+		fail(err)
+	}
+}
 
-	cfg := monitor.Config{
+// runReceiver is the aggregation mode: no collectors, just a store behind
+// an HTTP server whose /ingest accepts push batches from other agents.
+func runReceiver(ctx context.Context, cfg *agentConfig) error {
+	store := monitor.NewStore(cfg.retain, cfg.tiers...)
+	h, err := monitor.NewHTTPSink(cfg.receiver, store)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "likwid-agent: receiver listening on %s (/ingest, /metrics, /query)\n", h.Addr())
+	<-ctx.Done()
+	return h.Close()
+}
+
+func runAgent(ctx context.Context, cfg *agentConfig) error {
+	node := cfg.node
+	mcfg := monitor.Config{
 		Machine:   node.M,
 		MachineMu: new(sync.Mutex),
-		CPUs:      cpus,
-		Group:     *group,
-		Interval:  *interval,
-		RawEvents: *raw,
+		CPUs:      cfg.cpus,
+		Group:     cfg.group,
+		Interval:  cfg.interval,
+		RawEvents: cfg.raw,
 	}
-	loadCPUs := cpus
+	loadCPUs := cfg.cpus
 	if len(loadCPUs) == 0 {
 		loadCPUs = make([]int, node.M.OS.NumCPUs())
 		for i := range loadCPUs {
 			loadCPUs[i] = i
 		}
 	}
-	load, err := newLoadDriver(node.M, loadCPUs, *loadSpec)
+	load, err := newLoadDriver(node.M, loadCPUs, cfg.loadSpec)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	cfg.Advance = load.advance
+	mcfg.Advance = load.advance
 
-	names := monitor.DefaultRegistry.Names()
-	if *collectorSet != "" {
-		names = strings.Split(*collectorSet, ",")
+	names := cfg.collectors
+	if len(names) == 0 {
+		names = monitor.DefaultRegistry.Names()
 	}
-	store := monitor.NewStore(*retain)
+	store := monitor.NewStore(cfg.retain, cfg.tiers...)
 	info, err := topology.Probe(node.M.CPUs, node.M.Arch.ClockMHz)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	agg := monitor.NewAggregator(info, cpus)
+	agg := monitor.NewAggregator(info, cfg.cpus)
 
+	sinks := cfg.sinks
 	if len(sinks) == 0 {
-		sinks = sinkSpecs{"stdout"}
+		sinks = []string{"stdout"}
 	}
 	built := make([]monitor.Sink, 0, len(sinks))
 	for _, spec := range sinks {
 		s, err := monitor.ParseSink(spec, store)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if h, ok := s.(*monitor.HTTPSink); ok {
 			fmt.Fprintf(os.Stderr, "likwid-agent: http sink listening on %s\n", h.Addr())
 		}
 		built = append(built, s)
 	}
-	dispatcher := monitor.NewDispatcher(*buffer, built...)
+	dispatcher := monitor.NewDispatcher(cfg.buffer, built...)
 
 	sched := monitor.NewScheduler(monitor.SchedulerOptions{
 		Store:      store,
@@ -148,7 +159,7 @@ func main() {
 	var stops []func() error
 	var active []monitor.Collector
 	for _, name := range names {
-		c, err := monitor.DefaultRegistry.Build(strings.TrimSpace(name), cfg)
+		c, err := monitor.DefaultRegistry.Build(strings.TrimSpace(name), mcfg)
 		if err != nil {
 			// A collector that cannot come up on this node (e.g. features
 			// on AMD) is skipped, not fatal: monitoring degrades, it does
@@ -163,23 +174,11 @@ func main() {
 		active = append(active, c)
 	}
 	if len(active) == 0 {
-		fail(fmt.Errorf("no collector could be built; nothing to monitor"))
+		return fmt.Errorf("no collector could be built; nothing to monitor")
 	}
-
-	ctx, cancel := context.WithCancel(context.Background())
-	if *duration > 0 {
-		ctx, cancel = context.WithTimeout(context.Background(), *duration)
-	}
-	defer cancel()
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sig
-		cancel()
-	}()
 
 	fmt.Fprintf(os.Stderr, "likwid-agent: monitoring %s, group %s, interval %s\n",
-		node.String(), *group, *interval)
+		node.String(), cfg.group, cfg.interval)
 	sched.Run(ctx)
 
 	for _, stop := range stops {
@@ -196,6 +195,13 @@ func main() {
 	if d := dispatcher.Dropped(); d > 0 {
 		fmt.Fprintf(os.Stderr, "likwid-agent: %d batches dropped at the sink queue\n", d)
 	}
+	for _, s := range built {
+		if p, ok := s.(*monitor.PushSink); ok {
+			fmt.Fprintf(os.Stderr, "likwid-agent: push sink: %d samples in %d pushes, %d retries, %d dropped\n",
+				p.Sent(), p.Pushes(), p.Retries(), p.Dropped())
+		}
+	}
+	return nil
 }
 
 // loadDriver advances simulated machine time between counter samples.  The
@@ -209,57 +215,53 @@ type loadDriver struct {
 }
 
 func newLoadDriver(m *machine.Machine, cpus []int, spec string) (*loadDriver, error) {
-	kind, arg, _ := strings.Cut(spec, ":")
-	d := &loadDriver{m: m, elemsPerSec: 1e8}
-	switch kind {
-	case "idle":
-		return d, nil
-	case "stream":
-		nTasks := 2 * m.Arch.Sockets
-		if arg != "" {
-			if _, err := fmt.Sscanf(arg, "%d", &nTasks); err != nil || nTasks < 1 {
-				return nil, fmt.Errorf("bad load task count %q", arg)
-			}
-		}
-		if nTasks > len(cpus) {
-			nTasks = len(cpus)
-		}
-		// Spread tasks round-robin over sockets so every controller sees
-		// traffic and the socket roll-ups have something to show.
-		bySocket := map[int][]int{}
-		var sockets []int
-		for _, cpu := range cpus {
-			s := m.SocketOf(cpu)
-			if _, ok := bySocket[s]; !ok {
-				sockets = append(sockets, s)
-			}
-			bySocket[s] = append(bySocket[s], cpu)
-		}
-		perElem := machine.PerElem{
-			Cycles: 1.0,
-			Counts: machine.Counts{
-				machine.EvInstr:         3,
-				machine.EvFlopsPackedDP: 1,
-				machine.EvLoads:         2,
-				machine.EvStores:        1,
-			},
-			MemReadBytes: 16, MemWriteBytes: 8,
-			Streams: 3, Vector: true,
-		}
-		for i := 0; i < nTasks; i++ {
-			socket := sockets[i%len(sockets)]
-			socketCPUs := bySocket[socket]
-			cpu := socketCPUs[(i/len(sockets))%len(socketCPUs)]
-			task := m.OS.Spawn(fmt.Sprintf("agent-load-%d", i), nil)
-			if err := m.OS.Pin(task, cpu); err != nil {
-				return nil, err
-			}
-			d.works = append(d.works, &machine.ThreadWork{Task: task, PerElem: perElem})
-		}
-		return d, nil
-	default:
-		return nil, fmt.Errorf("unknown load spec %q (stream[:NTASKS], idle)", spec)
+	kind, nTasks, err := parseLoadSpec(spec)
+	if err != nil {
+		return nil, err
 	}
+	d := &loadDriver{m: m, elemsPerSec: 1e8}
+	if kind == "idle" {
+		return d, nil
+	}
+	if nTasks == 0 {
+		nTasks = 2 * m.Arch.Sockets
+	}
+	if nTasks > len(cpus) {
+		nTasks = len(cpus)
+	}
+	// Spread tasks round-robin over sockets so every controller sees
+	// traffic and the socket roll-ups have something to show.
+	bySocket := map[int][]int{}
+	var sockets []int
+	for _, cpu := range cpus {
+		s := m.SocketOf(cpu)
+		if _, ok := bySocket[s]; !ok {
+			sockets = append(sockets, s)
+		}
+		bySocket[s] = append(bySocket[s], cpu)
+	}
+	perElem := machine.PerElem{
+		Cycles: 1.0,
+		Counts: machine.Counts{
+			machine.EvInstr:         3,
+			machine.EvFlopsPackedDP: 1,
+			machine.EvLoads:         2,
+			machine.EvStores:        1,
+		},
+		MemReadBytes: 16, MemWriteBytes: 8,
+		Streams: 3, Vector: true,
+	}
+	for i := 0; i < nTasks; i++ {
+		socket := sockets[i%len(sockets)]
+		socketCPUs := bySocket[socket]
+		cpu := socketCPUs[(i/len(sockets))%len(socketCPUs)]
+		task := m.OS.Spawn(fmt.Sprintf("agent-load-%d", i), nil)
+		if err := m.OS.Pin(task, cpu); err != nil {
+			return nil, err
+		}
+		d.works = append(d.works, &machine.ThreadWork{Task: task, PerElem: perElem})
+	}
+	return d, nil
 }
 
 // advance moves simulated time forward by roughly dt seconds.

@@ -64,8 +64,11 @@ func main() {
 		}
 	}
 
-	// Wire the subsystem: perfgroup collector → aggregator → store +
-	// table sink (socket and node scopes only).
+	// Wire the subsystem: perfgroup collector → aggregator → tiered
+	// store + table sink (socket and node scopes only).  The raw ring is
+	// kept deliberately tiny here so the retention engine shows its
+	// hand: evicted raw points compact into 0.1 s min/median/max/avg
+	// buckets instead of vanishing.
 	cfg := monitor.Config{
 		Machine:   node.M,
 		MachineMu: new(sync.Mutex),
@@ -81,7 +84,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	store := monitor.NewStore(256)
+	store := monitor.NewStore(4, monitor.Tier{Resolution: 0.1, Capacity: 64})
 	dispatcher := monitor.NewDispatcher(16, monitor.NewTableSink(os.Stdout, monitor.ScopeSocket, monitor.ScopeNode))
 	sched := monitor.NewScheduler(monitor.SchedulerOptions{
 		Store:      store,
@@ -101,20 +104,27 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Windowed queries against the ring-buffer store: the socket
-	// bandwidth series shows both controllers carrying the traffic.
-	fmt.Println("\nsocket memory-bandwidth series from the store:")
+	// Windowed queries against the tiered store: the stitched window
+	// spans downsampled history (bucket averages) plus the raw tail, and
+	// the socket bandwidth series shows both controllers carrying the
+	// traffic.
+	fmt.Println("\nsocket memory-bandwidth series from the store (downsampled + raw):")
 	for _, socket := range []int{0, 1} {
 		key := monitor.Key{Metric: "memory_bandwidth_mbytes_s", Scope: monitor.ScopeSocket, ID: socket}
 		points := store.Window(key, 0, -1)
-		fmt.Printf("  socket %d: %d samples", socket, len(points))
+		fmt.Printf("  socket %d: %d stitched points", socket, len(points))
 		if len(points) > 0 {
 			last := points[len(points)-1]
 			fmt.Printf(", latest %.0f MB/s at t=%.2f s", last.Value, last.Time)
 		}
 		fmt.Println()
+		for _, b := range store.Buckets(key, 0.1, 0, -1) {
+			fmt.Printf("    bucket [%.1f,%.1f): n=%d min=%.0f med=%.0f max=%.0f avg=%.0f MB/s\n",
+				b.Start, b.End(), b.Count, b.Min, b.Median, b.Max, b.Avg)
+		}
 	}
 	fmt.Println("\nthe busy cores show up in thread-scope series; memory traffic")
-	fmt.Println("appears once per socket under the socket lock, and the node")
-	fmt.Println("roll-up sums both controllers.")
+	fmt.Println("appears once per socket under the socket lock, the node roll-up")
+	fmt.Println("sums both controllers, and history older than the raw ring")
+	fmt.Println("survives as min/median/max/avg buckets instead of vanishing.")
 }

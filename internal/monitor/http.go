@@ -1,8 +1,12 @@
 package monitor
 
 import (
+	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"net/http"
 	"sort"
@@ -19,15 +23,20 @@ import (
 //	          likwid_<metric>{scope="socket",id="0"} <value> <sim time>
 //	/query    windowed time series from the ring-buffer store as JSON:
 //	          /query?metric=NAME&scope=socket&id=0&from=0.5&to=2.0
+//	/ingest   POST endpoint receiving (optionally gzipped) JSON-lines
+//	          sample batches from remote push sinks; valid batches are
+//	          appended to the store and the /metrics snapshot, so one
+//	          receiver aggregates several node agents
 //	/healthz  liveness plus batch accounting
 type HTTPSink struct {
 	store *Store
 	ln    net.Listener
 	srv   *http.Server
 
-	mu      sync.RWMutex
-	latest  map[Key]Sample
-	batches uint64
+	mu       sync.RWMutex
+	latest   map[Key]Sample
+	batches  uint64
+	ingested uint64 // samples accepted via /ingest
 }
 
 // NewHTTPSink listens on addr immediately (so scrapes work as soon as the
@@ -42,6 +51,7 @@ func NewHTTPSink(addr string, store *Store) (*HTTPSink, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", h.handleMetrics)
 	mux.HandleFunc("/query", h.handleQuery)
+	mux.HandleFunc("/ingest", h.handleIngest)
 	mux.HandleFunc("/healthz", h.handleHealth)
 	h.srv = &http.Server{Handler: mux}
 	go func() { _ = h.srv.Serve(ln) }()
@@ -173,11 +183,137 @@ func (h *HTTPSink) resolveKey(metric string, scope Scope, id int) Key {
 	return key
 }
 
+// ingest limits: the compressed body is capped by MaxBytesReader, the
+// decompressed stream by limitedReader, so a gzip bomb cannot balloon
+// the receiver.
+const (
+	maxIngestCompressed   = 8 << 20
+	maxIngestDecompressed = 64 << 20
+)
+
+// errTooLarge marks a decompressed payload exceeding the ingest limit.
+var errTooLarge = errors.New("payload too large")
+
+// limitedReader errors (rather than silently truncating, as
+// io.LimitReader would) once n bytes have been read.
+type limitedReader struct {
+	r io.Reader
+	n int64
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.n <= 0 {
+		return 0, errTooLarge
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
+}
+
+// decodeIngest parses and validates one JSON-lines ingest payload.  It
+// is all-or-nothing: any malformed record rejects the whole batch, so a
+// 400 never leaves a partial batch in the store.
+func decodeIngest(r io.Reader) ([]Sample, error) {
+	dec := json.NewDecoder(r)
+	var out []Sample
+	for i := 0; ; i++ {
+		var js jsonSample
+		if err := dec.Decode(&js); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		scope, err := ParseScope(js.Scope)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		switch {
+		case strings.TrimSpace(js.Metric) == "":
+			return nil, fmt.Errorf("record %d: empty metric", i)
+		case js.ID < 0:
+			return nil, fmt.Errorf("record %d: negative id %d", i, js.ID)
+		case math.IsNaN(js.Time) || math.IsInf(js.Time, 0) || js.Time < 0:
+			return nil, fmt.Errorf("record %d: bad time %v", i, js.Time)
+		case math.IsNaN(js.Value) || math.IsInf(js.Value, 0):
+			return nil, fmt.Errorf("record %d: bad value %v", i, js.Value)
+		}
+		metric := js.Metric
+		if js.Source != "" {
+			// Namespace pushed series by their agent identity so two
+			// nodes emitting the same group stay distinct.
+			metric = js.Source + "/" + metric
+		}
+		out = append(out, Sample{
+			Metric: metric,
+			Scope:  scope,
+			ID:     js.ID,
+			Time:   js.Time,
+			Value:  js.Value,
+		})
+	}
+}
+
+// ingestResponse is the /ingest JSON payload.
+type ingestResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+func (h *HTTPSink) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if h.store == nil {
+		http.Error(w, "no store attached", http.StatusNotImplemented)
+		return
+	}
+	body := io.Reader(http.MaxBytesReader(w, r.Body, maxIngestCompressed))
+	switch enc := r.Header.Get("Content-Encoding"); enc {
+	case "gzip":
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			http.Error(w, "bad gzip payload: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		defer zr.Close()
+		body = &limitedReader{r: zr, n: maxIngestDecompressed}
+	case "", "identity":
+	default:
+		http.Error(w, "unsupported content encoding "+enc, http.StatusUnsupportedMediaType)
+		return
+	}
+	samples, err := decodeIngest(body)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.Is(err, errTooLarge) || errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, "bad ingest payload: "+err.Error(), status)
+		return
+	}
+	for _, s := range samples {
+		h.store.Append(s.Key(), Point{Time: s.Time, Value: s.Value})
+	}
+	h.mu.Lock()
+	for _, s := range samples {
+		h.latest[s.Key()] = s
+	}
+	h.ingested += uint64(len(samples))
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(ingestResponse{Accepted: len(samples)})
+}
+
 func (h *HTTPSink) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	h.mu.RLock()
-	batches := h.batches
+	batches, ingested := h.batches, h.ingested
 	h.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"batches\":%d,\"uptime\":%q}\n",
-		batches, time.Now().Format(time.RFC3339))
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"batches\":%d,\"ingested\":%d,\"uptime\":%q}\n",
+		batches, ingested, time.Now().Format(time.RFC3339))
 }

@@ -1,0 +1,100 @@
+package monitor
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+// fuzzSink builds an HTTPSink handler harness without binding a socket:
+// the fuzz targets drive the handlers directly through httptest.
+func fuzzSink() *HTTPSink {
+	st := NewStore(8, Tier{Resolution: 1, Capacity: 4})
+	st.Append(Key{Metric: "bw", Scope: ScopeNode, ID: 0}, Point{Time: 1, Value: 100})
+	return &HTTPSink{store: st, latest: map[Key]Sample{}}
+}
+
+// FuzzQueryParams hammers the /query parameter parsing: arbitrary
+// metric/scope/id/from/to values must produce 200 or 400, never a panic
+// or a 5xx.
+func FuzzQueryParams(f *testing.F) {
+	f.Add("bw", "node", "0", "0.5", "2.0")
+	f.Add("bw", "galaxy", "0", "", "")
+	f.Add("", "", "", "", "")
+	f.Add("likwid_bw", "node", "0", "-1e308", "1e308")
+	f.Add("bw", "node", "99999999999999999999", "1.5x", "nope")
+	f.Add("bw\x00", "thread", "-1", "NaN", "Inf")
+	f.Fuzz(func(t *testing.T, metric, scope, id, from, to string) {
+		h := fuzzSink()
+		q := url.Values{}
+		for key, v := range map[string]string{"metric": metric, "scope": scope, "id": id, "from": from, "to": to} {
+			if v != "" {
+				q.Set(key, v)
+			}
+		}
+		req := httptest.NewRequest(http.MethodGet, "/query?"+q.Encode(), nil)
+		w := httptest.NewRecorder()
+		h.handleQuery(w, req)
+		if c := w.Code; c != http.StatusOK && (c < 400 || c >= 500) {
+			t.Fatalf("/query?%s returned %d, want 200 or 4xx", q.Encode(), c)
+		}
+		if w.Code == http.StatusOK {
+			var resp queryResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 /query body is not valid JSON: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzIngestPayload hammers the /ingest body parsing: corrupt JSON,
+// corrupt gzip framing and hostile field values must produce a 4xx,
+// never a panic, a 5xx, or a partial batch in the store.
+func FuzzIngestPayload(f *testing.F) {
+	valid := []byte(`{"time":0.5,"collector":"c","metric":"bw","scope":"node","id":0,"value":1}` + "\n")
+	var validGz bytes.Buffer
+	zw := gzip.NewWriter(&validGz)
+	zw.Write(valid)
+	zw.Close()
+
+	f.Add(valid, false)
+	f.Add(validGz.Bytes(), true)
+	f.Add(valid, true) // plain bytes with a gzip header claim
+	f.Add([]byte("\x1f\x8b\x08garbage"), true)
+	f.Add([]byte(`{"time":-1,"metric":"bw","scope":"node","id":0,"value":1}`), false)
+	f.Add([]byte(`{"time":1,"metric":"bw","scope":"node","id":0,"value":1e999}`), false)
+	f.Add([]byte("{}\n{}\n"), false)
+	f.Add([]byte(nil), false)
+	f.Fuzz(func(t *testing.T, body []byte, gz bool) {
+		h := fuzzSink()
+		before := len(h.store.Keys())
+		req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		if gz {
+			req.Header.Set("Content-Encoding", "gzip")
+		}
+		w := httptest.NewRecorder()
+		h.handleIngest(w, req)
+		switch c := w.Code; {
+		case c == http.StatusOK:
+			var resp ingestResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 /ingest body is not valid JSON: %v", err)
+			}
+			if resp.Accepted < 0 {
+				t.Fatalf("accepted = %d", resp.Accepted)
+			}
+		case c >= 400 && c < 500:
+			// Rejections are all-or-nothing: the store must be untouched.
+			if after := len(h.store.Keys()); after != before {
+				t.Fatalf("rejected ingest (status %d) still created %d series", c, after-before)
+			}
+		default:
+			t.Fatalf("/ingest returned %d, want 200 or 4xx", c)
+		}
+	})
+}

@@ -1,6 +1,8 @@
 package monitor
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -107,5 +109,177 @@ func TestHTTPSinkWindowedQuery(t *testing.T) {
 	}
 	if len(resp.Points) != 3 || resp.Points[0].Time != 2 || resp.Points[2].Time != 4 {
 		t.Errorf("windowed points = %+v, want times 2..4", resp.Points)
+	}
+}
+
+// ---- /ingest ---------------------------------------------------------------
+
+func postIngest(t *testing.T, base string, body []byte, gzipped bool) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/ingest", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if gzipped {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+func gzipped(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestIngestAcceptsPlainAndGzippedBatches(t *testing.T) {
+	h, store := newTestHTTPSink(t)
+	base := "http://" + h.Addr()
+	payload := []byte(`{"time":0.5,"collector":"c","metric":"bw","scope":"node","id":0,"value":100}
+{"time":1.0,"collector":"c","metric":"bw","scope":"node","id":0,"value":200}
+`)
+	code, body := postIngest(t, base, payload, false)
+	if code != http.StatusOK || !strings.Contains(body, `"accepted":2`) {
+		t.Fatalf("plain ingest = %d %q, want 200 accepted:2", code, body)
+	}
+	code, body = postIngest(t, base, gzipped(t, []byte(`{"time":1.5,"collector":"c","metric":"bw","scope":"node","id":0,"value":300}`+"\n")), true)
+	if code != http.StatusOK || !strings.Contains(body, `"accepted":1`) {
+		t.Fatalf("gzip ingest = %d %q, want 200 accepted:1", code, body)
+	}
+
+	k := Key{Metric: "bw", Scope: ScopeNode, ID: 0}
+	pts := store.Window(k, 0, -1)
+	if len(pts) != 3 || pts[2].Value != 300 {
+		t.Fatalf("store after ingest = %+v, want the 3 pushed points", pts)
+	}
+	// /metrics reflects the ingested series.
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, `likwid_bw{scope="node",id="0"} 300`) {
+		t.Errorf("/metrics after ingest = %d %q", code, body)
+	}
+	// /healthz counts ingested samples.
+	if _, body = get(t, base+"/healthz"); !strings.Contains(body, `"ingested":3`) {
+		t.Errorf("/healthz = %q, want ingested:3", body)
+	}
+}
+
+func TestIngestRejectsMalformedPayloads(t *testing.T) {
+	h, store := newTestHTTPSink(t)
+	base := "http://" + h.Addr()
+	valid := `{"time":1,"collector":"c","metric":"ok","scope":"node","id":0,"value":1}` + "\n"
+	tests := []struct {
+		name   string
+		body   []byte
+		gzip   bool
+		status int
+	}{
+		{"not json", []byte("hello\n"), false, http.StatusBadRequest},
+		{"truncated object", []byte(`{"time":1,"metric":`), false, http.StatusBadRequest},
+		{"bad scope", []byte(`{"time":1,"metric":"bw","scope":"galaxy","id":0,"value":1}` + "\n"), false, http.StatusBadRequest},
+		{"empty metric", []byte(`{"time":1,"metric":" ","scope":"node","id":0,"value":1}` + "\n"), false, http.StatusBadRequest},
+		{"negative id", []byte(`{"time":1,"metric":"bw","scope":"node","id":-1,"value":1}` + "\n"), false, http.StatusBadRequest},
+		{"negative time", []byte(`{"time":-1,"metric":"bw","scope":"node","id":0,"value":1}` + "\n"), false, http.StatusBadRequest},
+		{"value overflow", []byte(`{"time":1,"metric":"bw","scope":"node","id":0,"value":1e999}` + "\n"), false, http.StatusBadRequest},
+		{"corrupt gzip", []byte("\x1f\x8b\x08garbage"), true, http.StatusBadRequest},
+		{"plain body claimed gzip", []byte(valid), true, http.StatusBadRequest},
+		{"good then bad is all-or-nothing", []byte(valid + "{bad}\n"), false, http.StatusBadRequest},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			code, body := postIngest(t, base, tt.body, tt.gzip)
+			if code != tt.status {
+				t.Errorf("status = %d %q, want %d", code, body, tt.status)
+			}
+		})
+	}
+	// Nothing leaked into the store, not even from the mixed batch.
+	if n := len(store.Keys()); n != 0 {
+		t.Errorf("store has %d series after rejected ingests, want 0", n)
+	}
+
+	if code, _ := get(t, base+"/ingest"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ingest = %d, want 405", code)
+	}
+	req, _ := http.NewRequest(http.MethodPost, base+"/ingest", strings.NewReader("x"))
+	req.Header.Set("Content-Encoding", "br")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("br-encoded ingest = %d, want 415", resp.StatusCode)
+	}
+}
+
+func TestIngestWithoutStoreIsNotImplemented(t *testing.T) {
+	h, err := NewHTTPSink("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	code, _ := postIngest(t, "http://"+h.Addr(), []byte("{}"), false)
+	if code != http.StatusNotImplemented {
+		t.Errorf("ingest without store = %d, want 501", code)
+	}
+}
+
+func TestIngestSourceNamespacesSeries(t *testing.T) {
+	h, store := newTestHTTPSink(t)
+	base := "http://" + h.Addr()
+	payload := []byte(`{"time":1,"collector":"c","source":"nodeA-7","metric":"bw","scope":"node","id":0,"value":10}
+{"time":1,"collector":"c","source":"nodeB-9","metric":"bw","scope":"node","id":0,"value":20}
+`)
+	if code, body := postIngest(t, base, payload, false); code != http.StatusOK {
+		t.Fatalf("ingest = %d %q", code, body)
+	}
+	a := store.Window(Key{Metric: "nodeA-7/bw", Scope: ScopeNode, ID: 0}, 0, -1)
+	b := store.Window(Key{Metric: "nodeB-9/bw", Scope: ScopeNode, ID: 0}, 0, -1)
+	if len(a) != 1 || len(b) != 1 || a[0].Value != 10 || b[0].Value != 20 {
+		t.Errorf("source-prefixed series = %+v / %+v, want one point each", a, b)
+	}
+	if pts := store.Window(Key{Metric: "bw", Scope: ScopeNode, ID: 0}, 0, -1); pts != nil {
+		t.Errorf("unprefixed series exists with %d points, want none", len(pts))
+	}
+}
+
+func TestIngestOutOfOrderTimesStayQueryable(t *testing.T) {
+	// An agent restart resets its simulated clock: the receiver's series
+	// sees t=100,101 then t=0,1.  Window must still return time-ordered
+	// points.
+	h, store := newTestHTTPSink(t)
+	payload := []byte(`{"time":100,"metric":"bw","scope":"node","id":0,"value":1}
+{"time":101,"metric":"bw","scope":"node","id":0,"value":2}
+{"time":0,"metric":"bw","scope":"node","id":0,"value":3}
+{"time":1,"metric":"bw","scope":"node","id":0,"value":4}
+`)
+	if code, body := postIngest(t, "http://"+h.Addr(), payload, false); code != http.StatusOK {
+		t.Fatalf("ingest = %d %q", code, body)
+	}
+	pts := store.Window(Key{Metric: "bw", Scope: ScopeNode, ID: 0}, 0, -1)
+	if len(pts) != 4 {
+		t.Fatalf("window = %+v, want 4 points", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time < pts[i-1].Time {
+			t.Errorf("window not time-ordered at %d: %v after %v", i, pts[i].Time, pts[i-1].Time)
+		}
 	}
 }

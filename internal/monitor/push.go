@@ -1,0 +1,202 @@
+package monitor
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// PushOptions configure a push sink.  Zero values take the defaults
+// noted per field.
+type PushOptions struct {
+	// URL is the receiver's ingest endpoint
+	// (e.g. http://collector:8090/ingest).  Required.
+	URL string
+	// FlushSamples triggers a POST once this many samples are pending
+	// (default 64).  Close always flushes the remainder.
+	FlushSamples int
+	// MaxBuffered bounds the pending samples kept across failed pushes
+	// (default 4096); beyond it the oldest are dropped and counted, so a
+	// dead receiver costs history, never memory.
+	MaxBuffered int
+	// MaxAttempts is the number of POST tries per flush (default 3).
+	MaxAttempts int
+	// RetryBase is the first retry backoff, doubling per attempt
+	// (default 100 ms).
+	RetryBase time.Duration
+	// Source identifies this agent at the receiver: when set, the
+	// receiver stores every pushed series under "SOURCE/metric", so
+	// several agents pushing the same group do not collapse into one
+	// series.  Empty means unlabelled (single-agent setups).
+	Source string
+	// Client defaults to an http.Client with a 10 s timeout.
+	Client *http.Client
+}
+
+func (o PushOptions) withDefaults() PushOptions {
+	if o.FlushSamples <= 0 {
+		o.FlushSamples = 64
+	}
+	if o.MaxBuffered <= 0 {
+		o.MaxBuffered = 4096
+	}
+	if o.MaxBuffered < o.FlushSamples {
+		o.MaxBuffered = o.FlushSamples
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 100 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return o
+}
+
+// PushSink ships batches to a remote receiver — the distributed half of
+// the monitoring stack (Röhl et al., arXiv:1708.01476): every node agent
+// pushes, one receiver aggregates.  Samples are encoded as JSON lines
+// (the jsonl sink's exact record shape), gzipped, and POSTed to the
+// receiver's /ingest endpoint with bounded retry and bounded buffering.
+// Like every sink it runs on the dispatcher goroutine, so a slow
+// receiver delays other sinks at most MaxAttempts backoffs per flush;
+// the sampling path itself is protected by the dispatcher's
+// drop-and-count queue.
+type PushSink struct {
+	opts    PushOptions
+	pending []jsonSample
+
+	sent    atomic.Uint64 // samples acknowledged by the receiver
+	pushes  atomic.Uint64 // successful POSTs
+	dropped atomic.Uint64 // samples evicted from the pending buffer
+	retries atomic.Uint64 // failed POST attempts
+}
+
+// NewPushSink creates a push sink; it does not contact the receiver
+// until the first flush, so agents come up even when the collector is
+// still down.
+func NewPushSink(opts PushOptions) (*PushSink, error) {
+	if strings.TrimSpace(opts.URL) == "" {
+		return nil, fmt.Errorf("monitor: push sink needs a receiver URL")
+	}
+	return &PushSink{opts: opts.withDefaults()}, nil
+}
+
+// Name implements Sink.
+func (p *PushSink) Name() string { return "push" }
+
+// Sent counts samples acknowledged by the receiver.
+func (p *PushSink) Sent() uint64 { return p.sent.Load() }
+
+// Pushes counts successful POSTs.
+func (p *PushSink) Pushes() uint64 { return p.pushes.Load() }
+
+// Dropped counts samples evicted from the pending buffer while the
+// receiver was unreachable.
+func (p *PushSink) Dropped() uint64 { return p.dropped.Load() }
+
+// Retries counts failed POST attempts.
+func (p *PushSink) Retries() uint64 { return p.retries.Load() }
+
+// Write buffers the batch and flushes once FlushSamples are pending.  A
+// flush that exhausts its attempts returns the error but keeps the
+// samples buffered (bounded by MaxBuffered) for the next flush.
+func (p *PushSink) Write(b Batch) error {
+	for _, sm := range b.Samples {
+		p.pending = append(p.pending, jsonSample{
+			Time:      sm.Time,
+			Collector: b.Collector,
+			Source:    p.opts.Source,
+			Metric:    sm.Metric,
+			Scope:     sm.Scope.String(),
+			ID:        sm.ID,
+			Value:     sm.Value,
+		})
+	}
+	if over := len(p.pending) - p.opts.MaxBuffered; over > 0 {
+		p.pending = p.pending[over:]
+		p.dropped.Add(uint64(over))
+	}
+	if len(p.pending) < p.opts.FlushSamples {
+		return nil
+	}
+	return p.flush()
+}
+
+// Close flushes the remainder and reports the last push error.
+func (p *PushSink) Close() error {
+	if len(p.pending) == 0 {
+		return nil
+	}
+	return p.flush()
+}
+
+// encodePending renders the pending samples in the wire format: one JSON
+// object per line, the same record shape the jsonl file sink writes.
+func (p *PushSink) encodePending() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, js := range p.pending {
+		if err := enc.Encode(js); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func (p *PushSink) flush() error {
+	payload, err := p.encodePending()
+	if err != nil {
+		return err
+	}
+	var body bytes.Buffer
+	zw := gzip.NewWriter(&body)
+	if _, err := zw.Write(payload); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < p.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(p.opts.RetryBase << uint(attempt-1))
+		}
+		if lastErr = p.post(body.Bytes()); lastErr == nil {
+			n := len(p.pending)
+			p.pending = p.pending[:0]
+			p.sent.Add(uint64(n))
+			p.pushes.Add(1)
+			return nil
+		}
+		p.retries.Add(1)
+	}
+	return fmt.Errorf("monitor: push to %s failed after %d attempts: %w",
+		p.opts.URL, p.opts.MaxAttempts, lastErr)
+}
+
+func (p *PushSink) post(gzipped []byte) error {
+	req, err := http.NewRequest(http.MethodPost, p.opts.URL, bytes.NewReader(gzipped))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("receiver returned %s", resp.Status)
+	}
+	return nil
+}

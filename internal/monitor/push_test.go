@@ -1,0 +1,344 @@
+package monitor
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// captureReceiver records gunzipped /ingest payloads.
+type captureReceiver struct {
+	mu       sync.Mutex
+	payloads [][]byte
+	headers  []http.Header
+	failNext int32 // requests to reject with 500 before accepting
+}
+
+func (c *captureReceiver) handler(w http.ResponseWriter, r *http.Request) {
+	if atomic.AddInt32(&c.failNext, -1) >= 0 {
+		http.Error(w, "simulated outage", http.StatusInternalServerError)
+		return
+	}
+	body := io.Reader(r.Body)
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		defer zr.Close()
+		body = zr
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	c.payloads = append(c.payloads, data)
+	c.headers = append(c.headers, r.Header.Clone())
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+func TestPushSinkWireFormatGolden(t *testing.T) {
+	rec := &captureReceiver{}
+	srv := httptest.NewServer(http.HandlerFunc(rec.handler))
+	defer srv.Close()
+
+	p, err := NewPushSink(PushOptions{URL: srv.URL, FlushSamples: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range goldenBatches() {
+		if err := p.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.payloads) != 1 {
+		t.Fatalf("receiver saw %d pushes, want 1", len(rec.payloads))
+	}
+	h := rec.headers[0]
+	if h.Get("Content-Encoding") != "gzip" || h.Get("Content-Type") != "application/x-ndjson" {
+		t.Errorf("push headers = enc %q type %q, want gzip/application/x-ndjson",
+			h.Get("Content-Encoding"), h.Get("Content-Type"))
+	}
+	checkGolden(t, "push_batch.golden", rec.payloads[0])
+}
+
+func TestPushSinkRetriesThenSucceeds(t *testing.T) {
+	rec := &captureReceiver{failNext: 2}
+	srv := httptest.NewServer(http.HandlerFunc(rec.handler))
+	defer srv.Close()
+
+	p, err := NewPushSink(PushOptions{
+		URL:          srv.URL,
+		FlushSamples: 1,
+		MaxAttempts:  3,
+		RetryBase:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(goldenBatches()[0]); err != nil {
+		t.Fatalf("Write should survive 2 outages with 3 attempts: %v", err)
+	}
+	if got := p.Retries(); got != 2 {
+		t.Errorf("Retries = %d, want 2", got)
+	}
+	if got := p.Sent(); got != 4 {
+		t.Errorf("Sent = %d, want the batch's 4 samples", got)
+	}
+	if got := p.Pushes(); got != 1 {
+		t.Errorf("Pushes = %d, want 1", got)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushSinkKeepsBufferAcrossOutageAndBoundsIt(t *testing.T) {
+	rec := &captureReceiver{failNext: 1 << 30}
+	srv := httptest.NewServer(http.HandlerFunc(rec.handler))
+	defer srv.Close()
+
+	p, err := NewPushSink(PushOptions{
+		URL:          srv.URL,
+		FlushSamples: 4,
+		MaxBuffered:  6,
+		MaxAttempts:  2,
+		RetryBase:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each golden batch has 4 samples, so every Write flushes — and
+	// fails, keeping samples pending, bounded at 6 (oldest dropped).
+	for i := 0; i < 3; i++ {
+		if err := p.Write(goldenBatches()[i%2]); err == nil {
+			t.Fatalf("Write %d succeeded during receiver outage", i)
+		}
+	}
+	if got := p.Dropped(); got != 6 {
+		t.Errorf("Dropped = %d, want 6 (12 buffered, cap 6)", got)
+	}
+	if got := p.Sent(); got != 0 {
+		t.Errorf("Sent = %d during outage, want 0", got)
+	}
+
+	// Receiver recovers: Close flushes the surviving tail.
+	atomic.StoreInt32(&rec.failNext, 0)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Sent(); got != 6 {
+		t.Errorf("Sent after recovery = %d, want the 6 retained samples", got)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.payloads) != 1 {
+		t.Fatalf("receiver saw %d pushes after recovery, want 1", len(rec.payloads))
+	}
+}
+
+func TestParsePushSinkSpec(t *testing.T) {
+	for spec, want := range map[string]string{
+		"push:collector:8090":             "http://collector:8090/ingest",
+		"push:http://collector:8090":      "http://collector:8090/ingest",
+		"push:https://c:8090/custom/path": "https://c:8090/custom/path",
+		"push:127.0.0.1:9000":             "http://127.0.0.1:9000/ingest",
+	} {
+		s, err := ParseSink(spec, nil)
+		if err != nil {
+			t.Errorf("ParseSink(%q): %v", spec, err)
+			continue
+		}
+		p, ok := s.(*PushSink)
+		if !ok {
+			t.Errorf("ParseSink(%q) built %T", spec, s)
+			continue
+		}
+		if p.opts.URL != want {
+			t.Errorf("ParseSink(%q) URL = %q, want %q", spec, p.opts.URL, want)
+		}
+	}
+	for _, bad := range []string{"push:", "push:ftp://x/ingest", "push:http:///ingest"} {
+		if _, err := ParseSink(bad, nil); err == nil {
+			t.Errorf("ParseSink(%q) succeeded, want error", bad)
+		}
+		if err := ValidateSinkSpec(bad); err == nil {
+			t.Errorf("ValidateSinkSpec(%q) succeeded, want error", bad)
+		}
+	}
+	if err := ValidateSinkSpec("push:collector:8090"); err != nil {
+		t.Errorf("ValidateSinkSpec(push:collector:8090): %v", err)
+	}
+}
+
+// TestPushReceiveEndToEnd is the acceptance loop: agent A's dispatcher
+// drives a push sink at agent B's /ingest; the batches land in B's
+// tiered store, are queryable via B's /query, and a Window spanning raw
+// and downsampled tiers returns ordered, correct results.
+func TestPushReceiveEndToEnd(t *testing.T) {
+	// Agent B: receiver with a small raw ring so downsampling engages.
+	storeB := NewStore(16, Tier{Resolution: 1, Capacity: 64})
+	b, err := NewHTTPSink("127.0.0.1:0", storeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Agent A: push sink behind the async dispatcher, exactly the agent
+	// pipeline minus the collectors.
+	push, err := NewPushSink(PushOptions{
+		URL:          "http://" + b.Addr() + "/ingest",
+		FlushSamples: 32,
+		RetryBase:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	const dt = 0.25
+	// Queue deeper than the batch count: this test asserts delivery, not
+	// the drop-and-count overflow policy (sink_test covers that).
+	disp := NewDispatcher(n+8, push)
+	for i := 0; i < n; i++ {
+		tm := float64(i) * dt
+		batch := Batch{Collector: "perfgroup/MEM_DP", Time: tm, Samples: []Sample{
+			{Metric: "bw", Scope: ScopeNode, ID: 0, Time: tm, Value: float64(i)},
+		}}
+		if !disp.Publish(batch) {
+			t.Fatalf("dispatcher dropped batch %d under capacity", i)
+		}
+	}
+	if err := disp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := push.Sent(); got != n {
+		t.Fatalf("push sink sent %d samples, want %d", got, n)
+	}
+
+	// B's store now spans raw (newest 16 points) + 1 s buckets (older).
+	k := Key{Metric: "bw", Scope: ScopeNode, ID: 0}
+	pts := storeB.Window(k, 0, -1)
+	if len(pts) <= 16 {
+		t.Fatalf("stitched window has %d points, want raw(16) + downsampled history", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Fatalf("window not time-ordered at %d: %v after %v", i, pts[i].Time, pts[i-1].Time)
+		}
+	}
+	// The raw tail is verbatim; the ramp makes every stitched value
+	// monotonic, downsampled averages included.
+	last := pts[len(pts)-1]
+	if last.Time != float64(n-1)*dt || last.Value != n-1 {
+		t.Errorf("newest point = %+v, want t=%v v=%v", last, float64(n-1)*dt, n-1)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value <= pts[i-1].Value {
+			t.Errorf("ramp not monotonic at %d: %+v after %+v", i, pts[i], pts[i-1])
+		}
+	}
+
+	// The same series is queryable over B's HTTP /query endpoint.
+	code, body := get(t, "http://"+b.Addr()+"/query?metric=bw&scope=node&id=0")
+	if code != http.StatusOK {
+		t.Fatalf("/query status %d: %s", code, body)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != len(pts) {
+		t.Errorf("/query returned %d points, store window has %d", len(resp.Points), len(pts))
+	}
+
+	// And /metrics exposes the pushed series' latest value.
+	code, body = get(t, "http://"+b.Addr()+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, `likwid_bw{scope="node",id="0"}`) {
+		t.Errorf("/metrics = %d %q, want the ingested bw series", code, body)
+	}
+}
+
+// TestTwoAgentsFanIn checks several pushers aggregating into one
+// receiver: every agent emits the SAME metric name (as real agents
+// sampling the same group do), and the per-sink Source identity keeps
+// the series distinct at the receiver.
+func TestTwoAgentsFanIn(t *testing.T) {
+	storeB := NewStore(64)
+	b, err := NewHTTPSink("127.0.0.1:0", storeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for agent := 0; agent < 3; agent++ {
+		wg.Add(1)
+		go func(agent int) {
+			defer wg.Done()
+			p, err := NewPushSink(PushOptions{
+				URL:          "http://" + b.Addr() + "/ingest",
+				FlushSamples: 8,
+				RetryBase:    time.Millisecond,
+				Source:       fmt.Sprintf("node%d", agent),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 50; i++ {
+				_ = p.Write(Batch{Collector: "perfgroup", Time: float64(i), Samples: []Sample{
+					{Metric: "bw", Scope: ScopeNode, ID: 0, Time: float64(i), Value: float64(agent*1000 + i)},
+				}})
+			}
+			if err := p.Close(); err != nil {
+				t.Error(err)
+			}
+		}(agent)
+	}
+	wg.Wait()
+	for agent := 0; agent < 3; agent++ {
+		k := Key{Metric: fmt.Sprintf("node%d/bw", agent), Scope: ScopeNode, ID: 0}
+		pts := storeB.Window(k, 0, -1)
+		if len(pts) != 50 {
+			t.Errorf("agent %d series has %d points, want 50", agent, len(pts))
+			continue
+		}
+		if pts[49].Value != float64(agent*1000+49) {
+			t.Errorf("agent %d newest value = %v, want %d", agent, pts[49].Value, agent*1000+49)
+		}
+	}
+	// The unprefixed metric must not exist: nothing collapsed.
+	if pts := storeB.Window(Key{Metric: "bw", Scope: ScopeNode, ID: 0}, 0, -1); pts != nil {
+		t.Errorf("unprefixed series has %d points, want none", len(pts))
+	}
+}
+
+// TestPushSpecSetsDefaultSource pins that CLI-built push sinks carry an
+// agent identity, so the README's two-agents-one-receiver walkthrough
+// keeps the series separate.
+func TestPushSpecSetsDefaultSource(t *testing.T) {
+	s, err := ParseSink("push:127.0.0.1:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src := s.(*PushSink).opts.Source; src == "" {
+		t.Error("ParseSink(push:...) built a sink with no Source identity")
+	}
+}

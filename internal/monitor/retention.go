@@ -1,0 +1,254 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"likwid/internal/stats"
+)
+
+// Tier configures one downsampled retention level of the store.  Raw
+// points evicted from a series' ring buffer are folded into buckets of
+// Resolution simulated seconds; each series keeps the newest Capacity
+// buckets per tier, so total retention per series is
+// raw_capacity * interval + sum(Resolution * Capacity) seconds.
+type Tier struct {
+	Resolution float64 // bucket width in simulated seconds
+	Capacity   int     // buckets retained per series
+}
+
+// Span is the simulated time covered by a full tier.
+func (t Tier) Span() float64 { return t.Resolution * float64(t.Capacity) }
+
+// String renders the tier in the -tiers spec syntax.
+func (t Tier) String() string {
+	return fmt.Sprintf("%s:%d", time.Duration(t.Resolution*float64(time.Second)), t.Capacity)
+}
+
+// ParseTiers parses a tier spec: comma-separated RESOLUTION:CAPACITY
+// pairs with ascending resolutions, e.g. "10s:360,1m:720,5m:576"
+// (1 h of 10 s buckets, 12 h of 1 m buckets, 48 h of 5 m buckets).
+// An empty spec means no downsampling.
+func ParseTiers(spec string) ([]Tier, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var tiers []Tier
+	for _, part := range strings.Split(spec, ",") {
+		resStr, capStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("monitor: bad tier %q (want RESOLUTION:CAPACITY, e.g. 10s:360)", part)
+		}
+		d, err := time.ParseDuration(resStr)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("monitor: bad tier resolution %q (want a positive duration like 10s)", resStr)
+		}
+		n, err := strconv.Atoi(capStr)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("monitor: bad tier capacity %q (want a positive bucket count)", capStr)
+		}
+		tiers = append(tiers, Tier{Resolution: d.Seconds(), Capacity: n})
+	}
+	for i := 1; i < len(tiers); i++ {
+		if tiers[i].Resolution <= tiers[i-1].Resolution {
+			return nil, fmt.Errorf("monitor: tier resolutions must ascend (%v after %v)",
+				time.Duration(tiers[i].Resolution*float64(time.Second)),
+				time.Duration(tiers[i-1].Resolution*float64(time.Second)))
+		}
+	}
+	return tiers, nil
+}
+
+// Bucket is one compacted aggregate of raw points over [Start, Start+Res).
+type Bucket struct {
+	Start  float64 `json:"start"`
+	Res    float64 `json:"res"`
+	Count  int     `json:"count"`
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Max    float64 `json:"max"`
+	Avg    float64 `json:"avg"`
+}
+
+// End is the exclusive upper time bound of the bucket.
+func (b Bucket) End() float64 { return b.Start + b.Res }
+
+// Point renders the bucket as one windowed point (bucket start, average),
+// the shape stitched Window queries return for downsampled ranges.
+func (b Bucket) Point() Point { return Point{Time: b.Start, Value: b.Avg} }
+
+// tierRing is one series' ring of sealed buckets at one resolution, plus
+// the open bucket still accumulating evicted raw points.  It is guarded
+// by the owning series' mutex.
+type tierRing struct {
+	res  float64
+	buf  []Bucket
+	head int
+	n    int
+
+	open      bool
+	openStart float64
+	values    []float64
+}
+
+func newTierRing(t Tier) *tierRing {
+	return &tierRing{res: t.Resolution, buf: make([]Bucket, t.Capacity)}
+}
+
+// bucketStart aligns a timestamp down to its bucket boundary.
+func (t *tierRing) bucketStart(at float64) float64 {
+	return math.Floor(at/t.res) * t.res
+}
+
+// absorb folds one evicted raw point into the tier, sealing the open
+// bucket first when the point crosses its boundary.  Late points (older
+// than the open bucket) are folded into the open bucket rather than
+// dropped, trading exact alignment for completeness.
+func (t *tierRing) absorb(p Point) {
+	bs := t.bucketStart(p.Time)
+	if t.open && bs > t.openStart {
+		t.seal()
+	}
+	if !t.open {
+		t.open = true
+		t.openStart = bs
+		t.values = t.values[:0]
+	}
+	t.values = append(t.values, p.Value)
+}
+
+// seal compacts the open bucket's values through the shared stats code
+// and pushes the result into the ring, evicting the oldest bucket once
+// full.
+func (t *tierRing) seal() {
+	if !t.open {
+		return
+	}
+	t.open = false
+	if len(t.values) == 0 {
+		return
+	}
+	// Sealing runs under the series write lock and owns the scratch
+	// buffer, so the in-place (allocation-free) summary is safe here.
+	t.push(t.bucket(stats.SummarizeInPlace(t.values)))
+}
+
+func (t *tierRing) push(b Bucket) {
+	t.buf[t.head] = b
+	t.head = (t.head + 1) % len(t.buf)
+	if t.n < len(t.buf) {
+		t.n++
+	}
+}
+
+// bucket shapes a stats summary of the open accumulator into a Bucket.
+func (t *tierRing) bucket(sum stats.Summary) Bucket {
+	return Bucket{
+		Start:  t.openStart,
+		Res:    t.res,
+		Count:  sum.N,
+		Min:    sum.Min,
+		Median: sum.Median,
+		Max:    sum.Max,
+		Avg:    sum.Mean,
+	}
+}
+
+// snapshot copies the sealed buckets oldest-first, appending the open
+// bucket as a provisional aggregate so fresh evictions stay queryable.
+func (t *tierRing) snapshot() []Bucket {
+	out := make([]Bucket, 0, t.n+1)
+	start := t.head - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	if t.open && len(t.values) > 0 {
+		// Snapshots run under a shared read lock: the copying summary
+		// keeps concurrent readers from sorting the scratch buffer.
+		out = append(out, t.bucket(stats.Summarize(t.values)))
+	}
+	return out
+}
+
+// Tiers returns the store's downsampling configuration (nil when the
+// store keeps raw rings only).
+func (st *Store) Tiers() []Tier { return append([]Tier(nil), st.tiers...) }
+
+// Buckets returns one series' downsampled buckets at the given tier
+// resolution with Start in [from, to], oldest first (to < 0 means until
+// the newest bucket).  The newest bucket may be provisional (still
+// accumulating); resolutions not configured as a tier return nil.
+func (st *Store) Buckets(k Key, resolution, from, to float64) []Bucket {
+	sh := st.shardOf(k)
+	sh.mu.RLock()
+	s := sh.series[k]
+	sh.mu.RUnlock()
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, t := range s.tiers {
+		if t.res != resolution {
+			continue
+		}
+		all := t.snapshot()
+		out := all[:0:0]
+		for _, b := range all {
+			if b.Start < from || (to >= 0 && b.Start > to) {
+				continue
+			}
+			out = append(out, b)
+		}
+		return out
+	}
+	return nil
+}
+
+// stitch merges downsampled history below the raw coverage boundary with
+// the raw points themselves: each age range is served by the finest
+// level that still retains it (raw where available, then tier by tier
+// toward the coarsest).  Bucket points are clipped to end strictly at or
+// before the boundary so the result is non-overlapping and time-ordered.
+func stitch(raw []Point, tiers [][]Bucket, from, to float64) []Point {
+	cover := math.Inf(1)
+	if len(raw) > 0 {
+		cover = raw[0].Time
+	}
+	var older []Point
+	for _, buckets := range tiers {
+		lowest := cover
+		for i := len(buckets) - 1; i >= 0; i-- {
+			b := buckets[i]
+			if b.End() > cover {
+				continue
+			}
+			if b.Start < lowest {
+				lowest = b.Start
+			}
+			if b.Start < from || (to >= 0 && b.Start > to) {
+				continue
+			}
+			older = append(older, b.Point())
+		}
+		cover = lowest
+	}
+	sort.Slice(older, func(i, j int) bool { return older[i].Time < older[j].Time })
+	out := make([]Point, 0, len(older)+len(raw))
+	out = append(out, older...)
+	for _, p := range raw {
+		if p.Time < from || (to >= 0 && p.Time > to) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package monitor
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestParseTiers(t *testing.T) {
+	tiers, err := ParseTiers("10s:360, 1m:720,5m:576")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tier{{10, 360}, {60, 720}, {300, 576}}
+	if len(tiers) != len(want) {
+		t.Fatalf("tiers = %+v, want %+v", tiers, want)
+	}
+	for i := range want {
+		if tiers[i] != want[i] {
+			t.Errorf("tier %d = %+v, want %+v", i, tiers[i], want[i])
+		}
+	}
+	if tiers[0].Span() != 3600 {
+		t.Errorf("10s:360 span = %v, want 3600", tiers[0].Span())
+	}
+	if got := tiers[1].String(); got != "1m0s:720" {
+		t.Errorf("tier String = %q", got)
+	}
+
+	if tiers, err := ParseTiers(""); err != nil || tiers != nil {
+		t.Errorf("empty spec = (%v, %v), want (nil, nil)", tiers, err)
+	}
+	for _, bad := range []string{"10s", "x:5", "10s:x", "10s:0", "10s:-3", "-10s:5", "0s:5", "1m:10,10s:10", "10s:5,10s:5"} {
+		if _, err := ParseTiers(bad); err == nil {
+			t.Errorf("ParseTiers(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestCompactionFoldsEvictedPoints pins the compaction arithmetic: evicted
+// raw points land in stats buckets, surviving raw points do not.
+func TestCompactionFoldsEvictedPoints(t *testing.T) {
+	// Raw ring of 4; 1-second buckets.  Times step by 0.25 (exact in
+	// binary) so bucket membership has no float noise.
+	st := NewStore(4, Tier{Resolution: 1, Capacity: 8})
+	k := key("bw")
+	values := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8}
+	for i, v := range values {
+		st.Append(k, Point{Time: float64(i) * 0.25, Value: v})
+	}
+	// 12 appended, ring keeps the last 4: evicted are values[0:8],
+	// covering t = 0 .. 1.75 → bucket [0,1) sealed with values[0:4],
+	// bucket [1,2) provisional with values[4:8].
+	buckets := st.Buckets(k, 1, 0, -1)
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %+v, want 2", buckets)
+	}
+	b0 := buckets[0]
+	if b0.Start != 0 || b0.Count != 4 || b0.Min != 1 || b0.Max != 4 || b0.Avg != 2.25 || b0.Median != 2 {
+		t.Errorf("bucket 0 = %+v, want start=0 count=4 min=1 med=2 max=4 avg=2.25", b0)
+	}
+	b1 := buckets[1]
+	if b1.Start != 1 || b1.Count != 4 || b1.Min != 2 || b1.Max != 9 || b1.Avg != 5.5 {
+		t.Errorf("bucket 1 = %+v, want start=1 count=4 min=2 max=9 avg=5.5", b1)
+	}
+	// Unconfigured resolutions and unknown series return nil.
+	if got := st.Buckets(k, 2, 0, -1); got != nil {
+		t.Errorf("Buckets at unconfigured resolution = %+v, want nil", got)
+	}
+	if got := st.Buckets(key("nope"), 1, 0, -1); got != nil {
+		t.Errorf("Buckets of unknown series = %+v, want nil", got)
+	}
+}
+
+func TestUniformStreamBucketCountMatchesResolution(t *testing.T) {
+	// 0.125 s sampling into 1 s buckets: every sealed bucket holds
+	// exactly 8 points.
+	st := NewStore(16, Tier{Resolution: 1, Capacity: 64})
+	k := key("bw")
+	const dt = 0.125
+	for i := 0; i < 400; i++ {
+		st.Append(k, Point{Time: float64(i) * dt, Value: float64(i)})
+	}
+	buckets := st.Buckets(k, 1, 0, -1)
+	if len(buckets) < 10 {
+		t.Fatalf("only %d buckets compacted", len(buckets))
+	}
+	for i, b := range buckets[:len(buckets)-1] { // last may be provisional
+		if b.Count != 8 {
+			t.Errorf("bucket %d (start %v) Count = %d, want 8 (res/interval)", i, b.Start, b.Count)
+		}
+		if b.Start != float64(i) {
+			t.Errorf("bucket %d Start = %v, want %d", i, b.Start, i)
+		}
+	}
+}
+
+func TestTierRingEvictsOldestBuckets(t *testing.T) {
+	st := NewStore(2, Tier{Resolution: 1, Capacity: 4})
+	k := key("bw")
+	for i := 0; i < 40; i++ {
+		st.Append(k, Point{Time: float64(i) * 0.5, Value: float64(i)})
+	}
+	buckets := st.Buckets(k, 1, 0, -1)
+	// 4 sealed + possibly 1 provisional; the oldest buckets are gone.
+	if len(buckets) < 4 || len(buckets) > 5 {
+		t.Fatalf("buckets = %d, want 4 or 5", len(buckets))
+	}
+	if buckets[0].Start < 13 {
+		t.Errorf("oldest retained bucket starts at %v, want the early buckets evicted", buckets[0].Start)
+	}
+}
+
+func TestWindowStitchesTiersWithRaw(t *testing.T) {
+	st := NewStore(8, Tier{Resolution: 1, Capacity: 8}, Tier{Resolution: 4, Capacity: 8})
+	k := key("bw")
+	const dt = 0.5
+	n := 100 // t = 0 .. 49.5
+	for i := 0; i < n; i++ {
+		st.Append(k, Point{Time: float64(i) * dt, Value: float64(i)})
+	}
+	// Raw keeps t = 46 .. 49.5.  The 1 s tier keeps its newest 8 sealed
+	// buckets below that; the 4 s tier covers older ranges still.
+	pts := st.Window(k, 0, -1)
+	if len(pts) == 0 {
+		t.Fatal("stitched window is empty")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Fatalf("window not strictly time-ordered at %d: %v after %v", i, pts[i].Time, pts[i-1].Time)
+		}
+	}
+	// The newest 8 points are the raw ring verbatim.
+	rawPart := pts[len(pts)-8:]
+	for i, p := range rawPart {
+		wantT := float64(n-8+i) * dt
+		if p.Time != wantT || p.Value != float64(n-8+i) {
+			t.Errorf("raw point %d = %+v, want t=%v v=%v", i, p, wantT, n-8+i)
+		}
+	}
+	// Older points are bucket averages: values ramp linearly, so each
+	// 1 s bucket of the ramp averages its own midpoint and stays
+	// monotonic too.
+	downPart := pts[:len(pts)-8]
+	if len(downPart) == 0 {
+		t.Fatal("no downsampled points stitched in")
+	}
+	for i := 1; i < len(downPart); i++ {
+		if downPart[i].Value <= downPart[i-1].Value {
+			t.Errorf("downsampled ramp not monotonic at %d: %+v after %+v", i, downPart[i], downPart[i-1])
+		}
+	}
+	// A window restricted to the downsampled past touches no raw point.
+	past := st.Window(k, 10, 20)
+	for _, p := range past {
+		if p.Time < 10 || p.Time > 20 {
+			t.Errorf("windowed point %v outside [10,20]", p.Time)
+		}
+	}
+	if len(past) == 0 {
+		t.Error("past window returned nothing despite tier coverage")
+	}
+}
+
+// TestCompactionPropertyInvariants is the randomized sweep: for random
+// point streams, every bucket keeps min ≤ median/avg ≤ max with the
+// right point count, and stitched windows stay non-overlapping and
+// time-ordered across tier boundaries.
+func TestCompactionPropertyInvariants(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rawCap := 4 + rng.Intn(60)
+		tiers := []Tier{
+			{Resolution: 1, Capacity: 8 + rng.Intn(32)},
+			{Resolution: 5, Capacity: 8 + rng.Intn(32)},
+		}
+		st := NewStore(rawCap, tiers...)
+		k := key("rand")
+		n := 200 + rng.Intn(800)
+		// Exact-binary 0.25 s steps: bucket membership is deterministic,
+		// so sealed 1 s buckets must hold exactly 4 points.
+		var minV, maxV = math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64() * 100
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+			st.Append(k, Point{Time: float64(i) * 0.25, Value: v})
+		}
+		for _, tier := range tiers {
+			buckets := st.Buckets(k, tier.Resolution, 0, -1)
+			for i, b := range buckets {
+				if !(b.Min <= b.Avg && b.Avg <= b.Max) {
+					t.Fatalf("seed %d res %v bucket %d: min %v ≤ avg %v ≤ max %v violated",
+						seed, tier.Resolution, i, b.Min, b.Avg, b.Max)
+				}
+				if !(b.Min <= b.Median && b.Median <= b.Max) {
+					t.Fatalf("seed %d res %v bucket %d: min %v ≤ median %v ≤ max %v violated",
+						seed, tier.Resolution, i, b.Min, b.Median, b.Max)
+				}
+				if b.Min < minV || b.Max > maxV {
+					t.Fatalf("seed %d res %v bucket %d: [%v,%v] outside the appended value range [%v,%v]",
+						seed, tier.Resolution, i, b.Min, b.Max, minV, maxV)
+				}
+				if b.Count <= 0 || b.Count > int(tier.Resolution/0.25) {
+					t.Fatalf("seed %d res %v bucket %d: count %d outside (0, %d]",
+						seed, tier.Resolution, i, b.Count, int(tier.Resolution/0.25))
+				}
+				if i < len(buckets)-1 && b.Count != int(tier.Resolution/0.25) {
+					t.Fatalf("seed %d res %v sealed bucket %d: count %d, want %d (resolution/interval)",
+						seed, tier.Resolution, i, b.Count, int(tier.Resolution/0.25))
+				}
+				if i > 0 && b.Start < buckets[i-1].End() {
+					t.Fatalf("seed %d res %v buckets overlap: %d starts %v before %v",
+						seed, tier.Resolution, i, b.Start, buckets[i-1].End())
+				}
+			}
+		}
+		// Random windows, including ones spanning raw and both tiers.
+		for trial := 0; trial < 10; trial++ {
+			from := rng.Float64() * float64(n) * 0.25
+			to := from + rng.Float64()*float64(n)*0.25
+			if trial == 0 {
+				from, to = 0, -1 // the full stitched range
+			}
+			pts := st.Window(k, from, to)
+			for i, p := range pts {
+				if p.Time < from || (to >= 0 && p.Time > to) {
+					t.Fatalf("seed %d window [%v,%v]: point %v out of range", seed, from, to, p.Time)
+				}
+				if i > 0 && p.Time <= pts[i-1].Time {
+					t.Fatalf("seed %d window [%v,%v]: times not strictly ascending at %d (%v after %v)",
+						seed, from, to, i, p.Time, pts[i-1].Time)
+				}
+			}
+			if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].Time < pts[j].Time }) {
+				t.Fatalf("seed %d window [%v,%v] not sorted", seed, from, to)
+			}
+		}
+	}
+}
+
+// TestStoreWithoutTiersKeepsLegacyWindow pins that a tierless store's
+// Window is unchanged: raw points only, silently truncated history.
+func TestStoreWithoutTiersKeepsLegacyWindow(t *testing.T) {
+	st := NewStore(4)
+	k := key("bw")
+	for i := 0; i < 10; i++ {
+		st.Append(k, Point{Time: float64(i), Value: float64(i)})
+	}
+	pts := st.Window(k, 0, -1)
+	if len(pts) != 4 || pts[0].Time != 6 {
+		t.Fatalf("tierless window = %+v, want raw points 6..9", pts)
+	}
+	if st.Tiers() != nil {
+		t.Errorf("Tiers() = %v, want nil", st.Tiers())
+	}
+}
+
+func TestConcurrentAppendsWithTiers(t *testing.T) {
+	st := NewStore(32, Tier{Resolution: 1, Capacity: 16})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			k := Key{Metric: "m", Scope: ScopeThread, ID: g}
+			for i := 0; i < 400; i++ {
+				st.Append(k, Point{Time: float64(i) * 0.25, Value: float64(i)})
+				if i%10 == 0 {
+					st.Window(k, 0, -1)
+					st.Buckets(k, 1, 0, -1)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	for g := 0; g < 8; g++ {
+		k := Key{Metric: "m", Scope: ScopeThread, ID: g}
+		if n := len(st.Buckets(k, 1, 0, -1)); n == 0 {
+			t.Errorf("series %d has no compacted buckets", g)
+		}
+	}
+}

@@ -224,10 +224,14 @@ func NewJSONLSink(w io.Writer, c io.Closer) Sink {
 	return &jsonlSink{w: bufio.NewWriter(w), c: c}
 }
 
-// jsonSample fixes the field order of the line protocol.
+// jsonSample fixes the field order of the line protocol.  Source is the
+// pushing agent's identity, set only on the push→ingest wire: the
+// receiver prefixes it onto the metric name so two agents emitting the
+// same group stay distinct series.
 type jsonSample struct {
 	Time      float64 `json:"time"`
 	Collector string  `json:"collector"`
+	Source    string  `json:"source,omitempty"`
 	Metric    string  `json:"metric"`
 	Scope     string  `json:"scope"`
 	ID        int     `json:"id"`
@@ -272,19 +276,22 @@ func (s *jsonlSink) Close() error {
 //	csv:PATH             CSV file, one row per sample
 //	jsonl:PATH           JSON lines file, one object per sample
 //	http:ADDR            in-process HTTP server (e.g. http::8090) serving
-//	                     /metrics and /query from the store
+//	                     /metrics, /query and /ingest from the store
+//	push:URL             batch, gzip and POST samples to a remote
+//	                     receiver's /ingest endpoint (push:host:port or
+//	                     push:http://host:port/ingest)
 //
-// The store parameter backs the HTTP sink's /query endpoint and may be nil
-// for the file sinks.
+// The store parameter backs the HTTP sink's /query and /ingest endpoints
+// and may be nil for the file and push sinks.
 func ParseSink(spec string, store *Store) (Sink, error) {
+	if err := ValidateSinkSpec(spec); err != nil {
+		return nil, err
+	}
 	kind, arg, _ := strings.Cut(spec, ":")
 	switch kind {
 	case "stdout", "table":
 		return NewTableSink(os.Stdout, ScopeSocket, ScopeNode), nil
 	case "csv", "jsonl":
-		if arg == "" {
-			return nil, fmt.Errorf("monitor: sink %q needs a file path (%s:PATH)", spec, kind)
-		}
 		f, err := os.Create(arg)
 		if err != nil {
 			return nil, fmt.Errorf("monitor: sink %q: %w", spec, err)
@@ -294,11 +301,70 @@ func ParseSink(spec string, store *Store) (Sink, error) {
 		}
 		return NewJSONLSink(f, f), nil
 	case "http":
-		if arg == "" {
-			return nil, fmt.Errorf("monitor: sink %q needs a listen address (http:HOST:PORT)", spec)
-		}
 		return NewHTTPSink(arg, store)
-	default:
-		return nil, fmt.Errorf("monitor: unknown sink kind %q (stdout, csv:PATH, jsonl:PATH, http:ADDR)", spec)
+	default: // "push", already validated
+		url, _ := normalizePushURL(arg)
+		return NewPushSink(PushOptions{URL: url, Source: defaultPushSource()})
 	}
+}
+
+// normalizePushURL fills in the scheme and /ingest path a bare
+// "push:host:port" spec leaves out.
+func normalizePushURL(arg string) (string, error) {
+	if arg == "" {
+		return "", fmt.Errorf("push sink needs a receiver URL (push:HOST:PORT or push:http://HOST:PORT/ingest)")
+	}
+	if !strings.Contains(arg, "://") {
+		arg = "http://" + arg
+	}
+	scheme, rest, _ := strings.Cut(arg, "://")
+	if scheme != "http" && scheme != "https" {
+		return "", fmt.Errorf("push sink URL must be http or https, got %q", scheme)
+	}
+	if rest == "" || strings.HasPrefix(rest, "/") {
+		return "", fmt.Errorf("push sink URL %q has no host", arg)
+	}
+	if !strings.Contains(rest, "/") {
+		arg += "/ingest"
+	}
+	return arg, nil
+}
+
+// ValidateSinkSpec checks a -sink specification's shape without side
+// effects (no files created, no sockets bound), so agent configuration
+// can fail fast before any collector comes up.  ParseSink runs it first,
+// keeping the two in lockstep.
+func ValidateSinkSpec(spec string) error {
+	kind, arg, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "stdout", "table":
+		return nil
+	case "csv", "jsonl":
+		if arg == "" {
+			return fmt.Errorf("monitor: sink %q needs a file path (%s:PATH)", spec, kind)
+		}
+		return nil
+	case "http":
+		if arg == "" {
+			return fmt.Errorf("monitor: sink %q needs a listen address (http:HOST:PORT)", spec)
+		}
+		return nil
+	case "push":
+		if _, err := normalizePushURL(arg); err != nil {
+			return fmt.Errorf("monitor: sink %q: %w", spec, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("monitor: unknown sink kind %q (stdout, csv:PATH, jsonl:PATH, http:ADDR, push:URL)", spec)
+	}
+}
+
+// defaultPushSource identifies this agent process at the receiver, so
+// two agents pushing the same metric names stay distinct series.
+func defaultPushSource() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "agent"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }

@@ -12,18 +12,27 @@ type Point struct {
 	Value float64 `json:"value"`
 }
 
-// series is one metric's fixed-capacity ring buffer.  Old points are
-// overwritten in place once the ring is full, bounding the agent's memory
-// no matter how long it runs.
+// series is one metric's fixed-capacity ring buffer plus its downsampled
+// retention tiers.  Old points are not discarded when the ring is full:
+// they are compacted into the tiers' buckets before being overwritten, so
+// long retentions degrade in resolution instead of silently losing
+// history.
 type series struct {
-	mu   sync.RWMutex
-	buf  []Point
-	head int // next write position
-	n    int // filled entries, <= len(buf)
+	mu    sync.RWMutex
+	buf   []Point
+	head  int // next write position
+	n     int // filled entries, <= len(buf)
+	tiers []*tierRing
 }
 
 func (s *series) append(p Point) {
 	s.mu.Lock()
+	if s.n == len(s.buf) {
+		evicted := s.buf[s.head]
+		for _, t := range s.tiers {
+			t.absorb(evicted)
+		}
+	}
 	s.buf[s.head] = p
 	s.head = (s.head + 1) % len(s.buf)
 	if s.n < len(s.buf) {
@@ -32,19 +41,24 @@ func (s *series) append(p Point) {
 	s.mu.Unlock()
 }
 
-// snapshot copies the retained points oldest-first.
-func (s *series) snapshot() []Point {
+// retained copies the raw points and every tier's buckets under one lock,
+// so stitched Window queries see a consistent cut of the series.
+func (s *series) retained() ([]Point, [][]Bucket) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]Point, 0, s.n)
+	raw := make([]Point, 0, s.n)
 	start := s.head - s.n
 	if start < 0 {
 		start += len(s.buf)
 	}
 	for i := 0; i < s.n; i++ {
-		out = append(out, s.buf[(start+i)%len(s.buf)])
+		raw = append(raw, s.buf[(start+i)%len(s.buf)])
 	}
-	return out
+	var tiers [][]Bucket
+	for _, t := range s.tiers {
+		tiers = append(tiers, t.snapshot())
+	}
+	return raw, tiers
 }
 
 func (s *series) latest() (Point, bool) {
@@ -77,19 +91,23 @@ type storeShard struct {
 }
 
 // Store is the agent's in-memory time-series database: one bounded ring
-// buffer per (metric, scope, id) series behind RWMutex-sharded maps.
+// buffer per (metric, scope, id) series behind RWMutex-sharded maps, with
+// optional downsampled retention tiers fed by ring evictions.
 type Store struct {
 	capacity int
+	tiers    []Tier
 	shards   [storeShards]storeShard
 }
 
-// NewStore creates a store retaining up to capacity points per series
-// (default 1024 when capacity <= 0).
-func NewStore(capacity int) *Store {
+// NewStore creates a store retaining up to capacity raw points per series
+// (default 1024 when capacity <= 0).  Optional tiers add downsampled
+// retention: raw points evicted from the ring are compacted into
+// min/median/max/avg buckets per tier, finest resolution first.
+func NewStore(capacity int, tiers ...Tier) *Store {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	st := &Store{capacity: capacity}
+	st := &Store{capacity: capacity, tiers: append([]Tier(nil), tiers...)}
 	for i := range st.shards {
 		st.shards[i].series = map[Key]*series{}
 	}
@@ -115,6 +133,9 @@ func (st *Store) getOrCreate(k Key) *series {
 	defer sh.mu.Unlock()
 	if s = sh.series[k]; s == nil {
 		s = &series{buf: make([]Point, st.capacity)}
+		for _, t := range st.tiers {
+			s.tiers = append(s.tiers, newTierRing(t))
+		}
 		sh.series[k] = s
 	}
 	return s
@@ -131,7 +152,10 @@ func (st *Store) AppendBatch(b Batch) {
 }
 
 // Window returns the retained points of one series with from <= Time <= to,
-// oldest first.  A negative "to" means "until the newest point".
+// oldest first.  A negative "to" means "until the newest point".  Ranges
+// older than the raw ring are served from the downsampled tiers, finest
+// resolution first: each bucket becomes one point (bucket start, average),
+// clipped so the stitched result is non-overlapping and time-ordered.
 func (st *Store) Window(k Key, from, to float64) []Point {
 	sh := st.shardOf(k)
 	sh.mu.RLock()
@@ -140,15 +164,24 @@ func (st *Store) Window(k Key, from, to float64) []Point {
 	if s == nil {
 		return nil
 	}
-	all := s.snapshot()
-	out := all[:0:0]
-	for _, p := range all {
-		if p.Time < from || (to >= 0 && p.Time > to) {
-			continue
-		}
-		out = append(out, p)
+	raw, tiers := s.retained()
+	// Appends are normally time-ordered, but ingested batches may not be
+	// (an agent restart resets its clock): sort defensively so the
+	// oldest-first contract — and stitch's coverage boundary — hold.
+	if !sort.SliceIsSorted(raw, func(i, j int) bool { return raw[i].Time < raw[j].Time }) {
+		sort.SliceStable(raw, func(i, j int) bool { return raw[i].Time < raw[j].Time })
 	}
-	return out
+	if len(tiers) == 0 {
+		out := raw[:0:0]
+		for _, p := range raw {
+			if p.Time < from || (to >= 0 && p.Time > to) {
+				continue
+			}
+			out = append(out, p)
+		}
+		return out
+	}
+	return stitch(raw, tiers, from, to)
 }
 
 // Latest returns the newest point of a series.

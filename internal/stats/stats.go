@@ -24,10 +24,18 @@ type Summary struct {
 // Summarize computes the summary of a sample set.  It copies the input
 // before sorting.
 func Summarize(samples []float64) Summary {
+	return SummarizeInPlace(append([]float64(nil), samples...))
+}
+
+// SummarizeInPlace computes the summary of a sample set, sorting the
+// slice in place.  It is the allocation-free variant for hot paths that
+// own a scratch buffer (the monitor store's bucket compaction seals one
+// bucket per resolution interval per series).
+func SummarizeInPlace(samples []float64) Summary {
 	if len(samples) == 0 {
 		return Summary{}
 	}
-	s := append([]float64(nil), samples...)
+	s := samples
 	sort.Float64s(s)
 	var sum, sq float64
 	for _, v := range s {

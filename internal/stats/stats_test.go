@@ -91,3 +91,24 @@ func TestQuantileMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSummarizeInPlaceMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		samples := make([]float64, rng.Intn(40)+1)
+		for i := range samples {
+			samples[i] = rng.NormFloat64() * 1000
+		}
+		want := Summarize(samples)
+		got := SummarizeInPlace(samples) // sorts samples, result must agree
+		if got != want {
+			t.Fatalf("trial %d: SummarizeInPlace = %+v, Summarize = %+v", trial, got, want)
+		}
+		if !sort.Float64sAreSorted(samples) {
+			t.Fatal("SummarizeInPlace must leave the slice sorted")
+		}
+	}
+	if s := SummarizeInPlace(nil); s.N != 0 {
+		t.Error("empty in-place summary must be zero")
+	}
+}
