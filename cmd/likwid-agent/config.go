@@ -4,11 +4,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"likwid"
+	"likwid/internal/alert"
 	"likwid/internal/monitor"
 	"likwid/internal/pin"
 )
@@ -31,6 +33,10 @@ type agentConfig struct {
 	raw        bool
 	sinks      []string
 	receiver   string // listen address; receiver mode when non-empty
+	adaptive   time.Duration
+	rules      []*alert.Rule // parsed -rules file; nil = no alerting
+	rulesFile  string
+	notifiers  []string // -notify specs; default stdout when rules are set
 
 	// node is the simulated machine opened during validation, reused by
 	// main so the group check and the monitored node agree.
@@ -63,8 +69,12 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 	tierSpec := fs.String("tiers", "", "downsampled retention tiers, e.g. 10s:360,1m:720")
 	raw := fs.Bool("raw", false, "emit per-event rates too")
 	receiver := fs.String("receiver", "", "run as aggregation receiver on this listen address (no collectors)")
+	adaptive := fs.Duration("adaptive", 0, "stretch unchanged collectors' intervals up to this cap (0 = off)")
+	rulesFile := fs.String("rules", "", "alerting rule file (one rule per line; see internal/alert)")
 	var sinks sinkSpecs
 	fs.Var(&sinks, "sink", "sink spec (repeatable): stdout | csv:PATH | jsonl:PATH | http:ADDR | push:URL")
+	var notifiers sinkSpecs
+	fs.Var(&notifiers, "notify", "alert notifier spec (repeatable): stdout | jsonl:PATH | webhook:URL")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -73,16 +83,19 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 	}
 
 	cfg := &agentConfig{
-		arch:     *arch,
-		group:    *group,
-		interval: *interval,
-		duration: *duration,
-		loadSpec: *loadSpec,
-		buffer:   *buffer,
-		retain:   *retain,
-		raw:      *raw,
-		sinks:    sinks,
-		receiver: *receiver,
+		arch:      *arch,
+		group:     *group,
+		interval:  *interval,
+		duration:  *duration,
+		loadSpec:  *loadSpec,
+		buffer:    *buffer,
+		retain:    *retain,
+		raw:       *raw,
+		sinks:     sinks,
+		receiver:  *receiver,
+		adaptive:  *adaptive,
+		rulesFile: *rulesFile,
+		notifiers: notifiers,
 	}
 	if *collectorSet != "" {
 		for _, name := range strings.Split(*collectorSet, ",") {
@@ -92,6 +105,18 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 	var err error
 	if cfg.tiers, err = monitor.ParseTiers(*tierSpec); err != nil {
 		return nil, err
+	}
+	if cfg.rulesFile != "" {
+		src, rerr := os.ReadFile(cfg.rulesFile)
+		if rerr != nil {
+			return nil, fmt.Errorf("rules file: %w", rerr)
+		}
+		if cfg.rules, err = alert.ParseRules(string(src)); err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.rulesFile, err)
+		}
+		if len(cfg.rules) == 0 {
+			return nil, fmt.Errorf("rules file %s defines no rules", cfg.rulesFile)
+		}
 	}
 	if *cpuList != "" {
 		if cfg.cpus, err = pin.ParseCPUList(*cpuList); err != nil {
@@ -116,8 +141,22 @@ func (c *agentConfig) validate() error {
 	if c.buffer <= 0 {
 		return fmt.Errorf("sink queue depth must be positive, got %d", c.buffer)
 	}
+	if c.adaptive < 0 {
+		return fmt.Errorf("adaptive cap must not be negative, got %v", c.adaptive)
+	}
+	if c.adaptive > 0 && c.adaptive < c.interval {
+		return fmt.Errorf("adaptive cap %v is below the sampling interval %v", c.adaptive, c.interval)
+	}
 	for _, spec := range c.sinks {
 		if err := monitor.ValidateSinkSpec(spec); err != nil {
+			return err
+		}
+	}
+	if len(c.notifiers) > 0 && c.rulesFile == "" {
+		return fmt.Errorf("-notify needs -rules (no rules, nothing to notify about)")
+	}
+	for _, spec := range c.notifiers {
+		if err := alert.ValidateNotifierSpec(spec); err != nil {
 			return err
 		}
 	}

@@ -2,10 +2,22 @@ package main
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 )
+
+// writeRules drops a rule file into a temp dir and returns its path.
+func writeRules(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "alerts.rules")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
 
 func TestParseAgentFlags(t *testing.T) {
 	tests := []struct {
@@ -86,6 +98,11 @@ func TestParseAgentFlags(t *testing.T) {
 		{name: "tier zero capacity", args: []string{"-tiers", "10s:0"}, wantErr: "capacity"},
 		{name: "tiers not ascending", args: []string{"-tiers", "1m:10,10s:10"}, wantErr: "ascend"},
 		{name: "receiver with sink", args: []string{"-receiver", ":8090", "-sink", "stdout"}, wantErr: "-sink not allowed"},
+		{name: "adaptive below interval", args: []string{"-i", "500ms", "-adaptive", "100ms"}, wantErr: "below the sampling interval"},
+		{name: "negative adaptive", args: []string{"-adaptive", "-1s"}, wantErr: "not be negative"},
+		{name: "notify without rules", args: []string{"-notify", "stdout"}, wantErr: "needs -rules"},
+		{name: "bad notifier kind", args: []string{"-rules", "x", "-notify", "pagerduty:key"}, wantErr: "rules file"},
+		{name: "missing rules file", args: []string{"-rules", "/no/such/file.rules"}, wantErr: "rules file"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -109,6 +126,55 @@ func TestParseAgentFlags(t *testing.T) {
 	}
 }
 
+// TestParseAgentFlagsRules covers the -rules / -notify / -adaptive
+// wiring that needs real files.
+func TestParseAgentFlagsRules(t *testing.T) {
+	good := writeRules(t, "mem_bw_low: avg(memory_bandwidth_mbytes_s, socket, 30s) < 2000 for 60s\n")
+	cfg, err := parseAgentFlags([]string{"-rules", good, "-notify", "stdout",
+		"-notify", "webhook:http://ops:9093/hook", "-adaptive", "8s"}, io.Discard)
+	if err != nil {
+		t.Fatalf("good rules rejected: %v", err)
+	}
+	if len(cfg.rules) != 1 || cfg.rules[0].Name != "mem_bw_low" {
+		t.Errorf("rules = %+v, want mem_bw_low", cfg.rules)
+	}
+	if len(cfg.notifiers) != 2 {
+		t.Errorf("notifiers = %v, want 2 specs", cfg.notifiers)
+	}
+	if cfg.adaptive != 8*time.Second {
+		t.Errorf("adaptive = %v, want 8s", cfg.adaptive)
+	}
+
+	// Receiver mode takes rules too: one receiver alerts over the fleet.
+	cfg, err = parseAgentFlags([]string{"-receiver", ":0", "-rules", good}, io.Discard)
+	if err != nil {
+		t.Fatalf("receiver with rules rejected: %v", err)
+	}
+	if len(cfg.rules) != 1 {
+		t.Errorf("receiver rules = %+v, want 1", cfg.rules)
+	}
+
+	// A bad rule fails fast with its file position.
+	bad := writeRules(t, "ok: avg(bw, node, 1s) < 1 for 0s\nbroken: avg(bw, node) < 1 for 0s\n")
+	if _, err := parseAgentFlags([]string{"-rules", bad}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "line 2:") {
+		t.Errorf("bad rules error = %v, want a line 2 position", err)
+	}
+
+	// An empty rules file is a configuration error, not a silent no-op.
+	empty := writeRules(t, "# nothing\n")
+	if _, err := parseAgentFlags([]string{"-rules", empty}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "no rules") {
+		t.Errorf("empty rules error = %v, want 'no rules'", err)
+	}
+
+	// Notifier specs are validated at parse time.
+	if _, err := parseAgentFlags([]string{"-rules", good, "-notify", "pagerduty:key"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "unknown notifier kind") {
+		t.Errorf("bad notifier error = %v, want 'unknown notifier kind'", err)
+	}
+}
+
 func TestParseLoadSpec(t *testing.T) {
 	if kind, n, err := parseLoadSpec("stream"); err != nil || kind != "stream" || n != 0 {
 		t.Errorf("stream = (%q, %d, %v), want (stream, 0, nil)", kind, n, err)
@@ -118,5 +184,19 @@ func TestParseLoadSpec(t *testing.T) {
 	}
 	if _, _, err := parseLoadSpec("idle"); err != nil {
 		t.Errorf("idle = %v, want nil", err)
+	}
+}
+
+func TestStaleHorizonClearsAdaptiveCap(t *testing.T) {
+	if got := staleHorizon(0); got != 5*time.Minute {
+		t.Errorf("staleHorizon(0) = %v, want 5m", got)
+	}
+	if got := staleHorizon(time.Minute); got != 5*time.Minute {
+		t.Errorf("staleHorizon(1m) = %v, want the 5m floor", got)
+	}
+	// A stretch cap above the floor pushes the horizon out: a healthy
+	// static series sampled every 10 m must not look stale.
+	if got := staleHorizon(10 * time.Minute); got != 40*time.Minute {
+		t.Errorf("staleHorizon(10m) = %v, want 40m", got)
 	}
 }

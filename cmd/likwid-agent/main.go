@@ -25,13 +25,23 @@
 //	               evicted raw points compact into min/median/max/avg
 //	               buckets, and windowed queries stitch tiers with raw
 //	-raw           also emit per-event rates next to derived metrics
+//	-adaptive D    stretch a collector's interval (doubling, up to D)
+//	               while its samples are unchanged; snap back on change
 //	-receiver ADDR aggregation mode: no collectors, just an HTTP server
 //	               whose /ingest accepts push batches from other agents
 //	               and serves the merged store on /metrics and /query
+//	-rules FILE    alerting rules evaluated against the store; firing and
+//	               resolved transitions go to the notifiers, are recorded
+//	               as alert/NAME series, and show on GET /alerts and
+//	               GET /rules of any http sink or receiver
+//	-notify SPEC   repeatable alert notifier: stdout | jsonl:PATH |
+//	               webhook:URL (default stdout when -rules is set)
 //
-// Example, one receiver aggregating two node agents:
+// Example, one receiver aggregating two node agents and alerting over
+// the fleet's series:
 //
-//	likwid-agent -receiver :8090 -tiers 10s:360,1m:720
+//	likwid-agent -receiver :8090 -tiers 10s:360,1m:720 \
+//	    -rules fleet.rules -notify webhook:http://ops:9093/hook
 //	likwid-agent -g MEM_DP -i 500ms -sink push:localhost:8090
 //	likwid-agent -a istanbul -g MEM_DP -sink push:localhost:8090
 package main
@@ -39,12 +49,15 @@ package main
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
+	"likwid/internal/alert"
 	"likwid/internal/machine"
 	"likwid/internal/monitor"
 	"likwid/internal/topology"
@@ -85,16 +98,132 @@ func main() {
 }
 
 // runReceiver is the aggregation mode: no collectors, just a store behind
-// an HTTP server whose /ingest accepts push batches from other agents.
+// an HTTP server whose /ingest accepts push batches from other agents —
+// and, with -rules, an alert engine watching the merged fleet series.
 func runReceiver(ctx context.Context, cfg *agentConfig) error {
 	store := monitor.NewStore(cfg.retain, cfg.tiers...)
 	h, err := monitor.NewHTTPSink(cfg.receiver, store)
 	if err != nil {
 		return err
 	}
+	alerting, err := startAlerting(ctx, cfg, store, []*monitor.HTTPSink{h})
+	if err != nil {
+		_ = h.Close()
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "likwid-agent: receiver listening on %s (/ingest, /metrics, /query)\n", h.Addr())
 	<-ctx.Done()
-	return h.Close()
+	err = h.Close()
+	alerting.stop()
+	return err
+}
+
+// alerting bundles a running alert engine with its teardown.
+type alerting struct {
+	engine *alert.Engine
+	fanout *alert.Fanout
+	done   chan struct{}
+	cancel context.CancelFunc
+}
+
+// stop cancels the engine, waits for its rule goroutines, drains the
+// notifier queue, and prints the delivery accounting.
+func (a *alerting) stop() {
+	if a.engine == nil {
+		return
+	}
+	a.cancel()
+	<-a.done
+	if err := a.fanout.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "likwid-agent: notifier close: %v\n", err)
+	}
+	fmt.Fprintf(os.Stderr, "likwid-agent: alerts: %d events delivered, %d dropped, %d notifier errors\n",
+		a.fanout.Delivered(), a.fanout.Dropped(), a.fanout.Errors())
+	for _, rs := range a.engine.RuleStatuses() {
+		if rs.LastError != "" {
+			fmt.Fprintf(os.Stderr, "likwid-agent: rule %s: %s\n", rs.Name, rs.LastError)
+		}
+	}
+}
+
+// startAlerting builds notifiers, engine and endpoints from -rules and
+// -notify and starts the evaluation loop.  A no-op (nil engine) without
+// -rules.
+func startAlerting(ctx context.Context, cfg *agentConfig, store *monitor.Store, https []*monitor.HTTPSink) (*alerting, error) {
+	if len(cfg.rules) == 0 {
+		return &alerting{}, nil
+	}
+	specs := cfg.notifiers
+	if len(specs) == 0 {
+		specs = []string{"stdout"}
+	}
+	notifiers := make([]alert.Notifier, 0, len(specs))
+	for _, spec := range specs {
+		n, err := alert.ParseNotifier(spec)
+		if err != nil {
+			return nil, err
+		}
+		notifiers = append(notifiers, n)
+	}
+	fanout := alert.NewFanout(cfg.buffer, notifiers...)
+	// Agent mode tracks the sampling cadence; receiver mode has no
+	// sampling of its own, so rules fall back to the engine's default
+	// (10 s) instead of the meaningless -i value.
+	defaultEvery := cfg.interval
+	if cfg.receiver != "" {
+		defaultEvery = 0
+	}
+	// Log each distinct rule error once, not once per evaluation — a
+	// receiver evaluating fleet rules before the first agent pushes
+	// would otherwise repeat "no series matches" at the full cadence.
+	var errMu sync.Mutex
+	lastErr := map[string]string{}
+	engine, err := alert.NewEngine(alert.Options{
+		Store:        store,
+		DefaultEvery: defaultEvery,
+		Fanout:       fanout,
+		// A fleet agent that stops pushing must not keep its alerts
+		// firing forever off the frozen last window.  The horizon stays
+		// clear of the adaptive stretch cap: a healthy static series
+		// sampled every -adaptive interval must not be mistaken for a
+		// dead one between its (legitimately sparse) collections.
+		StaleAfter: staleHorizon(cfg.adaptive),
+		OnError: func(rule string, err error) {
+			errMu.Lock()
+			repeat := lastErr[rule] == err.Error()
+			lastErr[rule] = err.Error()
+			errMu.Unlock()
+			if !repeat {
+				fmt.Fprintf(os.Stderr, "likwid-agent: rule %s: %v\n", rule, err)
+			}
+		},
+	}, cfg.rules)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range https {
+		h.Handle("/alerts", http.HandlerFunc(engine.HandleAlerts))
+		h.Handle("/rules", http.HandlerFunc(engine.HandleRules))
+	}
+	ectx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		engine.Run(ectx)
+		close(done)
+	}()
+	fmt.Fprintf(os.Stderr, "likwid-agent: alerting on %d rules from %s\n", len(cfg.rules), cfg.rulesFile)
+	return &alerting{engine: engine, fanout: fanout, done: done, cancel: cancel}, nil
+}
+
+// staleHorizon is the alert staleness cut-off: 5 minutes, pushed out to
+// four adaptive stretch caps so stretched-but-healthy collectors never
+// look stale.
+func staleHorizon(adaptive time.Duration) time.Duration {
+	const base = 5 * time.Minute
+	if h := 4 * adaptive; h > base {
+		return h
+	}
+	return base
 }
 
 func runAgent(ctx context.Context, cfg *agentConfig) error {
@@ -136,6 +265,7 @@ func runAgent(ctx context.Context, cfg *agentConfig) error {
 		sinks = []string{"stdout"}
 	}
 	built := make([]monitor.Sink, 0, len(sinks))
+	var https []*monitor.HTTPSink
 	for _, spec := range sinks {
 		s, err := monitor.ParseSink(spec, store)
 		if err != nil {
@@ -143,15 +273,21 @@ func runAgent(ctx context.Context, cfg *agentConfig) error {
 		}
 		if h, ok := s.(*monitor.HTTPSink); ok {
 			fmt.Fprintf(os.Stderr, "likwid-agent: http sink listening on %s\n", h.Addr())
+			https = append(https, h)
 		}
 		built = append(built, s)
 	}
 	dispatcher := monitor.NewDispatcher(cfg.buffer, built...)
+	alerting, err := startAlerting(ctx, cfg, store, https)
+	if err != nil {
+		return err
+	}
 
 	sched := monitor.NewScheduler(monitor.SchedulerOptions{
-		Store:      store,
-		Aggregator: agg,
-		Dispatcher: dispatcher,
+		Store:       store,
+		Aggregator:  agg,
+		Dispatcher:  dispatcher,
+		AdaptiveMax: cfg.adaptive,
 		OnError: func(name string, err error) {
 			fmt.Fprintf(os.Stderr, "likwid-agent: collector %s: %v (backing off)\n", name, err)
 		},
@@ -184,13 +320,14 @@ func runAgent(ctx context.Context, cfg *agentConfig) error {
 	for _, stop := range stops {
 		_ = stop()
 	}
+	alerting.stop()
 	if err := dispatcher.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "likwid-agent: sink close: %v\n", err)
 	}
 
 	for _, st := range sched.Stats() {
-		fmt.Fprintf(os.Stderr, "likwid-agent: %-20s %4d batches, %5d samples, %d errors\n",
-			st.Name, st.Batches, st.Samples, st.Errors)
+		fmt.Fprintf(os.Stderr, "likwid-agent: %-20s %4d batches, %5d samples, %d errors, %d stretches\n",
+			st.Name, st.Batches, st.Samples, st.Errors, st.Stretches)
 	}
 	if d := dispatcher.Dropped(); d > 0 {
 		fmt.Fprintf(os.Stderr, "likwid-agent: %d batches dropped at the sink queue\n", d)

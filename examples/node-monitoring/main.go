@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"likwid"
+	"likwid/internal/alert"
 	"likwid/internal/machine"
 	"likwid/internal/monitor"
 	"likwid/internal/topology"
@@ -127,4 +128,38 @@ func main() {
 	fmt.Println("appears once per socket under the socket lock, the node roll-up")
 	fmt.Println("sums both controllers, and history older than the raw ring")
 	fmt.Println("survives as min/median/max/avg buckets instead of vanishing.")
+
+	// The alerting layer as a library: rules over the same store.  The
+	// first rule is satisfied by the streaming job (bandwidth present),
+	// the second watches the paper's imbalance signal; firing and
+	// resolved transitions are also recorded as alert/<name> series.
+	// likwid-agent runs the same engine from a rule file (-rules,
+	// examples/node-monitoring/alerts.rules) with stdout / JSON-lines /
+	// webhook notifiers.
+	rules, err := alert.ParseRules(`
+bw_present: avg(memory_bandwidth_mbytes_s, node, 1s) > 1 for 0s
+bw_skew:    imbalance(memory_bandwidth_mbytes_s, socket, 1s) > 0.5 for 0s
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fanout := alert.NewFanout(16, alert.NewLogNotifier(os.Stdout))
+	engine, err := alert.NewEngine(alert.Options{Store: store, Fanout: fanout}, rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nalert rules over the store ('for 0s': firing on the first true evaluation):")
+	engine.EvalNow()
+	engine.EvalNow() // continued firing is deduplicated: no second notification
+	if err := fanout.Close(); err != nil {
+		log.Fatal(err)
+	}
+	for _, inst := range engine.Alerts() {
+		fmt.Printf("  %s: %s (value %.0f vs threshold %.0f)\n",
+			inst.Rule, inst.State, inst.Value, inst.Threshold)
+	}
+	histKey := monitor.Key{Metric: "alert/bw_present", Scope: monitor.ScopeNode, ID: 0}
+	if p, ok := store.Latest(histKey); ok {
+		fmt.Printf("  history series alert/bw_present: value %.0f at t=%.2f s\n", p.Value, p.Time)
+	}
 }

@@ -1,0 +1,261 @@
+// Package alert is the rule layer over the monitoring subsystem: it
+// turns the store's windowed queries into operator-facing signals, the
+// step the LIKWID Monitoring Stack (Röhl et al., arXiv:1708.01476) takes
+// from collecting node metrics to acting on them.  User-defined rules
+//
+//	mem_bw_low: avg(memory_bandwidth_mbytes_s, socket, 30s) < 2000 for 60s
+//
+// are parsed into a small AST, evaluated on a per-rule cadence against
+// monitor.Store windows by a stateful engine (pending → firing →
+// resolved, deduplicated per series), and transitions fan out to
+// pluggable notifiers (log, JSON lines, webhook) behind a bounded queue.
+// Firing and resolved transitions are also recorded back into the store
+// as "alert/<name>" series, so alert history is queryable and retained
+// like any other metric.
+package alert
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"likwid/internal/monitor"
+)
+
+// Fn is the window function of a rule expression.
+type Fn int
+
+const (
+	// FnAvg is the mean of the points in the lookback window.
+	FnAvg Fn = iota
+	// FnMin is the smallest point in the lookback window.
+	FnMin
+	// FnMax is the largest point in the lookback window.
+	FnMax
+	// FnRate is the per-second slope across the lookback window:
+	// (last - first) / (t_last - t_first).
+	FnRate
+	// FnImbalance is (max - min) / |mean| of the per-series window
+	// averages across every series the selector matches — the
+	// load-imbalance signal of the paper's multicore view, as one number.
+	FnImbalance
+)
+
+var fnNames = [...]string{"avg", "min", "max", "rate", "imbalance"}
+
+// String returns the spec-language name of the function.
+func (f Fn) String() string {
+	if f < 0 || int(f) >= len(fnNames) {
+		return fmt.Sprintf("fn(%d)", int(f))
+	}
+	return fnNames[f]
+}
+
+// parseFn resolves a function name.
+func parseFn(name string) (Fn, bool) {
+	for i, n := range fnNames {
+		if n == name {
+			return Fn(i), true
+		}
+	}
+	return 0, false
+}
+
+// Cmp is the threshold comparison of a rule.
+type Cmp int
+
+const (
+	// CmpLT fires when the expression drops below the threshold.
+	CmpLT Cmp = iota
+	// CmpLE fires at or below the threshold.
+	CmpLE
+	// CmpGT fires above the threshold.
+	CmpGT
+	// CmpGE fires at or above the threshold.
+	CmpGE
+)
+
+var cmpNames = [...]string{"<", "<=", ">", ">="}
+
+// String returns the comparison operator.
+func (c Cmp) String() string {
+	if c < 0 || int(c) >= len(cmpNames) {
+		return fmt.Sprintf("cmp(%d)", int(c))
+	}
+	return cmpNames[c]
+}
+
+// holds reports whether value cmp threshold is true.
+func (c Cmp) holds(value, threshold float64) bool {
+	switch c {
+	case CmpLT:
+		return value < threshold
+	case CmpLE:
+		return value <= threshold
+	case CmpGT:
+		return value > threshold
+	case CmpGE:
+		return value >= threshold
+	}
+	return false
+}
+
+// AllIDs is the Rule.ID sentinel selecting every id of the scope.
+const AllIDs = -1
+
+// Rule is one parsed alerting rule.
+//
+// Lookback and For are simulated seconds — the store's time axis — so a
+// rule's windows and hold times line up with the data regardless of how
+// fast wall time runs.  Every is wall time: it is the evaluation cadence
+// of the engine, not a property of the data.
+type Rule struct {
+	// Name identifies the rule; it becomes the "alert/<name>" history
+	// series and the dedup key of its alert instances.
+	Name string
+	// Fn is the window function applied to the selected series.
+	Fn Fn
+	// Metric selects series by name.  '*' wildcards match any run of
+	// characters (including '/'), so "*/dp_mflops_s" follows a whole
+	// fleet's SOURCE/metric series on a receiver.  Non-wildcard selectors
+	// also match sanitized forms ("memory_bandwidth_mbytes_s" finds
+	// "Memory bandwidth [MBytes/s]").
+	Metric string
+	// Scope restricts the selector to one topology domain.
+	Scope monitor.Scope
+	// ID restricts the selector to one entity; AllIDs matches every id,
+	// evaluating the rule once per matching series.
+	ID int
+	// Lookback is the window length in simulated seconds.
+	Lookback float64
+	// Cmp compares the window function's value against Threshold.
+	Cmp Cmp
+	// Threshold is the comparison constant.
+	Threshold float64
+	// For is how long (simulated seconds) the condition must hold before
+	// the alert fires; 0 fires on the first true evaluation.
+	For float64
+	// Every overrides the engine's evaluation cadence for this rule
+	// (wall time); 0 uses the engine default.
+	Every time.Duration
+	// Line is the 1-based line of the rule in its spec file.
+	Line int
+}
+
+// String renders the rule back in spec syntax.
+func (r *Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s(%s, %s", r.Name, r.Fn, quoteMetric(r.Metric), r.Scope)
+	if r.ID != AllIDs {
+		fmt.Fprintf(&b, ", %d", r.ID)
+	}
+	fmt.Fprintf(&b, ", %s) %s %g for %s", formatSeconds(r.Lookback), r.Cmp, r.Threshold, formatSeconds(r.For))
+	if r.Every > 0 {
+		fmt.Fprintf(&b, " every %s", r.Every)
+	}
+	return b.String()
+}
+
+// quoteMetric re-quotes selectors that need it — anything the scanner
+// treats as a delimiter, plus '#' so a rendered rule survives a rule
+// file's comment stripping.
+func quoteMetric(m string) string {
+	if strings.ContainsAny(m, wordBreak+"#") {
+		return fmt.Sprintf("%q", m)
+	}
+	return m
+}
+
+func formatSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).String()
+}
+
+// matchesMetric reports whether the rule's selector matches a stored
+// metric name.  Alert history series never match: a wildcard rule must
+// not alert on its own output.
+func (r *Rule) matchesMetric(name string) bool {
+	if strings.HasPrefix(name, "alert/") {
+		return false
+	}
+	if r.Metric == name {
+		return true
+	}
+	if strings.Contains(r.Metric, "*") {
+		return wildcardMatch(r.Metric, name)
+	}
+	return monitor.SanitizeMetric(name) == monitor.SanitizeMetric(r.Metric)
+}
+
+// wildcardMatch matches a pattern whose '*' runs match any characters,
+// '/' included (a fleet selector must cross the SOURCE/metric boundary).
+func wildcardMatch(pattern, s string) bool {
+	parts := strings.Split(pattern, "*")
+	if len(parts) == 1 {
+		return pattern == s
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for _, part := range parts[1 : len(parts)-1] {
+		idx := strings.Index(s, part)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(part):]
+	}
+	return strings.HasSuffix(s, parts[len(parts)-1])
+}
+
+// State is one alert instance's position in the lifecycle.
+type State int
+
+const (
+	// StatePending means the condition is true but has not yet held for
+	// the rule's "for" duration.
+	StatePending State = iota
+	// StateFiring means the condition has held long enough; the firing
+	// transition has been notified and recorded.
+	StateFiring
+)
+
+var stateNames = [...]string{"pending", "firing"}
+
+// String returns the lowercase state name.
+func (s State) String() string {
+	if s < 0 || int(s) >= len(stateNames) {
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+	return stateNames[s]
+}
+
+// Event is one firing or resolved transition, the unit delivered to
+// notifiers and exposed on the webhook wire (as JSON).
+type Event struct {
+	// Rule is the rule name.
+	Rule string `json:"rule"`
+	// State is "firing" or "resolved".
+	State string `json:"state"`
+	// Metric, Scope and ID identify the series instance that transitioned
+	// (for imbalance rules, the selector itself).
+	Metric string `json:"metric"`
+	Scope  string `json:"scope"`
+	ID     int    `json:"id"`
+	// Value is the expression value at the transition.
+	Value float64 `json:"value"`
+	// Threshold echoes the rule threshold the value crossed.
+	Threshold float64 `json:"threshold"`
+	// Time is the simulated time of the transition.
+	Time float64 `json:"time"`
+	// Since is the simulated time the alert started firing (resolved
+	// events only).
+	Since float64 `json:"since,omitempty"`
+	// Spec is the rule in spec syntax, for self-describing payloads.
+	Spec string `json:"spec"`
+}
+
+// EventStateFiring and EventStateResolved are the Event.State values.
+const (
+	EventStateFiring   = "firing"
+	EventStateResolved = "resolved"
+)

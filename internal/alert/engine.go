@@ -1,0 +1,491 @@
+package alert
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"likwid/internal/monitor"
+)
+
+// Options wire an engine to its inputs and outputs.
+type Options struct {
+	// Store is the evaluated time-series store (required).  Firing and
+	// resolved transitions are also recorded into it as "alert/<name>"
+	// series (value 1 on firing, 0 on resolve), so alert history is
+	// windowable and retained like any metric.
+	Store *monitor.Store
+	// Clock drives the per-rule evaluation cadence; defaults to the wall
+	// clock (fake clocks make the state machine testable).
+	Clock monitor.Clock
+	// DefaultEvery is the evaluation cadence of rules without their own
+	// "every" clause (default 10 s).
+	DefaultEvery time.Duration
+	// Fanout receives firing/resolved events (optional).
+	Fanout *Fanout
+	// StaleAfter resolves a firing instance whose series' simulated time
+	// has stopped advancing for this much wall time — a decommissioned
+	// fleet agent must not fire forever off its frozen last window.  The
+	// parked instance stays suppressed (no re-fire off the same frozen
+	// data) and restarts its lifecycle when the series moves again.
+	// Zero disables staleness handling.
+	StaleAfter time.Duration
+	// OnError observes per-rule evaluation problems (optional).
+	OnError func(rule string, err error)
+}
+
+// instKey deduplicates alert instances: one lifecycle per (rule, series).
+type instKey struct {
+	rule string
+	key  monitor.Key
+}
+
+// instance is one rule×series lifecycle.
+type instance struct {
+	state       State
+	since       float64   // simulated time the condition first held
+	firingSince float64   // simulated time of the firing transition
+	value       float64   // newest expression value
+	updated     float64   // simulated time of the newest evaluation
+	lastData    float64   // newest simulated time seen for the series
+	lastAdvance time.Time // wall time lastData last moved forward
+	stale       bool      // parked: resolved by staleness, data frozen
+}
+
+// ruleState is one rule's evaluation bookkeeping.
+type ruleState struct {
+	rule     *Rule
+	evals    uint64
+	lastEval time.Time // wall time of the newest evaluation
+	lastErr  string
+}
+
+// Engine evaluates parsed rules against the store on a per-rule wall
+// cadence and drives the pending → firing → resolved state machine.
+// Notifications happen only on transitions (pending that recovers before
+// its "for" duration is silently cancelled), so a firing alert is
+// delivered exactly once per episode.
+type Engine struct {
+	opts  Options
+	rules []*Rule
+
+	mu    sync.Mutex
+	insts map[instKey]*instance
+	state map[string]*ruleState
+}
+
+// NewEngine creates an engine over the given rules.
+func NewEngine(opts Options, rules []*Rule) (*Engine, error) {
+	if opts.Store == nil {
+		return nil, fmt.Errorf("alert: engine needs a store")
+	}
+	if opts.Clock == nil {
+		opts.Clock = monitor.RealClock
+	}
+	if opts.DefaultEvery <= 0 {
+		opts.DefaultEvery = 10 * time.Second
+	}
+	e := &Engine{
+		opts:  opts,
+		rules: rules,
+		insts: map[instKey]*instance{},
+		state: map[string]*ruleState{},
+	}
+	for _, r := range rules {
+		e.state[r.Name] = &ruleState{rule: r}
+	}
+	return e, nil
+}
+
+// Rules returns the engine's rules in file order.
+func (e *Engine) Rules() []*Rule { return e.rules }
+
+// Run evaluates every rule on its cadence until the context is
+// cancelled, then returns once all rule goroutines have stopped.  The
+// fanout is not closed: the caller owns its lifecycle.
+func (e *Engine) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, r := range e.rules {
+		wg.Add(1)
+		go func(r *Rule) {
+			defer wg.Done()
+			every := r.Every
+			if every <= 0 {
+				every = e.opts.DefaultEvery
+			}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-e.opts.Clock.After(every):
+				}
+				e.evalRule(r)
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// EvalNow evaluates every rule once, synchronously — the one-shot entry
+// for tests and callers that drive their own cadence.
+func (e *Engine) EvalNow() {
+	for _, r := range e.rules {
+		e.evalRule(r)
+	}
+}
+
+// evalRule runs one evaluation of one rule against the store.
+func (e *Engine) evalRule(r *Rule) {
+	var keys []monitor.Key
+	e.opts.Store.ForEachKey(func(k monitor.Key) {
+		if k.Scope != r.Scope {
+			return
+		}
+		if r.ID != AllIDs && k.ID != r.ID {
+			return
+		}
+		if !r.matchesMetric(k.Metric) {
+			return
+		}
+		keys = append(keys, k)
+	})
+
+	var evalErr error
+	if len(keys) == 0 {
+		evalErr = fmt.Errorf("no series matches %s(%s, %s, ...)", r.Fn, quoteMetric(r.Metric), r.Scope)
+	} else if r.Fn == FnImbalance {
+		e.evalImbalance(r, keys)
+	} else {
+		for _, k := range keys {
+			e.evalSeries(r, k)
+		}
+	}
+
+	e.mu.Lock()
+	st := e.state[r.Name]
+	st.evals++
+	st.lastEval = e.opts.Clock.Now()
+	st.lastErr = ""
+	if evalErr != nil {
+		st.lastErr = evalErr.Error()
+	}
+	e.mu.Unlock()
+	if evalErr != nil && e.opts.OnError != nil {
+		e.opts.OnError(r.Name, evalErr)
+	}
+}
+
+// evalSeries evaluates avg/min/max/rate over one matched series.
+func (e *Engine) evalSeries(r *Rule, k monitor.Key) {
+	latest, ok := e.opts.Store.Latest(k)
+	if !ok {
+		return
+	}
+	pts := e.opts.Store.Window(k, latest.Time-r.Lookback, -1)
+	value, ok := windowValue(r.Fn, pts)
+	if !ok {
+		return
+	}
+	e.advance(r, k, k.Metric, value, latest.Time)
+}
+
+// evalImbalance evaluates the cross-series spread: (max - min) / |mean|
+// of the matched series' window averages.  One instance per rule, keyed
+// by the selector.
+func (e *Engine) evalImbalance(r *Rule, keys []monitor.Key) {
+	var avgs []float64
+	simNow := math.Inf(-1)
+	for _, k := range keys {
+		latest, ok := e.opts.Store.Latest(k)
+		if !ok {
+			continue
+		}
+		pts := e.opts.Store.Window(k, latest.Time-r.Lookback, -1)
+		avg, ok := windowValue(FnAvg, pts)
+		if !ok {
+			continue
+		}
+		avgs = append(avgs, avg)
+		if latest.Time > simNow {
+			simNow = latest.Time
+		}
+	}
+	if len(avgs) == 0 {
+		return
+	}
+	minV, maxV, sum := avgs[0], avgs[0], 0.0
+	for _, v := range avgs {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+		sum += v
+	}
+	mean := sum / float64(len(avgs))
+	// The spread is normalized by |mean|, falling back to the magnitude
+	// midpoint when signed members cancel to a zero mean — the value must
+	// stay finite: events and /alerts are JSON, which cannot carry Inf.
+	var value float64
+	if maxV != minV {
+		den := math.Abs(mean)
+		if den == 0 {
+			den = (math.Abs(maxV) + math.Abs(minV)) / 2
+		}
+		value = (maxV - minV) / den
+	}
+	e.advance(r, monitor.Key{Metric: r.Metric, Scope: r.Scope, ID: 0}, r.Metric, value, simNow)
+}
+
+// windowValue reduces a window to the rule function's value; ok is false
+// when the window cannot support the function (empty, or a rate over a
+// single instant).
+func windowValue(fn Fn, pts []monitor.Point) (float64, bool) {
+	if len(pts) == 0 {
+		return 0, false
+	}
+	switch fn {
+	case FnAvg, FnImbalance:
+		sum := 0.0
+		for _, p := range pts {
+			sum += p.Value
+		}
+		return sum / float64(len(pts)), true
+	case FnMin:
+		v := pts[0].Value
+		for _, p := range pts[1:] {
+			v = math.Min(v, p.Value)
+		}
+		return v, true
+	case FnMax:
+		v := pts[0].Value
+		for _, p := range pts[1:] {
+			v = math.Max(v, p.Value)
+		}
+		return v, true
+	case FnRate:
+		first, last := pts[0], pts[len(pts)-1]
+		if last.Time <= first.Time {
+			return 0, false
+		}
+		return (last.Value - first.Value) / (last.Time - first.Time), true
+	}
+	return 0, false
+}
+
+// advance moves one instance through the state machine given the newest
+// expression value at simulated time simNow.
+func (e *Engine) advance(r *Rule, k monitor.Key, metric string, value, simNow float64) {
+	cond := r.Cmp.holds(value, r.Threshold)
+	id := instKey{rule: r.Name, key: k}
+	now := e.opts.Clock.Now()
+
+	e.mu.Lock()
+	inst := e.insts[id]
+	var fire, resolve bool
+	var firingSince float64
+	startPending := func() {
+		inst.state = StatePending
+		inst.since = simNow
+		inst.lastData = simNow
+		inst.lastAdvance = now
+		if simNow-inst.since >= r.For {
+			inst.state = StateFiring
+			inst.firingSince = simNow
+			fire = true
+		}
+	}
+	switch {
+	case cond && inst == nil:
+		inst = &instance{value: value, updated: simNow}
+		e.insts[id] = inst
+		startPending()
+	case cond && inst.stale:
+		// Parked by staleness: stay suppressed on frozen data; restart
+		// the lifecycle from pending once the series moves again.
+		if simNow > inst.lastData {
+			inst.stale = false
+			inst.value = value
+			inst.updated = simNow
+			startPending()
+		}
+	case cond:
+		inst.value = value
+		inst.updated = simNow
+		switch {
+		case simNow > inst.lastData:
+			inst.lastData = simNow
+			inst.lastAdvance = now
+		case e.opts.StaleAfter > 0 && now.Sub(inst.lastAdvance) >= e.opts.StaleAfter:
+			// The series' simulated time froze: resolve a firing alert
+			// instead of firing forever off the last window, and park the
+			// instance so it cannot re-fire until data resumes.
+			resolve = inst.state == StateFiring
+			firingSince = inst.firingSince
+			inst.stale = true
+		}
+		if !inst.stale && inst.state == StatePending && simNow-inst.since >= r.For {
+			inst.state = StateFiring
+			inst.firingSince = simNow
+			fire = true
+		}
+	case inst != nil:
+		// Condition recovered: a firing alert resolves (notified); a
+		// pending one is cancelled silently — that is the dedup guarantee
+		// against flapping below the "for" horizon.  A stale instance
+		// already resolved when it was parked.
+		resolve = inst.state == StateFiring && !inst.stale
+		firingSince = inst.firingSince
+		delete(e.insts, id)
+	}
+	e.mu.Unlock()
+
+	if fire {
+		e.transition(r, k, metric, EventStateFiring, value, simNow, 0)
+	}
+	if resolve {
+		e.transition(r, k, metric, EventStateResolved, value, simNow, firingSince)
+	}
+}
+
+// transition publishes one firing/resolved event and records it into the
+// store as the rule's history series.
+func (e *Engine) transition(r *Rule, k monitor.Key, metric, state string, value, simNow, since float64) {
+	ev := Event{
+		Rule:      r.Name,
+		State:     state,
+		Metric:    metric,
+		Scope:     k.Scope.String(),
+		ID:        k.ID,
+		Value:     value,
+		Threshold: r.Threshold,
+		Time:      simNow,
+		Since:     since,
+		Spec:      r.String(),
+	}
+	if e.opts.Fanout != nil {
+		e.opts.Fanout.Publish(ev)
+	}
+	// History series: one per rule, split further by matched metric when
+	// a wildcard selector can hit several series of the same scope/id
+	// (a receiver's fleet rule), so sources stay distinguishable.
+	name := "alert/" + r.Name
+	if r.Fn != FnImbalance && r.Metric != metric {
+		name += "/" + metric
+	}
+	v := 0.0
+	if state == EventStateFiring {
+		v = 1
+	}
+	e.opts.Store.Append(monitor.Key{Metric: name, Scope: k.Scope, ID: k.ID},
+		monitor.Point{Time: simNow, Value: v})
+}
+
+// InstanceStatus is one active alert instance in API shape.
+type InstanceStatus struct {
+	Rule        string  `json:"rule"`
+	State       string  `json:"state"`
+	Metric      string  `json:"metric"`
+	Scope       string  `json:"scope"`
+	ID          int     `json:"id"`
+	Value       float64 `json:"value"`
+	Threshold   float64 `json:"threshold"`
+	Since       float64 `json:"since"`
+	FiringSince float64 `json:"firing_since,omitempty"`
+	Updated     float64 `json:"updated"`
+	Spec        string  `json:"spec"`
+}
+
+// Alerts snapshots the active (pending or firing) instances, sorted by
+// rule, metric, scope, id.
+func (e *Engine) Alerts() []InstanceStatus {
+	byName := map[string]*Rule{}
+	for _, r := range e.rules {
+		byName[r.Name] = r
+	}
+	e.mu.Lock()
+	out := make([]InstanceStatus, 0, len(e.insts))
+	for id, inst := range e.insts {
+		if inst.stale {
+			continue // parked: resolved, waiting for the series to move
+		}
+		r := byName[id.rule]
+		out = append(out, InstanceStatus{
+			Rule:        id.rule,
+			State:       inst.state.String(),
+			Metric:      id.key.Metric,
+			Scope:       id.key.Scope.String(),
+			ID:          id.key.ID,
+			Value:       inst.value,
+			Threshold:   r.Threshold,
+			Since:       inst.since,
+			FiringSince: inst.firingSince,
+			Updated:     inst.updated,
+			Spec:        r.String(),
+		})
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		if a.Scope != b.Scope {
+			return a.Scope < b.Scope
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// RuleStatus is one rule's bookkeeping in API shape.
+type RuleStatus struct {
+	Name      string `json:"name"`
+	Spec      string `json:"spec"`
+	Every     string `json:"every"`
+	Evals     uint64 `json:"evals"`
+	LastEval  string `json:"last_eval,omitempty"` // RFC 3339 wall time
+	LastError string `json:"last_error,omitempty"`
+	Pending   int    `json:"pending"`
+	Firing    int    `json:"firing"`
+}
+
+// RuleStatuses snapshots per-rule bookkeeping in file order.
+func (e *Engine) RuleStatuses() []RuleStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RuleStatus, 0, len(e.rules))
+	for _, r := range e.rules {
+		st := e.state[r.Name]
+		every := r.Every
+		if every <= 0 {
+			every = e.opts.DefaultEvery
+		}
+		rs := RuleStatus{
+			Name:      r.Name,
+			Spec:      r.String(),
+			Every:     every.String(),
+			Evals:     st.evals,
+			LastError: st.lastErr,
+		}
+		if !st.lastEval.IsZero() {
+			rs.LastEval = st.lastEval.Format(time.RFC3339)
+		}
+		for id, inst := range e.insts {
+			if id.rule != r.Name || inst.stale {
+				continue
+			}
+			switch inst.state {
+			case StatePending:
+				rs.Pending++
+			case StateFiring:
+				rs.Firing++
+			}
+		}
+		out = append(out, rs)
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package alert
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzRuleSpec hammers the rule parser with arbitrary rule files: it
+// must never panic, and every rule it does accept must render back
+// (String) into a spec the parser accepts again, unchanged — the
+// round-trip invariant that keeps /rules output and rule files
+// interchangeable.
+func FuzzRuleSpec(f *testing.F) {
+	f.Add("mem_bw_low: avg(MEM_DP/bandwidth, socket, 30s) < 2.0e9 for 60s")
+	f.Add("hot0: max(temp, thread, 3, 10s) >= 95 for 0s every 5s\nskew: imbalance(bw, socket, 30s) > 0.5 for 1m")
+	f.Add(`q: rate("DP MFlops/s", node, 1m30s) <= 0 for 30s # comment`)
+	f.Add("broken: avg(bw, node) < 1 for 0s")
+	f.Add("r: avg(\"unterminated, node, 1s) < 1 for 0s")
+	f.Add("r: avg(bw, node, 99999h) < 1e308 for 99999h")
+	f.Add("# only a comment\n\n\n")
+	f.Add("r: imbalance(bw, socket, 0, 1s) < 1 for 0s")
+	f.Add("\x00\xff: avg(\x01, node, 1s) < 1 for 0s")
+	f.Add("dup: avg(a, node, 1s) < 1 for 0s\ndup: avg(b, node, 1s) < 1 for 0s")
+	f.Fuzz(func(t *testing.T, src string) {
+		rules, err := ParseRules(src)
+		if err != nil {
+			return
+		}
+		for _, r := range rules {
+			spec := r.String()
+			// Round-trip, gated to inputs the renderer can represent
+			// verbatim: metrics whose quoting adds no escapes, and
+			// durations small enough that the float64-seconds conversion
+			// is exact (the engine stores seconds, not Durations).
+			if strconv.Quote(r.Metric) != `"`+r.Metric+`"` {
+				continue
+			}
+			if r.Lookback > 1e6 || r.For > 1e6 {
+				continue
+			}
+			again, err := ParseRule(spec, r.Line)
+			if err != nil {
+				t.Fatalf("accepted rule %q renders as %q which does not reparse: %v",
+					strings.TrimSpace(src), spec, err)
+			}
+			if *again != *r {
+				t.Fatalf("round trip changed the rule:\n src  %q\n spec %q\n got  %+v\n want %+v",
+					strings.TrimSpace(src), spec, *again, *r)
+			}
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package alert
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// The alert API, mounted onto the agent's HTTPSink next to /metrics and
+// /query (HTTPSink.Handle keeps the monitor package free of an alert
+// dependency):
+//
+//	GET /alerts  active alert instances (pending and firing)
+//	GET /rules   per-rule bookkeeping: spec, cadence, evaluations,
+//	             last evaluation time, last error, instance counts
+//
+// Alert *history* needs no endpoint of its own: transitions are recorded
+// as "alert/<name>" store series, so /query?metric=alert/NAME&scope=...
+// windows them like any metric.
+
+// alertsResponse is the GET /alerts payload.
+type alertsResponse struct {
+	Alerts []InstanceStatus `json:"alerts"`
+}
+
+// HandleAlerts serves the active alert instances as JSON.
+func (e *Engine) HandleAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	alerts := e.Alerts()
+	if alerts == nil {
+		alerts = []InstanceStatus{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(alertsResponse{Alerts: alerts})
+}
+
+// rulesResponse is the GET /rules payload.
+type rulesResponse struct {
+	Rules []RuleStatus `json:"rules"`
+}
+
+// HandleRules serves the per-rule bookkeeping as JSON.
+func (e *Engine) HandleRules(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	rules := e.RuleStatuses()
+	if rules == nil {
+		rules = []RuleStatus{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rulesResponse{Rules: rules})
+}

@@ -1,0 +1,149 @@
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testEvent() Event {
+	return Event{
+		Rule: "bw_low", State: EventStateFiring, Metric: "bw", Scope: "socket",
+		ID: 1, Value: 1833.125, Threshold: 2000, Time: 63,
+		Spec: "bw_low: avg(bw, socket, 30s) < 2000 for 1m0s",
+	}
+}
+
+func TestLogNotifierFormat(t *testing.T) {
+	var buf bytes.Buffer
+	n := NewLogNotifier(&buf)
+	if err := n.Notify(testEvent()); err != nil {
+		t.Fatal(err)
+	}
+	want := "alert firing bw_low bw socket/1 value=1833.125 threshold=2000 t=63.000\n"
+	if buf.String() != want {
+		t.Errorf("log line = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestJSONLNotifierRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	n := NewJSONLNotifier(&buf, nil)
+	if err := n.Notify(testEvent()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got Event
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("jsonl line is not valid JSON: %v (%q)", err, buf.String())
+	}
+	if got != testEvent() {
+		t.Errorf("decoded = %+v, want %+v", got, testEvent())
+	}
+}
+
+// TestWebhookNotifierRetries pins the retry/backoff discipline: a flaky
+// endpoint is retried and the event eventually lands.
+func TestWebhookNotifierRetries(t *testing.T) {
+	var calls atomic.Int64
+	var got Event
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		if err := json.NewDecoder(r.Body).Decode(&got); err != nil {
+			t.Errorf("webhook body: %v", err)
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	n, err := NewWebhookNotifier(WebhookOptions{URL: srv.URL, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Notify(testEvent()); err != nil {
+		t.Fatalf("Notify failed despite retries: %v", err)
+	}
+	if calls.Load() != 3 || n.Retries() != 2 || n.Sent() != 1 {
+		t.Errorf("calls=%d retries=%d sent=%d, want 3/2/1", calls.Load(), n.Retries(), n.Sent())
+	}
+	if got.Rule != "bw_low" || got.State != EventStateFiring {
+		t.Errorf("delivered event = %+v", got)
+	}
+
+	// A permanently dead endpoint exhausts its attempts and errors.
+	srv.Close()
+	if err := n.Notify(testEvent()); err == nil {
+		t.Error("Notify to a dead endpoint succeeded, want error")
+	}
+}
+
+// failingNotifier always errors, for the fanout error accounting.
+type failingNotifier struct{}
+
+func (failingNotifier) Name() string       { return "fail" }
+func (failingNotifier) Notify(Event) error { return errors.New("nope") }
+func (failingNotifier) Close() error       { return nil }
+
+func TestFanoutDeliveryAndCounts(t *testing.T) {
+	cap := &captureNotifier{}
+	f := NewFanout(4, cap, failingNotifier{})
+	for i := 0; i < 3; i++ {
+		if !f.Publish(testEvent()) {
+			t.Fatalf("publish %d rejected", i)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cap.snapshot()); got != 3 {
+		t.Errorf("capture got %d events, want 3", got)
+	}
+	if f.Errors() != 3 {
+		t.Errorf("errors = %d, want 3 (one per event from the failing notifier)", f.Errors())
+	}
+	if f.Delivered() != 0 {
+		t.Errorf("delivered = %d, want 0 (every event had a failing notifier)", f.Delivered())
+	}
+	// Publishing after close drops and counts.
+	if f.Publish(testEvent()) {
+		t.Error("publish after close succeeded")
+	}
+	if f.Dropped() == 0 {
+		t.Error("post-close publish not counted as dropped")
+	}
+}
+
+func TestParseNotifierSpecs(t *testing.T) {
+	dir := t.TempDir()
+	good := []string{"stdout", "log", "jsonl:" + dir + "/events.jsonl", "webhook:http://localhost:1/hook"}
+	for _, spec := range good {
+		n, err := ParseNotifier(spec)
+		if err != nil {
+			t.Errorf("ParseNotifier(%q) failed: %v", spec, err)
+			continue
+		}
+		_ = n.Close()
+	}
+	bad := map[string]string{
+		"jsonl":           "file path",
+		"webhook:ftp://x": "http(s) URL",
+		"webhook:host":    "http(s) URL",
+		"pagerduty:key":   "unknown notifier kind",
+	}
+	for spec, wantErr := range bad {
+		if err := ValidateNotifierSpec(spec); err == nil || !strings.Contains(err.Error(), wantErr) {
+			t.Errorf("ValidateNotifierSpec(%q) = %v, want %q", spec, err, wantErr)
+		}
+	}
+}

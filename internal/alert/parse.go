@@ -1,0 +1,324 @@
+package alert
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"likwid/internal/monitor"
+)
+
+// The rule spec language, one rule per line:
+//
+//	name: FN(METRIC, SCOPE[, ID], LOOKBACK) CMP THRESHOLD for DURATION [every DURATION]
+//
+//	mem_bw_low: avg(memory_bandwidth_mbytes_s, socket, 30s) < 2000 for 60s
+//	flops_flat: rate("DP MFlops/s", node, 10s) <= 0 for 30s every 5s
+//	bw_skew:    imbalance(memory_bandwidth_mbytes_s, socket, 30s) > 0.5 for 1m
+//
+// FN is avg | min | max | rate | imbalance; SCOPE is thread | core |
+// socket | node; METRIC may be quoted (names with spaces) and may use
+// '*' wildcards; ID is optional (default: every matching id, one alert
+// instance per series).  Blank lines and '#' comments are ignored.
+// Errors carry line:column positions so a typo in a 50-rule file is
+// findable.
+
+// scanner is the hand-rolled single-line tokenizer; errors report
+// 1-based line:column positions.
+type scanner struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (s *scanner) errf(col int, format string, args ...any) error {
+	return fmt.Errorf("alert: line %d:%d: %s", s.line, col, fmt.Sprintf(format, args...))
+}
+
+func (s *scanner) skipSpace() {
+	for s.pos < len(s.src) && (s.src[s.pos] == ' ' || s.src[s.pos] == '\t') {
+		s.pos++
+	}
+}
+
+// col is the 1-based column of the current position.
+func (s *scanner) col() int { return s.pos + 1 }
+
+func (s *scanner) eof() bool {
+	s.skipSpace()
+	return s.pos >= len(s.src)
+}
+
+// wordBreak are the delimiter characters that terminate a bare word.
+const wordBreak = " \t:,()<>=\""
+
+// word reads a maximal run of non-delimiter characters.
+func (s *scanner) word() (string, int) {
+	s.skipSpace()
+	start := s.pos
+	for s.pos < len(s.src) && !strings.ContainsRune(wordBreak, rune(s.src[s.pos])) {
+		s.pos++
+	}
+	return s.src[start:s.pos], start + 1
+}
+
+// quoted reads a double-quoted string (no escapes: metric names contain
+// no quotes).
+func (s *scanner) quoted() (string, int, error) {
+	s.skipSpace()
+	start := s.pos
+	if s.pos >= len(s.src) || s.src[s.pos] != '"' {
+		return "", start + 1, s.errf(start+1, "expected quoted string")
+	}
+	s.pos++
+	end := strings.IndexByte(s.src[s.pos:], '"')
+	if end < 0 {
+		return "", start + 1, s.errf(start+1, "unterminated quoted metric")
+	}
+	out := s.src[s.pos : s.pos+end]
+	s.pos += end + 1
+	return out, start + 1, nil
+}
+
+func (s *scanner) expect(ch byte, what string) error {
+	s.skipSpace()
+	if s.pos >= len(s.src) || s.src[s.pos] != ch {
+		return s.errf(s.col(), "expected %q %s", string(ch), what)
+	}
+	s.pos++
+	return nil
+}
+
+// duration parses a positive Go duration word ("30s", "1m30s").
+func (s *scanner) duration(what string, allowZero bool) (time.Duration, error) {
+	w, col := s.word()
+	if w == "" {
+		return 0, s.errf(col, "expected %s duration (like 30s)", what)
+	}
+	d, err := time.ParseDuration(w)
+	if err != nil {
+		return 0, s.errf(col, "bad %s duration %q (want a Go duration like 30s or 1m)", what, w)
+	}
+	if d < 0 || (!allowZero && d == 0) {
+		return 0, s.errf(col, "%s duration must be positive, got %q", what, w)
+	}
+	return d, nil
+}
+
+// validName reports whether a rule name is usable as an "alert/<name>"
+// series component.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseRule parses one rule line; lineNo is the 1-based line for error
+// positions.
+func ParseRule(line string, lineNo int) (*Rule, error) {
+	s := &scanner{src: line, line: lineNo}
+
+	name, col := s.word()
+	if name == "" {
+		return nil, s.errf(col, "expected rule name")
+	}
+	if !validName(name) {
+		return nil, s.errf(col, "bad rule name %q (letters, digits, '_', '-', '.')", name)
+	}
+	if err := s.expect(':', "after the rule name"); err != nil {
+		return nil, err
+	}
+
+	fnWord, col := s.word()
+	fn, ok := parseFn(fnWord)
+	if !ok {
+		return nil, s.errf(col, "unknown function %q (avg, min, max, rate, imbalance)", fnWord)
+	}
+	if err := s.expect('(', "after the function"); err != nil {
+		return nil, err
+	}
+
+	var metric string
+	s.skipSpace()
+	if s.pos < len(s.src) && s.src[s.pos] == '"' {
+		var err error
+		if metric, col, err = s.quoted(); err != nil {
+			return nil, err
+		}
+	} else {
+		metric, col = s.word()
+	}
+	if metric == "" {
+		return nil, s.errf(col, "expected a metric selector")
+	}
+	if err := s.expect(',', "after the metric"); err != nil {
+		return nil, err
+	}
+
+	scopeWord, col := s.word()
+	scope, err := monitor.ParseScope(scopeWord)
+	if err != nil {
+		return nil, s.errf(col, "bad scope %q (thread, core, socket, node)", scopeWord)
+	}
+	if err := s.expect(',', "after the scope"); err != nil {
+		return nil, err
+	}
+
+	// The next argument is an optional integer id; a bare integer cannot
+	// be a duration (those need a unit), so the forms stay unambiguous.
+	id := AllIDs
+	w, col := s.word()
+	if n, aerr := strconv.Atoi(w); aerr == nil {
+		if n < 0 {
+			return nil, s.errf(col, "id must not be negative, got %d", n)
+		}
+		if fn == FnImbalance {
+			return nil, s.errf(col, "imbalance aggregates across ids; drop the id argument")
+		}
+		id = n
+		if err := s.expect(',', "after the id"); err != nil {
+			return nil, err
+		}
+		w, col = s.word()
+	}
+	if w == "" {
+		return nil, s.errf(col, "expected lookback duration (like 30s)")
+	}
+	lookback, derr := time.ParseDuration(w)
+	if derr != nil || lookback <= 0 {
+		return nil, s.errf(col, "bad lookback %q (want a positive duration like 30s)", w)
+	}
+	if err := s.expect(')', "after the lookback"); err != nil {
+		return nil, err
+	}
+
+	cmp, err := parseCmp(s)
+	if err != nil {
+		return nil, err
+	}
+
+	threshWord, col := s.word()
+	if threshWord == "" {
+		return nil, s.errf(col, "expected threshold number")
+	}
+	threshold, perr := strconv.ParseFloat(threshWord, 64)
+	if perr != nil || math.IsNaN(threshold) || math.IsInf(threshold, 0) {
+		return nil, s.errf(col, "bad threshold %q (want a finite number like 2.0e9)", threshWord)
+	}
+
+	kw, col := s.word()
+	if kw != "for" {
+		return nil, s.errf(col, "expected \"for DURATION\", got %q", kw)
+	}
+	hold, err := s.duration("hold (\"for\")", true)
+	if err != nil {
+		return nil, err
+	}
+
+	every := time.Duration(0)
+	if !s.eof() {
+		kw, col := s.word()
+		if kw != "every" {
+			return nil, s.errf(col, "unexpected %q (only \"every DURATION\" may follow)", kw)
+		}
+		if every, err = s.duration("evaluation (\"every\")", false); err != nil {
+			return nil, err
+		}
+	}
+	if !s.eof() {
+		w, col := s.word()
+		if w == "" {
+			col = s.col()
+			w = string(s.src[s.pos])
+		}
+		return nil, s.errf(col, "unexpected trailing %q", w)
+	}
+
+	return &Rule{
+		Name:      name,
+		Fn:        fn,
+		Metric:    metric,
+		Scope:     scope,
+		ID:        id,
+		Lookback:  lookback.Seconds(),
+		Cmp:       cmp,
+		Threshold: threshold,
+		For:       hold.Seconds(),
+		Every:     every,
+		Line:      lineNo,
+	}, nil
+}
+
+func parseCmp(s *scanner) (Cmp, error) {
+	s.skipSpace()
+	col := s.col()
+	if s.pos >= len(s.src) {
+		return 0, s.errf(col, "expected comparison (<, <=, >, >=)")
+	}
+	var cmp Cmp
+	switch s.src[s.pos] {
+	case '<':
+		cmp = CmpLT
+	case '>':
+		cmp = CmpGT
+	default:
+		return 0, s.errf(col, "expected comparison (<, <=, >, >=), got %q", string(s.src[s.pos]))
+	}
+	s.pos++
+	if s.pos < len(s.src) && s.src[s.pos] == '=' {
+		cmp++ // LT→LE, GT→GE
+		s.pos++
+	}
+	return cmp, nil
+}
+
+// ParseRules parses a whole rule file: one rule per line, blank lines
+// and '#' comments ignored, duplicate names rejected (they would share
+// one "alert/<name>" history series and dedup key).
+func ParseRules(src string) ([]*Rule, error) {
+	var rules []*Rule
+	byName := map[string]int{}
+	for i, line := range strings.Split(src, "\n") {
+		line = stripComment(line)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		r, err := ParseRule(line, i+1)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := byName[r.Name]; dup {
+			return nil, fmt.Errorf("alert: line %d: rule %q already defined on line %d", i+1, r.Name, prev)
+		}
+		byName[r.Name] = i + 1
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// stripComment removes a '#' comment, respecting quoted metrics.
+func stripComment(line string) string {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if !inQuote {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}

@@ -1,0 +1,195 @@
+package alert
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"likwid/internal/monitor"
+)
+
+func TestParseRuleGoodSpecs(t *testing.T) {
+	tests := []struct {
+		name string
+		spec string
+		want Rule
+	}{
+		{
+			name: "issue example shape",
+			spec: "mem_bw_low: avg(MEM_DP/bandwidth, socket, 30s) < 2.0e9 for 60s",
+			want: Rule{Name: "mem_bw_low", Fn: FnAvg, Metric: "MEM_DP/bandwidth",
+				Scope: monitor.ScopeSocket, ID: AllIDs, Lookback: 30, Cmp: CmpLT,
+				Threshold: 2.0e9, For: 60},
+		},
+		{
+			name: "explicit id and every",
+			spec: "hot0: max(temp, thread, 3, 10s) >= 95 for 0s every 5s",
+			want: Rule{Name: "hot0", Fn: FnMax, Metric: "temp",
+				Scope: monitor.ScopeThread, ID: 3, Lookback: 10, Cmp: CmpGE,
+				Threshold: 95, For: 0, Every: 5 * time.Second},
+		},
+		{
+			name: "quoted metric with spaces",
+			spec: `flops_flat: rate("DP MFlops/s", node, 1m30s) <= 0 for 30s`,
+			want: Rule{Name: "flops_flat", Fn: FnRate, Metric: "DP MFlops/s",
+				Scope: monitor.ScopeNode, ID: AllIDs, Lookback: 90, Cmp: CmpLE,
+				Threshold: 0, For: 30},
+		},
+		{
+			name: "imbalance over sockets",
+			spec: "bw_skew: imbalance(memory_bandwidth_mbytes_s, socket, 30s) > 0.5 for 1m",
+			want: Rule{Name: "bw_skew", Fn: FnImbalance, Metric: "memory_bandwidth_mbytes_s",
+				Scope: monitor.ScopeSocket, ID: AllIDs, Lookback: 30, Cmp: CmpGT,
+				Threshold: 0.5, For: 60},
+		},
+		{
+			name: "fleet wildcard",
+			spec: "fleet_idle: avg(*/dp_mflops_s, node, 20s) < 1 for 40s",
+			want: Rule{Name: "fleet_idle", Fn: FnAvg, Metric: "*/dp_mflops_s",
+				Scope: monitor.ScopeNode, ID: AllIDs, Lookback: 20, Cmp: CmpLT,
+				Threshold: 1, For: 40},
+		},
+		{
+			name: "compact whitespace",
+			spec: "r:min(bw,node,1s)<1 for 0s",
+			want: Rule{Name: "r", Fn: FnMin, Metric: "bw",
+				Scope: monitor.ScopeNode, ID: AllIDs, Lookback: 1, Cmp: CmpLT,
+				Threshold: 1, For: 0},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ParseRule(tt.spec, 1)
+			if err != nil {
+				t.Fatalf("ParseRule(%q) failed: %v", tt.spec, err)
+			}
+			tt.want.Line = 1
+			if *got != tt.want {
+				t.Errorf("ParseRule(%q)\n got %+v\nwant %+v", tt.spec, *got, tt.want)
+			}
+			// String() must reparse to the same rule (the fuzz invariant,
+			// pinned here on readable cases).
+			again, err := ParseRule(got.String(), 1)
+			if err != nil {
+				t.Fatalf("reparse of %q failed: %v", got.String(), err)
+			}
+			if *again != *got {
+				t.Errorf("round trip of %q changed the rule:\n got %+v\nwant %+v", got.String(), *again, *got)
+			}
+		})
+	}
+}
+
+// TestParseRuleBadSpecs pins that malformed specs fail fast and the
+// error carries a line:column position pointing at the offending token.
+func TestParseRuleBadSpecs(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    string
+		wantErr string // substring
+		wantPos string // "line:col" substring; "" = only check wantErr
+	}{
+		{"empty", "", "expected rule name", "1:1"},
+		{"missing name", ": avg(bw, node, 1s) < 1 for 0s", "expected rule name", "1:1"},
+		{"bad name chars", "a b: avg(bw, node, 1s) < 1 for 0s", `expected ":"`, "1:3"},
+		{"name with slash", "a/b: avg(bw, node, 1s) < 1 for 0s", "bad rule name", "1:1"},
+		{"missing colon", "r avg(bw, node, 1s) < 1 for 0s", `expected ":"`, "1:3"},
+		{"unknown function", "r: foo(bw, node, 1s) < 1 for 0s", "unknown function", "1:4"},
+		{"missing paren", "r: avg bw, node, 1s < 1 for 0s", `expected "("`, "1:8"},
+		{"empty metric", "r: avg(, node, 1s) < 1 for 0s", "expected a metric", "1:8"},
+		{"unterminated quote", `r: avg("bw, node, 1s) < 1 for 0s`, "unterminated quoted metric", "1:8"},
+		{"bad scope", "r: avg(bw, galaxy, 1s) < 1 for 0s", "bad scope", "1:12"},
+		{"negative id", "r: avg(bw, node, -1, 1s) < 1 for 0s", "id must not be negative", "1:18"},
+		{"imbalance with id", "r: imbalance(bw, socket, 0, 1s) < 1 for 0s", "drop the id argument", "1:26"},
+		{"bad lookback", "r: avg(bw, node, soon) < 1 for 0s", "bad lookback", "1:18"},
+		{"zero lookback", "r: avg(bw, node, 0s) < 1 for 0s", "bad lookback", "1:18"},
+		{"missing comparison", "r: avg(bw, node, 1s) 1 for 0s", "expected comparison", "1:22"},
+		{"equals comparison", "r: avg(bw, node, 1s) = 1 for 0s", "expected comparison", "1:22"},
+		{"bad threshold", "r: avg(bw, node, 1s) < high for 0s", "bad threshold", "1:24"},
+		{"inf threshold", "r: avg(bw, node, 1s) < inf for 0s", "bad threshold", "1:24"},
+		{"nan threshold", "r: avg(bw, node, 1s) < nan for 0s", "bad threshold", "1:24"},
+		{"missing for", "r: avg(bw, node, 1s) < 1", `expected "for DURATION"`, ""},
+		{"wrong keyword", "r: avg(bw, node, 1s) < 1 if 0s", `expected "for DURATION"`, "1:26"},
+		{"bad hold", "r: avg(bw, node, 1s) < 1 for ever", "bad hold", "1:30"},
+		{"negative hold", "r: avg(bw, node, 1s) < 1 for -5s", "must be positive", "1:30"},
+		{"bad every keyword", "r: avg(bw, node, 1s) < 1 for 0s daily", `only "every DURATION"`, "1:33"},
+		{"zero every", "r: avg(bw, node, 1s) < 1 for 0s every 0s", "must be positive", "1:39"},
+		{"trailing junk", "r: avg(bw, node, 1s) < 1 for 0s every 5s oops", "unexpected trailing", ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseRule(tt.spec, 1)
+			if err == nil {
+				t.Fatalf("ParseRule(%q) succeeded, want error %q", tt.spec, tt.wantErr)
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("error = %v, want substring %q", err, tt.wantErr)
+			}
+			if tt.wantPos != "" && !strings.Contains(err.Error(), "line "+tt.wantPos) {
+				t.Errorf("error = %v, want position %q", err, tt.wantPos)
+			}
+		})
+	}
+}
+
+func TestParseRulesFile(t *testing.T) {
+	src := `
+# fleet alerting
+mem_bw_low: avg(memory_bandwidth_mbytes_s, socket, 30s) < 2000 for 60s
+
+bw_skew: imbalance("memory bandwidth # not a comment", socket, 30s) > 0.5 for 1m  # trailing comment
+`
+	rules, err := ParseRules(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(rules))
+	}
+	if rules[0].Name != "mem_bw_low" || rules[0].Line != 3 {
+		t.Errorf("rule 0 = %s on line %d, want mem_bw_low on line 3", rules[0].Name, rules[0].Line)
+	}
+	if rules[1].Metric != "memory bandwidth # not a comment" {
+		t.Errorf("quoted '#' was treated as a comment: metric = %q", rules[1].Metric)
+	}
+
+	if rules, err := ParseRules("# only comments\n\n"); err != nil || len(rules) != 0 {
+		t.Errorf("comment-only file = (%v, %v), want (no rules, nil)", rules, err)
+	}
+
+	// Errors carry the file line.
+	_, err = ParseRules("ok: avg(bw, node, 1s) < 1 for 0s\nbroken: avg(bw, node) < 1 for 0s")
+	if err == nil || !strings.Contains(err.Error(), "line 2:") {
+		t.Errorf("multi-line error = %v, want a line 2 position", err)
+	}
+
+	// Duplicate names would share one history series: rejected.
+	_, err = ParseRules("r: avg(bw, node, 1s) < 1 for 0s\nr: max(bw, node, 1s) > 9 for 0s")
+	if err == nil || !strings.Contains(err.Error(), "already defined on line 1") {
+		t.Errorf("duplicate rule error = %v, want 'already defined on line 1'", err)
+	}
+}
+
+func TestRuleMetricMatching(t *testing.T) {
+	tests := []struct {
+		selector string
+		metric   string
+		want     bool
+	}{
+		{"bw", "bw", true},
+		{"bw", "bandwidth", false},
+		{"memory_bandwidth_mbytes_s", "Memory bandwidth [MBytes/s]", true}, // sanitized form
+		{"*/bw", "nodeA/bw", true},
+		{"*/bw", "bw", false}, // '*' needs the '/' separator present
+		{"*", "anything/at/all", true},
+		{"node*bw", "nodeA/deep/bw", true},
+		{"*/bw", "alert/bw", false}, // alert history never matches
+		{"alert/r", "alert/r", false},
+	}
+	for _, tt := range tests {
+		r := Rule{Metric: tt.selector}
+		if got := r.matchesMetric(tt.metric); got != tt.want {
+			t.Errorf("selector %q vs metric %q = %v, want %v", tt.selector, tt.metric, got, tt.want)
+		}
+	}
+}

@@ -32,6 +32,7 @@ type HTTPSink struct {
 	store *Store
 	ln    net.Listener
 	srv   *http.Server
+	mux   *http.ServeMux
 
 	mu       sync.RWMutex
 	latest   map[Key]Sample
@@ -53,9 +54,19 @@ func NewHTTPSink(addr string, store *Store) (*HTTPSink, error) {
 	mux.HandleFunc("/query", h.handleQuery)
 	mux.HandleFunc("/ingest", h.handleIngest)
 	mux.HandleFunc("/healthz", h.handleHealth)
+	h.mux = mux
 	h.srv = &http.Server{Handler: mux}
 	go func() { _ = h.srv.Serve(ln) }()
 	return h, nil
+}
+
+// Handle mounts an extra endpoint on the sink's server — the extension
+// point for layers above the monitor (the alert engine's /alerts and
+// /rules) without this package depending on them.  ServeMux registration
+// is internally locked, so mounting after the server is up is safe;
+// registering a pattern twice panics, exactly like http.Handle.
+func (h *HTTPSink) Handle(pattern string, handler http.Handler) {
+	h.mux.Handle(pattern, handler)
 }
 
 // Addr returns the bound listen address (useful with port 0 in tests).

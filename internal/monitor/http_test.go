@@ -283,3 +283,21 @@ func TestIngestOutOfOrderTimesStayQueryable(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPSinkHandleMountsExtraEndpoints covers the extension hook the
+// alert engine uses for /alerts and /rules: handlers mounted after the
+// server is already serving must work.
+func TestHTTPSinkHandleMountsExtraEndpoints(t *testing.T) {
+	h, _ := newTestHTTPSink(t)
+	h.Handle("/extra", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "mounted")
+	}))
+	code, body := get(t, "http://"+h.Addr()+"/extra")
+	if code != http.StatusOK || body != "mounted" {
+		t.Fatalf("GET /extra = %d %q, want 200 \"mounted\"", code, body)
+	}
+	// The built-in endpoints are untouched.
+	if code, _ := get(t, "http://"+h.Addr()+"/healthz"); code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d after Handle, want 200", code)
+	}
+}

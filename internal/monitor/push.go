@@ -165,22 +165,40 @@ func (p *PushSink) flush() error {
 		return err
 	}
 
+	err = RetryWithBackoff(p.opts.MaxAttempts, p.opts.RetryBase,
+		func() { p.retries.Add(1) },
+		func() error { return p.post(body.Bytes()) })
+	if err != nil {
+		return fmt.Errorf("monitor: push to %s failed after %d attempts: %w",
+			p.opts.URL, p.opts.MaxAttempts, err)
+	}
+	n := len(p.pending)
+	p.pending = p.pending[:0]
+	p.sent.Add(uint64(n))
+	p.pushes.Add(1)
+	return nil
+}
+
+// RetryWithBackoff runs op up to maxAttempts times, sleeping base,
+// 2*base, 4*base, ... between attempts — the suite's bounded-retry
+// discipline, shared by the push sink and the alert webhook notifier so
+// the backoff behavior cannot silently diverge.  onFail observes each
+// failed attempt (e.g. a retry counter); the last error is returned when
+// every attempt fails.
+func RetryWithBackoff(maxAttempts int, base time.Duration, onFail func(), op func() error) error {
 	var lastErr error
-	for attempt := 0; attempt < p.opts.MaxAttempts; attempt++ {
+	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(p.opts.RetryBase << uint(attempt-1))
+			time.Sleep(base << uint(attempt-1))
 		}
-		if lastErr = p.post(body.Bytes()); lastErr == nil {
-			n := len(p.pending)
-			p.pending = p.pending[:0]
-			p.sent.Add(uint64(n))
-			p.pushes.Add(1)
+		if lastErr = op(); lastErr == nil {
 			return nil
 		}
-		p.retries.Add(1)
+		if onFail != nil {
+			onFail()
+		}
 	}
-	return fmt.Errorf("monitor: push to %s failed after %d attempts: %w",
-		p.opts.URL, p.opts.MaxAttempts, lastErr)
+	return lastErr
 }
 
 func (p *PushSink) post(gzipped []byte) error {

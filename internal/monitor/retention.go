@@ -13,8 +13,10 @@ import (
 
 // Tier configures one downsampled retention level of the store.  Raw
 // points evicted from a series' ring buffer are folded into buckets of
-// Resolution simulated seconds; each series keeps the newest Capacity
-// buckets per tier, so total retention per series is
+// the finest tier's Resolution simulated seconds, and buckets evicted
+// from tier N's ring cascade into tier N+1 instead of being dropped;
+// each series keeps the newest Capacity buckets per tier, so total
+// retention per series is genuinely additive:
 // raw_capacity * interval + sum(Resolution * Capacity) seconds.
 type Tier struct {
 	Resolution float64 // bucket width in simulated seconds
@@ -83,17 +85,27 @@ func (b Bucket) End() float64 { return b.Start + b.Res }
 func (b Bucket) Point() Point { return Point{Time: b.Start, Value: b.Avg} }
 
 // tierRing is one series' ring of sealed buckets at one resolution, plus
-// the open bucket still accumulating evicted raw points.  It is guarded
-// by the owning series' mutex.
+// the open bucket still accumulating absorbed data.  Compaction cascades:
+// raw evictions feed the finest tier, and a bucket evicted from tier N's
+// ring is absorbed into tier N+1 (count-weighted) instead of being
+// dropped, so total retention is genuinely additive across tiers.  It is
+// guarded by the owning series' mutex.
 type tierRing struct {
 	res  float64
 	buf  []Bucket
 	head int
 	n    int
+	next *tierRing // cascade target for evicted buckets; nil on the coarsest
 
+	// Open-bucket accumulator.  Min/max/sum/count merge exactly whether
+	// the input is a raw point or a cascaded bucket; the median is exact
+	// for raw points and a median-of-medians estimate for cascades.
 	open      bool
 	openStart float64
-	values    []float64
+	count     int
+	min, max  float64
+	sum       float64
+	medians   []float64
 }
 
 func newTierRing(t Tier) *tierRing {
@@ -105,57 +117,95 @@ func (t *tierRing) bucketStart(at float64) float64 {
 	return math.Floor(at/t.res) * t.res
 }
 
-// absorb folds one evicted raw point into the tier, sealing the open
-// bucket first when the point crosses its boundary.  Late points (older
-// than the open bucket) are folded into the open bucket rather than
-// dropped, trading exact alignment for completeness.
-func (t *tierRing) absorb(p Point) {
-	bs := t.bucketStart(p.Time)
+// rollOver seals the open bucket when data at time "at" crosses its
+// boundary and (re)opens the accumulator.  Late data (older than the
+// open bucket) is folded into the open bucket rather than dropped,
+// trading exact alignment for completeness.
+func (t *tierRing) rollOver(at float64) {
+	bs := t.bucketStart(at)
 	if t.open && bs > t.openStart {
 		t.seal()
 	}
 	if !t.open {
 		t.open = true
 		t.openStart = bs
-		t.values = t.values[:0]
+		t.count = 0
+		t.sum = 0
+		t.min = math.Inf(1)
+		t.max = math.Inf(-1)
+		t.medians = t.medians[:0]
 	}
-	t.values = append(t.values, p.Value)
 }
 
-// seal compacts the open bucket's values through the shared stats code
-// and pushes the result into the ring, evicting the oldest bucket once
-// full.
+// absorb folds one evicted raw point into the tier.
+func (t *tierRing) absorb(p Point) {
+	t.rollOver(p.Time)
+	t.count++
+	t.sum += p.Value
+	t.min = math.Min(t.min, p.Value)
+	t.max = math.Max(t.max, p.Value)
+	t.medians = append(t.medians, p.Value)
+}
+
+// absorbBucket folds a bucket evicted from the finer tier into this one:
+// min/max merge, the average stays count-weighted exact, the median
+// degrades to a median of the members' medians.
+func (t *tierRing) absorbBucket(b Bucket) {
+	if b.Count <= 0 {
+		return
+	}
+	t.rollOver(b.Start)
+	t.count += b.Count
+	t.sum += b.Avg * float64(b.Count)
+	t.min = math.Min(t.min, b.Min)
+	t.max = math.Max(t.max, b.Max)
+	t.medians = append(t.medians, b.Median)
+}
+
+// seal pushes the open bucket into the ring; the bucket the ring evicts
+// to make room cascades into the next-coarser tier.
 func (t *tierRing) seal() {
 	if !t.open {
 		return
 	}
 	t.open = false
-	if len(t.values) == 0 {
+	if t.count == 0 {
 		return
 	}
 	// Sealing runs under the series write lock and owns the scratch
 	// buffer, so the in-place (allocation-free) summary is safe here.
-	t.push(t.bucket(stats.SummarizeInPlace(t.values)))
-}
-
-func (t *tierRing) push(b Bucket) {
-	t.buf[t.head] = b
-	t.head = (t.head + 1) % len(t.buf)
-	if t.n < len(t.buf) {
-		t.n++
+	b := t.bucket(stats.SummarizeInPlace(t.medians).Median)
+	if evicted, full := t.push(b); full && t.next != nil {
+		t.next.absorbBucket(evicted)
 	}
 }
 
-// bucket shapes a stats summary of the open accumulator into a Bucket.
-func (t *tierRing) bucket(sum stats.Summary) Bucket {
+// push inserts a sealed bucket, returning the bucket it evicted (and
+// whether one was evicted) once the ring is full.
+func (t *tierRing) push(b Bucket) (Bucket, bool) {
+	var evicted Bucket
+	full := t.n == len(t.buf)
+	if full {
+		evicted = t.buf[t.head]
+	}
+	t.buf[t.head] = b
+	t.head = (t.head + 1) % len(t.buf)
+	if !full {
+		t.n++
+	}
+	return evicted, full
+}
+
+// bucket shapes the open accumulator into a Bucket.
+func (t *tierRing) bucket(median float64) Bucket {
 	return Bucket{
 		Start:  t.openStart,
 		Res:    t.res,
-		Count:  sum.N,
-		Min:    sum.Min,
-		Median: sum.Median,
-		Max:    sum.Max,
-		Avg:    sum.Mean,
+		Count:  t.count,
+		Min:    t.min,
+		Median: median,
+		Max:    t.max,
+		Avg:    t.sum / float64(t.count),
 	}
 }
 
@@ -170,10 +220,10 @@ func (t *tierRing) snapshot() []Bucket {
 	for i := 0; i < t.n; i++ {
 		out = append(out, t.buf[(start+i)%len(t.buf)])
 	}
-	if t.open && len(t.values) > 0 {
+	if t.open && t.count > 0 {
 		// Snapshots run under a shared read lock: the copying summary
 		// keeps concurrent readers from sorting the scratch buffer.
-		out = append(out, t.bucket(stats.Summarize(t.values)))
+		out = append(out, t.bucket(stats.Summarize(t.medians).Median))
 	}
 	return out
 }

@@ -240,6 +240,77 @@ func TestCompactionPropertyInvariants(t *testing.T) {
 	}
 }
 
+// TestCascadingTierCompaction pins the cascade: buckets evicted from the
+// finest tier's ring compact into the next tier (count-weighted) instead
+// of being dropped, and the tiers cover disjoint, contiguous age ranges.
+func TestCascadingTierCompaction(t *testing.T) {
+	// Raw ring of 4; 1 s buckets (cap 4) cascading into 4 s buckets
+	// (cap 16).  128 points at exact-binary 0.25 s steps, values = index.
+	st := NewStore(4, Tier{Resolution: 1, Capacity: 4}, Tier{Resolution: 4, Capacity: 16})
+	k := key("bw")
+	for i := 0; i < 128; i++ {
+		st.Append(k, Point{Time: float64(i) * 0.25, Value: float64(i)})
+	}
+
+	// The coarse tier was fed exclusively by fine-tier evictions; its
+	// first bucket aggregates the four 1 s buckets of [0,4): exact count,
+	// min, max and count-weighted average; the median is the median of
+	// the member buckets' medians (1.5, 5.5, 9.5, 13.5).
+	coarse := st.Buckets(k, 4, 0, -1)
+	if len(coarse) == 0 {
+		t.Fatal("no cascaded buckets in the coarse tier")
+	}
+	b0 := coarse[0]
+	if b0.Start != 0 || b0.Count != 16 || b0.Min != 0 || b0.Max != 15 || b0.Avg != 7.5 || b0.Median != 7.5 {
+		t.Errorf("cascaded bucket = %+v, want start=0 count=16 min=0 max=15 avg=7.5 median=7.5", b0)
+	}
+
+	// Disjoint coverage: every sealed coarse bucket is older than the
+	// oldest retained fine bucket (before the cascade, the coarse tier
+	// re-absorbed raw evictions and overlapped the fine tier's range).
+	fine := st.Buckets(k, 1, 0, -1)
+	if len(fine) == 0 {
+		t.Fatal("no buckets in the fine tier")
+	}
+	sealedCoarse := coarse[:len(coarse)-1] // last may be provisional
+	for i, b := range sealedCoarse {
+		if b.End() > fine[0].Start {
+			t.Errorf("coarse bucket %d [%v,%v) overlaps the fine tier (oldest fine start %v)",
+				i, b.Start, b.End(), fine[0].Start)
+		}
+	}
+
+	// Nothing was lost to tier evictions: the stitched full window still
+	// reaches back to t=0.
+	pts := st.Window(k, 0, -1)
+	if len(pts) == 0 || pts[0].Time != 0 {
+		t.Fatalf("stitched window starts at %v, want 0 (history dropped in the cascade?)",
+			pts[0].Time)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Fatalf("stitched window not strictly ordered at %d", i)
+		}
+	}
+}
+
+// TestCascadeTerminatesAtCoarsestTier pins that the coarsest tier still
+// drops its evictions (there is nowhere coarser to cascade to).
+func TestCascadeTerminatesAtCoarsestTier(t *testing.T) {
+	st := NewStore(2, Tier{Resolution: 1, Capacity: 2})
+	k := key("bw")
+	for i := 0; i < 80; i++ {
+		st.Append(k, Point{Time: float64(i) * 0.5, Value: float64(i)})
+	}
+	buckets := st.Buckets(k, 1, 0, -1)
+	if len(buckets) < 2 || len(buckets) > 3 {
+		t.Fatalf("buckets = %d, want 2 sealed (+1 provisional)", len(buckets))
+	}
+	if buckets[0].Start < 30 {
+		t.Errorf("oldest bucket starts at %v, want early buckets evicted for good", buckets[0].Start)
+	}
+}
+
 // TestStoreWithoutTiersKeepsLegacyWindow pins that a tierless store's
 // Window is unchanged: raw points only, silently truncated history.
 func TestStoreWithoutTiersKeepsLegacyWindow(t *testing.T) {

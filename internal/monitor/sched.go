@@ -101,25 +101,38 @@ type SchedulerOptions struct {
 	Dispatcher *Dispatcher
 	// MaxBackoff caps the per-collector error backoff (default 30 s).
 	MaxBackoff time.Duration
+	// AdaptiveMax enables adaptive sampling: while a collector's batches
+	// are unchanged within AdaptiveEpsilon, its interval stretches
+	// (doubling per unchanged tick) up to this cap, and snaps back to the
+	// declared interval on the first change.  Static sources (topology,
+	// features) then cost almost nothing while counters keep their
+	// cadence.  Zero disables stretching.
+	AdaptiveMax time.Duration
+	// AdaptiveEpsilon is the relative difference below which two sample
+	// values count as unchanged (default 1e-9; it is also used as the
+	// absolute floor for values near zero).
+	AdaptiveEpsilon float64
 	// OnError observes collector failures (optional; e.g. logging).
 	OnError func(collector string, err error)
 }
 
 // CollectorStats is one collector's lifetime accounting.
 type CollectorStats struct {
-	Name     string
-	Batches  uint64
-	Samples  uint64
-	Errors   uint64
-	LastTime float64 // simulated time of the newest sample
+	Name      string
+	Batches   uint64
+	Samples   uint64
+	Errors    uint64
+	Stretches uint64  // ticks deferred by adaptive interval stretching
+	LastTime  float64 // simulated time of the newest sample
 }
 
 type schedEntry struct {
-	c       Collector
-	batches atomic.Uint64
-	samples atomic.Uint64
-	errors  atomic.Uint64
-	last    atomic.Uint64 // float64 bits of the newest sample time
+	c         Collector
+	batches   atomic.Uint64
+	samples   atomic.Uint64
+	errors    atomic.Uint64
+	stretches atomic.Uint64
+	last      atomic.Uint64 // float64 bits of the newest sample time
 }
 
 // Scheduler runs collectors concurrently, each on its own interval, with
@@ -170,7 +183,13 @@ func (s *Scheduler) runOne(ctx context.Context, e *schedEntry) {
 		interval = time.Second
 	}
 	delay := interval
+	stretch := interval // adaptive interval, doubled while samples are static
 	failures := 0
+	// A cap at or below the collector's own interval cannot stretch it —
+	// and clamping to it would *speed the collector up*, the inverse of
+	// the feature.  Such collectors just keep their declared cadence.
+	adaptive := s.opts.AdaptiveMax > interval
+	var prev map[Key]float64
 	for {
 		select {
 		case <-ctx.Done():
@@ -194,6 +213,32 @@ func (s *Scheduler) runOne(ctx context.Context, e *schedEntry) {
 		}
 		failures = 0
 		delay = interval
+		if adaptive {
+			// Adaptive sampling: an unchanged batch doubles this
+			// collector's next delay (capped); any changed value snaps the
+			// cadence back to the declared interval.
+			if prev != nil && samplesUnchanged(prev, samples, s.opts.AdaptiveEpsilon) {
+				stretch *= 2
+				if stretch > s.opts.AdaptiveMax {
+					stretch = s.opts.AdaptiveMax
+				}
+				if stretch > interval {
+					e.stretches.Add(1)
+				}
+			} else {
+				stretch = interval
+			}
+			if prev == nil {
+				prev = map[Key]float64{}
+			}
+			for k := range prev {
+				delete(prev, k)
+			}
+			for _, sm := range samples {
+				prev[sm.Key()] = sm.Value
+			}
+			delay = stretch
+		}
 		if len(samples) == 0 {
 			continue
 		}
@@ -218,15 +263,41 @@ func (s *Scheduler) Stats() []CollectorStats {
 	out := make([]CollectorStats, 0, len(s.entries))
 	for _, e := range s.entries {
 		out = append(out, CollectorStats{
-			Name:     e.c.Name(),
-			Batches:  e.batches.Load(),
-			Samples:  e.samples.Load(),
-			Errors:   e.errors.Load(),
-			LastTime: loadFloat(&e.last),
+			Name:      e.c.Name(),
+			Batches:   e.batches.Load(),
+			Samples:   e.samples.Load(),
+			Errors:    e.errors.Load(),
+			Stretches: e.stretches.Load(),
+			LastTime:  loadFloat(&e.last),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// samplesUnchanged reports whether a batch matches the previous one
+// within a relative epsilon: same series set, every value within
+// eps * max(|old|, |new|) (eps doubling as the absolute floor near
+// zero).  Sample times are ignored — time always advances; the question
+// is whether the *values* moved.
+func samplesUnchanged(prev map[Key]float64, cur []Sample, eps float64) bool {
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	if len(prev) != len(cur) {
+		return false
+	}
+	for _, s := range cur {
+		p, ok := prev[s.Key()]
+		if !ok {
+			return false
+		}
+		d := math.Abs(s.Value - p)
+		if d > eps*math.Max(math.Abs(s.Value), math.Abs(p)) && d > eps {
+			return false
+		}
+	}
+	return true
 }
 
 func maxTime(samples []Sample) float64 {

@@ -152,6 +152,128 @@ func TestSchedulerErrorBackoff(t *testing.T) {
 	}
 }
 
+// changingCollector emits a controllable node-scope value, for the
+// adaptive-interval tests.
+type changingCollector struct {
+	calls atomic.Int64
+	value atomic.Int64 // value emitted by the next Collect
+}
+
+func (c *changingCollector) Name() string            { return "adaptive" }
+func (c *changingCollector) Scope() Scope            { return ScopeNode }
+func (c *changingCollector) Interval() time.Duration { return time.Second }
+
+func (c *changingCollector) Collect(context.Context) ([]Sample, error) {
+	n := c.calls.Add(1)
+	return []Sample{{Metric: "gauge", Scope: ScopeNode, Time: float64(n),
+		Value: float64(c.value.Load())}}, nil
+}
+
+// TestSchedulerAdaptiveIntervalStretch pins the adaptive cadence: an
+// unchanged collector's interval doubles per tick up to the cap, and the
+// first changed sample snaps it back to the declared interval.
+func TestSchedulerAdaptiveIntervalStretch(t *testing.T) {
+	fc := NewFakeClock()
+	c := &changingCollector{}
+	c.value.Store(42)
+	s := NewScheduler(SchedulerOptions{Clock: fc, AdaptiveMax: 4 * time.Second})
+	s.Add(c)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { s.Run(ctx); close(done) }()
+
+	step := func(d time.Duration, wantCalls int64, what string) {
+		t.Helper()
+		waitForWaiters(t, fc, 1)
+		fc.Advance(d)
+		waitForWaiters(t, fc, 1)
+		if got := c.calls.Load(); got != wantCalls {
+			t.Fatalf("%s: %d calls, want %d", what, got, wantCalls)
+		}
+	}
+
+	step(time.Second, 1, "first tick (no baseline yet)")
+	step(time.Second, 2, "second tick (unchanged, stretches to 2s)")
+	// The stretched delay must actually defer the next tick.
+	fc.Advance(time.Second)
+	time.Sleep(5 * time.Millisecond)
+	if got := c.calls.Load(); got != 2 {
+		t.Fatalf("stretch ignored: %d calls 1s into a 2s delay, want still 2", got)
+	}
+	step(time.Second, 3, "completing the 2s stretch (doubles to 4s)")
+	step(4*time.Second, 4, "4s stretch (stays at the cap)")
+	// A changed value snaps the cadence back to the 1 s interval.
+	c.value.Store(43)
+	step(4*time.Second, 5, "capped stretch with the change pending")
+	step(time.Second, 6, "snapped back to the declared interval")
+
+	cancel()
+	<-done
+	stats := s.Stats()
+	if stats[0].Stretches != 4 {
+		// Ticks 2, 3 and 4 stretched on the stable 42; tick 6 stretches
+		// again because 43 is already stable against tick 5.
+		t.Errorf("Stretches = %d, want 4", stats[0].Stretches)
+	}
+	if stats[0].Batches != 6 {
+		t.Errorf("Batches = %d, want 6", stats[0].Batches)
+	}
+}
+
+// TestSchedulerAdaptiveCapBelowIntervalIsInert pins the guard: a cap at
+// or below a collector's own interval must not speed it up (clamping
+// would sample *faster* than declared) — it keeps the declared cadence.
+func TestSchedulerAdaptiveCapBelowIntervalIsInert(t *testing.T) {
+	fc := NewFakeClock()
+	c := &changingCollector{} // 1 s interval, constant value
+	s := NewScheduler(SchedulerOptions{Clock: fc, AdaptiveMax: 500 * time.Millisecond})
+	s.Add(c)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { s.Run(ctx); close(done) }()
+
+	for i := int64(1); i <= 3; i++ {
+		waitForWaiters(t, fc, 1)
+		fc.Advance(time.Second)
+		waitForWaiters(t, fc, 1)
+		if got := c.calls.Load(); got != i {
+			t.Fatalf("tick %d: %d calls, want %d (declared 1s cadence)", i, got, i)
+		}
+	}
+	cancel()
+	<-done
+	if st := s.Stats(); st[0].Stretches != 0 {
+		t.Errorf("Stretches = %d, want 0 with an inert cap", st[0].Stretches)
+	}
+}
+
+// TestSamplesUnchangedEpsilon pins the comparison: relative epsilon with
+// an absolute floor, mismatched series sets always count as changed.
+func TestSamplesUnchangedEpsilon(t *testing.T) {
+	k := func(v float64) []Sample {
+		return []Sample{{Metric: "m", Scope: ScopeNode, Time: 9, Value: v}}
+	}
+	prev := map[Key]float64{{Metric: "m", Scope: ScopeNode}: 1e9}
+	if !samplesUnchanged(prev, k(1e9+0.1), 1e-9) {
+		t.Error("0.1 absolute on 1e9 must be within a 1e-9 relative epsilon")
+	}
+	if samplesUnchanged(prev, k(1e9+10), 1e-9) {
+		t.Error("10 absolute on 1e9 must exceed a 1e-9 relative epsilon")
+	}
+	if !samplesUnchanged(map[Key]float64{{Metric: "m", Scope: ScopeNode}: 0}, k(0), 1e-9) {
+		t.Error("exact zeros must count as unchanged")
+	}
+	if samplesUnchanged(prev, nil, 1e-9) {
+		t.Error("a vanished series must count as changed")
+	}
+	other := []Sample{{Metric: "other", Scope: ScopeNode, Value: 1e9}}
+	if samplesUnchanged(prev, other, 1e-9) {
+		t.Error("a renamed series must count as changed")
+	}
+}
+
 func TestFakeClockAdvanceFiresDueTimersOnly(t *testing.T) {
 	fc := NewFakeClock()
 	short := fc.After(time.Second)

@@ -27,11 +27,11 @@ type series struct {
 
 func (s *series) append(p Point) {
 	s.mu.Lock()
-	if s.n == len(s.buf) {
-		evicted := s.buf[s.head]
-		for _, t := range s.tiers {
-			t.absorb(evicted)
-		}
+	if s.n == len(s.buf) && len(s.tiers) > 0 {
+		// Evictions feed the finest tier only; buckets evicted from tier
+		// N's ring cascade into tier N+1 inside seal, so each tier's data
+		// flows downward instead of every tier re-reading raw points.
+		s.tiers[0].absorb(s.buf[s.head])
 	}
 	s.buf[s.head] = p
 	s.head = (s.head + 1) % len(s.buf)
@@ -102,7 +102,8 @@ type Store struct {
 // NewStore creates a store retaining up to capacity raw points per series
 // (default 1024 when capacity <= 0).  Optional tiers add downsampled
 // retention: raw points evicted from the ring are compacted into
-// min/median/max/avg buckets per tier, finest resolution first.
+// min/median/max/avg buckets of the finest tier, and buckets evicted
+// from each tier's ring cascade into the next-coarser tier.
 func NewStore(capacity int, tiers ...Tier) *Store {
 	if capacity <= 0 {
 		capacity = 1024
@@ -135,6 +136,10 @@ func (st *Store) getOrCreate(k Key) *series {
 		s = &series{buf: make([]Point, st.capacity)}
 		for _, t := range st.tiers {
 			s.tiers = append(s.tiers, newTierRing(t))
+		}
+		// Chain the cascade: tier N's ring evictions compact into tier N+1.
+		for i := 0; i+1 < len(s.tiers); i++ {
+			s.tiers[i].next = s.tiers[i+1]
 		}
 		sh.series[k] = s
 	}
@@ -206,6 +211,22 @@ func (st *Store) Len(k Key) int {
 		return 0
 	}
 	return s.len()
+}
+
+// ForEachKey calls f for every series key in unspecified order — the
+// allocation-light path for filters (the alert engine's selectors run
+// once per rule per evaluation tick) that do not need Keys' sorted
+// copy.  f runs under a shard read lock and must not call back into the
+// store.
+func (st *Store) ForEachKey(f func(Key)) {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for k := range sh.series {
+			f(k)
+		}
+		sh.mu.RUnlock()
+	}
 }
 
 // Keys lists every series, sorted by metric, scope, id for stable output.
