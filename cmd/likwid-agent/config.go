@@ -188,6 +188,26 @@ func (c *agentConfig) validate() error {
 	return nil
 }
 
+// reloadRules re-reads the -rules file and atomically swaps the
+// engine's rule set — the SIGHUP / POST /rules/reload path.  Any error
+// (unreadable file, parse error, empty file) leaves the running rules
+// untouched, so a bad edit can never take alerting down.
+func reloadRules(engine *alert.Engine, path string) (int, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("rules file: %w", err)
+	}
+	rules, err := alert.ParseRules(string(src))
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rules) == 0 {
+		return 0, fmt.Errorf("rules file %s defines no rules", path)
+	}
+	engine.Reload(rules)
+	return len(rules), nil
+}
+
 // parseLoadSpec validates a -load specification and returns its kind
 // and task count (0 = the architecture default).
 func parseLoadSpec(spec string) (kind string, nTasks int, err error) {

@@ -7,6 +7,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"likwid/internal/alert"
+	"likwid/internal/monitor"
 )
 
 // writeRules drops a rule file into a temp dir and returns its path.
@@ -198,5 +201,51 @@ func TestStaleHorizonClearsAdaptiveCap(t *testing.T) {
 	// static series sampled every 10 m must not look stale.
 	if got := staleHorizon(10 * time.Minute); got != 40*time.Minute {
 		t.Errorf("staleHorizon(10m) = %v, want 40m", got)
+	}
+}
+
+// TestReloadRulesAtomic pins the hot-reload contract: a good edit swaps
+// the rule set, any bad edit (parse error, empty file, missing file) is
+// rejected whole and the running rules stay live.
+func TestReloadRulesAtomic(t *testing.T) {
+	path := writeRules(t, "old: avg(bw, node, 10s) < 1 for 0s\n")
+	rules, err := alert.ParseRules("old: avg(bw, node, 10s) < 1 for 0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := alert.NewEngine(alert.Options{Store: monitor.NewStore(8)}, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Good edit: swapped.
+	if err := os.WriteFile(path, []byte("new_a: avg(bw, node, 10s) < 1 for 0s\nnew_b: max(bw, node, 10s) > 9 for 0s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := reloadRules(engine, path)
+	if err != nil || n != 2 {
+		t.Fatalf("reloadRules = (%d, %v), want (2, nil)", n, err)
+	}
+	if got := engine.Rules(); len(got) != 2 || got[0].Name != "new_a" {
+		t.Fatalf("rules after reload = %+v, want new_a/new_b", got)
+	}
+
+	// Bad edits: rejected atomically, the two rules stay live.
+	for name, content := range map[string]string{
+		"parse error": "broken: avg(bw, node) < 1 for 0s\n",
+		"empty file":  "# nothing but comments\n",
+	} {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reloadRules(engine, path); err == nil {
+			t.Errorf("%s: reloadRules succeeded, want rejection", name)
+		}
+		if got := engine.Rules(); len(got) != 2 || got[0].Name != "new_a" {
+			t.Errorf("%s: rules changed to %+v, want the old set kept", name, got)
+		}
+	}
+	if _, err := reloadRules(engine, filepath.Join(t.TempDir(), "missing.rules")); err == nil {
+		t.Error("missing file: reloadRules succeeded, want rejection")
 	}
 }

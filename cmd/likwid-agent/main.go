@@ -29,11 +29,18 @@
 //	               while its samples are unchanged; snap back on change
 //	-receiver ADDR aggregation mode: no collectors, just an HTTP server
 //	               whose /ingest accepts push batches from other agents
-//	               and serves the merged store on /metrics and /query
+//	               (v2 per-sample source fields, or the legacy v1
+//	               SOURCE/metric prefix via the compat shim) and serves
+//	               the merged store on /metrics and /query — each
+//	               agent's series keyed by source, selectable with
+//	               /query?source=NAME (or a '*' wildcard across agents)
 //	-rules FILE    alerting rules evaluated against the store; firing and
 //	               resolved transitions go to the notifiers, are recorded
 //	               as alert/NAME series, and show on GET /alerts and
-//	               GET /rules of any http sink or receiver
+//	               GET /rules of any http sink or receiver.  SIGHUP
+//	               re-reads the file (bad edits are rejected atomically,
+//	               the old rules stay live); POST /rules/reload does the
+//	               same over HTTP
 //	-notify SPEC   repeatable alert notifier: stdout | jsonl:PATH |
 //	               webhook:URL (default stdout when -rules is set)
 //
@@ -201,15 +208,53 @@ func startAlerting(ctx context.Context, cfg *agentConfig, store *monitor.Store, 
 	if err != nil {
 		return nil, err
 	}
+	// reload re-reads -rules and swaps the rule set; a bad file is
+	// rejected atomically, keeping the old rules live.
+	reload := func(trigger string) (int, error) {
+		n, rerr := reloadRules(engine, cfg.rulesFile)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "likwid-agent: %s rules reload rejected (old rules stay live): %v\n", trigger, rerr)
+			return 0, rerr
+		}
+		fmt.Fprintf(os.Stderr, "likwid-agent: %s reloaded %d rules from %s\n", trigger, n, cfg.rulesFile)
+		return n, nil
+	}
 	for _, h := range https {
 		h.Handle("/alerts", http.HandlerFunc(engine.HandleAlerts))
 		h.Handle("/rules", http.HandlerFunc(engine.HandleRules))
+		h.Handle("/rules/reload", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			n, rerr := reload("POST /rules/reload")
+			if rerr != nil {
+				http.Error(w, "rules reload rejected: "+rerr.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"rules\":%d}\n", n)
+		}))
 	}
 	ectx, cancel := context.WithCancel(ctx)
 	done := make(chan struct{})
 	go func() {
 		engine.Run(ectx)
 		close(done)
+	}()
+	// SIGHUP hot-reloads the rule file in both agent and receiver modes.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		defer signal.Stop(hup)
+		for {
+			select {
+			case <-ectx.Done():
+				return
+			case <-hup:
+				_, _ = reload("SIGHUP")
+			}
+		}
 	}()
 	fmt.Fprintf(os.Stderr, "likwid-agent: alerting on %d rules from %s\n", len(cfg.rules), cfg.rulesFile)
 	return &alerting{engine: engine, fanout: fanout, done: done, cancel: cancel}, nil

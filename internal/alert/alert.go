@@ -115,11 +115,16 @@ type Rule struct {
 	Name string
 	// Fn is the window function applied to the selected series.
 	Fn Fn
+	// Source selects series by the measuring agent — its own
+	// wildcard-able dimension matched against Key.Source, never parsed
+	// out of the metric name.  Empty selects only local (sourceless)
+	// series; "*" follows a whole fleet on a receiver, "node*" a slice
+	// of it.  In spec syntax it precedes the metric:
+	// avg(*/dp_mflops_s, node, 30s).
+	Source string
 	// Metric selects series by name.  '*' wildcards match any run of
-	// characters (including '/'), so "*/dp_mflops_s" follows a whole
-	// fleet's SOURCE/metric series on a receiver.  Non-wildcard selectors
-	// also match sanitized forms ("memory_bandwidth_mbytes_s" finds
-	// "Memory bandwidth [MBytes/s]").
+	// characters.  Non-wildcard selectors also match sanitized forms
+	// ("memory_bandwidth_mbytes_s" finds "Memory bandwidth [MBytes/s]").
 	Metric string
 	// Scope restricts the selector to one topology domain.
 	Scope monitor.Scope
@@ -145,7 +150,7 @@ type Rule struct {
 // String renders the rule back in spec syntax.
 func (r *Rule) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %s(%s, %s", r.Name, r.Fn, quoteMetric(r.Metric), r.Scope)
+	fmt.Fprintf(&b, "%s: %s(%s, %s", r.Name, r.Fn, r.selector(), r.Scope)
 	if r.ID != AllIDs {
 		fmt.Fprintf(&b, ", %d", r.ID)
 	}
@@ -156,55 +161,67 @@ func (r *Rule) String() string {
 	return b.String()
 }
 
-// quoteMetric re-quotes selectors that need it — anything the scanner
-// treats as a delimiter, plus '#' so a rendered rule survives a rule
-// file's comment stripping.
+// selector renders the rule's [SOURCE/]METRIC selector so that the
+// parser reads it back into the same (Source, Metric) pair.
+func (r *Rule) selector() string {
+	if r.Source == "" {
+		return quoteMetric(r.Metric)
+	}
+	return quoteSource(r.Source) + "/" + quoteMetric(r.Metric)
+}
+
+// quoteMetric re-quotes metric selectors that need it — anything the
+// scanner treats as a delimiter, plus '#' so a rendered rule survives a
+// rule file's comment stripping, plus a leading segment the selector
+// parser would otherwise read as a source label.
 func quoteMetric(m string) string {
 	if strings.ContainsAny(m, wordBreak+"#") {
 		return fmt.Sprintf("%q", m)
 	}
+	if seg, _, found := strings.Cut(m, "/"); found && !monitor.ReservedNamespace(seg) {
+		return fmt.Sprintf("%q", m)
+	}
 	return m
+}
+
+// quoteSource re-quotes source selectors the parser could not read back
+// bare: delimiters, a '/' inside the label, or a label that collides
+// with a reserved metric namespace.
+func quoteSource(s string) string {
+	if strings.ContainsAny(s, wordBreak+"#/") || monitor.ReservedNamespace(s) {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
 }
 
 func formatSeconds(s float64) string {
 	return time.Duration(s * float64(time.Second)).String()
 }
 
-// matchesMetric reports whether the rule's selector matches a stored
-// metric name.  Alert history series never match: a wildcard rule must
-// not alert on its own output.
-func (r *Rule) matchesMetric(name string) bool {
-	if strings.HasPrefix(name, "alert/") {
+// matches reports whether the rule's selector picks a stored series:
+// the source dimension first (exact, or '*' wildcards; empty = local
+// only), then the metric.  Alert history series never match: a wildcard
+// rule must not alert on its own output.
+func (r *Rule) matches(k monitor.Key) bool {
+	if strings.HasPrefix(k.Metric, "alert/") {
 		return false
 	}
+	if !monitor.MatchSource(r.Source, k.Source) {
+		return false
+	}
+	return r.matchesMetric(k.Metric)
+}
+
+// matchesMetric matches the metric dimension alone: exact, '*'
+// wildcards, or sanitized-form equality.
+func (r *Rule) matchesMetric(name string) bool {
 	if r.Metric == name {
 		return true
 	}
 	if strings.Contains(r.Metric, "*") {
-		return wildcardMatch(r.Metric, name)
+		return monitor.WildcardMatch(r.Metric, name)
 	}
 	return monitor.SanitizeMetric(name) == monitor.SanitizeMetric(r.Metric)
-}
-
-// wildcardMatch matches a pattern whose '*' runs match any characters,
-// '/' included (a fleet selector must cross the SOURCE/metric boundary).
-func wildcardMatch(pattern, s string) bool {
-	parts := strings.Split(pattern, "*")
-	if len(parts) == 1 {
-		return pattern == s
-	}
-	if !strings.HasPrefix(s, parts[0]) {
-		return false
-	}
-	s = s[len(parts[0]):]
-	for _, part := range parts[1 : len(parts)-1] {
-		idx := strings.Index(s, part)
-		if idx < 0 {
-			return false
-		}
-		s = s[idx+len(part):]
-	}
-	return strings.HasSuffix(s, parts[len(parts)-1])
 }
 
 // State is one alert instance's position in the lifecycle.
@@ -236,8 +253,10 @@ type Event struct {
 	Rule string `json:"rule"`
 	// State is "firing" or "resolved".
 	State string `json:"state"`
-	// Metric, Scope and ID identify the series instance that transitioned
-	// (for imbalance rules, the selector itself).
+	// Source, Metric, Scope and ID identify the series instance that
+	// transitioned (for imbalance rules, the selector itself).  Source
+	// is empty for local series.
+	Source string `json:"source,omitempty"`
 	Metric string `json:"metric"`
 	Scope  string `json:"scope"`
 	ID     int    `json:"id"`

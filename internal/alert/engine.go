@@ -67,14 +67,18 @@ type ruleState struct {
 // cadence and drives the pending → firing → resolved state machine.
 // Notifications happen only on transitions (pending that recovers before
 // its "for" duration is silently cancelled), so a firing alert is
-// delivered exactly once per episode.
+// delivered exactly once per episode.  Reload swaps the rule set while
+// Run keeps going — the hot-reload path behind likwid-agent's SIGHUP
+// handler and POST /rules/reload.
 type Engine struct {
-	opts  Options
-	rules []*Rule
+	opts Options
 
 	mu    sync.Mutex
+	rules []*Rule
 	insts map[instKey]*instance
 	state map[string]*ruleState
+
+	reload chan struct{} // signals Run to restart its rule goroutines
 }
 
 // NewEngine creates an engine over the given rules.
@@ -89,10 +93,11 @@ func NewEngine(opts Options, rules []*Rule) (*Engine, error) {
 		opts.DefaultEvery = 10 * time.Second
 	}
 	e := &Engine{
-		opts:  opts,
-		rules: rules,
-		insts: map[instKey]*instance{},
-		state: map[string]*ruleState{},
+		opts:   opts,
+		rules:  rules,
+		insts:  map[instKey]*instance{},
+		state:  map[string]*ruleState{},
+		reload: make(chan struct{}, 1),
 	}
 	for _, r := range rules {
 		e.state[r.Name] = &ruleState{rule: r}
@@ -100,39 +105,102 @@ func NewEngine(opts Options, rules []*Rule) (*Engine, error) {
 	return e, nil
 }
 
-// Rules returns the engine's rules in file order.
-func (e *Engine) Rules() []*Rule { return e.rules }
+// Rules returns a snapshot of the engine's rules in file order.
+func (e *Engine) Rules() []*Rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Rule(nil), e.rules...)
+}
+
+// Reload atomically swaps the rule set.  Validation is the caller's job
+// (ParseRules): a file that fails to parse is simply never handed to
+// Reload, so the old set stays live.  Rules whose rendered spec is
+// unchanged keep their instances and bookkeeping — a hot reload does
+// not re-fire active alerts; removed or edited rules drop theirs (an
+// evaluation already in flight for an edited rule may still land one
+// instance under its old spec; the next evaluation converges it).  A
+// running Run loop restarts its goroutines on the new set — unless the
+// whole set renders spec-identical, in which case the evaluation timers
+// keep running, so a config-management loop re-posting the same file
+// every few seconds cannot starve rules of their cadence.
+func (e *Engine) Reload(rules []*Rule) {
+	e.mu.Lock()
+	oldSpec := make(map[string]string, len(e.rules))
+	for _, r := range e.rules {
+		oldSpec[r.Name] = r.String()
+	}
+	newState := make(map[string]*ruleState, len(rules))
+	unchanged := map[string]bool{}
+	identical := len(rules) == len(e.rules)
+	for i, r := range rules {
+		if st, ok := e.state[r.Name]; ok {
+			st.rule = r
+			newState[r.Name] = st
+		} else {
+			newState[r.Name] = &ruleState{rule: r}
+		}
+		unchanged[r.Name] = oldSpec[r.Name] == r.String()
+		identical = identical && e.rules[i].Name == r.Name && unchanged[r.Name]
+	}
+	for id := range e.insts {
+		if !unchanged[id.rule] {
+			delete(e.insts, id)
+		}
+	}
+	e.rules = rules
+	e.state = newState
+	e.mu.Unlock()
+	if identical {
+		return // same specs, same cadences: keep the running timers
+	}
+	select {
+	case e.reload <- struct{}{}:
+	default: // a restart is already pending
+	}
+}
 
 // Run evaluates every rule on its cadence until the context is
-// cancelled, then returns once all rule goroutines have stopped.  The
-// fanout is not closed: the caller owns its lifecycle.
+// cancelled, then returns once all rule goroutines have stopped.  A
+// Reload restarts the goroutines on the new rule set without dropping
+// out of Run.  The fanout is not closed: the caller owns its lifecycle.
 func (e *Engine) Run(ctx context.Context) {
-	var wg sync.WaitGroup
-	for _, r := range e.rules {
-		wg.Add(1)
-		go func(r *Rule) {
-			defer wg.Done()
-			every := r.Every
-			if every <= 0 {
-				every = e.opts.DefaultEvery
-			}
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-e.opts.Clock.After(every):
+	for {
+		rctx, cancel := context.WithCancel(ctx)
+		var wg sync.WaitGroup
+		for _, r := range e.Rules() {
+			wg.Add(1)
+			go func(r *Rule) {
+				defer wg.Done()
+				every := r.Every
+				if every <= 0 {
+					every = e.opts.DefaultEvery
 				}
-				e.evalRule(r)
-			}
-		}(r)
+				for {
+					select {
+					case <-rctx.Done():
+						return
+					case <-e.opts.Clock.After(every):
+					}
+					e.evalRule(r)
+				}
+			}(r)
+		}
+		select {
+		case <-ctx.Done():
+			cancel()
+			wg.Wait()
+			return
+		case <-e.reload:
+			cancel()
+			wg.Wait()
+		}
 	}
-	wg.Wait()
 }
 
 // EvalNow evaluates every rule once, synchronously — the one-shot entry
 // for tests and callers that drive their own cadence.
 func (e *Engine) EvalNow() {
-	for _, r := range e.rules {
+	for _, r := range e.Rules() {
 		e.evalRule(r)
 	}
 }
@@ -147,7 +215,7 @@ func (e *Engine) evalRule(r *Rule) {
 		if r.ID != AllIDs && k.ID != r.ID {
 			return
 		}
-		if !r.matchesMetric(k.Metric) {
+		if !r.matches(k) {
 			return
 		}
 		keys = append(keys, k)
@@ -155,7 +223,7 @@ func (e *Engine) evalRule(r *Rule) {
 
 	var evalErr error
 	if len(keys) == 0 {
-		evalErr = fmt.Errorf("no series matches %s(%s, %s, ...)", r.Fn, quoteMetric(r.Metric), r.Scope)
+		evalErr = fmt.Errorf("no series matches %s(%s, %s, ...)", r.Fn, r.selector(), r.Scope)
 	} else if r.Fn == FnImbalance {
 		e.evalImbalance(r, keys)
 	} else {
@@ -166,6 +234,12 @@ func (e *Engine) evalRule(r *Rule) {
 
 	e.mu.Lock()
 	st := e.state[r.Name]
+	if st == nil {
+		// The rule was reloaded away while this evaluation ran; its
+		// bookkeeping is gone and nothing is left to record.
+		e.mu.Unlock()
+		return
+	}
 	st.evals++
 	st.lastEval = e.opts.Clock.Now()
 	st.lastErr = ""
@@ -281,6 +355,13 @@ func (e *Engine) advance(r *Rule, k monitor.Key, metric string, value, simNow fl
 	now := e.opts.Clock.Now()
 
 	e.mu.Lock()
+	if _, live := e.state[r.Name]; !live {
+		// The rule was reloaded away while this evaluation was running:
+		// publishing its transition or re-inserting an instance would
+		// resurrect a rule the operator just deleted.
+		e.mu.Unlock()
+		return
+	}
 	inst := e.insts[id]
 	var fire, resolve bool
 	var firingSince float64
@@ -354,6 +435,7 @@ func (e *Engine) transition(r *Rule, k monitor.Key, metric, state string, value,
 	ev := Event{
 		Rule:      r.Name,
 		State:     state,
+		Source:    k.Source,
 		Metric:    metric,
 		Scope:     k.Scope.String(),
 		ID:        k.ID,
@@ -366,9 +448,10 @@ func (e *Engine) transition(r *Rule, k monitor.Key, metric, state string, value,
 	if e.opts.Fanout != nil {
 		e.opts.Fanout.Publish(ev)
 	}
-	// History series: one per rule, split further by matched metric when
-	// a wildcard selector can hit several series of the same scope/id
-	// (a receiver's fleet rule), so sources stay distinguishable.
+	// History series: one per rule, carrying the matched series' source
+	// as its own Key dimension (a receiver's fleet rule keeps one
+	// history per agent) and split further by matched metric when a
+	// wildcard selector can hit several metrics of the same scope/id.
 	name := "alert/" + r.Name
 	if r.Fn != FnImbalance && r.Metric != metric {
 		name += "/" + metric
@@ -377,14 +460,19 @@ func (e *Engine) transition(r *Rule, k monitor.Key, metric, state string, value,
 	if state == EventStateFiring {
 		v = 1
 	}
-	e.opts.Store.Append(monitor.Key{Metric: name, Scope: k.Scope, ID: k.ID},
-		monitor.Point{Time: simNow, Value: v})
+	histKey := monitor.Key{Source: k.Source, Metric: name, Scope: k.Scope, ID: k.ID}
+	// Transition series are sparse 0/1 steps: compact them by last value
+	// so a downsampled bucket reads as the state at its end, never a
+	// 0.5 average of a fire/resolve pair.
+	e.opts.Store.SetCompaction(histKey, monitor.CompactLast)
+	e.opts.Store.Append(histKey, monitor.Point{Time: simNow, Value: v})
 }
 
 // InstanceStatus is one active alert instance in API shape.
 type InstanceStatus struct {
 	Rule        string  `json:"rule"`
 	State       string  `json:"state"`
+	Source      string  `json:"source,omitempty"`
 	Metric      string  `json:"metric"`
 	Scope       string  `json:"scope"`
 	ID          int     `json:"id"`
@@ -397,22 +485,26 @@ type InstanceStatus struct {
 }
 
 // Alerts snapshots the active (pending or firing) instances, sorted by
-// rule, metric, scope, id.
+// rule, source, metric, scope, id.
 func (e *Engine) Alerts() []InstanceStatus {
+	e.mu.Lock()
 	byName := map[string]*Rule{}
 	for _, r := range e.rules {
 		byName[r.Name] = r
 	}
-	e.mu.Lock()
 	out := make([]InstanceStatus, 0, len(e.insts))
 	for id, inst := range e.insts {
 		if inst.stale {
 			continue // parked: resolved, waiting for the series to move
 		}
 		r := byName[id.rule]
+		if r == nil {
+			continue // reloaded away between eval and snapshot
+		}
 		out = append(out, InstanceStatus{
 			Rule:        id.rule,
 			State:       inst.state.String(),
+			Source:      id.key.Source,
 			Metric:      id.key.Metric,
 			Scope:       id.key.Scope.String(),
 			ID:          id.key.ID,
@@ -429,6 +521,9 @@ func (e *Engine) Alerts() []InstanceStatus {
 		a, b := out[i], out[j]
 		if a.Rule != b.Rule {
 			return a.Rule < b.Rule
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
 		}
 		if a.Metric != b.Metric {
 			return a.Metric < b.Metric

@@ -279,28 +279,211 @@ func TestEngineImbalanceZeroMeanStaysFinite(t *testing.T) {
 	}
 }
 
+// appendSourced appends a fleet series: one agent's metric at node scope.
+func appendSourced(store *monitor.Store, source, metric string, from, to, step, value float64) {
+	k := monitor.Key{Source: source, Metric: metric, Scope: monitor.ScopeNode, ID: 0}
+	for ts := from; ts <= to; ts += step {
+		store.Append(k, monitor.Point{Time: ts, Value: value})
+	}
+}
+
 // TestEngineWildcardFleet pins the receiver use case: one rule watching
-// every SOURCE/metric series, one alert instance per source, history
-// series split by matched metric.
+// every source's series through the '*' source selector, one alert
+// instance per source, history keyed per source.
 func TestEngineWildcardFleet(t *testing.T) {
 	store := monitor.NewStore(64)
 	e, cap, _ := newTestEngine(t, store,
 		"fleet_idle: avg(*/bw, node, 10s) < 100 for 0s")
-	appendNode(store, "nodeA/bw", 0, 10, 1, 50)
-	appendNode(store, "nodeB/bw", 0, 10, 1, 500)
+	appendSourced(store, "nodeA", "bw", 0, 10, 1, 50)
+	appendSourced(store, "nodeB", "bw", 0, 10, 1, 500)
 	e.EvalNow()
 	alerts := e.Alerts()
-	if len(alerts) != 1 || alerts[0].Metric != "nodeA/bw" {
-		t.Fatalf("alerts = %+v, want only nodeA/bw firing", alerts)
+	if len(alerts) != 1 || alerts[0].Source != "nodeA" || alerts[0].Metric != "bw" {
+		t.Fatalf("alerts = %+v, want only nodeA's bw firing", alerts)
 	}
 	evs := waitEvents(t, cap, 1)
-	if evs[0].Metric != "nodeA/bw" {
-		t.Fatalf("event = %+v, want nodeA/bw", evs[0])
+	if evs[0].Source != "nodeA" || evs[0].Metric != "bw" {
+		t.Fatalf("event = %+v, want source nodeA metric bw", evs[0])
 	}
-	// Per-source history so two fleet nodes do not collapse into one series.
-	k := monitor.Key{Metric: "alert/fleet_idle/nodeA/bw", Scope: monitor.ScopeNode, ID: 0}
+	// Per-source history keys so two fleet nodes do not collapse into
+	// one series — source is a Key dimension, not a metric suffix.
+	k := monitor.Key{Source: "nodeA", Metric: "alert/fleet_idle", Scope: monitor.ScopeNode, ID: 0}
 	if p, ok := store.Latest(k); !ok || p.Value != 1 {
 		t.Fatalf("fleet history = %+v (%v), want value 1", p, ok)
+	}
+	if _, ok := store.Latest(monitor.Key{Source: "nodeB", Metric: "alert/fleet_idle", Scope: monitor.ScopeNode, ID: 0}); ok {
+		t.Fatal("healthy nodeB grew a history transition")
+	}
+}
+
+// TestEngineReload pins hot reload: the rule set swaps atomically,
+// unchanged rules keep their live instances, removed or edited rules
+// drop theirs, and new rules evaluate immediately.
+func TestEngineReload(t *testing.T) {
+	store := monitor.NewStore(256)
+	e, cap, _ := newTestEngine(t, store,
+		"bw_low: avg(bw, node, 10s) < 100 for 0s\nunchanged: max(bw, node, 10s) < 100 for 0s")
+	appendNode(store, "bw", 0, 10, 1, 50)
+	e.EvalNow()
+	if alerts := e.Alerts(); len(alerts) != 2 {
+		t.Fatalf("alerts = %+v, want both rules firing", alerts)
+	}
+	waitEvents(t, cap, 2)
+
+	// Reload: bw_low edited (new threshold), unchanged kept verbatim,
+	// bw_high added.
+	e.Reload(mustRules(t,
+		"bw_low: avg(bw, node, 10s) < 60 for 0s\nunchanged: max(bw, node, 10s) < 100 for 0s\nbw_high: min(bw, node, 10s) > 10 for 0s"))
+	rules := e.Rules()
+	if len(rules) != 3 || rules[2].Name != "bw_high" {
+		t.Fatalf("rules after reload = %+v, want 3 with bw_high last", rules)
+	}
+	// The edited rule's old instance is gone until the next eval; the
+	// unchanged rule keeps its firing instance (no duplicate event).
+	alerts := e.Alerts()
+	if len(alerts) != 1 || alerts[0].Rule != "unchanged" {
+		t.Fatalf("alerts after reload = %+v, want only the unchanged rule's instance", alerts)
+	}
+	e.EvalNow()
+	alerts = e.Alerts()
+	if len(alerts) != 3 {
+		t.Fatalf("alerts after re-eval = %+v, want all three firing", alerts)
+	}
+	// unchanged must NOT have re-fired: 2 initial + bw_low re-fire +
+	// bw_high fire = 4 events total.
+	evs := waitEvents(t, cap, 4)
+	if len(evs) != 4 {
+		t.Fatalf("events = %+v, want exactly 4", evs)
+	}
+	count := map[string]int{}
+	for _, ev := range evs {
+		count[ev.Rule]++
+	}
+	if count["unchanged"] != 1 || count["bw_low"] != 2 || count["bw_high"] != 1 {
+		t.Fatalf("event counts = %+v, want unchanged:1 bw_low:2 bw_high:1", count)
+	}
+	// Rule bookkeeping for surviving rules keeps its eval counter.
+	for _, rs := range e.RuleStatuses() {
+		if rs.Name == "unchanged" && rs.Evals != 2 {
+			t.Errorf("unchanged evals = %d, want 2 (bookkeeping preserved)", rs.Evals)
+		}
+	}
+}
+
+// TestEngineReloadIdenticalKeepsTimers pins that re-posting the same
+// rule file does not restart the evaluation goroutines: a
+// config-management loop reloading every few seconds must not starve a
+// rule whose cadence is longer than the reload period.
+func TestEngineReloadIdenticalKeepsTimers(t *testing.T) {
+	store := monitor.NewStore(64)
+	appendNode(store, "bw", 0, 10, 1, 50)
+	spec := "bw_low: avg(bw, node, 10s) < 100 for 0s\n"
+	e, cap, _ := newTestEngine(t, store, spec)
+	e.EvalNow()
+	waitEvents(t, cap, 1)
+
+	e.Reload(mustRules(t, spec))
+	select {
+	case <-e.reload:
+		t.Fatal("spec-identical reload signalled a goroutine restart")
+	default:
+	}
+	// Instances and bookkeeping survive untouched.
+	if alerts := e.Alerts(); len(alerts) != 1 || alerts[0].State != "firing" {
+		t.Fatalf("alerts after identical reload = %+v, want the firing instance kept", alerts)
+	}
+	if sts := e.RuleStatuses(); sts[0].Evals != 1 {
+		t.Fatalf("evals = %d after identical reload, want 1 preserved", sts[0].Evals)
+	}
+
+	// A genuinely different set still signals.
+	e.Reload(mustRules(t, "other: max(bw, node, 10s) < 100 for 0s"))
+	select {
+	case <-e.reload:
+	default:
+		t.Fatal("changed reload did not signal a restart")
+	}
+}
+
+// TestEngineReloadRestartsRunLoop drives Reload under a running engine:
+// the new rule set takes over the evaluation goroutines.
+func TestEngineReloadRestartsRunLoop(t *testing.T) {
+	fc := monitor.NewFakeClock()
+	store := monitor.NewStore(64)
+	appendNode(store, "bw", 0, 10, 1, 50)
+	cap := &captureNotifier{}
+	fanout := NewFanout(16, cap)
+	defer fanout.Close()
+	e, err := NewEngine(Options{Store: store, Clock: fc, Fanout: fanout},
+		mustRules(t, "old: avg(bw, node, 10s) < 100 for 0s every 2s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { e.Run(ctx); close(done) }()
+	waitForTimers(t, fc, 1)
+
+	e.Reload(mustRules(t, "new: min(bw, node, 10s) < 100 for 0s every 2s"))
+	// The cancelled goroutine's timer stays armed in the fake clock (it
+	// fires into a buffered channel nobody reads), so the restarted
+	// goroutine's arm is the second waiter.
+	waitForTimers(t, fc, 2)
+	fc.Advance(2 * time.Second)
+	evs := waitEvents(t, cap, 1)
+	if evs[0].Rule != "new" {
+		t.Fatalf("event = %+v, want the new rule firing", evs[0])
+	}
+	sts := e.RuleStatuses()
+	if len(sts) != 1 || sts[0].Name != "new" || sts[0].Evals == 0 {
+		t.Fatalf("statuses after reload = %+v, want the new rule evaluated", sts)
+	}
+	cancel()
+	<-done
+}
+
+// TestAlertHistoryCompactsByLastValue pins the step compaction of the
+// sparse 0/1 transition series: once a fire/resolve pair is evicted
+// into a retention bucket, the windowed history reads 0 or 1 — never a
+// 0.5 average.
+func TestAlertHistoryCompactsByLastValue(t *testing.T) {
+	// Tiny raw ring (2 points) with one coarse tier, so the second
+	// firing episode evicts the first into a bucket.
+	store := monitor.NewStore(2, monitor.Tier{Resolution: 1000, Capacity: 8})
+	e, cap, _ := newTestEngine(t, store, "bw_low: avg(bw, node, 10s) < 100 for 0s")
+
+	flip := func(from, to float64, low bool) {
+		v := 500.0
+		if low {
+			v = 50
+		}
+		appendNode(store, "bw", from, to, 1, v)
+		e.EvalNow()
+	}
+	flip(0, 10, true)   // fire at 10
+	flip(11, 30, false) // resolve at 30
+	flip(31, 50, true)  // fire again at 50 — evicts the first pair
+	flip(51, 70, false) // resolve at 70
+	waitEvents(t, cap, 4)
+
+	histKey := monitor.Key{Metric: "alert/bw_low", Scope: monitor.ScopeNode, ID: 0}
+	pts := store.Window(histKey, 0, -1)
+	if len(pts) == 0 {
+		t.Fatal("no history points")
+	}
+	for _, p := range pts {
+		if p.Value != 0 && p.Value != 1 {
+			t.Errorf("history point %+v shows a value never recorded (mean-compaction noise)", p)
+		}
+	}
+	// The bucket covering the evicted fire(1)/resolve(0) pair reads the
+	// last state, 0.
+	buckets := store.Buckets(histKey, 1000, 0, -1)
+	if len(buckets) == 0 {
+		t.Fatal("no history buckets compacted")
+	}
+	if b := buckets[0]; b.Avg != 0 || b.Min != 0 || b.Max != 1 {
+		t.Errorf("history bucket = %+v, want last=0 with exact min/max", b)
 	}
 }
 

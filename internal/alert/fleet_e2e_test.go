@@ -1,0 +1,118 @@
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"likwid/internal/monitor"
+)
+
+// TestFleetMixedVersionEndToEnd is the acceptance loop of the series
+// identity refactor: a v1 agent (legacy "SOURCE/metric" prefix payload)
+// and a v2 agent (push sink with a Source identity) push into one
+// receiver; both land on the same kind of source-keyed series, are
+// queryable per source and across sources via /query, and one fleet
+// rule raises per-source alert instances with per-source history.
+func TestFleetMixedVersionEndToEnd(t *testing.T) {
+	store := monitor.NewStore(64)
+	recv, err := monitor.NewHTTPSink("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	base := "http://" + recv.Addr()
+
+	// Agent A is v2: a real push sink carrying its Source per sample.
+	push, err := monitor.NewPushSink(monitor.PushOptions{
+		URL:          base + "/ingest",
+		FlushSamples: 1,
+		RetryBase:    time.Millisecond,
+		Source:       "nodeA",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 10; i++ {
+		err := push.Write(monitor.Batch{Collector: "perfgroup", Time: float64(i), Samples: []monitor.Sample{
+			{Metric: "bw", Scope: monitor.ScopeNode, ID: 0, Time: float64(i), Value: 50}, // idle: will fire
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := push.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Agent B is v1: its source rides as a metric prefix, no source field.
+	var v1 bytes.Buffer
+	for i := 0; i <= 10; i++ {
+		fmt.Fprintf(&v1, `{"time":%d,"collector":"perfgroup","metric":"nodeB/bw","scope":"node","id":0,"value":500}`+"\n", i)
+	}
+	resp, err := http.Post(base+"/ingest", "application/x-ndjson", &v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 ingest = %d %q", resp.StatusCode, body)
+	}
+
+	// Both agents' series are source-keyed: nothing prefix-mangled.
+	for _, source := range []string{"nodeA", "nodeB"} {
+		k := monitor.Key{Source: source, Metric: "bw", Scope: monitor.ScopeNode, ID: 0}
+		if n := store.Len(k); n != 11 {
+			t.Fatalf("%s series has %d points, want 11 (keys: %+v)", source, n, store.Keys())
+		}
+	}
+
+	// /query fans out across the fleet with a source wildcard.
+	qr, err := http.Get(base + "/query?metric=bw&scope=node&source=*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qbody, _ := io.ReadAll(qr.Body)
+	qr.Body.Close()
+	var series struct {
+		Series []struct {
+			Source string          `json:"source"`
+			Points []monitor.Point `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(qbody, &series); err != nil {
+		t.Fatalf("bad /query JSON %q: %v", qbody, err)
+	}
+	if len(series.Series) != 2 || series.Series[0].Source != "nodeA" || series.Series[1].Source != "nodeB" {
+		t.Fatalf("/query source=* = %s, want nodeA and nodeB series", qbody)
+	}
+
+	// One fleet rule: only the idle agent fires, keyed by its source.
+	e, cap, _ := newTestEngine(t, store, "fleet_idle: avg(*/bw, node, 10s) < 100 for 0s")
+	recv.Handle("/alerts", http.HandlerFunc(e.HandleAlerts))
+	e.EvalNow()
+	evs := waitEvents(t, cap, 1)
+	if evs[0].Source != "nodeA" || evs[0].Metric != "bw" || evs[0].State != EventStateFiring {
+		t.Fatalf("event = %+v, want nodeA firing", evs[0])
+	}
+	ar, err := http.Get(base + "/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abody, _ := io.ReadAll(ar.Body)
+	ar.Body.Close()
+	if !strings.Contains(string(abody), `"source":"nodeA"`) {
+		t.Fatalf("GET /alerts = %s, want a nodeA-sourced instance", abody)
+	}
+	// History is a per-source series, windowable through /query.
+	hist := monitor.Key{Source: "nodeA", Metric: "alert/fleet_idle", Scope: monitor.ScopeNode, ID: 0}
+	if p, ok := store.Latest(hist); !ok || p.Value != 1 {
+		t.Fatalf("history = %+v (%v), want value 1", p, ok)
+	}
+}

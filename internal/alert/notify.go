@@ -131,13 +131,20 @@ type logNotifier struct {
 // NewLogNotifier writes one line per transition to w, e.g.
 //
 //	alert firing mem_bw_low memory_bandwidth_mbytes_s socket/0 value=1833.1 threshold=2000 t=63.0
+//
+// Fleet events carry their agent as a source=NAME field after the
+// metric.
 func NewLogNotifier(w io.Writer) Notifier { return &logNotifier{w: w} }
 
 func (l *logNotifier) Name() string { return "log" }
 
 func (l *logNotifier) Notify(ev Event) error {
-	_, err := fmt.Fprintf(l.w, "alert %s %s %s %s/%d value=%g threshold=%g t=%.3f\n",
-		ev.State, ev.Rule, ev.Metric, ev.Scope, ev.ID, ev.Value, ev.Threshold, ev.Time)
+	source := ""
+	if ev.Source != "" {
+		source = " source=" + ev.Source
+	}
+	_, err := fmt.Fprintf(l.w, "alert %s %s %s%s %s/%d value=%g threshold=%g t=%.3f\n",
+		ev.State, ev.Rule, ev.Metric, source, ev.Scope, ev.ID, ev.Value, ev.Threshold, ev.Time)
 	return err
 }
 

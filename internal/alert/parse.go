@@ -12,16 +12,21 @@ import (
 
 // The rule spec language, one rule per line:
 //
-//	name: FN(METRIC, SCOPE[, ID], LOOKBACK) CMP THRESHOLD for DURATION [every DURATION]
+//	name: FN([SOURCE/]METRIC, SCOPE[, ID], LOOKBACK) CMP THRESHOLD for DURATION [every DURATION]
 //
 //	mem_bw_low: avg(memory_bandwidth_mbytes_s, socket, 30s) < 2000 for 60s
 //	flops_flat: rate("DP MFlops/s", node, 10s) <= 0 for 30s every 5s
 //	bw_skew:    imbalance(memory_bandwidth_mbytes_s, socket, 30s) > 0.5 for 1m
+//	fleet_bw:   avg(*/dp_mflops_s, node, 30s) < 1 for 60s
 //
 // FN is avg | min | max | rate | imbalance; SCOPE is thread | core |
 // socket | node; METRIC may be quoted (names with spaces) and may use
 // '*' wildcards; ID is optional (default: every matching id, one alert
-// instance per series).  Blank lines and '#' comments are ignored.
+// instance per series).  SOURCE is an optional agent selector matched
+// against Key.Source as its own dimension ('*' wildcards allowed;
+// omitted = local series only); the suite's slash-namespaced metric
+// families (event/, topo/, feature/, membw/, alert/) are recognized and
+// never read as a source.  Blank lines and '#' comments are ignored.
 // Errors carry line:column positions so a typo in a 50-rule file is
 // findable.
 
@@ -62,6 +67,54 @@ func (s *scanner) word() (string, int) {
 		s.pos++
 	}
 	return s.src[start:s.pos], start + 1
+}
+
+// selectorWord reads a maximal run of non-delimiter characters, also
+// stopping at '/' — the source/metric separator of a selector.
+func (s *scanner) selectorWord() (string, int) {
+	s.skipSpace()
+	start := s.pos
+	for s.pos < len(s.src) && s.src[s.pos] != '/' &&
+		!strings.ContainsRune(wordBreak, rune(s.src[s.pos])) {
+		s.pos++
+	}
+	return s.src[start:s.pos], start + 1
+}
+
+// selector reads the [SOURCE/]METRIC selector of a rule expression into
+// its two dimensions.  Either part may be quoted; an unquoted leading
+// segment that is one of the suite's reserved metric namespaces
+// (event/, topo/, feature/, membw/, alert/) belongs to the metric, not
+// a source — quoting the segment ("event"/x) forces the source reading.
+func (s *scanner) selector() (source, metric string, col int, err error) {
+	s.skipSpace()
+	quoted := false
+	var part string
+	if s.pos < len(s.src) && s.src[s.pos] == '"' {
+		if part, col, err = s.quoted(); err != nil {
+			return "", "", col, err
+		}
+		quoted = true
+	} else {
+		part, col = s.selectorWord()
+	}
+	if s.pos < len(s.src) && s.src[s.pos] == '/' {
+		if quoted || !monitor.ReservedNamespace(part) {
+			s.pos++ // consume the separator
+			if s.pos < len(s.src) && s.src[s.pos] == '"' {
+				if metric, _, err = s.quoted(); err != nil {
+					return "", "", col, err
+				}
+			} else {
+				metric, _ = s.word() // '/' inside the metric tail stays
+			}
+			return part, metric, col, nil
+		}
+		// Reserved namespace: the '/' is part of the metric name.
+		rest, _ := s.word()
+		part += rest
+	}
+	return "", part, col, nil
 }
 
 // quoted reads a double-quoted string (no escapes: metric names contain
@@ -149,15 +202,9 @@ func ParseRule(line string, lineNo int) (*Rule, error) {
 		return nil, err
 	}
 
-	var metric string
-	s.skipSpace()
-	if s.pos < len(s.src) && s.src[s.pos] == '"' {
-		var err error
-		if metric, col, err = s.quoted(); err != nil {
-			return nil, err
-		}
-	} else {
-		metric, col = s.word()
+	source, metric, col, err := s.selector()
+	if err != nil {
+		return nil, err
 	}
 	if metric == "" {
 		return nil, s.errf(col, "expected a metric selector")
@@ -248,6 +295,7 @@ func ParseRule(line string, lineNo int) (*Rule, error) {
 	return &Rule{
 		Name:      name,
 		Fn:        fn,
+		Source:    source,
 		Metric:    metric,
 		Scope:     scope,
 		ID:        id,

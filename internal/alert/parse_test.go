@@ -16,10 +16,52 @@ func TestParseRuleGoodSpecs(t *testing.T) {
 	}{
 		{
 			name: "issue example shape",
-			spec: "mem_bw_low: avg(MEM_DP/bandwidth, socket, 30s) < 2.0e9 for 60s",
-			want: Rule{Name: "mem_bw_low", Fn: FnAvg, Metric: "MEM_DP/bandwidth",
+			spec: "mem_bw_low: avg(memory_bandwidth_mbytes_s, socket, 30s) < 2.0e9 for 60s",
+			want: Rule{Name: "mem_bw_low", Fn: FnAvg, Metric: "memory_bandwidth_mbytes_s",
 				Scope: monitor.ScopeSocket, ID: AllIDs, Lookback: 30, Cmp: CmpLT,
 				Threshold: 2.0e9, For: 60},
+		},
+		{
+			name: "source selector",
+			spec: "node_bw: avg(nodeA-7/bandwidth, socket, 30s) < 2.0e9 for 60s",
+			want: Rule{Name: "node_bw", Fn: FnAvg, Source: "nodeA-7", Metric: "bandwidth",
+				Scope: monitor.ScopeSocket, ID: AllIDs, Lookback: 30, Cmp: CmpLT,
+				Threshold: 2.0e9, For: 60},
+		},
+		{
+			name: "source wildcard slice",
+			spec: "rack_bw: min(rack1-*/bw, node, 30s) < 1 for 0s",
+			want: Rule{Name: "rack_bw", Fn: FnMin, Source: "rack1-*", Metric: "bw",
+				Scope: monitor.ScopeNode, ID: AllIDs, Lookback: 30, Cmp: CmpLT,
+				Threshold: 1, For: 0},
+		},
+		{
+			name: "reserved namespace stays a metric",
+			spec: "threads: max(topo/socket_hw_threads, socket, 10s) > 12 for 0s",
+			want: Rule{Name: "threads", Fn: FnMax, Metric: "topo/socket_hw_threads",
+				Scope: monitor.ScopeSocket, ID: AllIDs, Lookback: 10, Cmp: CmpGT,
+				Threshold: 12, For: 0},
+		},
+		{
+			name: "quoted source forces the reserved word",
+			spec: `odd: avg("event"/instr, node, 10s) > 1 for 0s`,
+			want: Rule{Name: "odd", Fn: FnAvg, Source: "event", Metric: "instr",
+				Scope: monitor.ScopeNode, ID: AllIDs, Lookback: 10, Cmp: CmpGT,
+				Threshold: 1, For: 0},
+		},
+		{
+			name: "quoted metric with slash is never split",
+			spec: `q: avg("nodeA/bw", node, 10s) > 1 for 0s`,
+			want: Rule{Name: "q", Fn: FnAvg, Metric: "nodeA/bw",
+				Scope: monitor.ScopeNode, ID: AllIDs, Lookback: 10, Cmp: CmpGT,
+				Threshold: 1, For: 0},
+		},
+		{
+			name: "source with quoted metric",
+			spec: `s: avg(nodeA/"DP MFlops/s", node, 10s) > 1 for 0s`,
+			want: Rule{Name: "s", Fn: FnAvg, Source: "nodeA", Metric: "DP MFlops/s",
+				Scope: monitor.ScopeNode, ID: AllIDs, Lookback: 10, Cmp: CmpGT,
+				Threshold: 1, For: 0},
 		},
 		{
 			name: "explicit id and every",
@@ -45,7 +87,7 @@ func TestParseRuleGoodSpecs(t *testing.T) {
 		{
 			name: "fleet wildcard",
 			spec: "fleet_idle: avg(*/dp_mflops_s, node, 20s) < 1 for 40s",
-			want: Rule{Name: "fleet_idle", Fn: FnAvg, Metric: "*/dp_mflops_s",
+			want: Rule{Name: "fleet_idle", Fn: FnAvg, Source: "*", Metric: "dp_mflops_s",
 				Scope: monitor.ScopeNode, ID: AllIDs, Lookback: 20, Cmp: CmpLT,
 				Threshold: 1, For: 40},
 		},
@@ -170,26 +212,33 @@ bw_skew: imbalance("memory bandwidth # not a comment", socket, 30s) > 0.5 for 1m
 	}
 }
 
-func TestRuleMetricMatching(t *testing.T) {
+func TestRuleSelectorMatching(t *testing.T) {
+	node := func(source, metric string) monitor.Key {
+		return monitor.Key{Source: source, Metric: metric, Scope: monitor.ScopeNode}
+	}
 	tests := []struct {
-		selector string
-		metric   string
-		want     bool
+		source, metric string // rule selector dimensions
+		key            monitor.Key
+		want           bool
 	}{
-		{"bw", "bw", true},
-		{"bw", "bandwidth", false},
-		{"memory_bandwidth_mbytes_s", "Memory bandwidth [MBytes/s]", true}, // sanitized form
-		{"*/bw", "nodeA/bw", true},
-		{"*/bw", "bw", false}, // '*' needs the '/' separator present
-		{"*", "anything/at/all", true},
-		{"node*bw", "nodeA/deep/bw", true},
-		{"*/bw", "alert/bw", false}, // alert history never matches
-		{"alert/r", "alert/r", false},
+		{"", "bw", node("", "bw"), true},
+		{"", "bw", node("", "bandwidth"), false},
+		{"", "bw", node("nodeA", "bw"), false},                                           // no source selector = local only
+		{"", "memory_bandwidth_mbytes_s", node("", "Memory bandwidth [MBytes/s]"), true}, // sanitized form
+		{"*", "bw", node("nodeA", "bw"), true},
+		{"*", "bw", node("", "bw"), true}, // '*' spans the fleet, local included
+		{"node*", "bw", node("nodeA", "bw"), true},
+		{"node*", "bw", node("rack1", "bw"), false},
+		{"nodeA", "bw", node("nodeA", "bw"), true},
+		{"nodeA", "bw", node("nodeB", "bw"), false},
+		{"nodeA", "mem*", node("nodeA", "memory_bandwidth_mbytes_s"), true},
+		{"*", "alert/r", node("nodeA", "alert/r"), false}, // alert history never matches
+		{"", "alert/r", node("", "alert/r"), false},
 	}
 	for _, tt := range tests {
-		r := Rule{Metric: tt.selector}
-		if got := r.matchesMetric(tt.metric); got != tt.want {
-			t.Errorf("selector %q vs metric %q = %v, want %v", tt.selector, tt.metric, got, tt.want)
+		r := Rule{Source: tt.source, Metric: tt.metric}
+		if got := r.matches(tt.key); got != tt.want {
+			t.Errorf("selector (%q,%q) vs key %+v = %v, want %v", tt.source, tt.metric, tt.key, got, tt.want)
 		}
 	}
 }

@@ -20,9 +20,12 @@ import (
 // Sink (keeping a latest-value snapshot per series) and serves:
 //
 //	/metrics  latest value of every series, Prometheus-style text:
-//	          likwid_<metric>{scope="socket",id="0"} <value> <sim time>
+//	          likwid_<metric>{source="nodeA",scope="socket",id="0"} <value> <sim time>
+//	          (the source label appears only on ingested fleet series)
 //	/query    windowed time series from the ring-buffer store as JSON:
 //	          /query?metric=NAME&scope=socket&id=0&from=0.5&to=2.0
+//	          plus source=NAME for one agent's series or a '*' wildcard
+//	          (source=node*) fanning out across sources
 //	/ingest   POST endpoint receiving (optionally gzipped) JSON-lines
 //	          sample batches from remote push sinks; valid batches are
 //	          appended to the store and the /metrics snapshot, so one
@@ -101,6 +104,9 @@ func (h *HTTPSink) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		if a.Metric != b.Metric {
 			return a.Metric < b.Metric
 		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
 		if a.Scope != b.Scope {
 			return a.Scope < b.Scope
 		}
@@ -108,18 +114,31 @@ func (h *HTTPSink) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	for _, s := range samples {
+		if s.Source != "" {
+			fmt.Fprintf(w, "likwid_%s{source=%q,scope=%q,id=%q} %s %s\n",
+				SanitizeMetric(s.Metric), s.Source, s.Scope, strconv.Itoa(s.ID),
+				formatValue(s.Value), formatTime(s.Time))
+			continue
+		}
 		fmt.Fprintf(w, "likwid_%s{scope=%q,id=%q} %s %s\n",
 			SanitizeMetric(s.Metric), s.Scope, strconv.Itoa(s.ID),
 			formatValue(s.Value), formatTime(s.Time))
 	}
 }
 
-// queryResponse is the /query JSON payload.
+// queryResponse is the /query JSON payload for one series.
 type queryResponse struct {
+	Source string  `json:"source,omitempty"`
 	Metric string  `json:"metric"`
 	Scope  string  `json:"scope"`
 	ID     int     `json:"id"`
 	Points []Point `json:"points"`
+}
+
+// querySeriesResponse is the /query payload for a wildcard source
+// selector: one entry per matched series, sorted by source.
+type querySeriesResponse struct {
+	Series []queryResponse `json:"series"`
 }
 
 func (h *HTTPSink) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -133,6 +152,7 @@ func (h *HTTPSink) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing metric parameter", http.StatusBadRequest)
 		return
 	}
+	source := q.Get("source")
 	scope := ScopeNode
 	if sc := q.Get("scope"); sc != "" {
 		var err error
@@ -166,32 +186,68 @@ func (h *HTTPSink) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		to = v
 	}
-	key := h.resolveKey(metric, scope, id)
+	w.Header().Set("Content-Type", "application/json")
+	if strings.Contains(source, "*") {
+		// Wildcard across sources: one response entry per matched series.
+		resp := querySeriesResponse{Series: []queryResponse{}}
+		for _, k := range h.queryKeys(source, metric, scope, id) {
+			resp.Series = append(resp.Series, queryResponse{
+				Source: k.Source,
+				Metric: k.Metric,
+				Scope:  k.Scope.String(),
+				ID:     k.ID,
+				Points: h.store.Window(k, from, to),
+			})
+		}
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	key := h.resolveKey(source, metric, scope, id)
 	resp := queryResponse{
+		Source: key.Source,
 		Metric: key.Metric,
 		Scope:  key.Scope.String(),
 		ID:     key.ID,
 		Points: h.store.Window(key, from, to),
 	}
-	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // resolveKey accepts either the exact stored metric name or its sanitized
 // exposition form, so /query?metric=memory_bandwidth_mbytes_s works after
 // scraping /metrics.
-func (h *HTTPSink) resolveKey(metric string, scope Scope, id int) Key {
-	key := Key{Metric: metric, Scope: scope, ID: id}
+func (h *HTTPSink) resolveKey(source, metric string, scope Scope, id int) Key {
+	key := Key{Source: source, Metric: metric, Scope: scope, ID: id}
 	if h.store.Len(key) > 0 {
 		return key
 	}
 	want := strings.TrimPrefix(metric, "likwid_")
 	for _, k := range h.store.Keys() {
-		if k.Scope == scope && k.ID == id && SanitizeMetric(k.Metric) == want {
+		if k.Source == source && k.Scope == scope && k.ID == id && SanitizeMetric(k.Metric) == want {
 			return k
 		}
 	}
 	return key
+}
+
+// queryKeys lists the stored series matching a wildcard source pattern
+// plus an exact (or sanitized) metric at one scope/id, sorted by source.
+func (h *HTTPSink) queryKeys(sourcePattern, metric string, scope Scope, id int) []Key {
+	want := strings.TrimPrefix(metric, "likwid_")
+	var out []Key
+	for _, k := range h.store.Keys() { // sorted by source already
+		if k.Scope != scope || k.ID != id {
+			continue
+		}
+		if !MatchSource(sourcePattern, k.Source) {
+			continue
+		}
+		if k.Metric != metric && SanitizeMetric(k.Metric) != want {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
 }
 
 // ingest limits: the compressed body is capped by MaxBytesReader, the
@@ -227,6 +283,14 @@ func (l *limitedReader) Read(p []byte) (int, error) {
 // decodeIngest parses and validates one JSON-lines ingest payload.  It
 // is all-or-nothing: any malformed record rejects the whole batch, so a
 // 400 never leaves a partial batch in the store.
+//
+// Two schema generations are accepted:
+//
+//	v2: {"source":"nodeA", "metric":"bw", ...} — source is a field and
+//	    lands verbatim in Key.Source.
+//	v1: {"metric":"nodeA/bw", ...} — the legacy prefix form, split by
+//	    the SplitSourceMetric compat shim so old payloads land on the
+//	    same store keys as their v2 equivalents.
 func decodeIngest(r io.Reader) ([]Sample, error) {
 	dec := json.NewDecoder(r)
 	var out []Sample
@@ -252,13 +316,18 @@ func decodeIngest(r io.Reader) ([]Sample, error) {
 		case math.IsNaN(js.Value) || math.IsInf(js.Value, 0):
 			return nil, fmt.Errorf("record %d: bad value %v", i, js.Value)
 		}
-		metric := js.Metric
-		if js.Source != "" {
-			// Namespace pushed series by their agent identity so two
-			// nodes emitting the same group stay distinct.
-			metric = js.Source + "/" + metric
+		// An explicit source field is stored verbatim — any label a v1
+		// agent was free to configure keeps working.  Only the compat
+		// shim below, guessing at a prefix, insists on a conservative
+		// label shape.
+		source, metric := js.Source, js.Metric
+		if source == "" {
+			// v1 compat shim: the only place in the suite that still
+			// parses a source out of a metric name.
+			source, metric, _ = SplitSourceMetric(js.Metric)
 		}
 		out = append(out, Sample{
+			Source: source,
 			Metric: metric,
 			Scope:  scope,
 			ID:     js.ID,
@@ -307,8 +376,19 @@ func (h *HTTPSink) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad ingest payload: "+err.Error(), status)
 		return
 	}
+	// A pushed flush is dozens of samples over a handful of series:
+	// intern each key once and append points through the handles instead
+	// of paying the shard lookup per sample.
+	var (
+		lastKey Key
+		handle  Series
+		have    bool
+	)
 	for _, s := range samples {
-		h.store.Append(s.Key(), Point{Time: s.Time, Value: s.Value})
+		if k := s.Key(); !have || k != lastKey {
+			handle, lastKey, have = h.store.Intern(k), k, true
+		}
+		handle.Append(Point{Time: s.Time, Value: s.Value})
 	}
 	h.mu.Lock()
 	for _, s := range samples {

@@ -241,7 +241,7 @@ func TestIngestWithoutStoreIsNotImplemented(t *testing.T) {
 	}
 }
 
-func TestIngestSourceNamespacesSeries(t *testing.T) {
+func TestIngestSourceBecomesKeyDimension(t *testing.T) {
 	h, store := newTestHTTPSink(t)
 	base := "http://" + h.Addr()
 	payload := []byte(`{"time":1,"collector":"c","source":"nodeA-7","metric":"bw","scope":"node","id":0,"value":10}
@@ -250,13 +250,171 @@ func TestIngestSourceNamespacesSeries(t *testing.T) {
 	if code, body := postIngest(t, base, payload, false); code != http.StatusOK {
 		t.Fatalf("ingest = %d %q", code, body)
 	}
-	a := store.Window(Key{Metric: "nodeA-7/bw", Scope: ScopeNode, ID: 0}, 0, -1)
-	b := store.Window(Key{Metric: "nodeB-9/bw", Scope: ScopeNode, ID: 0}, 0, -1)
+	a := store.Window(Key{Source: "nodeA-7", Metric: "bw", Scope: ScopeNode, ID: 0}, 0, -1)
+	b := store.Window(Key{Source: "nodeB-9", Metric: "bw", Scope: ScopeNode, ID: 0}, 0, -1)
 	if len(a) != 1 || len(b) != 1 || a[0].Value != 10 || b[0].Value != 20 {
-		t.Errorf("source-prefixed series = %+v / %+v, want one point each", a, b)
+		t.Errorf("sourced series = %+v / %+v, want one point each", a, b)
 	}
 	if pts := store.Window(Key{Metric: "bw", Scope: ScopeNode, ID: 0}, 0, -1); pts != nil {
-		t.Errorf("unprefixed series exists with %d points, want none", len(pts))
+		t.Errorf("sourceless series exists with %d points, want none", len(pts))
+	}
+	// The metric name is never mangled: no "SOURCE/metric" series appears.
+	if pts := store.Window(Key{Metric: "nodeA-7/bw", Scope: ScopeNode, ID: 0}, 0, -1); pts != nil {
+		t.Errorf("prefix-mangled series exists with %d points, want none", len(pts))
+	}
+	// /metrics carries the source as a label.
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, `likwid_bw{source="nodeA-7",scope="node",id="0"} 10`) {
+		t.Errorf("/metrics = %d %q, want a source-labelled bw line", code, body)
+	}
+}
+
+// TestIngestKeepsArbitrarySourceField pins v1 wire parity: an explicit
+// source field is stored verbatim even when it is not a plain label (a
+// pre-refactor agent was free to configure any string); only the v1
+// prefix shim is conservative about what counts as a source.
+func TestIngestKeepsArbitrarySourceField(t *testing.T) {
+	h, store := newTestHTTPSink(t)
+	payload := []byte(`{"time":1,"collector":"c","source":"rack1 node7","metric":"bw","scope":"node","id":0,"value":10}` + "\n")
+	if code, body := postIngest(t, "http://"+h.Addr(), payload, false); code != http.StatusOK {
+		t.Fatalf("ingest = %d %q, want the odd-but-v1-legal source accepted", code, body)
+	}
+	k := Key{Source: "rack1 node7", Metric: "bw", Scope: ScopeNode, ID: 0}
+	if p, ok := store.Latest(k); !ok || p.Value != 10 {
+		t.Fatalf("Latest = %+v (%v), want the sample under its verbatim source", p, ok)
+	}
+}
+
+// TestIngestMixedVersionsLandOnSameKeys is the compat contract of the
+// v2 wire schema: a v1 payload (source smuggled as a "SOURCE/metric"
+// prefix) and a v2 payload (source as its own field) must land on the
+// same store keys, so one Window query stitches history pushed by a
+// mixed-version fleet.
+func TestIngestMixedVersionsLandOnSameKeys(t *testing.T) {
+	tests := []struct {
+		name    string
+		v1, v2  string
+		key     Key
+		times   []float64
+		values  []float64
+		listLen int
+	}{
+		{
+			name:   "prefix form equals source field",
+			v1:     `{"time":1,"collector":"c","metric":"nodeA/bw","scope":"node","id":0,"value":10}`,
+			v2:     `{"time":2,"collector":"c","source":"nodeA","metric":"bw","scope":"node","id":0,"value":20}`,
+			key:    Key{Source: "nodeA", Metric: "bw", Scope: ScopeNode, ID: 0},
+			times:  []float64{1, 2},
+			values: []float64{10, 20},
+		},
+		{
+			name:   "reserved namespace is a metric, not a source",
+			v1:     `{"time":1,"collector":"c","metric":"topo/socket_hw_threads","scope":"node","id":0,"value":6}`,
+			v2:     `{"time":2,"collector":"c","metric":"topo/socket_hw_threads","scope":"node","id":0,"value":6}`,
+			key:    Key{Metric: "topo/socket_hw_threads", Scope: ScopeNode, ID: 0},
+			times:  []float64{1, 2},
+			values: []float64{6, 6},
+		},
+		{
+			name:   "slash after an invalid label stays in the metric",
+			v1:     `{"time":1,"collector":"c","metric":"DP MFlops/s","scope":"node","id":0,"value":7}`,
+			v2:     `{"time":2,"collector":"c","metric":"DP MFlops/s","scope":"node","id":0,"value":8}`,
+			key:    Key{Metric: "DP MFlops/s", Scope: ScopeNode, ID: 0},
+			times:  []float64{1, 2},
+			values: []float64{7, 8},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h, store := newTestHTTPSink(t)
+			base := "http://" + h.Addr()
+			if code, body := postIngest(t, base, []byte(tt.v1+"\n"), false); code != http.StatusOK {
+				t.Fatalf("v1 ingest = %d %q", code, body)
+			}
+			if code, body := postIngest(t, base, []byte(tt.v2+"\n"), false); code != http.StatusOK {
+				t.Fatalf("v2 ingest = %d %q", code, body)
+			}
+			if n := len(store.Keys()); n != 1 {
+				t.Fatalf("store has %d series, want both payloads on one key (keys: %+v)", n, store.Keys())
+			}
+			pts := store.Window(tt.key, 0, -1)
+			if len(pts) != len(tt.times) {
+				t.Fatalf("window = %+v, want %d stitched points", pts, len(tt.times))
+			}
+			for i, p := range pts {
+				if p.Time != tt.times[i] || p.Value != tt.values[i] {
+					t.Errorf("point %d = %+v, want t=%v v=%v", i, p, tt.times[i], tt.values[i])
+				}
+			}
+		})
+	}
+}
+
+// TestQuerySourceParameter covers the /query source dimension: exact
+// selection, default local-only, and the '*' wildcard fanning out one
+// response entry per source.
+func TestQuerySourceParameter(t *testing.T) {
+	h, store := newTestHTTPSink(t)
+	base := "http://" + h.Addr()
+	store.Append(Key{Metric: "bw", Scope: ScopeNode, ID: 0}, Point{Time: 1, Value: 1})
+	store.Append(Key{Source: "nodeA", Metric: "bw", Scope: ScopeNode, ID: 0}, Point{Time: 1, Value: 10})
+	store.Append(Key{Source: "nodeB", Metric: "bw", Scope: ScopeNode, ID: 0}, Point{Time: 1, Value: 20})
+
+	// Exact source.
+	code, body := get(t, base+"/query?metric=bw&scope=node&source=nodeA")
+	if code != http.StatusOK {
+		t.Fatalf("/query source=nodeA status %d: %s", code, body)
+	}
+	var one queryResponse
+	if err := json.Unmarshal([]byte(body), &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Source != "nodeA" || len(one.Points) != 1 || one.Points[0].Value != 10 {
+		t.Errorf("source=nodeA response = %+v, want nodeA's point", one)
+	}
+
+	// No source parameter: local series only.
+	code, body = get(t, base+"/query?metric=bw&scope=node")
+	if code != http.StatusOK {
+		t.Fatalf("/query local status %d: %s", code, body)
+	}
+	one = queryResponse{}
+	if err := json.Unmarshal([]byte(body), &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Source != "" || len(one.Points) != 1 || one.Points[0].Value != 1 {
+		t.Errorf("local response = %+v, want the sourceless point", one)
+	}
+
+	// Wildcard: one entry per source, local included, sorted by source.
+	code, body = get(t, base+"/query?metric=bw&scope=node&source=*")
+	if code != http.StatusOK {
+		t.Fatalf("/query source=* status %d: %s", code, body)
+	}
+	var many querySeriesResponse
+	if err := json.Unmarshal([]byte(body), &many); err != nil {
+		t.Fatal(err)
+	}
+	if len(many.Series) != 3 {
+		t.Fatalf("source=* returned %d series, want 3: %s", len(many.Series), body)
+	}
+	wantSources := []string{"", "nodeA", "nodeB"}
+	for i, s := range many.Series {
+		if s.Source != wantSources[i] {
+			t.Errorf("series %d source = %q, want %q", i, s.Source, wantSources[i])
+		}
+	}
+
+	// Prefix wildcard narrows the fleet.
+	code, body = get(t, base+"/query?metric=bw&scope=node&source=node*")
+	if code != http.StatusOK {
+		t.Fatalf("/query source=node* status %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &many); err != nil {
+		t.Fatal(err)
+	}
+	if len(many.Series) != 2 {
+		t.Errorf("source=node* returned %d series, want 2: %s", len(many.Series), body)
 	}
 }
 

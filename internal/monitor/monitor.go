@@ -57,6 +57,10 @@ func ParseScope(name string) (Scope, error) {
 // Sample is one measured value of one metric on one topology entity at one
 // point of simulated time.
 type Sample struct {
+	// Source is the identity of the agent the sample came from; empty
+	// for samples collected on this node.  It is a first-class series
+	// dimension, never folded into the metric name.
+	Source string
 	Metric string
 	Scope  Scope
 	ID     int     // processor, core, or socket index; 0 for node scope
@@ -64,15 +68,20 @@ type Sample struct {
 	Value  float64
 }
 
-// Key identifies one time series in the store.
+// Key identifies one time series in the store: which agent measured
+// (Source, empty for local series), what was measured (Metric), and
+// where (Scope, ID).
 type Key struct {
+	Source string
 	Metric string
 	Scope  Scope
 	ID     int
 }
 
 // Key returns the sample's series identity.
-func (s Sample) Key() Key { return Key{Metric: s.Metric, Scope: s.Scope, ID: s.ID} }
+func (s Sample) Key() Key {
+	return Key{Source: s.Source, Metric: s.Metric, Scope: s.Scope, ID: s.ID}
+}
 
 // Batch is the output of one collector tick, forwarded to store and sinks
 // as a unit so sinks can render one table / flush one block per read.
@@ -186,6 +195,92 @@ func mustRegister(name string, f Factory) {
 	if err := DefaultRegistry.Register(name, f); err != nil {
 		panic(err)
 	}
+}
+
+// ValidSourceLabel reports whether s looks like an agent source
+// identity: letters, digits, '_', '-', '.' — the shape of the default
+// hostname-pid label.  The v1 ingest compat shim uses it to tell a
+// source prefix from a slash inside a metric name; an explicit v2
+// source field is never subjected to it.
+func ValidSourceLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// reservedNamespaces are the suite's own slash-namespaced metric
+// families.  A leading "event/", "topo/", "feature/", "membw/" or
+// "alert/" is part of the metric name, never an agent source label.
+var reservedNamespaces = map[string]bool{
+	"alert":   true,
+	"event":   true,
+	"feature": true,
+	"membw":   true,
+	"topo":    true,
+}
+
+// ReservedNamespace reports whether seg is one of the suite's metric
+// namespaces rather than a plausible source label.
+func ReservedNamespace(seg string) bool { return reservedNamespaces[seg] }
+
+// SplitSourceMetric is the v1 compat shim: it splits the legacy
+// "SOURCE/metric" prefix form into its dimensions.  It is deliberately
+// conservative — the prefix must be a valid source label and must not
+// be one of the suite's reserved metric namespaces — because a slash
+// inside a metric name ("DP MFlops/s", "topo/socket_hw_threads") is
+// not a source boundary.  New code carries Source in the Key and never
+// needs this.
+func SplitSourceMetric(name string) (source, metric string, ok bool) {
+	i := strings.IndexByte(name, '/')
+	if i <= 0 || i == len(name)-1 {
+		return "", name, false
+	}
+	prefix := name[:i]
+	if !ValidSourceLabel(prefix) || ReservedNamespace(prefix) {
+		return "", name, false
+	}
+	return prefix, name[i+1:], true
+}
+
+// WildcardMatch matches a pattern whose '*' runs match any characters
+// (including '/'), the selector idiom shared by the alert DSL and the
+// /query source parameter.
+func WildcardMatch(pattern, s string) bool {
+	parts := strings.Split(pattern, "*")
+	if len(parts) == 1 {
+		return pattern == s
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for _, part := range parts[1 : len(parts)-1] {
+		idx := strings.Index(s, part)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(part):]
+	}
+	return strings.HasSuffix(s, parts[len(parts)-1])
+}
+
+// MatchSource reports whether a source selector picks a series source.
+// An empty pattern selects only local (sourceless) series; '*'
+// wildcards match across the fleet, the empty local source included.
+func MatchSource(pattern, source string) bool {
+	if strings.Contains(pattern, "*") {
+		return WildcardMatch(pattern, source)
+	}
+	return pattern == source
 }
 
 // SanitizeMetric converts a display metric name ("DP MFlops/s",

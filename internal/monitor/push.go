@@ -29,10 +29,13 @@ type PushOptions struct {
 	// RetryBase is the first retry backoff, doubling per attempt
 	// (default 100 ms).
 	RetryBase time.Duration
-	// Source identifies this agent at the receiver: when set, the
-	// receiver stores every pushed series under "SOURCE/metric", so
-	// several agents pushing the same group do not collapse into one
-	// series.  Empty means unlabelled (single-agent setups).
+	// Source identifies this agent at the receiver: when set, it is
+	// carried as the per-sample "source" field of the v2 wire schema and
+	// lands in Key.Source at the receiver, so several agents pushing the
+	// same group do not collapse into one series.  Samples that already
+	// carry their own Source (a receiver re-pushing a fleet store) keep
+	// it; this option only labels sourceless samples.  Empty means
+	// unlabelled (single-agent setups).
 	Source string
 	// Client defaults to an http.Client with a 10 s timeout.
 	Client *http.Client
@@ -110,10 +113,14 @@ func (p *PushSink) Retries() uint64 { return p.retries.Load() }
 // samples buffered (bounded by MaxBuffered) for the next flush.
 func (p *PushSink) Write(b Batch) error {
 	for _, sm := range b.Samples {
+		source := sm.Source
+		if source == "" {
+			source = p.opts.Source
+		}
 		p.pending = append(p.pending, jsonSample{
 			Time:      sm.Time,
 			Collector: b.Collector,
-			Source:    p.opts.Source,
+			Source:    source,
 			Metric:    sm.Metric,
 			Scope:     sm.Scope.String(),
 			ID:        sm.ID,

@@ -79,6 +79,40 @@ func TestPushSinkWireFormatGolden(t *testing.T) {
 	checkGolden(t, "push_batch.golden", rec.payloads[0])
 }
 
+// TestPushSinkWireFormatGoldenV2 pins the v2 schema: the agent's Source
+// identity rides as a per-sample "source" field (never a metric
+// prefix), and a sample that already carries its own Source — a
+// receiver re-pushing fleet series — keeps it.
+func TestPushSinkWireFormatGoldenV2(t *testing.T) {
+	rec := &captureReceiver{}
+	srv := httptest.NewServer(http.HandlerFunc(rec.handler))
+	defer srv.Close()
+
+	p, err := NewPushSink(PushOptions{URL: srv.URL, FlushSamples: 1 << 20, Source: "nodeA-7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := goldenBatches()
+	// One relayed sample with its own source: the sink must not relabel it.
+	batches[1].Samples = append(batches[1].Samples, Sample{
+		Source: "nodeB-9", Metric: "dp_mflops_s", Scope: ScopeNode, ID: 0, Time: 1.0, Value: 99.5,
+	})
+	for _, b := range batches {
+		if err := p.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.payloads) != 1 {
+		t.Fatalf("receiver saw %d pushes, want 1", len(rec.payloads))
+	}
+	checkGolden(t, "push_batch_v2.golden", rec.payloads[0])
+}
+
 func TestPushSinkRetriesThenSucceeds(t *testing.T) {
 	rec := &captureReceiver{failNext: 2}
 	srv := httptest.NewServer(http.HandlerFunc(rec.handler))
@@ -314,7 +348,7 @@ func TestTwoAgentsFanIn(t *testing.T) {
 	}
 	wg.Wait()
 	for agent := 0; agent < 3; agent++ {
-		k := Key{Metric: fmt.Sprintf("node%d/bw", agent), Scope: ScopeNode, ID: 0}
+		k := Key{Source: fmt.Sprintf("node%d", agent), Metric: "bw", Scope: ScopeNode, ID: 0}
 		pts := storeB.Window(k, 0, -1)
 		if len(pts) != 50 {
 			t.Errorf("agent %d series has %d points, want 50", agent, len(pts))
@@ -324,9 +358,9 @@ func TestTwoAgentsFanIn(t *testing.T) {
 			t.Errorf("agent %d newest value = %v, want %d", agent, pts[49].Value, agent*1000+49)
 		}
 	}
-	// The unprefixed metric must not exist: nothing collapsed.
+	// The sourceless series must not exist: nothing collapsed.
 	if pts := storeB.Window(Key{Metric: "bw", Scope: ScopeNode, ID: 0}, 0, -1); pts != nil {
-		t.Errorf("unprefixed series has %d points, want none", len(pts))
+		t.Errorf("sourceless series has %d points, want none", len(pts))
 	}
 }
 

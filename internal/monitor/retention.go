@@ -97,15 +97,23 @@ type tierRing struct {
 	n    int
 	next *tierRing // cascade target for evicted buckets; nil on the coarsest
 
+	// step switches the sealed bucket's windowed value (Avg and Median)
+	// to the chronologically newest member — last-value semantics for
+	// sparse 0/1 state series (Store.SetCompaction, CompactLast), where
+	// averaging a 1→0 transition pair into 0.5 would be noise.  Min,
+	// max and count stay exact either way.
+	step bool
+
 	// Open-bucket accumulator.  Min/max/sum/count merge exactly whether
 	// the input is a raw point or a cascaded bucket; the median is exact
 	// for raw points and a median-of-medians estimate for cascades.
-	open      bool
-	openStart float64
-	count     int
-	min, max  float64
-	sum       float64
-	medians   []float64
+	open         bool
+	openStart    float64
+	count        int
+	min, max     float64
+	sum          float64
+	lastT, lastV float64 // newest member by time, for step compaction
+	medians      []float64
 }
 
 func newTierRing(t Tier) *tierRing {
@@ -133,6 +141,7 @@ func (t *tierRing) rollOver(at float64) {
 		t.sum = 0
 		t.min = math.Inf(1)
 		t.max = math.Inf(-1)
+		t.lastT = math.Inf(-1)
 		t.medians = t.medians[:0]
 	}
 }
@@ -144,12 +153,17 @@ func (t *tierRing) absorb(p Point) {
 	t.sum += p.Value
 	t.min = math.Min(t.min, p.Value)
 	t.max = math.Max(t.max, p.Value)
+	if p.Time >= t.lastT {
+		t.lastT, t.lastV = p.Time, p.Value
+	}
 	t.medians = append(t.medians, p.Value)
 }
 
 // absorbBucket folds a bucket evicted from the finer tier into this one:
 // min/max merge, the average stays count-weighted exact, the median
-// degrades to a median of the members' medians.
+// degrades to a median of the members' medians.  For step series the
+// finer bucket's Avg already is its last value, so last-of-lasts keeps
+// the semantics through the cascade.
 func (t *tierRing) absorbBucket(b Bucket) {
 	if b.Count <= 0 {
 		return
@@ -159,6 +173,9 @@ func (t *tierRing) absorbBucket(b Bucket) {
 	t.sum += b.Avg * float64(b.Count)
 	t.min = math.Min(t.min, b.Min)
 	t.max = math.Max(t.max, b.Max)
+	if b.Start >= t.lastT {
+		t.lastT, t.lastV = b.Start, b.Avg
+	}
 	t.medians = append(t.medians, b.Median)
 }
 
@@ -196,8 +213,15 @@ func (t *tierRing) push(b Bucket) (Bucket, bool) {
 	return evicted, full
 }
 
-// bucket shapes the open accumulator into a Bucket.
+// bucket shapes the open accumulator into a Bucket.  Step series report
+// the newest member as both Avg and Median — the state at the bucket
+// end — so windowed queries over downsampled alert history never show
+// values that were never recorded.
 func (t *tierRing) bucket(median float64) Bucket {
+	avg := t.sum / float64(t.count)
+	if t.step {
+		avg, median = t.lastV, t.lastV
+	}
 	return Bucket{
 		Start:  t.openStart,
 		Res:    t.res,
@@ -205,7 +229,7 @@ func (t *tierRing) bucket(median float64) Bucket {
 		Min:    t.min,
 		Median: median,
 		Max:    t.max,
-		Avg:    t.sum / float64(t.count),
+		Avg:    avg,
 	}
 }
 
@@ -237,10 +261,7 @@ func (st *Store) Tiers() []Tier { return append([]Tier(nil), st.tiers...) }
 // the newest bucket).  The newest bucket may be provisional (still
 // accumulating); resolutions not configured as a tier return nil.
 func (st *Store) Buckets(k Key, resolution, from, to float64) []Bucket {
-	sh := st.shardOf(k)
-	sh.mu.RLock()
-	s := sh.series[k]
-	sh.mu.RUnlock()
+	s := st.lookup(k)
 	if s == nil {
 		return nil
 	}

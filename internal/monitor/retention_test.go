@@ -354,3 +354,84 @@ func TestConcurrentAppendsWithTiers(t *testing.T) {
 		}
 	}
 }
+
+// TestStepCompactionKeepsLastValue pins CompactLast: a sparse 0/1
+// transition series (alert history) compacts each bucket to its newest
+// member — the state at the bucket end — instead of averaging a 1→0
+// pair into 0.5 noise.  Min/max stay exact either way.
+func TestStepCompactionKeepsLastValue(t *testing.T) {
+	appendTransitions := func(st *Store, k Key) {
+		// Fire (1) and resolve (0) inside bucket [0,10), then keep the
+		// series moving so both transition points evict into the tier.
+		for i, p := range []Point{
+			{Time: 1, Value: 1}, {Time: 2, Value: 0},
+			{Time: 11, Value: 1}, {Time: 12, Value: 0},
+			{Time: 21, Value: 1}, {Time: 22, Value: 0},
+		} {
+			_ = i
+			st.Append(k, p)
+		}
+	}
+	k := Key{Metric: "alert/bw_low", Scope: ScopeNode, ID: 0}
+
+	step := NewStore(2, Tier{Resolution: 10, Capacity: 8})
+	step.SetCompaction(k, CompactLast)
+	appendTransitions(step, k)
+	buckets := step.Buckets(k, 10, 0, -1)
+	if len(buckets) == 0 {
+		t.Fatal("no buckets compacted")
+	}
+	for _, b := range buckets {
+		if b.Avg != 0 && b.Avg != 1 {
+			t.Errorf("step bucket [%v,%v) avg = %v, want a recorded 0/1 state", b.Start, b.End(), b.Avg)
+		}
+		if b.Median != b.Avg {
+			t.Errorf("step bucket [%v,%v) median = %v, want the last value %v", b.Start, b.End(), b.Median, b.Avg)
+		}
+	}
+	if b := buckets[0]; b.Start != 0 || b.Avg != 0 || b.Min != 0 || b.Max != 1 || b.Count != 2 {
+		t.Errorf("bucket [0,10) = %+v, want last=0 with exact min 0 / max 1 / count 2", b)
+	}
+	for _, p := range step.Window(k, 0, -1) {
+		if p.Value != 0 && p.Value != 1 {
+			t.Errorf("stitched window point %+v shows a value never recorded", p)
+		}
+	}
+
+	// Contrast: the default mean compaction of the same data does show
+	// the 0.5 average CompactLast exists to avoid.
+	mean := NewStore(2, Tier{Resolution: 10, Capacity: 8})
+	appendTransitions(mean, k)
+	mb := mean.Buckets(k, 10, 0, -1)
+	if len(mb) == 0 || mb[0].Avg != 0.5 {
+		t.Fatalf("mean buckets = %+v, want the first to average to 0.5", mb)
+	}
+}
+
+// TestStepCompactionSurvivesCascade checks last-of-lasts through the
+// tier cascade: buckets evicted from the finest step tier keep
+// last-value semantics in the coarser tier.
+func TestStepCompactionSurvivesCascade(t *testing.T) {
+	k := Key{Metric: "alert/r", Scope: ScopeNode, ID: 0}
+	st := NewStore(1, Tier{Resolution: 1, Capacity: 2}, Tier{Resolution: 10, Capacity: 8})
+	st.SetCompaction(k, CompactLast)
+	// One transition pair per 1s bucket: 1 at t+0.2, 0 at t+0.7.
+	for i := 0; i < 40; i++ {
+		tm := float64(i / 2)
+		v := float64((i + 1) % 2)
+		if v == 1 {
+			st.Append(k, Point{Time: tm + 0.2, Value: 1})
+		} else {
+			st.Append(k, Point{Time: tm + 0.7, Value: 0})
+		}
+	}
+	coarse := st.Buckets(k, 10, 0, -1)
+	if len(coarse) == 0 {
+		t.Fatal("cascade produced no coarse buckets")
+	}
+	for _, b := range coarse {
+		if b.Avg != 0 && b.Avg != 1 {
+			t.Errorf("cascaded bucket [%v,%v) avg = %v, want a recorded 0/1 state", b.Start, b.End(), b.Avg)
+		}
+	}
+}

@@ -149,13 +149,30 @@ func NewTableSink(w io.Writer, scopes ...Scope) Sink {
 func (t *tableSink) Name() string { return "table" }
 
 func (t *tableSink) Write(b Batch) error {
-	tab := cli.NewTable("Metric", "Scope", "ID", "Value")
+	// Fleet batches (any sample with a source) get a Source column;
+	// plain local batches keep the compact four-column table.
+	sourced := false
+	for _, s := range b.Samples {
+		if s.Source != "" {
+			sourced = true
+			break
+		}
+	}
+	head := []string{"Metric", "Scope", "ID", "Value"}
+	if sourced {
+		head = append([]string{"Source"}, head...)
+	}
+	tab := cli.NewTable(head...)
 	rows := 0
 	for _, s := range b.Samples {
 		if t.scopes != nil && !t.scopes[s.Scope] {
 			continue
 		}
-		tab.AddRow(s.Metric, s.Scope.String(), strconv.Itoa(s.ID), cli.FormatMetric(s.Value))
+		row := []string{s.Metric, s.Scope.String(), strconv.Itoa(s.ID), cli.FormatMetric(s.Value)}
+		if sourced {
+			row = append([]string{s.Source}, row...)
+		}
+		tab.AddRow(row...)
 		rows++
 	}
 	if rows == 0 {
@@ -170,11 +187,15 @@ func (t *tableSink) Close() error { return nil }
 // ---- CSV sink -------------------------------------------------------------
 
 // csvSink appends one row per sample: time,collector,metric,scope,id,value.
+// Streams carrying fleet samples (a source on any sample of the first
+// non-empty batch) add a source column after collector; a local agent's
+// file keeps the compact six-column schema.
 type csvSink struct {
-	name string
-	w    *bufio.Writer
-	c    io.Closer
-	head bool
+	name    string
+	w       *bufio.Writer
+	c       io.Closer
+	head    bool
+	sourced bool
 }
 
 // NewCSVSink writes CSV to w, closing c (which may be nil) on Close.
@@ -186,14 +207,33 @@ func (s *csvSink) Name() string { return s.name }
 
 func (s *csvSink) Write(b Batch) error {
 	if !s.head {
+		if len(b.Samples) == 0 {
+			return nil // an empty batch must not fix the schema
+		}
 		s.head = true
-		if _, err := s.w.WriteString("time,collector,metric,scope,id,value\n"); err != nil {
+		for _, sm := range b.Samples {
+			if sm.Source != "" {
+				s.sourced = true
+				break
+			}
+		}
+		header := "time,collector,metric,scope,id,value\n"
+		if s.sourced {
+			header = "time,collector,source,metric,scope,id,value\n"
+		}
+		if _, err := s.w.WriteString(header); err != nil {
 			return err
 		}
 	}
 	for _, sm := range b.Samples {
-		_, err := fmt.Fprintf(s.w, "%s,%s,%s,%s,%d,%s\n",
-			formatTime(sm.Time), b.Collector, sm.Metric, sm.Scope, sm.ID, formatValue(sm.Value))
+		var err error
+		if s.sourced {
+			_, err = fmt.Fprintf(s.w, "%s,%s,%s,%s,%s,%d,%s\n",
+				formatTime(sm.Time), b.Collector, sm.Source, sm.Metric, sm.Scope, sm.ID, formatValue(sm.Value))
+		} else {
+			_, err = fmt.Fprintf(s.w, "%s,%s,%s,%s,%d,%s\n",
+				formatTime(sm.Time), b.Collector, sm.Metric, sm.Scope, sm.ID, formatValue(sm.Value))
+		}
 		if err != nil {
 			return err
 		}
@@ -224,10 +264,13 @@ func NewJSONLSink(w io.Writer, c io.Closer) Sink {
 	return &jsonlSink{w: bufio.NewWriter(w), c: c}
 }
 
-// jsonSample fixes the field order of the line protocol.  Source is the
-// pushing agent's identity, set only on the push→ingest wire: the
-// receiver prefixes it onto the metric name so two agents emitting the
-// same group stay distinct series.
+// jsonSample fixes the field order of the line protocol — the v2 wire
+// schema shared by the jsonl file sink and the push→ingest pipeline.
+// Source is the measuring agent's identity as its own field; the
+// receiver stores it as Key.Source, so two agents emitting the same
+// group stay distinct series without any metric-name mangling.  (The
+// legacy v1 form smuggled the source as a "SOURCE/metric" prefix; the
+// ingest endpoint still accepts it through the SplitSourceMetric shim.)
 type jsonSample struct {
 	Time      float64 `json:"time"`
 	Collector string  `json:"collector"`
@@ -246,6 +289,7 @@ func (s *jsonlSink) Write(b Batch) error {
 		err := enc.Encode(jsonSample{
 			Time:      sm.Time,
 			Collector: b.Collector,
+			Source:    sm.Source,
 			Metric:    sm.Metric,
 			Scope:     sm.Scope.String(),
 			ID:        sm.ID,

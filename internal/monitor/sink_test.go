@@ -103,6 +103,75 @@ func TestTableSinkFiltersScopes(t *testing.T) {
 	}
 }
 
+// sourcedBatch is one fleet batch: samples carrying agent identities,
+// the shape a receiver-side sink sees.
+func sourcedBatch() Batch {
+	return Batch{
+		Collector: "perfgroup/MEM_DP",
+		Time:      0.5,
+		Samples: []Sample{
+			{Source: "nodeA", Metric: "bw", Scope: ScopeNode, ID: 0, Time: 0.5, Value: 100},
+			{Source: "nodeB", Metric: "bw", Scope: ScopeNode, ID: 0, Time: 0.5, Value: 200},
+		},
+	}
+}
+
+// TestSinksCarrySourceColumn pins that every file/terminal sink renders
+// the source dimension when fleet samples carry one — and leaves the
+// compact local formats untouched otherwise (the goldens above pin
+// that).
+func TestSinksCarrySourceColumn(t *testing.T) {
+	t.Run("csv", func(t *testing.T) {
+		var buf bytes.Buffer
+		s := NewCSVSink(&buf, nil)
+		if err := s.Write(sourcedBatch()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if !strings.HasPrefix(out, "time,collector,source,metric,scope,id,value\n") {
+			t.Errorf("csv header misses the source column:\n%s", out)
+		}
+		if !strings.Contains(out, ",nodeA,bw,node,0,100") || !strings.Contains(out, ",nodeB,bw,node,0,200") {
+			t.Errorf("csv rows miss sources:\n%s", out)
+		}
+	})
+	t.Run("jsonl", func(t *testing.T) {
+		var buf bytes.Buffer
+		s := NewJSONLSink(&buf, nil)
+		if err := s.Write(sourcedBatch()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), `"source":"nodeA"`) {
+			t.Errorf("jsonl record misses the source field:\n%s", buf.String())
+		}
+	})
+	t.Run("table", func(t *testing.T) {
+		var buf bytes.Buffer
+		s := NewTableSink(&buf)
+		if err := s.Write(sourcedBatch()); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "Source") || !strings.Contains(out, "nodeA") {
+			t.Errorf("table misses the Source column:\n%s", out)
+		}
+		// A local batch keeps the four-column layout.
+		buf.Reset()
+		if err := s.Write(goldenBatches()[0]); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(buf.String(), "Source") {
+			t.Errorf("local table grew a Source column:\n%s", buf.String())
+		}
+	})
+}
+
 // blockingSink parks in Write until released, to force queue overflow.
 type blockingSink struct {
 	entered chan struct{}

@@ -1,9 +1,9 @@
 package monitor
 
 import (
-	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Point is one (time, value) observation of a series.
@@ -11,6 +11,22 @@ type Point struct {
 	Time  float64 `json:"time"`
 	Value float64 `json:"value"`
 }
+
+// Compaction selects how a series' evicted raw points fold into its
+// retention buckets.
+type Compaction int
+
+const (
+	// CompactMean is the default for gauges and rates: a bucket's
+	// windowed value is the average of its members.
+	CompactMean Compaction = iota
+	// CompactLast keeps last-value semantics for sparse step series
+	// (alert transitions, state flags): a bucket's windowed value is
+	// its chronologically newest member, so a 1→0 transition pair
+	// landing in one bucket reads as 0 — the state at the bucket end —
+	// instead of averaging into 0.5 noise.
+	CompactLast
+)
 
 // series is one metric's fixed-capacity ring buffer plus its downsampled
 // retention tiers.  Old points are not discarded when the ring is full:
@@ -80,23 +96,25 @@ func (s *series) len() int {
 	return s.n
 }
 
-// storeShards is the lock-striping width of the store: writers of
-// different series contend only within their shard, so concurrent
-// collectors rarely serialize on each other.
-const storeShards = 16
-
-type storeShard struct {
-	mu     sync.RWMutex
-	series map[Key]*series
-}
-
 // Store is the agent's in-memory time-series database: one bounded ring
-// buffer per (metric, scope, id) series behind RWMutex-sharded maps, with
-// optional downsampled retention tiers fed by ring evictions.
+// buffer per (source, metric, scope, id) series behind an interned,
+// copy-on-write key index, with optional downsampled retention tiers
+// fed by ring evictions.
+//
+// The index is an immutable map snapshot behind an atomic pointer: the
+// hot lookup is one atomic load plus one typed map access — the runtime
+// hashes the small Key struct in place, with no string building, no
+// interface boxing, no striped locks, and no shared atomic
+// read-modify-write, so concurrent appenders scale without touching a
+// common cache line.  Series creation (rare: the key set of a node is
+// tiny and stable) clones the map under a mutex and publishes the new
+// snapshot.
 type Store struct {
 	capacity int
 	tiers    []Tier
-	shards   [storeShards]storeShard
+
+	index atomic.Pointer[map[Key]*series] // immutable snapshot
+	mu    sync.Mutex                      // serializes snapshot replacement
 }
 
 // NewStore creates a store retaining up to capacity raw points per series
@@ -105,46 +123,71 @@ type Store struct {
 // min/median/max/avg buckets of the finest tier, and buckets evicted
 // from each tier's ring cascade into the next-coarser tier.
 func NewStore(capacity int, tiers ...Tier) *Store {
-	if capacity <= 0 {
-		capacity = 1024
-	}
 	st := &Store{capacity: capacity, tiers: append([]Tier(nil), tiers...)}
-	for i := range st.shards {
-		st.shards[i].series = map[Key]*series{}
+	if st.capacity <= 0 {
+		st.capacity = 1024
 	}
+	idx := map[Key]*series{}
+	st.index.Store(&idx)
 	return st
 }
 
-func (st *Store) shardOf(k Key) *storeShard {
-	h := fnv.New32a()
-	h.Write([]byte(k.Metric))
-	h.Write([]byte{byte(k.Scope), byte(k.ID), byte(k.ID >> 8)})
-	return &st.shards[h.Sum32()%storeShards]
+// lookup resolves a key through the interned snapshot; nil means the
+// series does not exist.
+func (st *Store) lookup(k Key) *series {
+	return (*st.index.Load())[k]
 }
 
+// getOrCreate stays small enough to inline into the hot append paths:
+// the snapshot hit returns directly, the miss defers to create.
 func (st *Store) getOrCreate(k Key) *series {
-	sh := st.shardOf(k)
-	sh.mu.RLock()
-	s := sh.series[k]
-	sh.mu.RUnlock()
-	if s != nil {
+	if s := (*st.index.Load())[k]; s != nil {
 		return s
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if s = sh.series[k]; s == nil {
-		s = &series{buf: make([]Point, st.capacity)}
-		for _, t := range st.tiers {
-			s.tiers = append(s.tiers, newTierRing(t))
-		}
-		// Chain the cascade: tier N's ring evictions compact into tier N+1.
-		for i := 0; i+1 < len(s.tiers); i++ {
-			s.tiers[i].next = s.tiers[i+1]
-		}
-		sh.series[k] = s
+	return st.create(k)
+}
+
+// create clones the index snapshot with the new series and publishes it
+// — the rare cold path of getOrCreate.
+func (st *Store) create(k Key) *series {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur := *st.index.Load()
+	if s := cur[k]; s != nil { // lost the creation race
+		return s
 	}
+	s := &series{buf: make([]Point, st.capacity)}
+	for _, t := range st.tiers {
+		s.tiers = append(s.tiers, newTierRing(t))
+	}
+	// Chain the cascade: tier N's ring evictions compact into tier N+1.
+	for i := 0; i+1 < len(s.tiers); i++ {
+		s.tiers[i].next = s.tiers[i+1]
+	}
+	next := make(map[Key]*series, len(cur)+1)
+	for kk, vv := range cur {
+		next[kk] = vv
+	}
+	next[k] = s
+	st.index.Store(&next)
 	return s
 }
+
+// Series is an interned handle to one series: resolving the key once
+// pins the ring, so hot paths appending the same series repeatedly (a
+// receiver fanning in a pushed batch, a benchmark loop) skip the shard
+// map lookup per point.
+type Series struct{ s *series }
+
+// Intern resolves (creating if needed) the series for k and returns a
+// reusable handle.  Handles stay valid for the life of the store.
+func (st *Store) Intern(k Key) Series { return Series{s: st.getOrCreate(k)} }
+
+// Append records one observation through the interned handle.
+func (h Series) Append(p Point) { h.s.append(p) }
+
+// Latest returns the newest point of the interned series.
+func (h Series) Latest() (Point, bool) { return h.s.latest() }
 
 // Append records one observation.
 func (st *Store) Append(k Key, p Point) { st.getOrCreate(k).append(p) }
@@ -156,16 +199,28 @@ func (st *Store) AppendBatch(b Batch) {
 	}
 }
 
+// SetCompaction fixes how one series folds evicted raw points into its
+// retention tiers.  The engine marks its sparse 0/1 "alert/<name>"
+// transition series CompactLast so downsampled history keeps the state
+// at each bucket end instead of averaging transitions into noise.
+// Idempotent; safe to call on every append.
+func (st *Store) SetCompaction(k Key, c Compaction) {
+	s := st.getOrCreate(k)
+	s.mu.Lock()
+	for _, t := range s.tiers {
+		t.step = c == CompactLast
+	}
+	s.mu.Unlock()
+}
+
 // Window returns the retained points of one series with from <= Time <= to,
 // oldest first.  A negative "to" means "until the newest point".  Ranges
 // older than the raw ring are served from the downsampled tiers, finest
-// resolution first: each bucket becomes one point (bucket start, average),
-// clipped so the stitched result is non-overlapping and time-ordered.
+// resolution first: each bucket becomes one point (bucket start, average —
+// or newest member for CompactLast series), clipped so the stitched
+// result is non-overlapping and time-ordered.
 func (st *Store) Window(k Key, from, to float64) []Point {
-	sh := st.shardOf(k)
-	sh.mu.RLock()
-	s := sh.series[k]
-	sh.mu.RUnlock()
+	s := st.lookup(k)
 	if s == nil {
 		return nil
 	}
@@ -191,10 +246,7 @@ func (st *Store) Window(k Key, from, to float64) []Point {
 
 // Latest returns the newest point of a series.
 func (st *Store) Latest(k Key) (Point, bool) {
-	sh := st.shardOf(k)
-	sh.mu.RLock()
-	s := sh.series[k]
-	sh.mu.RUnlock()
+	s := st.lookup(k)
 	if s == nil {
 		return Point{}, false
 	}
@@ -203,10 +255,7 @@ func (st *Store) Latest(k Key) (Point, bool) {
 
 // Len reports the retained point count of a series.
 func (st *Store) Len(k Key) int {
-	sh := st.shardOf(k)
-	sh.mu.RLock()
-	s := sh.series[k]
-	sh.mu.RUnlock()
+	s := st.lookup(k)
 	if s == nil {
 		return 0
 	}
@@ -216,31 +265,26 @@ func (st *Store) Len(k Key) int {
 // ForEachKey calls f for every series key in unspecified order — the
 // allocation-light path for filters (the alert engine's selectors run
 // once per rule per evaluation tick) that do not need Keys' sorted
-// copy.  f runs under a shard read lock and must not call back into the
-// store.
+// copy.  f iterates an immutable index snapshot: no lock is held, and
+// series created while it runs may or may not be visited.
 func (st *Store) ForEachKey(f func(Key)) {
-	for i := range st.shards {
-		sh := &st.shards[i]
-		sh.mu.RLock()
-		for k := range sh.series {
-			f(k)
-		}
-		sh.mu.RUnlock()
+	for k := range *st.index.Load() {
+		f(k)
 	}
 }
 
-// Keys lists every series, sorted by metric, scope, id for stable output.
+// Keys lists every series, sorted by source, metric, scope, id for
+// stable output (local series first, then one block per agent).
 func (st *Store) Keys() []Key {
-	var out []Key
-	for i := range st.shards {
-		sh := &st.shards[i]
-		sh.mu.RLock()
-		for k := range sh.series {
-			out = append(out, k)
-		}
-		sh.mu.RUnlock()
+	idx := *st.index.Load()
+	out := make([]Key, 0, len(idx))
+	for k := range idx {
+		out = append(out, k)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
 		if out[i].Metric != out[j].Metric {
 			return out[i].Metric < out[j].Metric
 		}

@@ -1,0 +1,127 @@
+package monitor
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// The store benchmarks guard the hot identity path of the whole stack:
+// every collector tick, every pushed batch, and every alert evaluation
+// funnels through Append / Window keyed by monitor.Key.  CI runs them
+// with -benchtime 1x as a smoke test so they cannot bit-rot; locally,
+// `go test -bench Store ./internal/monitor` gives real numbers.
+
+func benchKeys(n int) []Key {
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key{
+			Metric: fmt.Sprintf("memory_bandwidth_mbytes_s_%d", i%8),
+			Scope:  ScopeSocket,
+			ID:     i % 4,
+		}
+	}
+	return keys
+}
+
+// BenchmarkStoreAppend measures the single-series hot path: one point
+// into one ring.
+func BenchmarkStoreAppend(b *testing.B) {
+	st := NewStore(1024)
+	k := Key{Metric: "memory_bandwidth_mbytes_s", Scope: ScopeSocket, ID: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Append(k, Point{Time: float64(i), Value: float64(i)})
+	}
+}
+
+// BenchmarkStoreAppendManySeries spreads appends over many series, the
+// shape of a full perfgroup batch landing in the store.
+func BenchmarkStoreAppendManySeries(b *testing.B) {
+	st := NewStore(1024)
+	keys := benchKeys(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Append(keys[i%len(keys)], Point{Time: float64(i), Value: float64(i)})
+	}
+}
+
+// BenchmarkStoreAppendTiered includes the retention cascade: the ring is
+// small, so every append evicts into the downsampling tiers.
+func BenchmarkStoreAppendTiered(b *testing.B) {
+	st := NewStore(64, Tier{Resolution: 16, Capacity: 64}, Tier{Resolution: 256, Capacity: 64})
+	k := Key{Metric: "memory_bandwidth_mbytes_s", Scope: ScopeSocket, ID: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Append(k, Point{Time: float64(i), Value: float64(i)})
+	}
+}
+
+// BenchmarkStoreWindow measures the windowed read path the alert engine
+// runs once per rule per evaluation.
+func BenchmarkStoreWindow(b *testing.B) {
+	st := NewStore(1024)
+	k := Key{Metric: "memory_bandwidth_mbytes_s", Scope: ScopeSocket, ID: 0}
+	for i := 0; i < 1024; i++ {
+		st.Append(k, Point{Time: float64(i), Value: float64(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := st.Window(k, 512, 768); len(pts) == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+// BenchmarkStoreLatest measures the point read behind /metrics and the
+// engine's staleness probe.
+func BenchmarkStoreLatest(b *testing.B) {
+	st := NewStore(1024)
+	k := Key{Metric: "memory_bandwidth_mbytes_s", Scope: ScopeSocket, ID: 0}
+	st.Append(k, Point{Time: 1, Value: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.Latest(k); !ok {
+			b.Fatal("missing point")
+		}
+	}
+}
+
+// benchIngestPayload renders one JSON-lines push batch: samples samples
+// across series series, tagged with a per-agent source.
+func benchIngestPayload(samples, series int) []byte {
+	var buf bytes.Buffer
+	for i := 0; i < samples; i++ {
+		fmt.Fprintf(&buf,
+			`{"time":%d,"collector":"perfgroup/MEM_DP","source":"node%d","metric":"memory_bandwidth_mbytes_s","scope":"socket","id":%d,"value":%d}`+"\n",
+			i, i%4, i%series, i)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkReceiverFanIn measures the receiver's /ingest hot path: one
+// pushed batch decoded, validated, and appended to the store — the
+// fan-in cost per agent flush.
+func BenchmarkReceiverFanIn(b *testing.B) {
+	st := NewStore(1024)
+	h := &HTTPSink{store: st, latest: map[Key]Sample{}}
+	payload := benchIngestPayload(64, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		w := httptest.NewRecorder()
+		h.handleIngest(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("ingest status %d", w.Code)
+		}
+	}
+}

@@ -119,6 +119,55 @@ func TestStoreConcurrentAppends(t *testing.T) {
 	}
 }
 
+// TestStoreSourceIsAKeyDimension pins the identity refactor: the same
+// metric under different sources is different series, distinct from a
+// metric that happens to contain a slash.
+func TestStoreSourceIsAKeyDimension(t *testing.T) {
+	st := NewStore(8)
+	local := Key{Metric: "bw", Scope: ScopeNode, ID: 0}
+	fleetA := Key{Source: "nodeA", Metric: "bw", Scope: ScopeNode, ID: 0}
+	slashy := Key{Metric: "nodeA/bw", Scope: ScopeNode, ID: 0}
+	st.Append(local, Point{Time: 1, Value: 1})
+	st.Append(fleetA, Point{Time: 1, Value: 2})
+	st.Append(slashy, Point{Time: 1, Value: 3})
+	if n := len(st.Keys()); n != 3 {
+		t.Fatalf("store has %d series, want 3 distinct identities", n)
+	}
+	for k, want := range map[Key]float64{local: 1, fleetA: 2, slashy: 3} {
+		if p, ok := st.Latest(k); !ok || p.Value != want {
+			t.Errorf("Latest(%+v) = %+v ok=%v, want value %v", k, p, ok, want)
+		}
+	}
+	// Keys sorts local series first, then per-source blocks.
+	keys := st.Keys()
+	if keys[0].Source != "" || keys[1].Source != "" || keys[2].Source != "nodeA" {
+		t.Errorf("Keys order = %+v, want sourceless first", keys)
+	}
+}
+
+// TestStoreInternHandle covers the pinned-series fast path used by the
+// ingest fan-in: a handle appends into the same ring the keyed API
+// reads.
+func TestStoreInternHandle(t *testing.T) {
+	st := NewStore(8)
+	k := Key{Source: "nodeA", Metric: "bw", Scope: ScopeNode, ID: 0}
+	h := st.Intern(k)
+	for i := 0; i < 3; i++ {
+		h.Append(Point{Time: float64(i), Value: float64(i * 10)})
+	}
+	if pts := st.Window(k, 0, -1); len(pts) != 3 || pts[2].Value != 20 {
+		t.Fatalf("window through keyed API = %+v, want the 3 handle appends", pts)
+	}
+	if p, ok := h.Latest(); !ok || p.Value != 20 {
+		t.Fatalf("handle Latest = %+v ok=%v, want value 20", p, ok)
+	}
+	// Interning twice resolves the same series.
+	st.Intern(k).Append(Point{Time: 3, Value: 30})
+	if n := st.Len(k); n != 4 {
+		t.Fatalf("Len = %d after second handle append, want 4", n)
+	}
+}
+
 func TestForEachKeyVisitsEverySeries(t *testing.T) {
 	st := NewStore(8)
 	want := map[Key]bool{}
