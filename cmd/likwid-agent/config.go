@@ -32,7 +32,8 @@ type agentConfig struct {
 	tiers      []monitor.Tier
 	raw        bool
 	sinks      []string
-	receiver   string // listen address; receiver mode when non-empty
+	receiver   string         // listen address; receiver mode when non-empty
+	labels     monitor.Labels // -labels: agent stamp / receiver ingest defaults
 	adaptive   time.Duration
 	rules      []*alert.Rule // parsed -rules file; nil = no alerting
 	rulesFile  string
@@ -69,6 +70,7 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 	tierSpec := fs.String("tiers", "", "downsampled retention tiers, e.g. 10s:360,1m:720")
 	raw := fs.Bool("raw", false, "emit per-event rates too")
 	receiver := fs.String("receiver", "", "run as aggregation receiver on this listen address (no collectors)")
+	labelSpec := fs.String("labels", "", "label set stamped onto every sample, e.g. job=lbm,cluster=emmy (receiver mode: defaults merged under each ingested sample's own labels)")
 	adaptive := fs.Duration("adaptive", 0, "stretch unchanged collectors' intervals up to this cap (0 = off)")
 	rulesFile := fs.String("rules", "", "alerting rule file (one rule per line; see internal/alert)")
 	var sinks sinkSpecs
@@ -104,6 +106,9 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 	}
 	var err error
 	if cfg.tiers, err = monitor.ParseTiers(*tierSpec); err != nil {
+		return nil, err
+	}
+	if cfg.labels, err = monitor.ParseLabelSpec(*labelSpec); err != nil {
 		return nil, err
 	}
 	if cfg.rulesFile != "" {

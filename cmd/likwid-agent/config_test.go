@@ -106,6 +106,27 @@ func TestParseAgentFlags(t *testing.T) {
 		{name: "notify without rules", args: []string{"-notify", "stdout"}, wantErr: "needs -rules"},
 		{name: "bad notifier kind", args: []string{"-rules", "x", "-notify", "pagerduty:key"}, wantErr: "rules file"},
 		{name: "missing rules file", args: []string{"-rules", "/no/such/file.rules"}, wantErr: "rules file"},
+		{
+			name: "labels stamp",
+			args: []string{"-labels", "job=lbm,cluster=emmy"},
+			check: func(t *testing.T, cfg *agentConfig) {
+				if got := cfg.labels.String(); got != "cluster=emmy,job=lbm" {
+					t.Errorf("labels = %q, want the canonical cluster=emmy,job=lbm", got)
+				}
+			},
+		},
+		{
+			name: "receiver labels as ingest defaults",
+			args: []string{"-receiver", ":8090", "-labels", "cluster=emmy"},
+			check: func(t *testing.T, cfg *agentConfig) {
+				if v, ok := cfg.labels.Get("cluster"); !ok || v != "emmy" {
+					t.Errorf("receiver labels = %q, want cluster=emmy", cfg.labels)
+				}
+			},
+		},
+		{name: "labels missing value", args: []string{"-labels", "job"}, wantErr: "name=value"},
+		{name: "labels bad name", args: []string{"-labels", "1job=x"}, wantErr: "bad label name"},
+		{name: "labels duplicate", args: []string{"-labels", "job=a,job=b"}, wantErr: "duplicate label"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

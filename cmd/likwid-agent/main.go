@@ -25,6 +25,12 @@
 //	               evicted raw points compact into min/median/max/avg
 //	               buckets, and windowed queries stitch tiers with raw
 //	-raw           also emit per-event rates next to derived metrics
+//	-labels L      label set k=v,k=v stamped onto every collected sample
+//	               (job=lbm,cluster=emmy) — carried end to end through
+//	               the store, sinks, push wire (v3 "labels" field),
+//	               /metrics exposition, /query?label.K=V selectors and
+//	               alert events.  In receiver mode the labels are ingest
+//	               defaults, merged under each pushed sample's own set
 //	-adaptive D    stretch a collector's interval (doubling, up to D)
 //	               while its samples are unchanged; snap back on change
 //	-receiver ADDR aggregation mode: no collectors, just an HTTP server
@@ -113,6 +119,10 @@ func runReceiver(ctx context.Context, cfg *agentConfig) error {
 	if err != nil {
 		return err
 	}
+	// Receiver -labels are ingest defaults: merged under each pushed
+	// sample's own labels, so e.g. cluster=emmy stamps a whole fleet
+	// while each agent's job= label survives.
+	h.SetIngestLabels(cfg.labels)
 	alerting, err := startAlerting(ctx, cfg, store, []*monitor.HTTPSink{h})
 	if err != nil {
 		_ = h.Close()
@@ -166,7 +176,7 @@ func startAlerting(ctx context.Context, cfg *agentConfig, store *monitor.Store, 
 	}
 	notifiers := make([]alert.Notifier, 0, len(specs))
 	for _, spec := range specs {
-		n, err := alert.ParseNotifier(spec)
+		n, err := alert.ParseNotifier(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -312,7 +322,10 @@ func runAgent(ctx context.Context, cfg *agentConfig) error {
 	built := make([]monitor.Sink, 0, len(sinks))
 	var https []*monitor.HTTPSink
 	for _, spec := range sinks {
-		s, err := monitor.ParseSink(spec, store)
+		// The context bounds the push sink's retry backoff: a shutdown
+		// flush against a dead receiver tries once instead of walking
+		// the whole ladder.
+		s, err := monitor.ParseSink(ctx, spec, store)
 		if err != nil {
 			return err
 		}
@@ -333,6 +346,7 @@ func runAgent(ctx context.Context, cfg *agentConfig) error {
 		Aggregator:  agg,
 		Dispatcher:  dispatcher,
 		AdaptiveMax: cfg.adaptive,
+		Labels:      cfg.labels,
 		OnError: func(name string, err error) {
 			fmt.Fprintf(os.Stderr, "likwid-agent: collector %s: %v (backing off)\n", name, err)
 		},

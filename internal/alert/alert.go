@@ -103,6 +103,13 @@ func (c Cmp) holds(value, threshold float64) bool {
 // AllIDs is the Rule.ID sentinel selecting every id of the scope.
 const AllIDs = -1
 
+// LabelMatcher is one {name="value"} clause of a rule selector.  Value
+// may use '*' wildcards; a series matches when it carries the label and
+// the value matches.  It is monitor's selector pair, so rule matchers
+// evaluate through monitor.MatchLabels — one implementation of the
+// label-selector semantics for the DSL and /query alike.
+type LabelMatcher = monitor.Label
+
 // Rule is one parsed alerting rule.
 //
 // Lookback and For are simulated seconds — the store's time axis — so a
@@ -126,6 +133,12 @@ type Rule struct {
 	// characters.  Non-wildcard selectors also match sanitized forms
 	// ("memory_bandwidth_mbytes_s" finds "Memory bandwidth [MBytes/s]").
 	Metric string
+	// Matchers restrict the selector to series whose label set carries
+	// every named label with a matching value ('*' wildcards allowed).
+	// In spec syntax they suffix the metric: avg(bw{job="lbm"}, node,
+	// 30s).  Matchers are kept sorted by name, so rendered specs are
+	// canonical.  Empty matches every series, labelled or not.
+	Matchers []LabelMatcher
 	// Scope restricts the selector to one topology domain.
 	Scope monitor.Scope
 	// ID restricts the selector to one entity; AllIDs matches every id,
@@ -161,13 +174,30 @@ func (r *Rule) String() string {
 	return b.String()
 }
 
-// selector renders the rule's [SOURCE/]METRIC selector so that the
-// parser reads it back into the same (Source, Metric) pair.
+// selector renders the rule's [SOURCE/]METRIC{matchers} selector so
+// that the parser reads it back into the same (Source, Metric,
+// Matchers) triple.  Matcher values render raw inside their quotes —
+// anything the parser accepted contains no '"', so the round trip is
+// verbatim.
 func (r *Rule) selector() string {
-	if r.Source == "" {
-		return quoteMetric(r.Metric)
+	sel := quoteMetric(r.Metric)
+	if r.Source != "" {
+		sel = quoteSource(r.Source) + "/" + sel
 	}
-	return quoteSource(r.Source) + "/" + quoteMetric(r.Metric)
+	if len(r.Matchers) == 0 {
+		return sel
+	}
+	var b strings.Builder
+	b.WriteString(sel)
+	b.WriteByte('{')
+	for i, m := range r.Matchers {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, m.Name, m.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // quoteMetric re-quotes metric selectors that need it — anything the
@@ -200,13 +230,16 @@ func formatSeconds(s float64) string {
 
 // matches reports whether the rule's selector picks a stored series:
 // the source dimension first (exact, or '*' wildcards; empty = local
-// only), then the metric.  Alert history series never match: a wildcard
-// rule must not alert on its own output.
+// only), then the label matchers, then the metric.  Alert history
+// series never match: a wildcard rule must not alert on its own output.
 func (r *Rule) matches(k monitor.Key) bool {
 	if strings.HasPrefix(k.Metric, "alert/") {
 		return false
 	}
 	if !monitor.MatchSource(r.Source, k.Source) {
+		return false
+	}
+	if !monitor.MatchLabels(r.Matchers, k.Labels) {
 		return false
 	}
 	return r.matchesMetric(k.Metric)
@@ -253,13 +286,15 @@ type Event struct {
 	Rule string `json:"rule"`
 	// State is "firing" or "resolved".
 	State string `json:"state"`
-	// Source, Metric, Scope and ID identify the series instance that
-	// transitioned (for imbalance rules, the selector itself).  Source
-	// is empty for local series.
-	Source string `json:"source,omitempty"`
-	Metric string `json:"metric"`
-	Scope  string `json:"scope"`
-	ID     int    `json:"id"`
+	// Source, Metric, Scope, ID and Labels identify the series instance
+	// that transitioned (for imbalance rules, the selector itself).
+	// Source is empty for local series; Labels is omitted for
+	// unlabelled ones.
+	Source string            `json:"source,omitempty"`
+	Metric string            `json:"metric"`
+	Scope  string            `json:"scope"`
+	ID     int               `json:"id"`
+	Labels map[string]string `json:"labels,omitempty"`
 	// Value is the expression value at the transition.
 	Value float64 `json:"value"`
 	// Threshold echoes the rule threshold the value crossed.

@@ -439,6 +439,7 @@ func (e *Engine) transition(r *Rule, k monitor.Key, metric, state string, value,
 		Metric:    metric,
 		Scope:     k.Scope.String(),
 		ID:        k.ID,
+		Labels:    k.Labels.Map(),
 		Value:     value,
 		Threshold: r.Threshold,
 		Time:      simNow,
@@ -449,9 +450,10 @@ func (e *Engine) transition(r *Rule, k monitor.Key, metric, state string, value,
 		e.opts.Fanout.Publish(ev)
 	}
 	// History series: one per rule, carrying the matched series' source
-	// as its own Key dimension (a receiver's fleet rule keeps one
-	// history per agent) and split further by matched metric when a
-	// wildcard selector can hit several metrics of the same scope/id.
+	// and label set as their own Key dimensions (a receiver's fleet rule
+	// keeps one history per agent and per label set) and split further
+	// by matched metric when a wildcard selector can hit several metrics
+	// of the same scope/id.
 	name := "alert/" + r.Name
 	if r.Fn != FnImbalance && r.Metric != metric {
 		name += "/" + metric
@@ -460,7 +462,7 @@ func (e *Engine) transition(r *Rule, k monitor.Key, metric, state string, value,
 	if state == EventStateFiring {
 		v = 1
 	}
-	histKey := monitor.Key{Source: k.Source, Metric: name, Scope: k.Scope, ID: k.ID}
+	histKey := monitor.Key{Source: k.Source, Metric: name, Scope: k.Scope, ID: k.ID, Labels: k.Labels}
 	// Transition series are sparse 0/1 steps: compact them by last value
 	// so a downsampled bucket reads as the state at its end, never a
 	// 0.5 average of a fire/resolve pair.
@@ -470,29 +472,34 @@ func (e *Engine) transition(r *Rule, k monitor.Key, metric, state string, value,
 
 // InstanceStatus is one active alert instance in API shape.
 type InstanceStatus struct {
-	Rule        string  `json:"rule"`
-	State       string  `json:"state"`
-	Source      string  `json:"source,omitempty"`
-	Metric      string  `json:"metric"`
-	Scope       string  `json:"scope"`
-	ID          int     `json:"id"`
-	Value       float64 `json:"value"`
-	Threshold   float64 `json:"threshold"`
-	Since       float64 `json:"since"`
-	FiringSince float64 `json:"firing_since,omitempty"`
-	Updated     float64 `json:"updated"`
-	Spec        string  `json:"spec"`
+	Rule        string            `json:"rule"`
+	State       string            `json:"state"`
+	Source      string            `json:"source,omitempty"`
+	Metric      string            `json:"metric"`
+	Scope       string            `json:"scope"`
+	ID          int               `json:"id"`
+	Labels      map[string]string `json:"labels,omitempty"`
+	Value       float64           `json:"value"`
+	Threshold   float64           `json:"threshold"`
+	Since       float64           `json:"since"`
+	FiringSince float64           `json:"firing_since,omitempty"`
+	Updated     float64           `json:"updated"`
+	Spec        string            `json:"spec"`
 }
 
 // Alerts snapshots the active (pending or firing) instances, sorted by
-// rule, source, metric, scope, id.
+// rule, source, metric, scope, id, labels.
 func (e *Engine) Alerts() []InstanceStatus {
+	type row struct {
+		st     InstanceStatus
+		labels string // canonical label encoding, the final sort key
+	}
 	e.mu.Lock()
 	byName := map[string]*Rule{}
 	for _, r := range e.rules {
 		byName[r.Name] = r
 	}
-	out := make([]InstanceStatus, 0, len(e.insts))
+	rows := make([]row, 0, len(e.insts))
 	for id, inst := range e.insts {
 		if inst.stale {
 			continue // parked: resolved, waiting for the series to move
@@ -501,24 +508,25 @@ func (e *Engine) Alerts() []InstanceStatus {
 		if r == nil {
 			continue // reloaded away between eval and snapshot
 		}
-		out = append(out, InstanceStatus{
+		rows = append(rows, row{labels: id.key.Labels.String(), st: InstanceStatus{
 			Rule:        id.rule,
 			State:       inst.state.String(),
 			Source:      id.key.Source,
 			Metric:      id.key.Metric,
 			Scope:       id.key.Scope.String(),
 			ID:          id.key.ID,
+			Labels:      id.key.Labels.Map(),
 			Value:       inst.value,
 			Threshold:   r.Threshold,
 			Since:       inst.since,
 			FiringSince: inst.firingSince,
 			Updated:     inst.updated,
 			Spec:        r.String(),
-		})
+		}})
 	}
 	e.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].st, rows[j].st
 		if a.Rule != b.Rule {
 			return a.Rule < b.Rule
 		}
@@ -531,8 +539,15 @@ func (e *Engine) Alerts() []InstanceStatus {
 		if a.Scope != b.Scope {
 			return a.Scope < b.Scope
 		}
-		return a.ID < b.ID
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return rows[i].labels < rows[j].labels
 	})
+	out := make([]InstanceStatus, len(rows))
+	for i, r := range rows {
+		out[i] = r.st
+	}
 	return out
 }
 

@@ -1,6 +1,7 @@
 package alert
 
 import (
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -22,6 +23,12 @@ func FuzzRuleSpec(f *testing.F) {
 	f.Add("r: imbalance(bw, socket, 0, 1s) < 1 for 0s")
 	f.Add("\x00\xff: avg(\x01, node, 1s) < 1 for 0s")
 	f.Add("dup: avg(a, node, 1s) < 1 for 0s\ndup: avg(b, node, 1s) < 1 for 0s")
+	f.Add(`j: avg(bw{job="lbm"}, node, 1s) < 1 for 0s`)
+	f.Add(`j: avg(*/bw{job="lbm",cluster="em*"}, node, 1s) < 1 for 0s`)
+	f.Add(`j: avg("DP MFlops/s"{job="l b m"}, node, 1s) < 1 for 0s`)
+	f.Add(`bad: avg(bw{job=}, node, 1s) < 1 for 0s`)
+	f.Add(`bad: avg(bw{job="a",job="b"}, node, 1s) < 1 for 0s`)
+	f.Add("bad: avg(bw{}, node, 1s) < 1 for 0s")
 	f.Fuzz(func(t *testing.T, src string) {
 		rules, err := ParseRules(src)
 		if err != nil {
@@ -44,7 +51,7 @@ func FuzzRuleSpec(f *testing.F) {
 				t.Fatalf("accepted rule %q renders as %q which does not reparse: %v",
 					strings.TrimSpace(src), spec, err)
 			}
-			if *again != *r {
+			if !reflect.DeepEqual(again, r) {
 				t.Fatalf("round trip changed the rule:\n src  %q\n spec %q\n got  %+v\n want %+v",
 					strings.TrimSpace(src), spec, *again, *r)
 			}

@@ -3,6 +3,7 @@ package alert
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -133,7 +134,7 @@ type logNotifier struct {
 //	alert firing mem_bw_low memory_bandwidth_mbytes_s socket/0 value=1833.1 threshold=2000 t=63.0
 //
 // Fleet events carry their agent as a source=NAME field after the
-// metric.
+// metric, and labelled events their label set as labels{k=v,k=v}.
 func NewLogNotifier(w io.Writer) Notifier { return &logNotifier{w: w} }
 
 func (l *logNotifier) Name() string { return "log" }
@@ -143,8 +144,12 @@ func (l *logNotifier) Notify(ev Event) error {
 	if ev.Source != "" {
 		source = " source=" + ev.Source
 	}
-	_, err := fmt.Fprintf(l.w, "alert %s %s %s%s %s/%d value=%g threshold=%g t=%.3f\n",
-		ev.State, ev.Rule, ev.Metric, source, ev.Scope, ev.ID, ev.Value, ev.Threshold, ev.Time)
+	labels := ""
+	if len(ev.Labels) > 0 {
+		labels = " labels{" + monitor.FormatLabelMap(ev.Labels) + "}"
+	}
+	_, err := fmt.Fprintf(l.w, "alert %s %s %s%s%s %s/%d value=%g threshold=%g t=%.3f\n",
+		ev.State, ev.Rule, ev.Metric, source, labels, ev.Scope, ev.ID, ev.Value, ev.Threshold, ev.Time)
 	return err
 }
 
@@ -194,6 +199,11 @@ type WebhookOptions struct {
 	// RetryBase is the first retry backoff, doubling per attempt
 	// (default 100 ms).
 	RetryBase time.Duration
+	// Context bounds the retry backoff: when it is cancelled (agent
+	// shutdown), delivery stops sleeping between attempts, so draining
+	// the fanout against a dead endpoint cannot stall shutdown for the
+	// whole backoff ladder.  Nil means never cancelled.
+	Context context.Context
 	// Client defaults to an http.Client with a 10 s timeout.
 	Client *http.Client
 }
@@ -204,6 +214,9 @@ func (o WebhookOptions) withDefaults() WebhookOptions {
 	}
 	if o.RetryBase <= 0 {
 		o.RetryBase = 100 * time.Millisecond
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: 10 * time.Second}
@@ -246,7 +259,7 @@ func (n *WebhookNotifier) Notify(ev Event) error {
 	if err != nil {
 		return err
 	}
-	err = monitor.RetryWithBackoff(n.opts.MaxAttempts, n.opts.RetryBase,
+	err = monitor.RetryWithBackoff(n.opts.Context, n.opts.MaxAttempts, n.opts.RetryBase,
 		func() { n.retries.Add(1) },
 		func() error { return n.post(payload) })
 	if err != nil {
@@ -279,7 +292,10 @@ func (n *WebhookNotifier) Close() error { return nil }
 //	stdout               one human-readable line per transition on stdout
 //	jsonl:PATH           JSON-lines event log
 //	webhook:URL          POST each event as JSON (http:// or https://)
-func ParseNotifier(spec string) (Notifier, error) {
+//
+// The context bounds the webhook notifier's retry backoff (the agent's
+// shutdown path); nil means never cancelled.
+func ParseNotifier(ctx context.Context, spec string) (Notifier, error) {
 	if err := ValidateNotifierSpec(spec); err != nil {
 		return nil, err
 	}
@@ -294,7 +310,7 @@ func ParseNotifier(spec string) (Notifier, error) {
 		}
 		return NewJSONLNotifier(f, f), nil
 	default: // "webhook", already validated
-		return NewWebhookNotifier(WebhookOptions{URL: arg})
+		return NewWebhookNotifier(WebhookOptions{URL: arg, Context: ctx})
 	}
 }
 

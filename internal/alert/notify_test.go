@@ -2,10 +2,12 @@ package alert
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -45,7 +47,7 @@ func TestJSONLNotifierRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
 		t.Fatalf("jsonl line is not valid JSON: %v (%q)", err, buf.String())
 	}
-	if got != testEvent() {
+	if !reflect.DeepEqual(got, testEvent()) {
 		t.Errorf("decoded = %+v, want %+v", got, testEvent())
 	}
 }
@@ -128,7 +130,7 @@ func TestParseNotifierSpecs(t *testing.T) {
 	dir := t.TempDir()
 	good := []string{"stdout", "log", "jsonl:" + dir + "/events.jsonl", "webhook:http://localhost:1/hook"}
 	for _, spec := range good {
-		n, err := ParseNotifier(spec)
+		n, err := ParseNotifier(context.Background(), spec)
 		if err != nil {
 			t.Errorf("ParseNotifier(%q) failed: %v", spec, err)
 			continue

@@ -3,6 +3,7 @@ package alert
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -12,12 +13,13 @@ import (
 
 // The rule spec language, one rule per line:
 //
-//	name: FN([SOURCE/]METRIC, SCOPE[, ID], LOOKBACK) CMP THRESHOLD for DURATION [every DURATION]
+//	name: FN([SOURCE/]METRIC[{LABEL="VALUE",...}], SCOPE[, ID], LOOKBACK) CMP THRESHOLD for DURATION [every DURATION]
 //
 //	mem_bw_low: avg(memory_bandwidth_mbytes_s, socket, 30s) < 2000 for 60s
 //	flops_flat: rate("DP MFlops/s", node, 10s) <= 0 for 30s every 5s
 //	bw_skew:    imbalance(memory_bandwidth_mbytes_s, socket, 30s) > 0.5 for 1m
 //	fleet_bw:   avg(*/dp_mflops_s, node, 30s) < 1 for 60s
+//	job_bw:     avg(*/dp_mflops_s{job="lbm"}, node, 30s) < 1 for 60s
 //
 // FN is avg | min | max | rate | imbalance; SCOPE is thread | core |
 // socket | node; METRIC may be quoted (names with spaces) and may use
@@ -26,9 +28,11 @@ import (
 // against Key.Source as its own dimension ('*' wildcards allowed;
 // omitted = local series only); the suite's slash-namespaced metric
 // families (event/, topo/, feature/, membw/, alert/) are recognized and
-// never read as a source.  Blank lines and '#' comments are ignored.
-// Errors carry line:column positions so a typo in a 50-rule file is
-// findable.
+// never read as a source.  The optional {LABEL="VALUE",...} matcher
+// block restricts the selector to series whose label set carries every
+// named label with a matching value ('*' wildcards allowed in values).
+// Blank lines and '#' comments are ignored.  Errors carry line:column
+// positions so a typo in a 50-rule file is findable.
 
 // scanner is the hand-rolled single-line tokenizer; errors report
 // 1-based line:column positions.
@@ -57,7 +61,9 @@ func (s *scanner) eof() bool {
 }
 
 // wordBreak are the delimiter characters that terminate a bare word.
-const wordBreak = " \t:,()<>=\""
+// '{' and '}' delimit the label matcher block of a selector, so a bare
+// metric stops at the block (quote a metric that really contains them).
+const wordBreak = " \t:,()<>=\"{}"
 
 // word reads a maximal run of non-delimiter characters.
 func (s *scanner) word() (string, int) {
@@ -115,6 +121,59 @@ func (s *scanner) selector() (source, metric string, col int, err error) {
 		part += rest
 	}
 	return "", part, col, nil
+}
+
+// matchers reads the optional {name="value",...} label matcher block
+// that may suffix a selector's metric.  Names are bare label names,
+// values are quoted and may use '*' wildcards; duplicate names and an
+// empty block are errors.  Matchers are returned sorted by name, so a
+// rendered rule is canonical.
+func (s *scanner) matchers() ([]LabelMatcher, error) {
+	s.skipSpace()
+	if s.pos >= len(s.src) || s.src[s.pos] != '{' {
+		return nil, nil
+	}
+	s.pos++
+	var out []LabelMatcher
+	seen := map[string]bool{}
+	for {
+		name, col := s.word()
+		if name == "" {
+			return nil, s.errf(col, "expected a label name in the matcher block")
+		}
+		if !monitor.ValidLabelName(name) {
+			return nil, s.errf(col, "bad matcher label name %q (letters, digits, '_'; not starting with a digit)", name)
+		}
+		if monitor.ReservedLabelName(name) {
+			return nil, s.errf(col, "label name %q is reserved; match it with the selector's own dimensions instead", name)
+		}
+		if seen[name] {
+			return nil, s.errf(col, "duplicate matcher label %q", name)
+		}
+		seen[name] = true
+		if err := s.expect('=', "after the matcher label name"); err != nil {
+			return nil, err
+		}
+		value, vcol, err := s.quoted()
+		if err != nil {
+			return nil, err
+		}
+		if value == "" {
+			return nil, s.errf(vcol, "empty matcher value for label %q", name)
+		}
+		out = append(out, LabelMatcher{Name: name, Value: value})
+		s.skipSpace()
+		if s.pos < len(s.src) && s.src[s.pos] == ',' {
+			s.pos++
+			continue
+		}
+		break
+	}
+	if err := s.expect('}', "after the label matchers"); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
 }
 
 // quoted reads a double-quoted string (no escapes: metric names contain
@@ -209,6 +268,10 @@ func ParseRule(line string, lineNo int) (*Rule, error) {
 	if metric == "" {
 		return nil, s.errf(col, "expected a metric selector")
 	}
+	matchers, err := s.matchers()
+	if err != nil {
+		return nil, err
+	}
 	if err := s.expect(',', "after the metric"); err != nil {
 		return nil, err
 	}
@@ -297,6 +360,7 @@ func ParseRule(line string, lineNo int) (*Rule, error) {
 		Fn:        fn,
 		Source:    source,
 		Metric:    metric,
+		Matchers:  matchers,
 		Scope:     scope,
 		ID:        id,
 		Lookback:  lookback.Seconds(),

@@ -1,6 +1,7 @@
 package alert
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -92,6 +93,30 @@ func TestParseRuleGoodSpecs(t *testing.T) {
 				Threshold: 1, For: 40},
 		},
 		{
+			name: "label matcher",
+			spec: `job_bw: avg(bw{job="lbm"}, node, 30s) < 1 for 0s`,
+			want: Rule{Name: "job_bw", Fn: FnAvg, Metric: "bw",
+				Matchers: []LabelMatcher{{Name: "job", Value: "lbm"}},
+				Scope:    monitor.ScopeNode, ID: AllIDs, Lookback: 30, Cmp: CmpLT,
+				Threshold: 1, For: 0},
+		},
+		{
+			name: "matchers sort canonically and compose with a source wildcard",
+			spec: `fleet_job: avg(*/bw{job="lbm",cluster="em*"}, node, 30s) < 1 for 0s`,
+			want: Rule{Name: "fleet_job", Fn: FnAvg, Source: "*", Metric: "bw",
+				Matchers: []LabelMatcher{{Name: "cluster", Value: "em*"}, {Name: "job", Value: "lbm"}},
+				Scope:    monitor.ScopeNode, ID: AllIDs, Lookback: 30, Cmp: CmpLT,
+				Threshold: 1, For: 0},
+		},
+		{
+			name: "quoted metric with matcher",
+			spec: `qm: rate("DP MFlops/s"{job="lbm"}, node, 10s) <= 0 for 0s`,
+			want: Rule{Name: "qm", Fn: FnRate, Metric: "DP MFlops/s",
+				Matchers: []LabelMatcher{{Name: "job", Value: "lbm"}},
+				Scope:    monitor.ScopeNode, ID: AllIDs, Lookback: 10, Cmp: CmpLE,
+				Threshold: 0, For: 0},
+		},
+		{
 			name: "compact whitespace",
 			spec: "r:min(bw,node,1s)<1 for 0s",
 			want: Rule{Name: "r", Fn: FnMin, Metric: "bw",
@@ -106,7 +131,7 @@ func TestParseRuleGoodSpecs(t *testing.T) {
 				t.Fatalf("ParseRule(%q) failed: %v", tt.spec, err)
 			}
 			tt.want.Line = 1
-			if *got != tt.want {
+			if !reflect.DeepEqual(*got, tt.want) {
 				t.Errorf("ParseRule(%q)\n got %+v\nwant %+v", tt.spec, *got, tt.want)
 			}
 			// String() must reparse to the same rule (the fuzz invariant,
@@ -115,7 +140,7 @@ func TestParseRuleGoodSpecs(t *testing.T) {
 			if err != nil {
 				t.Fatalf("reparse of %q failed: %v", got.String(), err)
 			}
-			if *again != *got {
+			if !reflect.DeepEqual(again, got) {
 				t.Errorf("round trip of %q changed the rule:\n got %+v\nwant %+v", got.String(), *again, *got)
 			}
 		})
@@ -157,6 +182,14 @@ func TestParseRuleBadSpecs(t *testing.T) {
 		{"bad every keyword", "r: avg(bw, node, 1s) < 1 for 0s daily", `only "every DURATION"`, "1:33"},
 		{"zero every", "r: avg(bw, node, 1s) < 1 for 0s every 0s", "must be positive", "1:39"},
 		{"trailing junk", "r: avg(bw, node, 1s) < 1 for 0s every 5s oops", "unexpected trailing", ""},
+		{"empty matcher block", "r: avg(bw{}, node, 1s) < 1 for 0s", "expected a label name", ""},
+		{"unquoted matcher value", "r: avg(bw{job=lbm}, node, 1s) < 1 for 0s", "expected quoted string", ""},
+		{"empty matcher value", `r: avg(bw{job=""}, node, 1s) < 1 for 0s`, "empty matcher value", ""},
+		{"bad matcher name", `r: avg(bw{1job="x"}, node, 1s) < 1 for 0s`, "bad matcher label name", ""},
+		{"duplicate matcher", `r: avg(bw{job="a",job="b"}, node, 1s) < 1 for 0s`, "duplicate matcher label", ""},
+		{"reserved matcher name", `r: avg(bw{source="nodeA"}, node, 1s) < 1 for 0s`, "reserved", ""},
+		{"unclosed matcher block", `r: avg(bw{job="a", node, 1s) < 1 for 0s`, `expected "="`, ""},
+		{"missing equals", `r: avg(bw{job "a"}, node, 1s) < 1 for 0s`, `expected "="`, ""},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"maps"
 	"math"
 	"net"
 	"net/http"
@@ -20,12 +21,15 @@ import (
 // Sink (keeping a latest-value snapshot per series) and serves:
 //
 //	/metrics  latest value of every series, Prometheus-style text:
-//	          likwid_<metric>{source="nodeA",scope="socket",id="0"} <value> <sim time>
-//	          (the source label appears only on ingested fleet series)
+//	          likwid_<metric>{source="nodeA",job="lbm",scope="socket",id="0"} <value> <sim time>
+//	          (the source label appears only on fleet series; the series'
+//	          structured label set follows it in canonical order)
 //	/query    windowed time series from the ring-buffer store as JSON:
 //	          /query?metric=NAME&scope=socket&id=0&from=0.5&to=2.0
 //	          plus source=NAME for one agent's series or a '*' wildcard
-//	          (source=node*) fanning out across sources
+//	          (source=node*) fanning out across sources, and
+//	          label.NAME=VALUE selectors ('*' wildcards) slicing labelled
+//	          series — any label selector returns the fan-out shape
 //	/ingest   POST endpoint receiving (optionally gzipped) JSON-lines
 //	          sample batches from remote push sinks; valid batches are
 //	          appended to the store and the /metrics snapshot, so one
@@ -41,6 +45,18 @@ type HTTPSink struct {
 	latest   map[Key]Sample
 	batches  uint64
 	ingested uint64 // samples accepted via /ingest
+
+	// ingestLabels are default labels merged under every ingested
+	// sample's own labels (receiver -labels); mergeCache memoizes the
+	// per-label-set merge (bounded, reset on overflow), and the batch
+	// loop dedups consecutive equal label maps, so a steady fleet pays
+	// roughly one intern per batch, not one per sample.
+	ingestLabels Labels
+	mergeCache   map[Labels]Labels
+
+	// maxDecompressed caps one /ingest payload after gunzipping;
+	// defaulted from maxIngestDecompressed at construction.
+	maxDecompressed int64
 }
 
 // NewHTTPSink listens on addr immediately (so scrapes work as soon as the
@@ -51,7 +67,7 @@ func NewHTTPSink(addr string, store *Store) (*HTTPSink, error) {
 	if err != nil {
 		return nil, fmt.Errorf("monitor: http sink: %w", err)
 	}
-	h := &HTTPSink{store: store, ln: ln, latest: map[Key]Sample{}}
+	h := &HTTPSink{store: store, ln: ln, latest: map[Key]Sample{}, maxDecompressed: maxIngestDecompressed}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", h.handleMetrics)
 	mux.HandleFunc("/query", h.handleQuery)
@@ -78,11 +94,40 @@ func (h *HTTPSink) Addr() string { return h.ln.Addr().String() }
 // Name implements Sink.
 func (h *HTTPSink) Name() string { return "http" }
 
+// SetIngestLabels installs default labels merged under every ingested
+// sample's own labels (a per-name default: the sample wins on
+// conflict) — the receiver half of likwid-agent -labels, stamping e.g.
+// cluster=emmy onto a whole fleet's pushes.  Call before traffic
+// arrives (likwid-agent does, right after constructing the sink).
+func (h *HTTPSink) SetIngestLabels(ls Labels) {
+	h.mu.Lock()
+	h.ingestLabels = ls
+	h.mergeCache = nil
+	h.mu.Unlock()
+}
+
+// setLatestLocked replaces a series' /metrics snapshot entry only when
+// the sample is at least as new as the stored one: a replayed or
+// late-arriving ingest batch must not regress "latest" to an older
+// value.  Ties take the incoming sample, so a corrected re-push of the
+// same instant wins.  The deliberate flip side: an agent that restarts
+// with a stable Source AND a reset simulated clock reports under its
+// old high-water mark until its time axis catches up — the default
+// hostname-pid source sidesteps this by changing per process, and a
+// monotonic "latest" beats one that time-travels backwards on replay.
+func (h *HTTPSink) setLatestLocked(s Sample) {
+	k := s.Key()
+	if prev, ok := h.latest[k]; ok && s.Time < prev.Time {
+		return
+	}
+	h.latest[k] = s
+}
+
 // Write updates the latest-value snapshot served by /metrics.
 func (h *HTTPSink) Write(b Batch) error {
 	h.mu.Lock()
 	for _, s := range b.Samples {
-		h.latest[s.Key()] = s
+		h.setLatestLocked(s)
 	}
 	h.batches++
 	h.mu.Unlock()
@@ -110,35 +155,67 @@ func (h *HTTPSink) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		if a.Scope != b.Scope {
 			return a.Scope < b.Scope
 		}
-		return a.ID < b.ID
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Labels.String() < b.Labels.String()
 	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	for _, s := range samples {
+		// Identity labels lead (source, then the structured set in
+		// canonical order), the topology labels close the block.
+		fmt.Fprintf(w, "likwid_%s{", SanitizeMetric(s.Metric))
 		if s.Source != "" {
-			fmt.Fprintf(w, "likwid_%s{source=%q,scope=%q,id=%q} %s %s\n",
-				SanitizeMetric(s.Metric), s.Source, s.Scope, strconv.Itoa(s.ID),
-				formatValue(s.Value), formatTime(s.Time))
-			continue
+			fmt.Fprintf(w, "source=%q,", s.Source)
 		}
-		fmt.Fprintf(w, "likwid_%s{scope=%q,id=%q} %s %s\n",
-			SanitizeMetric(s.Metric), s.Scope, strconv.Itoa(s.ID),
-			formatValue(s.Value), formatTime(s.Time))
+		for _, p := range s.Labels.Pairs() {
+			fmt.Fprintf(w, "%s=%q,", p.Name, p.Value)
+		}
+		fmt.Fprintf(w, "scope=%q,id=%q} %s %s\n",
+			s.Scope, strconv.Itoa(s.ID), formatValue(s.Value), formatTime(s.Time))
 	}
 }
 
 // queryResponse is the /query JSON payload for one series.
 type queryResponse struct {
-	Source string  `json:"source,omitempty"`
-	Metric string  `json:"metric"`
-	Scope  string  `json:"scope"`
-	ID     int     `json:"id"`
-	Points []Point `json:"points"`
+	Source string            `json:"source,omitempty"`
+	Metric string            `json:"metric"`
+	Scope  string            `json:"scope"`
+	ID     int               `json:"id"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Points []Point           `json:"points"`
 }
 
-// querySeriesResponse is the /query payload for a wildcard source
-// selector: one entry per matched series, sorted by source.
+// querySeriesResponse is the /query payload for a wildcard source or
+// label selector: one entry per matched series, sorted by key.
 type querySeriesResponse struct {
 	Series []queryResponse `json:"series"`
+}
+
+// labelSelectors extracts the label.NAME=PATTERN parameters of a /query
+// request ('*' runs wildcard in the pattern, composable with source=).
+func labelSelectors(q map[string][]string) ([]Label, error) {
+	var sels []Label
+	for key, vals := range q {
+		name, ok := strings.CutPrefix(key, "label.")
+		if !ok {
+			continue
+		}
+		if !ValidLabelName(name) {
+			return nil, fmt.Errorf("bad label selector name %q", name)
+		}
+		if ReservedLabelName(name) {
+			return nil, fmt.Errorf("label name %q is reserved; use the %s= parameter instead", name, name)
+		}
+		if len(vals) != 1 {
+			return nil, fmt.Errorf("label selector %q given %d times, want one", key, len(vals))
+		}
+		if vals[0] == "" {
+			return nil, fmt.Errorf("empty label selector %q", key)
+		}
+		sels = append(sels, Label{Name: name, Value: vals[0]})
+	}
+	return sels, nil
 }
 
 func (h *HTTPSink) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -153,6 +230,18 @@ func (h *HTTPSink) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	source := q.Get("source")
+	sels, err := labelSelectors(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Label slicing is inherently cross-source: without an explicit
+	// source parameter a selector fans out across the fleet instead of
+	// silently matching only local (sourceless) series on a receiver.
+	// An explicit source= (even empty, meaning local-only) is honored.
+	if _, explicit := q["source"]; len(sels) > 0 && !explicit {
+		source = "*"
+	}
 	scope := ScopeNode
 	if sc := q.Get("scope"); sc != "" {
 		var err error
@@ -187,15 +276,18 @@ func (h *HTTPSink) handleQuery(w http.ResponseWriter, r *http.Request) {
 		to = v
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if strings.Contains(source, "*") {
-		// Wildcard across sources: one response entry per matched series.
+	if strings.Contains(source, "*") || len(sels) > 0 {
+		// Wildcard across sources and/or label selection: one response
+		// entry per matched series (a label selector can match several
+		// label sets even under one exact source).
 		resp := querySeriesResponse{Series: []queryResponse{}}
-		for _, k := range h.queryKeys(source, metric, scope, id) {
+		for _, k := range h.queryKeys(source, metric, scope, id, sels) {
 			resp.Series = append(resp.Series, queryResponse{
 				Source: k.Source,
 				Metric: k.Metric,
 				Scope:  k.Scope.String(),
 				ID:     k.ID,
+				Labels: k.Labels.Map(),
 				Points: h.store.Window(k, from, to),
 			})
 		}
@@ -208,6 +300,7 @@ func (h *HTTPSink) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Metric: key.Metric,
 		Scope:  key.Scope.String(),
 		ID:     key.ID,
+		Labels: key.Labels.Map(),
 		Points: h.store.Window(key, from, to),
 	}
 	_ = json.NewEncoder(w).Encode(resp)
@@ -230,16 +323,20 @@ func (h *HTTPSink) resolveKey(source, metric string, scope Scope, id int) Key {
 	return key
 }
 
-// queryKeys lists the stored series matching a wildcard source pattern
-// plus an exact (or sanitized) metric at one scope/id, sorted by source.
-func (h *HTTPSink) queryKeys(sourcePattern, metric string, scope Scope, id int) []Key {
+// queryKeys lists the stored series matching a source pattern (exact or
+// '*' wildcard), a label selector set, and an exact (or sanitized)
+// metric at one scope/id, sorted by source then labels.
+func (h *HTTPSink) queryKeys(sourcePattern, metric string, scope Scope, id int, sels []Label) []Key {
 	want := strings.TrimPrefix(metric, "likwid_")
 	var out []Key
-	for _, k := range h.store.Keys() { // sorted by source already
+	for _, k := range h.store.Keys() { // sorted by source, labels already
 		if k.Scope != scope || k.ID != id {
 			continue
 		}
 		if !MatchSource(sourcePattern, k.Source) {
+			continue
+		}
+		if !MatchLabels(sels, k.Labels) {
 			continue
 		}
 		if k.Metric != metric && SanitizeMetric(k.Metric) != want {
@@ -252,7 +349,9 @@ func (h *HTTPSink) queryKeys(sourcePattern, metric string, scope Scope, id int) 
 
 // ingest limits: the compressed body is capped by MaxBytesReader, the
 // decompressed stream by limitedReader, so a gzip bomb cannot balloon
-// the receiver.
+// the receiver.  The decompressed cap is a per-sink field (defaulted
+// from the constant) so the at-limit regression test can shrink its
+// own sink instead of mutating shared state under live handlers.
 const (
 	maxIngestCompressed   = 8 << 20
 	maxIngestDecompressed = 64 << 20
@@ -262,7 +361,10 @@ const (
 var errTooLarge = errors.New("payload too large")
 
 // limitedReader errors (rather than silently truncating, as
-// io.LimitReader would) once n bytes have been read.
+// io.LimitReader would) when the stream holds MORE than n bytes.  A
+// stream of exactly n bytes is within the limit: at the cap the reader
+// probes the underlying stream for one more byte and reports EOF when
+// none follows, so an at-limit payload is accepted, not 413'd.
 type limitedReader struct {
 	r io.Reader
 	n int64
@@ -270,7 +372,16 @@ type limitedReader struct {
 
 func (l *limitedReader) Read(p []byte) (int, error) {
 	if l.n <= 0 {
-		return 0, errTooLarge
+		var probe [1]byte
+		for {
+			n, err := l.r.Read(probe[:])
+			if n > 0 {
+				return 0, errTooLarge
+			}
+			if err != nil {
+				return 0, err // io.EOF: exactly at the limit, a clean end
+			}
+		}
 	}
 	if int64(len(p)) > l.n {
 		p = p[:l.n]
@@ -282,40 +393,59 @@ func (l *limitedReader) Read(p []byte) (int, error) {
 
 // decodeIngest parses and validates one JSON-lines ingest payload.  It
 // is all-or-nothing: any malformed record rejects the whole batch, so a
-// 400 never leaves a partial batch in the store.
+// 400 never leaves a partial batch in the store — malformed label maps
+// included.
 //
-// Two schema generations are accepted:
+// Three schema generations are accepted:
 //
+//	v3: {"source":"nodeA", "labels":{"job":"lbm"}, "metric":"bw", ...}
+//	    — the structured label set rides as its own field and lands
+//	    interned in Key.Labels.  An absent (or empty) labels field is
+//	    the empty set, so v2 payloads keep their exact keys.
 //	v2: {"source":"nodeA", "metric":"bw", ...} — source is a field and
 //	    lands verbatim in Key.Source.
 //	v1: {"metric":"nodeA/bw", ...} — the legacy prefix form, split by
 //	    the SplitSourceMetric compat shim so old payloads land on the
 //	    same store keys as their v2 equivalents.
-func decodeIngest(r io.Reader) ([]Sample, error) {
+//
+// Samples come back with Labels unset; the validated wire label maps
+// ride alongside (index-aligned) so the caller can screen them against
+// its own constraints (the receiver's default-merge cap) and only then
+// intern them — a rejected batch must leave no residue, not even in
+// the process-wide label intern table.
+func decodeIngest(r io.Reader) ([]Sample, []map[string]string, error) {
 	dec := json.NewDecoder(r)
 	var out []Sample
+	var labelMaps []map[string]string
 	for i := 0; ; i++ {
 		var js jsonSample
 		if err := dec.Decode(&js); err != nil {
 			if err == io.EOF {
-				return out, nil
+				return out, labelMaps, nil
 			}
-			return nil, fmt.Errorf("record %d: %w", i, err)
+			return nil, nil, fmt.Errorf("record %d: %w", i, err)
 		}
 		scope, err := ParseScope(js.Scope)
 		if err != nil {
-			return nil, fmt.Errorf("record %d: %w", i, err)
+			return nil, nil, fmt.Errorf("record %d: %w", i, err)
 		}
 		switch {
 		case strings.TrimSpace(js.Metric) == "":
-			return nil, fmt.Errorf("record %d: empty metric", i)
+			return nil, nil, fmt.Errorf("record %d: empty metric", i)
 		case js.ID < 0:
-			return nil, fmt.Errorf("record %d: negative id %d", i, js.ID)
+			return nil, nil, fmt.Errorf("record %d: negative id %d", i, js.ID)
 		case math.IsNaN(js.Time) || math.IsInf(js.Time, 0) || js.Time < 0:
-			return nil, fmt.Errorf("record %d: bad time %v", i, js.Time)
+			return nil, nil, fmt.Errorf("record %d: bad time %v", i, js.Time)
 		case math.IsNaN(js.Value) || math.IsInf(js.Value, 0):
-			return nil, fmt.Errorf("record %d: bad value %v", i, js.Value)
+			return nil, nil, fmt.Errorf("record %d: bad value %v", i, js.Value)
 		}
+		// Validate without interning: the batch may still be rejected by
+		// a later record or the caller's merge screening, and a 400'd
+		// batch must leave no trace — not even in the intern table.
+		if err := CheckLabelMap(js.Labels); err != nil {
+			return nil, nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		labelMaps = append(labelMaps, js.Labels)
 		// An explicit source field is stored verbatim — any label a v1
 		// agent was free to configure keeps working.  Only the compat
 		// shim below, guessing at a prefix, insists on a conservative
@@ -360,13 +490,17 @@ func (h *HTTPSink) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer zr.Close()
-		body = &limitedReader{r: zr, n: maxIngestDecompressed}
+		limit := h.maxDecompressed
+		if limit <= 0 {
+			limit = maxIngestDecompressed // zero-value sinks (tests, literals)
+		}
+		body = &limitedReader{r: zr, n: limit}
 	case "", "identity":
 	default:
 		http.Error(w, "unsupported content encoding "+enc, http.StatusUnsupportedMediaType)
 		return
 	}
-	samples, err := decodeIngest(body)
+	samples, labelMaps, err := decodeIngest(body)
 	if err != nil {
 		status := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
@@ -374,6 +508,10 @@ func (h *HTTPSink) handleIngest(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusRequestEntityTooLarge
 		}
 		http.Error(w, "bad ingest payload: "+err.Error(), status)
+		return
+	}
+	if err := h.applyIngestLabels(samples, labelMaps); err != nil {
+		http.Error(w, "bad ingest payload: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	// A pushed flush is dozens of samples over a handful of series:
@@ -392,12 +530,79 @@ func (h *HTTPSink) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	h.mu.Lock()
 	for _, s := range samples {
-		h.latest[s.Key()] = s
+		h.setLatestLocked(s)
 	}
 	h.ingested += uint64(len(samples))
 	h.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(ingestResponse{Accepted: len(samples)})
+}
+
+// maxMergeCacheEntries bounds the per-sink merge memoization: a fleet
+// has a handful of distinct label sets, so hitting the bound means a
+// high-cardinality (or hostile) pusher — reset rather than grow.
+const maxMergeCacheEntries = 1024
+
+// mergedLabelCount is the size of defaults ∪ m, computed on the raw
+// wire map so the cap can be enforced before anything is interned.
+func mergedLabelCount(defaults Labels, m map[string]string) int {
+	n := defaults.Len()
+	for name := range m {
+		if _, ok := defaults.Get(name); !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// applyIngestLabels screens each record's validated wire label map
+// against the receiver's default-merge cap and only then interns it
+// onto its sample, overlaying the defaults (sample wins per name) in
+// one critical section per batch, memoized per incoming label set so a
+// steady fleet costs a map hit per sample.  The screening runs before
+// any interning and before any store append, so a 400 is all-or-nothing
+// and leaves no residue — not even in the intern table.
+func (h *HTTPSink) applyIngestLabels(samples []Sample, labelMaps []map[string]string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.ingestLabels.Empty() {
+		for _, m := range labelMaps {
+			if n := mergedLabelCount(h.ingestLabels, m); n > maxLabels {
+				return fmt.Errorf("monitor: sample labels %q merged with the receiver defaults exceed the limit of %d labels", FormatLabelMap(m), maxLabels)
+			}
+		}
+	}
+	// A pushed batch is one agent's stream: consecutive records almost
+	// always share one label map, so remember the previous record's
+	// interned handle and skip MakeLabels (pairs alloc + sort + intern
+	// mutex, all under h.mu) for equal maps.
+	var (
+		prevMap map[string]string
+		prevLs  Labels
+		have    bool
+	)
+	for i := range samples {
+		m := labelMaps[i]
+		if !have || !maps.Equal(m, prevMap) {
+			prevLs, _ = MakeLabels(m) // validated during decode
+			prevMap, have = m, true
+		}
+		ls := prevLs
+		if h.ingestLabels.Empty() {
+			samples[i].Labels = ls
+			continue
+		}
+		merged, ok := h.mergeCache[ls]
+		if !ok {
+			merged = MergeLabels(h.ingestLabels, ls)
+			if h.mergeCache == nil || len(h.mergeCache) >= maxMergeCacheEntries {
+				h.mergeCache = map[Labels]Labels{}
+			}
+			h.mergeCache[ls] = merged
+		}
+		samples[i].Labels = merged
+	}
+	return nil
 }
 
 func (h *HTTPSink) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -73,6 +73,15 @@ func FuzzIngestPayload(f *testing.F) {
 	f.Add([]byte(`{"time":1,"metric":"nodeA/bw","scope":"node","id":0,"value":1}`+"\n"), false)            // v1 prefix shim
 	f.Add([]byte(`{"time":1,"source":"no spaces","metric":"bw","scope":"node","id":0,"value":1}`+"\n"), false)
 	f.Add([]byte(`{"time":1,"metric":"alert/r","scope":"node","id":0,"value":1}`+"\n"), false) // reserved namespace
+	// v3 label records: valid sets must land, malformed label maps must
+	// 400 all-or-nothing (the harness below checks no partial ingest).
+	f.Add([]byte(`{"time":1,"source":"nodeA","labels":{"job":"lbm","cluster":"emmy"},"metric":"bw","scope":"node","id":0,"value":1}`+"\n"), false)
+	f.Add([]byte(`{"time":1,"labels":{},"metric":"bw","scope":"node","id":0,"value":1}`+"\n"), false)               // empty set = v2
+	f.Add([]byte(`{"time":1,"labels":{"bad name":"x"},"metric":"bw","scope":"node","id":0,"value":1}`+"\n"), false) // bad label name
+	f.Add([]byte(`{"time":1,"labels":{"job":"a,b"},"metric":"bw","scope":"node","id":0,"value":1}`+"\n"), false)    // comma in value
+	f.Add([]byte(`{"time":1,"metric":"ok","scope":"node","id":0,"value":1}`+"\n"+
+		`{"time":1,"labels":{"job":""},"metric":"bw","scope":"node","id":0,"value":1}`+"\n"), false) // good then bad label map
+	f.Add([]byte(`{"time":1,"labels":"job=lbm","metric":"bw","scope":"node","id":0,"value":1}`+"\n"), false) // labels not an object
 	f.Fuzz(func(t *testing.T, body []byte, gz bool) {
 		h := fuzzSink()
 		before := len(h.store.Keys())

@@ -1,0 +1,184 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustLabels(t *testing.T, spec string) Labels {
+	t.Helper()
+	ls, err := ParseLabelSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseLabelSpec(%q): %v", spec, err)
+	}
+	return ls
+}
+
+func TestParseLabelSpec(t *testing.T) {
+	ls := mustLabels(t, "job=lbm,cluster=emmy")
+	if got := ls.String(); got != "cluster=emmy,job=lbm" {
+		t.Errorf("canonical form = %q, want sorted cluster=emmy,job=lbm", got)
+	}
+	if v, ok := ls.Get("job"); !ok || v != "lbm" {
+		t.Errorf("Get(job) = %q %v", v, ok)
+	}
+	if _, ok := ls.Get("rack"); ok {
+		t.Error("Get(rack) found a label that was never set")
+	}
+	if ls.Len() != 2 || ls.Empty() {
+		t.Errorf("Len/Empty = %d/%v, want 2/false", ls.Len(), ls.Empty())
+	}
+	if m := ls.Map(); len(m) != 2 || m["cluster"] != "emmy" {
+		t.Errorf("Map = %v", m)
+	}
+
+	empty := mustLabels(t, "")
+	if !empty.Empty() || empty.String() != "" || empty.Map() != nil {
+		t.Errorf("empty spec = %+v, want the zero set", empty)
+	}
+	if spaced := mustLabels(t, " job=lbm , cluster=emmy "); spaced != ls {
+		t.Errorf("whitespace-tolerant parse = %q, want %q", spaced, ls)
+	}
+
+	for _, bad := range []string{
+		"job",                             // no '='
+		"job=",                            // empty value
+		"=lbm",                            // empty name
+		"1job=x",                          // name starts with a digit
+		"jo b=x",                          // space in name
+		"job=a\"b",                        // quote in value
+		"job=x,job=y",                     // duplicate name
+		"job=" + strings.Repeat("v", 200), // value too long
+		"source=nodeA",                    // reserved: /metrics emits source=
+		"scope=prod",                      // reserved: /metrics emits scope=
+		"id=7",                            // reserved: /metrics emits id=
+	} {
+		if _, err := ParseLabelSpec(bad); err == nil {
+			t.Errorf("ParseLabelSpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestMakeLabelsValidation(t *testing.T) {
+	if _, err := MakeLabels(map[string]string{"job": "lbm"}); err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]map[string]string{
+		"bad name":       {"bad name": "x"},
+		"empty value":    {"job": ""},
+		"comma in value": {"job": "a,b"},
+		"control char":   {"job": "a\x01b"},
+		"reserved name":  {"scope": "prod"},
+	} {
+		if _, err := MakeLabels(m); err == nil {
+			t.Errorf("MakeLabels(%s) succeeded, want error", name)
+		}
+	}
+	big := map[string]string{}
+	for i := 0; i < maxLabels+1; i++ {
+		big["l"+strings.Repeat("l", i)] = "x"
+	}
+	if _, err := MakeLabels(big); err == nil {
+		t.Errorf("MakeLabels with %d labels succeeded, want error", len(big))
+	}
+}
+
+// TestLabelsInterning is the identity contract behind Key comparability:
+// equal sets intern to the same handle regardless of construction path,
+// so == and map lookups just work.
+func TestLabelsInterning(t *testing.T) {
+	a := mustLabels(t, "job=lbm,cluster=emmy")
+	b, err := MakeLabels(map[string]string{"cluster": "emmy", "job": "lbm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("equal sets did not intern to one handle: %q vs %q", a, b)
+	}
+	if c := mustLabels(t, "job=lbm"); c == a {
+		t.Error("distinct sets interned to one handle")
+	}
+	ka := Key{Metric: "bw", Scope: ScopeNode, Labels: a}
+	kb := Key{Metric: "bw", Scope: ScopeNode, Labels: b}
+	if ka != kb {
+		t.Error("keys with equal label sets do not compare equal")
+	}
+	m := map[Key]int{ka: 7}
+	if m[kb] != 7 {
+		t.Error("map lookup through a separately constructed label set missed")
+	}
+}
+
+func TestMergeLabels(t *testing.T) {
+	base := mustLabels(t, "cluster=emmy,job=default")
+	over := mustLabels(t, "job=lbm,rack=r1")
+	got := MergeLabels(base, over)
+	if got.String() != "cluster=emmy,job=lbm,rack=r1" {
+		t.Errorf("merge = %q, want over to win per name", got)
+	}
+	if MergeLabels(Labels{}, over) != over || MergeLabels(base, Labels{}) != base {
+		t.Error("merge with the empty set must return the other side's handle")
+	}
+}
+
+func TestMatchLabels(t *testing.T) {
+	ls := mustLabels(t, "cluster=emmy,job=lbm")
+	tests := []struct {
+		sels []Label
+		want bool
+	}{
+		{nil, true},
+		{[]Label{{"job", "lbm"}}, true},
+		{[]Label{{"job", "lbm"}, {"cluster", "emmy"}}, true},
+		{[]Label{{"job", "ep"}}, false},
+		{[]Label{{"rack", "*"}}, false}, // label must be present
+		{[]Label{{"job", "lb*"}}, true},
+		{[]Label{{"job", "*"}}, true},
+		{[]Label{{"cluster", "e*y"}}, true},
+		{[]Label{{"cluster", "x*"}}, false},
+	}
+	for _, tt := range tests {
+		if got := MatchLabels(tt.sels, ls); got != tt.want {
+			t.Errorf("MatchLabels(%v, %q) = %v, want %v", tt.sels, ls, got, tt.want)
+		}
+	}
+	if !MatchLabels(nil, Labels{}) {
+		t.Error("no selectors must match the empty set")
+	}
+	if MatchLabels([]Label{{"job", "*"}}, Labels{}) {
+		t.Error("a selector must not match the empty set")
+	}
+}
+
+// TestStoreKeepsLabeledSeriesDistinct pins the tentpole invariant: the
+// same (source, metric, scope, id) under different label sets is
+// different series, and the unlabelled key is untouched by labelled
+// appends.
+func TestStoreKeepsLabeledSeriesDistinct(t *testing.T) {
+	st := NewStore(8)
+	lbm := mustLabels(t, "job=lbm")
+	ep := mustLabels(t, "job=ep")
+	base := Key{Metric: "bw", Scope: ScopeNode, ID: 0}
+	st.Append(base, Point{Time: 1, Value: 1})
+	st.Append(Key{Metric: "bw", Scope: ScopeNode, ID: 0, Labels: lbm}, Point{Time: 1, Value: 10})
+	st.Append(Key{Metric: "bw", Scope: ScopeNode, ID: 0, Labels: ep}, Point{Time: 1, Value: 20})
+
+	if n := len(st.Keys()); n != 3 {
+		t.Fatalf("store has %d series, want 3 (keys: %+v)", n, st.Keys())
+	}
+	if p, _ := st.Latest(base); p.Value != 1 {
+		t.Errorf("unlabelled latest = %v, want 1", p.Value)
+	}
+	if p, _ := st.Latest(Key{Metric: "bw", Scope: ScopeNode, ID: 0, Labels: lbm}); p.Value != 10 {
+		t.Errorf("job=lbm latest = %v, want 10", p.Value)
+	}
+	// Keys are sorted with the labels canon as the final tiebreak:
+	// unlabelled first, then job=ep, then job=lbm.
+	keys := st.Keys()
+	wantLabels := []string{"", "job=ep", "job=lbm"}
+	for i, k := range keys {
+		if k.Labels.String() != wantLabels[i] {
+			t.Errorf("Keys()[%d].Labels = %q, want %q", i, k.Labels, wantLabels[i])
+		}
+	}
+}

@@ -63,24 +63,31 @@ type Sample struct {
 	Source string
 	Metric string
 	Scope  Scope
-	ID     int     // processor, core, or socket index; 0 for node scope
+	ID     int // processor, core, or socket index; 0 for node scope
+	// Labels is the sample's structured label set (job=lbm,
+	// cluster=emmy) — the fleet-slicing dimensions beyond Source.  The
+	// zero value is the empty set.
+	Labels Labels
 	Time   float64 // simulated seconds
 	Value  float64
 }
 
 // Key identifies one time series in the store: which agent measured
-// (Source, empty for local series), what was measured (Metric), and
-// where (Scope, ID).
+// (Source, empty for local series), what was measured (Metric), where
+// (Scope, ID), and under which label set (Labels, empty for unlabelled
+// series).  Labels is an interned handle, so Key stays a comparable,
+// cheaply hashable map key.
 type Key struct {
 	Source string
 	Metric string
 	Scope  Scope
 	ID     int
+	Labels Labels
 }
 
 // Key returns the sample's series identity.
 func (s Sample) Key() Key {
-	return Key{Source: s.Source, Metric: s.Metric, Scope: s.Scope, ID: s.ID}
+	return Key{Source: s.Source, Metric: s.Metric, Scope: s.Scope, ID: s.ID, Labels: s.Labels}
 }
 
 // Batch is the output of one collector tick, forwarded to store and sinks

@@ -3,6 +3,7 @@ package monitor
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -37,6 +38,11 @@ type PushOptions struct {
 	// it; this option only labels sourceless samples.  Empty means
 	// unlabelled (single-agent setups).
 	Source string
+	// Context bounds the retry backoff: when it is cancelled (agent
+	// shutdown), an in-flight flush stops sleeping between attempts, so
+	// Close against a dead receiver returns promptly instead of walking
+	// the whole backoff ladder.  Nil means never cancelled.
+	Context context.Context
 	// Client defaults to an http.Client with a 10 s timeout.
 	Client *http.Client
 }
@@ -56,6 +62,9 @@ func (o PushOptions) withDefaults() PushOptions {
 	}
 	if o.RetryBase <= 0 {
 		o.RetryBase = 100 * time.Millisecond
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: 10 * time.Second}
@@ -112,15 +121,26 @@ func (p *PushSink) Retries() uint64 { return p.retries.Load() }
 // flush that exhausts its attempts returns the error but keeps the
 // samples buffered (bounded by MaxBuffered) for the next flush.
 func (p *PushSink) Write(b Batch) error {
+	// A batch's samples almost always share one interned label set:
+	// reuse the previous sample's wire map (read-only downstream)
+	// instead of rebuilding it per record.
+	var (
+		lastLs  Labels
+		lastMap map[string]string
+	)
 	for _, sm := range b.Samples {
 		source := sm.Source
 		if source == "" {
 			source = p.opts.Source
 		}
+		if sm.Labels != lastLs || lastMap == nil {
+			lastLs, lastMap = sm.Labels, sm.Labels.Map()
+		}
 		p.pending = append(p.pending, jsonSample{
 			Time:      sm.Time,
 			Collector: b.Collector,
 			Source:    source,
+			Labels:    lastMap,
 			Metric:    sm.Metric,
 			Scope:     sm.Scope.String(),
 			ID:        sm.ID,
@@ -172,7 +192,7 @@ func (p *PushSink) flush() error {
 		return err
 	}
 
-	err = RetryWithBackoff(p.opts.MaxAttempts, p.opts.RetryBase,
+	err = RetryWithBackoff(p.opts.Context, p.opts.MaxAttempts, p.opts.RetryBase,
 		func() { p.retries.Add(1) },
 		func() error { return p.post(body.Bytes()) })
 	if err != nil {
@@ -192,11 +212,27 @@ func (p *PushSink) flush() error {
 // the backoff behavior cannot silently diverge.  onFail observes each
 // failed attempt (e.g. a retry counter); the last error is returned when
 // every attempt fails.
-func RetryWithBackoff(maxAttempts int, base time.Duration, onFail func(), op func() error) error {
+//
+// The context bounds only the waiting, not the attempts: the first
+// attempt always runs (a shutdown flush still gets its one try at the
+// receiver), but a cancelled context aborts the backoff sleeps, so
+// shutdown never blocks for the full ladder against a dead endpoint.
+// A nil context never cancels.
+func RetryWithBackoff(ctx context.Context, maxAttempts int, base time.Duration, onFail func(), op func() error) error {
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(base << uint(attempt-1))
+			if ctx == nil {
+				time.Sleep(base << uint(attempt-1))
+			} else {
+				t := time.NewTimer(base << uint(attempt-1))
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return lastErr
+				case <-t.C:
+				}
+			}
 		}
 		if lastErr = op(); lastErr == nil {
 			return nil

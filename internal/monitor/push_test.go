@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -113,6 +114,83 @@ func TestPushSinkWireFormatGoldenV2(t *testing.T) {
 	checkGolden(t, "push_batch_v2.golden", rec.payloads[0])
 }
 
+// TestPushSinkWireFormatGoldenV3 pins the v3 schema: the structured
+// label set rides as a per-sample "labels" object (sorted keys, since
+// encoding/json sorts map keys) and is omitted when empty — so an
+// unlabelled v3 record is byte-identical to its v2 form.
+func TestPushSinkWireFormatGoldenV3(t *testing.T) {
+	rec := &captureReceiver{}
+	srv := httptest.NewServer(http.HandlerFunc(rec.handler))
+	defer srv.Close()
+
+	p, err := NewPushSink(PushOptions{URL: srv.URL, FlushSamples: 1 << 20, Source: "nodeA-7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbm := mustLabels(t, "job=lbm,cluster=emmy")
+	batches := goldenBatches()
+	// The agent stamp: every sample of the stream carries the label set.
+	for bi := range batches {
+		for si := range batches[bi].Samples {
+			batches[bi].Samples[si].Labels = lbm
+		}
+	}
+	// One unlabelled relayed sample: "labels" must be absent, not {}.
+	batches[1].Samples = append(batches[1].Samples, Sample{
+		Source: "nodeB-9", Metric: "dp_mflops_s", Scope: ScopeNode, ID: 0, Time: 1.0, Value: 99.5,
+	})
+	for _, b := range batches {
+		if err := p.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.payloads) != 1 {
+		t.Fatalf("receiver saw %d pushes, want 1", len(rec.payloads))
+	}
+	checkGolden(t, "push_batch_v3.golden", rec.payloads[0])
+}
+
+// TestPushSinkCloseHonorsCancelledContext pins the shutdown bugfix: a
+// flush against a dead receiver still makes its first attempt, but a
+// cancelled context skips the backoff ladder, so Close returns promptly
+// instead of sleeping through every retry.
+func TestPushSinkCloseHonorsCancelledContext(t *testing.T) {
+	rec := &captureReceiver{failNext: 1 << 30}
+	srv := httptest.NewServer(http.HandlerFunc(rec.handler))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	p, err := NewPushSink(PushOptions{
+		URL:          srv.URL,
+		FlushSamples: 1 << 20, // nothing flushes before Close
+		MaxAttempts:  5,
+		RetryBase:    30 * time.Second, // the ladder would take minutes
+		Context:      ctx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(goldenBatches()[0]); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // the agent is shutting down
+	start := time.Now()
+	if err := p.Close(); err == nil {
+		t.Error("Close against a dead receiver succeeded, want the push error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close blocked %v with a cancelled context, want a prompt return", elapsed)
+	}
+	if got := p.Retries(); got != 1 {
+		t.Errorf("Retries = %d, want exactly the single pre-cancellation attempt", got)
+	}
+}
+
 func TestPushSinkRetriesThenSucceeds(t *testing.T) {
 	rec := &captureReceiver{failNext: 2}
 	srv := httptest.NewServer(http.HandlerFunc(rec.handler))
@@ -195,7 +273,7 @@ func TestParsePushSinkSpec(t *testing.T) {
 		"push:https://c:8090/custom/path": "https://c:8090/custom/path",
 		"push:127.0.0.1:9000":             "http://127.0.0.1:9000/ingest",
 	} {
-		s, err := ParseSink(spec, nil)
+		s, err := ParseSink(context.Background(), spec, nil)
 		if err != nil {
 			t.Errorf("ParseSink(%q): %v", spec, err)
 			continue
@@ -210,7 +288,7 @@ func TestParsePushSinkSpec(t *testing.T) {
 		}
 	}
 	for _, bad := range []string{"push:", "push:ftp://x/ingest", "push:http:///ingest"} {
-		if _, err := ParseSink(bad, nil); err == nil {
+		if _, err := ParseSink(context.Background(), bad, nil); err == nil {
 			t.Errorf("ParseSink(%q) succeeded, want error", bad)
 		}
 		if err := ValidateSinkSpec(bad); err == nil {
@@ -368,7 +446,7 @@ func TestTwoAgentsFanIn(t *testing.T) {
 // agent identity, so the README's two-agents-one-receiver walkthrough
 // keeps the series separate.
 func TestPushSpecSetsDefaultSource(t *testing.T) {
-	s, err := ParseSink("push:127.0.0.1:1", nil)
+	s, err := ParseSink(context.Background(), "push:127.0.0.1:1", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -112,6 +113,13 @@ type SchedulerOptions struct {
 	// values count as unchanged (default 1e-9; it is also used as the
 	// absolute floor for values near zero).
 	AdaptiveEpsilon float64
+	// Labels stamps this agent's label set (likwid-agent -labels, e.g.
+	// job=lbm,cluster=emmy) onto every collected sample — roll-ups
+	// included — before it reaches the store and the sinks, so local
+	// series, pushed batches, and alert events all carry it.  Labels a
+	// collector sets itself win per name; the agent identity fills in
+	// underneath (the receiver's ingest-default semantics).
+	Labels Labels
 	// OnError observes collector failures (optional; e.g. logging).
 	OnError func(collector string, err error)
 }
@@ -190,6 +198,10 @@ func (s *Scheduler) runOne(ctx context.Context, e *schedEntry) {
 	// the feature.  Such collectors just keep their declared cadence.
 	adaptive := s.opts.AdaptiveMax > interval
 	var prev map[Key]float64
+	// Per-goroutine (so lock-free) memo of the -labels stamp merge: a
+	// collector emits the same few label sets every tick, and the merge
+	// must not re-intern (global mutex + allocs) per sample per tick.
+	var stampCache map[Labels]Labels
 	for {
 		select {
 		case <-ctx.Done():
@@ -244,6 +256,33 @@ func (s *Scheduler) runOne(ctx context.Context, e *schedEntry) {
 		}
 		if s.opts.Aggregator != nil {
 			samples = append(samples, s.opts.Aggregator.Rollup(samples)...)
+		}
+		if !s.opts.Labels.Empty() {
+			for i := range samples {
+				ls := samples[i].Labels
+				merged, ok := stampCache[ls]
+				if !ok {
+					if !ls.Empty() && len(mergePairs(s.opts.Labels, ls)) > maxLabels {
+						// The union would break the wire cap every
+						// downstream receiver enforces: the agent stamp
+						// yields (before the over-cap union can reach the
+						// intern table), keeping the collector's own valid
+						// set — loudly, once per distinct set.
+						merged = ls
+						if s.opts.OnError != nil {
+							s.opts.OnError(e.c.Name(), fmt.Errorf(
+								"monitor: sample labels %q merged with the agent labels exceed the limit of %d; keeping the collector's set", ls, maxLabels))
+						}
+					} else {
+						merged = MergeLabels(s.opts.Labels, ls)
+					}
+					if stampCache == nil || len(stampCache) >= maxMergeCacheEntries {
+						stampCache = map[Labels]Labels{}
+					}
+					stampCache[ls] = merged
+				}
+				samples[i].Labels = merged
+			}
 		}
 		batch := Batch{Collector: e.c.Name(), Time: maxTime(samples), Samples: samples}
 		e.batches.Add(1)

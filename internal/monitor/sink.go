@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -149,16 +150,22 @@ func NewTableSink(w io.Writer, scopes ...Scope) Sink {
 func (t *tableSink) Name() string { return "table" }
 
 func (t *tableSink) Write(b Batch) error {
-	// Fleet batches (any sample with a source) get a Source column;
-	// plain local batches keep the compact four-column table.
-	sourced := false
+	// Fleet batches (any sample with a source) get a Source column,
+	// labelled batches a Labels column; plain local batches keep the
+	// compact four-column table.
+	sourced, labelled := false, false
 	for _, s := range b.Samples {
 		if s.Source != "" {
 			sourced = true
-			break
+		}
+		if !s.Labels.Empty() {
+			labelled = true
 		}
 	}
 	head := []string{"Metric", "Scope", "ID", "Value"}
+	if labelled {
+		head = append([]string{"Labels"}, head...)
+	}
 	if sourced {
 		head = append([]string{"Source"}, head...)
 	}
@@ -169,6 +176,9 @@ func (t *tableSink) Write(b Batch) error {
 			continue
 		}
 		row := []string{s.Metric, s.Scope.String(), strconv.Itoa(s.ID), cli.FormatMetric(s.Value)}
+		if labelled {
+			row = append([]string{s.Labels.String()}, row...)
+		}
 		if sourced {
 			row = append([]string{s.Source}, row...)
 		}
@@ -188,14 +198,16 @@ func (t *tableSink) Close() error { return nil }
 
 // csvSink appends one row per sample: time,collector,metric,scope,id,value.
 // Streams carrying fleet samples (a source on any sample of the first
-// non-empty batch) add a source column after collector; a local agent's
-// file keeps the compact six-column schema.
+// non-empty batch) add a source column after collector, and labelled
+// streams a labels column after that (the canonical "k=v,k=v" set,
+// CSV-quoted); a local agent's file keeps the compact six-column schema.
 type csvSink struct {
-	name    string
-	w       *bufio.Writer
-	c       io.Closer
-	head    bool
-	sourced bool
+	name     string
+	w        *bufio.Writer
+	c        io.Closer
+	head     bool
+	sourced  bool
+	labelled bool
 }
 
 // NewCSVSink writes CSV to w, closing c (which may be nil) on Close.
@@ -214,27 +226,38 @@ func (s *csvSink) Write(b Batch) error {
 		for _, sm := range b.Samples {
 			if sm.Source != "" {
 				s.sourced = true
-				break
+			}
+			if !sm.Labels.Empty() {
+				s.labelled = true
 			}
 		}
-		header := "time,collector,metric,scope,id,value\n"
+		header := "time,collector"
 		if s.sourced {
-			header = "time,collector,source,metric,scope,id,value\n"
+			header += ",source"
 		}
+		if s.labelled {
+			header += ",labels"
+		}
+		header += ",metric,scope,id,value\n"
 		if _, err := s.w.WriteString(header); err != nil {
 			return err
 		}
 	}
 	for _, sm := range b.Samples {
-		var err error
+		row := formatTime(sm.Time) + "," + b.Collector
 		if s.sourced {
-			_, err = fmt.Fprintf(s.w, "%s,%s,%s,%s,%s,%d,%s\n",
-				formatTime(sm.Time), b.Collector, sm.Source, sm.Metric, sm.Scope, sm.ID, formatValue(sm.Value))
-		} else {
-			_, err = fmt.Fprintf(s.w, "%s,%s,%s,%s,%d,%s\n",
-				formatTime(sm.Time), b.Collector, sm.Metric, sm.Scope, sm.ID, formatValue(sm.Value))
+			row += "," + sm.Source
 		}
-		if err != nil {
+		if s.labelled {
+			// The canonical set contains commas between pairs: CSV-quote
+			// the cell so it stays one column.
+			row += ","
+			if ls := sm.Labels.String(); ls != "" {
+				row += `"` + ls + `"`
+			}
+		}
+		if _, err := fmt.Fprintf(s.w, "%s,%s,%s,%d,%s\n",
+			row, sm.Metric, sm.Scope, sm.ID, formatValue(sm.Value)); err != nil {
 			return err
 		}
 	}
@@ -264,32 +287,46 @@ func NewJSONLSink(w io.Writer, c io.Closer) Sink {
 	return &jsonlSink{w: bufio.NewWriter(w), c: c}
 }
 
-// jsonSample fixes the field order of the line protocol — the v2 wire
+// jsonSample fixes the field order of the line protocol — the v3 wire
 // schema shared by the jsonl file sink and the push→ingest pipeline.
 // Source is the measuring agent's identity as its own field; the
 // receiver stores it as Key.Source, so two agents emitting the same
 // group stay distinct series without any metric-name mangling.  (The
 // legacy v1 form smuggled the source as a "SOURCE/metric" prefix; the
 // ingest endpoint still accepts it through the SplitSourceMetric shim.)
+// Labels is the v3 addition: the sample's structured label set as a
+// JSON object, omitted when empty — so a v2 record is exactly a v3
+// record with no labels, and old payloads land on unchanged keys.
 type jsonSample struct {
-	Time      float64 `json:"time"`
-	Collector string  `json:"collector"`
-	Source    string  `json:"source,omitempty"`
-	Metric    string  `json:"metric"`
-	Scope     string  `json:"scope"`
-	ID        int     `json:"id"`
-	Value     float64 `json:"value"`
+	Time      float64           `json:"time"`
+	Collector string            `json:"collector"`
+	Source    string            `json:"source,omitempty"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Metric    string            `json:"metric"`
+	Scope     string            `json:"scope"`
+	ID        int               `json:"id"`
+	Value     float64           `json:"value"`
 }
 
 func (s *jsonlSink) Name() string { return "jsonl" }
 
 func (s *jsonlSink) Write(b Batch) error {
 	enc := json.NewEncoder(s.w)
+	// Reuse one wire map per run of samples sharing an interned label
+	// set (the encoder only reads it).
+	var (
+		lastLs  Labels
+		lastMap map[string]string
+	)
 	for _, sm := range b.Samples {
+		if sm.Labels != lastLs || lastMap == nil {
+			lastLs, lastMap = sm.Labels, sm.Labels.Map()
+		}
 		err := enc.Encode(jsonSample{
 			Time:      sm.Time,
 			Collector: b.Collector,
 			Source:    sm.Source,
+			Labels:    lastMap,
 			Metric:    sm.Metric,
 			Scope:     sm.Scope.String(),
 			ID:        sm.ID,
@@ -326,8 +363,10 @@ func (s *jsonlSink) Close() error {
 //	                     push:http://host:port/ingest)
 //
 // The store parameter backs the HTTP sink's /query and /ingest endpoints
-// and may be nil for the file and push sinks.
-func ParseSink(spec string, store *Store) (Sink, error) {
+// and may be nil for the file and push sinks.  The context bounds the
+// push sink's retry backoff (the agent's shutdown path); nil means never
+// cancelled.
+func ParseSink(ctx context.Context, spec string, store *Store) (Sink, error) {
 	if err := ValidateSinkSpec(spec); err != nil {
 		return nil, err
 	}
@@ -348,7 +387,7 @@ func ParseSink(spec string, store *Store) (Sink, error) {
 		return NewHTTPSink(arg, store)
 	default: // "push", already validated
 		url, _ := normalizePushURL(arg)
-		return NewPushSink(PushOptions{URL: url, Source: defaultPushSource()})
+		return NewPushSink(PushOptions{URL: url, Source: defaultPushSource(), Context: ctx})
 	}
 }
 

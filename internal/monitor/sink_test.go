@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"os"
@@ -258,7 +259,7 @@ func TestParseSinkSpecs(t *testing.T) {
 	store := NewStore(8)
 
 	csvPath := filepath.Join(dir, "out.csv")
-	s, err := ParseSink("csv:"+csvPath, store)
+	s, err := ParseSink(context.Background(), "csv:"+csvPath, store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,17 +277,17 @@ func TestParseSinkSpecs(t *testing.T) {
 		t.Errorf("csv sink output:\n%s", data)
 	}
 
-	if _, err := ParseSink("csv", nil); err == nil {
+	if _, err := ParseSink(context.Background(), "csv", nil); err == nil {
 		t.Error("csv without path must fail")
 	}
-	if _, err := ParseSink("bogus:x", nil); err == nil {
+	if _, err := ParseSink(context.Background(), "bogus:x", nil); err == nil {
 		t.Error("unknown sink kind must fail")
 	}
-	if _, err := ParseSink("http", nil); err == nil {
+	if _, err := ParseSink(context.Background(), "http", nil); err == nil {
 		t.Error("http without address must fail")
 	}
 
-	h, err := ParseSink("http:127.0.0.1:0", store)
+	h, err := ParseSink(context.Background(), "http:127.0.0.1:0", store)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -273,8 +273,9 @@ func (st *Store) ForEachKey(f func(Key)) {
 	}
 }
 
-// Keys lists every series, sorted by source, metric, scope, id for
-// stable output (local series first, then one block per agent).
+// Keys lists every series, sorted by source, metric, scope, id, labels
+// for stable output (local series first, then one block per agent,
+// unlabelled before labelled variants of the same series).
 func (st *Store) Keys() []Key {
 	idx := *st.index.Load()
 	out := make([]Key, 0, len(idx))
@@ -291,7 +292,10 @@ func (st *Store) Keys() []Key {
 		if out[i].Scope != out[j].Scope {
 			return out[i].Scope < out[j].Scope
 		}
-		return out[i].ID < out[j].ID
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Labels.String() < out[j].Labels.String()
 	})
 	return out
 }
