@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -37,7 +38,10 @@ type agentConfig struct {
 	adaptive   time.Duration
 	rules      []*alert.Rule // parsed -rules file; nil = no alerting
 	rulesFile  string
-	notifiers  []string // -notify specs; default stdout when rules are set
+	notifiers  []string   // -notify specs; default stdout when rules are set
+	logLevel   slog.Level // -log-level, parsed
+	logJSON    bool       // -log-format json
+	pprof      bool       // -pprof: mount /debug/pprof/ on http sinks
 
 	// node is the simulated machine opened during validation, reused by
 	// main so the group check and the monitored node agree.
@@ -73,6 +77,9 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 	labelSpec := fs.String("labels", "", "label set stamped onto every sample, e.g. job=lbm,cluster=emmy (receiver mode: defaults merged under each ingested sample's own labels)")
 	adaptive := fs.Duration("adaptive", 0, "stretch unchanged collectors' intervals up to this cap (0 = off)")
 	rulesFile := fs.String("rules", "", "alerting rule file (one rule per line; see internal/alert)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
+	logFormat := fs.String("log-format", "text", "log encoding: text | json")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on every http sink and receiver")
 	var sinks sinkSpecs
 	fs.Var(&sinks, "sink", "sink spec (repeatable): stdout | csv:PATH | jsonl:PATH | http:ADDR | push:URL")
 	var notifiers sinkSpecs
@@ -98,6 +105,26 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 		adaptive:  *adaptive,
 		rulesFile: *rulesFile,
 		notifiers: notifiers,
+		pprof:     *pprofFlag,
+	}
+	switch strings.ToLower(*logLevel) {
+	case "debug":
+		cfg.logLevel = slog.LevelDebug
+	case "info":
+		cfg.logLevel = slog.LevelInfo
+	case "warn", "warning":
+		cfg.logLevel = slog.LevelWarn
+	case "error":
+		cfg.logLevel = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug | info | warn | error)", *logLevel)
+	}
+	switch strings.ToLower(*logFormat) {
+	case "text":
+	case "json":
+		cfg.logJSON = true
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text | json)", *logFormat)
 	}
 	if *collectorSet != "" {
 		for _, name := range strings.Split(*collectorSet, ",") {
@@ -132,6 +159,15 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 		return nil, err
 	}
 	return cfg, nil
+}
+
+// newLogger builds the process logger from -log-level and -log-format.
+func (c *agentConfig) newLogger(w io.Writer) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: c.logLevel}
+	if c.logJSON {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
 }
 
 // validate cross-checks the configuration.  Receiver mode needs no

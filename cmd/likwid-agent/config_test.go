@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -127,6 +130,37 @@ func TestParseAgentFlags(t *testing.T) {
 		{name: "labels missing value", args: []string{"-labels", "job"}, wantErr: "name=value"},
 		{name: "labels bad name", args: []string{"-labels", "1job=x"}, wantErr: "bad label name"},
 		{name: "labels duplicate", args: []string{"-labels", "job=a,job=b"}, wantErr: "duplicate label"},
+		{
+			name: "logging and pprof defaults",
+			args: nil,
+			check: func(t *testing.T, cfg *agentConfig) {
+				if cfg.logLevel != slog.LevelInfo || cfg.logJSON || cfg.pprof {
+					t.Errorf("defaults = level %v json %v pprof %v, want info/text/off",
+						cfg.logLevel, cfg.logJSON, cfg.pprof)
+				}
+			},
+		},
+		{
+			name: "logging flags",
+			args: []string{"-log-level", "Debug", "-log-format", "json", "-pprof"},
+			check: func(t *testing.T, cfg *agentConfig) {
+				if cfg.logLevel != slog.LevelDebug || !cfg.logJSON || !cfg.pprof {
+					t.Errorf("got level %v json %v pprof %v, want debug/json/on",
+						cfg.logLevel, cfg.logJSON, cfg.pprof)
+				}
+			},
+		},
+		{
+			name: "log level warning alias",
+			args: []string{"-log-level", "warning"},
+			check: func(t *testing.T, cfg *agentConfig) {
+				if cfg.logLevel != slog.LevelWarn {
+					t.Errorf("level = %v, want warn", cfg.logLevel)
+				}
+			},
+		},
+		{name: "bad log level", args: []string{"-log-level", "verbose"}, wantErr: "unknown -log-level"},
+		{name: "bad log format", args: []string{"-log-format", "logfmt"}, wantErr: "unknown -log-format"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -147,6 +181,35 @@ func TestParseAgentFlags(t *testing.T) {
 				tt.check(t, cfg)
 			}
 		})
+	}
+}
+
+// TestNewLogger pins the -log-format encodings and the -log-level
+// filter: a warn-level JSON logger drops info records and emits one
+// well-formed JSON object per line.
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := &agentConfig{logLevel: slog.LevelWarn, logJSON: true}
+	log := cfg.newLogger(&buf)
+	log.Info("hidden")
+	log.Warn("shown", "sink", "push")
+	out := strings.TrimSpace(buf.String())
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("info record leaked through a warn-level logger: %q", out)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(out), &rec); err != nil {
+		t.Fatalf("-log-format json emitted non-JSON %q: %v", out, err)
+	}
+	if rec["msg"] != "shown" || rec["sink"] != "push" {
+		t.Fatalf("record = %v, want msg=shown sink=push", rec)
+	}
+
+	buf.Reset()
+	cfg = &agentConfig{logLevel: slog.LevelInfo}
+	cfg.newLogger(&buf).Info("text line", "collector", "perfgroup")
+	if out := buf.String(); !strings.Contains(out, "msg=\"text line\"") || !strings.Contains(out, "collector=perfgroup") {
+		t.Fatalf("-log-format text emitted %q, want slog text encoding", out)
 	}
 }
 

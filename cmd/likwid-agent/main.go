@@ -49,6 +49,18 @@
 //	               same over HTTP
 //	-notify SPEC   repeatable alert notifier: stdout | jsonl:PATH |
 //	               webhook:URL (default stdout when -rules is set)
+//	-log-level L   stderr log verbosity: debug | info | warn | error
+//	-log-format F  stderr log encoding: text | json (structured log/slog
+//	               either way)
+//	-pprof         mount net/http/pprof under /debug/pprof/ on every
+//	               http sink and receiver (off by default)
+//
+// Every http sink and receiver also serves the operational surface:
+// GET /status (telemetry registry snapshot + Go runtime stats),
+// GET /healthz (liveness) and GET /readyz (named readiness checks).
+// A SelfCollector republishes the agent's own telemetry as
+// self/likwid_* series — retention, /metrics, /query?source=self and
+// the alert DSL all work on them unchanged.
 //
 // Example, one receiver aggregating two node agents and alerting over
 // the fleet's series:
@@ -62,7 +74,9 @@ package main
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -73,6 +87,7 @@ import (
 	"likwid/internal/alert"
 	"likwid/internal/machine"
 	"likwid/internal/monitor"
+	"likwid/internal/telemetry"
 	"likwid/internal/topology"
 )
 
@@ -82,8 +97,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "likwid-agent:", err)
 		os.Exit(1)
 	}
+	log := cfg.newLogger(os.Stderr)
+	slog.SetDefault(log)
 	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "likwid-agent:", err)
+		log.Error("likwid-agent failed", "err", err)
 		os.Exit(1)
 	}
 
@@ -100,21 +117,49 @@ func main() {
 	}()
 
 	if cfg.receiver != "" {
-		if err := runReceiver(ctx, cfg); err != nil {
+		if err := runReceiver(ctx, cfg, log); err != nil {
 			fail(err)
 		}
 		return
 	}
-	if err := runAgent(ctx, cfg); err != nil {
+	if err := runAgent(ctx, cfg, log); err != nil {
 		fail(err)
+	}
+}
+
+// mountOps mounts the operational surface on one HTTP sink: ingest
+// instrumentation, GET /status (telemetry snapshot plus Go runtime
+// stats), a store readiness check, and — with -pprof — the net/http/pprof
+// handlers under /debug/pprof/.  /healthz and /readyz are built into the
+// sink itself.
+func mountOps(h *monitor.HTTPSink, reg *telemetry.Registry, cfg *agentConfig, store *monitor.Store) {
+	h.Instrument(reg)
+	h.Handle("/status", telemetry.StatusHandler(reg))
+	h.AddReadyCheck("store", func() error {
+		if store == nil {
+			return fmt.Errorf("no store attached")
+		}
+		return nil
+	})
+	if cfg.pprof {
+		h.Handle("/debug/pprof/", http.HandlerFunc(pprof.Index))
+		h.Handle("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+		h.Handle("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+		h.Handle("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+		h.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
 	}
 }
 
 // runReceiver is the aggregation mode: no collectors, just a store behind
 // an HTTP server whose /ingest accepts push batches from other agents —
 // and, with -rules, an alert engine watching the merged fleet series.
-func runReceiver(ctx context.Context, cfg *agentConfig) error {
+// The receiver also monitors itself: a SelfCollector republishes its
+// telemetry registry as self/likwid_* series, so fleet rules can watch
+// the watcher.
+func runReceiver(ctx context.Context, cfg *agentConfig, log *slog.Logger) error {
+	reg := telemetry.New()
 	store := monitor.NewStore(cfg.retain, cfg.tiers...)
+	store.Instrument(reg)
 	h, err := monitor.NewHTTPSink(cfg.receiver, store)
 	if err != nil {
 		return err
@@ -123,15 +168,38 @@ func runReceiver(ctx context.Context, cfg *agentConfig) error {
 	// sample's own labels, so e.g. cluster=emmy stamps a whole fleet
 	// while each agent's job= label survives.
 	h.SetIngestLabels(cfg.labels)
-	alerting, err := startAlerting(ctx, cfg, store, []*monitor.HTTPSink{h})
+	mountOps(h, reg, cfg, store)
+	alerting, err := startAlerting(ctx, cfg, store, []*monitor.HTTPSink{h}, reg, log)
 	if err != nil {
 		_ = h.Close()
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "likwid-agent: receiver listening on %s (/ingest, /metrics, /query)\n", h.Addr())
+	// Self-monitoring loop: the dispatcher carries SelfCollector batches
+	// to the HTTP sink (so self series show on /metrics) while the
+	// scheduler appends them to the store (so /query?source=self, tier
+	// compaction and the alert DSL see them).
+	selfDispatch := monitor.NewDispatcher(8, h)
+	selfDispatch.SetLogger(log)
+	selfDispatch.Instrument(reg)
+	selfSched := monitor.NewScheduler(monitor.SchedulerOptions{
+		Store:      store,
+		Dispatcher: selfDispatch,
+		Labels:     cfg.labels,
+		Logger:     log,
+		Telemetry:  reg,
+	})
+	selfSched.Add(monitor.NewSelfCollector(reg, 0))
+	schedDone := make(chan struct{})
+	go func() {
+		selfSched.Run(ctx)
+		close(schedDone)
+	}()
+	log.Info("receiver listening", "addr", h.Addr(),
+		"endpoints", "/ingest /metrics /query /status /healthz /readyz", "pprof", cfg.pprof)
 	<-ctx.Done()
-	err = h.Close()
-	alerting.stop()
+	<-schedDone
+	err = selfDispatch.Close() // closes the HTTP sink with it
+	alerting.stop(log)
 	return err
 }
 
@@ -144,21 +212,21 @@ type alerting struct {
 }
 
 // stop cancels the engine, waits for its rule goroutines, drains the
-// notifier queue, and prints the delivery accounting.
-func (a *alerting) stop() {
+// notifier queue, and logs the delivery accounting.
+func (a *alerting) stop(log *slog.Logger) {
 	if a.engine == nil {
 		return
 	}
 	a.cancel()
 	<-a.done
 	if err := a.fanout.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "likwid-agent: notifier close: %v\n", err)
+		log.Warn("notifier close failed", "err", err)
 	}
-	fmt.Fprintf(os.Stderr, "likwid-agent: alerts: %d events delivered, %d dropped, %d notifier errors\n",
-		a.fanout.Delivered(), a.fanout.Dropped(), a.fanout.Errors())
+	log.Info("alerting stopped",
+		"delivered", a.fanout.Delivered(), "dropped", a.fanout.Dropped(), "notifier_errors", a.fanout.Errors())
 	for _, rs := range a.engine.RuleStatuses() {
 		if rs.LastError != "" {
-			fmt.Fprintf(os.Stderr, "likwid-agent: rule %s: %s\n", rs.Name, rs.LastError)
+			log.Warn("rule finished with error", "rule", rs.Name, "err", rs.LastError)
 		}
 	}
 }
@@ -166,7 +234,7 @@ func (a *alerting) stop() {
 // startAlerting builds notifiers, engine and endpoints from -rules and
 // -notify and starts the evaluation loop.  A no-op (nil engine) without
 // -rules.
-func startAlerting(ctx context.Context, cfg *agentConfig, store *monitor.Store, https []*monitor.HTTPSink) (*alerting, error) {
+func startAlerting(ctx context.Context, cfg *agentConfig, store *monitor.Store, https []*monitor.HTTPSink, reg *telemetry.Registry, log *slog.Logger) (*alerting, error) {
 	if len(cfg.rules) == 0 {
 		return &alerting{}, nil
 	}
@@ -180,9 +248,23 @@ func startAlerting(ctx context.Context, cfg *agentConfig, store *monitor.Store, 
 		if err != nil {
 			return nil, err
 		}
+		if w, ok := n.(*alert.WebhookNotifier); ok {
+			w.SetLogger(log)
+		}
 		notifiers = append(notifiers, n)
 	}
 	fanout := alert.NewFanout(cfg.buffer, notifiers...)
+	fanout.SetLogger(log)
+	fanout.Instrument(reg)
+	// "Notifiers up" readiness: not ready once the fanout is closed.
+	for _, h := range https {
+		h.AddReadyCheck("notifiers", func() error {
+			if fanout.Closed() {
+				return fmt.Errorf("notifier fanout closed")
+			}
+			return nil
+		})
+	}
 	// Agent mode tracks the sampling cadence; receiver mode has no
 	// sampling of its own, so rules fall back to the engine's default
 	// (10 s) instead of the meaningless -i value.
@@ -199,6 +281,7 @@ func startAlerting(ctx context.Context, cfg *agentConfig, store *monitor.Store, 
 		Store:        store,
 		DefaultEvery: defaultEvery,
 		Fanout:       fanout,
+		Telemetry:    reg,
 		// A fleet agent that stops pushing must not keep its alerts
 		// firing forever off the frozen last window.  The horizon stays
 		// clear of the adaptive stretch cap: a healthy static series
@@ -211,7 +294,7 @@ func startAlerting(ctx context.Context, cfg *agentConfig, store *monitor.Store, 
 			lastErr[rule] = err.Error()
 			errMu.Unlock()
 			if !repeat {
-				fmt.Fprintf(os.Stderr, "likwid-agent: rule %s: %v\n", rule, err)
+				log.Warn("rule evaluation failed", "rule", rule, "err", err)
 			}
 		},
 	}, cfg.rules)
@@ -223,10 +306,10 @@ func startAlerting(ctx context.Context, cfg *agentConfig, store *monitor.Store, 
 	reload := func(trigger string) (int, error) {
 		n, rerr := reloadRules(engine, cfg.rulesFile)
 		if rerr != nil {
-			fmt.Fprintf(os.Stderr, "likwid-agent: %s rules reload rejected (old rules stay live): %v\n", trigger, rerr)
+			log.Warn("rules reload rejected, old rules stay live", "trigger", trigger, "err", rerr)
 			return 0, rerr
 		}
-		fmt.Fprintf(os.Stderr, "likwid-agent: %s reloaded %d rules from %s\n", trigger, n, cfg.rulesFile)
+		log.Info("rules reloaded", "trigger", trigger, "rules", n, "file", cfg.rulesFile)
 		return n, nil
 	}
 	for _, h := range https {
@@ -266,7 +349,7 @@ func startAlerting(ctx context.Context, cfg *agentConfig, store *monitor.Store, 
 			}
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "likwid-agent: alerting on %d rules from %s\n", len(cfg.rules), cfg.rulesFile)
+	log.Info("alerting started", "rules", len(cfg.rules), "file", cfg.rulesFile)
 	return &alerting{engine: engine, fanout: fanout, done: done, cancel: cancel}, nil
 }
 
@@ -281,7 +364,8 @@ func staleHorizon(adaptive time.Duration) time.Duration {
 	return base
 }
 
-func runAgent(ctx context.Context, cfg *agentConfig) error {
+func runAgent(ctx context.Context, cfg *agentConfig, log *slog.Logger) error {
+	reg := telemetry.New()
 	node := cfg.node
 	mcfg := monitor.Config{
 		Machine:   node.M,
@@ -309,6 +393,7 @@ func runAgent(ctx context.Context, cfg *agentConfig) error {
 		names = monitor.DefaultRegistry.Names()
 	}
 	store := monitor.NewStore(cfg.retain, cfg.tiers...)
+	store.Instrument(reg)
 	info, err := topology.Probe(node.M.CPUs, node.M.Arch.ClockMHz)
 	if err != nil {
 		return err
@@ -329,14 +414,21 @@ func runAgent(ctx context.Context, cfg *agentConfig) error {
 		if err != nil {
 			return err
 		}
-		if h, ok := s.(*monitor.HTTPSink); ok {
-			fmt.Fprintf(os.Stderr, "likwid-agent: http sink listening on %s\n", h.Addr())
-			https = append(https, h)
+		switch s := s.(type) {
+		case *monitor.HTTPSink:
+			log.Info("http sink listening", "addr", s.Addr(), "pprof", cfg.pprof)
+			mountOps(s, reg, cfg, store)
+			https = append(https, s)
+		case *monitor.PushSink:
+			s.SetLogger(log)
+			s.Instrument(reg)
 		}
 		built = append(built, s)
 	}
 	dispatcher := monitor.NewDispatcher(cfg.buffer, built...)
-	alerting, err := startAlerting(ctx, cfg, store, https)
+	dispatcher.SetLogger(log)
+	dispatcher.Instrument(reg)
+	alerting, err := startAlerting(ctx, cfg, store, https, reg, log)
 	if err != nil {
 		return err
 	}
@@ -347,9 +439,8 @@ func runAgent(ctx context.Context, cfg *agentConfig) error {
 		Dispatcher:  dispatcher,
 		AdaptiveMax: cfg.adaptive,
 		Labels:      cfg.labels,
-		OnError: func(name string, err error) {
-			fmt.Fprintf(os.Stderr, "likwid-agent: collector %s: %v (backing off)\n", name, err)
-		},
+		Logger:      log,
+		Telemetry:   reg,
 	})
 	var stops []func() error
 	var active []monitor.Collector
@@ -359,7 +450,7 @@ func runAgent(ctx context.Context, cfg *agentConfig) error {
 			// A collector that cannot come up on this node (e.g. features
 			// on AMD) is skipped, not fatal: monitoring degrades, it does
 			// not die.
-			fmt.Fprintf(os.Stderr, "likwid-agent: skipping collector %s: %v\n", name, err)
+			log.Warn("skipping collector", "collector", name, "err", err)
 			continue
 		}
 		sched.Add(c)
@@ -371,30 +462,34 @@ func runAgent(ctx context.Context, cfg *agentConfig) error {
 	if len(active) == 0 {
 		return fmt.Errorf("no collector could be built; nothing to monitor")
 	}
+	// The agent monitors itself alongside the hardware: the SelfCollector
+	// rides the same scheduler, store and sinks as every other collector.
+	sched.Add(monitor.NewSelfCollector(reg, 0))
 
-	fmt.Fprintf(os.Stderr, "likwid-agent: monitoring %s, group %s, interval %s\n",
-		node.String(), cfg.group, cfg.interval)
+	log.Info("monitoring started",
+		"node", node.String(), "group", cfg.group, "interval", cfg.interval)
 	sched.Run(ctx)
 
 	for _, stop := range stops {
 		_ = stop()
 	}
-	alerting.stop()
+	alerting.stop(log)
 	if err := dispatcher.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "likwid-agent: sink close: %v\n", err)
+		log.Warn("sink close failed", "err", err)
 	}
 
 	for _, st := range sched.Stats() {
-		fmt.Fprintf(os.Stderr, "likwid-agent: %-20s %4d batches, %5d samples, %d errors, %d stretches\n",
-			st.Name, st.Batches, st.Samples, st.Errors, st.Stretches)
+		log.Info("collector finished",
+			"collector", st.Name, "batches", st.Batches, "samples", st.Samples,
+			"errors", st.Errors, "stretches", st.Stretches)
 	}
 	if d := dispatcher.Dropped(); d > 0 {
-		fmt.Fprintf(os.Stderr, "likwid-agent: %d batches dropped at the sink queue\n", d)
+		log.Warn("batches dropped at the sink queue", "dropped", d)
 	}
 	for _, s := range built {
 		if p, ok := s.(*monitor.PushSink); ok {
-			fmt.Fprintf(os.Stderr, "likwid-agent: push sink: %d samples in %d pushes, %d retries, %d dropped\n",
-				p.Sent(), p.Pushes(), p.Retries(), p.Dropped())
+			log.Info("push sink finished",
+				"sent", p.Sent(), "pushes", p.Pushes(), "retries", p.Retries(), "dropped", p.Dropped())
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"likwid/internal/monitor"
+	"likwid/internal/telemetry"
 )
 
 // Options wire an engine to its inputs and outputs.
@@ -35,6 +36,9 @@ type Options struct {
 	StaleAfter time.Duration
 	// OnError observes per-rule evaluation problems (optional).
 	OnError func(rule string, err error)
+	// Telemetry, when set, instruments evaluation: per-eval duration
+	// histogram, eval counter, and firing/resolved transition counters.
+	Telemetry *telemetry.Registry
 }
 
 // instKey deduplicates alert instances: one lifecycle per (rule, series).
@@ -79,6 +83,12 @@ type Engine struct {
 	state map[string]*ruleState
 
 	reload chan struct{} // signals Run to restart its rule goroutines
+
+	// Telemetry instruments, resolved once at construction (nil without
+	// Options.Telemetry; the eval path nil-checks).
+	tEvals       *telemetry.Counter
+	tEvalSec     *telemetry.Histogram
+	tTransitions map[string]*telemetry.Counter // by event state
 }
 
 // NewEngine creates an engine over the given rules.
@@ -101,6 +111,15 @@ func NewEngine(opts Options, rules []*Rule) (*Engine, error) {
 	}
 	for _, r := range rules {
 		e.state[r.Name] = &ruleState{rule: r}
+	}
+	if reg := opts.Telemetry; reg != nil {
+		e.tEvals = reg.Counter("likwid_alert_evals_total")
+		e.tEvalSec = reg.Histogram("likwid_alert_eval_seconds", telemetry.DurationBuckets)
+		e.tTransitions = map[string]*telemetry.Counter{
+			EventStateFiring:   reg.Counter("likwid_alert_transitions_total", "state", EventStateFiring),
+			EventStateResolved: reg.Counter("likwid_alert_transitions_total", "state", EventStateResolved),
+		}
+		reg.GaugeFunc("likwid_alert_rules", func() float64 { return float64(len(e.Rules())) })
 	}
 	return e, nil
 }
@@ -207,6 +226,11 @@ func (e *Engine) EvalNow() {
 
 // evalRule runs one evaluation of one rule against the store.
 func (e *Engine) evalRule(r *Rule) {
+	if e.tEvals != nil {
+		e.tEvals.Inc()
+		start := time.Now()
+		defer func() { e.tEvalSec.Observe(time.Since(start).Seconds()) }()
+	}
 	var keys []monitor.Key
 	e.opts.Store.ForEachKey(func(k monitor.Key) {
 		if k.Scope != r.Scope {
@@ -445,6 +469,9 @@ func (e *Engine) transition(r *Rule, k monitor.Key, metric, state string, value,
 		Time:      simNow,
 		Since:     since,
 		Spec:      r.String(),
+	}
+	if c := e.tTransitions[state]; c != nil {
+		c.Inc()
 	}
 	if e.opts.Fanout != nil {
 		e.opts.Fanout.Publish(ev)

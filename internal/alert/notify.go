@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"likwid/internal/monitor"
+	"likwid/internal/telemetry"
 )
 
 // Notifier delivers one firing/resolved event.  Notifiers are driven by
@@ -43,6 +45,8 @@ type Fanout struct {
 	errs      atomic.Uint64
 	done      chan struct{}
 	once      sync.Once
+
+	logger atomic.Pointer[slog.Logger]
 }
 
 // NewFanout starts the delivery goroutine; buffer is the bounded queue
@@ -68,6 +72,10 @@ func (f *Fanout) loop() {
 			if err := n.Notify(ev); err != nil {
 				f.errs.Add(1)
 				ok = false
+				if log := f.logger.Load(); log != nil {
+					log.Warn("notifier delivery failed",
+						"notifier", n.Name(), "rule", ev.Rule, "state", ev.State, "err", err)
+				}
 			}
 		}
 		if ok {
@@ -82,16 +90,41 @@ func (f *Fanout) Publish(ev Event) bool {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if f.closed {
-		f.dropped.Add(1)
+		f.countDrop()
 		return false
 	}
 	select {
 	case f.ch <- ev:
 		return true
 	default:
-		f.dropped.Add(1)
+		f.countDrop()
 		return false
 	}
+}
+
+// countDrop counts one dropped event, warning only on the first — the
+// dispatcher's rate-limiting discipline: the counter carries the rate,
+// the log carries the fact.
+func (f *Fanout) countDrop() {
+	if f.dropped.Add(1) == 1 {
+		if log := f.logger.Load(); log != nil {
+			log.Warn("notifier queue full, dropping events (counted, further drops not logged)",
+				"capacity", cap(f.ch))
+		}
+	}
+}
+
+// SetLogger routes drop and delivery-failure warnings; nil (the
+// default) keeps the fanout silent, counters only.
+func (f *Fanout) SetLogger(log *slog.Logger) { f.logger.Store(log) }
+
+// Instrument registers the fanout's self-metrics on reg.
+func (f *Fanout) Instrument(reg *telemetry.Registry) {
+	reg.GaugeFunc("likwid_notifier_queue_depth", func() float64 { return float64(len(f.ch)) })
+	reg.GaugeFunc("likwid_notifier_queue_capacity", func() float64 { return float64(cap(f.ch)) })
+	reg.CounterFunc("likwid_notifier_delivered_total", func() float64 { return float64(f.delivered.Load()) })
+	reg.CounterFunc("likwid_notifier_dropped_total", func() float64 { return float64(f.dropped.Load()) })
+	reg.CounterFunc("likwid_notifier_errors_total", func() float64 { return float64(f.errs.Load()) })
 }
 
 // Delivered counts events delivered to every notifier without error.
@@ -102,6 +135,14 @@ func (f *Fanout) Dropped() uint64 { return f.dropped.Load() }
 
 // Errors counts individual notifier failures.
 func (f *Fanout) Errors() uint64 { return f.errs.Load() }
+
+// Closed reports whether the fanout has been shut down — the "notifiers
+// up" half of a readiness probe.
+func (f *Fanout) Closed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
 
 // Close drains the queue, closes every notifier, and returns the first
 // notifier close error.
@@ -206,6 +247,8 @@ type WebhookOptions struct {
 	Context context.Context
 	// Client defaults to an http.Client with a 10 s timeout.
 	Client *http.Client
+	// Logger receives delivery-failure warnings; nil stays silent.
+	Logger *slog.Logger
 }
 
 func (o WebhookOptions) withDefaults() WebhookOptions {
@@ -252,6 +295,11 @@ func (n *WebhookNotifier) Sent() uint64 { return n.sent.Load() }
 // Retries counts failed POST attempts.
 func (n *WebhookNotifier) Retries() uint64 { return n.retries.Load() }
 
+// SetLogger routes delivery-failure warnings; nil (the default) stays
+// silent.  Wiring time only: call it before the notifier is handed to a
+// fanout.
+func (n *WebhookNotifier) SetLogger(log *slog.Logger) { n.opts.Logger = log }
+
 // Notify POSTs the event, retrying with the push sink's bounded
 // exponential backoff.
 func (n *WebhookNotifier) Notify(ev Event) error {
@@ -263,6 +311,10 @@ func (n *WebhookNotifier) Notify(ev Event) error {
 		func() { n.retries.Add(1) },
 		func() error { return n.post(payload) })
 	if err != nil {
+		if n.opts.Logger != nil {
+			n.opts.Logger.Warn("webhook delivery failed",
+				"url", n.opts.URL, "rule", ev.Rule, "attempts", n.opts.MaxAttempts, "err", err)
+		}
 		return fmt.Errorf("alert: webhook %s failed after %d attempts: %w",
 			n.opts.URL, n.opts.MaxAttempts, err)
 	}

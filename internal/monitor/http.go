@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"likwid/internal/telemetry"
 )
 
 // HTTPSink is the in-process scrape endpoint of the agent.  It implements
@@ -57,6 +59,45 @@ type HTTPSink struct {
 	// maxDecompressed caps one /ingest payload after gunzipping;
 	// defaulted from maxIngestDecompressed at construction.
 	maxDecompressed int64
+
+	// readiness checks registered by the embedding binary (notifiers up,
+	// store attached); /readyz runs them all.  Guarded by readyMu, not
+	// h.mu: checks may themselves read sink state.
+	readyMu     sync.Mutex
+	readyChecks []readyCheck
+
+	// Telemetry instruments, resolved by Instrument (nil until then; the
+	// handlers nil-check, so zero-value sinks — the fuzz harness builds
+	// one from a struct literal — stay valid).
+	treg      *telemetry.Registry
+	tRequests *telemetry.Counter
+	tAccepted *telemetry.Counter
+	tRejected map[string]*telemetry.Counter
+	tDecode   *telemetry.Histogram
+	tAppend   *telemetry.Histogram
+
+	// Per-source ingest instruments, memoized and capped: past
+	// maxIngestSources distinct sources everything lands on the "other"
+	// bucket, so a hostile pusher cannot balloon the registry.
+	srcMu   sync.Mutex
+	sources map[string]*sourceInstruments
+
+	// now supplies the receiver clock for wire-latency and skew
+	// measurements (nil means time.Now; tests pin it).
+	now func() time.Time
+}
+
+// sourceInstruments is one pushing agent's ingest telemetry.
+type sourceInstruments struct {
+	samples *telemetry.Counter   // accepted samples
+	wire    *telemetry.Histogram // receive − sent_at, floored at 0
+	skew    *telemetry.Histogram // receive − sent_at, signed
+}
+
+// readyCheck is one named /readyz probe.
+type readyCheck struct {
+	name string
+	fn   func() error
 }
 
 // NewHTTPSink listens on addr immediately (so scrapes work as soon as the
@@ -73,6 +114,7 @@ func NewHTTPSink(addr string, store *Store) (*HTTPSink, error) {
 	mux.HandleFunc("/query", h.handleQuery)
 	mux.HandleFunc("/ingest", h.handleIngest)
 	mux.HandleFunc("/healthz", h.handleHealth)
+	mux.HandleFunc("/readyz", h.handleReady)
 	h.mux = mux
 	h.srv = &http.Server{Handler: mux}
 	go func() { _ = h.srv.Serve(ln) }()
@@ -90,6 +132,107 @@ func (h *HTTPSink) Handle(pattern string, handler http.Handler) {
 
 // Addr returns the bound listen address (useful with port 0 in tests).
 func (h *HTTPSink) Addr() string { return h.ln.Addr().String() }
+
+// maxIngestSources caps the per-source instrument cardinality; sources
+// past the cap share the "other" bucket.
+const maxIngestSources = 256
+
+// Instrument registers the ingest path's self-metrics on reg.  Call at
+// wiring time, before traffic arrives.
+func (h *HTTPSink) Instrument(reg *telemetry.Registry) {
+	h.treg = reg
+	h.tRequests = reg.Counter("likwid_ingest_requests_total")
+	h.tAccepted = reg.Counter("likwid_ingest_accepted_total")
+	h.tRejected = map[string]*telemetry.Counter{}
+	for _, reason := range []string{"method", "encoding", "gzip", "too_large", "decode", "labels"} {
+		h.tRejected[reason] = reg.Counter("likwid_ingest_rejected_total", "reason", reason)
+	}
+	h.tDecode = reg.Histogram("likwid_ingest_decode_seconds", telemetry.DurationBuckets)
+	h.tAppend = reg.Histogram("likwid_ingest_append_seconds", telemetry.DurationBuckets)
+}
+
+// reject counts one rejected ingest request under its reason (a no-op
+// until Instrument).
+func (h *HTTPSink) reject(reason string) {
+	if c := h.tRejected[reason]; c != nil {
+		c.Inc()
+	}
+}
+
+// sourceInstr resolves (memoized) the per-source ingest instruments,
+// folding the long tail past the cardinality cap into "other".
+func (h *HTTPSink) sourceInstr(source string) *sourceInstruments {
+	if h.treg == nil {
+		return nil
+	}
+	if source == "" {
+		source = "unknown"
+	}
+	h.srcMu.Lock()
+	defer h.srcMu.Unlock()
+	if si := h.sources[source]; si != nil {
+		return si
+	}
+	if h.sources == nil {
+		h.sources = map[string]*sourceInstruments{}
+	}
+	if len(h.sources) >= maxIngestSources {
+		source = "other"
+		if si := h.sources[source]; si != nil {
+			return si
+		}
+	}
+	// The label is "peer", not "source": source is a reserved label name
+	// in the store (it is the Key dimension itself), and these metrics
+	// must stay republishable as self/likwid_* series.
+	si := &sourceInstruments{
+		samples: h.treg.Counter("likwid_ingest_samples_total", "peer", source),
+		wire:    h.treg.Histogram("likwid_ingest_wire_seconds", telemetry.DurationBuckets, "peer", source),
+		skew:    h.treg.Histogram("likwid_ingest_clock_skew_seconds", telemetry.SkewBuckets, "peer", source),
+	}
+	h.sources[source] = si
+	return si
+}
+
+// AddReadyCheck registers one named /readyz probe; a nil error from
+// every probe is "ready".  The agent binary registers its notifier and
+// store checks here at startup.
+func (h *HTTPSink) AddReadyCheck(name string, fn func() error) {
+	h.readyMu.Lock()
+	h.readyChecks = append(h.readyChecks, readyCheck{name: name, fn: fn})
+	h.readyMu.Unlock()
+}
+
+// handleReady runs every registered readiness probe: 200 with per-check
+// "ok" when all pass, 503 naming each failure otherwise.  No checks
+// registered means ready — liveness alone.
+func (h *HTTPSink) handleReady(w http.ResponseWriter, _ *http.Request) {
+	h.readyMu.Lock()
+	checks := append([]readyCheck(nil), h.readyChecks...)
+	h.readyMu.Unlock()
+	results := map[string]string{}
+	ready := true
+	for _, c := range checks {
+		if err := c.fn(); err != nil {
+			results[c.name] = err.Error()
+			ready = false
+		} else {
+			results[c.name] = "ok"
+		}
+	}
+	status := "ready"
+	code := http.StatusOK
+	if !ready {
+		status = "unavailable"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Status string            `json:"status"`
+		Checks map[string]string `json:"checks,omitempty"`
+	}{Status: status, Checks: results})
+}
 
 // Name implements Sink.
 func (h *HTTPSink) Name() string { return "http" }
@@ -412,40 +555,46 @@ func (l *limitedReader) Read(p []byte) (int, error) {
 // ride alongside (index-aligned) so the caller can screen them against
 // its own constraints (the receiver's default-merge cap) and only then
 // intern them — a rejected batch must leave no residue, not even in
-// the process-wide label intern table.
-func decodeIngest(r io.Reader) ([]Sample, []map[string]string, error) {
+// the process-wide label intern table.  sentAts carries each record's
+// sent_at stamp (0 when absent), index-aligned too: the stamp is
+// advisory latency metadata, so no value of it — zero, negative,
+// far-future — ever rejects a batch; the receiver's skew histogram
+// clamps instead.
+func decodeIngest(r io.Reader) ([]Sample, []map[string]string, []float64, error) {
 	dec := json.NewDecoder(r)
 	var out []Sample
 	var labelMaps []map[string]string
+	var sentAts []float64
 	for i := 0; ; i++ {
 		var js jsonSample
 		if err := dec.Decode(&js); err != nil {
 			if err == io.EOF {
-				return out, labelMaps, nil
+				return out, labelMaps, sentAts, nil
 			}
-			return nil, nil, fmt.Errorf("record %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("record %d: %w", i, err)
 		}
 		scope, err := ParseScope(js.Scope)
 		if err != nil {
-			return nil, nil, fmt.Errorf("record %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("record %d: %w", i, err)
 		}
 		switch {
 		case strings.TrimSpace(js.Metric) == "":
-			return nil, nil, fmt.Errorf("record %d: empty metric", i)
+			return nil, nil, nil, fmt.Errorf("record %d: empty metric", i)
 		case js.ID < 0:
-			return nil, nil, fmt.Errorf("record %d: negative id %d", i, js.ID)
+			return nil, nil, nil, fmt.Errorf("record %d: negative id %d", i, js.ID)
 		case math.IsNaN(js.Time) || math.IsInf(js.Time, 0) || js.Time < 0:
-			return nil, nil, fmt.Errorf("record %d: bad time %v", i, js.Time)
+			return nil, nil, nil, fmt.Errorf("record %d: bad time %v", i, js.Time)
 		case math.IsNaN(js.Value) || math.IsInf(js.Value, 0):
-			return nil, nil, fmt.Errorf("record %d: bad value %v", i, js.Value)
+			return nil, nil, nil, fmt.Errorf("record %d: bad value %v", i, js.Value)
 		}
 		// Validate without interning: the batch may still be rejected by
 		// a later record or the caller's merge screening, and a 400'd
 		// batch must leave no trace — not even in the intern table.
 		if err := CheckLabelMap(js.Labels); err != nil {
-			return nil, nil, fmt.Errorf("record %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("record %d: %w", i, err)
 		}
 		labelMaps = append(labelMaps, js.Labels)
+		sentAts = append(sentAts, js.SentAt)
 		// An explicit source field is stored verbatim — any label a v1
 		// agent was free to configure keeps working.  Only the compat
 		// shim below, guessing at a prefix, insists on a conservative
@@ -473,7 +622,11 @@ type ingestResponse struct {
 }
 
 func (h *HTTPSink) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if h.tRequests != nil {
+		h.tRequests.Inc()
+	}
 	if r.Method != http.MethodPost {
+		h.reject("method")
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
@@ -486,6 +639,7 @@ func (h *HTTPSink) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case "gzip":
 		zr, err := gzip.NewReader(body)
 		if err != nil {
+			h.reject("gzip")
 			http.Error(w, "bad gzip payload: "+err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -497,26 +651,36 @@ func (h *HTTPSink) handleIngest(w http.ResponseWriter, r *http.Request) {
 		body = &limitedReader{r: zr, n: limit}
 	case "", "identity":
 	default:
+		h.reject("encoding")
 		http.Error(w, "unsupported content encoding "+enc, http.StatusUnsupportedMediaType)
 		return
 	}
-	samples, labelMaps, err := decodeIngest(body)
+	decodeStart := time.Now()
+	samples, labelMaps, sentAts, err := decodeIngest(body)
+	if h.tDecode != nil {
+		h.tDecode.Observe(time.Since(decodeStart).Seconds())
+	}
 	if err != nil {
 		status := http.StatusBadRequest
+		reason := "decode"
 		var tooBig *http.MaxBytesError
 		if errors.Is(err, errTooLarge) || errors.As(err, &tooBig) {
 			status = http.StatusRequestEntityTooLarge
+			reason = "too_large"
 		}
+		h.reject(reason)
 		http.Error(w, "bad ingest payload: "+err.Error(), status)
 		return
 	}
 	if err := h.applyIngestLabels(samples, labelMaps); err != nil {
+		h.reject("labels")
 		http.Error(w, "bad ingest payload: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	// A pushed flush is dozens of samples over a handful of series:
 	// intern each key once and append points through the handles instead
 	// of paying the shard lookup per sample.
+	appendStart := time.Now()
 	var (
 		lastKey Key
 		handle  Series
@@ -528,14 +692,55 @@ func (h *HTTPSink) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		handle.Append(Point{Time: s.Time, Value: s.Value})
 	}
+	if h.tAppend != nil {
+		h.tAppend.Observe(time.Since(appendStart).Seconds())
+	}
 	h.mu.Lock()
 	for _, s := range samples {
 		h.setLatestLocked(s)
 	}
 	h.ingested += uint64(len(samples))
 	h.mu.Unlock()
+	if h.tAccepted != nil {
+		h.tAccepted.Add(uint64(len(samples)))
+		h.observeIngest(samples, sentAts)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(ingestResponse{Accepted: len(samples)})
+}
+
+// observeIngest records per-source acceptance and, for records carrying
+// a sent_at stamp, the end-to-end wire+queue latency and signed clock
+// skew.  A far-future or ancient stamp lands in the histograms' edge
+// buckets — clamped by construction, never rejected, never a panic.
+func (h *HTTPSink) observeIngest(samples []Sample, sentAts []float64) {
+	var recv float64
+	if h.now != nil {
+		recv = float64(h.now().UnixNano()) / 1e9
+	} else {
+		recv = float64(time.Now().UnixNano()) / 1e9
+	}
+	var (
+		lastSource string
+		si         *sourceInstruments
+	)
+	for i, s := range samples {
+		if si == nil || s.Source != lastSource {
+			si, lastSource = h.sourceInstr(s.Source), s.Source
+		}
+		if si == nil {
+			return // not instrumented
+		}
+		si.samples.Inc()
+		if i < len(sentAts) && sentAts[i] > 0 {
+			delta := recv - sentAts[i]
+			si.skew.Observe(delta)
+			if delta < 0 {
+				delta = 0 // a fast clock upstream is skew, not negative latency
+			}
+			si.wire.Observe(delta)
+		}
+	}
 }
 
 // maxMergeCacheEntries bounds the per-sink merge memoization: a fleet

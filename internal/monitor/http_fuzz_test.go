@@ -8,14 +8,20 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"testing"
+
+	"likwid/internal/telemetry"
 )
 
 // fuzzSink builds an HTTPSink handler harness without binding a socket:
-// the fuzz targets drive the handlers directly through httptest.
+// the fuzz targets drive the handlers directly through httptest.  It is
+// instrumented, so hostile sent_at stamps run the whole skew/latency
+// observation path (which must clamp, never panic).
 func fuzzSink() *HTTPSink {
 	st := NewStore(8, Tier{Resolution: 1, Capacity: 4})
 	st.Append(Key{Metric: "bw", Scope: ScopeNode, ID: 0}, Point{Time: 1, Value: 100})
-	return &HTTPSink{store: st, latest: map[Key]Sample{}}
+	h := &HTTPSink{store: st, latest: map[Key]Sample{}}
+	h.Instrument(telemetry.New())
+	return h
 }
 
 // FuzzQueryParams hammers the /query parameter parsing: arbitrary
@@ -82,6 +88,12 @@ func FuzzIngestPayload(f *testing.F) {
 	f.Add([]byte(`{"time":1,"metric":"ok","scope":"node","id":0,"value":1}`+"\n"+
 		`{"time":1,"labels":{"job":""},"metric":"bw","scope":"node","id":0,"value":1}`+"\n"), false) // good then bad label map
 	f.Add([]byte(`{"time":1,"labels":"job=lbm","metric":"bw","scope":"node","id":0,"value":1}`+"\n"), false) // labels not an object
+	// sent_at is advisory latency metadata: absent, zero, negative and
+	// far-future stamps must all land (clamped into the skew histogram's
+	// edge buckets), never reject the batch, never panic.
+	f.Add([]byte(`{"time":1,"sent_at":0,"source":"nodeA","metric":"bw","scope":"node","id":0,"value":1}`+"\n"), false)
+	f.Add([]byte(`{"time":1,"sent_at":-1.5,"source":"nodeA","metric":"bw","scope":"node","id":0,"value":1}`+"\n"), false)
+	f.Add([]byte(`{"time":1,"sent_at":9.9e300,"source":"nodeA","metric":"bw","scope":"node","id":0,"value":1}`+"\n"), false)
 	f.Fuzz(func(t *testing.T, body []byte, gz bool) {
 		h := fuzzSink()
 		before := len(h.store.Keys())

@@ -42,6 +42,16 @@ var labelIntern = struct {
 	m map[string]*labelSet
 }{m: map[string]*labelSet{}}
 
+// InternedLabelSets reports the size of the process-wide intern table —
+// the store's "how much identity state am I holding" self-metric.  It
+// only ever grows, so a runaway remote labelling scheme shows up as a
+// climbing gauge long before memory does.
+func InternedLabelSets() int {
+	labelIntern.Lock()
+	defer labelIntern.Unlock()
+	return len(labelIntern.m)
+}
+
 // Limits on hostile label sets: /ingest validates remote payloads, so
 // the caps must hold for anything the wire can carry.
 const (

@@ -6,10 +6,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"likwid/internal/telemetry"
 )
 
 // PushOptions configure a push sink.  Zero values take the defaults
@@ -45,6 +48,14 @@ type PushOptions struct {
 	Context context.Context
 	// Client defaults to an http.Client with a 10 s timeout.
 	Client *http.Client
+	// Now supplies the wall clock for the sent_at stamp on each buffered
+	// record (default time.Now).  Tests pin it; returning the zero time
+	// (or time.Unix(0, 0)) disables stamping entirely, keeping the wire
+	// bytes identical to the pre-sent_at format.
+	Now func() time.Time
+	// Logger receives flush-failure and drop warnings; nil stays silent
+	// (counters only).
+	Logger *slog.Logger
 }
 
 func (o PushOptions) withDefaults() PushOptions {
@@ -69,6 +80,9 @@ func (o PushOptions) withDefaults() PushOptions {
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: 10 * time.Second}
 	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
 	return o
 }
 
@@ -89,6 +103,14 @@ type PushSink struct {
 	pushes  atomic.Uint64 // successful POSTs
 	dropped atomic.Uint64 // samples evicted from the pending buffer
 	retries atomic.Uint64 // failed POST attempts
+
+	// Telemetry instruments, resolved once by Instrument (nil until
+	// then; hot paths nil-check).  Instrument must run before the sink
+	// is handed to a dispatcher — wiring time, like everything else.
+	tBatch   *telemetry.Histogram // samples per Write
+	tBytes   map[string]*telemetry.Counter
+	tPost    *telemetry.Histogram // POST round-trip seconds, per attempt
+	tPending *telemetry.Gauge     // pending-buffer occupancy
 }
 
 // NewPushSink creates a push sink; it does not contact the receiver
@@ -117,10 +139,49 @@ func (p *PushSink) Dropped() uint64 { return p.dropped.Load() }
 // Retries counts failed POST attempts.
 func (p *PushSink) Retries() uint64 { return p.retries.Load() }
 
+// SetLogger routes flush-failure and drop warnings; nil (the default)
+// stays silent.  Wiring time only: call it before the sink is handed to
+// a dispatcher, like Instrument.
+func (p *PushSink) SetLogger(log *slog.Logger) { p.opts.Logger = log }
+
+// Instrument registers the push sink's self-metrics on reg.  Call it at
+// wiring time, before the sink receives its first Write.
+func (p *PushSink) Instrument(reg *telemetry.Registry) {
+	reg.CounterFunc("likwid_push_sent_total", func() float64 { return float64(p.sent.Load()) })
+	reg.CounterFunc("likwid_push_pushes_total", func() float64 { return float64(p.pushes.Load()) })
+	reg.CounterFunc("likwid_push_dropped_total", func() float64 { return float64(p.dropped.Load()) })
+	reg.CounterFunc("likwid_push_retries_total", func() float64 { return float64(p.retries.Load()) })
+	p.tBatch = reg.Histogram("likwid_push_batch_samples", telemetry.SizeBuckets)
+	p.tBytes = map[string]*telemetry.Counter{
+		"raw":  reg.Counter("likwid_push_bytes_total", "stage", "raw"),
+		"gzip": reg.Counter("likwid_push_bytes_total", "stage", "gzip"),
+	}
+	p.tPost = reg.Histogram("likwid_push_post_seconds", telemetry.DurationBuckets)
+	p.tPending = reg.Gauge("likwid_push_pending")
+}
+
+// sentAtStamp converts the wall clock to the wire's sent_at Unix
+// seconds.  The zero time and the epoch both yield 0 — omitempty drops
+// the field, so test clocks pinned at time.Unix(0, 0) reproduce the
+// pre-sent_at wire bytes exactly.
+func sentAtStamp(now time.Time) float64 {
+	if now.IsZero() {
+		return 0
+	}
+	return float64(now.UnixNano()) / 1e9
+}
+
 // Write buffers the batch and flushes once FlushSamples are pending.  A
 // flush that exhausts its attempts returns the error but keeps the
 // samples buffered (bounded by MaxBuffered) for the next flush.
 func (p *PushSink) Write(b Batch) error {
+	if p.tBatch != nil {
+		p.tBatch.Observe(float64(len(b.Samples)))
+	}
+	// sent_at is stamped at enqueue time, not POST time: the receiver's
+	// wire-latency histogram then covers the pending-buffer wait too, so
+	// a backed-up push sink is visible end to end, not just its last hop.
+	sentAt := sentAtStamp(p.opts.Now())
 	// A batch's samples almost always share one interned label set:
 	// reuse the previous sample's wire map (read-only downstream)
 	// instead of rebuilding it per record.
@@ -130,7 +191,14 @@ func (p *PushSink) Write(b Batch) error {
 	)
 	for _, sm := range b.Samples {
 		source := sm.Source
-		if source == "" {
+		switch {
+		case source == "":
+			source = p.opts.Source
+		case source == SelfSource && p.opts.Source != "":
+			// Self-telemetry series are "self/..." locally; on the wire
+			// they take the agent's push identity so two agents' self
+			// series stay distinct at the receiver, exactly like their
+			// hardware series.
 			source = p.opts.Source
 		}
 		if sm.Labels != lastLs || lastMap == nil {
@@ -138,6 +206,7 @@ func (p *PushSink) Write(b Batch) error {
 		}
 		p.pending = append(p.pending, jsonSample{
 			Time:      sm.Time,
+			SentAt:    sentAt,
 			Collector: b.Collector,
 			Source:    source,
 			Labels:    lastMap,
@@ -149,7 +218,13 @@ func (p *PushSink) Write(b Batch) error {
 	}
 	if over := len(p.pending) - p.opts.MaxBuffered; over > 0 {
 		p.pending = p.pending[over:]
-		p.dropped.Add(uint64(over))
+		if p.dropped.Add(uint64(over)) == uint64(over) && p.opts.Logger != nil {
+			p.opts.Logger.Warn("push buffer full, dropping oldest samples (counted, further drops not logged)",
+				"url", p.opts.URL, "max_buffered", p.opts.MaxBuffered)
+		}
+	}
+	if p.tPending != nil {
+		p.tPending.Set(float64(len(p.pending)))
 	}
 	if len(p.pending) < p.opts.FlushSamples {
 		return nil
@@ -191,16 +266,36 @@ func (p *PushSink) flush() error {
 	if err := zw.Close(); err != nil {
 		return err
 	}
+	if p.tBytes != nil {
+		p.tBytes["raw"].Add(uint64(len(payload)))
+		p.tBytes["gzip"].Add(uint64(body.Len()))
+	}
 
 	err = RetryWithBackoff(p.opts.Context, p.opts.MaxAttempts, p.opts.RetryBase,
 		func() { p.retries.Add(1) },
-		func() error { return p.post(body.Bytes()) })
+		func() error {
+			if p.tPost == nil {
+				return p.post(body.Bytes())
+			}
+			start := time.Now()
+			perr := p.post(body.Bytes())
+			p.tPost.Observe(time.Since(start).Seconds())
+			return perr
+		})
 	if err != nil {
+		if p.opts.Logger != nil {
+			p.opts.Logger.Warn("push flush failed, keeping samples buffered",
+				"url", p.opts.URL, "attempts", p.opts.MaxAttempts,
+				"pending", len(p.pending), "err", err)
+		}
 		return fmt.Errorf("monitor: push to %s failed after %d attempts: %w",
 			p.opts.URL, p.opts.MaxAttempts, err)
 	}
 	n := len(p.pending)
 	p.pending = p.pending[:0]
+	if p.tPending != nil {
+		p.tPending.Set(0)
+	}
 	p.sent.Add(uint64(n))
 	p.pushes.Add(1)
 	return nil

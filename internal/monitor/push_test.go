@@ -15,6 +15,10 @@ import (
 	"time"
 )
 
+// epochClock pins PushOptions.Now at the epoch, which disables sent_at
+// stamping — the wire bytes stay identical to the pre-sent_at format.
+func epochClock() time.Time { return time.Unix(0, 0) }
+
 // captureReceiver records gunzipped /ingest payloads.
 type captureReceiver struct {
 	mu       sync.Mutex
@@ -55,7 +59,9 @@ func TestPushSinkWireFormatGolden(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(rec.handler))
 	defer srv.Close()
 
-	p, err := NewPushSink(PushOptions{URL: srv.URL, FlushSamples: 1 << 20})
+	// The epoch clock disables sent_at stamping, pinning the original
+	// (pre-sent_at) wire bytes; the stamped form has its own golden.
+	p, err := NewPushSink(PushOptions{URL: srv.URL, FlushSamples: 1 << 20, Now: epochClock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +95,7 @@ func TestPushSinkWireFormatGoldenV2(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(rec.handler))
 	defer srv.Close()
 
-	p, err := NewPushSink(PushOptions{URL: srv.URL, FlushSamples: 1 << 20, Source: "nodeA-7"})
+	p, err := NewPushSink(PushOptions{URL: srv.URL, FlushSamples: 1 << 20, Source: "nodeA-7", Now: epochClock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +129,7 @@ func TestPushSinkWireFormatGoldenV3(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(rec.handler))
 	defer srv.Close()
 
-	p, err := NewPushSink(PushOptions{URL: srv.URL, FlushSamples: 1 << 20, Source: "nodeA-7"})
+	p, err := NewPushSink(PushOptions{URL: srv.URL, FlushSamples: 1 << 20, Source: "nodeA-7", Now: epochClock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,6 +159,43 @@ func TestPushSinkWireFormatGoldenV3(t *testing.T) {
 		t.Fatalf("receiver saw %d pushes, want 1", len(rec.payloads))
 	}
 	checkGolden(t, "push_batch_v3.golden", rec.payloads[0])
+}
+
+// TestPushSinkWireFormatGoldenV3SentAt pins the sent_at extension: each
+// record carries the sink's wall-clock enqueue time as "sent_at" right
+// after "time", stamped per Write call (both goldenBatches arrive in
+// separate Writes, so the two batches carry successive stamps).  The
+// field rides inside the v3 schema — a v3 receiver that ignores unknown
+// fields decodes these payloads unchanged.
+func TestPushSinkWireFormatGoldenV3SentAt(t *testing.T) {
+	rec := &captureReceiver{}
+	srv := httptest.NewServer(http.HandlerFunc(rec.handler))
+	defer srv.Close()
+
+	// A deterministic advancing clock: Write #1 stamps 100.5, #2 101.5.
+	tick := 0
+	now := func() time.Time {
+		tick++
+		return time.Unix(100, 0).Add(time.Duration(tick-1)*time.Second + 500*time.Millisecond)
+	}
+	p, err := NewPushSink(PushOptions{URL: srv.URL, FlushSamples: 1 << 20, Source: "nodeA-7", Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range goldenBatches() {
+		if err := p.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.payloads) != 1 {
+		t.Fatalf("receiver saw %d pushes, want 1", len(rec.payloads))
+	}
+	checkGolden(t, "push_batch_v3_sent_at.golden", rec.payloads[0])
 }
 
 // TestPushSinkCloseHonorsCancelledContext pins the shutdown bugfix: a

@@ -104,6 +104,11 @@ type tierRing struct {
 	// max and count stay exact either way.
 	step bool
 
+	// seals counts buckets sealed into the ring — the store-level
+	// "tier compactions" self-metric, summed by Store.Stats under the
+	// same series mutex that guards the rest of the ring.
+	seals uint64
+
 	// Open-bucket accumulator.  Min/max/sum/count merge exactly whether
 	// the input is a raw point or a cascaded bucket; the median is exact
 	// for raw points and a median-of-medians estimate for cascades.
@@ -191,6 +196,7 @@ func (t *tierRing) seal() {
 	}
 	// Sealing runs under the series write lock and owns the scratch
 	// buffer, so the in-place (allocation-free) summary is safe here.
+	t.seals++
 	b := t.bucket(stats.SummarizeInPlace(t.medians).Median)
 	if evicted, full := t.push(b); full && t.next != nil {
 		t.next.absorbBucket(evicted)

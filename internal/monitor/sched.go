@@ -3,11 +3,14 @@ package monitor
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"likwid/internal/telemetry"
 )
 
 // Clock abstracts time so the scheduler is testable without sleeping.
@@ -122,6 +125,16 @@ type SchedulerOptions struct {
 	Labels Labels
 	// OnError observes collector failures (optional; e.g. logging).
 	OnError func(collector string, err error)
+	// Logger receives structured scheduler events (collector failures,
+	// backoff entries); nil stays silent.  It complements OnError rather
+	// than replacing it, so tests can keep hooking errors directly.
+	Logger *slog.Logger
+	// Telemetry, when set, instruments every collector goroutine:
+	// per-collector run/error/backoff/stretch counters and run-duration
+	// histograms, plus the shared tick-lag histogram.  Instruments are
+	// resolved once per goroutine at startup — the tick path pays only
+	// the atomic updates.
+	Telemetry *telemetry.Registry
 }
 
 // CollectorStats is one collector's lifetime accounting.
@@ -190,6 +203,22 @@ func (s *Scheduler) runOne(ctx context.Context, e *schedEntry) {
 	if interval <= 0 {
 		interval = time.Second
 	}
+	// Telemetry instruments, resolved once per collector goroutine so
+	// the tick path below is pure atomic updates.
+	var (
+		tRuns, tErrors, tBackoffs, tStretches, tSamples *telemetry.Counter
+		tRunSec, tLag                                   *telemetry.Histogram
+	)
+	if reg := s.opts.Telemetry; reg != nil {
+		name := e.c.Name()
+		tRuns = reg.Counter("likwid_collector_runs_total", "collector", name)
+		tErrors = reg.Counter("likwid_collector_errors_total", "collector", name)
+		tBackoffs = reg.Counter("likwid_collector_backoffs_total", "collector", name)
+		tStretches = reg.Counter("likwid_collector_stretches_total", "collector", name)
+		tSamples = reg.Counter("likwid_collector_samples_total", "collector", name)
+		tRunSec = reg.Histogram("likwid_collector_run_seconds", telemetry.DurationBuckets, "collector", name)
+		tLag = reg.Histogram("likwid_sched_tick_lag_seconds", telemetry.DurationBuckets)
+	}
 	delay := interval
 	stretch := interval // adaptive interval, doubled while samples are static
 	failures := 0
@@ -203,14 +232,34 @@ func (s *Scheduler) runOne(ctx context.Context, e *schedEntry) {
 	// must not re-intern (global mutex + allocs) per sample per tick.
 	var stampCache map[Labels]Labels
 	for {
+		armed := s.opts.Clock.Now()
 		select {
 		case <-ctx.Done():
 			return
 		case <-s.opts.Clock.After(delay):
 		}
+		if tLag != nil {
+			// Tick lag: how far past the intended deadline the wake-up
+			// landed.  A loaded node (or a slow sink back-pressuring the
+			// runtime) shows up here before it shows up as data gaps.
+			if lag := s.opts.Clock.Now().Sub(armed) - delay; lag > 0 {
+				tLag.Observe(lag.Seconds())
+			} else {
+				tLag.Observe(0)
+			}
+		}
+		start := s.opts.Clock.Now()
 		samples, err := e.c.Collect(ctx)
+		if tRuns != nil {
+			tRuns.Inc()
+			tRunSec.Observe(s.opts.Clock.Now().Sub(start).Seconds())
+		}
 		if err != nil {
 			e.errors.Add(1)
+			if tErrors != nil {
+				tErrors.Inc()
+				tBackoffs.Inc()
+			}
 			if s.opts.OnError != nil {
 				s.opts.OnError(e.c.Name(), err)
 			}
@@ -220,6 +269,10 @@ func (s *Scheduler) runOne(ctx context.Context, e *schedEntry) {
 			delay = interval << uint(failures)
 			if delay > s.opts.MaxBackoff || delay <= 0 {
 				delay = s.opts.MaxBackoff
+			}
+			if s.opts.Logger != nil {
+				s.opts.Logger.Warn("collector failed, backing off",
+					"collector", e.c.Name(), "failures", failures, "next_delay", delay, "err", err)
 			}
 			continue
 		}
@@ -236,6 +289,9 @@ func (s *Scheduler) runOne(ctx context.Context, e *schedEntry) {
 				}
 				if stretch > interval {
 					e.stretches.Add(1)
+					if tStretches != nil {
+						tStretches.Inc()
+					}
 				}
 			} else {
 				stretch = interval
@@ -273,6 +329,10 @@ func (s *Scheduler) runOne(ctx context.Context, e *schedEntry) {
 							s.opts.OnError(e.c.Name(), fmt.Errorf(
 								"monitor: sample labels %q merged with the agent labels exceed the limit of %d; keeping the collector's set", ls, maxLabels))
 						}
+						if s.opts.Logger != nil {
+							s.opts.Logger.Warn("label merge exceeds the wire cap, keeping the collector's set",
+								"collector", e.c.Name(), "labels", ls.String(), "max", maxLabels)
+						}
 					} else {
 						merged = MergeLabels(s.opts.Labels, ls)
 					}
@@ -287,6 +347,9 @@ func (s *Scheduler) runOne(ctx context.Context, e *schedEntry) {
 		batch := Batch{Collector: e.c.Name(), Time: maxTime(samples), Samples: samples}
 		e.batches.Add(1)
 		e.samples.Add(uint64(len(samples)))
+		if tSamples != nil {
+			tSamples.Add(uint64(len(samples)))
+		}
 		storeFloat(&e.last, batch.Time)
 		if s.opts.Store != nil {
 			s.opts.Store.AppendBatch(batch)

@@ -1,0 +1,102 @@
+package monitor
+
+import (
+	"context"
+	"time"
+
+	"likwid/internal/telemetry"
+)
+
+// SelfSource is the Key.Source of the agent's own telemetry series.
+// Self-metrics live in the store as "self/likwid_*": the source
+// dimension keeps them out of every hardware collector's namespace, the
+// alert DSL selects them as self/likwid_... like any fleet source, and
+// a push sink rewrites "self" to the agent's own push identity so two
+// agents' self series never collide at a receiver.
+const SelfSource = "self"
+
+// SelfCollector republishes a telemetry registry's snapshot as store
+// samples — the monitor monitoring itself.  Each counter and gauge
+// becomes one series named after the metric; a histogram becomes its
+// _count and _sum series (rates and means are what the alert DSL works
+// on; per-bucket series would multiply cardinality for little alerting
+// value — the full buckets stay visible on /status).  Metric labels
+// (stage=, collector=, reason=, peer=) carry over as the series' label
+// set, so /query label selectors slice them.
+//
+// Samples are stamped with the registry's uptime as their simulated
+// time: monotone, deterministic under a fake clock, and aligned across
+// every self series.
+type SelfCollector struct {
+	reg      *telemetry.Registry
+	interval time.Duration
+
+	// labelMemo interns each metric identity's label set once; the
+	// snapshot re-presents the same identities every tick, so steady
+	// state does one map hit per metric instead of an intern per tick.
+	labelMemo map[string]Labels
+}
+
+// NewSelfCollector publishes reg's instruments every interval (default
+// 10 s).
+func NewSelfCollector(reg *telemetry.Registry, interval time.Duration) *SelfCollector {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	return &SelfCollector{reg: reg, interval: interval, labelMemo: map[string]Labels{}}
+}
+
+// Name implements Collector.
+func (c *SelfCollector) Name() string { return "self" }
+
+// Scope implements Collector: self-metrics are per-process, node scope.
+func (c *SelfCollector) Scope() Scope { return ScopeNode }
+
+// Interval implements Collector.
+func (c *SelfCollector) Interval() time.Duration { return c.interval }
+
+// labelsFor resolves (memoized) the interned label set of one metric.
+func (c *SelfCollector) labelsFor(id string, m map[string]string) Labels {
+	if ls, ok := c.labelMemo[id]; ok {
+		return ls
+	}
+	ls, err := MakeLabels(m)
+	if err != nil {
+		// Telemetry label names are chosen by this codebase, so this is
+		// a programming error (e.g. a reserved name); publish unlabelled
+		// rather than dropping the series.
+		ls = Labels{}
+	}
+	c.labelMemo[id] = ls
+	return ls
+}
+
+// Collect implements Collector: one snapshot, one sample per counter or
+// gauge, two (_count, _sum) per histogram.
+func (c *SelfCollector) Collect(_ context.Context) ([]Sample, error) {
+	snap := c.reg.Snapshot()
+	now := snap.UptimeSeconds
+	out := make([]Sample, 0, len(snap.Metrics))
+	emit := func(metric string, labels Labels, v float64) {
+		out = append(out, Sample{
+			Source: SelfSource,
+			Metric: metric,
+			Scope:  ScopeNode,
+			ID:     0,
+			Time:   now,
+			Value:  v,
+			Labels: labels,
+		})
+	}
+	for _, m := range snap.Metrics {
+		id := m.Name + "{" + FormatLabelMap(m.Labels) + "}"
+		ls := c.labelsFor(id, m.Labels)
+		if m.Kind == telemetry.KindHistogram.String() {
+			emit(m.Name+"_count", ls, float64(m.Count))
+			emit(m.Name+"_sum", ls, m.Sum)
+			continue
+		}
+		emit(m.Name, ls, m.Value)
+	}
+	return out, nil
+}

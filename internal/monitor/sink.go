@@ -6,13 +6,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"likwid/internal/cli"
+	"likwid/internal/telemetry"
 )
 
 // Sink receives metric batches.  Sinks are driven by a single dispatcher
@@ -41,6 +44,12 @@ type Dispatcher struct {
 	errs    atomic.Uint64
 	done    chan struct{}
 	once    sync.Once
+
+	logger atomic.Pointer[slog.Logger]
+	// writeSeconds times each sink's Write, one histogram per sink name,
+	// resolved at Instrument time (nil entries until then — the loop
+	// checks, so an uninstrumented dispatcher pays one nil test).
+	writeSeconds atomic.Pointer[map[string]*telemetry.Histogram]
 }
 
 // NewDispatcher starts the fan-out goroutine; buffer is the bounded queue
@@ -61,11 +70,25 @@ func NewDispatcher(buffer int, sinks ...Sink) *Dispatcher {
 func (d *Dispatcher) loop() {
 	defer close(d.done)
 	for b := range d.ch {
+		hists := d.writeSeconds.Load()
 		delivered := true
 		for _, s := range d.sinks {
-			if err := s.Write(b); err != nil {
+			var start time.Time
+			if hists != nil {
+				start = time.Now()
+			}
+			err := s.Write(b)
+			if hists != nil {
+				if h := (*hists)[s.Name()]; h != nil {
+					h.Observe(time.Since(start).Seconds())
+				}
+			}
+			if err != nil {
 				d.errs.Add(1)
 				delivered = false
+				if log := d.logger.Load(); log != nil {
+					log.Warn("sink write failed", "sink", s.Name(), "collector", b.Collector, "err", err)
+				}
 			}
 		}
 		if delivered {
@@ -80,16 +103,57 @@ func (d *Dispatcher) Publish(b Batch) bool {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if d.closed {
-		d.dropped.Add(1)
+		d.countDrop()
 		return false
 	}
 	select {
 	case d.ch <- b:
 		return true
 	default:
-		d.dropped.Add(1)
+		d.countDrop()
 		return false
 	}
+}
+
+// countDrop counts one dropped batch and warns once — the first drop is
+// the signal ("this sink cannot keep up"); every further drop is the
+// same fact again, visible as the counter, not as log spam.
+func (d *Dispatcher) countDrop() {
+	if d.dropped.Add(1) == 1 {
+		if log := d.logger.Load(); log != nil {
+			log.Warn("sink queue full, dropping batches (counted, further drops not logged)",
+				"capacity", cap(d.ch))
+		}
+	}
+}
+
+// SetLogger routes the dispatcher's drop and sink-failure warnings; nil
+// (the default) keeps it silent, counters only.
+func (d *Dispatcher) SetLogger(log *slog.Logger) { d.logger.Store(log) }
+
+// QueueDepth reports the batches currently waiting in the bounded queue.
+func (d *Dispatcher) QueueDepth() int { return len(d.ch) }
+
+// QueueCap reports the bounded queue's capacity.
+func (d *Dispatcher) QueueCap() int { return cap(d.ch) }
+
+// Instrument registers the dispatcher's self-metrics on reg: queue
+// occupancy gauges, drop/write/error counters, and one flush-latency
+// histogram per attached sink.
+func (d *Dispatcher) Instrument(reg *telemetry.Registry) {
+	reg.GaugeFunc("likwid_sink_queue_depth", func() float64 { return float64(len(d.ch)) })
+	reg.GaugeFunc("likwid_sink_queue_capacity", func() float64 { return float64(cap(d.ch)) })
+	reg.CounterFunc("likwid_sink_dropped_total", func() float64 { return float64(d.dropped.Load()) })
+	reg.CounterFunc("likwid_sink_written_total", func() float64 { return float64(d.written.Load()) })
+	reg.CounterFunc("likwid_sink_errors_total", func() float64 { return float64(d.errs.Load()) })
+	hists := make(map[string]*telemetry.Histogram, len(d.sinks))
+	for _, s := range d.sinks {
+		if _, dup := hists[s.Name()]; dup {
+			continue // two sinks of one kind share the histogram
+		}
+		hists[s.Name()] = reg.Histogram("likwid_sink_write_seconds", telemetry.DurationBuckets, "sink", s.Name())
+	}
+	d.writeSeconds.Store(&hists)
 }
 
 // Dropped counts batches rejected by the overflow policy.
@@ -297,8 +361,14 @@ func NewJSONLSink(w io.Writer, c io.Closer) Sink {
 // Labels is the v3 addition: the sample's structured label set as a
 // JSON object, omitted when empty — so a v2 record is exactly a v3
 // record with no labels, and old payloads land on unchanged keys.
+// SentAt is the push sink's wall-clock enqueue time in Unix seconds,
+// omitted when zero: receivers subtract it from their own clock to
+// histogram wire+queue latency and clock skew per source, and records
+// without it (file sinks, old agents, hand-rolled payloads) decode
+// exactly as before.
 type jsonSample struct {
 	Time      float64           `json:"time"`
+	SentAt    float64           `json:"sent_at,omitempty"`
 	Collector string            `json:"collector"`
 	Source    string            `json:"source,omitempty"`
 	Labels    map[string]string `json:"labels,omitempty"`

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"likwid/internal/telemetry"
 )
 
 // Point is one (time, value) observation of a series.
@@ -39,16 +41,28 @@ type series struct {
 	head  int // next write position
 	n     int // filled entries, <= len(buf)
 	tiers []*tierRing
+
+	// Self-telemetry accounting.  Plain (non-atomic) counters bumped
+	// under the mutex the append already holds: no extra atomics on the
+	// hot path, no shared cache line across series, and Store.Stats sums
+	// them at snapshot time — the pull model the telemetry package asks
+	// components to use.
+	appends   uint64
+	evictions uint64
 }
 
 func (s *series) append(p Point) {
 	s.mu.Lock()
-	if s.n == len(s.buf) && len(s.tiers) > 0 {
-		// Evictions feed the finest tier only; buckets evicted from tier
-		// N's ring cascade into tier N+1 inside seal, so each tier's data
-		// flows downward instead of every tier re-reading raw points.
-		s.tiers[0].absorb(s.buf[s.head])
+	if s.n == len(s.buf) {
+		s.evictions++
+		if len(s.tiers) > 0 {
+			// Evictions feed the finest tier only; buckets evicted from tier
+			// N's ring cascade into tier N+1 inside seal, so each tier's data
+			// flows downward instead of every tier re-reading raw points.
+			s.tiers[0].absorb(s.buf[s.head])
+		}
 	}
+	s.appends++
 	s.buf[s.head] = p
 	s.head = (s.head + 1) % len(s.buf)
 	if s.n < len(s.buf) {
@@ -271,6 +285,54 @@ func (st *Store) ForEachKey(f func(Key)) {
 	for k := range *st.index.Load() {
 		f(k)
 	}
+}
+
+// StoreStats is one pass over the store's self-accounting: series count
+// and the summed per-series append/eviction/compaction counters.
+type StoreStats struct {
+	Series      int
+	Appends     uint64
+	Evictions   uint64
+	Compactions uint64 // tier buckets sealed across all series and tiers
+}
+
+// Stats sums the per-series counters over the current index snapshot.
+// It takes each series' read lock briefly; appends proceed on other
+// series concurrently.
+func (st *Store) Stats() StoreStats {
+	idx := *st.index.Load()
+	out := StoreStats{Series: len(idx)}
+	for _, s := range idx {
+		s.mu.RLock()
+		out.Appends += s.appends
+		out.Evictions += s.evictions
+		for _, t := range s.tiers {
+			out.Compactions += t.seals
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Instrument registers the store's self-metrics on reg as
+// read-on-snapshot funcs — the store keeps its cheap per-series
+// accounting and pays nothing extra per append.
+func (st *Store) Instrument(reg *telemetry.Registry) {
+	reg.GaugeFunc("likwid_store_series", func() float64 {
+		return float64(len(*st.index.Load()))
+	})
+	reg.CounterFunc("likwid_store_appends_total", func() float64 {
+		return float64(st.Stats().Appends)
+	})
+	reg.CounterFunc("likwid_store_evictions_total", func() float64 {
+		return float64(st.Stats().Evictions)
+	})
+	reg.CounterFunc("likwid_store_compactions_total", func() float64 {
+		return float64(st.Stats().Compactions)
+	})
+	reg.GaugeFunc("likwid_store_label_sets", func() float64 {
+		return float64(InternedLabelSets())
+	})
 }
 
 // Keys lists every series, sorted by source, metric, scope, id, labels

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"likwid/internal/telemetry"
 )
 
 // The store benchmarks guard the hot identity path of the whole stack:
@@ -61,6 +63,22 @@ func BenchmarkStoreAppendLabeled(b *testing.B) {
 		b.Fatal(err)
 	}
 	k := Key{Metric: "memory_bandwidth_mbytes_s", Scope: ScopeSocket, ID: 0, Labels: ls}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Append(k, Point{Time: float64(i), Value: float64(i)})
+	}
+}
+
+// BenchmarkStoreAppendInstrumented is BenchmarkStoreAppend with the
+// telemetry registry attached: instrumentation is pull-model (snapshot
+// readers sum per-series counters; nothing atomic rides the append), so
+// this must stay within noise of the uninstrumented number — the
+// "observing must not perturb the observed" budget.
+func BenchmarkStoreAppendInstrumented(b *testing.B) {
+	st := NewStore(1024)
+	st.Instrument(telemetry.New())
+	k := Key{Metric: "memory_bandwidth_mbytes_s", Scope: ScopeSocket, ID: 0}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

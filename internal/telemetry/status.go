@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+)
+
+// GoStats is the Go runtime's view of the process for /status.
+type GoStats struct {
+	Version        string `json:"version"`
+	Goroutines     int    `json:"goroutines"`
+	GOMAXPROCS     int    `json:"gomaxprocs"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	TotalAllocs    uint64 `json:"total_alloc_bytes"`
+	NumGC          uint32 `json:"num_gc"`
+	PauseTotalNs   uint64 `json:"gc_pause_total_ns"`
+}
+
+// Status is the GET /status payload: one registry snapshot plus the Go
+// runtime's own accounting — "are you keeping up?" in one request.
+type Status struct {
+	Status        string        `json:"status"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Go            GoStats       `json:"go"`
+	Metrics       []MetricValue `json:"metrics"`
+}
+
+// ReadStatus builds the status document from a snapshot of reg.
+func ReadStatus(reg *Registry) Status {
+	snap := reg.Snapshot()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return Status{
+		Status:        "ok",
+		UptimeSeconds: snap.UptimeSeconds,
+		Go: GoStats{
+			Version:        runtime.Version(),
+			Goroutines:     runtime.NumGoroutine(),
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+			HeapAllocBytes: ms.HeapAlloc,
+			HeapSysBytes:   ms.HeapSys,
+			TotalAllocs:    ms.TotalAlloc,
+			NumGC:          ms.NumGC,
+			PauseTotalNs:   ms.PauseTotalNs,
+		},
+		Metrics: snap.Metrics,
+	}
+}
+
+// StatusHandler serves the registry as GET /status JSON.  Mount it on
+// any HTTP mux (likwid-agent mounts it on every http sink and on the
+// receiver endpoint).
+func StatusHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ReadStatus(reg))
+	})
+}
