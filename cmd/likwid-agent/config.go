@@ -43,6 +43,9 @@ type agentConfig struct {
 	logJSON    bool       // -log-format json
 	pprof      bool       // -pprof: mount /debug/pprof/ on http sinks
 
+	walDir           string        // -wal: durability state directory; empty = off
+	snapshotInterval time.Duration // -snapshot-interval: ring/tier snapshot period
+
 	// node is the simulated machine opened during validation, reused by
 	// main so the group check and the monitored node agree.
 	node *likwid.Node
@@ -80,8 +83,10 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 	logLevel := fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
 	logFormat := fs.String("log-format", "text", "log encoding: text | json")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on every http sink and receiver")
+	walDir := fs.String("wal", "", "durability directory: append WAL + periodic snapshots restore the store across restarts")
+	snapInterval := fs.Duration("snapshot-interval", time.Minute, "ring/tier snapshot period; the WAL truncates at each snapshot (needs -wal)")
 	var sinks sinkSpecs
-	fs.Var(&sinks, "sink", "sink spec (repeatable): stdout | csv:PATH | jsonl:PATH | http:ADDR | push:URL")
+	fs.Var(&sinks, "sink", "sink spec (repeatable): stdout | csv:PATH | jsonl:PATH | http:ADDR | push:URL | pushv4:URL")
 	var notifiers sinkSpecs
 	fs.Var(&notifiers, "notify", "alert notifier spec (repeatable): stdout | jsonl:PATH | webhook:URL")
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +94,18 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 	}
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	// -snapshot-interval without -wal is a silent no-op; fail fast
+	// instead.  fs.Visit sees only flags the user actually set, so the
+	// default never trips this.
+	var snapSet bool
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "snapshot-interval" {
+			snapSet = true
+		}
+	})
+	if snapSet && *walDir == "" {
+		return nil, fmt.Errorf("-snapshot-interval needs -wal (no durability directory, nothing to snapshot)")
 	}
 
 	cfg := &agentConfig{
@@ -106,6 +123,9 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 		rulesFile: *rulesFile,
 		notifiers: notifiers,
 		pprof:     *pprofFlag,
+
+		walDir:           *walDir,
+		snapshotInterval: *snapInterval,
 	}
 	switch strings.ToLower(*logLevel) {
 	case "debug":
@@ -187,6 +207,9 @@ func (c *agentConfig) validate() error {
 	}
 	if c.adaptive > 0 && c.adaptive < c.interval {
 		return fmt.Errorf("adaptive cap %v is below the sampling interval %v", c.adaptive, c.interval)
+	}
+	if c.walDir != "" && c.snapshotInterval <= 0 {
+		return fmt.Errorf("snapshot interval must be positive, got %v", c.snapshotInterval)
 	}
 	for _, spec := range c.sinks {
 		if err := monitor.ValidateSinkSpec(spec); err != nil {

@@ -107,6 +107,26 @@ func TestParseAgentFlags(t *testing.T) {
 		{name: "adaptive below interval", args: []string{"-i", "500ms", "-adaptive", "100ms"}, wantErr: "below the sampling interval"},
 		{name: "negative adaptive", args: []string{"-adaptive", "-1s"}, wantErr: "not be negative"},
 		{name: "notify without rules", args: []string{"-notify", "stdout"}, wantErr: "needs -rules"},
+		{name: "snapshot interval without wal", args: []string{"-snapshot-interval", "30s"}, wantErr: "needs -wal"},
+		{name: "zero snapshot interval", args: []string{"-wal", "/tmp/x", "-snapshot-interval", "0s"}, wantErr: "snapshot interval"},
+		{
+			name: "wal durability",
+			args: []string{"-receiver", ":8090", "-wal", "/var/lib/likwid", "-snapshot-interval", "30s"},
+			check: func(t *testing.T, cfg *agentConfig) {
+				if cfg.walDir != "/var/lib/likwid" || cfg.snapshotInterval != 30*time.Second {
+					t.Errorf("wal = %q interval = %v, want /var/lib/likwid and 30s", cfg.walDir, cfg.snapshotInterval)
+				}
+			},
+		},
+		{
+			name: "wal defaults to one-minute snapshots",
+			args: []string{"-receiver", ":8090", "-wal", "/var/lib/likwid"},
+			check: func(t *testing.T, cfg *agentConfig) {
+				if cfg.snapshotInterval != time.Minute {
+					t.Errorf("snapshot interval = %v, want 1m default", cfg.snapshotInterval)
+				}
+			},
+		},
 		{name: "bad notifier kind", args: []string{"-rules", "x", "-notify", "pagerduty:key"}, wantErr: "rules file"},
 		{name: "missing rules file", args: []string{"-rules", "/no/such/file.rules"}, wantErr: "rules file"},
 		{

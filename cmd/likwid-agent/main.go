@@ -17,6 +17,7 @@
 //	-duration D    stop after D of wall time (default: run until SIGINT)
 //	-sink SPEC     repeatable: stdout | csv:PATH | jsonl:PATH | http:ADDR
 //	               | push:URL (batch+gzip POST to a receiver's /ingest)
+//	               | pushv4:URL (same, on the binary columnar v4 wire)
 //	-collectors L  comma-separated collector set (default all registered)
 //	-load SPEC     synthetic background load: stream[:NTASKS] | idle
 //	-buffer N      sink queue depth (drop-and-count beyond it, default 64)
@@ -54,6 +55,14 @@
 //	               either way)
 //	-pprof         mount net/http/pprof under /debug/pprof/ on every
 //	               http sink and receiver (off by default)
+//	-wal DIR       durability directory: every append is journaled to a
+//	               write-ahead log and the store's rings and tiers are
+//	               snapshotted periodically, so a restarted agent or
+//	               receiver resumes with its history intact (snapshot
+//	               restored, WAL replayed, torn tail truncated)
+//	-snapshot-interval D
+//	               ring/tier snapshot period (default 1m); the WAL is
+//	               truncated at each snapshot.  Needs -wal
 //
 // Every http sink and receiver also serves the operational surface:
 // GET /status (telemetry registry snapshot + Go runtime stats),
@@ -87,9 +96,42 @@ import (
 	"likwid/internal/alert"
 	"likwid/internal/machine"
 	"likwid/internal/monitor"
+	"likwid/internal/monitor/persist"
 	"likwid/internal/telemetry"
 	"likwid/internal/topology"
 )
+
+// openPersist enables -wal durability: restore the store from the state
+// directory, install the append journal, start the snapshot loop.  It
+// must run before any append source (collectors, /ingest) comes up, so
+// the replay is not interleaved with live traffic.  nil without -wal.
+func openPersist(cfg *agentConfig, store *monitor.Store, reg *telemetry.Registry, log *slog.Logger) (*persist.Manager, error) {
+	if cfg.walDir == "" {
+		return nil, nil
+	}
+	pm, err := persist.Open(cfg.walDir, store, persist.Options{
+		SnapshotInterval: cfg.snapshotInterval,
+		Logger:           log,
+		Registry:         reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	log.Info("durability enabled",
+		"dir", cfg.walDir, "snapshot_interval", cfg.snapshotInterval)
+	return pm, nil
+}
+
+// closePersist snapshots and stops the manager after appends have
+// ceased; nil-safe for runs without -wal.
+func closePersist(pm *persist.Manager, log *slog.Logger) {
+	if pm == nil {
+		return
+	}
+	if err := pm.Close(); err != nil {
+		log.Warn("durability shutdown failed", "err", err)
+	}
+}
 
 func main() {
 	cfg, err := parseAgentFlags(os.Args[1:], os.Stderr)
@@ -160,8 +202,15 @@ func runReceiver(ctx context.Context, cfg *agentConfig, log *slog.Logger) error 
 	reg := telemetry.New()
 	store := monitor.NewStore(cfg.retain, cfg.tiers...)
 	store.Instrument(reg)
+	// Durability comes up before the listener: /ingest must not race the
+	// WAL replay.
+	pm, err := openPersist(cfg, store, reg, log)
+	if err != nil {
+		return err
+	}
 	h, err := monitor.NewHTTPSink(cfg.receiver, store)
 	if err != nil {
+		closePersist(pm, log)
 		return err
 	}
 	// Receiver -labels are ingest defaults: merged under each pushed
@@ -200,6 +249,9 @@ func runReceiver(ctx context.Context, cfg *agentConfig, log *slog.Logger) error 
 	<-schedDone
 	err = selfDispatch.Close() // closes the HTTP sink with it
 	alerting.stop(log)
+	// Appends have stopped (scheduler drained, listener down): take the
+	// final snapshot and release the WAL.
+	closePersist(pm, log)
 	return err
 }
 
@@ -394,6 +446,11 @@ func runAgent(ctx context.Context, cfg *agentConfig, log *slog.Logger) error {
 	}
 	store := monitor.NewStore(cfg.retain, cfg.tiers...)
 	store.Instrument(reg)
+	pm, err := openPersist(cfg, store, reg, log)
+	if err != nil {
+		return err
+	}
+	defer closePersist(pm, log)
 	info, err := topology.Probe(node.M.CPUs, node.M.Arch.ClockMHz)
 	if err != nil {
 		return err

@@ -27,6 +27,7 @@ import (
 	"likwid/internal/alert"
 	"likwid/internal/machine"
 	"likwid/internal/monitor"
+	"likwid/internal/monitor/persist"
 	"likwid/internal/topology"
 )
 
@@ -225,4 +226,38 @@ bw_skew:    imbalance(memory_bandwidth_mbytes_s, socket, 1s) > 0.5 for 0s
 	}
 	fmt.Println("  (each agent's job= label survives under the receiver's cluster= default;")
 	fmt.Println("   the same selectors work in alert rules: avg(*/bw{job=\"lbm\"}, node, 30s) < ...)")
+
+	// ---- durability: surviving a restart -----------------------------
+	// With -wal DIR a real agent or receiver journals every append and
+	// snapshots its rings and tiers, so a restart — or a crash — resumes
+	// with history intact.  The same persist.Manager as a library: write
+	// through one manager, tear the "process" down, and a second manager
+	// on the same directory hands a fresh store the full window back.
+	fmt.Println("\ndurability: the store survives a restart (-wal DIR on a real agent):")
+	stateDir, err := os.MkdirTemp("", "likwid-wal-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(stateDir)
+	k := monitor.Key{Metric: "memory_bandwidth_mbytes_s", Scope: monitor.ScopeNode, ID: 0}
+	before := monitor.NewStore(64, monitor.Tier{Resolution: 10, Capacity: 8})
+	pm, err := persist.Open(stateDir, before, persist.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		before.Append(k, monitor.Point{Time: float64(i), Value: 20000 + float64(i)})
+	}
+	if err := pm.Close(); err != nil { // the "restart": first life ends
+		log.Fatal(err)
+	}
+	after := monitor.NewStore(64, monitor.Tier{Resolution: 10, Capacity: 8})
+	pm2, err := persist.Open(stateDir, after, persist.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pm2.Close()
+	restored := after.Window(k, 0, -1)
+	fmt.Printf("  restored %d of 5 points after restart; newest t=%.0f value=%.0f\n",
+		len(restored), restored[len(restored)-1].Time, restored[len(restored)-1].Value)
 }

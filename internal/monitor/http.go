@@ -655,8 +655,17 @@ func (h *HTTPSink) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unsupported content encoding "+enc, http.StatusUnsupportedMediaType)
 		return
 	}
+	// Content negotiation: the v4 binary columnar format announces
+	// itself via its Content-Type; everything else (including absent or
+	// unknown types) is the JSON-lines path, which self-describes across
+	// v1–v3.  The Content-Encoding handling above applies to both, so a
+	// gzipped v4 body works too.
+	decode := decodeIngest
+	if ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";"); strings.TrimSpace(ct) == V4ContentType {
+		decode = decodeV4
+	}
 	decodeStart := time.Now()
-	samples, labelMaps, sentAts, err := decodeIngest(body)
+	samples, labelMaps, sentAts, err := decode(body)
 	if h.tDecode != nil {
 		h.tDecode.Observe(time.Since(decodeStart).Seconds())
 	}

@@ -123,3 +123,120 @@ func FuzzIngestPayload(f *testing.F) {
 		}
 	})
 }
+
+// fuzzV4Seeds is the shared seed set for FuzzIngestV4 and the checked-in
+// corpus (TestV4FuzzCorpusSeeds keeps the testdata files in sync).
+func fuzzV4Seeds() map[string]struct {
+	Body []byte
+	Gzip bool
+} {
+	valid, err := encodeV4(v4WireSamples())
+	if err != nil {
+		panic(err)
+	}
+	var validGz bytes.Buffer
+	zw := gzip.NewWriter(&validGz)
+	zw.Write(valid)
+	zw.Close()
+	shim, err := encodeV4([]jsonSample{
+		{Time: 1, Collector: "c", Metric: "nodeA/bw", Scope: "node", ID: 0, Value: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	invalid, err := encodeV4([]jsonSample{
+		{Time: -1, Metric: "bw", Scope: "node", ID: 0, Value: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return map[string]struct {
+		Body []byte
+		Gzip bool
+	}{
+		"valid":        {valid, false},
+		"valid_gzip":   {validGz.Bytes(), true},
+		"v1_shim":      {shim, false},
+		"invalid_time": {invalid, false},
+		"truncated":    {valid[:len(valid)-4], false},
+		"magic_only":   {[]byte("LKW4"), false},
+		"bad_magic":    {[]byte("LKW3\x01\x02\x03"), false},
+		"json_as_v4":   {[]byte(`{"time":1,"metric":"bw","scope":"node","id":0,"value":1}`), false},
+		"empty":        {nil, false},
+	}
+}
+
+// FuzzIngestV4 hammers the binary ingest path: arbitrary bytes under the
+// v4 Content-Type must produce 200 or 4xx, never a panic, a 5xx, or a
+// partial batch — and any payload that decodes must survive a
+// re-encode/re-decode round trip unchanged (the codec is a fixpoint on
+// its own output).
+func FuzzIngestV4(f *testing.F) {
+	for _, seed := range fuzzV4Seeds() {
+		f.Add(seed.Body, seed.Gzip)
+	}
+	f.Fuzz(func(t *testing.T, body []byte, gz bool) {
+		h := fuzzSink()
+		before := len(h.store.Keys())
+		req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body))
+		req.Header.Set("Content-Type", V4ContentType)
+		if gz {
+			req.Header.Set("Content-Encoding", "gzip")
+		}
+		w := httptest.NewRecorder()
+		h.handleIngest(w, req)
+		switch c := w.Code; {
+		case c == http.StatusOK:
+			var resp ingestResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 /ingest body is not valid JSON: %v", err)
+			}
+			if resp.Accepted < 0 {
+				t.Fatalf("accepted = %d", resp.Accepted)
+			}
+		case c >= 400 && c < 500:
+			if after := len(h.store.Keys()); after != before {
+				t.Fatalf("rejected ingest (status %d) still created %d series", c, after-before)
+			}
+		default:
+			t.Fatalf("/ingest returned %d, want 200 or 4xx", c)
+		}
+
+		// Codec fixpoint property (independent of gzip framing): anything
+		// that decodes must survive re-encode → re-decode with the same
+		// sample count, and a second re-encode must be byte-identical.
+		// (A hostile payload may carry duplicate-key groups, which one
+		// re-encode canonicalizes into merged groups — order across keys
+		// can shift once, but never twice.)
+		reencode := func(samples []Sample, labelMaps []map[string]string, sentAts []float64) []byte {
+			redo := make([]jsonSample, len(samples))
+			for i, s := range samples {
+				redo[i] = jsonSample{
+					Time: s.Time, SentAt: sentAts[i], Source: s.Source,
+					Labels: labelMaps[i], Metric: s.Metric,
+					Scope: s.Scope.String(), ID: s.ID, Value: s.Value,
+				}
+			}
+			payload, err := encodeV4(redo)
+			if err != nil {
+				t.Fatalf("re-encode of decoded payload failed: %v", err)
+			}
+			return payload
+		}
+		samples, labelMaps, sentAts, err := decodeV4(bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		payload := reencode(samples, labelMaps, sentAts)
+		again, againMaps, againSentAts, err := decodeV4(bytes.NewReader(payload))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(samples) {
+			t.Fatalf("round trip changed sample count %d -> %d", len(samples), len(again))
+		}
+		if payload2 := reencode(again, againMaps, againSentAts); !bytes.Equal(payload, payload2) {
+			t.Fatalf("canonical re-encode is not a fixpoint:\n% x\nvs\n% x", payload, payload2)
+		}
+	})
+}

@@ -285,11 +285,13 @@ func TestIngestKeepsArbitrarySourceField(t *testing.T) {
 	}
 }
 
-// TestIngestMixedVersionsLandOnSameKeys is the compat contract of the
-// v2 wire schema: a v1 payload (source smuggled as a "SOURCE/metric"
-// prefix) and a v2 payload (source as its own field) must land on the
-// same store keys, so one Window query stitches history pushed by a
-// mixed-version fleet.
+// TestIngestMixedVersionsLandOnSameKeys is the compat contract across
+// wire generations: a v1 payload (source smuggled as a "SOURCE/metric"
+// prefix), a v2 payload (source as its own field) and a v4 binary
+// payload of the same series must all land on the same store keys, so
+// one Window query stitches history pushed by a mixed-version fleet.
+// The v4 leg reuses each case's v2 record re-encoded on the binary wire
+// (including the sourceless ones, which must take the same v1 shim).
 func TestIngestMixedVersionsLandOnSameKeys(t *testing.T) {
 	tests := []struct {
 		name    string
@@ -334,16 +336,31 @@ func TestIngestMixedVersionsLandOnSameKeys(t *testing.T) {
 			if code, body := postIngest(t, base, []byte(tt.v2+"\n"), false); code != http.StatusOK {
 				t.Fatalf("v2 ingest = %d %q", code, body)
 			}
+			// v4 leg: the same record on the binary wire at time 3.
+			var js jsonSample
+			if err := json.Unmarshal([]byte(tt.v2), &js); err != nil {
+				t.Fatal(err)
+			}
+			js.Time = 3
+			payload, err := encodeV4([]jsonSample{js})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if code, body := postIngest4(t, base, payload, false); code != http.StatusOK {
+				t.Fatalf("v4 ingest = %d %q", code, body)
+			}
+			wantTimes := append(append([]float64{}, tt.times...), 3)
+			wantValues := append(append([]float64{}, tt.values...), tt.values[len(tt.values)-1])
 			if n := len(store.Keys()); n != 1 {
-				t.Fatalf("store has %d series, want both payloads on one key (keys: %+v)", n, store.Keys())
+				t.Fatalf("store has %d series, want all three payloads on one key (keys: %+v)", n, store.Keys())
 			}
 			pts := store.Window(tt.key, 0, -1)
-			if len(pts) != len(tt.times) {
-				t.Fatalf("window = %+v, want %d stitched points", pts, len(tt.times))
+			if len(pts) != len(wantTimes) {
+				t.Fatalf("window = %+v, want %d stitched points", pts, len(wantTimes))
 			}
 			for i, p := range pts {
-				if p.Time != tt.times[i] || p.Value != tt.values[i] {
-					t.Errorf("point %d = %+v, want t=%v v=%v", i, p, tt.times[i], tt.values[i])
+				if p.Time != wantTimes[i] || p.Value != wantValues[i] {
+					t.Errorf("point %d = %+v, want t=%v v=%v", i, p, wantTimes[i], wantValues[i])
 				}
 			}
 		})

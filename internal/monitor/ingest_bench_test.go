@@ -1,0 +1,96 @@
+package monitor
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// The ingest-throughput benchmarks report MB/s and samples/s (not just
+// ns/op) for the two wire generations side by side, so the v3-vs-v4
+// decode cost and wire density are visible in one `go test -bench
+// IngestThroughput` run.  bytes/op (via b.SetBytes) is the *wire* size
+// of one flush, so MB/s is on-the-wire throughput; samples/sec is the
+// fan-in rate the receiver sustains.
+
+// benchWireBatch is one full-buffer agent flush (8 series × 512 ticks =
+// 4096 samples, the push sink's MaxBuffered default) of quantized,
+// slowly-stepping values with a constant per-flush sent_at — the same
+// fixture TestV4WireDensity gates the ≥3× bytes/sample ratio on.
+func benchWireBatch() []jsonSample {
+	return densityWireSamples(8, 512)
+}
+
+// benchV3Payload renders the batch as the v3 wire: gzipped JSON lines.
+func benchV3Payload(b *testing.B, samples []jsonSample) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	enc := json.NewEncoder(zw)
+	for _, js := range samples {
+		if err := enc.Encode(js); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func benchIngest(b *testing.B, payload []byte, contentType string, gzipped bool, nSamples int) {
+	b.Helper()
+	st := NewStore(1024)
+	h := &HTTPSink{store: st, latest: map[Key]Sample{}}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(payload))
+		req.Header.Set("Content-Type", contentType)
+		if gzipped {
+			req.Header.Set("Content-Encoding", "gzip")
+		}
+		w := httptest.NewRecorder()
+		h.handleIngest(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("ingest status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(nSamples)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+	b.ReportMetric(float64(len(payload))/float64(nSamples), "wire_bytes/sample")
+}
+
+// BenchmarkIngestThroughputV3Gzip is the baseline: the gzipped
+// JSON-lines wire decoded, validated and appended.
+func BenchmarkIngestThroughputV3Gzip(b *testing.B) {
+	samples := benchWireBatch()
+	benchIngest(b, benchV3Payload(b, samples), "application/x-ndjson", true, len(samples))
+}
+
+// BenchmarkIngestThroughputV4 is the same flush on the v4 binary
+// columnar wire.
+func BenchmarkIngestThroughputV4(b *testing.B) {
+	samples := benchWireBatch()
+	payload, err := encodeV4(samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchIngest(b, payload, V4ContentType, false, len(samples))
+}
+
+// BenchmarkEncodeV4 isolates the agent-side encode cost of one flush.
+func BenchmarkEncodeV4(b *testing.B) {
+	samples := benchWireBatch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeV4(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

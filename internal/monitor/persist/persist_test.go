@@ -1,0 +1,315 @@
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"likwid/internal/monitor"
+	"likwid/internal/telemetry"
+)
+
+func testStore() *monitor.Store {
+	return monitor.NewStore(4, monitor.Tier{Resolution: 1, Capacity: 4})
+}
+
+func testKey() monitor.Key {
+	labels, err := monitor.MakeLabels(map[string]string{"job": "lbm"})
+	if err != nil {
+		panic(err)
+	}
+	return monitor.Key{Source: "nodeA", Metric: "bw", Scope: monitor.ScopeNode, ID: 0, Labels: labels}
+}
+
+// walFrames counts the whole CRC-framed records currently in a WAL
+// file without touching it — unlike replayWAL it never truncates, so
+// it is safe to run against a log mid-write.
+func walFrames(t *testing.T, path string) int {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for len(b) >= 8 {
+		size := binary.LittleEndian.Uint32(b[0:4])
+		sum := binary.LittleEndian.Uint32(b[4:8])
+		if size > walMaxRecord || len(b) < 8+int(size) {
+			break
+		}
+		if crc32.ChecksumIEEE(b[8:8+size]) != sum {
+			break
+		}
+		b = b[8+size:]
+		n++
+	}
+	return n
+}
+
+// waitWALFrames polls until the WAL holds n whole records — the
+// fsync-on-idle writer commits each drained batch, so this bounds the
+// test without hooks into the writer.
+func waitWALFrames(t *testing.T, path string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if walFrames(t, path) >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("WAL %s never reached %d records (now %d)", path, n, walFrames(t, path))
+}
+
+func TestSnapshotRestoreRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore()
+	k := testKey()
+	alert := monitor.Key{Metric: "alert/hot", Scope: monitor.ScopeNode, ID: 0}
+	st.SetCompaction(alert, monitor.CompactLast)
+
+	m, err := Open(dir, st, Options{Registry: telemetry.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		st.Append(k, monitor.Point{Time: float64(i) * 0.5, Value: float64(i)})
+		st.Append(alert, monitor.Point{Time: float64(i) * 0.5, Value: float64(i % 2)})
+	}
+	if err := m.Close(); err != nil { // clean shutdown = final snapshot
+		t.Fatal(err)
+	}
+
+	st2 := testStore()
+	m2, err := Open(dir, st2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	// A clean shutdown leaves everything in the snapshot: nothing to replay.
+	if got := m2.replayed.Load(); got != 0 {
+		t.Errorf("clean restart replayed %d records, want 0", got)
+	}
+	for _, key := range []monitor.Key{k, alert} {
+		want, got := st.Window(key, 0, -1), st2.Window(key, 0, -1)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("restored Window(%v) = %v, want %v", key, got, want)
+		}
+		wb, gb := st.Buckets(key, 1, 0, -1), st2.Buckets(key, 1, 0, -1)
+		if !reflect.DeepEqual(gb, wb) {
+			t.Errorf("restored Buckets(%v) = %v, want %v", key, gb, wb)
+		}
+	}
+}
+
+func TestWALReplayAfterUncleanShutdown(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore()
+	k := testKey()
+	m, err := Open(dir, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		st.Append(k, monitor.Point{Time: float64(i), Value: float64(i * 10)})
+	}
+	waitWALFrames(t, m.walPath(), 6)
+	// No Close: the process "crashes" here, leaving only the WAL behind.
+
+	st2 := testStore()
+	m2, err := Open(dir, st2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := m2.replayed.Load(); got != 6 {
+		t.Fatalf("replayed %d records, want 6", got)
+	}
+	want := st.Window(k, 0, -1)
+	if got := st2.Window(k, 0, -1); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed Window = %v, want %v", got, want)
+	}
+	_ = m.wal // keep the crashed manager alive past the reopen
+}
+
+// TestWALReplayAfterPartialWrite is the torn-tail case: a crash mid
+// fsync leaves a half-written frame.  Replay must keep every whole
+// record, truncate the torn bytes (counted, not fatal) and keep the
+// log usable for new appends.
+func TestWALReplayAfterPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore()
+	k := testKey()
+	m, err := Open(dir, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		st.Append(k, monitor.Point{Time: float64(i), Value: float64(i)})
+	}
+	waitWALFrames(t, m.walPath(), 4)
+	whole, err := os.Stat(m.walPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash: a frame header claiming more payload than was written.
+	torn := []byte{0xff, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'x'}
+	f, err := os.OpenFile(m.walPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2 := testStore()
+	m2, err := Open(dir, st2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.replayed.Load(); got != 4 {
+		t.Fatalf("replayed %d records, want 4", got)
+	}
+	if got := m2.replayTruncBytes.Load(); got != uint64(len(torn)) {
+		t.Fatalf("truncated %d bytes, want %d", got, len(torn))
+	}
+	if stat, err := os.Stat(m2.walPath()); err != nil || stat.Size() != whole.Size() {
+		t.Fatalf("WAL not truncated to last whole record: %v bytes, want %d (err %v)", stat.Size(), whole.Size(), err)
+	}
+	if got := len(st2.Window(k, 0, -1)); got != 4 {
+		t.Fatalf("restored %d points, want 4", got)
+	}
+
+	// The truncated log keeps working: append, crash again, replay again.
+	st2.Append(k, monitor.Point{Time: 9, Value: 9})
+	waitWALFrames(t, m2.walPath(), 5)
+	st3 := testStore()
+	m3, err := Open(dir, st3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Close()
+	if got := len(st3.Window(k, 0, -1)); got != 5 {
+		t.Fatalf("after second crash restored %d points, want 5", got)
+	}
+}
+
+// appendFrame writes one CRC-framed entry — the test's stand-in for a
+// WAL left by an older generation overlapping the snapshot.
+func appendFrame(t *testing.T, path string, e walEntry) {
+	t.Helper()
+	payload, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(hdr[:], payload...)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplaySkipsRecordsAlreadyInSnapshot pins the dedupe guard: a
+// wal.prev surviving a crash between the snapshot rename and the
+// rotated log's removal holds records the snapshot already contains —
+// they must not be applied twice.
+func TestReplaySkipsRecordsAlreadyInSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore()
+	k := testKey()
+	m, err := Open(dir, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		st.Append(k, monitor.Point{Time: float64(i), Value: float64(i)})
+	}
+	if err := m.Close(); err != nil { // snapshot now holds times 1..3
+		t.Fatal(err)
+	}
+
+	entry := func(tm, v float64) walEntry {
+		return walEntry{Source: "nodeA", Metric: "bw", Scope: "node", ID: 0,
+			Labels: map[string]string{"job": "lbm"}, Time: tm, Value: v}
+	}
+	// The crash left a stale wal.prev duplicating snapshot contents, and
+	// a wal.log with one duplicate and one genuinely new record.
+	appendFrame(t, filepath.Join(dir, "wal.prev"), entry(2, 2))
+	appendFrame(t, filepath.Join(dir, "wal.prev"), entry(3, 3))
+	appendFrame(t, filepath.Join(dir, "wal.log"), entry(3, 3))
+	appendFrame(t, filepath.Join(dir, "wal.log"), entry(4, 4))
+
+	st2 := testStore()
+	m2, err := Open(dir, st2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := m2.replaySkipped.Load(); got != 3 {
+		t.Errorf("skipped %d duplicate records, want 3", got)
+	}
+	if got := m2.replayed.Load(); got != 1 {
+		t.Errorf("replayed %d records, want 1", got)
+	}
+	want := []monitor.Point{{Time: 1, Value: 1}, {Time: 2, Value: 2}, {Time: 3, Value: 3}, {Time: 4, Value: 4}}
+	if got := st2.Window(k, 0, -1); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored Window = %v, want %v", got, want)
+	}
+}
+
+// TestPeriodicSnapshotTruncatesWAL drives the background loop with a
+// short interval: after a snapshot lands, the WAL starts over and the
+// rotated generation is gone.
+func TestPeriodicSnapshotTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore()
+	k := testKey()
+	m, err := Open(dir, st, Options{SnapshotInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		st.Append(k, monitor.Point{Time: float64(i), Value: float64(i)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.snapshots.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if m.snapshots.Load() == 0 {
+		t.Fatal("background snapshot never ran")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if stat, err := os.Stat(m.walPath()); err != nil || stat.Size() != 0 {
+		t.Fatalf("WAL after snapshot+close = %v bytes, want 0 (err %v)", stat.Size(), err)
+	}
+	if _, err := os.Stat(m.walPrevPath()); !os.IsNotExist(err) {
+		t.Fatalf("rotated WAL generation still present: %v", err)
+	}
+	st2 := testStore()
+	m2, err := Open(dir, st2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := len(st2.Window(k, 0, -1)); got != 8 {
+		t.Fatalf("restored %d points, want 8", got)
+	}
+}

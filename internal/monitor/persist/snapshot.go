@@ -1,0 +1,178 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"likwid/internal/monitor"
+)
+
+// snapshotVersion guards the on-disk schema; a reader refusing an
+// unknown version fails loudly instead of mis-restoring.
+const snapshotVersion = 1
+
+// snapshotDoc is the on-disk snapshot: the store's full state as plain
+// JSON.  Interned handles (Labels, Scope) travel in their wire shapes
+// and are re-interned on load.
+type snapshotDoc struct {
+	Version int         `json:"version"`
+	Series  []seriesDoc `json:"series"`
+}
+
+type seriesDoc struct {
+	Source     string            `json:"source,omitempty"`
+	Metric     string            `json:"metric"`
+	Scope      string            `json:"scope"`
+	ID         int               `json:"id"`
+	Labels     map[string]string `json:"labels,omitempty"`
+	Compaction string            `json:"compaction,omitempty"` // "last"; absent means mean
+	Raw        []monitor.Point   `json:"raw"`
+	Tiers      []tierDoc         `json:"tiers,omitempty"`
+}
+
+type tierDoc struct {
+	Res     float64          `json:"res"`
+	Buckets []monitor.Bucket `json:"buckets"`
+	Open    *openDoc         `json:"open,omitempty"`
+}
+
+type openDoc struct {
+	Start   float64   `json:"start"`
+	Count   int       `json:"count"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Sum     float64   `json:"sum"`
+	LastT   float64   `json:"last_t"`
+	LastV   float64   `json:"last_v"`
+	Medians []float64 `json:"medians"`
+}
+
+func toDoc(states []monitor.SeriesState) snapshotDoc {
+	doc := snapshotDoc{Version: snapshotVersion, Series: make([]seriesDoc, 0, len(states))}
+	for _, s := range states {
+		sd := seriesDoc{
+			Source: s.Key.Source,
+			Metric: s.Key.Metric,
+			Scope:  s.Key.Scope.String(),
+			ID:     s.Key.ID,
+			Labels: s.Key.Labels.Map(),
+			Raw:    s.Raw,
+		}
+		if s.Compaction == monitor.CompactLast {
+			sd.Compaction = "last"
+		}
+		for _, t := range s.Tiers {
+			td := tierDoc{Res: t.Res, Buckets: t.Buckets}
+			if o := t.Open; o != nil {
+				td.Open = &openDoc{
+					Start: o.Start, Count: o.Count,
+					Min: o.Min, Max: o.Max, Sum: o.Sum,
+					LastT: o.LastT, LastV: o.LastV,
+					Medians: o.Medians,
+				}
+			}
+			sd.Tiers = append(sd.Tiers, td)
+		}
+		doc.Series = append(doc.Series, sd)
+	}
+	return doc
+}
+
+func fromDoc(doc snapshotDoc) ([]monitor.SeriesState, error) {
+	if doc.Version != snapshotVersion {
+		return nil, fmt.Errorf("persist: snapshot version %d, this build reads %d", doc.Version, snapshotVersion)
+	}
+	states := make([]monitor.SeriesState, 0, len(doc.Series))
+	for i, sd := range doc.Series {
+		scope, err := monitor.ParseScope(sd.Scope)
+		if err != nil {
+			return nil, fmt.Errorf("persist: snapshot series %d: %w", i, err)
+		}
+		labels, err := monitor.MakeLabels(sd.Labels)
+		if err != nil {
+			return nil, fmt.Errorf("persist: snapshot series %d: %w", i, err)
+		}
+		state := monitor.SeriesState{
+			Key: monitor.Key{Source: sd.Source, Metric: sd.Metric, Scope: scope, ID: sd.ID, Labels: labels},
+			Raw: sd.Raw,
+		}
+		if sd.Compaction == "last" {
+			state.Compaction = monitor.CompactLast
+		}
+		for _, td := range sd.Tiers {
+			ts := monitor.TierState{Res: td.Res, Buckets: td.Buckets}
+			if o := td.Open; o != nil {
+				ts.Open = &monitor.OpenBucketState{
+					Start: o.Start, Count: o.Count,
+					Min: o.Min, Max: o.Max, Sum: o.Sum,
+					LastT: o.LastT, LastV: o.LastV,
+					Medians: o.Medians,
+				}
+			}
+			state.Tiers = append(state.Tiers, ts)
+		}
+		states = append(states, state)
+	}
+	return states, nil
+}
+
+// writeSnapshot persists the states atomically: encode to a temp file
+// in the same directory, fsync it, rename over the target, fsync the
+// directory.  A crash at any step leaves either the old snapshot or the
+// new one, never a torn file.
+func writeSnapshot(path string, states []monitor.SeriesState) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(toDoc(states)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// readSnapshot loads a snapshot; a missing file restores nothing.
+func readSnapshot(path string) ([]monitor.SeriesState, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var doc snapshotDoc
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("persist: corrupt snapshot %s: %w", path, err)
+	}
+	return fromDoc(doc)
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,323 @@
+// Package persist gives the monitor store crash durability: a
+// write-ahead log of appends plus periodic full-state snapshots, so an
+// agent or receiver restarted after a crash restores its raw rings and
+// retention tiers instead of starting cold.
+//
+// The division of labor follows the store's own hot/cold split.  The
+// append path stays allocation-free: the store's Journal hook hands
+// plain (Key, Point) values to a buffered channel and never blocks —
+// when the channel is full the record is dropped and counted, trading
+// bounded durability loss for an unbounded-latency-free ingest path.  A
+// single writer goroutine drains the channel, frames records with a
+// CRC, and fsyncs on idle: under a steady append stream each drain
+// batch becomes one group commit, so the fsync cost amortizes over the
+// batch instead of taxing every point.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"likwid/internal/monitor"
+	"likwid/internal/telemetry"
+)
+
+// walEntry is the wire form of one journaled append.  Labels travel as
+// a plain map (the intern table is process state, not disk state).
+type walEntry struct {
+	Source string            `json:"source,omitempty"`
+	Metric string            `json:"metric"`
+	Scope  string            `json:"scope"`
+	ID     int               `json:"id"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Time   float64           `json:"time"`
+	Value  float64           `json:"value"`
+}
+
+// walRec is the in-flight record: plain values, so handing one to the
+// channel never allocates on the append path.
+type walRec struct {
+	k monitor.Key
+	p monitor.Point
+}
+
+// walMaxRecord bounds a single framed record; anything larger in a
+// replayed file is framing corruption, not data.
+const walMaxRecord = 1 << 20
+
+// wal owns the log file and the writer goroutine.  Record (the
+// monitor.Journal implementation) is safe for concurrent use; all file
+// access happens on the writer goroutine or under mu (rotation).
+type wal struct {
+	ch   chan walRec
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu sync.Mutex // guards f/w swap during rotation
+	f  *os.File
+	w  *bufio.Writer
+
+	records atomic.Uint64
+	dropped atomic.Uint64
+	fsyncs  atomic.Uint64
+
+	// observeFsync, when set, receives each fsync's duration in seconds.
+	observeFsync func(float64)
+	// fail reports asynchronous write errors (disk full, file gone).
+	fail func(err error)
+}
+
+func openWAL(path string, buffer int) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &wal{
+		ch:   make(chan walRec, buffer),
+		done: make(chan struct{}),
+		f:    f,
+		w:    bufio.NewWriter(f),
+	}
+	w.wg.Add(1)
+	go w.run()
+	return w, nil
+}
+
+// Record implements monitor.Journal: non-blocking handoff, drops (and
+// counts) when the writer cannot keep up.
+func (w *wal) Record(k monitor.Key, p monitor.Point) {
+	select {
+	case w.ch <- walRec{k, p}:
+	default:
+		w.dropped.Add(1)
+	}
+}
+
+// run drains the channel: each wakeup writes every queued record, then
+// flushes and fsyncs once — group commit on idle.
+func (w *wal) run() {
+	defer w.wg.Done()
+	for {
+		select {
+		case r := <-w.ch:
+			w.commit(r)
+		case <-w.done:
+			// Drain what raced the shutdown, then stop.
+			for {
+				select {
+				case r := <-w.ch:
+					w.commit(r)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// commit writes r plus everything else queued, then syncs.
+func (w *wal) commit(r walRec) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.write(r)
+	for {
+		select {
+		case r = <-w.ch:
+			w.write(r)
+		default:
+			w.sync()
+			return
+		}
+	}
+}
+
+func (w *wal) write(r walRec) {
+	e := walEntry{
+		Source: r.k.Source,
+		Metric: r.k.Metric,
+		Scope:  r.k.Scope.String(),
+		ID:     r.k.ID,
+		Labels: r.k.Labels.Map(),
+		Time:   r.p.Time,
+		Value:  r.p.Value,
+	}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		w.report(err)
+		return
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.report(err)
+		return
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		w.report(err)
+		return
+	}
+	w.records.Add(1)
+}
+
+func (w *wal) sync() {
+	if err := w.w.Flush(); err != nil {
+		w.report(err)
+		return
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		w.report(err)
+		return
+	}
+	w.fsyncs.Add(1)
+	if w.observeFsync != nil {
+		w.observeFsync(time.Since(start).Seconds())
+	}
+}
+
+func (w *wal) report(err error) {
+	if w.fail != nil {
+		w.fail(err)
+	}
+}
+
+// rotate flushes and closes the current log and swaps in a fresh file
+// at newPath, renaming the old one to prevPath.  Called with appends
+// still flowing: the writer blocks on mu for the swap's duration only.
+func (w *wal) rotate(prevPath, newPath string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(w.f.Name(), prevPath); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(newPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.w.Reset(f)
+	return nil
+}
+
+// stop halts the writer goroutine after it drains and commits every
+// queued record.  The file stays open: a final rotation may follow.
+func (w *wal) stop() {
+	close(w.done)
+	w.wg.Wait()
+}
+
+// closeFile flushes and closes the log file; call after stop.
+func (w *wal) closeFile() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayWAL streams a log file's records into apply, in order.  A
+// partial or corrupt tail — the expected shape of a crash mid-write —
+// truncates the file at the last whole record and reports the dropped
+// byte count; corruption is a recovery event, not an error.  A missing
+// file replays nothing.
+func replayWAL(path string, apply func(walEntry) error) (applied int, truncated int64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var off, good int64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			break // EOF or a torn header: truncate here
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if size > walMaxRecord {
+			break
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var e walEntry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			break
+		}
+		off += 8 + int64(size)
+		good = off
+		if err := apply(e); err != nil {
+			return applied, 0, err
+		}
+		applied++
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return applied, 0, err
+	}
+	if tail := st.Size() - good; tail > 0 {
+		if err := os.Truncate(path, good); err != nil {
+			return applied, tail, fmt.Errorf("persist: truncating torn WAL tail: %w", err)
+		}
+		return applied, tail, nil
+	}
+	return applied, 0, nil
+}
+
+// entryKey rebuilds the store key of a replayed record.
+func entryKey(e walEntry) (monitor.Key, error) {
+	scope, err := monitor.ParseScope(e.Scope)
+	if err != nil {
+		return monitor.Key{}, err
+	}
+	labels, err := monitor.MakeLabels(e.Labels)
+	if err != nil {
+		return monitor.Key{}, err
+	}
+	return monitor.Key{Source: e.Source, Metric: e.Metric, Scope: scope, ID: e.ID, Labels: labels}, nil
+}
+
+// instrument registers the WAL's self-metrics.
+func (w *wal) instrument(reg *telemetry.Registry) {
+	reg.CounterFunc("likwid_wal_records_total", func() float64 {
+		return float64(w.records.Load())
+	})
+	reg.CounterFunc("likwid_wal_dropped_total", func() float64 {
+		return float64(w.dropped.Load())
+	})
+	reg.CounterFunc("likwid_wal_fsyncs_total", func() float64 {
+		return float64(w.fsyncs.Load())
+	})
+}

@@ -56,7 +56,24 @@ type PushOptions struct {
 	// Logger receives flush-failure and drop warnings; nil stays silent
 	// (counters only).
 	Logger *slog.Logger
+	// Format selects the wire encoding: WireJSON (the default) is the
+	// v1–v3 gzipped JSON-lines schema, WireV4 the binary columnar batch
+	// format.  v4 needs a receiver that understands its Content-Type
+	// (this suite's, of any version shipping decodeV4) — upgrade
+	// receivers before agents.
+	Format WireFormat
 }
+
+// WireFormat selects a push sink's batch encoding.
+type WireFormat int
+
+const (
+	// WireJSON is the self-describing v1–v3 JSON-lines schema, gzipped.
+	WireJSON WireFormat = iota
+	// WireV4 is the binary columnar batch format: per-series column
+	// groups, delta-of-delta timestamps, Gorilla XOR values.
+	WireV4
+)
 
 func (o PushOptions) withDefaults() PushOptions {
 	if o.FlushSamples <= 0 {
@@ -232,12 +249,29 @@ func (p *PushSink) Write(b Batch) error {
 	return p.flush()
 }
 
-// Close flushes the remainder and reports the last push error.
+// Close flushes the remainder and reports the last push error.  Unlike a
+// mid-run flush failure (which keeps the samples buffered for the next
+// attempt), there is no next attempt after Close: samples still pending
+// when the final flush fails are abandoned, so they are counted as drops
+// and warned about once — fleet self-series then show the loss instead
+// of silently under-reporting.
 func (p *PushSink) Close() error {
 	if len(p.pending) == 0 {
 		return nil
 	}
-	return p.flush()
+	err := p.flush()
+	if n := len(p.pending); err != nil && n > 0 {
+		p.pending = p.pending[:0]
+		p.dropped.Add(uint64(n))
+		if p.tPending != nil {
+			p.tPending.Set(0)
+		}
+		if p.opts.Logger != nil {
+			p.opts.Logger.Warn("push sink closed with unflushed samples, dropping them",
+				"url", p.opts.URL, "dropped", n, "err", err)
+		}
+	}
+	return err
 }
 
 // encodePending renders the pending samples in the wire format: one JSON
@@ -254,31 +288,50 @@ func (p *PushSink) encodePending() ([]byte, error) {
 }
 
 func (p *PushSink) flush() error {
-	payload, err := p.encodePending()
-	if err != nil {
-		return err
-	}
-	var body bytes.Buffer
-	zw := gzip.NewWriter(&body)
-	if _, err := zw.Write(payload); err != nil {
-		return err
-	}
-	if err := zw.Close(); err != nil {
-		return err
-	}
-	if p.tBytes != nil {
-		p.tBytes["raw"].Add(uint64(len(payload)))
-		p.tBytes["gzip"].Add(uint64(body.Len()))
+	var (
+		wire        []byte
+		contentType string
+		encoding    string
+	)
+	if p.opts.Format == WireV4 {
+		// The binary columnar format is already compact; it ships
+		// identity-encoded under its own Content-Type.
+		payload, err := encodeV4(p.pending)
+		if err != nil {
+			return err
+		}
+		wire, contentType = payload, V4ContentType
+		if p.tBytes != nil {
+			p.tBytes["raw"].Add(uint64(len(payload)))
+		}
+	} else {
+		payload, err := p.encodePending()
+		if err != nil {
+			return err
+		}
+		var body bytes.Buffer
+		zw := gzip.NewWriter(&body)
+		if _, err := zw.Write(payload); err != nil {
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+		wire, contentType, encoding = body.Bytes(), "application/x-ndjson", "gzip"
+		if p.tBytes != nil {
+			p.tBytes["raw"].Add(uint64(len(payload)))
+			p.tBytes["gzip"].Add(uint64(body.Len()))
+		}
 	}
 
-	err = RetryWithBackoff(p.opts.Context, p.opts.MaxAttempts, p.opts.RetryBase,
+	err := RetryWithBackoff(p.opts.Context, p.opts.MaxAttempts, p.opts.RetryBase,
 		func() { p.retries.Add(1) },
 		func() error {
 			if p.tPost == nil {
-				return p.post(body.Bytes())
+				return p.post(wire, contentType, encoding)
 			}
 			start := time.Now()
-			perr := p.post(body.Bytes())
+			perr := p.post(wire, contentType, encoding)
 			p.tPost.Observe(time.Since(start).Seconds())
 			return perr
 		})
@@ -339,13 +392,15 @@ func RetryWithBackoff(ctx context.Context, maxAttempts int, base time.Duration, 
 	return lastErr
 }
 
-func (p *PushSink) post(gzipped []byte) error {
-	req, err := http.NewRequest(http.MethodPost, p.opts.URL, bytes.NewReader(gzipped))
+func (p *PushSink) post(wire []byte, contentType, encoding string) error {
+	req, err := http.NewRequest(http.MethodPost, p.opts.URL, bytes.NewReader(wire))
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
-	req.Header.Set("Content-Encoding", "gzip")
+	req.Header.Set("Content-Type", contentType)
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
 	resp, err := p.opts.Client.Do(req)
 	if err != nil {
 		return err

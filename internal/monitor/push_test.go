@@ -1,11 +1,13 @@
 package monitor
 
 import (
+	"bytes"
 	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -231,6 +233,50 @@ func TestPushSinkCloseHonorsCancelledContext(t *testing.T) {
 	}
 	if got := p.Retries(); got != 1 {
 		t.Errorf("Retries = %d, want exactly the single pre-cancellation attempt", got)
+	}
+}
+
+// TestPushSinkCloseCountsAbandonedSamplesAsDrops pins the Close drop
+// accounting: samples still buffered when the final flush fails have no
+// next attempt — they must surface as drops in telemetry (with one
+// structured warning), not vanish silently.
+func TestPushSinkCloseCountsAbandonedSamplesAsDrops(t *testing.T) {
+	rec := &captureReceiver{failNext: 1 << 30} // receiver stays dead
+	srv := httptest.NewServer(http.HandlerFunc(rec.handler))
+	defer srv.Close()
+
+	var logBuf bytes.Buffer
+	p, err := NewPushSink(PushOptions{
+		URL:          srv.URL,
+		FlushSamples: 1 << 20, // nothing flushes before Close
+		MaxAttempts:  1,
+		RetryBase:    time.Millisecond,
+		Logger:       slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(goldenBatches()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err == nil {
+		t.Error("Close against a dead receiver succeeded, want the push error")
+	}
+	if got := p.Dropped(); got != 4 {
+		t.Errorf("Dropped = %d, want the batch's 4 abandoned samples", got)
+	}
+	if got := p.Sent(); got != 0 {
+		t.Errorf("Sent = %d, want 0", got)
+	}
+	if warns := strings.Count(logBuf.String(), "dropping"); warns != 1 {
+		t.Errorf("abandonment warnings = %d, want exactly 1 (log: %s)", warns, logBuf.String())
+	}
+	// The buffer really was abandoned: a second Close is a clean no-op.
+	if err := p.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil (pending already dropped)", err)
+	}
+	if got := p.Dropped(); got != 4 {
+		t.Errorf("Dropped after second Close = %d, want still 4 (no double count)", got)
 	}
 }
 

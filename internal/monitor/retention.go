@@ -26,9 +26,20 @@ type Tier struct {
 // Span is the simulated time covered by a full tier.
 func (t Tier) Span() float64 { return t.Resolution * float64(t.Capacity) }
 
-// String renders the tier in the -tiers spec syntax.
+// tierDuration converts a resolution in (possibly fractional) seconds
+// back to the duration it was parsed from.  The product res*1e9 is not
+// always exactly representable (0.3*1e9 rounds to 299999999.99999994),
+// so it must be rounded, not truncated: truncation renders "299.999999ms"
+// and breaks the ParseTiers(tiers.String()) round-trip for sub-second
+// and odd resolutions.
+func tierDuration(res float64) time.Duration {
+	return time.Duration(math.Round(res * float64(time.Second)))
+}
+
+// String renders the tier in the -tiers spec syntax.  It round-trips:
+// ParseTiers(t.String()) yields t back for any tier ParseTiers accepts.
 func (t Tier) String() string {
-	return fmt.Sprintf("%s:%d", time.Duration(t.Resolution*float64(time.Second)), t.Capacity)
+	return fmt.Sprintf("%s:%d", tierDuration(t.Resolution), t.Capacity)
 }
 
 // ParseTiers parses a tier spec: comma-separated RESOLUTION:CAPACITY
@@ -59,8 +70,7 @@ func ParseTiers(spec string) ([]Tier, error) {
 	for i := 1; i < len(tiers); i++ {
 		if tiers[i].Resolution <= tiers[i-1].Resolution {
 			return nil, fmt.Errorf("monitor: tier resolutions must ascend (%v after %v)",
-				time.Duration(tiers[i].Resolution*float64(time.Second)),
-				time.Duration(tiers[i-1].Resolution*float64(time.Second)))
+				tierDuration(tiers[i].Resolution), tierDuration(tiers[i-1].Resolution))
 		}
 	}
 	return tiers, nil
@@ -293,8 +303,12 @@ func (st *Store) Buckets(k Key, resolution, from, to float64) []Bucket {
 // stitch merges downsampled history below the raw coverage boundary with
 // the raw points themselves: each age range is served by the finest
 // level that still retains it (raw where available, then tier by tier
-// toward the coarsest).  Bucket points are clipped to end strictly at or
-// before the boundary so the result is non-overlapping and time-ordered.
+// toward the coarsest).  A bucket is kept when it starts strictly below
+// the boundary: its members are evictions, all older than the retained
+// raw points, so the result stays non-overlapping and time-ordered.
+// (Skipping on End() > cover instead would drop the bucket holding data
+// older than — but within one resolution of — the oldest raw point,
+// losing e.g. a point that falls exactly on a sealed bucket's End.)
 func stitch(raw []Point, tiers [][]Bucket, from, to float64) []Point {
 	cover := math.Inf(1)
 	if len(raw) > 0 {
@@ -305,7 +319,7 @@ func stitch(raw []Point, tiers [][]Bucket, from, to float64) []Point {
 		lowest := cover
 		for i := len(buckets) - 1; i >= 0; i-- {
 			b := buckets[i]
-			if b.End() > cover {
+			if b.Start >= cover {
 				continue
 			}
 			if b.Start < lowest {

@@ -4,7 +4,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestParseTiers(t *testing.T) {
@@ -34,6 +36,116 @@ func TestParseTiers(t *testing.T) {
 	for _, bad := range []string{"10s", "x:5", "10s:x", "10s:0", "10s:-3", "-10s:5", "0s:5", "1m:10,10s:10", "10s:5,10s:5"} {
 		if _, err := ParseTiers(bad); err == nil {
 			t.Errorf("ParseTiers(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestTierStringRoundTrips pins Tier.String against float rounding:
+// ParseTiers(tier.String()) must yield the tier back exactly.  The old
+// truncating conversion rendered 300ms as "299.999999ms" (0.3*1e9 is not
+// exactly representable), so specs with sub-second or odd resolutions
+// did not survive a render/re-parse cycle.
+func TestTierStringRoundTrips(t *testing.T) {
+	specs := []string{
+		"300ms", "100ms", "250ms", "1.5s", "2.5ms", "333ms", "250us",
+		"10s", "1m", "1m30s", "5m", "1h", "12h", "7s", "1ns",
+	}
+	for _, s := range specs {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("bad test duration %q: %v", s, err)
+		}
+		tier := Tier{Resolution: d.Seconds(), Capacity: 7}
+		got, err := ParseTiers(tier.String())
+		if err != nil {
+			t.Errorf("ParseTiers(%q.String() = %q) failed: %v", s, tier.String(), err)
+			continue
+		}
+		if len(got) != 1 || got[0] != tier {
+			t.Errorf("round trip of %q: %q parsed back to %+v, want %+v", s, tier.String(), got, tier)
+		}
+	}
+
+	// Property sweep: random positive durations round-trip too, and a
+	// whole multi-tier spec survives render/re-parse as a unit.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		d := time.Duration(1 + rng.Int63n(int64(24*time.Hour)))
+		tier := Tier{Resolution: d.Seconds(), Capacity: 1 + rng.Intn(1000)}
+		got, err := ParseTiers(tier.String())
+		if err != nil || len(got) != 1 || got[0] != tier {
+			t.Fatalf("trial %d: %v (res %v) rendered %q, parsed back to (%+v, %v)",
+				trial, tier, d, tier.String(), got, err)
+		}
+	}
+	tiers, err := ParseTiers("300ms:10,1.5s:20,1m:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []string
+	for _, tier := range tiers {
+		parts = append(parts, tier.String())
+	}
+	again, err := ParseTiers(strings.Join(parts, ","))
+	if err != nil {
+		t.Fatalf("re-parse of rendered spec %q failed: %v", strings.Join(parts, ","), err)
+	}
+	if len(again) != len(tiers) {
+		t.Fatalf("re-parse = %+v, want %+v", again, tiers)
+	}
+	for i := range tiers {
+		if again[i] != tiers[i] {
+			t.Errorf("tier %d round trip = %+v, want %+v", i, again[i], tiers[i])
+		}
+	}
+}
+
+// TestWindowBoundaryPointAtBucketEnd is the stitch coverage-boundary
+// regression: a raw point whose timestamp falls exactly on a sealed tier
+// bucket's End() — it is the first member of the next (still open)
+// bucket — must come back from Window exactly once.  The old stitch
+// skipped any bucket with End() > cover, which dropped the open bucket
+// holding that point even though all its members are older than the
+// retained raw ring.
+func TestWindowBoundaryPointAtBucketEnd(t *testing.T) {
+	// Ring of 4, 1 s buckets.  Appends at t = 0, 0.25, ..., 2.0 (exact in
+	// binary), values = index: the ring keeps t = 1.25..2.0, evictions
+	// cover t = 0..1.0 → sealed bucket [0,1) plus an open bucket [1,2)
+	// whose only member is the point at exactly t = 1.0 (the sealed
+	// bucket's End).
+	st := NewStore(4, Tier{Resolution: 1, Capacity: 8})
+	k := key("bw")
+	for i := 0; i <= 8; i++ {
+		st.Append(k, Point{Time: float64(i) * 0.25, Value: float64(i)})
+	}
+	pts := st.Window(k, 0, -1)
+	if len(pts) != 6 {
+		t.Fatalf("stitched window = %+v, want 6 points (sealed bucket, open bucket, 4 raw)", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Fatalf("window not strictly time-ordered at %d: %+v", i, pts)
+		}
+	}
+	var atBoundary int
+	for _, p := range pts {
+		if p.Time == 1.0 {
+			atBoundary++
+			if p.Value != 4 {
+				t.Errorf("boundary point = %+v, want the t=1.0 append (value 4) exactly", p)
+			}
+		}
+	}
+	if atBoundary != 1 {
+		t.Errorf("point at t=1.0 appears %d times, want exactly once", atBoundary)
+	}
+	// The sealed bucket and the raw tail are untouched by the fix.
+	if pts[0].Time != 0 || pts[0].Value != 1.5 {
+		t.Errorf("sealed bucket point = %+v, want t=0 avg=1.5", pts[0])
+	}
+	for i, p := range pts[2:] {
+		if want := (Point{Time: 1.25 + 0.25*float64(i), Value: float64(i + 5)}); p != want {
+			t.Errorf("raw point %d = %+v, want %+v", i, p, want)
 		}
 	}
 }

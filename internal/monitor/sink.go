@@ -431,6 +431,9 @@ func (s *jsonlSink) Close() error {
 //	push:URL             batch, gzip and POST samples to a remote
 //	                     receiver's /ingest endpoint (push:host:port or
 //	                     push:http://host:port/ingest)
+//	pushv4:URL           like push, but on the v4 binary columnar wire —
+//	                     the receiver must understand its Content-Type
+//	                     (upgrade receivers before agents)
 //
 // The store parameter backs the HTTP sink's /query and /ingest endpoints
 // and may be nil for the file and push sinks.  The context bounds the
@@ -455,9 +458,13 @@ func ParseSink(ctx context.Context, spec string, store *Store) (Sink, error) {
 		return NewJSONLSink(f, f), nil
 	case "http":
 		return NewHTTPSink(arg, store)
-	default: // "push", already validated
+	default: // "push"/"pushv4", already validated
 		url, _ := normalizePushURL(arg)
-		return NewPushSink(PushOptions{URL: url, Source: defaultPushSource(), Context: ctx})
+		format := WireJSON
+		if kind == "pushv4" {
+			format = WireV4
+		}
+		return NewPushSink(PushOptions{URL: url, Source: defaultPushSource(), Context: ctx, Format: format})
 	}
 }
 
@@ -502,13 +509,13 @@ func ValidateSinkSpec(spec string) error {
 			return fmt.Errorf("monitor: sink %q needs a listen address (http:HOST:PORT)", spec)
 		}
 		return nil
-	case "push":
+	case "push", "pushv4":
 		if _, err := normalizePushURL(arg); err != nil {
 			return fmt.Errorf("monitor: sink %q: %w", spec, err)
 		}
 		return nil
 	default:
-		return fmt.Errorf("monitor: unknown sink kind %q (stdout, csv:PATH, jsonl:PATH, http:ADDR, push:URL)", spec)
+		return fmt.Errorf("monitor: unknown sink kind %q (stdout, csv:PATH, jsonl:PATH, http:ADDR, push:URL, pushv4:URL)", spec)
 	}
 }
 

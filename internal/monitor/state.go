@@ -1,0 +1,154 @@
+package monitor
+
+import "math"
+
+// SeriesState is the portable snapshot of one series: everything needed
+// to rebuild its raw ring and retention tiers in a fresh store.  It is
+// the unit the persist package serializes — domain types here, wire
+// DTOs there.
+type SeriesState struct {
+	Key        Key
+	Raw        []Point // oldest first
+	Tiers      []TierState
+	Compaction Compaction
+}
+
+// TierState is one tier's sealed buckets plus its open accumulator.
+type TierState struct {
+	Res     float64
+	Buckets []Bucket // sealed, oldest first
+	Open    *OpenBucketState
+}
+
+// OpenBucketState is the open bucket's accumulator, carried verbatim so
+// a restored series seals the identical bucket the crashed one would
+// have (count-weighted average, exact min/max, the median scratch set).
+type OpenBucketState struct {
+	Start        float64
+	Count        int
+	Min, Max     float64
+	Sum          float64
+	LastT, LastV float64
+	Medians      []float64
+}
+
+// DumpState snapshots every series, sorted by key for deterministic
+// output.  Each series is copied under its read lock, so individual
+// series are internally consistent; the store keeps serving appends on
+// other series while the dump runs.
+func (st *Store) DumpState() []SeriesState {
+	keys := st.Keys()
+	out := make([]SeriesState, 0, len(keys))
+	for _, k := range keys {
+		s := st.lookup(k)
+		if s == nil {
+			continue
+		}
+		out = append(out, s.dumpState())
+	}
+	return out
+}
+
+func (s *series) dumpState() SeriesState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	state := SeriesState{Key: s.key}
+	state.Raw = make([]Point, 0, s.n)
+	start := s.head - s.n
+	if start < 0 {
+		start += len(s.buf)
+	}
+	for i := 0; i < s.n; i++ {
+		state.Raw = append(state.Raw, s.buf[(start+i)%len(s.buf)])
+	}
+	for _, t := range s.tiers {
+		ts := TierState{Res: t.res}
+		ts.Buckets = make([]Bucket, 0, t.n)
+		bstart := t.head - t.n
+		if bstart < 0 {
+			bstart += len(t.buf)
+		}
+		for i := 0; i < t.n; i++ {
+			ts.Buckets = append(ts.Buckets, t.buf[(bstart+i)%len(t.buf)])
+		}
+		if t.open && t.count > 0 {
+			ts.Open = &OpenBucketState{
+				Start: t.openStart, Count: t.count,
+				Min: t.min, Max: t.max, Sum: t.sum,
+				LastT: t.lastT, LastV: t.lastV,
+				Medians: append([]float64(nil), t.medians...),
+			}
+		}
+		state.Tiers = append(state.Tiers, ts)
+	}
+	if len(s.tiers) > 0 && s.tiers[0].step {
+		state.Compaction = CompactLast
+	}
+	return state
+}
+
+// RestoreState loads series states into the store, replacing any prior
+// contents of the named series.  Intended for boot-time recovery before
+// traffic (and before SetJournal, so restored points are not
+// re-journaled).  States are adapted to the store's current shape: raw
+// points beyond the ring capacity keep the newest, and tier states are
+// matched to configured tiers by resolution — a tier dumped under an
+// old configuration that no longer exists is dropped rather than
+// mis-folded.
+func (st *Store) RestoreState(states []SeriesState) {
+	for _, state := range states {
+		s := st.getOrCreate(state.Key)
+		s.restoreState(state)
+	}
+}
+
+func (s *series) restoreState(state SeriesState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw := state.Raw
+	if len(raw) > len(s.buf) {
+		raw = raw[len(raw)-len(s.buf):]
+	}
+	n := copy(s.buf, raw)
+	s.n = n
+	s.head = n % len(s.buf)
+	s.appends += uint64(len(state.Raw))
+	for _, t := range s.tiers {
+		t.step = state.Compaction == CompactLast
+		for _, ts := range state.Tiers {
+			if ts.Res != t.res {
+				continue
+			}
+			t.restoreState(ts)
+			break
+		}
+	}
+}
+
+func (t *tierRing) restoreState(ts TierState) {
+	buckets := ts.Buckets
+	if len(buckets) > len(t.buf) {
+		buckets = buckets[len(buckets)-len(t.buf):]
+	}
+	n := copy(t.buf, buckets)
+	t.n = n
+	t.head = n % len(t.buf)
+	t.seals += uint64(len(ts.Buckets))
+	t.open = false
+	if o := ts.Open; o != nil && o.Count > 0 {
+		t.open = true
+		t.openStart = o.Start
+		t.count = o.Count
+		t.min, t.max = o.Min, o.Max
+		t.sum = o.Sum
+		t.lastT, t.lastV = o.LastT, o.LastV
+		t.medians = append(t.medians[:0], o.Medians...)
+	} else {
+		t.count = 0
+		t.sum = 0
+		t.min = math.Inf(1)
+		t.max = math.Inf(-1)
+		t.lastT = math.Inf(-1)
+		t.medians = t.medians[:0]
+	}
+}

@@ -37,6 +37,7 @@ const (
 // history.
 type series struct {
 	mu    sync.RWMutex
+	key   Key // immutable after create; lets interned handles journal
 	buf   []Point
 	head  int // next write position
 	n     int // filled entries, <= len(buf)
@@ -129,6 +130,37 @@ type Store struct {
 
 	index atomic.Pointer[map[Key]*series] // immutable snapshot
 	mu    sync.Mutex                      // serializes snapshot replacement
+
+	// journal, when set, observes every append after it lands in the
+	// ring — the write-ahead-log hook.  It is an atomic pointer so the
+	// hot append path pays one load and no lock; implementations must
+	// not block (the persist WAL hands records to a buffered channel
+	// and drops-with-a-counter when full).
+	journal atomic.Pointer[Journal]
+}
+
+// Journal observes appends for durability.  Record runs on the append
+// path after the point lands in the ring: it receives plain values (no
+// boxing), must be safe for concurrent use, and must not block.
+type Journal interface {
+	Record(k Key, p Point)
+}
+
+// SetJournal installs (or, with nil, removes) the append journal.
+// Install it after restoring state and before serving traffic so
+// replayed points are not re-journaled.
+func (st *Store) SetJournal(j Journal) {
+	if j == nil {
+		st.journal.Store(nil)
+		return
+	}
+	st.journal.Store(&j)
+}
+
+func (st *Store) record(k Key, p Point) {
+	if jp := st.journal.Load(); jp != nil {
+		(*jp).Record(k, p)
+	}
 }
 
 // NewStore creates a store retaining up to capacity raw points per series
@@ -170,7 +202,7 @@ func (st *Store) create(k Key) *series {
 	if s := cur[k]; s != nil { // lost the creation race
 		return s
 	}
-	s := &series{buf: make([]Point, st.capacity)}
+	s := &series{key: k, buf: make([]Point, st.capacity)}
 	for _, t := range st.tiers {
 		s.tiers = append(s.tiers, newTierRing(t))
 	}
@@ -191,20 +223,29 @@ func (st *Store) create(k Key) *series {
 // pins the ring, so hot paths appending the same series repeatedly (a
 // receiver fanning in a pushed batch, a benchmark loop) skip the shard
 // map lookup per point.
-type Series struct{ s *series }
+type Series struct {
+	st *Store
+	s  *series
+}
 
 // Intern resolves (creating if needed) the series for k and returns a
 // reusable handle.  Handles stay valid for the life of the store.
-func (st *Store) Intern(k Key) Series { return Series{s: st.getOrCreate(k)} }
+func (st *Store) Intern(k Key) Series { return Series{st: st, s: st.getOrCreate(k)} }
 
 // Append records one observation through the interned handle.
-func (h Series) Append(p Point) { h.s.append(p) }
+func (h Series) Append(p Point) {
+	h.s.append(p)
+	h.st.record(h.s.key, p)
+}
 
 // Latest returns the newest point of the interned series.
 func (h Series) Latest() (Point, bool) { return h.s.latest() }
 
 // Append records one observation.
-func (st *Store) Append(k Key, p Point) { st.getOrCreate(k).append(p) }
+func (st *Store) Append(k Key, p Point) {
+	st.getOrCreate(k).append(p)
+	st.record(k, p)
+}
 
 // AppendBatch records every sample of a batch.
 func (st *Store) AppendBatch(b Batch) {

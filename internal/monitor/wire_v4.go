@@ -1,0 +1,612 @@
+package monitor
+
+// The v4 wire format: a binary columnar batch encoding, content-negotiated
+// on POST /ingest alongside the v1–v3 JSON-lines schemas via the
+// Content-Type "application/x-likwid-v4".
+//
+// A batch is grouped into per-series column groups — all samples sharing
+// one (collector, source, metric, scope, id, labels) identity — so the
+// per-sample cost is three columns, not a repeated JSON object:
+//
+//	payload := "LKW4" uvarint(groupCount) group*
+//	group   := str(collector) str(source) str(metric) str(scope)
+//	           uvarint(id)
+//	           uvarint(labelCount) (str(name) str(value))*   // sorted by name
+//	           uvarint(sampleCount)
+//	           col(times) col(sentAts) col(values)
+//	str     := uvarint(len) bytes
+//	col     := uvarint(len) bytes
+//
+// The time and sent_at columns are delta-of-delta codes over the int64
+// reinterpretation of each float64's bit pattern (Gorilla-style
+// prefix-coded zigzag fields, two's-complement wrap): lossless for every
+// float64, and because the bit patterns of a regularly-sampled monotone
+// series have near-constant deltas within a binade, the second
+// difference is usually zero — one bit per sample, and sent_at
+// (constant per flush) is one bit always.
+// The value column is the classic Gorilla XOR bitstream (Pelkonen et
+// al., VLDB 2015): 1 bit for a repeated value, a reused
+// leading/trailing-zero window for slowly-moving ones.
+//
+// Decoding mirrors decodeIngest's contract exactly: all-or-nothing
+// validation, Samples with Labels unset, index-aligned wire label maps
+// and sent_at stamps, and the v1 source/metric prefix shim for groups
+// without a source.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// V4ContentType is the Content-Type negotiating the v4 binary columnar
+// batch format on POST /ingest.
+const V4ContentType = "application/x-likwid-v4"
+
+// v4Magic leads every v4 payload; a JSON-lines body posted with the v4
+// Content-Type fails here, loudly.
+const v4Magic = "LKW4"
+
+// v4 sanity caps: group and sample counts are validated against these
+// (and against the remaining payload size) before any allocation, so a
+// four-byte header cannot declare a billion-entry batch.
+const (
+	v4MaxGroups          = 1 << 20
+	v4MaxSamplesPerGroup = 1 << 24
+)
+
+// ---- encoding -------------------------------------------------------------
+
+// v4GroupKey is the series identity a column group shares.  Labels ride
+// as their canonical rendering so map identity does not split groups.
+type v4GroupKey struct {
+	collector string
+	source    string
+	metric    string
+	scope     string
+	id        int
+	labels    string
+}
+
+type v4Group struct {
+	key     v4GroupKey
+	labels  map[string]string
+	times   []float64
+	sentAts []float64
+	values  []float64
+}
+
+// appendString is the length-prefixed string primitive every group
+// header field is built from.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// encodeV4 renders pending wire samples as one v4 payload.  Group order
+// is first-appearance order and sample order within a group is arrival
+// order, so the encoding is deterministic (golden-testable) and the
+// receiver appends in the same order a JSON-lines push would.
+func encodeV4(samples []jsonSample) ([]byte, error) {
+	groups := make([]*v4Group, 0, 8)
+	index := make(map[v4GroupKey]*v4Group, 8)
+	for i, js := range samples {
+		if js.ID < 0 {
+			return nil, fmt.Errorf("monitor: v4 encode: sample %d: negative id %d", i, js.ID)
+		}
+		k := v4GroupKey{
+			collector: js.Collector,
+			source:    js.Source,
+			metric:    js.Metric,
+			scope:     js.Scope,
+			id:        js.ID,
+			labels:    FormatLabelMap(js.Labels),
+		}
+		g := index[k]
+		if g == nil {
+			g = &v4Group{key: k, labels: js.Labels}
+			index[k] = g
+			groups = append(groups, g)
+		}
+		g.times = append(g.times, js.Time)
+		g.sentAts = append(g.sentAts, js.SentAt)
+		g.values = append(g.values, js.Value)
+	}
+
+	out := make([]byte, 0, 64+len(samples)*4)
+	out = append(out, v4Magic...)
+	out = binary.AppendUvarint(out, uint64(len(groups)))
+	for _, g := range groups {
+		out = appendString(out, g.key.collector)
+		out = appendString(out, g.key.source)
+		out = appendString(out, g.key.metric)
+		out = appendString(out, g.key.scope)
+		out = binary.AppendUvarint(out, uint64(g.key.id))
+		names := make([]string, 0, len(g.labels))
+		for name := range g.labels {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out = binary.AppendUvarint(out, uint64(len(names)))
+		for _, name := range names {
+			out = appendString(out, name)
+			out = appendString(out, g.labels[name])
+		}
+		out = binary.AppendUvarint(out, uint64(len(g.times)))
+		out = appendColumn(out, encodeDeltaColumn(g.times))
+		out = appendColumn(out, encodeDeltaColumn(g.sentAts))
+		out = appendColumn(out, encodeXORColumn(g.values))
+	}
+	return out, nil
+}
+
+func appendColumn(dst, col []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(col)))
+	return append(dst, col...)
+}
+
+// encodeDeltaColumn delta-of-delta codes a float64 column over the int64
+// reinterpretation of each value's bit pattern.  Wrapping int64
+// arithmetic makes the round trip exact for every input, including NaN
+// and infinities (the ingest validator rejects those later, not the
+// codec).  The first entry is 64 raw bits; every later entry is the
+// second difference under a Gorilla-style prefix code, so a regular
+// series (second difference zero) costs one bit per sample:
+//
+//	'0'                 dod == 0
+//	'10'    + 7 bits    zigzag(dod) < 2^7
+//	'110'   + 12 bits   zigzag(dod) < 2^12
+//	'1110'  + 20 bits   zigzag(dod) < 2^20
+//	'11110' + 32 bits   zigzag(dod) < 2^32
+//	'11111' + 64 bits   everything else
+func encodeDeltaColumn(vals []float64) []byte {
+	var w bitWriter
+	var prev, prevDelta int64
+	for i, v := range vals {
+		b := int64(math.Float64bits(v))
+		if i == 0 {
+			w.writeBits(uint64(b), 64)
+			prev = b
+			continue
+		}
+		delta := b - prev
+		prev = b
+		dod := delta - prevDelta
+		prevDelta = delta
+		z := uint64(dod)<<1 ^ uint64(dod>>63) // zigzag
+		switch {
+		case z == 0:
+			w.writeBit(0)
+		case z < 1<<7:
+			w.writeBits(0b10, 2)
+			w.writeBits(z, 7)
+		case z < 1<<12:
+			w.writeBits(0b110, 3)
+			w.writeBits(z, 12)
+		case z < 1<<20:
+			w.writeBits(0b1110, 4)
+			w.writeBits(z, 20)
+		case z < 1<<32:
+			w.writeBits(0b11110, 5)
+			w.writeBits(z, 32)
+		default:
+			w.writeBits(0b11111, 5)
+			w.writeBits(z, 64)
+		}
+	}
+	return w.bytes()
+}
+
+func decodeDeltaColumn(col []byte, n int) ([]float64, error) {
+	out := make([]float64, 0, min(n, 4096))
+	r := bitReader{b: col}
+	var prev, prevDelta int64
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			v, err := r.readBits(64)
+			if err != nil {
+				return nil, fmt.Errorf("truncated delta column at entry 0")
+			}
+			prev = int64(v)
+			out = append(out, math.Float64frombits(v))
+			continue
+		}
+		var nbits uint
+		var prefix int
+		for prefix = 0; prefix < 5; prefix++ {
+			bit, err := r.readBit()
+			if err != nil {
+				return nil, fmt.Errorf("truncated delta column at entry %d", i)
+			}
+			if bit == 0 {
+				break
+			}
+		}
+		switch prefix {
+		case 0:
+			nbits = 0
+		case 1:
+			nbits = 7
+		case 2:
+			nbits = 12
+		case 3:
+			nbits = 20
+		case 4:
+			nbits = 32
+		default:
+			nbits = 64
+		}
+		var dod int64
+		if nbits > 0 {
+			z, err := r.readBits(nbits)
+			if err != nil {
+				return nil, fmt.Errorf("truncated delta column at entry %d", i)
+			}
+			dod = int64(z>>1) ^ -int64(z&1) // unzigzag
+		}
+		prevDelta += dod
+		prev += prevDelta
+		out = append(out, math.Float64frombits(uint64(prev)))
+	}
+	if rest := uint(len(col))*8 - r.pos; rest >= 8 {
+		return nil, fmt.Errorf("%d trailing bits after delta column", rest)
+	}
+	return out, nil
+}
+
+// ---- Gorilla XOR value column ---------------------------------------------
+
+type bitWriter struct {
+	b   []byte
+	cur byte
+	n   uint // bits used in cur
+}
+
+func (w *bitWriter) writeBit(bit uint64) {
+	w.cur |= byte(bit&1) << (7 - w.n)
+	w.n++
+	if w.n == 8 {
+		w.b = append(w.b, w.cur)
+		w.cur, w.n = 0, 0
+	}
+}
+
+func (w *bitWriter) writeBits(v uint64, nbits uint) {
+	for i := nbits; i > 0; i-- {
+		w.writeBit(v >> (i - 1))
+	}
+}
+
+func (w *bitWriter) bytes() []byte {
+	if w.n > 0 {
+		w.b = append(w.b, w.cur)
+		w.cur, w.n = 0, 0
+	}
+	return w.b
+}
+
+type bitReader struct {
+	b   []byte
+	pos uint // bit cursor
+}
+
+func (r *bitReader) readBit() (uint64, error) {
+	if r.pos >= uint(len(r.b))*8 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	bit := uint64(r.b[r.pos/8]>>(7-r.pos%8)) & 1
+	r.pos++
+	return bit, nil
+}
+
+func (r *bitReader) readBits(nbits uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < nbits; i++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | bit
+	}
+	return v, nil
+}
+
+// encodeXORColumn is the Gorilla value codec: the first value verbatim
+// (64 bits); then per value either a 0 bit (unchanged), or 1+0 and the
+// XOR's meaningful bits inside the previous leading/trailing-zero
+// window, or 1+1 and an explicit 5-bit leading-zero count, 6-bit
+// significant-bit count minus one, and the bits themselves.
+func encodeXORColumn(vals []float64) []byte {
+	var w bitWriter
+	var prev uint64
+	prevLead, prevSig := uint(0), uint(0) // prevSig==0: no window yet
+	for i, v := range vals {
+		b := math.Float64bits(v)
+		if i == 0 {
+			w.writeBits(b, 64)
+			prev = b
+			continue
+		}
+		xor := b ^ prev
+		prev = b
+		if xor == 0 {
+			w.writeBit(0)
+			continue
+		}
+		w.writeBit(1)
+		lead := uint(bits.LeadingZeros64(xor))
+		if lead > 31 {
+			lead = 31 // 5-bit field; more zeros just ride inside the window
+		}
+		trail := uint(bits.TrailingZeros64(xor))
+		sig := 64 - lead - trail
+		if prevSig > 0 && lead >= prevLead && 64-prevLead-prevSig <= trail {
+			// The XOR fits the previous window: reuse it.
+			w.writeBit(0)
+			w.writeBits(xor>>(64-prevLead-prevSig), prevSig)
+			continue
+		}
+		w.writeBit(1)
+		w.writeBits(uint64(lead), 5)
+		w.writeBits(uint64(sig-1), 6)
+		w.writeBits(xor>>trail, sig)
+		prevLead, prevSig = lead, sig
+	}
+	return w.bytes()
+}
+
+func decodeXORColumn(col []byte, n int) ([]float64, error) {
+	out := make([]float64, 0, min(n, 4096))
+	r := bitReader{b: col}
+	var prev uint64
+	prevLead, prevSig := uint(0), uint(0)
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			v, err := r.readBits(64)
+			if err != nil {
+				return nil, fmt.Errorf("truncated value column at entry 0")
+			}
+			prev = v
+			out = append(out, math.Float64frombits(v))
+			continue
+		}
+		changed, err := r.readBit()
+		if err != nil {
+			return nil, fmt.Errorf("truncated value column at entry %d", i)
+		}
+		if changed == 0 {
+			out = append(out, math.Float64frombits(prev))
+			continue
+		}
+		newWindow, err := r.readBit()
+		if err != nil {
+			return nil, fmt.Errorf("truncated value column at entry %d", i)
+		}
+		if newWindow == 1 {
+			lead, err := r.readBits(5)
+			if err != nil {
+				return nil, fmt.Errorf("truncated value column at entry %d", i)
+			}
+			sigM1, err := r.readBits(6)
+			if err != nil {
+				return nil, fmt.Errorf("truncated value column at entry %d", i)
+			}
+			prevLead, prevSig = uint(lead), uint(sigM1)+1
+			if prevLead+prevSig > 64 {
+				return nil, fmt.Errorf("value column entry %d: window %d+%d exceeds 64 bits", i, prevLead, prevSig)
+			}
+		} else if prevSig == 0 {
+			return nil, fmt.Errorf("value column entry %d reuses a window before one was set", i)
+		}
+		mbits, err := r.readBits(prevSig)
+		if err != nil {
+			return nil, fmt.Errorf("truncated value column at entry %d", i)
+		}
+		prev ^= mbits << (64 - prevLead - prevSig)
+		out = append(out, math.Float64frombits(prev))
+	}
+	// Only the final byte's padding may remain.
+	if rest := uint(len(col))*8 - r.pos; rest >= 8 {
+		return nil, fmt.Errorf("%d trailing bits after value column", rest)
+	}
+	return out, nil
+}
+
+// ---- decoding -------------------------------------------------------------
+
+// v4Decoder walks a payload slice with positioned errors.
+type v4Decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *v4Decoder) uvarint(what string) (uint64, error) {
+	v, sz := binary.Uvarint(d.b[d.off:])
+	if sz <= 0 {
+		return 0, fmt.Errorf("truncated %s at offset %d", what, d.off)
+	}
+	d.off += sz
+	return v, nil
+}
+
+func (d *v4Decoder) str(what string) (string, error) {
+	n, err := d.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.b)-d.off) {
+		return "", fmt.Errorf("%s of %d bytes overruns payload at offset %d", what, n, d.off)
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *v4Decoder) column(what string) ([]byte, error) {
+	n, err := d.uvarint(what + " column length")
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b)-d.off) {
+		return nil, fmt.Errorf("%s column of %d bytes overruns payload at offset %d", what, n, d.off)
+	}
+	col := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return col, nil
+}
+
+// decodeV4 parses and validates one v4 binary ingest payload with
+// decodeIngest's exact contract: all-or-nothing (any malformed group
+// rejects the whole batch), Samples with Labels unset, the validated
+// wire label maps and sent_at stamps index-aligned alongside, and the v1
+// prefix shim applied to sourceless groups.  The reader is expected to
+// be size-bounded by the caller (MaxBytesReader / limitedReader).
+func decodeV4(r io.Reader) ([]Sample, []map[string]string, []float64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(data) < len(v4Magic) || string(data[:len(v4Magic)]) != v4Magic {
+		return nil, nil, nil, fmt.Errorf("not a v4 payload (missing %q magic)", v4Magic)
+	}
+	d := &v4Decoder{b: data, off: len(v4Magic)}
+	groupCount, err := d.uvarint("group count")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if groupCount > v4MaxGroups || groupCount > uint64(len(data)) {
+		return nil, nil, nil, fmt.Errorf("implausible group count %d", groupCount)
+	}
+	var (
+		out       []Sample
+		labelMaps []map[string]string
+		sentAts   []float64
+	)
+	for gi := uint64(0); gi < groupCount; gi++ {
+		// Collector is identity metadata on the wire (like v1–v3's
+		// "collector" field); the store keys on source/metric/scope/id/
+		// labels, so it is decoded and dropped.
+		if _, err := d.str("collector"); err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+		}
+		source, err := d.str("source")
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+		}
+		metric, err := d.str("metric")
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+		}
+		scopeName, err := d.str("scope")
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+		}
+		id, err := d.uvarint("id")
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+		}
+		labelCount, err := d.uvarint("label count")
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+		}
+		if labelCount > uint64(len(data)) {
+			return nil, nil, nil, fmt.Errorf("group %d: implausible label count %d", gi, labelCount)
+		}
+		var labels map[string]string
+		for li := uint64(0); li < labelCount; li++ {
+			name, err := d.str("label name")
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+			}
+			value, err := d.str("label value")
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+			}
+			if labels == nil {
+				labels = make(map[string]string, labelCount)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, nil, nil, fmt.Errorf("group %d: duplicate label %q", gi, name)
+			}
+			labels[name] = value
+		}
+		sampleCount, err := d.uvarint("sample count")
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+		}
+		if sampleCount > v4MaxSamplesPerGroup {
+			return nil, nil, nil, fmt.Errorf("group %d: implausible sample count %d", gi, sampleCount)
+		}
+		timeCol, err := d.column("time")
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+		}
+		sentAtCol, err := d.column("sent_at")
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+		}
+		valueCol, err := d.column("value")
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+		}
+		times, err := decodeDeltaColumn(timeCol, int(sampleCount))
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: time: %w", gi, err)
+		}
+		groupSentAts, err := decodeDeltaColumn(sentAtCol, int(sampleCount))
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: sent_at: %w", gi, err)
+		}
+		values, err := decodeXORColumn(valueCol, int(sampleCount))
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: value: %w", gi, err)
+		}
+
+		// Per-record validation, mirroring decodeIngest rule for rule.
+		scope, err := ParseScope(scopeName)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+		}
+		if strings.TrimSpace(metric) == "" {
+			return nil, nil, nil, fmt.Errorf("group %d: empty metric", gi)
+		}
+		if id > math.MaxInt32 {
+			return nil, nil, nil, fmt.Errorf("group %d: implausible id %d", gi, id)
+		}
+		if err := CheckLabelMap(labels); err != nil {
+			return nil, nil, nil, fmt.Errorf("group %d: %w", gi, err)
+		}
+		sampleSource, sampleMetric := source, metric
+		if sampleSource == "" {
+			// The same v1 compat shim decodeIngest applies.
+			sampleSource, sampleMetric, _ = SplitSourceMetric(metric)
+		}
+		for si := 0; si < int(sampleCount); si++ {
+			t, v := times[si], values[si]
+			if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+				return nil, nil, nil, fmt.Errorf("group %d sample %d: bad time %v", gi, si, t)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, nil, fmt.Errorf("group %d sample %d: bad value %v", gi, si, v)
+			}
+			out = append(out, Sample{
+				Source: sampleSource,
+				Metric: sampleMetric,
+				Scope:  scope,
+				ID:     int(id),
+				Time:   t,
+				Value:  v,
+			})
+			labelMaps = append(labelMaps, labels)
+			sentAts = append(sentAts, groupSentAts[si])
+		}
+	}
+	if d.off != len(data) {
+		return nil, nil, nil, fmt.Errorf("%d trailing bytes after last group", len(data)-d.off)
+	}
+	return out, labelMaps, sentAts, nil
+}
