@@ -12,6 +12,7 @@ import (
 
 	"likwid"
 	"likwid/internal/alert"
+	"likwid/internal/derive"
 	"likwid/internal/monitor"
 	"likwid/internal/pin"
 )
@@ -21,27 +22,31 @@ import (
 // (architecture, event group, CPU list, sink/load/tier spec shapes), so
 // a typo fails fast instead of surfacing after collectors are up.
 type agentConfig struct {
-	arch       string
-	group      string
-	cpus       []int // nil = all
-	interval   time.Duration
-	duration   time.Duration
-	collectors []string // nil = all registered
-	loadSpec   string
-	buffer     int
-	retain     int
-	tiers      []monitor.Tier
-	raw        bool
-	sinks      []string
-	receiver   string         // listen address; receiver mode when non-empty
-	labels     monitor.Labels // -labels: agent stamp / receiver ingest defaults
-	adaptive   time.Duration
-	rules      []*alert.Rule // parsed -rules file; nil = no alerting
-	rulesFile  string
-	notifiers  []string   // -notify specs; default stdout when rules are set
-	logLevel   slog.Level // -log-level, parsed
-	logJSON    bool       // -log-format json
-	pprof      bool       // -pprof: mount /debug/pprof/ on http sinks
+	arch         string
+	group        string
+	cpus         []int // nil = all
+	interval     time.Duration
+	duration     time.Duration
+	collectors   []string // nil = all registered
+	loadSpec     string
+	buffer       int
+	retain       int
+	tiers        []monitor.Tier
+	raw          bool
+	sinks        []string
+	receiver     string         // listen address; receiver mode when non-empty
+	labels       monitor.Labels // -labels: agent stamp / receiver ingest defaults
+	adaptive     time.Duration
+	rules        []*alert.Rule // parsed -rules file; nil = no alerting
+	rulesFile    string
+	groupWait    time.Duration         // -group-wait: alert grouping window; 0 = off
+	deriveRules  []*derive.Rule        // parsed -derive file; nil with no routes = off
+	deriveRoutes []monitor.IngestRoute // ingest routes of the -derive file
+	deriveFile   string
+	notifiers    []string   // -notify specs; default stdout when rules are set
+	logLevel     slog.Level // -log-level, parsed
+	logJSON      bool       // -log-format json
+	pprof        bool       // -pprof: mount /debug/pprof/ on http sinks
 
 	walDir           string        // -wal: durability state directory; empty = off
 	snapshotInterval time.Duration // -snapshot-interval: ring/tier snapshot period
@@ -80,6 +85,8 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 	labelSpec := fs.String("labels", "", "label set stamped onto every sample, e.g. job=lbm,cluster=emmy (receiver mode: defaults merged under each ingested sample's own labels)")
 	adaptive := fs.Duration("adaptive", 0, "stretch unchanged collectors' intervals up to this cap (0 = off)")
 	rulesFile := fs.String("rules", "", "alerting rule file (one rule per line; see internal/alert)")
+	groupWait := fs.Duration("group-wait", 0, "coalesce alert events of one rule and state arriving within this window into a single grouped notification (0 = off; needs -rules)")
+	deriveFile := fs.String("derive", "", "recorded-rule file: derived-series rules and ingest routes (see internal/derive)")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
 	logFormat := fs.String("log-format", "text", "log encoding: text | json")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on every http sink and receiver")
@@ -109,20 +116,22 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 	}
 
 	cfg := &agentConfig{
-		arch:      *arch,
-		group:     *group,
-		interval:  *interval,
-		duration:  *duration,
-		loadSpec:  *loadSpec,
-		buffer:    *buffer,
-		retain:    *retain,
-		raw:       *raw,
-		sinks:     sinks,
-		receiver:  *receiver,
-		adaptive:  *adaptive,
-		rulesFile: *rulesFile,
-		notifiers: notifiers,
-		pprof:     *pprofFlag,
+		arch:       *arch,
+		group:      *group,
+		interval:   *interval,
+		duration:   *duration,
+		loadSpec:   *loadSpec,
+		buffer:     *buffer,
+		retain:     *retain,
+		raw:        *raw,
+		sinks:      sinks,
+		receiver:   *receiver,
+		adaptive:   *adaptive,
+		rulesFile:  *rulesFile,
+		groupWait:  *groupWait,
+		deriveFile: *deriveFile,
+		notifiers:  notifiers,
+		pprof:      *pprofFlag,
 
 		walDir:           *walDir,
 		snapshotInterval: *snapInterval,
@@ -168,6 +177,18 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 		}
 		if len(cfg.rules) == 0 {
 			return nil, fmt.Errorf("rules file %s defines no rules", cfg.rulesFile)
+		}
+	}
+	if cfg.deriveFile != "" {
+		src, derr := os.ReadFile(cfg.deriveFile)
+		if derr != nil {
+			return nil, fmt.Errorf("derive file: %w", derr)
+		}
+		if cfg.deriveRules, cfg.deriveRoutes, err = derive.ParseFile(string(src)); err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.deriveFile, err)
+		}
+		if len(cfg.deriveRules) == 0 && len(cfg.deriveRoutes) == 0 {
+			return nil, fmt.Errorf("derive file %s defines no rules or routes", cfg.deriveFile)
 		}
 	}
 	if *cpuList != "" {
@@ -218,6 +239,12 @@ func (c *agentConfig) validate() error {
 	}
 	if len(c.notifiers) > 0 && c.rulesFile == "" {
 		return fmt.Errorf("-notify needs -rules (no rules, nothing to notify about)")
+	}
+	if c.groupWait < 0 {
+		return fmt.Errorf("group wait must not be negative, got %v", c.groupWait)
+	}
+	if c.groupWait > 0 && c.rulesFile == "" {
+		return fmt.Errorf("-group-wait needs -rules (no alerts, nothing to group)")
 	}
 	for _, spec := range c.notifiers {
 		if err := alert.ValidateNotifierSpec(spec); err != nil {
@@ -270,6 +297,26 @@ func reloadRules(engine *alert.Engine, path string) (int, error) {
 	}
 	engine.Reload(rules)
 	return len(rules), nil
+}
+
+// reloadDerive re-reads the -derive file, atomically swaps the engine's
+// rule set, and returns the file's ingest routes for the caller to
+// install on its HTTP sinks — the SIGHUP / POST /derive/reload path.
+// Any error leaves the running rules and routes untouched.
+func reloadDerive(engine *derive.Engine, path string) (rules int, routes []monitor.IngestRoute, err error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("derive file: %w", err)
+	}
+	parsed, routes, err := derive.ParseFile(string(src))
+	if err != nil {
+		return 0, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(parsed) == 0 && len(routes) == 0 {
+		return 0, nil, fmt.Errorf("derive file %s defines no rules or routes", path)
+	}
+	engine.Reload(parsed)
+	return len(parsed), routes, nil
 }
 
 // parseLoadSpec validates a -load specification and returns its kind

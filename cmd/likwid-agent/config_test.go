@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"likwid/internal/alert"
+	"likwid/internal/derive"
 	"likwid/internal/monitor"
 )
 
@@ -351,5 +352,105 @@ func TestReloadRulesAtomic(t *testing.T) {
 	}
 	if _, err := reloadRules(engine, filepath.Join(t.TempDir(), "missing.rules")); err == nil {
 		t.Error("missing file: reloadRules succeeded, want rejection")
+	}
+}
+
+func TestParseAgentFlagsDerive(t *testing.T) {
+	good := writeRules(t, "cluster_flops = sum(flops_dp) by (source) over 30s\nroute drop */noise\n")
+	cfg, err := parseAgentFlags([]string{"-derive", good}, io.Discard)
+	if err != nil {
+		t.Fatalf("good derive file rejected: %v", err)
+	}
+	if len(cfg.deriveRules) != 1 || cfg.deriveRules[0].Name != "cluster_flops" {
+		t.Errorf("derive rules = %+v, want cluster_flops", cfg.deriveRules)
+	}
+	if len(cfg.deriveRoutes) != 1 || cfg.deriveRoutes[0].Action != monitor.RouteDrop {
+		t.Errorf("derive routes = %+v, want one drop", cfg.deriveRoutes)
+	}
+
+	// Receiver mode takes a derive file too (that is its main home).
+	if _, err := parseAgentFlags([]string{"-receiver", ":0", "-derive", good}, io.Discard); err != nil {
+		t.Fatalf("receiver with derive rejected: %v", err)
+	}
+
+	// A parse error fails fast with its file position.
+	bad := writeRules(t, "ok = sum(bw) over 30s\nbroken = frob(bw) over 30s\n")
+	if _, err := parseAgentFlags([]string{"-derive", bad}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "line 2:") {
+		t.Errorf("bad derive error = %v, want a line 2 position", err)
+	}
+
+	// An empty derive file is a configuration error, not a silent no-op.
+	empty := writeRules(t, "# nothing\n")
+	if _, err := parseAgentFlags([]string{"-derive", empty}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "no rules or routes") {
+		t.Errorf("empty derive error = %v, want 'no rules or routes'", err)
+	}
+}
+
+func TestParseAgentFlagsGroupWait(t *testing.T) {
+	rules := writeRules(t, "low: avg(bw, node, 10s) < 1 for 0s\n")
+	cfg, err := parseAgentFlags([]string{"-rules", rules, "-group-wait", "30s"}, io.Discard)
+	if err != nil {
+		t.Fatalf("group-wait with rules rejected: %v", err)
+	}
+	if cfg.groupWait != 30*time.Second {
+		t.Errorf("groupWait = %v, want 30s", cfg.groupWait)
+	}
+	// Grouping without alerting is a configuration error.
+	if _, err := parseAgentFlags([]string{"-group-wait", "30s"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-group-wait needs -rules") {
+		t.Errorf("group-wait without rules error = %v, want '-group-wait needs -rules'", err)
+	}
+	if _, err := parseAgentFlags([]string{"-rules", rules, "-group-wait", "-5s"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "not be negative") {
+		t.Errorf("negative group-wait error = %v, want 'not be negative'", err)
+	}
+}
+
+// TestReloadDeriveAtomic pins the derive hot-reload contract, the twin
+// of TestReloadRulesAtomic: a good edit swaps rules and returns the new
+// routes, any bad edit is rejected whole.
+func TestReloadDeriveAtomic(t *testing.T) {
+	path := writeRules(t, "old = sum(bw) over 30s\n")
+	rules, routes, err := derive.ParseFile("old = sum(bw) over 30s")
+	if err != nil || len(routes) != 0 {
+		t.Fatal(err)
+	}
+	engine, err := derive.NewEngine(derive.Options{Store: monitor.NewStore(8)}, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Good edit: rules swapped, routes returned.
+	next := "new_a = sum(bw) over 30s\nroute rename */BW -> bw\n"
+	if err := os.WriteFile(path, []byte(next), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, newRoutes, err := reloadDerive(engine, path)
+	if err != nil || n != 1 || len(newRoutes) != 1 {
+		t.Fatalf("reloadDerive = (%d, %v, %v), want (1, one route, nil)", n, newRoutes, err)
+	}
+	if got := engine.Rules(); len(got) != 1 || got[0].Name != "new_a" {
+		t.Fatalf("rules after reload = %+v, want new_a", got)
+	}
+
+	// Bad edits: rejected atomically.
+	for name, content := range map[string]string{
+		"parse error": "broken = frob(bw) over 30s\n",
+		"empty file":  "# nothing\n",
+	} {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := reloadDerive(engine, path); err == nil {
+			t.Errorf("%s: reloadDerive succeeded, want rejection", name)
+		}
+		if got := engine.Rules(); len(got) != 1 || got[0].Name != "new_a" {
+			t.Errorf("%s: rules changed to %+v, want the old set kept", name, got)
+		}
+	}
+	if _, _, err := reloadDerive(engine, filepath.Join(t.TempDir(), "missing.rules")); err == nil {
+		t.Error("missing file: reloadDerive succeeded, want rejection")
 	}
 }

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"likwid/internal/alert"
+	"likwid/internal/derive"
+)
+
+// The walkthrough ships ready-made rule files; they must keep parsing
+// as the DSLs evolve.
+func TestExampleRuleFilesParse(t *testing.T) {
+	b, err := os.ReadFile("../../examples/node-monitoring/alerts.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := alert.ParseRules(string(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("example alerts.rules parsed to no rules")
+	}
+
+	b, err = os.ReadFile("../../examples/node-monitoring/derive.rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drules, routes, err := derive.ParseFile(string(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drules) == 0 {
+		t.Fatal("example derive.rules parsed to no rules")
+	}
+	// The receiver-only forms stay commented in the walkthrough file.
+	if len(routes) != 0 {
+		t.Fatalf("example derive.rules has %d live routes, want commented examples only", len(routes))
+	}
+}

@@ -50,6 +50,20 @@
 //	               same over HTTP
 //	-notify SPEC   repeatable alert notifier: stdout | jsonl:PATH |
 //	               webhook:URL (default stdout when -rules is set)
+//	-group-wait D  coalesce alert events of one rule and state arriving
+//	               within D into a single grouped notification carrying
+//	               every instance — one webhook POST per incident, not
+//	               one per node (needs -rules; 0 = off)
+//	-derive FILE   recorded rules and ingest routes.  Rules like
+//	               "cluster_flops = sum(flops_dp) by (source) over 30s"
+//	               evaluate windowed aggregations over matching series
+//	               and append the result back into the store as
+//	               first-class series (tiers, /query, /metrics, WAL,
+//	               push wires and the alert DSL all see them); routes
+//	               ("route drop|rename|relabel SELECTOR ...") retag
+//	               pushed samples before they are interned.  SIGHUP and
+//	               POST /derive/reload re-read the file atomically;
+//	               GET /derive shows rule and route bookkeeping
 //	-log-level L   stderr log verbosity: debug | info | warn | error
 //	-log-format F  stderr log encoding: text | json (structured log/slog
 //	               either way)
@@ -94,6 +108,7 @@ import (
 	"time"
 
 	"likwid/internal/alert"
+	"likwid/internal/derive"
 	"likwid/internal/machine"
 	"likwid/internal/monitor"
 	"likwid/internal/monitor/persist"
@@ -230,6 +245,15 @@ func runReceiver(ctx context.Context, cfg *agentConfig, log *slog.Logger) error 
 	selfDispatch := monitor.NewDispatcher(8, h)
 	selfDispatch.SetLogger(log)
 	selfDispatch.Instrument(reg)
+	// Derived series ride the same dispatcher, so a receiver's roll-ups
+	// show on its /metrics exposition like its self-telemetry does.
+	deriving, err := startDeriving(ctx, cfg, store, []*monitor.HTTPSink{h}, selfDispatch, reg, log)
+	if err != nil {
+		alerting.stop(log)
+		_ = selfDispatch.Close()
+		closePersist(pm, log)
+		return err
+	}
 	selfSched := monitor.NewScheduler(monitor.SchedulerOptions{
 		Store:      store,
 		Dispatcher: selfDispatch,
@@ -247,6 +271,7 @@ func runReceiver(ctx context.Context, cfg *agentConfig, log *slog.Logger) error 
 		"endpoints", "/ingest /metrics /query /status /healthz /readyz", "pprof", cfg.pprof)
 	<-ctx.Done()
 	<-schedDone
+	deriving.stop(log)         // evaluation stops before its dispatcher closes
 	err = selfDispatch.Close() // closes the HTTP sink with it
 	alerting.stop(log)
 	// Appends have stopped (scheduler drained, listener down): take the
@@ -257,20 +282,25 @@ func runReceiver(ctx context.Context, cfg *agentConfig, log *slog.Logger) error 
 
 // alerting bundles a running alert engine with its teardown.
 type alerting struct {
-	engine *alert.Engine
-	fanout *alert.Fanout
-	done   chan struct{}
-	cancel context.CancelFunc
+	engine  *alert.Engine
+	fanout  *alert.Fanout
+	grouper *alert.Grouper // nil without -group-wait
+	done    chan struct{}
+	cancel  context.CancelFunc
 }
 
-// stop cancels the engine, waits for its rule goroutines, drains the
-// notifier queue, and logs the delivery accounting.
+// stop cancels the engine, waits for its rule goroutines, flushes any
+// open grouping windows, drains the notifier queue, and logs the
+// delivery accounting.
 func (a *alerting) stop(log *slog.Logger) {
 	if a.engine == nil {
 		return
 	}
 	a.cancel()
 	<-a.done
+	if a.grouper != nil {
+		_ = a.grouper.Close()
+	}
 	if err := a.fanout.Close(); err != nil {
 		log.Warn("notifier close failed", "err", err)
 	}
@@ -308,6 +338,14 @@ func startAlerting(ctx context.Context, cfg *agentConfig, store *monitor.Store, 
 	fanout := alert.NewFanout(cfg.buffer, notifiers...)
 	fanout.SetLogger(log)
 	fanout.Instrument(reg)
+	// -group-wait puts a coalescing window in front of the fanout: N
+	// instances of one rule tripping together become one notification.
+	var grouper *alert.Grouper
+	var notify alert.Publisher
+	if cfg.groupWait > 0 {
+		grouper = alert.NewGrouper(fanout, cfg.groupWait, nil)
+		notify = grouper
+	}
 	// "Notifiers up" readiness: not ready once the fanout is closed.
 	for _, h := range https {
 		h.AddReadyCheck("notifiers", func() error {
@@ -333,6 +371,7 @@ func startAlerting(ctx context.Context, cfg *agentConfig, store *monitor.Store, 
 		Store:        store,
 		DefaultEvery: defaultEvery,
 		Fanout:       fanout,
+		Notify:       notify,
 		Telemetry:    reg,
 		// A fleet agent that stops pushing must not keep its alerts
 		// firing forever off the frozen last window.  The horizon stays
@@ -401,8 +440,135 @@ func startAlerting(ctx context.Context, cfg *agentConfig, store *monitor.Store, 
 			}
 		}
 	}()
-	log.Info("alerting started", "rules", len(cfg.rules), "file", cfg.rulesFile)
-	return &alerting{engine: engine, fanout: fanout, done: done, cancel: cancel}, nil
+	log.Info("alerting started", "rules", len(cfg.rules), "file", cfg.rulesFile, "group_wait", cfg.groupWait)
+	return &alerting{engine: engine, fanout: fanout, grouper: grouper, done: done, cancel: cancel}, nil
+}
+
+// deriving bundles a running derive engine with its teardown.
+type deriving struct {
+	engine *derive.Engine
+	done   chan struct{}
+	cancel context.CancelFunc
+}
+
+// stop cancels the engine and waits for its rule goroutines; evaluation
+// must cease before the dispatcher it publishes to closes.
+func (d *deriving) stop(log *slog.Logger) {
+	if d.engine == nil {
+		return
+	}
+	d.cancel()
+	<-d.done
+	for _, rs := range d.engine.RuleStatuses() {
+		if rs.LastError != "" {
+			log.Warn("derive rule finished with error", "rule", rs.Name, "err", rs.LastError)
+		}
+	}
+}
+
+// startDeriving builds the recorded-rule engine and ingest routes from
+// -derive and starts the evaluation loop.  Routes install on every HTTP
+// sink's /ingest; emitted samples are appended to the store and also
+// published to dispatch (when non-nil) as "derive/<rule>" batches so
+// push wires and /metrics carry derived series like collected ones.  A
+// no-op (nil engine) without -derive.
+func startDeriving(ctx context.Context, cfg *agentConfig, store *monitor.Store, https []*monitor.HTTPSink, dispatch *monitor.Dispatcher, reg *telemetry.Registry, log *slog.Logger) (*deriving, error) {
+	if cfg.deriveFile == "" {
+		return &deriving{}, nil
+	}
+	installRoutes := func(routes []monitor.IngestRoute) {
+		router := monitor.NewRouter(routes)
+		router.Instrument(reg)
+		for _, h := range https {
+			h.SetRouter(router)
+		}
+	}
+	installRoutes(cfg.deriveRoutes)
+	// Agent mode tracks the sampling cadence; receiver mode falls back
+	// to the engine default (10 s), exactly like the alert engine.
+	defaultEvery := cfg.interval
+	if cfg.receiver != "" {
+		defaultEvery = 0
+	}
+	var errMu sync.Mutex
+	lastErr := map[string]string{}
+	engine, err := derive.NewEngine(derive.Options{
+		Store:        store,
+		DefaultEvery: defaultEvery,
+		Dispatcher:   dispatch,
+		Telemetry:    reg,
+		OnError: func(rule string, err error) {
+			errMu.Lock()
+			repeat := lastErr[rule] == err.Error()
+			lastErr[rule] = err.Error()
+			errMu.Unlock()
+			if !repeat {
+				log.Warn("derive rule evaluation failed", "rule", rule, "err", err)
+			}
+		},
+	}, cfg.deriveRules)
+	if err != nil {
+		return nil, err
+	}
+	reload := func(trigger string) (int, error) {
+		n, routes, rerr := reloadDerive(engine, cfg.deriveFile)
+		if rerr != nil {
+			log.Warn("derive reload rejected, old rules and routes stay live", "trigger", trigger, "err", rerr)
+			return 0, rerr
+		}
+		installRoutes(routes)
+		log.Info("derive reloaded", "trigger", trigger, "rules", n, "routes", len(routes), "file", cfg.deriveFile)
+		return n, nil
+	}
+	routeStatuses := func() []monitor.RouteStatus {
+		if len(https) == 0 {
+			return nil
+		}
+		if r := https[0].Router(); r != nil {
+			return r.Statuses()
+		}
+		return nil
+	}
+	for _, h := range https {
+		h.Handle("/derive", derive.StatusHandler(engine, routeStatuses))
+		h.Handle("/derive/reload", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			n, rerr := reload("POST /derive/reload")
+			if rerr != nil {
+				http.Error(w, "derive reload rejected: "+rerr.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"rules\":%d}\n", n)
+		}))
+	}
+	ectx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		engine.Run(ectx)
+		close(done)
+	}()
+	// SIGHUP hot-reloads the derive file; the kernel delivers the signal
+	// to every registered channel, so -rules and -derive both react.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		defer signal.Stop(hup)
+		for {
+			select {
+			case <-ectx.Done():
+				return
+			case <-hup:
+				_, _ = reload("SIGHUP")
+			}
+		}
+	}()
+	log.Info("derive started",
+		"rules", len(cfg.deriveRules), "routes", len(cfg.deriveRoutes), "file", cfg.deriveFile)
+	return &deriving{engine: engine, done: done, cancel: cancel}, nil
 }
 
 // staleHorizon is the alert staleness cut-off: 5 minutes, pushed out to
@@ -489,6 +655,10 @@ func runAgent(ctx context.Context, cfg *agentConfig, log *slog.Logger) error {
 	if err != nil {
 		return err
 	}
+	deriving, err := startDeriving(ctx, cfg, store, https, dispatcher, reg, log)
+	if err != nil {
+		return err
+	}
 
 	sched := monitor.NewScheduler(monitor.SchedulerOptions{
 		Store:       store,
@@ -531,6 +701,7 @@ func runAgent(ctx context.Context, cfg *agentConfig, log *slog.Logger) error {
 		_ = stop()
 	}
 	alerting.stop(log)
+	deriving.stop(log) // evaluation stops before its dispatcher closes
 	if err := dispatcher.Close(); err != nil {
 		log.Warn("sink close failed", "err", err)
 	}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"likwid/internal/monitor"
+	"likwid/internal/spec"
 )
 
 // Fn is the window function of a rule expression.
@@ -167,7 +168,7 @@ func (r *Rule) String() string {
 	if r.ID != AllIDs {
 		fmt.Fprintf(&b, ", %d", r.ID)
 	}
-	fmt.Fprintf(&b, ", %s) %s %g for %s", formatSeconds(r.Lookback), r.Cmp, r.Threshold, formatSeconds(r.For))
+	fmt.Fprintf(&b, ", %s) %s %g for %s", spec.FormatSeconds(r.Lookback), r.Cmp, r.Threshold, spec.FormatSeconds(r.For))
 	if r.Every > 0 {
 		fmt.Fprintf(&b, " every %s", r.Every)
 	}
@@ -176,56 +177,9 @@ func (r *Rule) String() string {
 
 // selector renders the rule's [SOURCE/]METRIC{matchers} selector so
 // that the parser reads it back into the same (Source, Metric,
-// Matchers) triple.  Matcher values render raw inside their quotes —
-// anything the parser accepted contains no '"', so the round trip is
-// verbatim.
+// Matchers) triple.
 func (r *Rule) selector() string {
-	sel := quoteMetric(r.Metric)
-	if r.Source != "" {
-		sel = quoteSource(r.Source) + "/" + sel
-	}
-	if len(r.Matchers) == 0 {
-		return sel
-	}
-	var b strings.Builder
-	b.WriteString(sel)
-	b.WriteByte('{')
-	for i, m := range r.Matchers {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, `%s="%s"`, m.Name, m.Value)
-	}
-	b.WriteByte('}')
-	return b.String()
-}
-
-// quoteMetric re-quotes metric selectors that need it — anything the
-// scanner treats as a delimiter, plus '#' so a rendered rule survives a
-// rule file's comment stripping, plus a leading segment the selector
-// parser would otherwise read as a source label.
-func quoteMetric(m string) string {
-	if strings.ContainsAny(m, wordBreak+"#") {
-		return fmt.Sprintf("%q", m)
-	}
-	if seg, _, found := strings.Cut(m, "/"); found && !monitor.ReservedNamespace(seg) {
-		return fmt.Sprintf("%q", m)
-	}
-	return m
-}
-
-// quoteSource re-quotes source selectors the parser could not read back
-// bare: delimiters, a '/' inside the label, or a label that collides
-// with a reserved metric namespace.
-func quoteSource(s string) string {
-	if strings.ContainsAny(s, wordBreak+"#/") || monitor.ReservedNamespace(s) {
-		return fmt.Sprintf("%q", s)
-	}
-	return s
-}
-
-func formatSeconds(s float64) string {
-	return time.Duration(s * float64(time.Second)).String()
+	return spec.RenderSelector(r.Source, r.Metric, r.Matchers)
 }
 
 // matches reports whether the rule's selector picks a stored series:
@@ -242,19 +196,7 @@ func (r *Rule) matches(k monitor.Key) bool {
 	if !monitor.MatchLabels(r.Matchers, k.Labels) {
 		return false
 	}
-	return r.matchesMetric(k.Metric)
-}
-
-// matchesMetric matches the metric dimension alone: exact, '*'
-// wildcards, or sanitized-form equality.
-func (r *Rule) matchesMetric(name string) bool {
-	if r.Metric == name {
-		return true
-	}
-	if strings.Contains(r.Metric, "*") {
-		return monitor.WildcardMatch(r.Metric, name)
-	}
-	return monitor.SanitizeMetric(name) == monitor.SanitizeMetric(r.Metric)
+	return monitor.MatchMetric(r.Metric, k.Metric)
 }
 
 // State is one alert instance's position in the lifecycle.
@@ -306,6 +248,11 @@ type Event struct {
 	Since float64 `json:"since,omitempty"`
 	// Spec is the rule in spec syntax, for self-describing payloads.
 	Spec string `json:"spec"`
+	// Instances carries the member events of a grouped delivery (the
+	// Grouper's coalescing window): N nodes tripping one rule within
+	// group_wait arrive as one event with N instances.  Empty on direct
+	// deliveries; members never nest further.
+	Instances []Event `json:"instances,omitempty"`
 }
 
 // EventStateFiring and EventStateResolved are the Event.State values.

@@ -27,6 +27,10 @@ type Options struct {
 	DefaultEvery time.Duration
 	// Fanout receives firing/resolved events (optional).
 	Fanout *Fanout
+	// Notify, when set, receives events instead of Fanout — the hook for
+	// delivery stages in front of the fanout, e.g. a Grouper coalescing
+	// per-instance events into one incident per rule and state.
+	Notify Publisher
 	// StaleAfter resolves a firing instance whose series' simulated time
 	// has stopped advancing for this much wall time — a decommissioned
 	// fleet agent must not fire forever off its frozen last window.  The
@@ -473,7 +477,10 @@ func (e *Engine) transition(r *Rule, k monitor.Key, metric, state string, value,
 	if c := e.tTransitions[state]; c != nil {
 		c.Inc()
 	}
-	if e.opts.Fanout != nil {
+	switch {
+	case e.opts.Notify != nil:
+		e.opts.Notify.Publish(ev)
+	case e.opts.Fanout != nil:
 		e.opts.Fanout.Publish(ev)
 	}
 	// History series: one per rule, carrying the matched series' source

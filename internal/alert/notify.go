@@ -189,8 +189,12 @@ func (l *logNotifier) Notify(ev Event) error {
 	if len(ev.Labels) > 0 {
 		labels = " labels{" + monitor.FormatLabelMap(ev.Labels) + "}"
 	}
-	_, err := fmt.Fprintf(l.w, "alert %s %s %s%s%s %s/%d value=%g threshold=%g t=%.3f\n",
-		ev.State, ev.Rule, ev.Metric, source, labels, ev.Scope, ev.ID, ev.Value, ev.Threshold, ev.Time)
+	grouped := ""
+	if len(ev.Instances) > 0 {
+		grouped = fmt.Sprintf(" instances=%d", len(ev.Instances))
+	}
+	_, err := fmt.Fprintf(l.w, "alert %s %s %s%s%s %s/%d value=%g threshold=%g t=%.3f%s\n",
+		ev.State, ev.Rule, ev.Metric, source, labels, ev.Scope, ev.ID, ev.Value, ev.Threshold, ev.Time, grouped)
 	return err
 }
 

@@ -3,12 +3,12 @@ package alert
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"likwid/internal/monitor"
+	"likwid/internal/spec"
 )
 
 // The rule spec language, one rule per line:
@@ -33,283 +33,84 @@ import (
 // named label with a matching value ('*' wildcards allowed in values).
 // Blank lines and '#' comments are ignored.  Errors carry line:column
 // positions so a typo in a 50-rule file is findable.
-
-// scanner is the hand-rolled single-line tokenizer; errors report
-// 1-based line:column positions.
-type scanner struct {
-	src  string
-	pos  int
-	line int
-}
-
-func (s *scanner) errf(col int, format string, args ...any) error {
-	return fmt.Errorf("alert: line %d:%d: %s", s.line, col, fmt.Sprintf(format, args...))
-}
-
-func (s *scanner) skipSpace() {
-	for s.pos < len(s.src) && (s.src[s.pos] == ' ' || s.src[s.pos] == '\t') {
-		s.pos++
-	}
-}
-
-// col is the 1-based column of the current position.
-func (s *scanner) col() int { return s.pos + 1 }
-
-func (s *scanner) eof() bool {
-	s.skipSpace()
-	return s.pos >= len(s.src)
-}
-
-// wordBreak are the delimiter characters that terminate a bare word.
-// '{' and '}' delimit the label matcher block of a selector, so a bare
-// metric stops at the block (quote a metric that really contains them).
-const wordBreak = " \t:,()<>=\"{}"
-
-// word reads a maximal run of non-delimiter characters.
-func (s *scanner) word() (string, int) {
-	s.skipSpace()
-	start := s.pos
-	for s.pos < len(s.src) && !strings.ContainsRune(wordBreak, rune(s.src[s.pos])) {
-		s.pos++
-	}
-	return s.src[start:s.pos], start + 1
-}
-
-// selectorWord reads a maximal run of non-delimiter characters, also
-// stopping at '/' — the source/metric separator of a selector.
-func (s *scanner) selectorWord() (string, int) {
-	s.skipSpace()
-	start := s.pos
-	for s.pos < len(s.src) && s.src[s.pos] != '/' &&
-		!strings.ContainsRune(wordBreak, rune(s.src[s.pos])) {
-		s.pos++
-	}
-	return s.src[start:s.pos], start + 1
-}
-
-// selector reads the [SOURCE/]METRIC selector of a rule expression into
-// its two dimensions.  Either part may be quoted; an unquoted leading
-// segment that is one of the suite's reserved metric namespaces
-// (event/, topo/, feature/, membw/, alert/) belongs to the metric, not
-// a source — quoting the segment ("event"/x) forces the source reading.
-func (s *scanner) selector() (source, metric string, col int, err error) {
-	s.skipSpace()
-	quoted := false
-	var part string
-	if s.pos < len(s.src) && s.src[s.pos] == '"' {
-		if part, col, err = s.quoted(); err != nil {
-			return "", "", col, err
-		}
-		quoted = true
-	} else {
-		part, col = s.selectorWord()
-	}
-	if s.pos < len(s.src) && s.src[s.pos] == '/' {
-		if quoted || !monitor.ReservedNamespace(part) {
-			s.pos++ // consume the separator
-			if s.pos < len(s.src) && s.src[s.pos] == '"' {
-				if metric, _, err = s.quoted(); err != nil {
-					return "", "", col, err
-				}
-			} else {
-				metric, _ = s.word() // '/' inside the metric tail stays
-			}
-			return part, metric, col, nil
-		}
-		// Reserved namespace: the '/' is part of the metric name.
-		rest, _ := s.word()
-		part += rest
-	}
-	return "", part, col, nil
-}
-
-// matchers reads the optional {name="value",...} label matcher block
-// that may suffix a selector's metric.  Names are bare label names,
-// values are quoted and may use '*' wildcards; duplicate names and an
-// empty block are errors.  Matchers are returned sorted by name, so a
-// rendered rule is canonical.
-func (s *scanner) matchers() ([]LabelMatcher, error) {
-	s.skipSpace()
-	if s.pos >= len(s.src) || s.src[s.pos] != '{' {
-		return nil, nil
-	}
-	s.pos++
-	var out []LabelMatcher
-	seen := map[string]bool{}
-	for {
-		name, col := s.word()
-		if name == "" {
-			return nil, s.errf(col, "expected a label name in the matcher block")
-		}
-		if !monitor.ValidLabelName(name) {
-			return nil, s.errf(col, "bad matcher label name %q (letters, digits, '_'; not starting with a digit)", name)
-		}
-		if monitor.ReservedLabelName(name) {
-			return nil, s.errf(col, "label name %q is reserved; match it with the selector's own dimensions instead", name)
-		}
-		if seen[name] {
-			return nil, s.errf(col, "duplicate matcher label %q", name)
-		}
-		seen[name] = true
-		if err := s.expect('=', "after the matcher label name"); err != nil {
-			return nil, err
-		}
-		value, vcol, err := s.quoted()
-		if err != nil {
-			return nil, err
-		}
-		if value == "" {
-			return nil, s.errf(vcol, "empty matcher value for label %q", name)
-		}
-		out = append(out, LabelMatcher{Name: name, Value: value})
-		s.skipSpace()
-		if s.pos < len(s.src) && s.src[s.pos] == ',' {
-			s.pos++
-			continue
-		}
-		break
-	}
-	if err := s.expect('}', "after the label matchers"); err != nil {
-		return nil, err
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out, nil
-}
-
-// quoted reads a double-quoted string (no escapes: metric names contain
-// no quotes).
-func (s *scanner) quoted() (string, int, error) {
-	s.skipSpace()
-	start := s.pos
-	if s.pos >= len(s.src) || s.src[s.pos] != '"' {
-		return "", start + 1, s.errf(start+1, "expected quoted string")
-	}
-	s.pos++
-	end := strings.IndexByte(s.src[s.pos:], '"')
-	if end < 0 {
-		return "", start + 1, s.errf(start+1, "unterminated quoted metric")
-	}
-	out := s.src[s.pos : s.pos+end]
-	s.pos += end + 1
-	return out, start + 1, nil
-}
-
-func (s *scanner) expect(ch byte, what string) error {
-	s.skipSpace()
-	if s.pos >= len(s.src) || s.src[s.pos] != ch {
-		return s.errf(s.col(), "expected %q %s", string(ch), what)
-	}
-	s.pos++
-	return nil
-}
-
-// duration parses a positive Go duration word ("30s", "1m30s").
-func (s *scanner) duration(what string, allowZero bool) (time.Duration, error) {
-	w, col := s.word()
-	if w == "" {
-		return 0, s.errf(col, "expected %s duration (like 30s)", what)
-	}
-	d, err := time.ParseDuration(w)
-	if err != nil {
-		return 0, s.errf(col, "bad %s duration %q (want a Go duration like 30s or 1m)", what, w)
-	}
-	if d < 0 || (!allowZero && d == 0) {
-		return 0, s.errf(col, "%s duration must be positive, got %q", what, w)
-	}
-	return d, nil
-}
-
-// validName reports whether a rule name is usable as an "alert/<name>"
-// series component.
-func validName(name string) bool {
-	if name == "" {
-		return false
-	}
-	for _, r := range name {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
-			r == '_', r == '-', r == '.':
-		default:
-			return false
-		}
-	}
-	return true
-}
+//
+// The tokenizer and selector machinery live in internal/spec, shared
+// with the derived-series DSL (internal/derive) — one parser family.
 
 // ParseRule parses one rule line; lineNo is the 1-based line for error
 // positions.
 func ParseRule(line string, lineNo int) (*Rule, error) {
-	s := &scanner{src: line, line: lineNo}
+	s := spec.New("alert", line, lineNo)
 
-	name, col := s.word()
+	name, col := s.Word()
 	if name == "" {
-		return nil, s.errf(col, "expected rule name")
+		return nil, s.Errf(col, "expected rule name")
 	}
-	if !validName(name) {
-		return nil, s.errf(col, "bad rule name %q (letters, digits, '_', '-', '.')", name)
+	if !spec.ValidName(name) {
+		return nil, s.Errf(col, "bad rule name %q (letters, digits, '_', '-', '.')", name)
 	}
-	if err := s.expect(':', "after the rule name"); err != nil {
+	if err := s.Expect(':', "after the rule name"); err != nil {
 		return nil, err
 	}
 
-	fnWord, col := s.word()
+	fnWord, col := s.Word()
 	fn, ok := parseFn(fnWord)
 	if !ok {
-		return nil, s.errf(col, "unknown function %q (avg, min, max, rate, imbalance)", fnWord)
+		return nil, s.Errf(col, "unknown function %q (avg, min, max, rate, imbalance)", fnWord)
 	}
-	if err := s.expect('(', "after the function"); err != nil {
+	if err := s.Expect('(', "after the function"); err != nil {
 		return nil, err
 	}
 
-	source, metric, col, err := s.selector()
+	source, metric, col, err := s.Selector()
 	if err != nil {
 		return nil, err
 	}
 	if metric == "" {
-		return nil, s.errf(col, "expected a metric selector")
+		return nil, s.Errf(col, "expected a metric selector")
 	}
-	matchers, err := s.matchers()
+	matchers, err := s.Matchers()
 	if err != nil {
 		return nil, err
 	}
-	if err := s.expect(',', "after the metric"); err != nil {
+	if err := s.Expect(',', "after the metric"); err != nil {
 		return nil, err
 	}
 
-	scopeWord, col := s.word()
+	scopeWord, col := s.Word()
 	scope, err := monitor.ParseScope(scopeWord)
 	if err != nil {
-		return nil, s.errf(col, "bad scope %q (thread, core, socket, node)", scopeWord)
+		return nil, s.Errf(col, "bad scope %q (thread, core, socket, node)", scopeWord)
 	}
-	if err := s.expect(',', "after the scope"); err != nil {
+	if err := s.Expect(',', "after the scope"); err != nil {
 		return nil, err
 	}
 
 	// The next argument is an optional integer id; a bare integer cannot
 	// be a duration (those need a unit), so the forms stay unambiguous.
 	id := AllIDs
-	w, col := s.word()
+	w, col := s.Word()
 	if n, aerr := strconv.Atoi(w); aerr == nil {
 		if n < 0 {
-			return nil, s.errf(col, "id must not be negative, got %d", n)
+			return nil, s.Errf(col, "id must not be negative, got %d", n)
 		}
 		if fn == FnImbalance {
-			return nil, s.errf(col, "imbalance aggregates across ids; drop the id argument")
+			return nil, s.Errf(col, "imbalance aggregates across ids; drop the id argument")
 		}
 		id = n
-		if err := s.expect(',', "after the id"); err != nil {
+		if err := s.Expect(',', "after the id"); err != nil {
 			return nil, err
 		}
-		w, col = s.word()
+		w, col = s.Word()
 	}
 	if w == "" {
-		return nil, s.errf(col, "expected lookback duration (like 30s)")
+		return nil, s.Errf(col, "expected lookback duration (like 30s)")
 	}
 	lookback, derr := time.ParseDuration(w)
 	if derr != nil || lookback <= 0 {
-		return nil, s.errf(col, "bad lookback %q (want a positive duration like 30s)", w)
+		return nil, s.Errf(col, "bad lookback %q (want a positive duration like 30s)", w)
 	}
-	if err := s.expect(')', "after the lookback"); err != nil {
+	if err := s.Expect(')', "after the lookback"); err != nil {
 		return nil, err
 	}
 
@@ -318,41 +119,41 @@ func ParseRule(line string, lineNo int) (*Rule, error) {
 		return nil, err
 	}
 
-	threshWord, col := s.word()
+	threshWord, col := s.Word()
 	if threshWord == "" {
-		return nil, s.errf(col, "expected threshold number")
+		return nil, s.Errf(col, "expected threshold number")
 	}
 	threshold, perr := strconv.ParseFloat(threshWord, 64)
 	if perr != nil || math.IsNaN(threshold) || math.IsInf(threshold, 0) {
-		return nil, s.errf(col, "bad threshold %q (want a finite number like 2.0e9)", threshWord)
+		return nil, s.Errf(col, "bad threshold %q (want a finite number like 2.0e9)", threshWord)
 	}
 
-	kw, col := s.word()
+	kw, col := s.Word()
 	if kw != "for" {
-		return nil, s.errf(col, "expected \"for DURATION\", got %q", kw)
+		return nil, s.Errf(col, "expected \"for DURATION\", got %q", kw)
 	}
-	hold, err := s.duration("hold (\"for\")", true)
+	hold, err := s.Duration("hold (\"for\")", true)
 	if err != nil {
 		return nil, err
 	}
 
 	every := time.Duration(0)
-	if !s.eof() {
-		kw, col := s.word()
+	if !s.EOF() {
+		kw, col := s.Word()
 		if kw != "every" {
-			return nil, s.errf(col, "unexpected %q (only \"every DURATION\" may follow)", kw)
+			return nil, s.Errf(col, "unexpected %q (only \"every DURATION\" may follow)", kw)
 		}
-		if every, err = s.duration("evaluation (\"every\")", false); err != nil {
+		if every, err = s.Duration("evaluation (\"every\")", false); err != nil {
 			return nil, err
 		}
 	}
-	if !s.eof() {
-		w, col := s.word()
+	if !s.EOF() {
+		w, col := s.Word()
 		if w == "" {
-			col = s.col()
-			w = string(s.src[s.pos])
+			col = s.Col()
+			w = string(s.Peek())
 		}
-		return nil, s.errf(col, "unexpected trailing %q", w)
+		return nil, s.Errf(col, "unexpected trailing %q", w)
 	}
 
 	return &Rule{
@@ -372,25 +173,22 @@ func ParseRule(line string, lineNo int) (*Rule, error) {
 	}, nil
 }
 
-func parseCmp(s *scanner) (Cmp, error) {
-	s.skipSpace()
-	col := s.col()
-	if s.pos >= len(s.src) {
-		return 0, s.errf(col, "expected comparison (<, <=, >, >=)")
-	}
+func parseCmp(s *spec.Scanner) (Cmp, error) {
+	s.SkipSpace()
+	col := s.Col()
 	var cmp Cmp
-	switch s.src[s.pos] {
-	case '<':
+	switch {
+	case s.AcceptRaw('<'):
 		cmp = CmpLT
-	case '>':
+	case s.AcceptRaw('>'):
 		cmp = CmpGT
+	case s.EOF():
+		return 0, s.Errf(col, "expected comparison (<, <=, >, >=)")
 	default:
-		return 0, s.errf(col, "expected comparison (<, <=, >, >=), got %q", string(s.src[s.pos]))
+		return 0, s.Errf(col, "expected comparison (<, <=, >, >=), got %q", string(s.Peek()))
 	}
-	s.pos++
-	if s.pos < len(s.src) && s.src[s.pos] == '=' {
+	if s.AcceptRaw('=') {
 		cmp++ // LT→LE, GT→GE
-		s.pos++
 	}
 	return cmp, nil
 }
@@ -402,7 +200,7 @@ func ParseRules(src string) ([]*Rule, error) {
 	var rules []*Rule
 	byName := map[string]int{}
 	for i, line := range strings.Split(src, "\n") {
-		line = stripComment(line)
+		line = spec.StripComment(line)
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
@@ -417,20 +215,4 @@ func ParseRules(src string) ([]*Rule, error) {
 		rules = append(rules, r)
 	}
 	return rules, nil
-}
-
-// stripComment removes a '#' comment, respecting quoted metrics.
-func stripComment(line string) string {
-	inQuote := false
-	for i := 0; i < len(line); i++ {
-		switch line[i] {
-		case '"':
-			inQuote = !inQuote
-		case '#':
-			if !inQuote {
-				return line[:i]
-			}
-		}
-	}
-	return line
 }

@@ -1,0 +1,166 @@
+// Package derive is the recorded-rule engine of the monitoring
+// subsystem: it computes fleet roll-ups *inside* the pipeline, the step
+// the LIKWID Monitoring Stack (Röhl et al., arXiv:1708.01476) argues
+// fleet-scale monitoring needs — job/cluster aggregates computed once,
+// near the data, not re-derived by every reader.  User-defined rules
+//
+//	cluster_flops = sum(flops_dp{cluster="emmy"}) by (source) over 30s every 10s
+//
+// evaluate a windowed aggregation (sum, avg, min, max, count, rate)
+// over every series a [SOURCE/]METRIC{label="value"} selector matches,
+// grouped by the "by" dimensions, and append the result back into the
+// store as a first-class series named after the rule.  A derived series
+// is indistinguishable from a collected one: it downsamples through
+// retention tiers, is WAL-durable, ships over the push wire, serves
+// from /query and /metrics, and can be matched by an alert rule — the
+// layers below need zero changes.
+//
+// The same rule file declares ingest routes ("route drop ...", "route
+// rename ... -> NAME", "route relabel ... set k=\"v\""), the receiver's
+// retag stage applied before samples are interned (monitor.Router).
+//
+// The spec language shares its scanner and selector machinery with the
+// alert DSL through internal/spec — one parser family, two grammars.
+package derive
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"likwid/internal/monitor"
+	"likwid/internal/spec"
+)
+
+// Fn is the aggregation function of a derive rule.
+type Fn int
+
+const (
+	// FnSum adds the matched series' window means — the fleet roll-up:
+	// each member contributes its current (noise-averaged) level once.
+	FnSum Fn = iota
+	// FnAvg is the mean of the matched series' window means.
+	FnAvg
+	// FnMin is the smallest point any matched series saw in the window.
+	FnMin
+	// FnMax is the largest point any matched series saw in the window.
+	FnMax
+	// FnCount is the number of matched series with data in the window —
+	// a liveness roll-up (how many agents are reporting).
+	FnCount
+	// FnRate adds the matched series' per-second window slopes.
+	FnRate
+)
+
+var fnNames = [...]string{"sum", "avg", "min", "max", "count", "rate"}
+
+// String returns the spec-language name of the function.
+func (f Fn) String() string {
+	if f < 0 || int(f) >= len(fnNames) {
+		return fmt.Sprintf("fn(%d)", int(f))
+	}
+	return fnNames[f]
+}
+
+// parseFn resolves a function name.
+func parseFn(name string) (Fn, bool) {
+	for i, n := range fnNames {
+		if n == name {
+			return Fn(i), true
+		}
+	}
+	return 0, false
+}
+
+// BySource is the "by" dimension grouping output series per pushing
+// agent; every other dimension is a label name.
+const BySource = "source"
+
+// Rule is one parsed recorded rule.
+//
+// Over is simulated seconds — the store's time axis — so a rule's
+// window lines up with the data regardless of how fast wall time runs.
+// Every is wall time: the evaluation cadence of the engine, not a
+// property of the data.
+type Rule struct {
+	// Name identifies the rule and becomes the metric name of its
+	// output series.
+	Name string
+	// Fn is the aggregation applied across the matched series.
+	Fn Fn
+	// Source selects input series by measuring agent ('*' wildcards).
+	// Empty matches EVERY source: a recorded rule is a fleet roll-up,
+	// so unlike an alert selector it has no "local only" reading — on
+	// an agent all series are local anyway, and on a receiver a rule
+	// without a source selector sweeps the whole fleet.
+	Source string
+	// Metric selects input series by name: exact, '*' wildcards, or
+	// sanitized-form equality.  Wildcard selectors never match alert
+	// histories or other rules' outputs (an explicit name does, so
+	// rules can chain).
+	Metric string
+	// Matchers restrict the selector to series whose label set carries
+	// every named label with a matching value ('*' wildcards).
+	Matchers []monitor.Label
+	// Scope restricts the inputs to one topology domain (default node),
+	// so a rule never double-counts a metric reported at several
+	// scopes.
+	Scope monitor.Scope
+	// By are the grouping dimensions: BySource and/or label names.  One
+	// output series is emitted per distinct combination, carrying the
+	// group's source and labels; empty By collapses everything into one
+	// sourceless, unlabelled output.
+	By []string
+	// Over is the aggregation window in simulated seconds.
+	Over float64
+	// Every overrides the engine's evaluation cadence for this rule
+	// (wall time); 0 uses the engine default.
+	Every time.Duration
+	// Line is the 1-based line of the rule in its spec file.
+	Line int
+}
+
+// String renders the rule back in spec syntax (canonical: parsing the
+// rendering yields an identical rendering).
+func (r *Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s = %s(%s", r.Name, r.Fn, spec.RenderSelector(r.Source, r.Metric, r.Matchers))
+	if r.Scope != monitor.ScopeNode {
+		fmt.Fprintf(&b, ", %s", r.Scope)
+	}
+	b.WriteString(")")
+	if len(r.By) > 0 {
+		fmt.Fprintf(&b, " by (%s)", strings.Join(r.By, ", "))
+	}
+	fmt.Fprintf(&b, " over %s", spec.FormatSeconds(r.Over))
+	if r.Every > 0 {
+		fmt.Fprintf(&b, " every %s", r.Every)
+	}
+	return b.String()
+}
+
+// Matches reports whether the rule's selector picks a stored series as
+// an input.  derived is the name set of every loaded rule's output:
+// wildcard selectors skip those series (and alert histories), so a
+// sweep cannot feed on roll-ups — but an explicit metric name matches,
+// letting rules chain on purpose.  A rule never matches its own output
+// regardless.
+func (r *Rule) Matches(k monitor.Key, derived map[string]bool) bool {
+	if k.Metric == r.Name {
+		return false
+	}
+	if k.Scope != r.Scope {
+		return false
+	}
+	if strings.Contains(r.Metric, "*") &&
+		(strings.HasPrefix(k.Metric, "alert/") || derived[k.Metric]) {
+		return false
+	}
+	if r.Source != "" && !monitor.MatchSource(r.Source, k.Source) {
+		return false
+	}
+	if !monitor.MatchLabels(r.Matchers, k.Labels) {
+		return false
+	}
+	return monitor.MatchMetric(r.Metric, k.Metric)
+}

@@ -1,0 +1,474 @@
+package derive
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"likwid/internal/monitor"
+	"likwid/internal/telemetry"
+)
+
+// Options wire an engine to its inputs and outputs.
+type Options struct {
+	// Store is both sides of the loop: rules evaluate against its
+	// windows, and their outputs are appended back into it as
+	// first-class series (required).
+	Store *monitor.Store
+	// Clock drives the per-rule evaluation cadence; defaults to the
+	// wall clock (fake clocks make evaluation testable).
+	Clock monitor.Clock
+	// DefaultEvery is the evaluation cadence of rules without their own
+	// "every" clause (default 10 s).
+	DefaultEvery time.Duration
+	// Dispatcher, when set, also receives every emitted sample as a
+	// "derive/<rule>" batch, so the agent's sink fan-out (push wires,
+	// /metrics snapshots, CSV) carries derived series exactly like
+	// collected ones.  The store append does not depend on it.
+	Dispatcher *monitor.Dispatcher
+	// OnError observes per-rule evaluation problems (optional).
+	OnError func(rule string, err error)
+	// Telemetry, when set, instruments evaluation: per-eval duration
+	// histogram, eval/emit counters, selector fan-out histogram, and a
+	// loaded-rules gauge.
+	Telemetry *telemetry.Registry
+}
+
+// ruleState is one rule's evaluation bookkeeping.
+type ruleState struct {
+	rule     *Rule
+	evals    uint64
+	emitted  uint64
+	series   int       // selector fan-out of the newest evaluation
+	groups   int       // output groups of the newest evaluation
+	lastEval time.Time // wall time of the newest evaluation
+	lastErr  string
+}
+
+// Engine evaluates recorded rules against the store on a per-rule wall
+// cadence and appends their outputs back into it.  Reload swaps the
+// rule set while Run keeps going — the hot-reload path behind
+// likwid-agent's SIGHUP handler and POST /derive/reload.
+type Engine struct {
+	opts Options
+
+	mu      sync.Mutex
+	rules   []*Rule
+	state   map[string]*ruleState
+	derived map[string]bool // output-name set; replaced wholesale on reload
+
+	reload chan struct{} // signals Run to restart its rule goroutines
+
+	// Telemetry instruments, resolved once at construction (nil without
+	// Options.Telemetry; the eval path nil-checks).
+	tEvals   *telemetry.Counter
+	tEvalSec *telemetry.Histogram
+	tEmitted *telemetry.Counter
+	tFanout  *telemetry.Histogram
+}
+
+// NewEngine creates an engine over the given rules.
+func NewEngine(opts Options, rules []*Rule) (*Engine, error) {
+	if opts.Store == nil {
+		return nil, fmt.Errorf("derive: engine needs a store")
+	}
+	if opts.Clock == nil {
+		opts.Clock = monitor.RealClock
+	}
+	if opts.DefaultEvery <= 0 {
+		opts.DefaultEvery = 10 * time.Second
+	}
+	e := &Engine{
+		opts:    opts,
+		rules:   rules,
+		state:   map[string]*ruleState{},
+		derived: derivedSet(rules),
+		reload:  make(chan struct{}, 1),
+	}
+	for _, r := range rules {
+		e.state[r.Name] = &ruleState{rule: r}
+	}
+	if reg := opts.Telemetry; reg != nil {
+		e.tEvals = reg.Counter("likwid_derive_evals_total")
+		e.tEvalSec = reg.Histogram("likwid_derive_eval_seconds", telemetry.DurationBuckets)
+		e.tEmitted = reg.Counter("likwid_derive_emitted_total")
+		e.tFanout = reg.Histogram("likwid_derive_selector_series", telemetry.SizeBuckets)
+		reg.GaugeFunc("likwid_derive_rules", func() float64 { return float64(len(e.Rules())) })
+	}
+	return e, nil
+}
+
+// derivedSet is the output-name set of a rule list.
+func derivedSet(rules []*Rule) map[string]bool {
+	out := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		out[r.Name] = true
+	}
+	return out
+}
+
+// Rules returns a snapshot of the engine's rules in file order.
+func (e *Engine) Rules() []*Rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Rule(nil), e.rules...)
+}
+
+// Reload atomically swaps the rule set.  Validation is the caller's
+// job (ParseFile): a file that fails to parse is never handed to
+// Reload, so the old set stays live.  Rules whose rendered spec is
+// unchanged keep their bookkeeping; a running Run loop restarts its
+// goroutines on the new set — unless the whole set renders
+// spec-identical, in which case the evaluation timers keep running, so
+// a config-management loop re-posting the same file every few seconds
+// cannot starve rules of their cadence.  Output series already in the
+// store stay: they are first-class data with their own retention, not
+// engine state.
+func (e *Engine) Reload(rules []*Rule) {
+	e.mu.Lock()
+	oldSpec := make(map[string]string, len(e.rules))
+	for _, r := range e.rules {
+		oldSpec[r.Name] = r.String()
+	}
+	newState := make(map[string]*ruleState, len(rules))
+	identical := len(rules) == len(e.rules)
+	for i, r := range rules {
+		if st, ok := e.state[r.Name]; ok {
+			st.rule = r
+			newState[r.Name] = st
+		} else {
+			newState[r.Name] = &ruleState{rule: r}
+		}
+		identical = identical && e.rules[i].Name == r.Name && oldSpec[r.Name] == r.String()
+	}
+	e.rules = rules
+	e.state = newState
+	e.derived = derivedSet(rules) // replaced, never mutated: eval reads the old map race-free
+	e.mu.Unlock()
+	if identical {
+		return // same specs, same cadences: keep the running timers
+	}
+	select {
+	case e.reload <- struct{}{}:
+	default: // a restart is already pending
+	}
+}
+
+// Run evaluates every rule on its cadence until the context is
+// cancelled, then returns once all rule goroutines have stopped.  A
+// Reload restarts the goroutines on the new rule set without dropping
+// out of Run.
+func (e *Engine) Run(ctx context.Context) {
+	for {
+		rctx, cancel := context.WithCancel(ctx)
+		var wg sync.WaitGroup
+		for _, r := range e.Rules() {
+			wg.Add(1)
+			go func(r *Rule) {
+				defer wg.Done()
+				every := r.Every
+				if every <= 0 {
+					every = e.opts.DefaultEvery
+				}
+				for {
+					select {
+					case <-rctx.Done():
+						return
+					case <-e.opts.Clock.After(every):
+					}
+					e.evalRule(r)
+				}
+			}(r)
+		}
+		select {
+		case <-ctx.Done():
+			cancel()
+			wg.Wait()
+			return
+		case <-e.reload:
+			cancel()
+			wg.Wait()
+		}
+	}
+}
+
+// EvalNow evaluates every rule once, synchronously — the one-shot
+// entry for tests and callers that drive their own cadence.
+func (e *Engine) EvalNow() {
+	for _, r := range e.Rules() {
+		e.evalRule(r)
+	}
+}
+
+// group accumulates one output series' members during an evaluation.
+type group struct {
+	source string
+	labels map[string]string
+	keys   []monitor.Key
+}
+
+// evalRule runs one evaluation of one rule: select, group, reduce,
+// emit.  The selection walks the store's lock-free key index; windows
+// and appends go through the same store paths as every other reader
+// and collector, so evaluation never touches the append hot path's
+// locks.
+func (e *Engine) evalRule(r *Rule) {
+	if e.tEvals != nil {
+		e.tEvals.Inc()
+		start := time.Now()
+		defer func() { e.tEvalSec.Observe(time.Since(start).Seconds()) }()
+	}
+	e.mu.Lock()
+	derived := e.derived
+	e.mu.Unlock()
+
+	// Select and group.  Group identity is the by-dimension value tuple;
+	// a series missing a grouped label lands in the group without it, so
+	// partially-labelled fleets still roll up.
+	groups := map[string]*group{}
+	var order []string
+	matched := 0
+	e.opts.Store.ForEachKey(func(k monitor.Key) {
+		if !r.Matches(k, derived) {
+			return
+		}
+		matched++
+		var sb strings.Builder
+		var source string
+		var labels map[string]string
+		for _, dim := range r.By {
+			if dim == BySource {
+				source = k.Source
+				sb.WriteString("s\x00" + source + "\x00")
+				continue
+			}
+			if v, ok := k.Labels.Get(dim); ok {
+				if labels == nil {
+					labels = map[string]string{}
+				}
+				labels[dim] = v
+				sb.WriteString("l\x00" + dim + "\x00" + v + "\x00")
+			}
+		}
+		gk := sb.String()
+		g := groups[gk]
+		if g == nil {
+			g = &group{source: source, labels: labels}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		g.keys = append(g.keys, k)
+	})
+	if e.tFanout != nil {
+		e.tFanout.Observe(float64(matched))
+	}
+
+	var evalErr error
+	var emitted []monitor.Sample
+	if matched == 0 {
+		evalErr = fmt.Errorf("no series matches %s(%s)", r.Fn, r.Metric)
+	} else {
+		sort.Strings(order) // deterministic emit order for batches and tests
+		for _, gk := range order {
+			if s, ok := e.evalGroup(r, groups[gk]); ok {
+				emitted = append(emitted, s)
+			}
+		}
+	}
+	if len(emitted) > 0 {
+		if e.tEmitted != nil {
+			e.tEmitted.Add(uint64(len(emitted)))
+		}
+		if e.opts.Dispatcher != nil {
+			maxT := emitted[0].Time
+			for _, s := range emitted[1:] {
+				maxT = math.Max(maxT, s.Time)
+			}
+			e.opts.Dispatcher.Publish(monitor.Batch{
+				Collector: "derive/" + r.Name,
+				Time:      maxT,
+				Samples:   emitted,
+			})
+		}
+	}
+
+	e.mu.Lock()
+	st := e.state[r.Name]
+	if st == nil {
+		// The rule was reloaded away while this evaluation ran; its
+		// bookkeeping is gone and nothing is left to record.
+		e.mu.Unlock()
+		return
+	}
+	st.evals++
+	st.emitted += uint64(len(emitted))
+	st.series = matched
+	st.groups = len(groups)
+	st.lastEval = e.opts.Clock.Now()
+	st.lastErr = ""
+	if evalErr != nil {
+		st.lastErr = evalErr.Error()
+	}
+	e.mu.Unlock()
+	if evalErr != nil && e.opts.OnError != nil {
+		e.opts.OnError(r.Name, evalErr)
+	}
+}
+
+// evalGroup reduces one group's member windows to a single output
+// point and appends it to the store.  ok is false when no member had
+// data in the window or the point would duplicate the output's newest
+// (no series advanced since the previous evaluation — the idempotence
+// guard, derived from the store rather than engine memory so it
+// survives reloads and restarts).
+func (e *Engine) evalGroup(r *Rule, g *group) (monitor.Sample, bool) {
+	var (
+		agg    float64
+		count  int
+		simNow = math.Inf(-1)
+	)
+	for _, k := range g.keys {
+		latest, ok := e.opts.Store.Latest(k)
+		if !ok {
+			continue
+		}
+		pts := e.opts.Store.Window(k, latest.Time-r.Over, -1)
+		v, ok := memberValue(r.Fn, pts)
+		if !ok {
+			continue
+		}
+		switch {
+		case count == 0:
+			agg = v
+		case r.Fn == FnMin:
+			agg = math.Min(agg, v)
+		case r.Fn == FnMax:
+			agg = math.Max(agg, v)
+		default: // sum, avg, count, rate accumulate
+			agg += v
+		}
+		count++
+		if latest.Time > simNow {
+			simNow = latest.Time
+		}
+	}
+	if count == 0 {
+		return monitor.Sample{}, false
+	}
+	switch r.Fn {
+	case FnAvg:
+		agg /= float64(count)
+	case FnCount:
+		agg = float64(count)
+	}
+
+	labels, err := monitor.MakeLabels(g.labels)
+	if err != nil {
+		// Unreachable: group labels come off interned series keys, which
+		// were validated on the way in.  Fail the group, not the process.
+		if e.opts.OnError != nil {
+			e.opts.OnError(r.Name, err)
+		}
+		return monitor.Sample{}, false
+	}
+	out := monitor.Key{Source: g.source, Metric: r.Name, Scope: monitor.ScopeNode, ID: 0, Labels: labels}
+	if prev, ok := e.opts.Store.Latest(out); ok && prev.Time >= simNow {
+		return monitor.Sample{}, false // inputs did not advance: emit nothing
+	}
+	e.opts.Store.Append(out, monitor.Point{Time: simNow, Value: agg})
+	return monitor.Sample{
+		Source: out.Source,
+		Metric: out.Metric,
+		Scope:  out.Scope,
+		ID:     out.ID,
+		Labels: out.Labels,
+		Time:   simNow,
+		Value:  agg,
+	}, true
+}
+
+// memberValue reduces one member series' window to its contribution:
+// the window mean for sum/avg, the extremum for min/max, presence for
+// count, the per-second slope for rate.  ok is false when the window
+// cannot support the function (empty, or a rate over a single
+// instant).
+func memberValue(fn Fn, pts []monitor.Point) (float64, bool) {
+	if len(pts) == 0 {
+		return 0, false
+	}
+	switch fn {
+	case FnSum, FnAvg:
+		sum := 0.0
+		for _, p := range pts {
+			sum += p.Value
+		}
+		return sum / float64(len(pts)), true
+	case FnMin:
+		v := pts[0].Value
+		for _, p := range pts[1:] {
+			v = math.Min(v, p.Value)
+		}
+		return v, true
+	case FnMax:
+		v := pts[0].Value
+		for _, p := range pts[1:] {
+			v = math.Max(v, p.Value)
+		}
+		return v, true
+	case FnCount:
+		return 1, true
+	case FnRate:
+		first, last := pts[0], pts[len(pts)-1]
+		if last.Time <= first.Time {
+			return 0, false
+		}
+		return (last.Value - first.Value) / (last.Time - first.Time), true
+	}
+	return 0, false
+}
+
+// RuleStatus is one rule's bookkeeping in API shape.
+type RuleStatus struct {
+	Name      string `json:"name"`
+	Spec      string `json:"spec"`
+	Every     string `json:"every"`
+	Evals     uint64 `json:"evals"`
+	Emitted   uint64 `json:"emitted"`
+	Series    int    `json:"series"`              // selector fan-out of the newest evaluation
+	Groups    int    `json:"groups"`              // output groups of the newest evaluation
+	LastEval  string `json:"last_eval,omitempty"` // RFC 3339 wall time
+	LastError string `json:"last_error,omitempty"`
+}
+
+// RuleStatuses snapshots per-rule bookkeeping in file order.
+func (e *Engine) RuleStatuses() []RuleStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RuleStatus, 0, len(e.rules))
+	for _, r := range e.rules {
+		st := e.state[r.Name]
+		every := r.Every
+		if every <= 0 {
+			every = e.opts.DefaultEvery
+		}
+		rs := RuleStatus{
+			Name:      r.Name,
+			Spec:      r.String(),
+			Every:     every.String(),
+			Evals:     st.evals,
+			Emitted:   st.emitted,
+			Series:    st.series,
+			Groups:    st.groups,
+			LastError: st.lastErr,
+		}
+		if !st.lastEval.IsZero() {
+			rs.LastEval = st.lastEval.Format(time.RFC3339)
+		}
+		out = append(out, rs)
+	}
+	return out
+}

@@ -1,0 +1,353 @@
+package derive
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"likwid/internal/monitor"
+	"likwid/internal/telemetry"
+)
+
+// fleetStore builds a store with a small fleet of flops_dp series:
+//
+//	nodeA/flops_dp{job=lbm}  points (0,10) (10,20)   mean 15, slope 1
+//	nodeB/flops_dp{job=lbm}  point  (10,30)          mean 30
+//	nodeC/flops_dp{job=cfd}  points (0,100) (10,100) mean 100, slope 0
+func fleetStore(t *testing.T) *monitor.Store {
+	t.Helper()
+	st := monitor.NewStore(64)
+	lbm, err := monitor.MakeLabels(map[string]string{"job": "lbm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfd, err := monitor.MakeLabels(map[string]string{"job": "cfd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := monitor.Key{Source: "nodeA", Metric: "flops_dp", Scope: monitor.ScopeNode, Labels: lbm}
+	b := monitor.Key{Source: "nodeB", Metric: "flops_dp", Scope: monitor.ScopeNode, Labels: lbm}
+	c := monitor.Key{Source: "nodeC", Metric: "flops_dp", Scope: monitor.ScopeNode, Labels: cfd}
+	st.Append(a, monitor.Point{Time: 0, Value: 10})
+	st.Append(a, monitor.Point{Time: 10, Value: 20})
+	st.Append(b, monitor.Point{Time: 10, Value: 30})
+	st.Append(c, monitor.Point{Time: 0, Value: 100})
+	st.Append(c, monitor.Point{Time: 10, Value: 100})
+	return st
+}
+
+func mustRule(t *testing.T, line string) *Rule {
+	t.Helper()
+	r, err := ParseRule(line, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func newTestEngine(t *testing.T, st *monitor.Store, rules ...*Rule) *Engine {
+	t.Helper()
+	e, err := NewEngine(Options{Store: st, Clock: monitor.NewFakeClock()}, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func latestValue(t *testing.T, st *monitor.Store, k monitor.Key) float64 {
+	t.Helper()
+	p, ok := st.Latest(k)
+	if !ok {
+		t.Fatalf("no output series %v", k)
+	}
+	return p.Value
+}
+
+func TestEvalFns(t *testing.T) {
+	tests := []struct {
+		rule string
+		want float64
+	}{
+		// Per-member window means 15, 30, 100 — sum adds them.
+		{`out = sum(flops_dp) over 30s`, 145},
+		{`out = avg(flops_dp) over 30s`, 145.0 / 3},
+		// min/max are extrema across all member points.
+		{`out = min(flops_dp) over 30s`, 10},
+		{`out = max(flops_dp) over 30s`, 100},
+		{`out = count(flops_dp) over 30s`, 3},
+		// rate sums per-member slopes; nodeB's single point contributes
+		// nothing (a slope needs two instants).
+		{`out = rate(flops_dp) over 30s`, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.rule, func(t *testing.T) {
+			st := fleetStore(t)
+			e := newTestEngine(t, st, mustRule(t, tt.rule))
+			e.EvalNow()
+			out := monitor.Key{Metric: "out", Scope: monitor.ScopeNode}
+			if got := latestValue(t, st, out); got != tt.want {
+				t.Fatalf("value = %v, want %v", got, tt.want)
+			}
+			p, _ := st.Latest(out)
+			if p.Time != 10 {
+				t.Fatalf("emit time = %v, want the newest input time 10", p.Time)
+			}
+		})
+	}
+}
+
+func TestEvalGroupBySource(t *testing.T) {
+	st := fleetStore(t)
+	e := newTestEngine(t, st, mustRule(t, `cluster_flops = sum(flops_dp) by (source) over 30s`))
+	e.EvalNow()
+	want := map[string]float64{"nodeA": 15, "nodeB": 30, "nodeC": 100}
+	for source, v := range want {
+		k := monitor.Key{Source: source, Metric: "cluster_flops", Scope: monitor.ScopeNode}
+		if got := latestValue(t, st, k); got != v {
+			t.Errorf("%s = %v, want %v", source, got, v)
+		}
+	}
+	sts := e.RuleStatuses()
+	if len(sts) != 1 || sts[0].Series != 3 || sts[0].Groups != 3 || sts[0].Emitted != 3 {
+		t.Fatalf("status = %+v, want series=3 groups=3 emitted=3", sts)
+	}
+}
+
+func TestEvalGroupByLabel(t *testing.T) {
+	st := fleetStore(t)
+	// An unlabelled series lands in the group without the label.
+	bare := monitor.Key{Source: "nodeD", Metric: "flops_dp", Scope: monitor.ScopeNode}
+	st.Append(bare, monitor.Point{Time: 10, Value: 7})
+
+	e := newTestEngine(t, st, mustRule(t, `job_flops = sum(flops_dp) by (job) over 30s`))
+	e.EvalNow()
+
+	lbm, _ := monitor.MakeLabels(map[string]string{"job": "lbm"})
+	cfd, _ := monitor.MakeLabels(map[string]string{"job": "cfd"})
+	if got := latestValue(t, st, monitor.Key{Metric: "job_flops", Scope: monitor.ScopeNode, Labels: lbm}); got != 45 {
+		t.Errorf("job=lbm = %v, want 45", got)
+	}
+	if got := latestValue(t, st, monitor.Key{Metric: "job_flops", Scope: monitor.ScopeNode, Labels: cfd}); got != 100 {
+		t.Errorf("job=cfd = %v, want 100", got)
+	}
+	if got := latestValue(t, st, monitor.Key{Metric: "job_flops", Scope: monitor.ScopeNode}); got != 7 {
+		t.Errorf("unlabelled group = %v, want 7", got)
+	}
+}
+
+func TestEvalWindowExcludesOldPoints(t *testing.T) {
+	st := monitor.NewStore(64)
+	k := monitor.Key{Source: "nodeA", Metric: "bw", Scope: monitor.ScopeNode}
+	st.Append(k, monitor.Point{Time: 0, Value: 1000}) // outside "over 30s" of t=100
+	st.Append(k, monitor.Point{Time: 90, Value: 10})
+	st.Append(k, monitor.Point{Time: 100, Value: 20})
+	e := newTestEngine(t, st, mustRule(t, `out = avg(bw) over 30s`))
+	e.EvalNow()
+	if got := latestValue(t, st, monitor.Key{Metric: "out", Scope: monitor.ScopeNode}); got != 15 {
+		t.Fatalf("avg = %v, want 15 (the t=0 point is outside the window)", got)
+	}
+}
+
+func TestEvalDedupeGuard(t *testing.T) {
+	st := fleetStore(t)
+	e := newTestEngine(t, st, mustRule(t, `out = sum(flops_dp) over 30s`))
+	out := monitor.Key{Metric: "out", Scope: monitor.ScopeNode}
+
+	e.EvalNow()
+	e.EvalNow() // inputs did not advance: no duplicate point
+	if n := st.Len(out); n != 1 {
+		t.Fatalf("output has %d points after idle re-eval, want 1", n)
+	}
+
+	a := monitor.Key{Source: "nodeA", Metric: "flops_dp", Scope: monitor.ScopeNode}
+	lbm, _ := monitor.MakeLabels(map[string]string{"job": "lbm"})
+	a.Labels = lbm
+	st.Append(a, monitor.Point{Time: 20, Value: 40})
+	e.EvalNow()
+	if n := st.Len(out); n != 2 {
+		t.Fatalf("output has %d points after inputs advanced, want 2", n)
+	}
+	sts := e.RuleStatuses()
+	if sts[0].Evals != 3 || sts[0].Emitted != 2 {
+		t.Fatalf("status = %+v, want evals=3 emitted=2", sts[0])
+	}
+}
+
+func TestEvalChaining(t *testing.T) {
+	st := fleetStore(t)
+	rules, _, err := ParseFile(`
+cluster_flops = sum(flops_dp) over 30s
+sweep = count(*) over 30s
+ramp = rate(cluster_flops) over 1m
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(t, st, rules...)
+	e.EvalNow()
+	// The wildcard sweep sees the 3 collected series, never cluster_flops.
+	if got := latestValue(t, st, monitor.Key{Metric: "sweep", Scope: monitor.ScopeNode}); got != 3 {
+		t.Fatalf("sweep = %v, want 3 (wildcard must skip derived outputs)", got)
+	}
+	// The explicit name feeds on the roll-up once it has two points.
+	a := monitor.Key{Source: "nodeA", Metric: "flops_dp", Scope: monitor.ScopeNode}
+	lbm, _ := monitor.MakeLabels(map[string]string{"job": "lbm"})
+	a.Labels = lbm
+	st.Append(a, monitor.Point{Time: 20, Value: 40})
+	e.EvalNow()
+	if _, ok := st.Latest(monitor.Key{Metric: "ramp", Scope: monitor.ScopeNode}); !ok {
+		t.Fatal("ramp must chain on cluster_flops")
+	}
+}
+
+func TestEvalNoMatchReportsError(t *testing.T) {
+	st := monitor.NewStore(16)
+	var mu sync.Mutex
+	var errs []string
+	e, err := NewEngine(Options{
+		Store: st,
+		Clock: monitor.NewFakeClock(),
+		OnError: func(rule string, err error) {
+			mu.Lock()
+			errs = append(errs, rule+": "+err.Error())
+			mu.Unlock()
+		},
+	}, []*Rule{mustRule(t, `out = sum(nothing) over 30s`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EvalNow()
+	sts := e.RuleStatuses()
+	if !strings.Contains(sts[0].LastError, "no series matches") {
+		t.Fatalf("last_error = %q, want a no-match report", sts[0].LastError)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) != 1 || !strings.Contains(errs[0], "out:") {
+		t.Fatalf("OnError calls = %v", errs)
+	}
+}
+
+func TestReloadKeepsBookkeeping(t *testing.T) {
+	st := fleetStore(t)
+	e := newTestEngine(t, st, mustRule(t, `out = sum(flops_dp) over 30s`))
+	e.EvalNow()
+
+	// Same spec + a new rule: "out" keeps its counters.
+	e.Reload([]*Rule{
+		mustRule(t, `out = sum(flops_dp) over 30s`),
+		mustRule(t, `extra = count(flops_dp) over 30s`),
+	})
+	sts := e.RuleStatuses()
+	if len(sts) != 2 || sts[0].Evals != 1 || sts[1].Evals != 0 {
+		t.Fatalf("statuses after reload = %+v", sts)
+	}
+
+	// Dropping a rule drops its bookkeeping and its derived-set entry, so
+	// a wildcard sweep may feed on the orphaned output series.
+	e.Reload([]*Rule{mustRule(t, `sweep = count(*) over 30s`)})
+	e.EvalNow()
+	// 3 collected + the orphaned "out" output (no longer a live rule's
+	// name, so the wildcard no longer skips it).
+	if got := latestValue(t, st, monitor.Key{Metric: "sweep", Scope: monitor.ScopeNode}); got != 4 {
+		t.Fatalf("sweep after reload = %v, want 4", got)
+	}
+}
+
+// collectSink captures dispatched batches.
+type collectSink struct {
+	mu      sync.Mutex
+	batches []monitor.Batch
+}
+
+func (c *collectSink) Name() string { return "collect" }
+func (c *collectSink) Write(b monitor.Batch) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batches = append(c.batches, b)
+	return nil
+}
+func (c *collectSink) Close() error { return nil }
+
+func TestEvalPublishesBatch(t *testing.T) {
+	st := fleetStore(t)
+	sink := &collectSink{}
+	d := monitor.NewDispatcher(8, sink)
+	e, err := NewEngine(Options{
+		Store:      st,
+		Clock:      monitor.NewFakeClock(),
+		Dispatcher: d,
+	}, []*Rule{mustRule(t, `cluster_flops = sum(flops_dp) by (source) over 30s`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EvalNow()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.batches) != 1 {
+		t.Fatalf("batches = %d, want 1", len(sink.batches))
+	}
+	b := sink.batches[0]
+	if b.Collector != "derive/cluster_flops" || len(b.Samples) != 3 || b.Time != 10 {
+		t.Fatalf("batch = %+v, want derive/cluster_flops with 3 samples at t=10", b)
+	}
+	// Deterministic emit order: groups sorted by group key (source here).
+	if b.Samples[0].Source != "nodeA" || b.Samples[2].Source != "nodeC" {
+		t.Fatalf("batch order = %v %v %v, want nodeA..nodeC",
+			b.Samples[0].Source, b.Samples[1].Source, b.Samples[2].Source)
+	}
+}
+
+func TestEngineTelemetry(t *testing.T) {
+	st := fleetStore(t)
+	reg := telemetry.New()
+	e, err := NewEngine(Options{
+		Store:     st,
+		Clock:     monitor.NewFakeClock(),
+		Telemetry: reg,
+	}, []*Rule{mustRule(t, `out = sum(flops_dp) over 30s`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EvalNow()
+	e.EvalNow()
+	if v := reg.Counter("likwid_derive_evals_total").Value(); v != 2 {
+		t.Errorf("evals_total = %v, want 2", v)
+	}
+	if v := reg.Counter("likwid_derive_emitted_total").Value(); v != 1 {
+		t.Errorf("emitted_total = %v, want 1 (second eval deduped)", v)
+	}
+}
+
+func TestRunEvaluatesOnCadence(t *testing.T) {
+	st := fleetStore(t)
+	clock := monitor.NewFakeClock()
+	e, err := NewEngine(Options{Store: st, Clock: clock, DefaultEvery: 10 * time.Second},
+		[]*Rule{mustRule(t, `out = sum(flops_dp) over 30s`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { e.Run(ctx); close(done) }()
+
+	out := monitor.Key{Metric: "out", Scope: monitor.ScopeNode}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		clock.Advance(10 * time.Second)
+		if _, ok := st.Latest(out); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Run never evaluated the rule")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+}

@@ -1,0 +1,59 @@
+package derive
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDeriveSpec throws arbitrary bytes at the derive-file parser: it
+// must never panic, and every accepted declaration must round-trip
+// through its canonical rendering (parse → render → parse yields the
+// same rendering — the property GET /derive and reload diffing rely
+// on).
+func FuzzDeriveSpec(f *testing.F) {
+	seeds := []string{
+		`cluster_flops = sum(flops_dp{cluster="emmy"}) by (source) over 30s every 10s`,
+		`fleet_bw = avg(memory_bandwidth_mbytes_s, socket) over 1m`,
+		`job_nodes = count(*/dp_mflops_s) by (job, partition) over 30s`,
+		`ramp = rate("DP MFlops/s") over 1m30s`,
+		`floor = min(node*/bw) over 10s` + "\nceil = max(node*/bw) over 10s",
+		"# comment\n\nroute drop */cpu_temp*",
+		`route rename */DP_MFLOPS -> flops_dp`,
+		`route relabel node*/flops_dp{job="lbm"} set cluster="emmy", rack=""`,
+		`x = sum(bw) over 30s nonsense`,
+		`route rename bw -> "alert/x"`,
+		"x = sum(bw) over 30s\nx = avg(bw) over 30s",
+		`x = sum(bw{a="*"}) over 0s`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rules, routes, err := ParseFile(src)
+		if err != nil {
+			return
+		}
+		for _, r := range rules {
+			rendered := r.String()
+			r2, err := ParseRule(rendered, r.Line)
+			if err != nil {
+				t.Fatalf("accepted rule %q renders unparseable %q: %v", src, rendered, err)
+			}
+			if got := r2.String(); got != rendered {
+				t.Fatalf("rule rendering not canonical: %q -> %q", rendered, got)
+			}
+		}
+		for _, route := range routes {
+			if !strings.HasPrefix(route.Spec, "route ") {
+				t.Fatalf("route spec %q lacks the route keyword", route.Spec)
+			}
+			_, reparsed, err := ParseFile(route.Spec)
+			if err != nil {
+				t.Fatalf("accepted route %q renders unparseable %q: %v", src, route.Spec, err)
+			}
+			if len(reparsed) != 1 || reparsed[0].Spec != route.Spec {
+				t.Fatalf("route rendering not canonical: %q -> %+v", route.Spec, reparsed)
+			}
+		}
+	})
+}

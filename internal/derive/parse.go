@@ -1,0 +1,352 @@
+package derive
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"likwid/internal/monitor"
+	"likwid/internal/spec"
+)
+
+// The derive spec language, one declaration per line:
+//
+//	NAME = FN([SOURCE/]METRIC[{LABEL="VALUE",...}][, SCOPE]) [by (DIM, ...)] over DUR [every DUR]
+//
+//	cluster_flops = sum(flops_dp{cluster="emmy"}) by (source) over 30s every 10s
+//	fleet_bw      = avg(memory_bandwidth_mbytes_s, socket) over 1m
+//	job_nodes     = count(*/dp_mflops_s) by (job) over 30s
+//	ramp          = rate(cluster_flops) over 1m
+//
+// FN is sum | avg | min | max | count | rate; SCOPE is thread | core |
+// socket | node (default node); DIM is "source" or a label name.  The
+// selector follows the alert DSL's shape exactly — quoted metrics, '*'
+// wildcards, {label="value"} matchers — but an omitted SOURCE matches
+// every source (a roll-up sweeps the fleet), not only local series.
+//
+// The same file declares ingest routes, applied by the receiver before
+// samples are interned:
+//
+//	route drop SELECTOR
+//	route rename SELECTOR -> NEWMETRIC
+//	route relabel SELECTOR set LABEL="VALUE"[, LABEL=""...]
+//
+//	route drop */cpu_temp_core*
+//	route rename */DP_MFLOPS -> flops_dp
+//	route relabel node*/flops_dp set cluster="emmy", rack=""
+//
+// A relabel with an empty value deletes the label.  Routes run in file
+// order per sample; a drop ends the sample's processing and a rename
+// feeds later routes.  Blank lines and '#' comments are ignored.
+// Errors carry line:column positions so a typo in a 50-line file is
+// findable.
+
+// ParseRule parses one rule line; lineNo is the 1-based line for error
+// positions.
+func ParseRule(line string, lineNo int) (*Rule, error) {
+	s := spec.New("derive", line, lineNo)
+
+	name, col := s.Word()
+	if name == "" {
+		return nil, s.Errf(col, "expected rule name")
+	}
+	if !spec.ValidName(name) {
+		return nil, s.Errf(col, "bad rule name %q (letters, digits, '_', '-', '.')", name)
+	}
+	if name == "route" {
+		return nil, s.Errf(col, "\"route\" is the routing keyword, not a usable rule name")
+	}
+	if err := s.Expect('=', "after the rule name"); err != nil {
+		return nil, err
+	}
+
+	fnWord, col := s.Word()
+	fn, ok := parseFn(fnWord)
+	if !ok {
+		return nil, s.Errf(col, "unknown function %q (sum, avg, min, max, count, rate)", fnWord)
+	}
+	if err := s.Expect('(', "after the function"); err != nil {
+		return nil, err
+	}
+
+	source, metric, col, err := s.Selector()
+	if err != nil {
+		return nil, err
+	}
+	if metric == "" {
+		return nil, s.Errf(col, "expected a metric selector")
+	}
+	matchers, err := s.Matchers()
+	if err != nil {
+		return nil, err
+	}
+
+	scope := monitor.ScopeNode
+	if s.Accept(',') {
+		scopeWord, col := s.Word()
+		if scope, err = monitor.ParseScope(scopeWord); err != nil {
+			return nil, s.Errf(col, "bad scope %q (thread, core, socket, node)", scopeWord)
+		}
+	}
+	if err := s.Expect(')', "after the selector"); err != nil {
+		return nil, err
+	}
+
+	kw, col := s.Word()
+	var by []string
+	if kw == "by" {
+		if by, err = parseBy(s); err != nil {
+			return nil, err
+		}
+		kw, col = s.Word()
+	}
+	if kw != "over" {
+		return nil, s.Errf(col, "expected \"over DURATION\", got %q", kw)
+	}
+	over, err := s.Duration("window (\"over\")", false)
+	if err != nil {
+		return nil, err
+	}
+
+	every := time.Duration(0)
+	if !s.EOF() {
+		kw, col := s.Word()
+		if kw != "every" {
+			return nil, s.Errf(col, "unexpected %q (only \"every DURATION\" may follow)", kw)
+		}
+		if every, err = s.Duration("evaluation (\"every\")", false); err != nil {
+			return nil, err
+		}
+	}
+	if !s.EOF() {
+		w, col := s.Word()
+		if w == "" {
+			col = s.Col()
+			w = string(s.Peek())
+		}
+		return nil, s.Errf(col, "unexpected trailing %q", w)
+	}
+
+	return &Rule{
+		Name:     name,
+		Fn:       fn,
+		Source:   source,
+		Metric:   metric,
+		Matchers: matchers,
+		Scope:    scope,
+		By:       by,
+		Over:     over.Seconds(),
+		Every:    every,
+		Line:     lineNo,
+	}, nil
+}
+
+// parseBy reads the "(DIM, DIM, ...)" group clause after "by".
+func parseBy(s *spec.Scanner) ([]string, error) {
+	if err := s.Expect('(', "after \"by\""); err != nil {
+		return nil, err
+	}
+	var by []string
+	seen := map[string]bool{}
+	for {
+		dim, col := s.Word()
+		if dim == "" {
+			return nil, s.Errf(col, "expected a grouping dimension (\"source\" or a label name)")
+		}
+		if dim != BySource {
+			if !monitor.ValidLabelName(dim) {
+				return nil, s.Errf(col, "bad grouping label %q (letters, digits, '_'; not starting with a digit)", dim)
+			}
+			if monitor.ReservedLabelName(dim) {
+				return nil, s.Errf(col, "grouping dimension %q is reserved; only \"source\" groups by the key itself", dim)
+			}
+		}
+		if seen[dim] {
+			return nil, s.Errf(col, "duplicate grouping dimension %q", dim)
+		}
+		seen[dim] = true
+		by = append(by, dim)
+		if s.Accept(',') {
+			continue
+		}
+		break
+	}
+	if err := s.Expect(')', "after the grouping dimensions"); err != nil {
+		return nil, err
+	}
+	return by, nil
+}
+
+// parseRoute parses one "route ACTION SELECTOR ..." line; the leading
+// "route" word is already consumed.
+func parseRoute(s *spec.Scanner, lineNo int) (monitor.IngestRoute, error) {
+	var route monitor.IngestRoute
+	route.Line = lineNo
+
+	actionWord, col := s.Word()
+	switch actionWord {
+	case "drop":
+		route.Action = monitor.RouteDrop
+	case "rename":
+		route.Action = monitor.RouteRename
+	case "relabel":
+		route.Action = monitor.RouteRelabel
+	default:
+		return route, s.Errf(col, "unknown route action %q (drop, rename, relabel)", actionWord)
+	}
+
+	source, metric, col, err := s.Selector()
+	if err != nil {
+		return route, err
+	}
+	if metric == "" {
+		return route, s.Errf(col, "expected a metric selector")
+	}
+	route.Source, route.Metric = source, metric
+	if route.Matchers, err = s.Matchers(); err != nil {
+		return route, err
+	}
+
+	switch route.Action {
+	case monitor.RouteRename:
+		// "->": '-' is a word character, '>' a delimiter, so the arrow
+		// reads as the word "-" followed by '>'.
+		w, col := s.Word()
+		if w != "-" {
+			return route, s.Errf(col, "expected \"->\" after the selector, got %q", w)
+		}
+		if err := s.Expect('>', "completing \"->\""); err != nil {
+			return route, err
+		}
+		name, col, err := renameTarget(s)
+		if err != nil {
+			return route, err
+		}
+		switch {
+		case name == "":
+			return route, s.Errf(col, "expected the new metric name after \"->\"")
+		case strings.Contains(name, "*"):
+			return route, s.Errf(col, "new metric name %q must be literal (no '*')", name)
+		}
+		if seg, _, found := strings.Cut(name, "/"); found && monitor.ReservedNamespace(seg) {
+			return route, s.Errf(col, "new metric name %q lands in the reserved %s/ namespace", name, seg)
+		}
+		route.NewMetric = name
+	case monitor.RouteRelabel:
+		w, col := s.Word()
+		if w != "set" {
+			return route, s.Errf(col, "expected \"set LABEL=\\\"VALUE\\\"\" after the selector, got %q", w)
+		}
+		seen := map[string]bool{}
+		for {
+			name, col := s.Word()
+			if name == "" {
+				return route, s.Errf(col, "expected a label name to set")
+			}
+			if !monitor.ValidLabelName(name) {
+				return route, s.Errf(col, "bad label name %q (letters, digits, '_'; not starting with a digit)", name)
+			}
+			if monitor.ReservedLabelName(name) {
+				return route, s.Errf(col, "label name %q is reserved (the suite emits source/scope/id itself)", name)
+			}
+			if seen[name] {
+				return route, s.Errf(col, "duplicate label %q in the set clause", name)
+			}
+			seen[name] = true
+			if err := s.Expect('=', "after the label name"); err != nil {
+				return route, err
+			}
+			value, vcol, err := s.Quoted()
+			if err != nil {
+				return route, err
+			}
+			// An empty value deletes the label; anything else must be a
+			// value the store would accept — a route must never write a
+			// label the wire would have 400'd.
+			if value != "" {
+				if err := monitor.CheckLabelMap(map[string]string{name: value}); err != nil {
+					return route, s.Errf(vcol, "%v", err)
+				}
+			}
+			route.Set = append(route.Set, monitor.Label{Name: name, Value: value})
+			if s.Accept(',') {
+				continue
+			}
+			break
+		}
+	}
+	if !s.EOF() {
+		w, col := s.Word()
+		if w == "" {
+			col = s.Col()
+			w = string(s.Peek())
+		}
+		return route, s.Errf(col, "unexpected trailing %q", w)
+	}
+	route.Spec = RenderRoute(&route)
+	return route, nil
+}
+
+// renameTarget reads the new metric name of a rename route: a bare
+// word or a quoted name.
+func renameTarget(s *spec.Scanner) (string, int, error) {
+	if s.Peek() == '"' {
+		return s.Quoted()
+	}
+	name, col := s.Word()
+	return name, col, nil
+}
+
+// RenderRoute renders a route back in spec syntax (canonical).
+func RenderRoute(r *monitor.IngestRoute) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "route %s %s", r.Action, spec.RenderSelector(r.Source, r.Metric, r.Matchers))
+	switch r.Action {
+	case monitor.RouteRename:
+		fmt.Fprintf(&b, " -> %s", spec.QuoteMetric(r.NewMetric))
+	case monitor.RouteRelabel:
+		b.WriteString(" set ")
+		for i, set := range r.Set {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, `%s="%s"`, set.Name, set.Value)
+		}
+	}
+	return b.String()
+}
+
+// ParseFile parses a whole derive file: rules and routes, one per
+// line, blank lines and '#' comments ignored.  Duplicate rule names
+// are rejected (they would write one output series from two
+// definitions); routes keep file order.
+func ParseFile(src string) ([]*Rule, []monitor.IngestRoute, error) {
+	var rules []*Rule
+	var routes []monitor.IngestRoute
+	byName := map[string]int{}
+	for i, line := range strings.Split(src, "\n") {
+		line = spec.StripComment(line)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		s := spec.New("derive", line, i+1)
+		if w, _ := s.Word(); w == "route" {
+			route, err := parseRoute(s, i+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			routes = append(routes, route)
+			continue
+		}
+		r, err := ParseRule(line, i+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		if prev, dup := byName[r.Name]; dup {
+			return nil, nil, fmt.Errorf("derive: line %d: rule %q already defined on line %d", i+1, r.Name, prev)
+		}
+		byName[r.Name] = i + 1
+		rules = append(rules, r)
+	}
+	return rules, routes, nil
+}

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"likwid/internal/telemetry"
@@ -59,6 +60,11 @@ type HTTPSink struct {
 	// maxDecompressed caps one /ingest payload after gunzipping;
 	// defaulted from maxIngestDecompressed at construction.
 	maxDecompressed int64
+
+	// router is the ingest routing stage (drop/rename/relabel), applied
+	// to each decoded batch before label interning.  Swapped atomically
+	// on reload; nil means no routes.
+	router atomic.Pointer[Router]
 
 	// readiness checks registered by the embedding binary (notifiers up,
 	// store attached); /readyz runs them all.  Guarded by readyMu, not
@@ -237,6 +243,20 @@ func (h *HTTPSink) handleReady(w http.ResponseWriter, _ *http.Request) {
 // Name implements Sink.
 func (h *HTTPSink) Name() string { return "http" }
 
+// SetRouter installs (or, with nil, removes) the ingest routing stage.
+// The swap is atomic, so reloads under live ingest traffic are safe;
+// in-flight batches finish on the router they started with.
+func (h *HTTPSink) SetRouter(r *Router) {
+	if r != nil && r.Len() == 0 {
+		r = nil
+	}
+	h.router.Store(r)
+}
+
+// Router returns the installed routing stage (nil when none), for
+// status endpoints.
+func (h *HTTPSink) Router() *Router { return h.router.Load() }
+
 // SetIngestLabels installs default labels merged under every ingested
 // sample's own labels (a per-name default: the sample wins on
 // conflict) — the receiver half of likwid-agent -labels, stamping e.g.
@@ -378,11 +398,13 @@ func (h *HTTPSink) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// Label slicing is inherently cross-source: without an explicit
-	// source parameter a selector fans out across the fleet instead of
-	// silently matching only local (sourceless) series on a receiver.
-	// An explicit source= (even empty, meaning local-only) is honored.
-	if _, explicit := q["source"]; len(sels) > 0 && !explicit {
+	// Label slicing and metric wildcards are inherently cross-source:
+	// without an explicit source parameter they fan out across the
+	// fleet instead of silently matching only local (sourceless) series
+	// on a receiver.  An explicit source= (even empty, meaning
+	// local-only) is honored.
+	if _, explicit := q["source"]; !explicit &&
+		(len(sels) > 0 || strings.Contains(metric, "*")) {
 		source = "*"
 	}
 	scope := ScopeNode
@@ -419,10 +441,10 @@ func (h *HTTPSink) handleQuery(w http.ResponseWriter, r *http.Request) {
 		to = v
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if strings.Contains(source, "*") || len(sels) > 0 {
-		// Wildcard across sources and/or label selection: one response
-		// entry per matched series (a label selector can match several
-		// label sets even under one exact source).
+	if strings.Contains(source, "*") || strings.Contains(metric, "*") || len(sels) > 0 {
+		// Wildcards (source and/or metric) and label selection: one
+		// response entry per matched series (a selector can match
+		// several series even under one exact source).
 		resp := querySeriesResponse{Series: []queryResponse{}}
 		for _, k := range h.queryKeys(source, metric, scope, id, sels) {
 			resp.Series = append(resp.Series, queryResponse{
@@ -467,10 +489,12 @@ func (h *HTTPSink) resolveKey(source, metric string, scope Scope, id int) Key {
 }
 
 // queryKeys lists the stored series matching a source pattern (exact or
-// '*' wildcard), a label selector set, and an exact (or sanitized)
-// metric at one scope/id, sorted by source then labels.
+// '*' wildcard), a label selector set, and a metric selector (exact,
+// sanitized, or '*' wildcard against the raw or sanitized name) at one
+// scope/id, sorted by source then labels.
 func (h *HTTPSink) queryKeys(sourcePattern, metric string, scope Scope, id int, sels []Label) []Key {
 	want := strings.TrimPrefix(metric, "likwid_")
+	wildcard := strings.Contains(metric, "*")
 	var out []Key
 	for _, k := range h.store.Keys() { // sorted by source, labels already
 		if k.Scope != scope || k.ID != id {
@@ -482,7 +506,14 @@ func (h *HTTPSink) queryKeys(sourcePattern, metric string, scope Scope, id int, 
 		if !MatchLabels(sels, k.Labels) {
 			continue
 		}
-		if k.Metric != metric && SanitizeMetric(k.Metric) != want {
+		if wildcard {
+			// A wildcard matches the raw name or its exposition form, so
+			// metric=cluster_* finds a derived family and metric=memory_*
+			// finds "Memory bandwidth [MBytes/s]" alike.
+			if !WildcardMatch(want, k.Metric) && !WildcardMatch(want, SanitizeMetric(k.Metric)) {
+				continue
+			}
+		} else if k.Metric != metric && SanitizeMetric(k.Metric) != want {
 			continue
 		}
 		out = append(out, k)
@@ -680,6 +711,14 @@ func (h *HTTPSink) handleIngest(w http.ResponseWriter, r *http.Request) {
 		h.reject(reason)
 		http.Error(w, "bad ingest payload: "+err.Error(), status)
 		return
+	}
+	if router := h.router.Load(); router != nil {
+		samples, labelMaps, sentAts, err = router.Apply(samples, labelMaps, sentAts)
+		if err != nil {
+			h.reject("labels")
+			http.Error(w, "bad ingest payload: "+err.Error(), http.StatusBadRequest)
+			return
+		}
 	}
 	if err := h.applyIngestLabels(samples, labelMaps); err != nil {
 		h.reject("labels")

@@ -340,13 +340,34 @@ func MatchLabels(selectors []Label, l Labels) bool {
 		if !ok {
 			return false
 		}
-		if strings.Contains(sel.Value, "*") {
-			if !WildcardMatch(sel.Value, v) {
-				return false
-			}
-		} else if sel.Value != v {
+		if !matchLabelValue(sel.Value, v) {
 			return false
 		}
 	}
 	return true
+}
+
+// MatchLabelMap is MatchLabels over a raw wire label map — the
+// pre-intern form ingest routes see, so a route can match (and reject)
+// a sample before anything reaches the intern table.
+func MatchLabelMap(selectors []Label, m map[string]string) bool {
+	for _, sel := range selectors {
+		v, ok := m[sel.Name]
+		if !ok {
+			return false
+		}
+		if !matchLabelValue(sel.Value, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchLabelValue matches one selector value pattern ('*' wildcards)
+// against a label value.
+func matchLabelValue(pattern, v string) bool {
+	if strings.Contains(pattern, "*") {
+		return WildcardMatch(pattern, v)
+	}
+	return pattern == v
 }

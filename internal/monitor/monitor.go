@@ -290,6 +290,22 @@ func MatchSource(pattern, source string) bool {
 	return pattern == source
 }
 
+// MatchMetric reports whether a metric selector picks a series metric:
+// exact match, '*' wildcards (against the raw name), or sanitized-form
+// equality so a flat selector ("memory_bandwidth_mbytes_s") finds the
+// display-named series ("Memory bandwidth [MBytes/s]").  The selector
+// idiom shared by the alert DSL, the derive DSL, ingest routes and the
+// /query metric parameter.
+func MatchMetric(pattern, name string) bool {
+	if pattern == name {
+		return true
+	}
+	if strings.Contains(pattern, "*") {
+		return WildcardMatch(pattern, name)
+	}
+	return SanitizeMetric(name) == SanitizeMetric(pattern)
+}
+
 // SanitizeMetric converts a display metric name ("DP MFlops/s",
 // "Memory bandwidth [MBytes/s]") into a flat series name
 // ("dp_mflops_s", "memory_bandwidth_mbytes_s") usable in CSV headers and

@@ -1,0 +1,220 @@
+package monitor
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"likwid/internal/telemetry"
+)
+
+// Ingest routing: the receiver's retag stage.  A fleet funnels pushes
+// from dozens of agents through one /ingest endpoint; routes let the
+// operator normalize that stream at the fan-in point — drop noisy
+// series, rename metrics that differ across agent versions, stamp or
+// strip labels — before anything is interned or stored.  Routes run in
+// the decode aisle of handleIngest, on the raw wire representation
+// (samples plus their uninterned label maps), so a dropped sample
+// leaves no residue and a relabel never pays double interning.
+//
+// Routes are declared in the derive rule file (internal/derive parses
+// them: "route drop ...", "route rename ... -> NAME", "route relabel
+// ... set k=\"v\"") and handed to the sink as a Router via SetRouter.
+
+// RouteAction is the transform an ingest route applies.
+type RouteAction int
+
+const (
+	// RouteDrop discards matching samples.
+	RouteDrop RouteAction = iota
+	// RouteRename rewrites the metric name of matching samples.
+	RouteRename
+	// RouteRelabel sets (or, with an empty value, deletes) labels on
+	// matching samples.
+	RouteRelabel
+)
+
+var routeActionNames = [...]string{"drop", "rename", "relabel"}
+
+// String returns the spec-language action name.
+func (a RouteAction) String() string {
+	if a < 0 || int(a) >= len(routeActionNames) {
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+	return routeActionNames[a]
+}
+
+// IngestRoute is one parsed routing transform.
+type IngestRoute struct {
+	// Source selects samples by pushing agent ('*' wildcards).  Empty
+	// matches every source — a route is a fan-in transform, so unlike an
+	// alert selector it has no "local only" reading.
+	Source string
+	// Metric selects samples by metric name: exact, '*' wildcards, or
+	// sanitized-form equality (monitor.MatchMetric).
+	Metric string
+	// Matchers restrict the route to samples whose wire label map
+	// carries every named label with a matching value ('*' wildcards).
+	Matchers []Label
+	// Action is the transform applied to matching samples.
+	Action RouteAction
+	// NewMetric is the replacement name (RouteRename only).
+	NewMetric string
+	// Set are the label assignments (RouteRelabel only); an empty Value
+	// deletes the label.
+	Set []Label
+	// Spec is the route line in spec syntax, for status reporting.
+	Spec string
+	// Line is the 1-based line of the route in its spec file.
+	Line int
+}
+
+// matches reports whether the route picks one wire sample.
+func (r *IngestRoute) matches(s *Sample, labels map[string]string) bool {
+	if r.Source != "" && !MatchSource(r.Source, s.Source) {
+		return false
+	}
+	if !MatchLabelMap(r.Matchers, labels) {
+		return false
+	}
+	return MatchMetric(r.Metric, s.Metric)
+}
+
+// routeState pairs a route with its hit accounting.
+type routeState struct {
+	route   IngestRoute
+	matched atomic.Uint64
+}
+
+// Router applies an ordered route list to a decoded ingest batch.  It
+// is immutable after construction — reload builds a new Router and the
+// sink swaps the pointer — so Apply runs lock-free under concurrent
+// ingest handlers; the per-route counters are atomics.
+type Router struct {
+	routes []*routeState
+
+	// Registry counters by action, resolved by Instrument (nil until
+	// then).  The registry dedups by id, so a reloaded Router's
+	// Instrument returns the same underlying counters and fleet totals
+	// survive route-file reloads.
+	tRouted [len(routeActionNames)]*telemetry.Counter
+}
+
+// NewRouter builds a Router over an ordered route list.
+func NewRouter(routes []IngestRoute) *Router {
+	r := &Router{routes: make([]*routeState, len(routes))}
+	for i := range routes {
+		r.routes[i] = &routeState{route: routes[i]}
+	}
+	return r
+}
+
+// Len returns the number of routes.
+func (r *Router) Len() int { return len(r.routes) }
+
+// Instrument registers the routing counters on reg.
+func (r *Router) Instrument(reg *telemetry.Registry) {
+	for a, name := range routeActionNames {
+		r.tRouted[a] = reg.Counter("likwid_ingest_routed_total", "action", name)
+	}
+}
+
+// RouteStatus is one route's spec and hit accounting, the GET /derive
+// status shape.
+type RouteStatus struct {
+	Spec    string `json:"spec"`
+	Action  string `json:"action"`
+	Matched uint64 `json:"matched"`
+}
+
+// Statuses lists every route with its match count, in route order.
+func (r *Router) Statuses() []RouteStatus {
+	out := make([]RouteStatus, len(r.routes))
+	for i, rs := range r.routes {
+		out[i] = RouteStatus{
+			Spec:    rs.route.Spec,
+			Action:  rs.route.Action.String(),
+			Matched: rs.matched.Load(),
+		}
+	}
+	return out
+}
+
+// Apply runs the route list over a decoded batch, in route order per
+// sample: a drop ends that sample's processing; a rename feeds the new
+// name to later routes; a relabel copies the wire label map before
+// mutating it (v4 decode shares one map across a series group, and the
+// untouched samples must keep their original labels).  The three
+// slices are index-aligned and are compacted in place; the returned
+// slices alias the inputs.
+//
+// A relabel that pushes a sample past the label-count cap rejects the
+// whole batch (the ingest contract is all-or-nothing): the route file
+// and the payload disagree, and silently dropping labels would hide
+// it.
+func (r *Router) Apply(samples []Sample, labelMaps []map[string]string, sentAts []float64) ([]Sample, []map[string]string, []float64, error) {
+	if len(r.routes) == 0 {
+		return samples, labelMaps, sentAts, nil
+	}
+	n := 0
+	for i := range samples {
+		s := samples[i]
+		labels := labelMaps[i]
+		dropped := false
+		copied := false
+		for _, rs := range r.routes {
+			if !rs.route.matches(&s, labels) {
+				continue
+			}
+			rs.matched.Add(1)
+			if c := r.tRouted[rs.route.Action]; c != nil {
+				c.Inc()
+			}
+			switch rs.route.Action {
+			case RouteDrop:
+				dropped = true
+			case RouteRename:
+				s.Metric = rs.route.NewMetric
+			case RouteRelabel:
+				if !copied {
+					next := make(map[string]string, len(labels)+len(rs.route.Set))
+					for k, v := range labels {
+						next[k] = v
+					}
+					labels, copied = next, true
+				}
+				for _, set := range rs.route.Set {
+					if set.Value == "" {
+						delete(labels, set.Name)
+					} else {
+						labels[set.Name] = set.Value
+					}
+				}
+			}
+			if dropped {
+				break
+			}
+		}
+		if dropped {
+			continue
+		}
+		if len(labels) > maxLabels {
+			return nil, nil, nil, fmt.Errorf("monitor: route %q leaves sample labels %q over the limit of %d labels",
+				routeFor(r, &s, labels), FormatLabelMap(labels), maxLabels)
+		}
+		samples[n], labelMaps[n], sentAts[n] = s, labels, sentAts[i]
+		n++
+	}
+	return samples[:n], labelMaps[:n], sentAts[:n], nil
+}
+
+// routeFor names the last relabel route matching a sample, for the
+// over-cap error message.
+func routeFor(r *Router, s *Sample, labels map[string]string) string {
+	spec := "?"
+	for _, rs := range r.routes {
+		if rs.route.Action == RouteRelabel && rs.route.matches(s, labels) {
+			spec = rs.route.Spec
+		}
+	}
+	return spec
+}

@@ -1,0 +1,275 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"likwid/internal/telemetry"
+)
+
+func routeBatch() ([]Sample, []map[string]string, []float64) {
+	samples := []Sample{
+		{Source: "nodeA", Metric: "bw", Scope: ScopeNode, Time: 1, Value: 10},
+		{Source: "nodeA", Metric: "noise", Scope: ScopeNode, Time: 1, Value: 1},
+		{Source: "nodeB", Metric: "bw_old", Scope: ScopeNode, Time: 1, Value: 20},
+	}
+	labelMaps := []map[string]string{
+		{"job": "lbm"},
+		{"job": "lbm"},
+		nil,
+	}
+	return samples, labelMaps, []float64{1, 2, 3}
+}
+
+func TestRouterDrop(t *testing.T) {
+	r := NewRouter([]IngestRoute{{Metric: "noise", Action: RouteDrop, Spec: "route drop noise"}})
+	samples, labelMaps, sentAts := routeBatch()
+	samples, labelMaps, sentAts, err := r.Apply(samples, labelMaps, sentAts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 || len(labelMaps) != 2 || len(sentAts) != 2 {
+		t.Fatalf("want 2 samples after drop, got %d", len(samples))
+	}
+	for _, s := range samples {
+		if s.Metric == "noise" {
+			t.Fatalf("dropped metric still present: %+v", s)
+		}
+	}
+	// The parallel slices must stay aligned: nodeB's sent_at is 3.
+	if samples[1].Source != "nodeB" || sentAts[1] != 3 {
+		t.Fatalf("slices misaligned after drop: %+v sentAt=%v", samples[1], sentAts[1])
+	}
+	if st := r.Statuses(); len(st) != 1 || st[0].Matched != 1 || st[0].Action != "drop" {
+		t.Fatalf("bad route status: %+v", st)
+	}
+}
+
+func TestRouterRename(t *testing.T) {
+	r := NewRouter([]IngestRoute{{Metric: "bw_old", Action: RouteRename, NewMetric: "bw"}})
+	samples, labelMaps, sentAts := routeBatch()
+	samples, _, _, err := r.Apply(samples, labelMaps, sentAts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples[2].Metric != "bw" {
+		t.Fatalf("rename did not apply: %+v", samples[2])
+	}
+	if samples[0].Metric != "bw" || samples[1].Metric != "noise" {
+		t.Fatalf("rename touched non-matching samples: %+v", samples[:2])
+	}
+}
+
+func TestRouterRelabelCopiesSharedMaps(t *testing.T) {
+	shared := map[string]string{"job": "lbm"}
+	samples := []Sample{
+		{Source: "nodeA", Metric: "bw", Scope: ScopeNode, Time: 1, Value: 10},
+		{Source: "nodeB", Metric: "bw", Scope: ScopeNode, Time: 1, Value: 20},
+	}
+	labelMaps := []map[string]string{shared, shared} // v4 decode shares maps
+	r := NewRouter([]IngestRoute{{
+		Source: "nodeA", Metric: "bw", Action: RouteRelabel,
+		Set: []Label{{Name: "cluster", Value: "emmy"}, {Name: "job", Value: ""}},
+	}})
+	_, labelMaps, _, err := r.Apply(samples, labelMaps, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := labelMaps[0]; got["cluster"] != "emmy" || got["job"] != "" {
+		t.Fatalf("relabel did not apply: %v", got)
+	}
+	if got := labelMaps[1]; got["cluster"] != "" || got["job"] != "lbm" {
+		t.Fatalf("relabel mutated the shared map of a non-matching sample: %v", got)
+	}
+	if shared["cluster"] != "" {
+		t.Fatalf("relabel mutated the shared wire map in place: %v", shared)
+	}
+}
+
+func TestRouterOrderAndChaining(t *testing.T) {
+	// A rename feeds later routes: bw_old -> bw, then bw is retagged.
+	r := NewRouter([]IngestRoute{
+		{Metric: "bw_old", Action: RouteRename, NewMetric: "bw"},
+		{Metric: "bw", Action: RouteRelabel, Set: []Label{{Name: "cluster", Value: "emmy"}}},
+	})
+	samples, labelMaps, sentAts := routeBatch()
+	samples, labelMaps, _, err := r.Apply(samples, labelMaps, sentAts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples[2].Metric != "bw" || labelMaps[2]["cluster"] != "emmy" {
+		t.Fatalf("chained routes did not apply: %+v labels=%v", samples[2], labelMaps[2])
+	}
+}
+
+func TestRouterMatchDimensions(t *testing.T) {
+	// Source wildcard + label matcher + sanitized metric matching.
+	r := NewRouter([]IngestRoute{{
+		Source: "node*", Metric: "memory_bandwidth_mbytes_s",
+		Matchers: []Label{{Name: "job", Value: "l*"}},
+		Action:   RouteDrop,
+	}})
+	samples := []Sample{
+		{Source: "nodeA", Metric: "Memory bandwidth [MBytes/s]", Scope: ScopeNode, Time: 1, Value: 1},
+		{Source: "nodeA", Metric: "Memory bandwidth [MBytes/s]", Scope: ScopeNode, Time: 1, Value: 1},
+		{Source: "rack1", Metric: "Memory bandwidth [MBytes/s]", Scope: ScopeNode, Time: 1, Value: 1},
+	}
+	labelMaps := []map[string]string{{"job": "lbm"}, {"job": "xhpl"}, {"job": "lbm"}}
+	samples, _, _, err := r.Apply(samples, labelMaps, make([]float64, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("want 2 survivors (wrong job, wrong source), got %d", len(samples))
+	}
+}
+
+func TestRouterRelabelOverCapRejects(t *testing.T) {
+	var set []Label
+	for i := 0; i < maxLabels; i++ {
+		set = append(set, Label{Name: fmt.Sprintf("l%02d", i), Value: "x"})
+	}
+	r := NewRouter([]IngestRoute{{Metric: "bw", Action: RouteRelabel, Set: set, Spec: "route relabel bw set ..."}})
+	samples := []Sample{{Source: "nodeA", Metric: "bw", Scope: ScopeNode, Time: 1, Value: 1}}
+	labelMaps := []map[string]string{{"job": "lbm"}} // 1 + maxLabels > maxLabels
+	if _, _, _, err := r.Apply(samples, labelMaps, []float64{0}); err == nil {
+		t.Fatal("over-cap relabel accepted")
+	}
+}
+
+func TestRouterInstrument(t *testing.T) {
+	reg := telemetry.New()
+	r := NewRouter([]IngestRoute{{Metric: "noise", Action: RouteDrop}})
+	r.Instrument(reg)
+	samples, labelMaps, sentAts := routeBatch()
+	if _, _, _, err := r.Apply(samples, labelMaps, sentAts); err != nil {
+		t.Fatal(err)
+	}
+	// Reload: a fresh Router re-instruments onto the same registry
+	// counters (identity dedup), so fleet totals survive route reloads.
+	r2 := NewRouter([]IngestRoute{{Metric: "noise", Action: RouteDrop}})
+	r2.Instrument(reg)
+	samples, labelMaps, sentAts = routeBatch()
+	if _, _, _, err := r2.Apply(samples, labelMaps, sentAts); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("likwid_ingest_routed_total", "action", "drop").Value(); got != 2 {
+		t.Fatalf("routed counter = %d, want 2 across reload", got)
+	}
+}
+
+// TestIngestRouting drives the routing stage through the real /ingest
+// handler: a drop, a rename and a relabel route reshape a pushed batch
+// before it reaches the store, and the response accounts only for the
+// survivors.
+func TestIngestRouting(t *testing.T) {
+	h, store := newTestHTTPSink(t)
+	h.SetRouter(NewRouter([]IngestRoute{
+		{Metric: "noise", Action: RouteDrop},
+		{Metric: "bw_old", Action: RouteRename, NewMetric: "bw"},
+		{Metric: "bw", Action: RouteRelabel, Set: []Label{{Name: "cluster", Value: "emmy"}}},
+	}))
+	payload := []byte(`{"source":"nodeA","metric":"noise","scope":"node","id":0,"time":1,"value":1}
+{"source":"nodeA","metric":"bw_old","scope":"node","id":0,"time":1,"value":10}
+`)
+	code, body := postIngest(t, "http://"+h.Addr(), payload, false)
+	if code != http.StatusOK {
+		t.Fatalf("ingest = %d %q", code, body)
+	}
+	var resp ingestResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 1 {
+		t.Fatalf("accepted = %d, want 1 (drop excluded)", resp.Accepted)
+	}
+	keys := store.Keys()
+	if len(keys) != 1 {
+		t.Fatalf("store keys = %+v, want exactly the renamed+retagged series", keys)
+	}
+	k := keys[0]
+	if k.Metric != "bw" {
+		t.Errorf("metric = %q, want renamed \"bw\"", k.Metric)
+	}
+	if v, ok := k.Labels.Get("cluster"); !ok || v != "emmy" {
+		t.Errorf("labels = %v, want cluster=emmy from the relabel route", k.Labels.Map())
+	}
+	// SetRouter(nil) removes the stage: the dropped metric now lands.
+	h.SetRouter(nil)
+	noise := []byte(`{"source":"nodeA","metric":"noise","scope":"node","id":0,"time":2,"value":1}` + "\n")
+	if code, body := postIngest(t, "http://"+h.Addr(), noise, false); code != http.StatusOK {
+		t.Fatalf("unrouted ingest = %d %q", code, body)
+	}
+	if n := len(store.Keys()); n != 2 {
+		t.Fatalf("store has %d series after removing the router, want 2", n)
+	}
+}
+
+// TestQueryMetricWildcard covers the /query metric '*' suffix-wildcard:
+// one response entry per matching series, fanning out across sources by
+// default, composable with source= and label selectors.
+func TestQueryMetricWildcard(t *testing.T) {
+	h, store := newTestHTTPSink(t)
+	base := "http://" + h.Addr()
+	lbm, _ := MakeLabels(map[string]string{"job": "lbm"})
+	store.Append(Key{Source: "nodeA", Metric: "cluster_flops", Scope: ScopeNode, Labels: lbm}, Point{Time: 1, Value: 1})
+	store.Append(Key{Source: "nodeB", Metric: "cluster_bw", Scope: ScopeNode}, Point{Time: 1, Value: 2})
+	store.Append(Key{Source: "nodeB", Metric: "other", Scope: ScopeNode}, Point{Time: 1, Value: 3})
+
+	// Family wildcard, no source: fans out across the fleet.
+	code, body := get(t, base+"/query?metric=cluster_*&scope=node")
+	if code != http.StatusOK {
+		t.Fatalf("/query metric=cluster_* status %d: %s", code, body)
+	}
+	var many querySeriesResponse
+	if err := json.Unmarshal([]byte(body), &many); err != nil {
+		t.Fatal(err)
+	}
+	if len(many.Series) != 2 {
+		t.Fatalf("metric=cluster_* returned %d series, want 2: %s", len(many.Series), body)
+	}
+	for _, s := range many.Series {
+		if s.Metric != "cluster_flops" && s.Metric != "cluster_bw" {
+			t.Errorf("unexpected series %+v", s)
+		}
+	}
+
+	// Composed with an exact source.
+	code, body = get(t, base+"/query?metric=cluster_*&scope=node&source=nodeA")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &many); err != nil {
+		t.Fatal(err)
+	}
+	if len(many.Series) != 1 || many.Series[0].Metric != "cluster_flops" {
+		t.Fatalf("metric=cluster_*&source=nodeA = %s, want nodeA's series only", body)
+	}
+
+	// Composed with a label selector.
+	code, body = get(t, base+"/query?metric=cluster_*&scope=node&label.job=lbm")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &many); err != nil {
+		t.Fatal(err)
+	}
+	if len(many.Series) != 1 || many.Series[0].Metric != "cluster_flops" {
+		t.Fatalf("metric=cluster_*&label.job=lbm = %s, want the labelled series only", body)
+	}
+
+	// A wildcard also matches sanitized exposition names.
+	store.Append(Key{Source: "nodeC", Metric: "Memory bandwidth [MBytes/s]", Scope: ScopeNode}, Point{Time: 1, Value: 4})
+	code, body = get(t, base+"/query?metric=memory_*&scope=node")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &many); err != nil {
+		t.Fatal(err)
+	}
+	if len(many.Series) != 1 || many.Series[0].Metric != "Memory bandwidth [MBytes/s]" {
+		t.Fatalf("metric=memory_* = %s, want the display-named series", body)
+	}
+}
