@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -69,6 +70,20 @@ type ruleState struct {
 	evals    uint64
 	lastEval time.Time // wall time of the newest evaluation
 	lastErr  string
+
+	// Cached selector resolution: the matched keys at store index
+	// generation resGen.  Valid until the generation moves (a series was
+	// created) or the rule's spec changes on reload — so steady-state
+	// evaluation of a warm store does zero matching work and zero
+	// allocation.  resKeys is read-only once published here.
+	resKeys  []monitor.Key
+	resGen   uint64
+	resValid bool
+
+	// window is the rule's reusable point buffer for WindowInto.  An
+	// evaluation takes it (leaving nil) and returns it when done, so
+	// concurrent EvalNow+Run evaluations never share a buffer.
+	window []monitor.Point
 }
 
 // Engine evaluates parsed rules against the store on a per-rule wall
@@ -93,6 +108,8 @@ type Engine struct {
 	tEvals       *telemetry.Counter
 	tEvalSec     *telemetry.Histogram
 	tTransitions map[string]*telemetry.Counter // by event state
+	tResHit      *telemetry.Counter            // rule resolutions served from cache
+	tResCold     *telemetry.Counter            // rule resolutions that hit the index
 }
 
 // NewEngine creates an engine over the given rules.
@@ -123,6 +140,8 @@ func NewEngine(opts Options, rules []*Rule) (*Engine, error) {
 			EventStateFiring:   reg.Counter("likwid_alert_transitions_total", "state", EventStateFiring),
 			EventStateResolved: reg.Counter("likwid_alert_transitions_total", "state", EventStateResolved),
 		}
+		e.tResHit = reg.Counter("likwid_alert_resolve_total", "result", "hit")
+		e.tResCold = reg.Counter("likwid_alert_resolve_total", "result", "cold")
 		reg.GaugeFunc("likwid_alert_rules", func() float64 { return float64(len(e.Rules())) })
 	}
 	return e, nil
@@ -156,13 +175,18 @@ func (e *Engine) Reload(rules []*Rule) {
 	unchanged := map[string]bool{}
 	identical := len(rules) == len(e.rules)
 	for i, r := range rules {
+		unchanged[r.Name] = oldSpec[r.Name] == r.String()
 		if st, ok := e.state[r.Name]; ok {
 			st.rule = r
+			if !unchanged[r.Name] {
+				// An edited selector must re-resolve; the cached key set
+				// belongs to the old spec.
+				st.resValid = false
+			}
 			newState[r.Name] = st
 		} else {
 			newState[r.Name] = &ruleState{rule: r}
 		}
-		unchanged[r.Name] = oldSpec[r.Name] == r.String()
 		identical = identical && e.rules[i].Name == r.Name && unchanged[r.Name]
 	}
 	for id := range e.insts {
@@ -228,38 +252,68 @@ func (e *Engine) EvalNow() {
 	}
 }
 
-// evalRule runs one evaluation of one rule against the store.
-func (e *Engine) evalRule(r *Rule) {
-	if e.tEvals != nil {
-		e.tEvals.Inc()
-		start := time.Now()
-		defer func() { e.tEvalSec.Observe(time.Since(start).Seconds()) }()
+// resolveKeys returns the rule's matched series keys, served from the
+// per-rule cache while the store's index generation holds still (new
+// series are rare after warm-up, so steady-state evaluation does zero
+// matching work), resolved through the store's selector index when it
+// moves.  It also hands out the rule's reusable window buffer; the
+// caller returns it via finishEval.
+//
+// The generation is read BEFORE resolving: a series created mid-resolve
+// may be missed by this Select, but the store bumps the generation
+// before such a miss is possible, so the cache records a stale
+// generation and the next evaluation re-resolves.
+func (e *Engine) resolveKeys(r *Rule) ([]monitor.Key, []monitor.Point) {
+	gen := e.opts.Store.IndexGen()
+	e.mu.Lock()
+	st := e.state[r.Name]
+	if st != nil && st.resValid && st.resGen == gen {
+		keys := st.resKeys
+		window := st.window
+		st.window = nil // this evaluation owns the buffer now
+		e.mu.Unlock()
+		if e.tResHit != nil {
+			e.tResHit.Inc()
+		}
+		return keys, window
 	}
-	var keys []monitor.Key
-	e.opts.Store.ForEachKey(func(k monitor.Key) {
-		if k.Scope != r.Scope {
-			return
-		}
-		if r.ID != AllIDs && k.ID != r.ID {
-			return
-		}
-		if !r.matches(k) {
-			return
-		}
-		keys = append(keys, k)
+	e.mu.Unlock()
+	keys := e.opts.Store.Select(monitor.Selector{
+		Source: r.Source,
+		Metric: r.Metric,
+		Labels: r.Matchers,
+		Scope:  r.Scope,
+		ID:     r.ID,
+		AnyID:  r.ID == AllIDs,
 	})
-
-	var evalErr error
-	if len(keys) == 0 {
-		evalErr = fmt.Errorf("no series matches %s(%s, %s, ...)", r.Fn, r.selector(), r.Scope)
-	} else if r.Fn == FnImbalance {
-		e.evalImbalance(r, keys)
-	} else {
-		for _, k := range keys {
-			e.evalSeries(r, k)
+	// Drop alert history series in place: a wildcard rule must not
+	// alert on its own output.
+	kept := keys[:0]
+	for _, k := range keys {
+		if !strings.HasPrefix(k.Metric, "alert/") {
+			kept = append(kept, k)
 		}
 	}
+	keys = kept
+	if e.tResCold != nil {
+		e.tResCold.Inc()
+	}
+	e.mu.Lock()
+	var window []monitor.Point
+	if st := e.state[r.Name]; st != nil {
+		st.resKeys = keys
+		st.resGen = gen
+		st.resValid = true
+		window = st.window
+		st.window = nil
+	}
+	e.mu.Unlock()
+	return keys, window
+}
 
+// finishEval records one evaluation's bookkeeping and returns the
+// window buffer to the rule's scratch slot.
+func (e *Engine) finishEval(r *Rule, evalErr error, window []monitor.Point) {
 	e.mu.Lock()
 	st := e.state[r.Name]
 	if st == nil {
@@ -274,30 +328,60 @@ func (e *Engine) evalRule(r *Rule) {
 	if evalErr != nil {
 		st.lastErr = evalErr.Error()
 	}
+	if st.window == nil && window != nil {
+		st.window = window
+	}
 	e.mu.Unlock()
 	if evalErr != nil && e.opts.OnError != nil {
 		e.opts.OnError(r.Name, evalErr)
 	}
 }
 
-// evalSeries evaluates avg/min/max/rate over one matched series.
-func (e *Engine) evalSeries(r *Rule, k monitor.Key) {
+// evalRule runs one evaluation of one rule against the store.
+func (e *Engine) evalRule(r *Rule) {
+	if e.tEvals != nil {
+		e.tEvals.Inc()
+		start := time.Now()
+		defer func() { e.tEvalSec.Observe(time.Since(start).Seconds()) }()
+	}
+	keys, window := e.resolveKeys(r)
+
+	var evalErr error
+	if len(keys) == 0 {
+		evalErr = fmt.Errorf("no series matches %s(%s, %s, ...)", r.Fn, r.selector(), r.Scope)
+	} else if r.Fn == FnImbalance {
+		window = e.evalImbalance(r, keys, window)
+	} else {
+		for _, k := range keys {
+			window = e.evalSeries(r, k, window)
+		}
+	}
+	e.finishEval(r, evalErr, window)
+}
+
+// evalSeries evaluates avg/min/max/rate over one matched series, windowing
+// into (and returning) the rule's reusable point buffer.
+func (e *Engine) evalSeries(r *Rule, k monitor.Key, window []monitor.Point) []monitor.Point {
 	latest, ok := e.opts.Store.Latest(k)
 	if !ok {
-		return
+		return window
 	}
-	pts := e.opts.Store.Window(k, latest.Time-r.Lookback, -1)
+	pts := e.opts.Store.WindowInto(k, latest.Time-r.Lookback, -1, window)
+	if pts == nil {
+		return window
+	}
 	value, ok := windowValue(r.Fn, pts)
 	if !ok {
-		return
+		return pts
 	}
 	e.advance(r, k, k.Metric, value, latest.Time)
+	return pts
 }
 
 // evalImbalance evaluates the cross-series spread: (max - min) / |mean|
 // of the matched series' window averages.  One instance per rule, keyed
-// by the selector.
-func (e *Engine) evalImbalance(r *Rule, keys []monitor.Key) {
+// by the selector.  Returns the reused window buffer.
+func (e *Engine) evalImbalance(r *Rule, keys []monitor.Key, window []monitor.Point) []monitor.Point {
 	var avgs []float64
 	simNow := math.Inf(-1)
 	for _, k := range keys {
@@ -305,7 +389,10 @@ func (e *Engine) evalImbalance(r *Rule, keys []monitor.Key) {
 		if !ok {
 			continue
 		}
-		pts := e.opts.Store.Window(k, latest.Time-r.Lookback, -1)
+		pts := e.opts.Store.WindowInto(k, latest.Time-r.Lookback, -1, window)
+		if pts != nil {
+			window = pts
+		}
 		avg, ok := windowValue(FnAvg, pts)
 		if !ok {
 			continue
@@ -316,7 +403,7 @@ func (e *Engine) evalImbalance(r *Rule, keys []monitor.Key) {
 		}
 	}
 	if len(avgs) == 0 {
-		return
+		return window
 	}
 	minV, maxV, sum := avgs[0], avgs[0], 0.0
 	for _, v := range avgs {
@@ -337,6 +424,7 @@ func (e *Engine) evalImbalance(r *Rule, keys []monitor.Key) {
 		value = (maxV - minV) / den
 	}
 	e.advance(r, monitor.Key{Metric: r.Metric, Scope: r.Scope, ID: 0}, r.Metric, value, simNow)
+	return window
 }
 
 // windowValue reduces a window to the rule function's value; ok is false

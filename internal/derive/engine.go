@@ -47,6 +47,25 @@ type ruleState struct {
 	groups   int       // output groups of the newest evaluation
 	lastEval time.Time // wall time of the newest evaluation
 	lastErr  string
+
+	// res is the cached selector resolution (matched keys, grouped and
+	// ordered, with interned output labels), valid while the store's
+	// index generation holds still and the rule set is unchanged.
+	res *resolution
+
+	// window is the rule's reusable point buffer for WindowInto.  An
+	// evaluation takes it (leaving nil) and returns it when done, so
+	// concurrent EvalNow+Run evaluations never share a buffer.
+	window []monitor.Point
+}
+
+// resolution is one rule's selector fan-out at one index generation:
+// everything evaluation needs that does not depend on the windows
+// themselves.  Immutable once published.
+type resolution struct {
+	gen     uint64
+	matched int      // selector fan-out (series count)
+	groups  []*group // emit order (sorted by group identity)
 }
 
 // Engine evaluates recorded rules against the store on a per-rule wall
@@ -69,6 +88,8 @@ type Engine struct {
 	tEvalSec *telemetry.Histogram
 	tEmitted *telemetry.Counter
 	tFanout  *telemetry.Histogram
+	tResHit  *telemetry.Counter // rule resolutions served from cache
+	tResCold *telemetry.Counter // rule resolutions that hit the index
 }
 
 // NewEngine creates an engine over the given rules.
@@ -97,6 +118,8 @@ func NewEngine(opts Options, rules []*Rule) (*Engine, error) {
 		e.tEvalSec = reg.Histogram("likwid_derive_eval_seconds", telemetry.DurationBuckets)
 		e.tEmitted = reg.Counter("likwid_derive_emitted_total")
 		e.tFanout = reg.Histogram("likwid_derive_selector_series", telemetry.SizeBuckets)
+		e.tResHit = reg.Counter("likwid_derive_resolve_total", "result", "hit")
+		e.tResCold = reg.Counter("likwid_derive_resolve_total", "result", "cold")
 		reg.GaugeFunc("likwid_derive_rules", func() float64 { return float64(len(e.Rules())) })
 	}
 	return e, nil
@@ -144,6 +167,15 @@ func (e *Engine) Reload(rules []*Rule) {
 			newState[r.Name] = &ruleState{rule: r}
 		}
 		identical = identical && e.rules[i].Name == r.Name && oldSpec[r.Name] == r.String()
+	}
+	if !identical {
+		// A changed rule set can change EVERY rule's matched series, not
+		// just the edited rules': wildcard selectors exclude the derived
+		// output-name set, which this reload just replaced.  Drop all
+		// cached resolutions; the next evaluation re-resolves.
+		for _, st := range newState {
+			st.res = nil
+		}
 	}
 	e.rules = rules
 	e.state = newState
@@ -204,39 +236,69 @@ func (e *Engine) EvalNow() {
 	}
 }
 
-// group accumulates one output series' members during an evaluation.
+// group is one output series' cached membership: the by-dimension
+// identity (source, interned output labels) and the member keys.
+// Immutable once published in a resolution.
 type group struct {
 	source string
-	labels map[string]string
+	labels monitor.Labels
 	keys   []monitor.Key
 }
 
-// evalRule runs one evaluation of one rule: select, group, reduce,
-// emit.  The selection walks the store's lock-free key index; windows
-// and appends go through the same store paths as every other reader
-// and collector, so evaluation never touches the append hot path's
-// locks.
-func (e *Engine) evalRule(r *Rule) {
-	if e.tEvals != nil {
-		e.tEvals.Inc()
-		start := time.Now()
-		defer func() { e.tEvalSec.Observe(time.Since(start).Seconds()) }()
-	}
+// resolve returns the rule's grouped selector resolution, served from
+// the per-rule cache while the store's index generation holds still
+// (new series are rare after warm-up, so steady-state evaluation does
+// zero matching and grouping work), rebuilt through the store's
+// selector index when it moves.  It also hands out the rule's reusable
+// window buffer; the caller returns it in its bookkeeping pass.
+//
+// The generation is read BEFORE resolving, so a series created
+// mid-resolve is missed only at a generation the cache already
+// considers stale — the next evaluation re-resolves.
+func (e *Engine) resolve(r *Rule, derived map[string]bool) (*resolution, []monitor.Point) {
+	gen := e.opts.Store.IndexGen()
 	e.mu.Lock()
-	derived := e.derived
+	st := e.state[r.Name]
+	if st != nil && st.res != nil && st.res.gen == gen {
+		res := st.res
+		window := st.window
+		st.window = nil // this evaluation owns the buffer now
+		e.mu.Unlock()
+		if e.tResHit != nil {
+			e.tResHit.Inc()
+		}
+		return res, window
+	}
 	e.mu.Unlock()
 
-	// Select and group.  Group identity is the by-dimension value tuple;
-	// a series missing a grouped label lands in the group without it, so
-	// partially-labelled fleets still roll up.
+	keys := e.opts.Store.Select(monitor.Selector{
+		Source:    r.Source,
+		AnySource: r.Source == "", // an omitted source sweeps the fleet
+		Metric:    r.Metric,
+		Labels:    r.Matchers,
+		Scope:     r.Scope,
+		AnyID:     true,
+	})
+	// Select covers scope/source/labels/metric; the rule-level
+	// exclusions remain: a rule never feeds on its own output, and a
+	// wildcard selector skips alert histories and every loaded rule's
+	// output so a sweep cannot feed on roll-ups.
+	wild := strings.Contains(r.Metric, "*")
+	res := &resolution{gen: gen}
+	// Group identity is the by-dimension value tuple; a series missing a
+	// grouped label lands in the group without it, so partially-labelled
+	// fleets still roll up.
 	groups := map[string]*group{}
+	labelMaps := map[string]map[string]string{}
 	var order []string
-	matched := 0
-	e.opts.Store.ForEachKey(func(k monitor.Key) {
-		if !r.Matches(k, derived) {
-			return
+	for _, k := range keys {
+		if k.Metric == r.Name {
+			continue
 		}
-		matched++
+		if wild && (strings.HasPrefix(k.Metric, "alert/") || derived[k.Metric]) {
+			continue
+		}
+		res.matched++
 		var sb strings.Builder
 		var source string
 		var labels map[string]string
@@ -257,24 +319,83 @@ func (e *Engine) evalRule(r *Rule) {
 		gk := sb.String()
 		g := groups[gk]
 		if g == nil {
-			g = &group{source: source, labels: labels}
+			g = &group{source: source}
 			groups[gk] = g
+			labelMaps[gk] = labels
 			order = append(order, gk)
 		}
 		g.keys = append(g.keys, k)
-	})
+	}
+	sort.Strings(order) // deterministic emit order for batches and tests
+	for _, gk := range order {
+		g := groups[gk]
+		labels, err := monitor.MakeLabels(labelMaps[gk])
+		if err != nil {
+			// Unreachable: group labels come off interned series keys,
+			// which were validated on the way in.  Fail the group, not the
+			// process.
+			if e.opts.OnError != nil {
+				e.opts.OnError(r.Name, err)
+			}
+			continue
+		}
+		g.labels = labels
+		res.groups = append(res.groups, g)
+	}
+	if e.tResCold != nil {
+		e.tResCold.Inc()
+	}
+	e.mu.Lock()
+	var window []monitor.Point
+	if st := e.state[r.Name]; st != nil {
+		st.res = res
+		window = st.window
+		st.window = nil
+	}
+	e.mu.Unlock()
+	return res, window
+}
+
+// invalidateResolutions drops every rule's cached selector resolution,
+// forcing the next evaluation to re-resolve through the index — the
+// hook the cold-resolve benchmark uses to separate resolution cost from
+// windowed reduction.
+func (e *Engine) invalidateResolutions() {
+	e.mu.Lock()
+	for _, st := range e.state {
+		st.res = nil
+	}
+	e.mu.Unlock()
+}
+
+// evalRule runs one evaluation of one rule: resolve (cached), reduce,
+// emit.  Windows and appends go through the same store paths as every
+// other reader and collector, so evaluation never touches the append
+// hot path's locks.
+func (e *Engine) evalRule(r *Rule) {
+	if e.tEvals != nil {
+		e.tEvals.Inc()
+		start := time.Now()
+		defer func() { e.tEvalSec.Observe(time.Since(start).Seconds()) }()
+	}
+	e.mu.Lock()
+	derived := e.derived
+	e.mu.Unlock()
+
+	res, window := e.resolve(r, derived)
 	if e.tFanout != nil {
-		e.tFanout.Observe(float64(matched))
+		e.tFanout.Observe(float64(res.matched))
 	}
 
 	var evalErr error
 	var emitted []monitor.Sample
-	if matched == 0 {
+	if res.matched == 0 {
 		evalErr = fmt.Errorf("no series matches %s(%s)", r.Fn, r.Metric)
 	} else {
-		sort.Strings(order) // deterministic emit order for batches and tests
-		for _, gk := range order {
-			if s, ok := e.evalGroup(r, groups[gk]); ok {
+		for _, g := range res.groups {
+			var s monitor.Sample
+			var ok bool
+			if s, ok, window = e.evalGroup(r, g, window); ok {
 				emitted = append(emitted, s)
 			}
 		}
@@ -306,12 +427,15 @@ func (e *Engine) evalRule(r *Rule) {
 	}
 	st.evals++
 	st.emitted += uint64(len(emitted))
-	st.series = matched
-	st.groups = len(groups)
+	st.series = res.matched
+	st.groups = len(res.groups)
 	st.lastEval = e.opts.Clock.Now()
 	st.lastErr = ""
 	if evalErr != nil {
 		st.lastErr = evalErr.Error()
+	}
+	if st.window == nil && window != nil {
+		st.window = window // return the scratch buffer
 	}
 	e.mu.Unlock()
 	if evalErr != nil && e.opts.OnError != nil {
@@ -320,12 +444,13 @@ func (e *Engine) evalRule(r *Rule) {
 }
 
 // evalGroup reduces one group's member windows to a single output
-// point and appends it to the store.  ok is false when no member had
+// point and appends it to the store, windowing into (and returning)
+// the rule's reusable point buffer.  ok is false when no member had
 // data in the window or the point would duplicate the output's newest
 // (no series advanced since the previous evaluation — the idempotence
 // guard, derived from the store rather than engine memory so it
 // survives reloads and restarts).
-func (e *Engine) evalGroup(r *Rule, g *group) (monitor.Sample, bool) {
+func (e *Engine) evalGroup(r *Rule, g *group, window []monitor.Point) (monitor.Sample, bool, []monitor.Point) {
 	var (
 		agg    float64
 		count  int
@@ -336,7 +461,10 @@ func (e *Engine) evalGroup(r *Rule, g *group) (monitor.Sample, bool) {
 		if !ok {
 			continue
 		}
-		pts := e.opts.Store.Window(k, latest.Time-r.Over, -1)
+		pts := e.opts.Store.WindowInto(k, latest.Time-r.Over, -1, window)
+		if pts != nil {
+			window = pts
+		}
 		v, ok := memberValue(r.Fn, pts)
 		if !ok {
 			continue
@@ -357,7 +485,7 @@ func (e *Engine) evalGroup(r *Rule, g *group) (monitor.Sample, bool) {
 		}
 	}
 	if count == 0 {
-		return monitor.Sample{}, false
+		return monitor.Sample{}, false, window
 	}
 	switch r.Fn {
 	case FnAvg:
@@ -366,18 +494,9 @@ func (e *Engine) evalGroup(r *Rule, g *group) (monitor.Sample, bool) {
 		agg = float64(count)
 	}
 
-	labels, err := monitor.MakeLabels(g.labels)
-	if err != nil {
-		// Unreachable: group labels come off interned series keys, which
-		// were validated on the way in.  Fail the group, not the process.
-		if e.opts.OnError != nil {
-			e.opts.OnError(r.Name, err)
-		}
-		return monitor.Sample{}, false
-	}
-	out := monitor.Key{Source: g.source, Metric: r.Name, Scope: monitor.ScopeNode, ID: 0, Labels: labels}
+	out := monitor.Key{Source: g.source, Metric: r.Name, Scope: monitor.ScopeNode, ID: 0, Labels: g.labels}
 	if prev, ok := e.opts.Store.Latest(out); ok && prev.Time >= simNow {
-		return monitor.Sample{}, false // inputs did not advance: emit nothing
+		return monitor.Sample{}, false, window // inputs did not advance: emit nothing
 	}
 	e.opts.Store.Append(out, monitor.Point{Time: simNow, Value: agg})
 	return monitor.Sample{
@@ -388,7 +507,7 @@ func (e *Engine) evalGroup(r *Rule, g *group) (monitor.Sample, bool) {
 		Labels: out.Labels,
 		Time:   simNow,
 		Value:  agg,
-	}, true
+	}, true, window
 }
 
 // memberValue reduces one member series' window to its contribution:

@@ -444,19 +444,9 @@ func (h *HTTPSink) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if strings.Contains(source, "*") || strings.Contains(metric, "*") || len(sels) > 0 {
 		// Wildcards (source and/or metric) and label selection: one
 		// response entry per matched series (a selector can match
-		// several series even under one exact source).
-		resp := querySeriesResponse{Series: []queryResponse{}}
-		for _, k := range h.queryKeys(source, metric, scope, id, sels) {
-			resp.Series = append(resp.Series, queryResponse{
-				Source: k.Source,
-				Metric: k.Metric,
-				Scope:  k.Scope.String(),
-				ID:     k.ID,
-				Labels: k.Labels.Map(),
-				Points: h.store.Window(k, from, to),
-			})
-		}
-		_ = json.NewEncoder(w).Encode(resp)
+		// several series even under one exact source), streamed so a
+		// fleet-wide fan-out never holds the whole payload in memory.
+		h.writeQuerySeries(w, h.queryKeys(source, metric, scope, id, sels), from, to)
 		return
 	}
 	key := h.resolveKey(source, metric, scope, id)
@@ -471,6 +461,38 @@ func (h *HTTPSink) handleQuery(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
+// writeQuerySeries streams the fan-out /query payload: one matched
+// series is encoded at a time with a single window buffer reused across
+// them, so a wildcard over thousands of fleet series never materializes
+// the full response — or every series' points — in memory at once.
+func (h *HTTPSink) writeQuerySeries(w http.ResponseWriter, keys []Key, from, to float64) {
+	_, _ = io.WriteString(w, `{"series":[`)
+	var window []Point
+	for i, k := range keys {
+		window = h.store.WindowInto(k, from, to, window)
+		pts := window
+		if pts == nil {
+			pts = []Point{}
+		}
+		entry, err := json.Marshal(queryResponse{
+			Source: k.Source,
+			Metric: k.Metric,
+			Scope:  k.Scope.String(),
+			ID:     k.ID,
+			Labels: k.Labels.Map(),
+			Points: pts,
+		})
+		if err != nil { // unreachable: plain structs marshal
+			continue
+		}
+		if i > 0 {
+			_, _ = w.Write([]byte{','})
+		}
+		_, _ = w.Write(entry)
+	}
+	_, _ = io.WriteString(w, "]}\n")
+}
+
 // resolveKey accepts either the exact stored metric name or its sanitized
 // exposition form, so /query?metric=memory_bandwidth_mbytes_s works after
 // scraping /metrics.
@@ -479,11 +501,14 @@ func (h *HTTPSink) resolveKey(source, metric string, scope Scope, id int) Key {
 	if h.store.Len(key) > 0 {
 		return key
 	}
-	want := strings.TrimPrefix(metric, "likwid_")
-	for _, k := range h.store.Keys() {
-		if k.Source == source && k.Scope == scope && k.ID == id && SanitizeMetric(k.Metric) == want {
-			return k
-		}
+	// The sanitized reverse lookup resolves through the selector index
+	// (bySanitized postings) instead of scanning every stored key.
+	keys := h.store.Select(Selector{
+		Source: source, Metric: metric, QueryForm: true,
+		Scope: scope, ID: id,
+	})
+	if len(keys) > 0 {
+		return keys[0]
 	}
 	return key
 }
@@ -491,34 +516,13 @@ func (h *HTTPSink) resolveKey(source, metric string, scope Scope, id int) Key {
 // queryKeys lists the stored series matching a source pattern (exact or
 // '*' wildcard), a label selector set, and a metric selector (exact,
 // sanitized, or '*' wildcard against the raw or sanitized name) at one
-// scope/id, sorted by source then labels.
+// scope/id, sorted by source then labels — Store.Select with the /query
+// metric dialect.
 func (h *HTTPSink) queryKeys(sourcePattern, metric string, scope Scope, id int, sels []Label) []Key {
-	want := strings.TrimPrefix(metric, "likwid_")
-	wildcard := strings.Contains(metric, "*")
-	var out []Key
-	for _, k := range h.store.Keys() { // sorted by source, labels already
-		if k.Scope != scope || k.ID != id {
-			continue
-		}
-		if !MatchSource(sourcePattern, k.Source) {
-			continue
-		}
-		if !MatchLabels(sels, k.Labels) {
-			continue
-		}
-		if wildcard {
-			// A wildcard matches the raw name or its exposition form, so
-			// metric=cluster_* finds a derived family and metric=memory_*
-			// finds "Memory bandwidth [MBytes/s]" alike.
-			if !WildcardMatch(want, k.Metric) && !WildcardMatch(want, SanitizeMetric(k.Metric)) {
-				continue
-			}
-		} else if k.Metric != metric && SanitizeMetric(k.Metric) != want {
-			continue
-		}
-		out = append(out, k)
-	}
-	return out
+	return h.store.Select(Selector{
+		Source: sourcePattern, Metric: metric, QueryForm: true,
+		Labels: sels, Scope: scope, ID: id,
+	})
 }
 
 // ingest limits: the compressed body is capped by MaxBytesReader, the

@@ -1,0 +1,367 @@
+package monitor
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the store's inverted selector index: postings lists
+// keyed by metric name (raw and sanitized form), source, and individual
+// label pair, so a selector resolves in O(matched) instead of scanning
+// every stored series.  The index is maintained incrementally on series
+// creation — the rare cold path that already clones the key snapshot —
+// and never touched by the per-sample append hot path, which stays one
+// atomic load plus one map access with zero allocations.
+//
+// Every read surface funnels through Store.Select: /query's
+// exact/wildcard/label fan-out, the /metrics sanitized-name reverse
+// lookup, and the alert and derive engines' per-rule member resolution.
+// The engines additionally cache their resolved key sets against the
+// index generation (IndexGen), so on a warm store — new series are rare
+// after warm-up — steady-state rule evaluation does zero matching work.
+
+// Selector describes one read-path series selection, the common core of
+// the /query parameters and the alert/derive DSL selectors.  The zero
+// value selects local (sourceless) node-scope series of the empty
+// metric — callers always set at least Metric.
+type Selector struct {
+	// Source is the agent pattern matched against Key.Source: exact, or
+	// '*' wildcards.  Empty selects only local (sourceless) series —
+	// the alert DSL reading — unless AnySource lifts it.
+	Source string
+	// AnySource matches every source, the derive DSL's reading of an
+	// omitted source selector (a recorded rule sweeps the whole fleet).
+	AnySource bool
+	// Metric is the metric pattern: an exact name, a sanitized
+	// exposition form ("memory_bandwidth_mbytes_s" finds "Memory
+	// bandwidth [MBytes/s]"), or '*' wildcards.
+	Metric string
+	// QueryForm switches metric matching to the /query dialect: a
+	// leading "likwid_" prefix is stripped for the sanitized
+	// comparison, and wildcards also try the sanitized form.  The
+	// default is the DSL dialect (alert and derive rules), where
+	// wildcards match the raw name only.
+	QueryForm bool
+	// Labels are the label selectors: every named label must be present
+	// with a matching value ('*' wildcards).  Nil matches every series,
+	// labelled or not.
+	Labels []Label
+	// Scope restricts to one topology domain unless AnyScope is set.
+	Scope    Scope
+	AnyScope bool
+	// ID restricts to one entity index unless AnyID is set.
+	ID    int
+	AnyID bool
+}
+
+// Match reports whether the selector picks one series key — the
+// brute-force predicate Select is an index over.  Select's results are
+// exactly the stored keys for which Match holds, in Keys() order.
+func (sel Selector) Match(k Key) bool {
+	if !sel.AnyScope && k.Scope != sel.Scope {
+		return false
+	}
+	if !sel.AnyID && k.ID != sel.ID {
+		return false
+	}
+	if !sel.AnySource && !MatchSource(sel.Source, k.Source) {
+		return false
+	}
+	if !MatchLabels(sel.Labels, k.Labels) {
+		return false
+	}
+	return sel.matchMetric(k.Metric)
+}
+
+// matchMetric matches the metric dimension in the selector's dialect.
+func (sel Selector) matchMetric(name string) bool {
+	if sel.QueryForm {
+		want := strings.TrimPrefix(sel.Metric, "likwid_")
+		if strings.Contains(sel.Metric, "*") {
+			// A wildcard matches the raw name or its exposition form, so
+			// metric=cluster_* finds a derived family and metric=memory_*
+			// finds "Memory bandwidth [MBytes/s]" alike.
+			return WildcardMatch(want, name) || WildcardMatch(want, SanitizeMetric(name))
+		}
+		return name == sel.Metric || SanitizeMetric(name) == want
+	}
+	return MatchMetric(sel.Metric, name)
+}
+
+// invertedIndex is the store's read-side key index.  Series get a
+// stable ordinal in creation order; postings lists hold ordinals
+// ascending (appends keep them sorted for free), and the canonical
+// Keys() order is maintained incrementally as a sorted permutation plus
+// its inverse (rank), so neither Keys nor Select ever sorts the full
+// key space.
+//
+// The index has its own lock — writes ride the series-creation slow
+// path (already serialized by Store.mu), reads are Select and Keys.
+// The append hot path never touches it.
+type invertedIndex struct {
+	mu  sync.RWMutex
+	gen atomic.Uint64 // bumped per created series; read lock-free
+
+	keys   []Key   // by ordinal (creation order)
+	sorted []int32 // ordinals in canonical Keys() order
+	rank   []int32 // ordinal -> position in sorted
+
+	byMetric    map[string][]int32
+	bySanitized map[string][]int32
+	bySource    map[string][]int32
+	byLabel     map[Label][]int32
+
+	postings int // total postings entries, for the /status gauge
+}
+
+func newInvertedIndex() *invertedIndex {
+	return &invertedIndex{
+		byMetric:    map[string][]int32{},
+		bySanitized: map[string][]int32{},
+		bySource:    map[string][]int32{},
+		byLabel:     map[Label][]int32{},
+	}
+}
+
+// keyLess is the canonical series order: source, metric, scope, id,
+// labels — local series first, then one block per agent, unlabelled
+// before labelled variants of the same series.  Labels.String is the
+// interned canonical encoding, O(1) and allocation-free.
+func keyLess(a, b Key) bool {
+	if a.Source != b.Source {
+		return a.Source < b.Source
+	}
+	if a.Metric != b.Metric {
+		return a.Metric < b.Metric
+	}
+	if a.Scope != b.Scope {
+		return a.Scope < b.Scope
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	return a.Labels.String() < b.Labels.String()
+}
+
+// post appends one ordinal to every postings list the key belongs to.
+// Ordinals only ever grow, so the lists stay sorted without sorting.
+func (ix *invertedIndex) post(k Key, ord int32) {
+	ix.byMetric[k.Metric] = append(ix.byMetric[k.Metric], ord)
+	san := SanitizeMetric(k.Metric)
+	ix.bySanitized[san] = append(ix.bySanitized[san], ord)
+	ix.bySource[k.Source] = append(ix.bySource[k.Source], ord)
+	n := 3
+	if k.Labels.set != nil {
+		for _, p := range k.Labels.set.pairs {
+			ix.byLabel[p] = append(ix.byLabel[p], ord)
+		}
+		n += len(k.Labels.set.pairs)
+	}
+	ix.postings += n
+}
+
+// add indexes one new series key (the single-create path).  The sorted
+// permutation takes a binary-searched insert; the rank shift is a tail
+// rewrite — O(N) worst case, on a path that already clones an O(N)
+// map snapshot.
+func (ix *invertedIndex) add(k Key) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ord := int32(len(ix.keys))
+	ix.keys = append(ix.keys, k)
+	ix.post(k, ord)
+	pos := sort.Search(len(ix.sorted), func(i int) bool {
+		return keyLess(k, ix.keys[ix.sorted[i]])
+	})
+	ix.sorted = append(ix.sorted, 0)
+	copy(ix.sorted[pos+1:], ix.sorted[pos:])
+	ix.sorted[pos] = ord
+	ix.rank = append(ix.rank, 0)
+	for i := pos; i < len(ix.sorted); i++ {
+		ix.rank[ix.sorted[i]] = int32(i)
+	}
+	ix.gen.Add(1)
+}
+
+// addMany indexes a batch of new keys in one pass: postings appends
+// stay O(1) per key, and the canonical permutation is re-sorted once —
+// the bulk path behind AppendBatch and RestoreState, so a 100k-series
+// WAL replay or snapshot restore rebuilds the index in O(N log N)
+// instead of N incremental inserts.
+func (ix *invertedIndex) addMany(keys []Key) {
+	if len(keys) == 0 {
+		return
+	}
+	if len(keys) == 1 {
+		ix.add(keys[0])
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, k := range keys {
+		ord := int32(len(ix.keys))
+		ix.keys = append(ix.keys, k)
+		ix.post(k, ord)
+		ix.sorted = append(ix.sorted, ord)
+		ix.rank = append(ix.rank, 0)
+	}
+	sort.Slice(ix.sorted, func(i, j int) bool {
+		return keyLess(ix.keys[ix.sorted[i]], ix.keys[ix.sorted[j]])
+	})
+	for i, ord := range ix.sorted {
+		ix.rank[ord] = int32(i)
+	}
+	ix.gen.Add(uint64(len(keys)))
+}
+
+// sortedKeys copies the canonical key order — Keys() without a sort.
+func (ix *invertedIndex) sortedKeys() []Key {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]Key, len(ix.sorted))
+	for i, ord := range ix.sorted {
+		out[i] = ix.keys[ord]
+	}
+	return out
+}
+
+func (ix *invertedIndex) size() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.postings
+}
+
+// IndexGen is the monotonic generation of the selector index.  It moves
+// exactly when the stored key set grows, so read-side caches (the alert
+// and derive engines' per-rule resolutions) can skip re-matching while
+// it holds still: Select(sel) at one generation returns the same keys
+// as at any later moment of the same generation.
+func (st *Store) IndexGen() uint64 { return st.inv.gen.Load() }
+
+// Select returns every stored series key the selector matches, in the
+// canonical Keys() order, resolving through the inverted index: the
+// exact dimensions of the selector (a non-wildcard metric, source, or
+// label pair) pick candidate postings lists, their intersection is
+// post-filtered by Match, and only the matched keys are sorted.  A
+// selector with no exact dimension (metric and source both wildcarded,
+// only wildcard label values) degenerates to a scan — there is nothing
+// to index a '*' on.
+func (st *Store) Select(sel Selector) []Key {
+	ix := st.inv
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	cands, restricted := ix.candidates(sel)
+	if !restricted {
+		// Full scan, but in canonical order, so no sort afterwards.
+		var out []Key
+		for _, ord := range ix.sorted {
+			if k := ix.keys[ord]; sel.Match(k) {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	var ords []int32
+	for _, ord := range cands {
+		if sel.Match(ix.keys[ord]) {
+			ords = append(ords, ord)
+		}
+	}
+	sort.Slice(ords, func(i, j int) bool { return ix.rank[ords[i]] < ix.rank[ords[j]] })
+	out := make([]Key, len(ords))
+	for i, ord := range ords {
+		out[i] = ix.keys[ord]
+	}
+	return out
+}
+
+// candidates resolves the selector's exact dimensions to a candidate
+// postings intersection.  The lists are supersets per dimension (Match
+// does the final word), but never miss a matching series: a
+// non-wildcard metric pattern can only match keys whose raw or
+// sanitized name equals the pattern's form, an exact source only keys
+// posted under it, a non-wildcard label selector only keys carrying
+// that exact pair.  restricted=false means no exact dimension exists
+// and the caller must scan.
+func (ix *invertedIndex) candidates(sel Selector) ([]int32, bool) {
+	var cands []int32
+	restricted := false
+	narrow := func(p []int32) {
+		if !restricted {
+			cands, restricted = p, true
+			return
+		}
+		cands = intersectPostings(cands, p)
+	}
+	if !strings.Contains(sel.Metric, "*") {
+		if sel.QueryForm {
+			narrow(unionPostings(ix.byMetric[sel.Metric],
+				ix.bySanitized[strings.TrimPrefix(sel.Metric, "likwid_")]))
+		} else {
+			narrow(ix.bySanitized[SanitizeMetric(sel.Metric)])
+		}
+	}
+	if !sel.AnySource && !strings.Contains(sel.Source, "*") {
+		narrow(ix.bySource[sel.Source])
+	}
+	for _, l := range sel.Labels {
+		if !strings.Contains(l.Value, "*") {
+			narrow(ix.byLabel[l])
+		}
+	}
+	return cands, restricted
+}
+
+// intersectPostings intersects two ascending ordinal lists.
+func intersectPostings(a, b []int32) []int32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var out []int32
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j == len(b) {
+			break
+		}
+		if b[j] == v {
+			out = append(out, v)
+			j++
+		}
+	}
+	return out
+}
+
+// unionPostings merges two ascending ordinal lists, deduplicated.
+func unionPostings(a, b []int32) []int32 {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

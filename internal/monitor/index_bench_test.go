@@ -1,0 +1,90 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// populateLabeledStore bulk-loads n series shaped like a labelled
+// fleet: n/100 metrics × 25 sources × 4 ids, each carrying a job label
+// from an 8-value pool.
+func populateLabeledStore(tb testing.TB, n int) *Store {
+	tb.Helper()
+	st := NewStore(8)
+	metrics := n / 100
+	if metrics < 1 {
+		metrics = 1
+	}
+	var b Batch
+	i := 0
+	for m := 0; m < metrics; m++ {
+		for s := 0; s < 25; s++ {
+			for id := 0; id < 4; id++ {
+				labels := mustLabelMap(tb, map[string]string{"job": fmt.Sprintf("job%d", i%8)})
+				b.Samples = append(b.Samples, Sample{
+					Source: fmt.Sprintf("node%02d", s),
+					Metric: fmt.Sprintf("metric_%03d", m),
+					Scope:  ScopeCore, ID: id, Labels: labels,
+					Time: 1, Value: 1,
+				})
+				i++
+			}
+		}
+	}
+	st.AppendBatch(b)
+	return st
+}
+
+var sinkKeys []Key // defeats dead-code elimination in the Select benchmarks
+
+// BenchmarkSelectExact resolves one exact (source, metric, scope, id)
+// selector — the /query single-series shape — at fleet sizes.
+func BenchmarkSelectExact(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("series=%d", n), func(b *testing.B) {
+			st := populateLargeStore(b, n)
+			sel := Selector{Source: "node07", Metric: "metric_00" + "2", Scope: ScopeCore, ID: 2}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkKeys = st.Select(sel)
+			}
+		})
+	}
+}
+
+// BenchmarkSelectWildcard resolves a wildcard metric under an exact
+// source — postings narrow by source, the wildcard post-filters.
+func BenchmarkSelectWildcard(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("series=%d", n), func(b *testing.B) {
+			st := populateLargeStore(b, n)
+			sel := Selector{Source: "node07", Metric: "metric_*", QueryForm: true, Scope: ScopeCore, AnyID: true}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkKeys = st.Select(sel)
+			}
+		})
+	}
+}
+
+// BenchmarkSelectLabels resolves a fleet-wide label slice — the
+// by-label postings intersection under a wildcard source.
+func BenchmarkSelectLabels(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("series=%d", n), func(b *testing.B) {
+			st := populateLabeledStore(b, n)
+			sel := Selector{
+				Source: "*", Metric: "metric_000", QueryForm: true,
+				Labels: []Label{{Name: "job", Value: "job3"}},
+				Scope:  ScopeCore, AnyID: true,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkKeys = st.Select(sel)
+			}
+		})
+	}
+}

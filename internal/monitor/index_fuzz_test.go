@@ -1,0 +1,50 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzSelect drives the Select/brute-force differential with fuzzed
+// selector dimensions (arbitrary patterns, dialect and any-flags) over
+// a deterministic randomized store, so the candidate-narrowing logic
+// can never silently drop or reorder a matching series for a pattern
+// shape nobody thought to enumerate.
+func FuzzSelect(f *testing.F) {
+	f.Add(int64(1), "nodeA", "bw", false, "job", "a", uint8(3), 0, false, false, false)
+	f.Add(int64(2), "*", "flops*", true, "job", "*", uint8(3), 0, false, true, true)
+	f.Add(int64(3), "", "likwid_bw", true, "cluster", "em*", uint8(2), 1, false, false, false)
+	f.Add(int64(4), "node*", "memory_bandwidth_mbytes_s", true, "", "", uint8(3), 0, false, false, true)
+	f.Add(int64(5), "self", "alert/*", false, "job", "zz", uint8(0), 2, true, true, false)
+	f.Add(int64(6), "zzz", "*flops*", false, "cluster", "emmy", uint8(1), -3, false, false, false)
+
+	pool := keyPool(f)
+	f.Fuzz(func(t *testing.T, seed int64, source, metric string, queryForm bool,
+		labelName, labelValue string, scopeByte uint8, id int,
+		anySource, anyScope, anyID bool) {
+		rng := rand.New(rand.NewSource(seed))
+		st := NewStore(4)
+		perm := rng.Perm(len(pool))
+		n := 1 + rng.Intn(63)
+		if n > len(perm) {
+			n = len(perm)
+		}
+		for _, pi := range perm[:n] {
+			st.Append(pool[pi], Point{Time: 1, Value: 1})
+		}
+		sel := Selector{
+			Source: source, AnySource: anySource,
+			Metric: metric, QueryForm: queryForm,
+			Scope: Scope(scopeByte % 4), AnyScope: anyScope,
+			ID: id, AnyID: anyID,
+		}
+		if labelName != "" {
+			sel.Labels = []Label{{Name: labelName, Value: labelValue}}
+		}
+		got := st.Select(sel)
+		want := bruteSelect(st, sel)
+		if !keysEqual(got, want) {
+			t.Fatalf("Select(%+v)\n got  %v\n want %v", sel, got, want)
+		}
+	})
+}

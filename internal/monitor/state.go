@@ -96,9 +96,16 @@ func (s *series) dumpState() SeriesState {
 // old configuration that no longer exists is dropped rather than
 // mis-folded.
 func (st *Store) RestoreState(states []SeriesState) {
+	// Bulk-create first: one snapshot clone and one index re-sort for
+	// the whole restore, instead of per-series clones at O(N²) cost on
+	// a large snapshot.
+	keys := make([]Key, len(states))
+	for i := range states {
+		keys[i] = states[i].Key
+	}
+	st.ensureMany(keys)
 	for _, state := range states {
-		s := st.getOrCreate(state.Key)
-		s.restoreState(state)
+		st.lookup(state.Key).restoreState(state)
 	}
 }
 

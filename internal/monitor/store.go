@@ -72,12 +72,13 @@ func (s *series) append(p Point) {
 	s.mu.Unlock()
 }
 
-// retained copies the raw points and every tier's buckets under one lock,
-// so stitched Window queries see a consistent cut of the series.
-func (s *series) retained() ([]Point, [][]Bucket) {
+// retainedInto copies the raw points (into buf's backing array when it
+// fits) and every tier's buckets under one lock, so stitched Window
+// queries see a consistent cut of the series.
+func (s *series) retainedInto(buf []Point) ([]Point, [][]Bucket) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	raw := make([]Point, 0, s.n)
+	raw := buf
 	start := s.head - s.n
 	if start < 0 {
 		start += len(s.buf)
@@ -137,6 +138,10 @@ type Store struct {
 	// not block (the persist WAL hands records to a buffered channel
 	// and drops-with-a-counter when full).
 	journal atomic.Pointer[Journal]
+
+	// inv is the read-side inverted selector index (see index.go),
+	// maintained on the series-creation slow path only.
+	inv *invertedIndex
 }
 
 // Journal observes appends for durability.  Record runs on the append
@@ -169,7 +174,7 @@ func (st *Store) record(k Key, p Point) {
 // min/median/max/avg buckets of the finest tier, and buckets evicted
 // from each tier's ring cascade into the next-coarser tier.
 func NewStore(capacity int, tiers ...Tier) *Store {
-	st := &Store{capacity: capacity, tiers: append([]Tier(nil), tiers...)}
+	st := &Store{capacity: capacity, tiers: append([]Tier(nil), tiers...), inv: newInvertedIndex()}
 	if st.capacity <= 0 {
 		st.capacity = 1024
 	}
@@ -202,6 +207,22 @@ func (st *Store) create(k Key) *series {
 	if s := cur[k]; s != nil { // lost the creation race
 		return s
 	}
+	s := st.newSeries(k)
+	next := make(map[Key]*series, len(cur)+1)
+	for kk, vv := range cur {
+		next[kk] = vv
+	}
+	next[k] = s
+	st.index.Store(&next)
+	// Index after publishing: the generation bump is the read-side
+	// "something new exists" signal, so caches that read the generation
+	// before resolving can never miss this series at a stale generation.
+	st.inv.add(k)
+	return s
+}
+
+// newSeries builds one series ring with the store's tier configuration.
+func (st *Store) newSeries(k Key) *series {
 	s := &series{key: k, buf: make([]Point, st.capacity)}
 	for _, t := range st.tiers {
 		s.tiers = append(s.tiers, newTierRing(t))
@@ -210,13 +231,40 @@ func (st *Store) create(k Key) *series {
 	for i := 0; i+1 < len(s.tiers); i++ {
 		s.tiers[i].next = s.tiers[i+1]
 	}
-	next := make(map[Key]*series, len(cur)+1)
+	return s
+}
+
+// ensureMany creates every not-yet-present key in one snapshot clone
+// and one bulk index insert — the cold-batch path (WAL replay, snapshot
+// restore, first push from a new agent), where per-key create would
+// clone an O(N) map N times.
+func (st *Store) ensureMany(keys []Key) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur := *st.index.Load()
+	var fresh []Key
+	for _, k := range keys {
+		if cur[k] == nil {
+			fresh = append(fresh, k)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	next := make(map[Key]*series, len(cur)+len(fresh))
 	for kk, vv := range cur {
 		next[kk] = vv
 	}
-	next[k] = s
+	created := fresh[:0]
+	for _, k := range fresh {
+		if next[k] != nil { // duplicate within the batch
+			continue
+		}
+		next[k] = st.newSeries(k)
+		created = append(created, k)
+	}
 	st.index.Store(&next)
-	return s
+	st.inv.addMany(created)
 }
 
 // Series is an interned handle to one series: resolving the key once
@@ -247,10 +295,30 @@ func (st *Store) Append(k Key, p Point) {
 	st.record(k, p)
 }
 
-// AppendBatch records every sample of a batch.
+// AppendBatch records every sample of a batch.  Unseen series are
+// created in one bulk pass first (one snapshot clone, one index
+// re-sort), and consecutive same-key samples — the layout v4 columnar
+// decode and per-collector batches produce — share one interned handle.
 func (st *Store) AppendBatch(b Batch) {
+	idx := *st.index.Load()
+	var fresh []Key
 	for _, s := range b.Samples {
-		st.Append(s.Key(), Point{Time: s.Time, Value: s.Value})
+		if k := s.Key(); idx[k] == nil {
+			fresh = append(fresh, k)
+		}
+	}
+	if len(fresh) > 0 {
+		st.ensureMany(fresh)
+	}
+	var h Series
+	var last Key
+	for i, s := range b.Samples {
+		k := s.Key()
+		if i == 0 || k != last {
+			h = st.Intern(k)
+			last = k
+		}
+		h.Append(Point{Time: s.Time, Value: s.Value})
 	}
 }
 
@@ -275,19 +343,38 @@ func (st *Store) SetCompaction(k Key, c Compaction) {
 // or newest member for CompactLast series), clipped so the stitched
 // result is non-overlapping and time-ordered.
 func (st *Store) Window(k Key, from, to float64) []Point {
+	return st.WindowInto(k, from, to, nil)
+}
+
+// WindowInto is Window with caller-owned buffer reuse: the result is
+// built in buf's backing array when it fits, so a caller evaluating
+// windows in a loop (the alert and derive engines, the streaming /query
+// encoder) amortizes the copy to zero steady-state allocations.  The
+// returned slice aliases buf; pass it back (or its cap-grown successor)
+// on the next call.  Tiered series still allocate for the stitched
+// portion.
+func (st *Store) WindowInto(k Key, from, to float64, buf []Point) []Point {
 	s := st.lookup(k)
 	if s == nil {
 		return nil
 	}
-	raw, tiers := s.retained()
+	raw, tiers := s.retainedInto(buf[:0])
 	// Appends are normally time-ordered, but ingested batches may not be
 	// (an agent restart resets its clock): sort defensively so the
 	// oldest-first contract — and stitch's coverage boundary — hold.
-	if !sort.SliceIsSorted(raw, func(i, j int) bool { return raw[i].Time < raw[j].Time }) {
+	sorted := true
+	for i := 1; i < len(raw); i++ {
+		if raw[i].Time < raw[i-1].Time {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
 		sort.SliceStable(raw, func(i, j int) bool { return raw[i].Time < raw[j].Time })
 	}
 	if len(tiers) == 0 {
-		out := raw[:0:0]
+		// Filter in place: the write index never passes the read index.
+		out := raw[:0]
 		for _, p := range raw {
 			if p.Time < from || (to >= 0 && p.Time > to) {
 				continue
@@ -374,31 +461,22 @@ func (st *Store) Instrument(reg *telemetry.Registry) {
 	reg.GaugeFunc("likwid_store_label_sets", func() float64 {
 		return float64(InternedLabelSets())
 	})
+	// Selector-index health: the generation says how often the key set
+	// grows (engines re-resolve rule caches when it moves), postings is
+	// the index's footprint in list entries.
+	reg.GaugeFunc("likwid_store_index_generation", func() float64 {
+		return float64(st.inv.gen.Load())
+	})
+	reg.GaugeFunc("likwid_store_index_postings", func() float64 {
+		return float64(st.inv.size())
+	})
 }
 
 // Keys lists every series, sorted by source, metric, scope, id, labels
 // for stable output (local series first, then one block per agent,
-// unlabelled before labelled variants of the same series).
+// unlabelled before labelled variants of the same series).  The order
+// is read off the index's incrementally maintained permutation — one
+// O(N) copy, no per-call sort, no comparator string building.
 func (st *Store) Keys() []Key {
-	idx := *st.index.Load()
-	out := make([]Key, 0, len(idx))
-	for k := range idx {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Source != out[j].Source {
-			return out[i].Source < out[j].Source
-		}
-		if out[i].Metric != out[j].Metric {
-			return out[i].Metric < out[j].Metric
-		}
-		if out[i].Scope != out[j].Scope {
-			return out[i].Scope < out[j].Scope
-		}
-		if out[i].ID != out[j].ID {
-			return out[i].ID < out[j].ID
-		}
-		return out[i].Labels.String() < out[j].Labels.String()
-	})
-	return out
+	return st.inv.sortedKeys()
 }
