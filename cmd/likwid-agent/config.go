@@ -14,6 +14,7 @@ import (
 	"likwid/internal/alert"
 	"likwid/internal/derive"
 	"likwid/internal/monitor"
+	"likwid/internal/monitor/cluster"
 	"likwid/internal/pin"
 )
 
@@ -35,6 +36,8 @@ type agentConfig struct {
 	raw          bool
 	sinks        []string
 	receiver     string         // listen address; receiver mode when non-empty
+	forward      string         // -forward: receiver re-push spec (federation hop)
+	forwardEvery time.Duration  // -forward-downsample: per-hop averaging window
 	labels       monitor.Labels // -labels: agent stamp / receiver ingest defaults
 	adaptive     time.Duration
 	rules        []*alert.Rule // parsed -rules file; nil = no alerting
@@ -82,6 +85,8 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 	tierSpec := fs.String("tiers", "", "downsampled retention tiers, e.g. 10s:360,1m:720")
 	raw := fs.Bool("raw", false, "emit per-event rates too")
 	receiver := fs.String("receiver", "", "run as aggregation receiver on this listen address (no collectors)")
+	forward := fs.String("forward", "", "receiver mode: re-push accepted samples upstream, push:[shard@|mirror@|failover@]URL[,URL...] — composes receivers into node→rack→cluster federation trees")
+	forwardEvery := fs.Duration("forward-downsample", 0, "average each forwarded series into windows of this width before re-pushing (0 = forward every point; needs -forward)")
 	labelSpec := fs.String("labels", "", "label set stamped onto every sample, e.g. job=lbm,cluster=emmy (receiver mode: defaults merged under each ingested sample's own labels)")
 	adaptive := fs.Duration("adaptive", 0, "stretch unchanged collectors' intervals up to this cap (0 = off)")
 	rulesFile := fs.String("rules", "", "alerting rule file (one rule per line; see internal/alert)")
@@ -93,7 +98,7 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 	walDir := fs.String("wal", "", "durability directory: append WAL + periodic snapshots restore the store across restarts")
 	snapInterval := fs.Duration("snapshot-interval", time.Minute, "ring/tier snapshot period; the WAL truncates at each snapshot (needs -wal)")
 	var sinks sinkSpecs
-	fs.Var(&sinks, "sink", "sink spec (repeatable): stdout | csv:PATH | jsonl:PATH | http:ADDR | push:URL | pushv4:URL")
+	fs.Var(&sinks, "sink", "sink spec (repeatable): stdout | csv:PATH | jsonl:PATH | http:ADDR | push:URL | pushv4:URL; push/pushv4 also take a pool, push:[shard@|mirror@|failover@]URL,URL,...")
 	var notifiers sinkSpecs
 	fs.Var(&notifiers, "notify", "alert notifier spec (repeatable): stdout | jsonl:PATH | webhook:URL")
 	if err := fs.Parse(args); err != nil {
@@ -116,22 +121,24 @@ func parseAgentFlags(args []string, errOut io.Writer) (*agentConfig, error) {
 	}
 
 	cfg := &agentConfig{
-		arch:       *arch,
-		group:      *group,
-		interval:   *interval,
-		duration:   *duration,
-		loadSpec:   *loadSpec,
-		buffer:     *buffer,
-		retain:     *retain,
-		raw:        *raw,
-		sinks:      sinks,
-		receiver:   *receiver,
-		adaptive:   *adaptive,
-		rulesFile:  *rulesFile,
-		groupWait:  *groupWait,
-		deriveFile: *deriveFile,
-		notifiers:  notifiers,
-		pprof:      *pprofFlag,
+		arch:         *arch,
+		group:        *group,
+		interval:     *interval,
+		duration:     *duration,
+		loadSpec:     *loadSpec,
+		buffer:       *buffer,
+		retain:       *retain,
+		raw:          *raw,
+		sinks:        sinks,
+		receiver:     *receiver,
+		forward:      *forward,
+		forwardEvery: *forwardEvery,
+		adaptive:     *adaptive,
+		rulesFile:    *rulesFile,
+		groupWait:    *groupWait,
+		deriveFile:   *deriveFile,
+		notifiers:    notifiers,
+		pprof:        *pprofFlag,
 
 		walDir:           *walDir,
 		snapshotInterval: *snapInterval,
@@ -233,6 +240,15 @@ func (c *agentConfig) validate() error {
 		return fmt.Errorf("snapshot interval must be positive, got %v", c.snapshotInterval)
 	}
 	for _, spec := range c.sinks {
+		// Multi-target push pools (shard@/mirror@/failover@, comma lists)
+		// are cluster sink specs; single-URL push specs keep the plain
+		// push sink's validation for backward compatibility.
+		if cluster.IsSpec(spec) {
+			if _, err := cluster.ParseSpec(spec); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := monitor.ValidateSinkSpec(spec); err != nil {
 			return err
 		}
@@ -248,6 +264,20 @@ func (c *agentConfig) validate() error {
 	}
 	for _, spec := range c.notifiers {
 		if err := alert.ValidateNotifierSpec(spec); err != nil {
+			return err
+		}
+	}
+	if c.forward != "" && c.receiver == "" {
+		return fmt.Errorf("-forward needs -receiver (agents push with -sink push:URL; forwarding is the receiver-to-receiver hop)")
+	}
+	if c.forwardEvery < 0 {
+		return fmt.Errorf("forward downsample window must not be negative, got %v", c.forwardEvery)
+	}
+	if c.forwardEvery > 0 && c.forward == "" {
+		return fmt.Errorf("-forward-downsample needs -forward (nothing to downsample)")
+	}
+	if c.forward != "" {
+		if _, err := cluster.ParseSpec(c.forward); err != nil {
 			return err
 		}
 	}

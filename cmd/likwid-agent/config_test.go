@@ -105,6 +105,30 @@ func TestParseAgentFlags(t *testing.T) {
 		{name: "tier zero capacity", args: []string{"-tiers", "10s:0"}, wantErr: "capacity"},
 		{name: "tiers not ascending", args: []string{"-tiers", "1m:10,10s:10"}, wantErr: "ascend"},
 		{name: "receiver with sink", args: []string{"-receiver", ":8090", "-sink", "stdout"}, wantErr: "-sink not allowed"},
+		{
+			name: "cluster sink pool",
+			args: []string{"-sink", "push:shard@http://r1:8090,http://r2:8090"},
+			check: func(t *testing.T, cfg *agentConfig) {
+				if len(cfg.sinks) != 1 || !strings.Contains(cfg.sinks[0], "shard@") {
+					t.Errorf("sinks = %v, want the cluster pool spec kept verbatim", cfg.sinks)
+				}
+			},
+		},
+		{name: "cluster sink duplicate target", args: []string{"-sink", "push:http://r1:8090/ingest,http://r1:8090"}, wantErr: "twice"},
+		{name: "cluster sink bad policy", args: []string{"-sink", "push:quorum@http://r1:8090,http://r2:8090"}, wantErr: "unknown policy"},
+		{
+			name: "forward federation hop",
+			args: []string{"-receiver", ":8090", "-forward", "pushv4:mirror@http://root-a:9000,http://root-b:9000", "-forward-downsample", "10s"},
+			check: func(t *testing.T, cfg *agentConfig) {
+				if cfg.forward == "" || cfg.forwardEvery != 10*time.Second {
+					t.Errorf("forward = %q every = %v, want the spec and 10s", cfg.forward, cfg.forwardEvery)
+				}
+			},
+		},
+		{name: "forward without receiver", args: []string{"-forward", "push:http://root:9000"}, wantErr: "needs -receiver"},
+		{name: "forward downsample without forward", args: []string{"-receiver", ":8090", "-forward-downsample", "10s"}, wantErr: "needs -forward"},
+		{name: "negative forward downsample", args: []string{"-receiver", ":8090", "-forward", "push:http://root:9000", "-forward-downsample", "-1s"}, wantErr: "not be negative"},
+		{name: "forward bad spec", args: []string{"-receiver", ":8090", "-forward", "push:"}, wantErr: "empty target"},
 		{name: "adaptive below interval", args: []string{"-i", "500ms", "-adaptive", "100ms"}, wantErr: "below the sampling interval"},
 		{name: "negative adaptive", args: []string{"-adaptive", "-1s"}, wantErr: "not be negative"},
 		{name: "notify without rules", args: []string{"-notify", "stdout"}, wantErr: "needs -rules"},

@@ -17,7 +17,15 @@
 //	-duration D    stop after D of wall time (default: run until SIGINT)
 //	-sink SPEC     repeatable: stdout | csv:PATH | jsonl:PATH | http:ADDR
 //	               | push:URL (batch+gzip POST to a receiver's /ingest)
-//	               | pushv4:URL (same, on the binary columnar v4 wire)
+//	               | pushv4:URL (same, on the binary columnar v4 wire).
+//	               push/pushv4 also accept a receiver pool,
+//	               push:[shard@|mirror@|failover@]URL,URL,...: targets
+//	               are health-checked (/readyz probes, exponential
+//	               re-probe) and series are hash-partitioned across the
+//	               healthy pool (shard, the multi-URL default), mirrored
+//	               to every target (HA), or sent to the first healthy
+//	               target in order (failover); a failed target's
+//	               buffered samples re-route to the survivors
 //	-collectors L  comma-separated collector set (default all registered)
 //	-load SPEC     synthetic background load: stream[:NTASKS] | idle
 //	-buffer N      sink queue depth (drop-and-count beyond it, default 64)
@@ -41,6 +49,19 @@
 //	               the merged store on /metrics and /query — each
 //	               agent's series keyed by source, selectable with
 //	               /query?source=NAME (or a '*' wildcard across agents)
+//	-forward SPEC  receiver mode: re-push every accepted sample upstream,
+//	               push:[shard@|mirror@|failover@]URL[,URL...] — the
+//	               receiver-to-receiver hop that composes receivers into
+//	               node → rack → cluster federation trees.  Forwarded
+//	               batches keep each sample's original source and are
+//	               journaled only where they were accepted (no double
+//	               write on the hop); SIGTERM drains the forward buffers
+//	               before exit
+//	-forward-downsample D
+//	               average each forwarded series into D-wide windows
+//	               before re-pushing (CompactMean on the wire), so every
+//	               hop up the tree can coarsen the stream; 0 (default)
+//	               forwards every point.  Needs -forward
 //	-rules FILE    alerting rules evaluated against the store; firing and
 //	               resolved transitions go to the notifiers, are recorded
 //	               as alert/NAME series, and show on GET /alerts and
@@ -111,6 +132,7 @@ import (
 	"likwid/internal/derive"
 	"likwid/internal/machine"
 	"likwid/internal/monitor"
+	"likwid/internal/monitor/cluster"
 	"likwid/internal/monitor/persist"
 	"likwid/internal/telemetry"
 	"likwid/internal/topology"
@@ -233,16 +255,74 @@ func runReceiver(ctx context.Context, cfg *agentConfig, log *slog.Logger) error 
 	// while each agent's job= label survives.
 	h.SetIngestLabels(cfg.labels)
 	mountOps(h, reg, cfg, store)
+	// Federation hop: -forward re-pushes every accepted batch upstream
+	// through a cluster sink riding its own dispatcher, so a slow or dead
+	// upstream costs forward backlog (bounded, counted), never ingest
+	// latency.  The forward hook fires after a batch is accepted and
+	// appended here — the samples are journaled exactly once per hop, at
+	// the receiver that accepted them.
+	var (
+		fwdDispatch *monitor.Dispatcher
+		fwdCluster  *cluster.Sink
+	)
+	closeForward := func() error {
+		if fwdDispatch == nil {
+			return nil
+		}
+		ferr := fwdDispatch.Close()
+		for _, ts := range fwdCluster.Status() {
+			log.Info("forward target finished", "target", ts.Target, "healthy", ts.Healthy,
+				"sent", ts.Sent, "pushes", ts.Pushes, "failovers", ts.Failovers, "dropped", ts.Dropped)
+		}
+		return ferr
+	}
+	if cfg.forward != "" {
+		spec, serr := cluster.ParseSpec(cfg.forward)
+		if serr == nil {
+			fwdCluster, serr = cluster.New(cluster.Options{
+				Targets: spec.Targets,
+				Policy:  spec.Policy,
+				Format:  spec.Format,
+				Source:  monitor.DefaultPushSource(),
+				// The agent already batched; re-push each accepted batch as
+				// it arrives.  Re-batching at the hop would add latency and
+				// leave up to FlushSamples-1 samples to lose on a hard kill.
+				FlushSamples: 1,
+				Context:      ctx,
+				Logger:       log,
+			})
+		}
+		if serr != nil {
+			_ = h.Close()
+			closePersist(pm, log)
+			return serr
+		}
+		fwdCluster.Instrument(reg)
+		fwdDispatch = monitor.NewDispatcher(cfg.buffer, cluster.NewDownsampler(cfg.forwardEvery, fwdCluster))
+		fwdDispatch.SetLogger(log)
+		h.SetForward(func(b monitor.Batch) { fwdDispatch.Publish(b) })
+		log.Info("forwarding enabled", "spec", cfg.forward,
+			"policy", spec.Policy.String(), "targets", len(spec.Targets), "downsample", cfg.forwardEvery)
+	}
 	alerting, err := startAlerting(ctx, cfg, store, []*monitor.HTTPSink{h}, reg, log)
 	if err != nil {
 		_ = h.Close()
+		_ = closeForward()
+		closePersist(pm, log)
 		return err
 	}
 	// Self-monitoring loop: the dispatcher carries SelfCollector batches
 	// to the HTTP sink (so self series show on /metrics) while the
 	// scheduler appends them to the store (so /query?source=self, tier
-	// compaction and the alert DSL see them).
-	selfDispatch := monitor.NewDispatcher(8, h)
+	// compaction and the alert DSL see them).  With -forward the batches
+	// also tee onto the federation hop: the receiver's own self and
+	// derived series never pass /ingest, so the hook there cannot carry
+	// them.
+	selfSinks := []monitor.Sink{h}
+	if fwdDispatch != nil {
+		selfSinks = append(selfSinks, teeSink{fwdDispatch})
+	}
+	selfDispatch := monitor.NewDispatcher(8, selfSinks...)
 	selfDispatch.SetLogger(log)
 	selfDispatch.Instrument(reg)
 	// Derived series ride the same dispatcher, so a receiver's roll-ups
@@ -251,6 +331,7 @@ func runReceiver(ctx context.Context, cfg *agentConfig, log *slog.Logger) error 
 	if err != nil {
 		alerting.stop(log)
 		_ = selfDispatch.Close()
+		_ = closeForward()
 		closePersist(pm, log)
 		return err
 	}
@@ -273,12 +354,32 @@ func runReceiver(ctx context.Context, cfg *agentConfig, log *slog.Logger) error 
 	<-schedDone
 	deriving.stop(log)         // evaluation stops before its dispatcher closes
 	err = selfDispatch.Close() // closes the HTTP sink with it
+	// Graceful drain: the listener is down (nothing new arrives), so the
+	// forward pipeline can flush its buffered and downsampler-open
+	// samples upstream instead of counting them as shutdown drops.
+	if ferr := closeForward(); ferr != nil {
+		log.Warn("forward drain failed", "err", ferr)
+		if err == nil {
+			err = ferr
+		}
+	}
 	alerting.stop(log)
 	// Appends have stopped (scheduler drained, listener down): take the
 	// final snapshot and release the WAL.
 	closePersist(pm, log)
 	return err
 }
+
+// teeSink republishes every batch into another dispatcher — the bridge
+// that puts a receiver's own self and derived series onto the forward
+// hop, which otherwise only sees what crosses /ingest.  Close is a
+// no-op: the forward dispatcher outlives the tee and is drained
+// explicitly after the listener goes down.
+type teeSink struct{ d *monitor.Dispatcher }
+
+func (t teeSink) Name() string                { return "forward-tee" }
+func (t teeSink) Write(b monitor.Batch) error { t.d.Publish(b); return nil }
+func (t teeSink) Close() error                { return nil }
 
 // alerting bundles a running alert engine with its teardown.
 type alerting struct {
@@ -630,6 +731,30 @@ func runAgent(ctx context.Context, cfg *agentConfig, log *slog.Logger) error {
 	built := make([]monitor.Sink, 0, len(sinks))
 	var https []*monitor.HTTPSink
 	for _, spec := range sinks {
+		// Multi-target push pools are cluster sinks: health-checked
+		// targets, consistent-hash sharding, mirror and failover modes.
+		if cluster.IsSpec(spec) {
+			parsed, err := cluster.ParseSpec(spec)
+			if err != nil {
+				return err
+			}
+			cs, err := cluster.New(cluster.Options{
+				Targets: parsed.Targets,
+				Policy:  parsed.Policy,
+				Format:  parsed.Format,
+				Source:  monitor.DefaultPushSource(),
+				Context: ctx,
+				Logger:  log,
+			})
+			if err != nil {
+				return err
+			}
+			cs.Instrument(reg)
+			log.Info("cluster sink configured",
+				"policy", parsed.Policy.String(), "targets", len(parsed.Targets))
+			built = append(built, cs)
+			continue
+		}
 		// The context bounds the push sink's retry backoff: a shutdown
 		// flush against a dead receiver tries once instead of walking
 		// the whole ladder.
@@ -715,9 +840,15 @@ func runAgent(ctx context.Context, cfg *agentConfig, log *slog.Logger) error {
 		log.Warn("batches dropped at the sink queue", "dropped", d)
 	}
 	for _, s := range built {
-		if p, ok := s.(*monitor.PushSink); ok {
+		switch s := s.(type) {
+		case *monitor.PushSink:
 			log.Info("push sink finished",
-				"sent", p.Sent(), "pushes", p.Pushes(), "retries", p.Retries(), "dropped", p.Dropped())
+				"sent", s.Sent(), "pushes", s.Pushes(), "retries", s.Retries(), "dropped", s.Dropped())
+		case *cluster.Sink:
+			for _, ts := range s.Status() {
+				log.Info("cluster target finished", "target", ts.Target, "healthy", ts.Healthy,
+					"sent", ts.Sent, "pushes", ts.Pushes, "failovers", ts.Failovers, "dropped", ts.Dropped)
+			}
 		}
 	}
 	return nil

@@ -27,6 +27,7 @@ import (
 	"likwid/internal/alert"
 	"likwid/internal/machine"
 	"likwid/internal/monitor"
+	"likwid/internal/monitor/cluster"
 	"likwid/internal/monitor/persist"
 	"likwid/internal/topology"
 )
@@ -226,6 +227,109 @@ bw_skew:    imbalance(memory_bandwidth_mbytes_s, socket, 1s) > 0.5 for 0s
 	}
 	fmt.Println("  (each agent's job= label survives under the receiver's cluster= default;")
 	fmt.Println("   the same selectors work in alert rules: avg(*/bw{job=\"lbm\"}, node, 30s) < ...)")
+
+	// ---- fleet topology: sharded pool + federation tree --------------
+	// The cluster layer as a library (the `likwid-agent -sink
+	// push:rack1:8090,rack2:8090` / `-receiver ... -forward` wiring): an
+	// agent shards its stream over two mid-tier receivers by consistent
+	// hash, both forward every accepted batch to a root — the node →
+	// rack → cluster tree.  Then one rack dies mid-stream and the pool
+	// fails the stranded series over, so the root stays complete.
+	fmt.Println("\nfleet topology: agent shards over two receivers, both forwarding to a root:")
+	rootStore := monitor.NewStore(64)
+	rootRecv, err := monitor.NewHTTPSink("127.0.0.1:0", rootStore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rootRecv.Close()
+	newRack := func() (*monitor.Store, *monitor.HTTPSink, *monitor.Dispatcher) {
+		st := monitor.NewStore(64)
+		h, err := monitor.NewHTTPSink("127.0.0.1:0", st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fwd, err := cluster.New(cluster.Options{
+			Targets: []string{"http://" + rootRecv.Addr() + "/ingest"},
+			Policy:  cluster.PolicyFailover, FlushSamples: 1, RetryBase: time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := monitor.NewDispatcher(64, fwd)
+		h.SetForward(func(b monitor.Batch) { d.Publish(b) })
+		return st, h, d
+	}
+	rack1Store, rack1, rack1Fwd := newRack()
+	rack2Store, rack2, rack2Fwd := newRack()
+	defer rack2.Close()
+
+	fleetMetrics := []string{"bw", "flops_dp", "cpi", "energy", "clock", "ipc"}
+	pool, err := cluster.New(cluster.Options{
+		Targets: []string{"http://" + rack1.Addr() + "/ingest", "http://" + rack2.Addr() + "/ingest"},
+		Policy:  cluster.PolicyShard, Source: "nodeC", FlushSamples: 1, RetryBase: time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pushTicks := func(from, to int) {
+		for i := from; i < to; i++ {
+			samples := make([]monitor.Sample, 0, len(fleetMetrics))
+			for _, m := range fleetMetrics {
+				samples = append(samples, monitor.Sample{
+					Metric: m, Scope: monitor.ScopeNode, ID: 0, Time: float64(i), Value: float64(i),
+				})
+			}
+			_ = pool.Write(monitor.Batch{Collector: "perfgroup", Time: float64(i), Samples: samples})
+		}
+	}
+	countSeries := func(st *monitor.Store) int {
+		n := 0
+		for _, m := range fleetMetrics {
+			if len(st.Window(monitor.Key{Source: "nodeC", Metric: m, Scope: monitor.ScopeNode, ID: 0}, 0, -1)) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	rootComplete := func(ticks int) bool {
+		for _, m := range fleetMetrics {
+			k := monitor.Key{Source: "nodeC", Metric: m, Scope: monitor.ScopeNode, ID: 0}
+			if len(rootStore.Window(k, 0, -1)) != ticks {
+				return false
+			}
+		}
+		return true
+	}
+	waitRoot := func(ticks int) {
+		deadline := time.Now().Add(5 * time.Second)
+		for !rootComplete(ticks) && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	pushTicks(0, 10) // both racks alive: the ring splits the series
+	fmt.Printf("  shard split: rack1 owns %d series, rack2 owns %d of %d\n",
+		countSeries(rack1Store), countSeries(rack2Store), len(fleetMetrics))
+	waitRoot(10)
+	fmt.Printf("  root window complete after 10 ticks: %v\n", rootComplete(10))
+
+	rack1.Close() // rack 1 dies mid-stream; its series fail over to rack 2
+	_ = rack1Fwd.Close()
+	pushTicks(10, 20)
+	if err := pool.Close(); err != nil { // graceful drain: flush + reroute
+		log.Fatal(err)
+	}
+	waitRoot(20)
+	var failedOver uint64
+	for _, ts := range pool.Status() {
+		failedOver += ts.Failovers
+	}
+	fmt.Printf("  rack1 killed mid-stream: %d failover event(s), %d samples dropped\n",
+		failedOver, pool.Dropped())
+	fmt.Printf("  root window still complete at 20 ticks: %v\n", rootComplete(20))
+	if err := rack2Fwd.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	// ---- durability: surviving a restart -----------------------------
 	// With -wal DIR a real agent or receiver journals every append and

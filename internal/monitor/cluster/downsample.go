@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"likwid/internal/monitor"
+)
+
+// Downsampler is a sink decorator for federation hops: it buckets each
+// series' samples into fixed windows and forwards one averaged sample
+// per window — CompactMean semantics applied on the wire, so a rack
+// receiver can forward its node feeds upward at, say, 1/10th the point
+// rate and the cluster root stores the coarse tier without ever seeing
+// the fine one.  Like every sink it is driven by a single dispatcher
+// goroutine.
+type Downsampler struct {
+	every float64 // window width in (simulated) seconds
+	next  monitor.Sink
+	acc   map[monitor.Key]*bucketAcc
+}
+
+// bucketAcc accumulates one series' open window.
+type bucketAcc struct {
+	start  float64
+	count  int
+	sum    float64
+	latest float64 // newest sample time seen, stamps the flush batch
+}
+
+// NewDownsampler wraps next, averaging each series into every-sized
+// windows before forwarding.  every <= 0 returns next unwrapped.
+func NewDownsampler(every time.Duration, next monitor.Sink) monitor.Sink {
+	if every <= 0 {
+		return next
+	}
+	return &Downsampler{every: every.Seconds(), next: next, acc: make(map[monitor.Key]*bucketAcc)}
+}
+
+// Name implements monitor.Sink.
+func (d *Downsampler) Name() string { return "downsample(" + d.next.Name() + ")" }
+
+// windowStart aligns a sample time to its window's left edge.
+func (d *Downsampler) windowStart(t float64) float64 {
+	return math.Floor(t/d.every) * d.every
+}
+
+// Write folds the batch into the open windows and forwards every window
+// the batch's samples have moved past.
+func (d *Downsampler) Write(b monitor.Batch) error {
+	var out []monitor.Sample
+	for _, sm := range b.Samples {
+		k := sm.Key()
+		a, ok := d.acc[k]
+		if !ok {
+			a = &bucketAcc{start: d.windowStart(sm.Time)}
+			d.acc[k] = a
+		}
+		// A sample at or past the window's end closes it: emit the
+		// average and open the window the sample belongs to.  Late
+		// samples (older than the open window) fold into it rather than
+		// resurrecting a closed one — a forwarding hop is a lossy tier
+		// by design, not a store.
+		if a.count > 0 && sm.Time >= a.start+d.every {
+			out = append(out, a.emit(k))
+			a.start = d.windowStart(sm.Time)
+		}
+		a.count++
+		a.sum += sm.Value
+		if sm.Time > a.latest {
+			a.latest = sm.Time
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return d.next.Write(monitor.Batch{Collector: b.Collector, Time: b.Time, Samples: out})
+}
+
+// emit renders the open window as one averaged sample and resets the
+// accumulator for the next window.
+func (a *bucketAcc) emit(k monitor.Key) monitor.Sample {
+	sm := monitor.Sample{
+		Source: k.Source,
+		Metric: k.Metric,
+		Scope:  k.Scope,
+		ID:     k.ID,
+		Labels: k.Labels,
+		Time:   a.start,
+		Value:  a.sum / float64(a.count),
+	}
+	a.count, a.sum = 0, 0
+	return sm
+}
+
+// Close flushes every open window downstream, then closes the wrapped
+// sink — the graceful-drain path: a receiver draining on SIGTERM
+// forwards its partial windows instead of dropping them.
+func (d *Downsampler) Close() error {
+	keys := make([]monitor.Key, 0, len(d.acc))
+	for k, a := range d.acc {
+		if a.count > 0 {
+			keys = append(keys, k)
+		}
+	}
+	// Deterministic flush order: map iteration must not decide the wire
+	// order two runs of the same shutdown produce.
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		if a.Scope != b.Scope {
+			return a.Scope < b.Scope
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Labels.String() < b.Labels.String()
+	})
+	var samples []monitor.Sample
+	var last float64
+	for _, k := range keys {
+		a := d.acc[k]
+		if a.latest > last {
+			last = a.latest
+		}
+		samples = append(samples, a.emit(k))
+	}
+	var firstErr error
+	if len(samples) > 0 {
+		if err := d.next.Write(monitor.Batch{Collector: "downsample/flush", Time: last, Samples: samples}); err != nil {
+			firstErr = err
+		}
+	}
+	if err := d.next.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

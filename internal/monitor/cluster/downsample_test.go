@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"likwid/internal/monitor"
+)
+
+// captureSink records every batch it receives.
+type captureSink struct {
+	batches []monitor.Batch
+	closed  bool
+}
+
+func (c *captureSink) Name() string                { return "capture" }
+func (c *captureSink) Write(b monitor.Batch) error { c.batches = append(c.batches, b); return nil }
+func (c *captureSink) Close() error                { c.closed = true; return nil }
+
+func (c *captureSink) samples() []monitor.Sample {
+	var out []monitor.Sample
+	for _, b := range c.batches {
+		out = append(out, b.Samples...)
+	}
+	return out
+}
+
+// TestDownsamplerAveragesWindows pins the hop semantics: a 5 s window
+// over a 1 Hz ramp forwards one CompactMean-style average per window,
+// stamped at the window start.
+func TestDownsamplerAveragesWindows(t *testing.T) {
+	cap := &captureSink{}
+	d := NewDownsampler(5*time.Second, cap)
+	for i := 0; i < 10; i++ {
+		tm := float64(i)
+		err := d.Write(monitor.Batch{Collector: "fwd", Time: tm, Samples: []monitor.Sample{
+			{Source: "n1", Metric: "bw", Scope: monitor.ScopeNode, Time: tm, Value: tm},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// t=0..4 closed when t=5 arrived: avg 2 at window start 0.
+	got := cap.samples()
+	if len(got) != 1 || got[0].Time != 0 || got[0].Value != 2 {
+		t.Fatalf("mid-stream emission = %+v, want one sample t=0 v=2", got)
+	}
+	// Close flushes the open window t=5..9: avg 7 at start 5.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got = cap.samples()
+	if len(got) != 2 || got[1].Time != 5 || got[1].Value != 7 {
+		t.Fatalf("flush emission = %+v, want second sample t=5 v=7", got)
+	}
+	if !cap.closed {
+		t.Error("downsampler did not close the wrapped sink")
+	}
+	if got[0].Source != "n1" || got[0].Metric != "bw" {
+		t.Errorf("emitted sample lost its identity: %+v", got[0])
+	}
+}
+
+// TestDownsamplerKeepsSeriesApart pins that windows accumulate per
+// series key, not per metric name: two sources' streams average
+// independently.
+func TestDownsamplerKeepsSeriesApart(t *testing.T) {
+	cap := &captureSink{}
+	d := NewDownsampler(10*time.Second, cap)
+	for i := 0; i < 5; i++ {
+		tm := float64(i)
+		_ = d.Write(monitor.Batch{Collector: "fwd", Time: tm, Samples: []monitor.Sample{
+			{Source: "n1", Metric: "bw", Scope: monitor.ScopeNode, Time: tm, Value: 10},
+			{Source: "n2", Metric: "bw", Scope: monitor.ScopeNode, Time: tm, Value: 20},
+		}})
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := cap.samples()
+	if len(got) != 2 {
+		t.Fatalf("flush emitted %d samples, want 2 (one per source)", len(got))
+	}
+	// Close flushes in deterministic key order: n1 before n2.
+	if got[0].Source != "n1" || got[0].Value != 10 || got[1].Source != "n2" || got[1].Value != 20 {
+		t.Errorf("per-source averages = %+v, want n1=10 then n2=20", got)
+	}
+}
+
+// TestDownsamplerDisabledPassesThrough pins that a zero window is the
+// identity: the wrapped sink is returned unwrapped.
+func TestDownsamplerDisabledPassesThrough(t *testing.T) {
+	cap := &captureSink{}
+	if s := NewDownsampler(0, cap); s != monitor.Sink(cap) {
+		t.Error("NewDownsampler(0) wrapped the sink; want pass-through")
+	}
+}

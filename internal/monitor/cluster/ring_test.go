@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"likwid/internal/monitor"
+)
+
+// fleetKeys builds a realistic key population: many sources (nodes), a
+// handful of metrics, several scope IDs — the shape a receiver pool
+// actually shards.
+func fleetKeys(n int) []monitor.Key {
+	keys := make([]monitor.Key, 0, n)
+	metrics := []string{"bw", "flops_dp", "cpi", "energy", "l3_miss_ratio"}
+	for i := 0; len(keys) < n; i++ {
+		keys = append(keys, monitor.Key{
+			Source: fmt.Sprintf("node%04d", i/(len(metrics)*4)),
+			Metric: metrics[i%len(metrics)],
+			Scope:  monitor.ScopeNode,
+			ID:     (i / len(metrics)) % 4,
+		})
+	}
+	return keys
+}
+
+// TestRingBalance is the satellite property test: 10k keys over 5
+// targets must land within ±20% of the fair share each.
+func TestRingBalance(t *testing.T) {
+	targets := []string{"r0:8090", "r1:8090", "r2:8090", "r3:8090", "r4:8090"}
+	ring := NewRing(targets, DefaultVirtualNodes)
+	keys := fleetKeys(10000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		owner := ring.LookupKey(k)
+		if owner == "" {
+			t.Fatalf("key %+v has no owner", k)
+		}
+		counts[owner]++
+	}
+	fair := float64(len(keys)) / float64(len(targets))
+	for _, name := range targets {
+		got := float64(counts[name])
+		if got < 0.8*fair || got > 1.2*fair {
+			t.Errorf("target %s owns %.0f keys, outside ±20%% of fair share %.0f (full split: %v)",
+				name, got, fair, counts)
+		}
+	}
+}
+
+// TestRingMinimalRemapOnLeave pins the consistent-hashing property: when
+// one target leaves, exactly the departed target's keys move — every
+// other key keeps its owner — so a receiver failure redistributes ~K/N
+// keys, not a full reshuffle.
+func TestRingMinimalRemapOnLeave(t *testing.T) {
+	targets := []string{"r0:8090", "r1:8090", "r2:8090", "r3:8090", "r4:8090"}
+	before := NewRing(targets, DefaultVirtualNodes)
+	after := NewRing(targets[1:], DefaultVirtualNodes) // r0 leaves
+	keys := fleetKeys(10000)
+	moved := 0
+	for _, k := range keys {
+		was, now := before.LookupKey(k), after.LookupKey(k)
+		if was != targets[0] {
+			if now != was {
+				t.Fatalf("key %+v moved %s -> %s although its owner stayed in the pool", k, was, now)
+			}
+			continue
+		}
+		moved++
+	}
+	// The moved set is exactly the departed target's share, which the
+	// balance property bounds at ≤ 1.2 * K/N.
+	if max := int(1.2 * float64(len(keys)) / float64(len(targets))); moved > max {
+		t.Errorf("leave moved %d keys, want <= %d (~K/N)", moved, max)
+	}
+	if moved == 0 {
+		t.Error("leave moved no keys; the departed target owned nothing")
+	}
+}
+
+// TestRingMinimalRemapOnJoin pins the mirror property: a joining target
+// only steals keys for itself — no key moves between two incumbent
+// targets — and steals about K/N of them.
+func TestRingMinimalRemapOnJoin(t *testing.T) {
+	incumbents := []string{"r1:8090", "r2:8090", "r3:8090", "r4:8090"}
+	joined := append([]string{"r0:8090"}, incumbents...)
+	before := NewRing(incumbents, DefaultVirtualNodes)
+	after := NewRing(joined, DefaultVirtualNodes)
+	keys := fleetKeys(10000)
+	moved := 0
+	for _, k := range keys {
+		was, now := before.LookupKey(k), after.LookupKey(k)
+		if was == now {
+			continue
+		}
+		if now != "r0:8090" {
+			t.Fatalf("key %+v moved %s -> %s on join; only the joiner may gain keys", k, was, now)
+		}
+		moved++
+	}
+	if max := int(1.2 * float64(len(keys)) / float64(len(joined))); moved > max {
+		t.Errorf("join moved %d keys, want <= %d (~K/N)", moved, max)
+	}
+	if moved == 0 {
+		t.Error("join moved no keys; the new target owns nothing")
+	}
+}
+
+// TestRingOrderIndependent pins that ownership depends on the member
+// set, not the listing order: two agents configured with the same pool
+// in different orders must agree on every key's owner.
+func TestRingOrderIndependent(t *testing.T) {
+	a := NewRing([]string{"r0:8090", "r1:8090", "r2:8090"}, DefaultVirtualNodes)
+	b := NewRing([]string{"r2:8090", "r0:8090", "r1:8090"}, DefaultVirtualNodes)
+	for _, k := range fleetKeys(1000) {
+		if ao, bo := a.LookupKey(k), b.LookupKey(k); ao != bo {
+			t.Fatalf("key %+v owner disagrees across listing orders: %s vs %s", k, ao, bo)
+		}
+	}
+}
+
+// TestRingEmpty pins the degenerate cases.
+func TestRingEmpty(t *testing.T) {
+	if owner := NewRing(nil, 0).Lookup(42); owner != "" {
+		t.Errorf("empty ring returned owner %q, want \"\"", owner)
+	}
+	solo := NewRing([]string{"only:1"}, 4)
+	for _, k := range fleetKeys(64) {
+		if owner := solo.LookupKey(k); owner != "only:1" {
+			t.Fatalf("singleton ring returned %q", owner)
+		}
+	}
+}
+
+// TestKeyHashSeparatorsPreventAliasing pins the NUL separators: field
+// boundaries must matter, or ("a","bc") and ("ab","c") would shard —
+// and dedupe — as one series.
+func TestKeyHashSeparatorsPreventAliasing(t *testing.T) {
+	a := KeyHash(monitor.Key{Source: "a", Metric: "bc", Scope: monitor.ScopeNode})
+	b := KeyHash(monitor.Key{Source: "ab", Metric: "c", Scope: monitor.ScopeNode})
+	if a == b {
+		t.Error("KeyHash collides across the source/metric boundary")
+	}
+}

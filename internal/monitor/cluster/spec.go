@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"likwid/internal/monitor"
+)
+
+// Spec is a parsed cluster sink spec: the policy, wire format and
+// normalized target URLs from a "push:[policy@]URL[,URL...]" argument.
+type Spec struct {
+	Policy  Policy
+	Format  monitor.WireFormat
+	Targets []string
+}
+
+// IsSpec reports whether a -sink/-forward argument names a multi-target
+// cluster pool rather than a plain single-URL push sink: a push/pushv4
+// kind whose argument carries a policy prefix ("shard@", "mirror@",
+// "failover@") or more than one comma-separated URL.  Single-URL specs
+// without a policy stay on the plain push sink for backward
+// compatibility.
+func IsSpec(spec string) bool {
+	_, arg, ok := splitKind(spec)
+	if !ok {
+		return false
+	}
+	if strings.Contains(arg, ",") {
+		return true
+	}
+	if policy, _, found := strings.Cut(arg, "@"); found {
+		if _, err := ParsePolicy(policy); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseSpec parses a cluster sink spec.  The grammar extends the push
+// sink's: "push:" or "pushv4:" selects the wire format, an optional
+// "shard@" / "mirror@" / "failover@" prefix selects the policy (default
+// shard for multi-target pools, failover for a singleton — one URL with
+// an explicit policy is a pool of one awaiting growth), and the rest is
+// one or more comma-separated receiver URLs, each normalized exactly
+// like a single push sink's.
+func ParseSpec(spec string) (Spec, error) {
+	kind, arg, ok := splitKind(spec)
+	if !ok {
+		return Spec{}, fmt.Errorf("cluster: spec %q is not a push:/pushv4: sink", spec)
+	}
+	out := Spec{Format: monitor.WireJSON}
+	if kind == "pushv4" {
+		out.Format = monitor.WireV4
+	}
+	explicitPolicy := false
+	if policy, rest, found := strings.Cut(arg, "@"); found && !strings.Contains(policy, "/") {
+		p, err := ParsePolicy(policy)
+		if err != nil {
+			return Spec{}, fmt.Errorf("cluster: spec %q: %w", spec, err)
+		}
+		out.Policy, explicitPolicy, arg = p, true, rest
+	}
+	seen := make(map[string]bool)
+	for _, raw := range strings.Split(arg, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			return Spec{}, fmt.Errorf("cluster: spec %q has an empty target URL", spec)
+		}
+		u, err := normalizeTarget(raw)
+		if err != nil {
+			return Spec{}, err
+		}
+		if seen[u.name] {
+			return Spec{}, fmt.Errorf("cluster: spec %q lists target %q twice", spec, u.name)
+		}
+		seen[u.name] = true
+		out.Targets = append(out.Targets, u.url)
+	}
+	if !explicitPolicy {
+		if len(out.Targets) > 1 {
+			out.Policy = PolicyShard
+		} else {
+			out.Policy = PolicyFailover
+		}
+	}
+	return out, nil
+}
+
+// splitKind splits "push:..." / "pushv4:..." into kind and argument.
+func splitKind(spec string) (kind, arg string, ok bool) {
+	kind, arg, found := strings.Cut(strings.TrimSpace(spec), ":")
+	if !found {
+		return "", "", false
+	}
+	kind = strings.ToLower(strings.TrimSpace(kind))
+	if kind != "push" && kind != "pushv4" {
+		return "", "", false
+	}
+	return kind, strings.TrimSpace(arg), true
+}

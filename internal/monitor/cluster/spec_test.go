@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"likwid/internal/monitor"
+)
+
+func TestIsSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want bool
+	}{
+		{"push:http://r1:8090", false}, // single URL, no policy: plain push sink
+		{"pushv4:r1:8090", false},
+		{"push:shard@http://r1:8090", true},
+		{"push:failover@http://r1:8090", true},
+		{"push:http://r1:8090,http://r2:8090", true},
+		{"pushv4:mirror@http://r1:8090,http://r2:8090", true},
+		{"stdout", false},
+		{"csv:/tmp/a,b.csv", false}, // comma in a csv path is not a pool
+		{"http::8090", false},
+		{"push:quorum@http://r1:8090", false}, // unknown policy: not ours to claim
+	}
+	for _, c := range cases {
+		if got := IsSpec(c.spec); got != c.want {
+			t.Errorf("IsSpec(%q) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	// Multi-URL without a policy defaults to shard.
+	s, err := ParseSpec("push:http://r1:8090,http://r2:8090")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy != PolicyShard || s.Format != monitor.WireJSON || len(s.Targets) != 2 {
+		t.Errorf("multi-URL spec = %+v, want shard/json/2 targets", s)
+	}
+	// Singleton with an explicit policy keeps it; singleton without one
+	// is ordered-fallback-of-one.
+	s, err = ParseSpec("pushv4:mirror@http://r1:8090")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy != PolicyMirror || s.Format != monitor.WireV4 || len(s.Targets) != 1 {
+		t.Errorf("explicit mirror singleton = %+v", s)
+	}
+	if s, err = ParseSpec("push:http://r1:8090"); err != nil || s.Policy != PolicyFailover {
+		t.Errorf("plain singleton = %+v, %v; want failover", s, err)
+	}
+	// Target URLs are normalized exactly like a plain push sink's.
+	s, err = ParseSpec("push:failover@r1:8090, r2:8090")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range s.Targets {
+		if !strings.HasPrefix(u, "http://") || !strings.HasSuffix(u, "/ingest") {
+			t.Errorf("target %q not normalized to an http ingest URL", u)
+		}
+	}
+
+	for _, bad := range []string{
+		"push:",
+		"push:quorum@http://r1:8090,http://r2:8090",
+		"push:http://r1:8090,",
+		"push:http://r1:8090,http://r1:8090/ingest", // same target twice
+		"csv:/tmp/x.csv",
+		"push:ftp://r1:8090,http://r2:8090",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range []Policy{PolicyShard, PolicyMirror, PolicyFailover} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("quorum"); err == nil {
+		t.Error("ParsePolicy(quorum) succeeded, want error")
+	}
+}

@@ -66,6 +66,15 @@ type HTTPSink struct {
 	// on reload; nil means no routes.
 	router atomic.Pointer[Router]
 
+	// forward, when set, observes every accepted ingest batch after it
+	// landed in the store — the receiver→receiver re-push hook.  It runs
+	// on the handler goroutine and must not block (likwid-agent installs
+	// a Dispatcher.Publish, whose bounded queue drops-and-counts).  The
+	// forward path never appends to the store itself, so forwarded
+	// samples are journaled exactly once per hop — here, where they were
+	// accepted — and never double-journal.
+	forward atomic.Pointer[func(Batch)]
+
 	// readiness checks registered by the embedding binary (notifiers up,
 	// store attached); /readyz runs them all.  Guarded by readyMu, not
 	// h.mu: checks may themselves read sink state.
@@ -256,6 +265,20 @@ func (h *HTTPSink) SetRouter(r *Router) {
 // Router returns the installed routing stage (nil when none), for
 // status endpoints.
 func (h *HTTPSink) Router() *Router { return h.router.Load() }
+
+// SetForward installs (or, with nil, removes) the accepted-batch
+// observer backing receiver→receiver re-push: every batch /ingest
+// accepts is handed to f after its samples landed in the store, with
+// labels already merged and interned.  f runs on the handler goroutine
+// and must not block; installing is atomic, so wiring a forward under
+// live traffic is safe.
+func (h *HTTPSink) SetForward(f func(Batch)) {
+	if f == nil {
+		h.forward.Store(nil)
+		return
+	}
+	h.forward.Store(&f)
+}
 
 // SetIngestLabels installs default labels merged under every ingested
 // sample's own labels (a per-name default: the sample wins on
@@ -456,9 +479,28 @@ func (h *HTTPSink) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Scope:  key.Scope.String(),
 		ID:     key.ID,
 		Labels: key.Labels.Map(),
-		Points: h.store.Window(key, from, to),
+		Points: dedupePoints(h.store.Window(key, from, to)),
 	}
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// dedupePoints collapses same-timestamp runs of a sorted window to their
+// newest member, in place.  A mirrored HA pair both forwarding into one
+// federation root stores each sample once per replica; /query merges the
+// replicas back into each Key+timestamp exactly once, keeping the last
+// write — the same latest-wins rule the /metrics snapshot applies.
+func dedupePoints(pts []Point) []Point {
+	if len(pts) < 2 {
+		return pts
+	}
+	out := pts[:0]
+	for i, p := range pts {
+		if i+1 < len(pts) && pts[i+1].Time == p.Time {
+			continue // a newer write of the same instant follows
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // writeQuerySeries streams the fan-out /query payload: one matched
@@ -470,7 +512,7 @@ func (h *HTTPSink) writeQuerySeries(w http.ResponseWriter, keys []Key, from, to 
 	var window []Point
 	for i, k := range keys {
 		window = h.store.WindowInto(k, from, to, window)
-		pts := window
+		pts := dedupePoints(window)
 		if pts == nil {
 			pts = []Point{}
 		}
@@ -756,6 +798,12 @@ func (h *HTTPSink) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if h.tAccepted != nil {
 		h.tAccepted.Add(uint64(len(samples)))
 		h.observeIngest(samples, sentAts)
+	}
+	// Re-push the accepted batch up the federation tree.  The samples
+	// slice is this request's decode output and is not touched again
+	// after this point, so handing it off without a copy is safe.
+	if fp := h.forward.Load(); fp != nil && len(samples) > 0 {
+		(*fp)(Batch{Collector: "forward", Time: samples[len(samples)-1].Time, Samples: samples})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(ingestResponse{Accepted: len(samples)})

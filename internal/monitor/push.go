@@ -192,6 +192,19 @@ func sentAtStamp(now time.Time) float64 {
 // flush that exhausts its attempts returns the error but keeps the
 // samples buffered (bounded by MaxBuffered) for the next flush.
 func (p *PushSink) Write(b Batch) error {
+	p.Buffer(b)
+	if len(p.pending) < p.opts.FlushSamples {
+		return nil
+	}
+	return p.flush()
+}
+
+// Buffer enqueues the batch without attempting a flush — Write minus the
+// POST.  The cluster layer uses it to keep feeding a target that is known
+// to be down (mirror mode): samples accumulate in the bounded pending
+// buffer (oldest dropped and counted past MaxBuffered) and ship when the
+// target recovers, without paying a doomed POST per batch meanwhile.
+func (p *PushSink) Buffer(b Batch) {
 	if p.tBatch != nil {
 		p.tBatch.Observe(float64(len(b.Samples)))
 	}
@@ -243,10 +256,64 @@ func (p *PushSink) Write(b Batch) error {
 	if p.tPending != nil {
 		p.tPending.Set(float64(len(p.pending)))
 	}
-	if len(p.pending) < p.opts.FlushSamples {
+}
+
+// Pending reports the samples buffered and not yet acknowledged by the
+// receiver.
+func (p *PushSink) Pending() int { return len(p.pending) }
+
+// URL returns the receiver ingest endpoint this sink pushes to.
+func (p *PushSink) URL() string { return p.opts.URL }
+
+// Flush pushes the pending buffer now, regardless of the FlushSamples
+// threshold; a no-op when nothing is pending.  On failure the samples
+// stay buffered, exactly like a threshold-triggered flush — the cluster
+// drain path then decides whether to reroute them (TakePending) or give
+// them up (Close).
+func (p *PushSink) Flush() error {
+	if len(p.pending) == 0 {
 		return nil
 	}
 	return p.flush()
+}
+
+// TakePending removes and returns the buffered samples, decoded back
+// from their wire form — the failover path: when this target is down
+// and another is healthy, the cluster sink re-routes the stranded
+// samples instead of waiting out the outage (or abandoning them on
+// shutdown).  The per-record source resolved at Buffer time is kept, so
+// re-writing the samples through another target's sink lands them on
+// identical keys.  Like Write, it must only be called from the sink's
+// driving goroutine.
+func (p *PushSink) TakePending() []Sample {
+	if len(p.pending) == 0 {
+		return nil
+	}
+	out := make([]Sample, 0, len(p.pending))
+	for _, js := range p.pending {
+		scope, err := ParseScope(js.Scope)
+		if err != nil {
+			continue // unreachable: pending records were built from typed samples
+		}
+		ls, err := MakeLabels(js.Labels)
+		if err != nil {
+			continue // unreachable likewise: the maps came from interned sets
+		}
+		out = append(out, Sample{
+			Source: js.Source,
+			Metric: js.Metric,
+			Scope:  scope,
+			ID:     js.ID,
+			Labels: ls,
+			Time:   js.Time,
+			Value:  js.Value,
+		})
+	}
+	p.pending = p.pending[:0]
+	if p.tPending != nil {
+		p.tPending.Set(0)
+	}
+	return out
 }
 
 // Close flushes the remainder and reports the last push error.  Unlike a

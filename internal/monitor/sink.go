@@ -474,6 +474,9 @@ func normalizePushURL(arg string) (string, error) {
 	if arg == "" {
 		return "", fmt.Errorf("push sink needs a receiver URL (push:HOST:PORT or push:http://HOST:PORT/ingest)")
 	}
+	if strings.Contains(arg, ",") {
+		return "", fmt.Errorf("push sink URL %q holds several targets; multi-target pools (shard@, mirror@, failover@) are cluster sink specs (internal/monitor/cluster)", arg)
+	}
 	if !strings.Contains(arg, "://") {
 		arg = "http://" + arg
 	}
@@ -489,6 +492,12 @@ func normalizePushURL(arg string) (string, error) {
 	}
 	return arg, nil
 }
+
+// NormalizePushURL is the exported form of the push-spec URL
+// normalization, shared with the cluster sink's multi-target specs so
+// one grammar ("host:port" or a full http(s) URL, /ingest defaulted)
+// cannot drift between the single- and multi-target paths.
+func NormalizePushURL(arg string) (string, error) { return normalizePushURL(arg) }
 
 // ValidateSinkSpec checks a -sink specification's shape without side
 // effects (no files created, no sockets bound), so agent configuration
@@ -519,12 +528,18 @@ func ValidateSinkSpec(spec string) error {
 	}
 }
 
-// defaultPushSource identifies this agent process at the receiver, so
-// two agents pushing the same metric names stay distinct series.
-func defaultPushSource() string {
+// DefaultPushSource identifies this agent process at a receiver
+// (hostname-pid), so two agents pushing the same metric names stay
+// distinct series.  The cluster sink and the receiver's -forward re-push
+// use the same identity rule, so a series keeps one source per
+// originating process however many hops it crosses.
+func DefaultPushSource() string {
 	host, err := os.Hostname()
 	if err != nil || host == "" {
 		host = "agent"
 	}
 	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }
+
+// defaultPushSource is kept as the internal spelling.
+func defaultPushSource() string { return DefaultPushSource() }
